@@ -1,0 +1,82 @@
+"""E10 — the [ER14] and [CW16] rows: semi-streaming trade-off shapes.
+
+* CW16 pass sweep: measured solution sizes against the
+  (p+1) n^{1/(p+1)} guarantee — more passes, better covers, O~(n) space
+  throughout.
+* ER14 on the threshold-trap instance: the one-pass algorithm pays a
+  sqrt(n)-type factor where multi-pass algorithms recover the optimum —
+  the separation both papers' lower bounds formalize.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import render_table
+from repro.baselines import ChakrabartiWirth, EmekRosen, MultiPassGreedy
+from repro.streaming import SetStream
+from repro.workloads import threshold_trap_instance, uniform_random_instance
+
+
+def test_cw16_pass_sweep(benchmark, write_report):
+    n, m = 1024, 512
+    system = uniform_random_instance(n, m, density=0.03, seed=41)
+    rows = []
+    for p in (1, 2, 3, 4, 5):
+        stream = SetStream(system)
+        result = ChakrabartiWirth(passes=p).solve(stream)
+        assert stream.verify_solution(result.selection)
+        rows.append(
+            {
+                "p (passes)": p,
+                "|sol|": result.solution_size,
+                "bound (p+1)n^{1/(p+1)}": round((p + 1) * n ** (1 / (p + 1)), 1),
+                "space(words)": result.peak_memory_words,
+                "space/n": result.peak_memory_words / n,
+            }
+        )
+    write_report(
+        "E10_cw16_pass_sweep",
+        render_table(
+            rows,
+            title=f"E10 / [CW16]: pass sweep on uniform n={n} m={m}",
+        ),
+    )
+    sizes = [row["|sol|"] for row in rows]
+    assert sizes[-1] <= sizes[0]  # more passes never hurt
+    for row in rows:
+        assert row["space/n"] < 6  # Theta~(n) space throughout
+
+    benchmark(lambda: ChakrabartiWirth(passes=3).solve(SetStream(system)))
+
+
+def test_er14_trap_separation(benchmark, write_report):
+    rows = []
+    for n in (64, 256, 1024):
+        system = threshold_trap_instance(n, seed=5)
+        one_pass = EmekRosen().solve(SetStream(system))
+        multi = MultiPassGreedy().solve(SetStream(system))
+        rows.append(
+            {
+                "n": n,
+                "ER14 |sol| (1 pass)": one_pass.solution_size,
+                "multi-pass greedy |sol|": multi.solution_size,
+                "optimum": 2,
+                "sqrt(n)": round(math.sqrt(n), 1),
+                "ER14 overpay factor": one_pass.solution_size / 2,
+            }
+        )
+    write_report(
+        "E10b_er14_trap",
+        render_table(
+            rows,
+            title="E10b / [ER14]: one-pass vs multi-pass on the trap family",
+        ),
+    )
+    # One pass overpays and the overpay grows with n; multi-pass stays ~OPT.
+    overpays = [row["ER14 overpay factor"] for row in rows]
+    assert overpays[-1] > overpays[0]
+    assert all(row["multi-pass greedy |sol|"] <= 3 for row in rows)
+
+    system = threshold_trap_instance(256, seed=5)
+    benchmark(lambda: EmekRosen().solve(SetStream(system)))

@@ -1,0 +1,66 @@
+"""E2 — Figure 1.2 + Lemma 4.2: quadratic projections, near-linear pool.
+
+On the two-slanted-lines construction, the number of *distinct* shallow
+rectangle projections grows as n^2/4 while the canonical pool produced by
+x-tree anchored splitting stays O(n w^2 log n).  The regenerated table shows
+both curves; the ratio must diverge with n.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import render_table
+from repro.geometry import (
+    CanonicalRepresentation,
+    count_distinct_projections,
+    figure_1_2_instance,
+)
+
+
+def _canonical_pool_size(n: int) -> tuple[int, int]:
+    instance = figure_1_2_instance(n)
+    rep = CanonicalRepresentation(
+        {i: p for i, p in enumerate(instance.points)}, mode="split"
+    )
+    for shape in instance.shapes:
+        rep.add_shape(shape)
+    return rep.pool_size, rep.pool_words
+
+
+def test_figure_1_2_quadratic_vs_canonical(benchmark, write_report):
+    rows = []
+    for n in (16, 32, 64, 128):
+        instance = figure_1_2_instance(n)
+        distinct = count_distinct_projections(instance)
+        pool, pool_words = _canonical_pool_size(n)
+        rows.append(
+            {
+                "n": n,
+                "m (=n^2/4)": instance.m,
+                "distinct projections": distinct,
+                "canonical pool": pool,
+                "pool words": pool_words,
+                "n*log2(n)": int(n * math.log2(n)),
+                "pool/projections": pool / distinct,
+            }
+        )
+    write_report(
+        "E2_figure_1_2_rectangles",
+        render_table(
+            rows,
+            title=(
+                "E2 / Figure 1.2: distinct shallow rectangles (quadratic) vs "
+                "canonical pool (near-linear), w = 2"
+            ),
+        ),
+    )
+
+    # Divergence check: the pool/projection ratio must drop as n grows.
+    ratios = [row["pool/projections"] for row in rows]
+    assert ratios[-1] < ratios[0] / 2
+    # Projections are exactly quadratic; the pool stays within O(n log n).
+    assert rows[-1]["distinct projections"] == (128 // 2) ** 2
+    assert rows[-1]["canonical pool"] <= 4 * 128 * math.log2(128)
+
+    benchmark(lambda: _canonical_pool_size(64))

@@ -1,0 +1,93 @@
+"""E2b — shallow-range counts for discs and fat triangles (Lemmas 4.3/4.4).
+
+Complements E2 (rectangles): for random point sets,
+
+* **discs** — the number of distinct w-shallow disc projections is
+  O(n w^2) by Clarkson–Shor; the paper's dedupe canonicalization rests on
+  it.  We measure the distinct-projection count against n w^2.
+* **fat triangles** — our x-tree splitting substitution (DESIGN.md §3.3);
+  we measure that the realized canonical pool stays near-linear in n on
+  random workloads, the property the algorithm needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import render_table
+from repro.geometry import (
+    CanonicalRepresentation,
+    random_disc_instance,
+    random_fat_triangle_instance,
+)
+
+
+def _disc_row(n: int, m: int, w: int, seed: int) -> dict:
+    inst = random_disc_instance(n, m, radius_range=(0.02, 0.12), seed=seed)
+    shallow = set()
+    for shape in inst.shapes:
+        content = inst.covered_points(shape)
+        if 0 < len(content) <= w:
+            shallow.add(content)
+    return {
+        "n": n,
+        "m": m,
+        "w": w,
+        "distinct shallow discs": len(shallow),
+        "n*w^2": n * w * w,
+        "ratio": len(shallow) / (n * w * w),
+    }
+
+
+def test_disc_shallow_counts(benchmark, write_report):
+    rows = [
+        _disc_row(n, m=6 * n, w=4, seed=3) for n in (64, 128, 256)
+    ]
+    write_report(
+        "E2b_disc_shallow_counts",
+        render_table(
+            rows,
+            title="E2b / Lemma 4.4 (Clarkson-Shor): shallow disc projections vs n w^2",
+        ),
+    )
+    # The Clarkson-Shor bound: counts stay below n w^2 with slack.
+    assert all(row["distinct shallow discs"] <= row["n*w^2"] for row in rows)
+    # And the normalized ratio does not grow with n.
+    assert rows[-1]["ratio"] <= rows[0]["ratio"] * 1.5
+
+    benchmark(lambda: _disc_row(128, 768, 4, seed=3))
+
+
+def _triangle_pool(n: int, m: int, seed: int) -> dict:
+    inst = random_fat_triangle_instance(n, m, scale_range=(0.03, 0.12), seed=seed)
+    rep = CanonicalRepresentation(
+        {i: p for i, p in enumerate(inst.points)}, mode="split"
+    )
+    for shape in inst.shapes:
+        rep.add_shape(shape)
+    return {
+        "n": n,
+        "m": m,
+        "canonical pool": rep.pool_size,
+        "pool / n": rep.pool_size / n,
+        "n*log2(n)": int(n * math.log2(n)),
+    }
+
+
+def test_fat_triangle_pool_growth(benchmark, write_report):
+    rows = [_triangle_pool(n, m=4 * n, seed=5) for n in (48, 96, 192)]
+    write_report(
+        "E2c_fat_triangle_pool",
+        render_table(
+            rows,
+            title=(
+                "E2c / Lemma 4.3 substitution: fat-triangle canonical pool "
+                "growth (x-tree splitting, empirical)"
+            ),
+        ),
+    )
+    # Near-linear: pool-per-point stays within a constant-ish envelope
+    # while n quadruples (the substitution's empirical check).
+    assert rows[-1]["pool / n"] <= rows[0]["pool / n"] * 2.0
+
+    benchmark(lambda: _triangle_pool(96, 384, seed=5))

@@ -1,0 +1,98 @@
+"""E5 — Theorem 4.6 / Figure 4.1: geometric set cover in O~(n) space.
+
+Two sweeps on random disc/rectangle instances:
+
+* fixed n, growing m — ``algGeomSC``'s peak memory must stay flat
+  (space independent of the number of shapes), while the abstract
+  ``iterSetCover`` on the projected set system pays ~ m n^delta;
+* growing n — the peak grows near-linearly in n.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core import IterSetCoverConfig, IterSetCover
+from repro.geometry import (
+    GeometricSetCover,
+    ShapeStream,
+    random_disc_instance,
+    random_rect_instance,
+)
+from repro.streaming import SetStream
+
+
+def _geo_run(instance, seed=1):
+    stream = ShapeStream(instance)
+    result = GeometricSetCover(
+        delta=0.25, seed=seed, sample_constant=0.3, use_polylog_factors=True
+    ).solve(stream)
+    assert stream.verify_solution(result.selection)
+    return result
+
+
+def test_space_independent_of_m(benchmark, write_report):
+    n = 64
+    rows = []
+    for m in (40, 80, 160, 320):
+        inst = random_rect_instance(n, m, seed=21)
+        geo = _geo_run(inst)
+
+        abstract = inst.to_set_system()
+        stream = SetStream(abstract)
+        abs_result = IterSetCover(
+            config=IterSetCoverConfig(delta=0.25, sample_constant=0.3),
+            seed=1,
+        ).solve(stream)
+        rows.append(
+            {
+                "n": n,
+                "m": inst.m,
+                "algGeomSC space": geo.peak_memory_words,
+                "iterSetCover space": abs_result.peak_memory_words,
+                "algGeomSC |sol|": geo.solution_size,
+                "algGeomSC passes": geo.passes,
+            }
+        )
+    write_report(
+        "E5_theorem_4_6_m_sweep",
+        render_table(
+            rows,
+            title="E5 / Theorem 4.6: fixed n=64, growing m (rectangles)",
+        ),
+    )
+    # m grows 8x; geometric space must grow far slower than the abstract run.
+    geo_growth = rows[-1]["algGeomSC space"] / rows[0]["algGeomSC space"]
+    abs_growth = rows[-1]["iterSetCover space"] / rows[0]["iterSetCover space"]
+    assert geo_growth < abs_growth
+    assert geo_growth < 3.0
+
+    inst = random_rect_instance(n, 80, seed=21)
+    benchmark(lambda: _geo_run(inst))
+
+
+def test_space_near_linear_in_n(benchmark, write_report):
+    rows = []
+    for n in (32, 64, 128):
+        inst = random_disc_instance(n, 2 * n, seed=22)
+        geo = _geo_run(inst)
+        rows.append(
+            {
+                "n": n,
+                "m": inst.m,
+                "space(words)": geo.peak_memory_words,
+                "space/n": geo.peak_memory_words / n,
+                "passes": geo.passes,
+                "|sol|": geo.solution_size,
+            }
+        )
+    write_report(
+        "E5b_theorem_4_6_n_sweep",
+        render_table(
+            rows, title="E5b / Theorem 4.6: growing n, m = 2n (discs)"
+        ),
+    )
+    # Near-linear: words-per-point may grow only polylogarithmically.
+    assert rows[-1]["space/n"] < rows[0]["space/n"] * 4
+
+    inst = random_disc_instance(64, 128, seed=22)
+    benchmark(lambda: _geo_run(inst))

@@ -1,0 +1,84 @@
+"""E7 — Theorem 6.6: sparse lower-bound instances.
+
+Sweeping the overlay width t certifies (a) the reduced instances are
+O~(t)-sparse (S-type sets hold at most rt + 3 elements), (b) the optimum
+gap still tracks the ISC output exactly, and (c) the OR -> ISC soundness
+direction holds, with the false-positive rate of the overlay reported
+(it shrinks as n grows relative to t^2 p r^{p-1}, Lemma 6.5's condition).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.lowerbounds import build_sparse_instance, sparse_certificates
+from repro.offline import exact_cover
+
+
+def test_sparsity_and_gap(benchmark, write_report):
+    rows = []
+    for t in (1, 2, 3):
+        sparse = build_sparse_instance(n=6, p=2, t=t, seed=t)
+        cert = sparse_certificates(sparse)
+        optimum = len(exact_cover(sparse.reduction.system, max_nodes=4_000_000))
+        rows.append(
+            {
+                "t": t,
+                "r": cert["r"],
+                "|U|": cert["elements"],
+                "|F|": cert["sets"],
+                "sparsity s": cert["sparsity"],
+                "bound rt+3": cert["sparsity_bound"],
+                "OR_t": cert["or_equal"],
+                "ISC": cert["isc_output"],
+                "optimum": optimum,
+                "expected": cert["expected_optimum"],
+                "gap ok": optimum == cert["expected_optimum"],
+            }
+        )
+    write_report(
+        "E7_theorem_6_6_sparse",
+        render_table(
+            rows,
+            title="E7 / Theorem 6.6: OR_t(EqualLimitedPC) -> sparse SetCover",
+        ),
+    )
+    assert all(row["gap ok"] for row in rows)
+    assert all(row["sparsity s"] <= row["bound rt+3"] for row in rows)
+
+    benchmark(lambda: build_sparse_instance(n=6, p=2, t=2, seed=9))
+
+
+def test_overlay_fidelity_rate(write_report, benchmark):
+    """Empirical OR == ISC agreement vs n (stray-path interference decays)."""
+    rows = []
+    for n in (6, 12, 24, 48):
+        agree = sound = trials = 0
+        for seed in range(20):
+            sparse = build_sparse_instance(n=n, p=2, t=2, seed=seed * 7)
+            trials += 1
+            or_out = sparse.or_of_equalities
+            isc_out = sparse.reduction.isc.output()
+            agree += or_out == isc_out
+            sound += (not or_out) or isc_out
+        rows.append(
+            {
+                "n_chase": n,
+                "trials": trials,
+                "OR==ISC rate": agree / trials,
+                "soundness (OR=>ISC)": sound / trials,
+            }
+        )
+    write_report(
+        "E7b_overlay_fidelity",
+        render_table(
+            rows,
+            title=(
+                "E7b / Lemma 6.5: overlay fidelity vs n "
+                "(t=2, p=2; condition t^2 p r^{p-1} < n/10)"
+            ),
+        ),
+    )
+    assert all(row["soundness (OR=>ISC)"] == 1.0 for row in rows)
+    assert rows[-1]["OR==ISC rate"] >= rows[0]["OR==ISC rate"]
+
+    benchmark(lambda: build_sparse_instance(n=24, p=2, t=2, seed=3))

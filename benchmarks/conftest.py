@@ -1,0 +1,28 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper (see DESIGN.md §2 for
+the experiment index).  Rendered tables are printed and also written to
+``benchmarks/reports/<experiment>.txt`` so EXPERIMENTS.md can reference
+stable artifacts; timings go through pytest-benchmark as usual.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def write_report():
+    """Write a rendered table to the reports directory (and stdout)."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = REPORTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return _write

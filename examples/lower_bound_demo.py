@@ -1,0 +1,75 @@
+"""Lower bounds, mechanized (Sections 3 and 5).
+
+Part 1 — Theorem 3.2: Bob reconstructs Alice's entire random set family
+using only disjointness queries against her one-way message; starve the
+message and reconstruction collapses.  This is why one-pass streaming set
+cover needs Omega(mn) bits.
+
+Part 2 — Theorem 5.4: an Intersection Set Chasing instance is compiled into
+a SetCover instance whose *optimal* cover size encodes the ISC answer
+((2p+1)n+1 vs +2), verified by the exact solver.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.communication import (
+    ExactDisjointnessOracle,
+    SketchDisjointnessOracle,
+    alg_recover_bits,
+    encode_family,
+    random_family,
+    random_intersection_set_chasing,
+    recovery_fraction,
+)
+from repro.lowerbounds import certificate_cover, reduce_isc_to_set_cover
+from repro.offline import exact_cover
+
+
+def decoding_demo() -> None:
+    n, m = 32, 8
+    family = random_family(n, m, seed=5)
+    message = encode_family(family, n)
+    print(f"Alice holds {m} random subsets of [{n}] "
+          f"(= {message.bits} bits of information)")
+
+    oracle = ExactDisjointnessOracle(message)
+    result = alg_recover_bits(oracle, n, m, seed=6)
+    print(f"full message : Bob recovers "
+          f"{recovery_fraction(result, family):.0%} of the family "
+          f"({result.oracle_queries} disjointness queries)")
+
+    for fraction in (0.5, 0.25):
+        sketch = SketchDisjointnessOracle(
+            message, budget_bits=int(fraction * n * m), seed=7
+        )
+        partial = alg_recover_bits(sketch, n, m, seed=6)
+        print(f"{fraction:.0%} of bits : Bob recovers "
+              f"{recovery_fraction(partial, family):.0%}")
+    print("-> any protocol that solves (Many vs One)-Set Disjointness "
+          "must carry ~mn bits: Theorem 3.2")
+
+
+def reduction_demo() -> None:
+    print("\nISC -> SetCover reduction (Section 5):")
+    for seed in (1, 0):
+        isc = random_intersection_set_chasing(n=3, p=2, max_out_degree=1, seed=seed)
+        reduction = reduce_isc_to_set_cover(isc)
+        optimum = len(exact_cover(reduction.system))
+        certificate = certificate_cover(reduction)
+        print(f"  ISC(n=3, p=2) output={int(isc.output())}: "
+              f"|U|={reduction.system.n}, |F|={reduction.system.m}, "
+              f"optimum={optimum} "
+              f"(baseline {reduction.baseline}"
+              f"{' + 1' if optimum > reduction.baseline else ''})"
+              + (f", Lemma 5.6 certificate={len(certificate)} sets"
+                 if certificate else ""))
+    print("-> a streaming algorithm solving these instances optimally in "
+          "few passes would answer ISC, which [GO13] proved expensive: "
+          "Theorem 5.4")
+
+
+if __name__ == "__main__":
+    decoding_demo()
+    reduction_demo()

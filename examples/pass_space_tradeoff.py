@@ -1,0 +1,62 @@
+"""The pass/space trade-off of Theorem 2.8, measured.
+
+Sweeps delta and prints passes (2/delta), per-guess peak memory
+(~ m n^delta), and solution quality, with the [DIMV14] recursive baseline's
+exponential pass count alongside — the paper's headline comparison.
+
+Run:  python examples/pass_space_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import IterSetCover, IterSetCoverConfig, SetStream
+from repro.analysis import render_table
+from repro.baselines import DemaineEtAl
+from repro.workloads import planted_instance
+
+
+def main() -> None:
+    n, m, opt = 512, 384, 8
+    planted = planted_instance(n=n, m=m, opt=opt, seed=13)
+    print(f"planted instance: n={n}, m={m}, OPT={opt}\n")
+
+    rows = []
+    for delta in (1.0, 0.5, 1 / 3, 0.25):
+        stream = SetStream(planted.system)
+        result = IterSetCover(
+            config=IterSetCoverConfig(
+                delta=delta,
+                sample_constant=0.6,
+                use_polylog_factors=False,
+                include_rho=False,
+            ),
+            seed=4,
+        ).solve(stream)
+        assert stream.verify_solution(result.selection)
+
+        dimv_stream = SetStream(planted.system)
+        dimv = DemaineEtAl(
+            delta=delta, k=opt, seed=4, sample_constant=0.05
+        ).solve(dimv_stream)
+
+        rows.append(
+            {
+                "delta": f"{delta:.3f}",
+                "passes (ours)": result.passes,
+                "2/delta": math.ceil(2 / delta),
+                "passes (DIMV14)": dimv.passes,
+                "space best-k": result.guess_stats[result.best_k].peak_memory_words,
+                "~m*n^delta": int(m * n**delta),
+                "|sol|": result.solution_size,
+                "approx": f"{result.solution_size / opt:.2f}x",
+            }
+        )
+    print(render_table(rows, title="Theorem 2.8 trade-off (measured)"))
+    print("\nNote: DIMV14 pass counts grow exponentially in 1/delta once its")
+    print("recursion activates; iterSetCover stays at 2/delta (+1 cleanup).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Analysis helpers: predicted bounds and benchmark table rendering."""
+
+from repro.analysis.tables import format_value, render_table
+from repro.analysis.theory import (
+    FIGURE_1_1_ROWS,
+    cw16_approx,
+    dimv14_approx,
+    dimv14_passes,
+    er14_approx,
+    geometric_space,
+    greedy_space_one_pass,
+    iter_set_cover_approx,
+    iter_set_cover_passes,
+    iter_set_cover_space,
+    multipass_lb_space,
+    single_pass_lb_bits,
+    sparse_lb_space,
+)
+
+__all__ = [
+    "FIGURE_1_1_ROWS",
+    "cw16_approx",
+    "dimv14_approx",
+    "dimv14_passes",
+    "er14_approx",
+    "format_value",
+    "geometric_space",
+    "greedy_space_one_pass",
+    "iter_set_cover_approx",
+    "iter_set_cover_passes",
+    "iter_set_cover_space",
+    "multipass_lb_space",
+    "render_table",
+    "single_pass_lb_bits",
+    "sparse_lb_space",
+]

@@ -1,0 +1,63 @@
+"""Fixed-width ASCII tables for the benchmark harness.
+
+pytest-benchmark handles timing; these tables carry the *paper-shaped*
+outputs (approximation ratios, passes, peak words, bits) that EXPERIMENTS.md
+records.  No external dependencies, stable column order, right-aligned
+numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human formatting: floats to 3 significant digits, None to '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    title: str = "",
+    columns: "Sequence[str] | None" = None,
+) -> str:
+    """Render dict-rows as a boxed fixed-width table.
+
+    Column order follows ``columns`` when given, else first-row key order
+    (with later-appearing keys appended).
+    """
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [[format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+
+    def fmt_row(values: Sequence[str]) -> str:
+        return " | ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(columns)))
+    lines.append(separator)
+    lines.extend(fmt_row(line) for line in cells)
+    return "\n".join(lines)

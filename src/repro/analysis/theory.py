@@ -1,0 +1,108 @@
+"""Predicted asymptotic bounds — the formula column of Figure 1.1.
+
+Each function returns the paper's stated bound evaluated at concrete
+(n, m, delta, p) so benchmark tables can print measured-vs-predicted shapes
+side by side.  Polylog factors inside O~() are written out explicitly as
+log2 products; constants are unit (shapes, not absolutes).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "greedy_space_one_pass",
+    "iter_set_cover_space",
+    "iter_set_cover_passes",
+    "iter_set_cover_approx",
+    "dimv14_passes",
+    "dimv14_approx",
+    "er14_approx",
+    "cw16_approx",
+    "geometric_space",
+    "single_pass_lb_bits",
+    "multipass_lb_space",
+    "sparse_lb_space",
+    "FIGURE_1_1_ROWS",
+]
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(x, 2.0))
+
+
+def greedy_space_one_pass(n: int, m: int) -> float:
+    """Store-all greedy: O(mn) words."""
+    return float(m * n)
+
+
+def iter_set_cover_space(n: int, m: int, delta: float) -> float:
+    """Theorem 2.8: O~(m n^delta) words."""
+    return m * (n**delta) * _log2(m) * _log2(n)
+
+
+def iter_set_cover_passes(delta: float) -> float:
+    """Theorem 2.8: 2/delta passes."""
+    return 2.0 / delta
+
+
+def iter_set_cover_approx(n: int, delta: float, rho: float) -> float:
+    """Theorem 2.8: O(rho / delta)."""
+    return rho / delta
+
+
+def dimv14_passes(delta: float) -> float:
+    """[DIMV14]: O(4^{1/delta}) passes."""
+    return 4.0 ** (1.0 / delta)
+
+
+def dimv14_approx(delta: float, rho: float) -> float:
+    """[DIMV14]: O(4^{1/delta} rho)."""
+    return (4.0 ** (1.0 / delta)) * rho
+
+
+def er14_approx(n: int) -> float:
+    """[ER14]: O(sqrt(n)) in one pass."""
+    return math.sqrt(n)
+
+
+def cw16_approx(n: int, p: int) -> float:
+    """[CW16]: (p+1) n^{1/(p+1)} in p passes."""
+    return (p + 1) * n ** (1.0 / (p + 1))
+
+
+def geometric_space(n: int) -> float:
+    """Theorem 4.6: O~(n) words, independent of m."""
+    return n * _log2(n)
+
+
+def single_pass_lb_bits(n: int, m: int) -> float:
+    """Theorem 3.8: Omega(mn) bits for (3/2)-approximation in one pass."""
+    return float(m * n)
+
+
+def multipass_lb_space(n: int, m: int, delta: float) -> float:
+    """Theorem 5.4: Omega~(m n^delta) words for exact, 1/(2 delta)-1 passes."""
+    return m * (n**delta) / (_log2(n) ** 1.5)
+
+
+def sparse_lb_space(m: int, s: int) -> float:
+    """Theorem 6.6: Omega~(ms) for s-sparse exact set cover."""
+    return float(m * s)
+
+
+#: The rows of Figure 1.1 as (label, approx, passes, space) formula strings,
+#: for documentation tables.
+FIGURE_1_1_ROWS = [
+    ("Greedy (store-all)", "ln n", "1", "O(mn)"),
+    ("Greedy (multi-pass)", "ln n", "n", "O(n)"),
+    ("[SG09]", "O(log n)", "O(log n)", "O(n^2 ln n)"),
+    ("[ER14]", "O(sqrt n)", "1", "Theta~(n)"),
+    ("[CW16]", "O(n^d/d)", "1/d - 1", "Theta~(n)"),
+    ("[DIMV14]", "O(4^{1/d} rho)", "O(4^{1/d})", "O~(m n^d)"),
+    ("Theorem 2.8 (this paper)", "O(rho/d)", "2/d", "O~(m n^d)"),
+    ("Theorem 3.8 (LB, 1 pass)", "3/2", "1", "Omega(mn)"),
+    ("Theorem 5.4 (LB, exact)", "1", "1/(2d) - 1", "Omega~(m n^d)"),
+    ("Theorem 4.6 (geometric)", "O(rho)", "O(1)", "O~(n)"),
+    ("Theorem 6.6 (LB, sparse)", "1", "1/(2d) - 1", "Omega~(ms)"),
+]

@@ -1,0 +1,17 @@
+"""Baseline streaming algorithms — the prior-work rows of Figure 1.1."""
+
+from repro.baselines.chakrabarti_wirth import ChakrabartiWirth
+from repro.baselines.demaine_et_al import DemaineEtAl
+from repro.baselines.emek_rosen import EmekRosen
+from repro.baselines.greedy_stream import MultiPassGreedy, StoreAllGreedy, ThresholdGreedy
+from repro.baselines.saha_getoor import SahaGetoor
+
+__all__ = [
+    "ChakrabartiWirth",
+    "DemaineEtAl",
+    "EmekRosen",
+    "MultiPassGreedy",
+    "SahaGetoor",
+    "StoreAllGreedy",
+    "ThresholdGreedy",
+]

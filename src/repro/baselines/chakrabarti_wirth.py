@@ -1,0 +1,76 @@
+"""Multi-pass semi-streaming trade-off of Chakrabarti and Wirth [CW16].
+
+A deterministic ``p``-pass algorithm in O~(n) space with approximation
+factor ``(p+1) n^{1/(p+1)}``: progressive thresholding.  Pass ``j``
+(1-indexed) uses threshold ``n^{1 - j/(p+1)}`` and picks, on the fly, every
+set whose residual coverage meets it; after the last pass each leftover
+element is covered through a stored pointer, exactly as in the one-pass
+algorithm (which is the ``p = 1`` special case up to the pointer pass).
+
+The invariant driving the bound: when pass ``j`` ends, every set's residual
+coverage is below ``n^{1-j/(p+1)}``, so at most ``OPT * n^{1-j/(p+1)}``
+elements survive, and each pass picks at most ``n^{1/(p+1)} * OPT`` sets.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import StreamingCoverResult
+from repro.streaming.memory import MemoryMeter
+from repro.streaming.stream import SetStream
+
+__all__ = ["ChakrabartiWirth"]
+
+
+class ChakrabartiWirth:
+    """Progressive thresholding: p passes, (p+1) n^{1/(p+1)} approximation."""
+
+    name = "CW16 (p-pass)"
+
+    def __init__(self, passes: int = 2):
+        if passes < 1:
+            raise ValueError(f"need at least one pass, got {passes}")
+        self.passes = passes
+
+    def solve(self, stream: SetStream) -> StreamingCoverResult:
+        meter = MemoryMeter(label=self.name)
+        passes_before = stream.passes
+        n = stream.n
+        p = self.passes
+        uncovered: set[int] = set(range(n))
+        meter.charge(n)
+
+        selection: list[int] = []
+        pointer: dict[int, int] = {}
+
+        for j in range(1, p + 1):
+            if not uncovered:
+                break
+            threshold = n ** (1.0 - j / (p + 1.0))
+            last_pass = j == p
+            for set_id, r in stream.iterate():
+                hit = r & uncovered
+                if not hit:
+                    continue
+                if len(hit) >= threshold:
+                    selection.append(set_id)
+                    meter.charge(1)
+                    uncovered -= hit
+                elif last_pass:
+                    for element in hit:
+                        if element not in pointer:
+                            pointer[element] = set_id
+                            meter.charge(1)
+
+        fallback = sorted({pointer[e] for e in uncovered if e in pointer})
+        feasible = all(e in pointer for e in uncovered) if uncovered else True
+        selection.extend(fallback)
+        meter.charge(len(fallback))
+
+        return StreamingCoverResult(
+            selection=selection,
+            passes=stream.passes - passes_before,
+            peak_memory_words=meter.peak,
+            algorithm=f"{self.name} p={p}",
+            feasible=feasible,
+            extra={"p": p, "approx_bound": (p + 1) * n ** (1.0 / (p + 1))},
+        )

@@ -1,0 +1,80 @@
+"""One-pass O(sqrt(n))-approximation in O~(n) space — the [ER14] row.
+
+Emek and Rosen's published algorithm layers per-element charging over
+guesses of OPT; this module implements the classic threshold-plus-pointer
+algorithm that achieves the same one-pass bound with a short argument
+(DESIGN.md §3.4):
+
+* a streamed set covering at least ``sqrt(n)`` still-uncovered elements is
+  picked immediately — at most ``sqrt(n) * OPT`` such picks happen (each
+  pick retires ``sqrt(n)`` elements, and OPT >= 1);
+* otherwise, each still-uncovered element of the set records the set as its
+  *pointer* (one word per element);
+* after the pass, each still-uncovered element's pointer joins the cover.
+  Every OPT set had residual coverage < sqrt(n) when it arrived (else it
+  was picked), so the final uncovered set has at most ``sqrt(n) * OPT``
+  elements, and the pointers add at most that many sets.
+
+Total: <= 2 sqrt(n) * OPT picks, one pass, O(n) words.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.result import StreamingCoverResult
+from repro.streaming.memory import MemoryMeter
+from repro.streaming.stream import SetStream
+
+__all__ = ["EmekRosen"]
+
+
+class EmekRosen:
+    """The one-pass threshold + pointer algorithm (O(sqrt n) approx)."""
+
+    name = "ER14 (1-pass)"
+
+    def __init__(self, threshold: "float | None" = None):
+        #: Residual-coverage threshold for immediate picks; defaults to
+        #: sqrt(n) at solve time.
+        self.threshold = threshold
+
+    def solve(self, stream: SetStream) -> StreamingCoverResult:
+        meter = MemoryMeter(label=self.name)
+        passes_before = stream.passes
+        n = stream.n
+        uncovered: set[int] = set(range(n))
+        meter.charge(n)
+        threshold = self.threshold if self.threshold is not None else math.sqrt(n)
+
+        selection: list[int] = []
+        pointer: dict[int, int] = {}
+
+        for set_id, r in stream.iterate():
+            hit = r & uncovered
+            if not hit:
+                continue
+            if len(hit) >= threshold:
+                selection.append(set_id)
+                meter.charge(1)
+                uncovered -= hit
+            else:
+                for element in hit:
+                    if element not in pointer:
+                        pointer[element] = set_id
+                        meter.charge(1)
+
+        fallback = sorted({pointer[e] for e in uncovered if e in pointer})
+        feasible = all(e in pointer for e in uncovered)
+        selection.extend(fallback)
+        meter.charge(len(fallback))
+        uncovered -= {e for e in list(uncovered) if e in pointer}
+
+        return StreamingCoverResult(
+            selection=selection,
+            passes=stream.passes - passes_before,
+            peak_memory_words=meter.peak,
+            algorithm=self.name,
+            feasible=feasible,
+            extra={"threshold": threshold},
+        )

@@ -1,0 +1,131 @@
+"""Streaming implementations of the greedy algorithm (Figure 1.1, rows 1-2).
+
+The paper's summary table opens with the two trivial ways to stream greedy:
+
+* ``StoreAllGreedy`` — one pass, O(mn) space: read the whole repository
+  into memory and run offline greedy.  The space row every sub-linear
+  algorithm is measured against.
+* ``MultiPassGreedy`` — n passes, O(n) space: each pass scans the stream to
+  find the set with the largest residual coverage and picks it; the
+  uncovered bitmap is the only persistent state.  One pass per picked set.
+* ``ThresholdGreedy`` — the classic thresholding trick: O(log n) passes,
+  O~(n) space, O(log n) approximation.  Pass ``t`` picks, on the fly, every
+  set whose residual coverage is at least the current threshold; the
+  threshold halves between passes.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import StreamingCoverResult
+from repro.offline.greedy import greedy_cover
+from repro.setsystem.set_system import SetSystem
+from repro.streaming.memory import MemoryMeter
+from repro.streaming.stream import SetStream
+
+__all__ = ["StoreAllGreedy", "MultiPassGreedy", "ThresholdGreedy"]
+
+
+class StoreAllGreedy:
+    """One-pass greedy that stores the entire input (ln n approx, O(mn) space)."""
+
+    name = "greedy (store-all)"
+
+    def solve(self, stream: SetStream) -> StreamingCoverResult:
+        meter = MemoryMeter(label=self.name)
+        passes_before = stream.passes
+        stored: list[frozenset[int]] = []
+        for _, r in stream.iterate():
+            stored.append(r)
+            meter.charge(len(r) + 1)
+        system = SetSystem(stream.n, stored)
+        selection = greedy_cover(system)
+        meter.charge(len(selection))
+        return StreamingCoverResult(
+            selection=selection,
+            passes=stream.passes - passes_before,
+            peak_memory_words=meter.peak,
+            algorithm=self.name,
+        )
+
+
+class MultiPassGreedy:
+    """Exact greedy in the stream: one pass per picked set, O(n) space."""
+
+    name = "greedy (multi-pass)"
+
+    def __init__(self, max_passes: "int | None" = None):
+        self.max_passes = max_passes
+
+    def solve(self, stream: SetStream) -> StreamingCoverResult:
+        meter = MemoryMeter(label=self.name)
+        passes_before = stream.passes
+        n = stream.n
+        uncovered: set[int] = set(range(n))
+        meter.charge(n)
+        selection: list[int] = []
+
+        limit = self.max_passes if self.max_passes is not None else n + 1
+        while uncovered and (stream.passes - passes_before) < limit:
+            best_id, best_hit = -1, frozenset()
+            for set_id, r in stream.iterate():
+                hit = r & uncovered
+                if len(hit) > len(best_hit):
+                    best_id, best_hit = set_id, hit
+            if best_id < 0:
+                break  # nothing can make progress: infeasible family
+            selection.append(best_id)
+            meter.charge(1)
+            uncovered -= best_hit
+
+        return StreamingCoverResult(
+            selection=selection,
+            passes=stream.passes - passes_before,
+            peak_memory_words=meter.peak,
+            algorithm=self.name,
+            feasible=not uncovered,
+        )
+
+
+class ThresholdGreedy:
+    """Thresholded greedy: O(log n) passes, O~(n) space, O(log n) approx.
+
+    Pass ``t`` has threshold ``n / 2^t``; any streamed set covering at least
+    that many still-uncovered elements is picked immediately.  After the
+    threshold drops below one, every element is covered (any set containing
+    a leftover element covers >= 1 of them).
+    """
+
+    name = "greedy (threshold)"
+
+    def __init__(self, shrink: float = 2.0):
+        if shrink <= 1:
+            raise ValueError(f"shrink factor must exceed 1, got {shrink}")
+        self.shrink = shrink
+
+    def solve(self, stream: SetStream) -> StreamingCoverResult:
+        meter = MemoryMeter(label=self.name)
+        passes_before = stream.passes
+        n = stream.n
+        uncovered: set[int] = set(range(n))
+        meter.charge(n)
+        selection: list[int] = []
+
+        threshold = float(n)
+        while uncovered and threshold >= 1.0:
+            threshold = max(1.0, threshold / self.shrink)
+            for set_id, r in stream.iterate():
+                hit = r & uncovered
+                if len(hit) >= threshold:
+                    selection.append(set_id)
+                    meter.charge(1)
+                    uncovered -= hit
+            if threshold <= 1.0:
+                break
+
+        return StreamingCoverResult(
+            selection=selection,
+            passes=stream.passes - passes_before,
+            peak_memory_words=meter.peak,
+            algorithm=self.name,
+            feasible=not uncovered,
+        )

@@ -1,0 +1,93 @@
+"""The [SG09] row of Figure 1.1: O(log n) passes, O(log n) approx, O~(n^2) space.
+
+Saha and Getoor's semi-streaming algorithm descends from their Max-k-Cover
+routine; its signature feature relative to plain thresholding is that it
+buffers *whole candidate sets* (not projections), so its memory is
+O~(n^2) — each element keeps the best full set seen for it.  We implement
+that structure: threshold passes pick heavy sets on the fly, light sets are
+cached per element in full, and a final offline step covers leftovers from
+the cache.  Approximation O(log n), passes O(log n), space O(n * max set
+size) = O(n^2) worst case, matching the row's asymptotics.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import StreamingCoverResult
+from repro.offline.base import InfeasibleInstanceError
+from repro.offline.greedy import greedy_cover
+from repro.setsystem.set_system import SetSystem
+from repro.streaming.memory import MemoryMeter
+from repro.streaming.stream import SetStream
+from repro.utils.mathutil import ceil_log2
+
+__all__ = ["SahaGetoor"]
+
+
+class SahaGetoor:
+    """Threshold passes + full-set candidate cache (the O~(n^2) buffer)."""
+
+    name = "SG09"
+
+    def solve(self, stream: SetStream) -> StreamingCoverResult:
+        meter = MemoryMeter(label=self.name)
+        passes_before = stream.passes
+        n = stream.n
+        uncovered: set[int] = set(range(n))
+        meter.charge(n)
+
+        selection: list[int] = []
+        # element -> (coverage at caching time, set_id, full content)
+        cache: dict[int, tuple[int, int, frozenset[int]]] = {}
+
+        rounds = ceil_log2(max(n, 2)) + 1
+        for round_index in range(1, rounds + 1):
+            if not uncovered:
+                break
+            threshold = max(1.0, n / (2.0**round_index))
+            for set_id, r in stream.iterate():
+                hit = r & uncovered
+                if not hit:
+                    continue
+                if len(hit) >= threshold:
+                    selection.append(set_id)
+                    meter.charge(1)
+                    uncovered -= hit
+                else:
+                    for element in hit:
+                        known = cache.get(element)
+                        if known is None or len(hit) > known[0]:
+                            if known is not None:
+                                meter.release(len(known[2]) + 2)
+                            cache[element] = (len(hit), set_id, r)
+                            meter.charge(len(r) + 2)
+
+        feasible = True
+        if uncovered:
+            # Cover leftovers offline from the cached full sets.
+            cached_ids = sorted({cache[e][1] for e in uncovered if e in cache})
+            if any(e not in cache for e in uncovered):
+                feasible = False
+            else:
+                by_id = {cache[e][1]: cache[e][2] for e in uncovered}
+                local = SetSystem(
+                    n, [by_id[set_id] & frozenset(uncovered) for set_id in cached_ids]
+                )
+                try:
+                    picked_local = greedy_cover(
+                        local.restrict_elements(sorted(uncovered))
+                    )
+                except InfeasibleInstanceError:
+                    feasible = False
+                    picked_local = list(range(len(cached_ids)))
+                for local_index in picked_local:
+                    selection.append(cached_ids[local_index])
+                    meter.charge(1)
+                uncovered.clear()
+
+        return StreamingCoverResult(
+            selection=selection,
+            passes=stream.passes - passes_before,
+            peak_memory_words=meter.peak,
+            algorithm=self.name,
+            feasible=feasible,
+        )

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands, all file-based so the library is usable without writing
+Python:
+
+* ``generate`` — emit a workload instance to a file (text or .json);
+* ``solve``    — run a streaming algorithm over an instance file and print
+  the cover plus the pass/space accounting;
+* ``info``     — instance statistics (n, m, sparsity, density, optimum
+  bounds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import (
+    ChakrabartiWirth,
+    EmekRosen,
+    MultiPassGreedy,
+    SahaGetoor,
+    StoreAllGreedy,
+    ThresholdGreedy,
+)
+from repro.core import IterSetCover, IterSetCoverConfig
+from repro.offline import fractional_optimum, greedy_cover
+from repro.setsystem import load, save
+from repro.streaming import SetStream
+from repro.workloads import (
+    blog_watch_instance,
+    planted_instance,
+    uniform_random_instance,
+    zipf_instance,
+)
+
+__all__ = ["main", "build_parser"]
+
+_ALGORITHMS = {
+    "iter": lambda args: IterSetCover(
+        config=IterSetCoverConfig(
+            delta=args.delta,
+            sample_constant=args.sample_constant,
+            use_polylog_factors=not args.no_polylog,
+            include_rho=not args.no_polylog,
+        ),
+        seed=args.seed,
+    ),
+    "store-all": lambda args: StoreAllGreedy(),
+    "multi-pass": lambda args: MultiPassGreedy(),
+    "threshold": lambda args: ThresholdGreedy(),
+    "er14": lambda args: EmekRosen(),
+    "cw16": lambda args: ChakrabartiWirth(passes=args.passes),
+    "sg09": lambda args: SahaGetoor(),
+}
+
+_GENERATORS = {
+    "uniform": lambda args: uniform_random_instance(
+        args.n, args.m, density=args.density, seed=args.seed
+    ),
+    "planted": lambda args: planted_instance(
+        args.n, args.m, opt=args.opt, seed=args.seed
+    ).system,
+    "zipf": lambda args: zipf_instance(args.n, args.m, seed=args.seed),
+    "blog": lambda args: blog_watch_instance(
+        topics=args.n, blogs=args.m, seed=args.seed
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming Set Cover (PODS 2016 reproduction) CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a workload instance")
+    gen.add_argument("workload", choices=sorted(_GENERATORS))
+    gen.add_argument("output", help="output path (.json or text)")
+    gen.add_argument("--n", type=int, default=200)
+    gen.add_argument("--m", type=int, default=150)
+    gen.add_argument("--density", type=float, default=0.1)
+    gen.add_argument("--opt", type=int, default=5)
+    gen.add_argument("--seed", type=int, default=0)
+
+    solve = sub.add_parser("solve", help="run a streaming algorithm")
+    solve.add_argument("input", help="instance path (.json or text)")
+    solve.add_argument(
+        "--algorithm", choices=sorted(_ALGORITHMS), default="iter"
+    )
+    solve.add_argument("--delta", type=float, default=0.5)
+    solve.add_argument("--passes", type=int, default=2, help="for cw16")
+    solve.add_argument("--sample-constant", type=float, default=1.0)
+    solve.add_argument(
+        "--no-polylog",
+        action="store_true",
+        help="strip polylog/rho factors from the sample size (small inputs)",
+    )
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--show-cover", action="store_true", help="print the chosen set ids"
+    )
+
+    info = sub.add_parser("info", help="instance statistics")
+    info.add_argument("input", help="instance path (.json or text)")
+    info.add_argument(
+        "--bounds",
+        action="store_true",
+        help="also compute greedy upper / LP lower bounds on the optimum",
+    )
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    system = _GENERATORS[args.workload](args)
+    save(system, args.output)
+    print(f"wrote {args.workload} instance (n={system.n}, m={system.m}) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    system = load(args.input)
+    stream = SetStream(system)
+    algorithm = _ALGORITHMS[args.algorithm](args)
+    result = algorithm.solve(stream)
+    status = "cover" if stream.verify_solution(result.selection) else "PARTIAL"
+    print(f"algorithm : {result.algorithm}")
+    print(f"result    : {status} with {result.solution_size} sets")
+    print(f"passes    : {result.passes}")
+    print(f"space     : {result.peak_memory_words} words")
+    if result.best_k is not None:
+        print(f"best guess: k={result.best_k}")
+    if args.show_cover:
+        print(f"sets      : {sorted(set(result.selection))}")
+    return 0 if result.feasible else 1
+
+
+def _cmd_info(args) -> int:
+    system = load(args.input)
+    density = (
+        system.total_size() / (system.n * system.m) if system.n and system.m else 0.0
+    )
+    print(f"elements (n): {system.n}")
+    print(f"sets (m)    : {system.m}")
+    print(f"input size  : {system.total_size()} words")
+    print(f"density     : {density:.4f}")
+    print(f"sparsity (s): {system.sparsity()}")
+    print(f"feasible    : {system.is_feasible()}")
+    if args.bounds and system.is_feasible():
+        upper = len(greedy_cover(system))
+        lower, _ = fractional_optimum(system)
+        print(f"optimum     : in [{lower:.2f}, {upper}] (LP lower, greedy upper)")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "info":
+        return _cmd_info(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Communication-complexity substrate for the paper's lower bounds."""
+
+from repro.communication.disjointness import (
+    ExactDisjointnessOracle,
+    SketchDisjointnessOracle,
+    encode_family,
+    many_vs_many_disjoint,
+    many_vs_one_disjoint,
+    random_family,
+)
+from repro.communication.pointer_chasing import (
+    EqualPointerChasing,
+    PointerChasing,
+    is_r_non_injective,
+    random_equal_pointer_chasing,
+    random_pointer_chasing,
+)
+from repro.communication.protocol import (
+    Message,
+    Transcript,
+    streaming_to_communication_bits,
+)
+from repro.communication.recover_bits import (
+    RecoveryResult,
+    alg_recover_bits,
+    recovery_fraction,
+)
+from repro.communication.simulation import (
+    HandoffStream,
+    ProtocolSimulation,
+    simulate_players,
+)
+from repro.communication.set_chasing import (
+    IntersectionSetChasing,
+    SetChasing,
+    overlay_equal_pointer_chasing,
+    random_intersection_set_chasing,
+    random_set_chasing,
+)
+
+__all__ = [
+    "HandoffStream",
+    "ProtocolSimulation",
+    "simulate_players",
+    "EqualPointerChasing",
+    "ExactDisjointnessOracle",
+    "IntersectionSetChasing",
+    "Message",
+    "PointerChasing",
+    "RecoveryResult",
+    "SetChasing",
+    "SketchDisjointnessOracle",
+    "Transcript",
+    "alg_recover_bits",
+    "encode_family",
+    "is_r_non_injective",
+    "many_vs_many_disjoint",
+    "many_vs_one_disjoint",
+    "overlay_equal_pointer_chasing",
+    "random_equal_pointer_chasing",
+    "random_family",
+    "random_intersection_set_chasing",
+    "random_pointer_chasing",
+    "random_set_chasing",
+    "recovery_fraction",
+    "streaming_to_communication_bits",
+]

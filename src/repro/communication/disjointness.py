@@ -1,0 +1,128 @@
+"""Set Disjointness and its Many-vs-One / Many-vs-Many extensions (Section 3).
+
+Alice holds ``m`` subsets of a ground set of ``n`` elements; Bob holds one
+set (Many vs One) or several (Many vs Many).  The question: does some pair
+of Alice/Bob sets have empty intersection?
+
+The paper's single-pass lower bound hinges on the decodability of Alice's
+input through (Many vs One) queries, so this module provides:
+
+* the honest one-way protocol — Alice sends her full m x n bit matrix;
+* disjointness *oracles* representing Bob's view after receiving a message:
+  an exact oracle (full message) and a rate-limited sketch oracle (only
+  ``s`` of the mn bits arrive; the rest are unknown and resolved by a fixed
+  random guess), used to show recovery degrading below s = mn.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.communication.protocol import Message
+from repro.utils.bitset import mask_of
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "random_family",
+    "encode_family",
+    "ExactDisjointnessOracle",
+    "SketchDisjointnessOracle",
+    "many_vs_one_disjoint",
+    "many_vs_many_disjoint",
+]
+
+
+def random_family(
+    n: int, m: int, seed: "int | np.random.Generator | None" = None
+) -> list[frozenset[int]]:
+    """Alice's distribution: m uniform subsets of [n] (each bit fair)."""
+    rng = as_generator(seed)
+    matrix = rng.random((m, n)) < 0.5
+    return [frozenset(np.flatnonzero(matrix[i]).tolist()) for i in range(m)]
+
+
+def encode_family(family: Sequence[frozenset[int]], n: int) -> Message:
+    """The honest one-way message: the full m x n bit matrix (mn bits)."""
+    bits = np.zeros((len(family), n), dtype=bool)
+    for row, r in enumerate(family):
+        for element in r:
+            bits[row, element] = True
+    return Message(payload=bits, bits=len(family) * n, sender="alice")
+
+
+def many_vs_one_disjoint(
+    family: Sequence[frozenset[int]], rb: frozenset[int]
+) -> bool:
+    """Ground truth: does some set of the family avoid ``rb`` entirely?"""
+    return any(not (r & rb) for r in family)
+
+
+def many_vs_many_disjoint(
+    alice: Sequence[frozenset[int]], bob: Sequence[frozenset[int]]
+) -> bool:
+    """Ground truth for Many vs Many."""
+    return any(not (ra & rb) for ra in alice for rb in bob)
+
+
+class ExactDisjointnessOracle:
+    """Bob's ``algExistsDisj`` given Alice's *full* message.
+
+    Tracks the number of queries — the resource Lemma 3.6 budgets.
+    """
+
+    def __init__(self, message: Message):
+        matrix = np.asarray(message.payload, dtype=bool)
+        self._masks = [
+            mask_of(np.flatnonzero(matrix[i]).tolist())
+            for i in range(matrix.shape[0])
+        ]
+        self.message_bits = message.bits
+        self.queries = 0
+
+    def exists_disjoint(self, rb: frozenset[int]) -> bool:
+        self.queries += 1
+        rb_mask = mask_of(rb)
+        return any(not (mask & rb_mask) for mask in self._masks)
+
+
+class SketchDisjointnessOracle:
+    """Bob's view after a rate-limited message of ``s`` bits.
+
+    A uniformly random subset of ``s`` positions of the m x n matrix is
+    transmitted faithfully; every other bit is replaced by an independent
+    fair coin flipped *once* (Bob's best guess is fixed, not resampled per
+    query).  With s = mn this is the exact oracle; with s << mn the oracle's
+    answers are wrong often enough that ``algRecoverBit`` cannot decode —
+    the mechanism behind Theorem 3.2.
+    """
+
+    def __init__(
+        self,
+        message: Message,
+        budget_bits: int,
+        seed: "int | np.random.Generator | None" = None,
+    ):
+        rng = as_generator(seed)
+        matrix = np.asarray(message.payload, dtype=bool)
+        m, n = matrix.shape
+        total = m * n
+        budget_bits = max(0, min(budget_bits, total))
+        known_flat = np.zeros(total, dtype=bool)
+        if budget_bits:
+            known_positions = rng.choice(total, size=budget_bits, replace=False)
+            known_flat[known_positions] = True
+        known = known_flat.reshape(m, n)
+        guess = rng.random((m, n)) < 0.5
+        believed = np.where(known, matrix, guess)
+        self._masks = [
+            mask_of(np.flatnonzero(believed[i]).tolist()) for i in range(m)
+        ]
+        self.message_bits = budget_bits
+        self.queries = 0
+
+    def exists_disjoint(self, rb: frozenset[int]) -> bool:
+        self.queries += 1
+        rb_mask = mask_of(rb)
+        return any(not (mask & rb_mask) for mask in self._masks)

@@ -1,0 +1,129 @@
+"""Pointer chasing problems (Definitions 6.1-6.3).
+
+``Pointer Chasing(n, p)``: player i holds f_i : [n] -> [n]; compute
+f_1(f_2(... f_p(start) ...)).  ``Equal Pointer Chasing`` runs two instances
+and asks whether they land on the same value.  The *limited* variant also
+outputs 1 when any function is r-non-injective (some value with at least r
+preimages) — the promise [GO13] need for their direct-sum argument, and the
+property that keeps the Section 6 reduction *sparse*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "PointerChasing",
+    "EqualPointerChasing",
+    "is_r_non_injective",
+    "random_pointer_chasing",
+    "random_equal_pointer_chasing",
+]
+
+
+def is_r_non_injective(function: tuple[int, ...], r: int) -> bool:
+    """Definition 6.1: does some value have at least ``r`` preimages?"""
+    if r < 1:
+        raise ValueError(f"r must be positive, got {r}")
+    counts: dict[int, int] = {}
+    for value in function:
+        counts[value] = counts.get(value, 0) + 1
+        if counts[value] >= r:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class PointerChasing:
+    """One chain of single-valued functions over [n] (0-indexed)."""
+
+    n: int
+    functions: tuple[tuple[int, ...], ...]  # functions[0] = f_1, applied last
+
+    def __post_init__(self):
+        for index, f in enumerate(self.functions):
+            if len(f) != self.n:
+                raise ValueError(
+                    f"function {index} has domain size {len(f)}, expected {self.n}"
+                )
+            if any(not 0 <= v < self.n for v in f):
+                raise ValueError(f"function {index} maps outside [0, {self.n})")
+
+    @property
+    def p(self) -> int:
+        return len(self.functions)
+
+    def evaluate(self, start: int = 0) -> int:
+        """f_1(f_2(... f_p(start) ...))."""
+        value = start
+        for f in reversed(self.functions):
+            value = f[value]
+        return value
+
+    def max_non_injectivity(self) -> int:
+        """Largest preimage size over all functions and values."""
+        worst = 0
+        for f in self.functions:
+            counts: dict[int, int] = {}
+            for value in f:
+                counts[value] = counts.get(value, 0) + 1
+            worst = max(worst, max(counts.values()))
+        return worst
+
+
+@dataclass(frozen=True)
+class EqualPointerChasing:
+    """Two chains; output 1 iff they land on the same value (Def. 6.3).
+
+    With ``r`` set, this is Equal *Limited* Pointer Chasing: output is also
+    1 when any function in either chain is r-non-injective.
+    """
+
+    first: PointerChasing
+    second: PointerChasing
+    r: "int | None" = None
+
+    def __post_init__(self):
+        if self.first.n != self.second.n or self.first.p != self.second.p:
+            raise ValueError("the two chains must share n and p")
+
+    def output(self, start: int = 0) -> bool:
+        if self.r is not None:
+            limited = any(
+                is_r_non_injective(f, self.r)
+                for chain in (self.first, self.second)
+                for f in chain.functions
+            )
+            if limited:
+                return True
+        return self.first.evaluate(start) == self.second.evaluate(start)
+
+
+def random_pointer_chasing(
+    n: int, p: int, seed: "int | np.random.Generator | None" = None
+) -> PointerChasing:
+    """Uniformly random functions [n] -> [n]."""
+    rng = as_generator(seed)
+    functions = tuple(
+        tuple(int(v) for v in rng.integers(n, size=n)) for _ in range(p)
+    )
+    return PointerChasing(n, functions)
+
+
+def random_equal_pointer_chasing(
+    n: int,
+    p: int,
+    r: "int | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+) -> EqualPointerChasing:
+    """Two independent uniformly random chains."""
+    rng = as_generator(seed)
+    return EqualPointerChasing(
+        first=random_pointer_chasing(n, p, seed=rng),
+        second=random_pointer_chasing(n, p, seed=rng),
+        r=r,
+    )

@@ -1,0 +1,67 @@
+"""Communication-protocol bookkeeping.
+
+The lower bounds of Sections 3, 5 and 6 live in communication models
+(one-way two-party; (n, r)-multiparty).  What the experiments need from a
+"protocol" is precise *bit accounting*: every message knows its payload and
+its length in bits, and a transcript accumulates the total.
+
+Observation 5.9's simulation (a p-pass, s-space streaming algorithm yields a
+p-round protocol with O(s p^2) communication) is implemented here as a
+formula over measured streaming resources, used by the E6 bench tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Message", "Transcript", "streaming_to_communication_bits", "WORD_BITS"]
+
+#: Bits per machine word used when converting word-accounted memory into
+#: communication bits (a word indexes into an mn-sized input).
+WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message: an opaque payload with an explicit bit length."""
+
+    payload: object
+    bits: int
+    sender: str = ""
+
+    def __post_init__(self):
+        if self.bits < 0:
+            raise ValueError(f"bit length must be non-negative, got {self.bits}")
+
+
+@dataclass
+class Transcript:
+    """Accumulates the messages of a protocol run."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    def send(self, message: Message) -> None:
+        self.messages.append(message)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(m.bits for m in self.messages)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.messages)
+
+
+def streaming_to_communication_bits(
+    space_words: int, passes: int, players: int
+) -> int:
+    """Observation 5.9: communication cost of simulating a streaming run.
+
+    Each player runs the streaming algorithm over its own input segment and
+    broadcasts the working memory; ``passes`` rounds of ``players`` handoffs
+    of ``space_words`` words give O(s * l^2)-style totals (the paper states
+    O(s l^2) with l the pass count; we report the explicit product).
+    """
+    if space_words < 0 or passes < 0 or players < 0:
+        raise ValueError("resources must be non-negative")
+    return space_words * WORD_BITS * passes * players

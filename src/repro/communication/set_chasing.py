@@ -1,0 +1,208 @@
+"""Set chasing and intersection set chasing (Definitions 5.1-5.2).
+
+``Set Chasing(n, p)``: player i holds a multi-valued function
+f_i : [n] -> 2^[n]; the output is the set reachable from the start vertex
+through the p layers: f_1(f_2(... f_p({start}) ...)) where functions act on
+sets by unions over their elements.
+
+``Intersection Set Chasing(n, p)``: two such instances; output 1 iff their
+reachable sets intersect.  [GO13] proved this needs n^{1+Omega(1/p)}/p^O(1)
+bits over p-1 rounds — the source of the paper's multi-pass streaming lower
+bound (Theorem 5.4), via the reduction in
+:mod:`repro.lowerbounds.isc_reduction`.
+
+The OR_t overlay of Equal Limited Pointer Chasing instances (footnote 5 of
+the paper, Lemma 6.5) is also built here; it feeds the *sparse* reduction of
+Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.communication.pointer_chasing import EqualPointerChasing
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "SetChasing",
+    "IntersectionSetChasing",
+    "random_set_chasing",
+    "random_intersection_set_chasing",
+    "overlay_equal_pointer_chasing",
+]
+
+
+@dataclass(frozen=True)
+class SetChasing:
+    """One multi-valued chain over [n] (0-indexed vertices)."""
+
+    n: int
+    functions: tuple[tuple[frozenset[int], ...], ...]  # functions[0] = f_1
+
+    def __post_init__(self):
+        for index, f in enumerate(self.functions):
+            if len(f) != self.n:
+                raise ValueError(
+                    f"function {index} has domain size {len(f)}, expected {self.n}"
+                )
+            for image in f:
+                if any(not 0 <= v < self.n for v in image):
+                    raise ValueError(f"function {index} maps outside [0, {self.n})")
+
+    @property
+    def p(self) -> int:
+        return len(self.functions)
+
+    def evaluate(self, start: frozenset[int] = frozenset({0})) -> frozenset[int]:
+        """~f_1(~f_2(... ~f_p(start) ...)) with ~f(S) = union of f over S."""
+        current = frozenset(start)
+        for f in reversed(self.functions):
+            successors: set[int] = set()
+            for vertex in current:
+                successors |= f[vertex]
+            current = frozenset(successors)
+        return current
+
+    def has_nonempty_images(self) -> bool:
+        """True when every vertex has at least one out-edge in every layer.
+
+        The [GO13]-style instances have this property; the Section 5
+        reduction's (2p+1)n+2 upper bound for ISC = 0 relies on it
+        (DESIGN.md §3.5).
+        """
+        return all(all(image for image in f) for f in self.functions)
+
+
+@dataclass(frozen=True)
+class IntersectionSetChasing:
+    """Two set-chasing instances; output 1 iff their results intersect."""
+
+    first: SetChasing
+    second: SetChasing
+
+    def __post_init__(self):
+        if self.first.n != self.second.n or self.first.p != self.second.p:
+            raise ValueError("the two instances must share n and p")
+
+    @property
+    def n(self) -> int:
+        return self.first.n
+
+    @property
+    def p(self) -> int:
+        return self.first.p
+
+    def output(self, start: frozenset[int] = frozenset({0})) -> bool:
+        return bool(self.first.evaluate(start) & self.second.evaluate(start))
+
+
+def random_set_chasing(
+    n: int,
+    p: int,
+    max_out_degree: int = 2,
+    seed: "int | np.random.Generator | None" = None,
+) -> SetChasing:
+    """Random multi-valued functions with out-degrees in [1, max_out_degree].
+
+    Images are always non-empty (see :meth:`SetChasing.has_nonempty_images`).
+    """
+    if max_out_degree < 1:
+        raise ValueError(f"max_out_degree must be >= 1, got {max_out_degree}")
+    rng = as_generator(seed)
+    functions = []
+    for _ in range(p):
+        layer = []
+        for _ in range(n):
+            degree = int(rng.integers(1, max_out_degree + 1))
+            targets = rng.choice(n, size=min(degree, n), replace=False)
+            layer.append(frozenset(int(v) for v in targets))
+        functions.append(tuple(layer))
+    return SetChasing(n, tuple(functions))
+
+
+def random_intersection_set_chasing(
+    n: int,
+    p: int,
+    max_out_degree: int = 2,
+    seed: "int | np.random.Generator | None" = None,
+) -> IntersectionSetChasing:
+    """Two independent random set-chasing instances."""
+    rng = as_generator(seed)
+    return IntersectionSetChasing(
+        first=random_set_chasing(n, p, max_out_degree, seed=rng),
+        second=random_set_chasing(n, p, max_out_degree, seed=rng),
+    )
+
+
+def overlay_equal_pointer_chasing(
+    instances: list[EqualPointerChasing],
+    seed: "int | np.random.Generator | None" = None,
+    permute: bool = True,
+) -> IntersectionSetChasing:
+    """Overlay t Equal Pointer Chasing instances into one ISC (footnote 5).
+
+    Instance j's layer-i function becomes ``pi_{i,j} o f_{i,j} o
+    pi_{i+1,j}^{-1}`` for random permutations pi, and the t single-valued
+    layers are stacked into one multi-valued layer.  Boundary permutations
+    are pinned so the overlay tracks each instance: pi_{p+1,j} fixes the
+    start vertex, and the layer-1 permutation is *shared* between the two
+    chains of instance j (their equality is what the merged layer tests).
+
+    The union-over-instances introduces cross-instance stray paths; their
+    interference probability is controlled by the t^2 p r^{p-1} < n/10
+    condition of Lemma 6.5, checked empirically by tests and bench E7.
+    """
+    if not instances:
+        raise ValueError("need at least one instance to overlay")
+    n = instances[0].first.n
+    p = instances[0].first.p
+    for inst in instances:
+        if inst.first.n != n or inst.first.p != p:
+            raise ValueError("all instances must share n and p")
+    rng = as_generator(seed)
+    t = len(instances)
+
+    def identity() -> np.ndarray:
+        return np.arange(n)
+
+    def random_permutation(fix_zero: bool = False) -> np.ndarray:
+        if not permute:
+            return identity()
+        perm = rng.permutation(n)
+        if fix_zero:
+            # Swap so that perm[0] == 0 (start vertex pinned).
+            where = int(np.flatnonzero(perm == 0)[0])
+            perm[where], perm[0] = perm[0], perm[where]
+        return perm
+
+    # Permutation tables: pi[(side, i, j)] with layers i = 1..p+1.
+    pi: dict[tuple, np.ndarray] = {}
+    for j in range(t):
+        shared_final = random_permutation()
+        for side in ("first", "second"):
+            pi[(side, 1, j)] = shared_final  # shared merged layer
+            for layer in range(2, p + 1):
+                pi[(side, layer, j)] = random_permutation()
+            pi[(side, p + 1, j)] = random_permutation(fix_zero=True)
+
+    def overlay_side(side: str) -> SetChasing:
+        layers = []
+        for i in range(1, p + 1):  # layer i holds f_i
+            images: list[set[int]] = [set() for _ in range(n)]
+            for j, inst in enumerate(instances):
+                chain = inst.first if side == "first" else inst.second
+                f = chain.functions[i - 1]
+                out_perm = pi[(side, i, j)]
+                in_perm = pi[(side, i + 1, j)]
+                inverse_in = np.empty(n, dtype=int)
+                inverse_in[in_perm] = np.arange(n)
+                for a in range(n):
+                    images[a].add(int(out_perm[f[int(inverse_in[a])]]))
+            layers.append(tuple(frozenset(img) for img in images))
+        return SetChasing(n, tuple(layers))
+
+    return IntersectionSetChasing(
+        first=overlay_side("first"), second=overlay_side("second")
+    )

@@ -1,0 +1,13 @@
+"""The paper's primary contribution: ``iterSetCover`` (Figure 1.3)."""
+
+from repro.core.config import IterSetCoverConfig
+from repro.core.iter_set_cover import IterSetCover, iter_set_cover
+from repro.core.result import GuessStats, StreamingCoverResult
+
+__all__ = [
+    "GuessStats",
+    "IterSetCover",
+    "IterSetCoverConfig",
+    "StreamingCoverResult",
+    "iter_set_cover",
+]

@@ -1,0 +1,299 @@
+"""``iterSetCover`` — the paper's main algorithm (Figure 1.3, Theorem 2.8).
+
+A O(1/delta)-pass, O~(m n^delta)-space streaming algorithm with
+O(rho/delta) approximation factor:
+
+* the optimal cover size ``k`` is guessed (powers of two) and all guesses
+  run *in parallel*: this implementation executes them in lockstep over
+  shared passes, so the pass count is that of a single guess;
+* each of the ceil(1/delta) iterations makes two passes:
+
+  1. **sample pass** — draw a relative-approximation sample ``S`` of the
+     uncovered elements; a streamed set covering at least ``|S|/k`` of the
+     still-uncovered sample (the *Size Test*) is picked immediately; light
+     sets have their projection onto the sample stored explicitly;
+     afterwards ``algOfflineSC`` covers the remaining sampled elements from
+     the stored projections;
+  2. **update pass** — recompute the true uncovered set given this
+     iteration's picks.
+
+* with the right guess, each iteration shrinks the uncovered set by a factor
+  ``n^delta`` (Lemma 2.6), so all elements are covered after 1/delta
+  iterations while only O(rho k) sets are added per iteration.
+
+A final cleanup pass (mirroring Figure 4.1's last pass) handles runs where
+the with-high-probability event did not materialize at the configured
+sampling constants; it is reported separately (DESIGN.md §3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import IterSetCoverConfig
+from repro.core.result import GuessStats, StreamingCoverResult
+from repro.offline.base import OfflineSolver
+from repro.offline.greedy import GreedySolver
+from repro.sampling.relative_approximation import draw_sample
+from repro.streaming.memory import MemoryMeter
+from repro.streaming.stream import SetStream
+from repro.utils.mathutil import powers_of_two_up_to
+from repro.utils.rng import as_generator
+
+__all__ = ["IterSetCover", "iter_set_cover"]
+
+
+class _GuessState:
+    """Execution state of one parallel guess of the optimal cover size."""
+
+    def __init__(self, k: int, n: int, meter: MemoryMeter):
+        self.k = k
+        self.meter = meter
+        self.uncovered: set[int] = set(range(n))
+        # The uncovered bitmap of the ground set is held for the whole run
+        # (needed by the update pass), cf. Lemma 2.2's O(n) term.
+        self.meter.charge(n)
+        self.solution: list[int] = []
+        self.solution_set: set[int] = set()
+        self.stats = GuessStats(
+            k=k,
+            solution_size=None,
+            covered_after_iterations=False,
+            peak_memory_words=0,
+        )
+        # Per-iteration scratch:
+        self.sample: frozenset[int] = frozenset()
+        self.leftover: set[int] = set()
+        self.projections: list[frozenset[int]] = []
+        self.projection_ids: list[int] = []
+        self.new_picks: set[int] = set()
+        self._scratch_words = 0
+
+    # ------------------------------------------------------------------
+    def begin_iteration(
+        self, config: IterSetCoverConfig, n: int, m: int, rho: float, rng
+    ) -> None:
+        if not self.uncovered:
+            self.sample = frozenset()
+            self.leftover = set()
+            return
+        target = config.sample_size(n, m, self.k, rho)
+        self.sample = draw_sample(self.uncovered, target, seed=rng)
+        self.stats.sample_sizes.append(len(self.sample))
+        self.leftover = set(self.sample)
+        self.projections = []
+        self.projection_ids = []
+        self.new_picks = set()
+        self._scratch_words = len(self.sample)
+        self.meter.charge(self._scratch_words)
+
+    def observe_sample_pass(self, set_id: int, r: frozenset[int]) -> None:
+        """First pass of the iteration: Size Test or projection storage."""
+        if not self.leftover:
+            return
+        if set_id in self.solution_set:
+            return
+        hit = r & self.leftover
+        if not hit:
+            return
+        if len(hit) * self.k >= len(self.sample):
+            # Heavy set: pick immediately, never stored.
+            self._pick(set_id)
+            self.new_picks.add(set_id)
+            self.leftover -= hit
+            self.stats.heavy_picks += 1
+        else:
+            # Light set: store its projection onto the sample explicitly.
+            self.projections.append(hit)
+            self.projection_ids.append(set_id)
+            words = len(hit) + 1  # elements + the set id
+            self._scratch_words += words
+            self.meter.charge(words)
+
+    def solve_offline(self, solver: OfflineSolver, n: int) -> None:
+        """Run ``algOfflineSC`` on (leftover sample, stored projections).
+
+        On feasible instances every leftover sampled element lies in some
+        stored projection (it was uncovered whenever its light sets
+        streamed by); on infeasible ones the uncoverable residue is left to
+        surface as ``feasible=False`` at the end of the run.
+        """
+        if not self.leftover:
+            return
+        coverable: set[int] = set()
+        for projection in self.projections:
+            coverable |= projection
+        picked = solver.solve_partial(
+            n, self.projections, frozenset(self.leftover) & frozenset(coverable)
+        )
+        for local_index in picked:
+            set_id = self.projection_ids[local_index]
+            self._pick(set_id)
+            self.new_picks.add(set_id)
+            self.stats.offline_picks += 1
+        self.leftover.clear()
+
+    def observe_update_pass(self, set_id: int, r: frozenset[int]) -> None:
+        """Second pass: recompute the true uncovered set."""
+        if set_id in self.new_picks:
+            self.uncovered -= r
+
+    def end_iteration(self) -> None:
+        """Drop per-iteration scratch; prior iterations' memory is not kept."""
+        self.projections = []
+        self.projection_ids = []
+        self.sample = frozenset()
+        self.meter.release(self._scratch_words)
+        self._scratch_words = 0
+
+    def observe_cleanup_pass(self, set_id: int, r: frozenset[int]) -> None:
+        """Final pass: pick any set covering a leftover element."""
+        if not self.uncovered:
+            return
+        hit = r & self.uncovered
+        if hit and set_id not in self.solution_set:
+            self._pick(set_id)
+            self.uncovered -= hit
+            self.stats.cleanup_picks += 1
+
+    # ------------------------------------------------------------------
+    def _pick(self, set_id: int) -> None:
+        if set_id not in self.solution_set:
+            self.solution.append(set_id)
+            self.solution_set.add(set_id)
+            self.meter.charge(1)  # remembering the picked set id
+
+    def finalize_stats(self) -> GuessStats:
+        self.stats.solution_size = (
+            len(self.solution) if not self.uncovered else None
+        )
+        self.stats.covered_after_iterations = not self.uncovered
+        self.stats.peak_memory_words = self.meter.peak
+        return self.stats
+
+
+class IterSetCover:
+    """The paper's algorithm as a reusable object.
+
+    Parameters
+    ----------
+    config:
+        Trade-off and sampling parameters (see
+        :class:`~repro.core.config.IterSetCoverConfig`).
+    solver:
+        The offline black box ``algOfflineSC``; defaults to greedy
+        (rho = H_n).  Pass :class:`~repro.offline.exact.ExactSolver` for the
+        rho = 1 regime of Theorem 2.8.
+    seed:
+        Seed or generator for the sampling randomness.
+
+    Examples
+    --------
+    >>> from repro.setsystem import SetSystem
+    >>> from repro.streaming import SetStream
+    >>> system = SetSystem(4, [[0, 1], [2, 3], [0, 2], [1, 3]])
+    >>> result = IterSetCover(seed=0).solve(SetStream(system))
+    >>> sorted(system.uncovered_by(result.selection))
+    []
+    """
+
+    name = "iterSetCover"
+
+    def __init__(
+        self,
+        config: "IterSetCoverConfig | None" = None,
+        solver: "OfflineSolver | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ):
+        self.config = config or IterSetCoverConfig()
+        self.solver = solver or GreedySolver()
+        self._rng = as_generator(seed)
+
+    # ------------------------------------------------------------------
+    def solve(self, stream: SetStream) -> StreamingCoverResult:
+        """Run the algorithm over ``stream`` and return the best cover."""
+        n, m = stream.n, stream.m
+        if n == 0:
+            return StreamingCoverResult(
+                selection=[], passes=0, peak_memory_words=0, algorithm=self.name
+            )
+
+        rho = self.solver.rho(n)
+        guesses = [
+            _GuessState(k, n, MemoryMeter(label=f"k={k}"))
+            for k in powers_of_two_up_to(n)
+        ]
+        passes_before = stream.passes
+
+        for _ in range(self.config.iterations):
+            if all(not g.uncovered for g in guesses):
+                break
+            for guess in guesses:
+                guess.begin_iteration(self.config, n, m, rho, self._rng)
+            for set_id, r in stream.iterate():
+                for guess in guesses:
+                    guess.observe_sample_pass(set_id, r)
+            for guess in guesses:
+                guess.solve_offline(self.solver, n)
+            for set_id, r in stream.iterate():
+                for guess in guesses:
+                    guess.observe_update_pass(set_id, r)
+            for guess in guesses:
+                guess.end_iteration()
+
+        cleanup_passes = 0
+        if self.config.cleanup_pass and any(g.uncovered for g in guesses):
+            cleanup_passes = 1
+            for set_id, r in stream.iterate():
+                for guess in guesses:
+                    guess.observe_cleanup_pass(set_id, r)
+
+        stats = {g.k: g.finalize_stats() for g in guesses}
+        complete = [g for g in guesses if not g.uncovered]
+        total_peak = sum(g.meter.peak for g in guesses)
+        passes = stream.passes - passes_before
+
+        if not complete:
+            # The family itself cannot cover U; report the best effort.
+            best = min(guesses, key=lambda g: len(g.uncovered))
+            return StreamingCoverResult(
+                selection=list(best.solution),
+                passes=passes,
+                peak_memory_words=total_peak,
+                algorithm=self.name,
+                feasible=False,
+                best_k=best.k,
+                cleanup_passes=cleanup_passes,
+                guess_stats=stats,
+            )
+
+        best = min(complete, key=lambda g: len(g.solution))
+        return StreamingCoverResult(
+            selection=list(best.solution),
+            passes=passes,
+            peak_memory_words=total_peak,
+            algorithm=self.name,
+            best_k=best.k,
+            cleanup_passes=cleanup_passes,
+            guess_stats=stats,
+            extra={"rho": rho, "delta": self.config.delta},
+        )
+
+
+def iter_set_cover(
+    stream: SetStream,
+    delta: float = 0.5,
+    solver: "OfflineSolver | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+    **config_kwargs,
+) -> StreamingCoverResult:
+    """Functional one-shot entry point for :class:`IterSetCover`.
+
+    >>> from repro.setsystem import SetSystem
+    >>> from repro.streaming import SetStream
+    >>> system = SetSystem(3, [[0], [1], [2], [0, 1, 2]])
+    >>> iter_set_cover(SetStream(system), delta=1.0, seed=1).solution_size
+    1
+    """
+    config = IterSetCoverConfig(delta=delta, **config_kwargs)
+    return IterSetCover(config=config, solver=solver, seed=seed).solve(stream)

@@ -1,0 +1,36 @@
+"""Geometric Set Cover (Section 4): shapes, canonical representations,
+and the O~(n)-space streaming algorithm ``algGeomSC``."""
+
+from repro.geometry.canonical import (
+    CanonicalPiece,
+    CanonicalRepresentation,
+    count_distinct_projections,
+)
+from repro.geometry.geom_set_cover import GeometricSetCover, geometric_set_cover
+from repro.geometry.instances import (
+    GeometricInstance,
+    figure_1_2_instance,
+    random_disc_instance,
+    random_fat_triangle_instance,
+    random_rect_instance,
+)
+from repro.geometry.primitives import AxisRect, Disc, FatTriangle, Point
+from repro.geometry.stream import ShapeStream
+
+__all__ = [
+    "AxisRect",
+    "CanonicalPiece",
+    "CanonicalRepresentation",
+    "Disc",
+    "FatTriangle",
+    "GeometricInstance",
+    "GeometricSetCover",
+    "Point",
+    "ShapeStream",
+    "count_distinct_projections",
+    "figure_1_2_instance",
+    "geometric_set_cover",
+    "random_disc_instance",
+    "random_fat_triangle_instance",
+    "random_rect_instance",
+]

@@ -1,0 +1,180 @@
+"""Geometric instances: points + shapes, plus the paper's constructions.
+
+:class:`GeometricInstance` pairs a point set with a shape family and can
+project itself to an abstract :class:`~repro.setsystem.SetSystem` (the
+referee view used by tests, exact solves, and for running the abstract
+``iterSetCover`` on geometric inputs in experiment E5).
+
+:func:`figure_1_2_instance` is the paper's Figure 1.2: n/2 points on each of
+two slanted lines, and n^2/4 distinct rectangles each containing exactly two
+points — the motivating example for canonical representations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.primitives import AxisRect, Disc, FatTriangle, Point
+from repro.setsystem.set_system import SetSystem
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "GeometricInstance",
+    "figure_1_2_instance",
+    "random_disc_instance",
+    "random_rect_instance",
+    "random_fat_triangle_instance",
+]
+
+
+class GeometricInstance:
+    """A Points-Shapes Set Cover instance."""
+
+    def __init__(self, points: list[Point], shapes: list):
+        self.points = list(points)
+        self.shapes = list(shapes)
+
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    @property
+    def m(self) -> int:
+        return len(self.shapes)
+
+    def covered_points(self, shape) -> frozenset[int]:
+        """Ids of the points contained in ``shape``."""
+        return frozenset(
+            i for i, p in enumerate(self.points) if shape.contains(p)
+        )
+
+    def to_set_system(self) -> SetSystem:
+        """The abstract (U, F) view: set i = points covered by shape i."""
+        return SetSystem(
+            self.n, [self.covered_points(shape) for shape in self.shapes]
+        )
+
+    def is_feasible(self) -> bool:
+        covered: set[int] = set()
+        for shape in self.shapes:
+            covered |= self.covered_points(shape)
+        return len(covered) == self.n
+
+
+def figure_1_2_instance(n: int) -> GeometricInstance:
+    """The quadratic-rectangles construction of Figure 1.2.
+
+    ``n/2`` points on each of two parallel positive-slope lines, the top
+    line entirely above and to the left of the bottom line.  For every
+    (top, bottom) pair there is a rectangle with the top point as its
+    upper-left corner and the bottom point as its lower-right corner; each
+    of these ``n^2/4`` distinct rectangles contains exactly two points.
+    """
+    if n < 2 or n % 2:
+        raise ValueError(f"n must be even and >= 2, got {n}")
+    half = n // 2
+    top = [Point(float(i), float(n + i)) for i in range(half)]
+    bottom = [Point(float(half + 1 + j), float(j)) for j in range(half)]
+    rects = [
+        AxisRect(t.x, b.y, b.x, t.y) for t in top for b in bottom
+    ]
+    return GeometricInstance(top + bottom, rects)
+
+
+def _patch_feasibility(points, shapes, make_shape, rng):
+    """Append shapes around uncovered points until the instance is feasible."""
+    covered: set[int] = set()
+    for shape in shapes:
+        covered |= {i for i, p in enumerate(points) if shape.contains(p)}
+    for i, p in enumerate(points):
+        if i not in covered:
+            shapes.append(make_shape(p, rng))
+    return shapes
+
+
+def random_disc_instance(
+    n: int,
+    m: int,
+    radius_range: tuple[float, float] = (0.05, 0.25),
+    seed: "int | np.random.Generator | None" = None,
+) -> GeometricInstance:
+    """n uniform points in the unit square, m uniform discs (feasible)."""
+    rng = as_generator(seed)
+    points = [Point(float(x), float(y)) for x, y in rng.random((n, 2))]
+    lo, hi = radius_range
+    shapes = [
+        Disc(float(cx), float(cy), float(rng.uniform(lo, hi)))
+        for cx, cy in rng.random((m, 2))
+    ]
+    shapes = _patch_feasibility(
+        points, shapes, lambda p, r: Disc(p.x, p.y, float(r.uniform(lo, hi))), rng
+    )
+    return GeometricInstance(points, shapes)
+
+
+def random_rect_instance(
+    n: int,
+    m: int,
+    side_range: tuple[float, float] = (0.05, 0.35),
+    seed: "int | np.random.Generator | None" = None,
+) -> GeometricInstance:
+    """n uniform points in the unit square, m uniform rectangles (feasible)."""
+    rng = as_generator(seed)
+    points = [Point(float(x), float(y)) for x, y in rng.random((n, 2))]
+    lo, hi = side_range
+    shapes = []
+    for cx, cy in rng.random((m, 2)):
+        w, h = rng.uniform(lo, hi), rng.uniform(lo, hi)
+        shapes.append(
+            AxisRect(float(cx - w / 2), float(cy - h / 2), float(cx + w / 2), float(cy + h / 2))
+        )
+    shapes = _patch_feasibility(
+        points,
+        shapes,
+        lambda p, r: AxisRect(
+            p.x - r.uniform(lo, hi) / 2,
+            p.y - r.uniform(lo, hi) / 2,
+            p.x + r.uniform(lo, hi) / 2,
+            p.y + r.uniform(lo, hi) / 2,
+        ),
+        rng,
+    )
+    return GeometricInstance(points, shapes)
+
+
+def _fat_triangle_around(cx: float, cy: float, scale: float, angle: float, rng) -> FatTriangle:
+    """A near-equilateral (hence fat, alpha ~ 1.2) triangle around a center."""
+    jitter = rng.uniform(-0.15, 0.15, size=3)
+    angles = [angle + 2 * math.pi * k / 3 + jitter[k] for k in range(3)]
+    xs = [cx + scale * math.cos(a) for a in angles]
+    ys = [cy + scale * math.sin(a) for a in angles]
+    return FatTriangle(xs[0], ys[0], xs[1], ys[1], xs[2], ys[2])
+
+
+def random_fat_triangle_instance(
+    n: int,
+    m: int,
+    scale_range: tuple[float, float] = (0.08, 0.3),
+    seed: "int | np.random.Generator | None" = None,
+) -> GeometricInstance:
+    """n uniform points, m near-equilateral (fat) triangles (feasible)."""
+    rng = as_generator(seed)
+    points = [Point(float(x), float(y)) for x, y in rng.random((n, 2))]
+    lo, hi = scale_range
+    shapes = [
+        _fat_triangle_around(
+            float(cx), float(cy), float(rng.uniform(lo, hi)), float(rng.uniform(0, 2 * math.pi)), rng
+        )
+        for cx, cy in rng.random((m, 2))
+    ]
+    shapes = _patch_feasibility(
+        points,
+        shapes,
+        lambda p, r: _fat_triangle_around(
+            p.x, p.y, float(r.uniform(lo, hi)), float(r.uniform(0, 2 * math.pi)), r
+        ),
+        rng,
+    )
+    return GeometricInstance(points, shapes)

@@ -1,0 +1,153 @@
+"""Geometric primitives: points and the paper's three range families.
+
+Section 4 considers elements that are points in R^2 and sets that are all
+discs, all axis-parallel rectangles, or all alpha-fat triangles.  Each shape
+knows how to test containment and how many words its description costs
+(every shape has an O(1) description — the premise of the Points-Shapes
+problem).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Point", "Disc", "AxisRect", "FatTriangle", "Shape"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the plane."""
+
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class Disc:
+    """A closed disc given by center and radius."""
+
+    cx: float
+    cy: float
+    radius: float
+
+    #: Words to store the description (center + radius).
+    description_words = 3
+
+    def __post_init__(self):
+        if self.radius < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+
+    def contains(self, p: Point) -> bool:
+        dx, dy = p.x - self.cx, p.y - self.cy
+        return dx * dx + dy * dy <= self.radius * self.radius + _EPS
+
+    @property
+    def x_min(self) -> float:
+        return self.cx - self.radius
+
+    @property
+    def x_max(self) -> float:
+        return self.cx + self.radius
+
+
+@dataclass(frozen=True)
+class AxisRect:
+    """A closed axis-parallel rectangle [x1, x2] x [y1, y2]."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    #: Words to store the description (two corners).
+    description_words = 4
+
+    def __post_init__(self):
+        if self.x1 > self.x2 or self.y1 > self.y2:
+            raise ValueError(
+                f"rectangle corners out of order: ({self.x1},{self.y1}) "
+                f"({self.x2},{self.y2})"
+            )
+
+    def contains(self, p: Point) -> bool:
+        return (
+            self.x1 - _EPS <= p.x <= self.x2 + _EPS
+            and self.y1 - _EPS <= p.y <= self.y2 + _EPS
+        )
+
+    @property
+    def x_min(self) -> float:
+        return self.x1
+
+    @property
+    def x_max(self) -> float:
+        return self.x2
+
+
+@dataclass(frozen=True)
+class FatTriangle:
+    """A triangle; *alpha-fat* when longest-edge / matching-height <= alpha.
+
+    The paper (Section 4.1): "a triangle is alpha-fat if the ratio between
+    its longest edge and its height on this edge is bounded by a constant
+    alpha > 1".
+    """
+
+    ax: float
+    ay: float
+    bx: float
+    by: float
+    cx: float
+    cy: float
+
+    #: Words to store the description (three vertices).
+    description_words = 6
+
+    def _signed_area2(self) -> float:
+        return (self.bx - self.ax) * (self.cy - self.ay) - (
+            self.cx - self.ax
+        ) * (self.by - self.ay)
+
+    def area(self) -> float:
+        return abs(self._signed_area2()) / 2.0
+
+    def fatness(self) -> float:
+        """longest edge / height on that edge; smaller is fatter."""
+        edges = [
+            (self.ax - self.bx, self.ay - self.by),
+            (self.bx - self.cx, self.by - self.cy),
+            (self.cx - self.ax, self.cy - self.ay),
+        ]
+        longest = max(math.hypot(dx, dy) for dx, dy in edges)
+        area = self.area()
+        if area <= _EPS:
+            return math.inf
+        height = 2.0 * area / longest
+        return longest / height
+
+    def is_fat(self, alpha: float) -> bool:
+        return self.fatness() <= alpha
+
+    def contains(self, p: Point) -> bool:
+        """Containment by consistent orientation of the three sub-triangles."""
+        d1 = (self.bx - self.ax) * (p.y - self.ay) - (self.by - self.ay) * (p.x - self.ax)
+        d2 = (self.cx - self.bx) * (p.y - self.by) - (self.cy - self.by) * (p.x - self.bx)
+        d3 = (self.ax - self.cx) * (p.y - self.cy) - (self.ay - self.cy) * (p.x - self.cx)
+        has_neg = d1 < -_EPS or d2 < -_EPS or d3 < -_EPS
+        has_pos = d1 > _EPS or d2 > _EPS or d3 > _EPS
+        return not (has_neg and has_pos)
+
+    @property
+    def x_min(self) -> float:
+        return min(self.ax, self.bx, self.cx)
+
+    @property
+    def x_max(self) -> float:
+        return max(self.ax, self.bx, self.cx)
+
+
+#: Union type accepted wherever "a shape" is expected.
+Shape = "Disc | AxisRect | FatTriangle"

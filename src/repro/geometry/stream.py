@@ -1,0 +1,75 @@
+"""Streaming access for geometric instances.
+
+The Points-Shapes Set Cover problem streams the *shapes* (each an O(1)
+description) while the points are stored in memory in advance, exactly as
+the abstract problem stores the element universe.  :class:`ShapeStream`
+mirrors :class:`~repro.streaming.stream.SetStream` — sequential passes,
+pass counting, no random access — but yields shape descriptors; algorithms
+compute point containment themselves from their in-memory point set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.geometry.instances import GeometricInstance
+from repro.geometry.primitives import Point
+from repro.streaming.stream import StreamAccessError
+
+__all__ = ["ShapeStream"]
+
+
+class ShapeStream:
+    """Sequential, pass-counted access to a geometric instance's shapes."""
+
+    def __init__(self, instance: GeometricInstance):
+        self._instance = instance
+        self._passes = 0
+        self._in_pass = False
+
+    @property
+    def n(self) -> int:
+        return self._instance.n
+
+    @property
+    def m(self) -> int:
+        return self._instance.m
+
+    @property
+    def points(self) -> list[Point]:
+        """The in-memory point universe (charged by the algorithm)."""
+        return self._instance.points
+
+    @property
+    def passes(self) -> int:
+        return self._passes
+
+    def reset_passes(self) -> None:
+        if self._in_pass:
+            raise StreamAccessError("cannot reset the counter mid-pass")
+        self._passes = 0
+
+    def iterate(self) -> Iterator[tuple[int, object]]:
+        """Open a pass over the shapes, yielding ``(shape_id, shape)``."""
+        if self._in_pass:
+            raise StreamAccessError("a pass is already in progress")
+        self._in_pass = True
+        self._passes += 1
+        try:
+            for shape_id, shape in enumerate(self._instance.shapes):
+                yield shape_id, shape
+        finally:
+            self._in_pass = False
+
+    # Referee access (tests/benchmarks only).
+    def verify_solution(self, selection) -> bool:
+        covered: set[int] = set()
+        for shape_id in selection:
+            covered |= self._instance.covered_points(
+                self._instance.shapes[shape_id]
+            )
+        return len(covered) == self._instance.n
+
+    @property
+    def instance(self) -> GeometricInstance:
+        return self._instance

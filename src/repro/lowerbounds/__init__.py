@@ -1,0 +1,32 @@
+"""Lower-bound constructions: Sections 3, 5 and 6 as runnable reductions."""
+
+from repro.lowerbounds.certificates import (
+    check_element_and_set_counts,
+    check_gap_with_exact_solver,
+    check_mandatory_sets,
+)
+from repro.lowerbounds.isc_reduction import (
+    ISCReduction,
+    certificate_cover,
+    reduce_isc_to_set_cover,
+)
+from repro.lowerbounds.single_pass import TwoVsThreeInstance, two_vs_three_instance
+from repro.lowerbounds.sparse_reduction import (
+    SparseReduction,
+    build_sparse_instance,
+    sparse_certificates,
+)
+
+__all__ = [
+    "ISCReduction",
+    "SparseReduction",
+    "TwoVsThreeInstance",
+    "build_sparse_instance",
+    "certificate_cover",
+    "check_element_and_set_counts",
+    "check_gap_with_exact_solver",
+    "check_mandatory_sets",
+    "reduce_isc_to_set_cover",
+    "sparse_certificates",
+    "two_vs_three_instance",
+]

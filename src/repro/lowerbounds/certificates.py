@@ -1,0 +1,99 @@
+"""Certificate checkers for the lower-bound constructions.
+
+These functions verify, on concrete instances, the structural facts the
+Section 5/6 proofs rely on — they are the assertions the test suite and the
+E6/E7 benches run.
+"""
+
+from __future__ import annotations
+
+from repro.lowerbounds.isc_reduction import ISCReduction, certificate_cover
+from repro.offline.exact import exact_cover
+
+__all__ = [
+    "check_element_and_set_counts",
+    "check_mandatory_sets",
+    "check_gap_with_exact_solver",
+]
+
+
+def check_element_and_set_counts(reduction: ISCReduction) -> None:
+    """|U| = (2p+1) 2n + 2p and |F| = (4p+1) n, as stated in Section 5."""
+    n, p = reduction.n_chasing, reduction.p
+    expected_elements = (2 * p + 1) * 2 * n + 2 * p
+    expected_sets = (4 * p + 1) * n
+    if reduction.system.n != expected_elements:
+        raise AssertionError(
+            f"|U| = {reduction.system.n}, expected {expected_elements}"
+        )
+    if reduction.system.m != expected_sets:
+        raise AssertionError(
+            f"|F| = {reduction.system.m}, expected {expected_sets}"
+        )
+
+
+def check_mandatory_sets(reduction: ISCReduction) -> None:
+    """The forced sets of Lemma 5.5 are the sole coverers of their elements:
+
+    * ``in(v_{p+1}^j)`` only in ``R_{p+1}^j``;
+    * ``e_p`` only in ``S_p^1`` (forward-chain anchor);
+    * ``in(u_{p+1}^j)`` only in ``T_{p+1}^j``;
+    * ``out(u_{p+1}^1)`` only in the edge-based sets
+      ``{S_{2p}^j : j in f'_p(1)}`` (backward-chain anchor).
+    """
+    system = reduction.system
+    n, p = reduction.n_chasing, reduction.p
+    eidx, sidx = reduction.element_index, reduction.set_index
+
+    def coverers(element: int) -> set[int]:
+        return {i for i, r in enumerate(system.sets) if element in r}
+
+    for j in range(n):
+        expected = {sidx[("R", p + 1, j)]}
+        got = coverers(eidx[("v_in", p + 1, j)])
+        if got != expected:
+            raise AssertionError(f"in(v_{p+1}^{j}) coverers {got} != {expected}")
+    got = coverers(eidx[("e", p)])
+    if got != {sidx[("S", p, 0)]}:
+        raise AssertionError(f"e_p coverers {got}, expected only S_p^1")
+    for j in range(n):
+        expected = {sidx[("T", p + 1, j)]}
+        got = coverers(eidx[("u_in", p + 1, j)])
+        if got != expected:
+            raise AssertionError(f"in(u_{p+1}^{j}) coverers {got} != {expected}")
+    anchor = coverers(eidx[("u_out", p + 1, 0)])
+    expected_anchor = {
+        sidx[("S", 2 * p, j)]
+        for j in reduction.isc.second.functions[p - 1][0]
+    }
+    if anchor != expected_anchor:
+        raise AssertionError(
+            f"out(u_{p+1}^1) coverers {anchor} != {expected_anchor}"
+        )
+
+
+def check_gap_with_exact_solver(
+    reduction: ISCReduction, max_nodes: int = 5_000_000
+) -> dict:
+    """Corollary 5.8 on a concrete instance: optimum vs ISC output.
+
+    Returns a report dict; raises AssertionError when the gap is violated.
+    """
+    optimum = len(exact_cover(reduction.system, max_nodes=max_nodes))
+    expected = reduction.expected_optimum()
+    cert = certificate_cover(reduction)
+    report = {
+        "isc_output": reduction.isc.output(),
+        "baseline": reduction.baseline,
+        "optimum": optimum,
+        "expected": expected,
+        "certificate_size": len(cert) if cert is not None else None,
+    }
+    if optimum != expected:
+        raise AssertionError(f"gap violated: {report}")
+    if cert is not None:
+        if len(cert) != reduction.baseline:
+            raise AssertionError(f"certificate has wrong size: {report}")
+        if not reduction.system.is_cover(cert):
+            raise AssertionError(f"certificate is not a cover: {report}")
+    return report

@@ -1,0 +1,114 @@
+"""Two-party 2-vs-3 cover instances (Section 3, Theorems 3.1/3.8).
+
+Deciding whether Alice's and Bob's sets admit a cover of size 2 is exactly
+(Many vs Many)-Set Disjointness on the complements: ``U = ra + rb`` iff
+``complement(ra)`` and ``complement(rb)`` are disjoint.  The generator
+produces instances where
+
+* no single set covers U, and no two same-party sets cover U (each party
+  has a *blind spot* element missing from all of its sets), so a 2-cover is
+  necessarily cross-party;
+* a size-3 cover always exists (a planted triple), so the optimum is either
+  2 or 3 — the (3/2 - eps) gap of Theorem 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.setsystem.set_system import SetSystem
+from repro.utils.rng import as_generator
+
+__all__ = ["TwoVsThreeInstance", "two_vs_three_instance"]
+
+
+@dataclass
+class TwoVsThreeInstance:
+    """A two-party instance with optimum 2 or 3 by construction."""
+
+    system: SetSystem  # Alice's sets first, then Bob's (stream order)
+    alice_ids: list[int]
+    bob_ids: list[int]
+    has_two_cover: bool
+
+    @property
+    def expected_optimum(self) -> int:
+        return 2 if self.has_two_cover else 3
+
+
+def two_vs_three_instance(
+    n: int,
+    m_alice: int,
+    m_bob: int,
+    plant_two_cover: bool,
+    density: float = 0.5,
+    seed: "int | np.random.Generator | None" = None,
+    max_resample: int = 200,
+) -> TwoVsThreeInstance:
+    """Generate an instance whose optimum is 2 iff ``plant_two_cover``.
+
+    Elements n-2 and n-1 are the blind spots: Alice's sets never contain
+    n-2, Bob's never contain n-1 — blocking same-party 2-covers and any
+    1-cover.  A crossing pair (ra, rb) with ``ra + rb = U`` is planted when
+    requested; otherwise sampling is repeated until no crossing 2-cover
+    exists.  A planted triple (two Alice halves + one Bob patch) keeps the
+    optimum at 3 in the negative case.
+    """
+    if n < 6:
+        raise ValueError(f"need n >= 6, got {n}")
+    if m_alice < 2 or m_bob < 1:
+        raise ValueError("need at least two Alice sets and one Bob set")
+    rng = as_generator(seed)
+    blind_alice, blind_bob = n - 2, n - 1
+    body = list(range(n - 2))
+
+    def random_alice() -> frozenset[int]:
+        members = {e for e in body if rng.random() < density}
+        members.add(blind_bob)  # may contain Bob's blind spot, not its own
+        return frozenset(members - {blind_alice})
+
+    def random_bob() -> frozenset[int]:
+        members = {e for e in body if rng.random() < density}
+        members.add(blind_alice)
+        return frozenset(members - {blind_bob})
+
+    def has_crossing_cover(alice: list[frozenset[int]], bob: list[frozenset[int]]) -> bool:
+        full = frozenset(range(n))
+        return any(ra | rb == full for ra in alice for rb in bob)
+
+    for _ in range(max_resample):
+        alice = [random_alice() for _ in range(m_alice)]
+        bob = [random_bob() for _ in range(m_bob)]
+
+        # The planted 3-cover: two Alice halves + a Bob patch for blind_alice.
+        half = (n - 2) // 2
+        alice[0] = frozenset(body[:half]) | {blind_bob}
+        alice[1] = frozenset(body[half:]) | {blind_bob}
+        bob[0] = frozenset({blind_alice})
+
+        if plant_two_cover:
+            pivot = frozenset(e for e in body if rng.random() < 0.5)
+            ra = pivot | {blind_bob}
+            rb = (frozenset(body) - pivot) | {blind_alice}
+            alice[-1] = ra
+            bob[-1] = rb | frozenset(
+                e for e in body if rng.random() < density
+            ) - {blind_bob}
+            return TwoVsThreeInstance(
+                system=SetSystem(n, [sorted(r) for r in alice + bob]),
+                alice_ids=list(range(m_alice)),
+                bob_ids=list(range(m_alice, m_alice + m_bob)),
+                has_two_cover=True,
+            )
+        if not has_crossing_cover(alice, bob):
+            return TwoVsThreeInstance(
+                system=SetSystem(n, [sorted(r) for r in alice + bob]),
+                alice_ids=list(range(m_alice)),
+                bob_ids=list(range(m_alice, m_alice + m_bob)),
+                has_two_cover=False,
+            )
+    raise RuntimeError(
+        "could not sample a no-2-cover instance; lower the density or m"
+    )

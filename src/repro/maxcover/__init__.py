@@ -1,0 +1,15 @@
+"""Max k-Cover: pick k sets maximizing coverage.
+
+The problem Saha and Getoor [SG09] actually solved; their streaming
+SetCover result is a corollary.  Provided offline (greedy with the
+(1 - 1/e) guarantee, exact for small instances) and as the one-pass
+swap-based streaming algorithm in the [SG09] style.
+"""
+
+from repro.maxcover.solvers import (
+    exact_max_coverage,
+    greedy_max_coverage,
+    StreamingMaxCover,
+)
+
+__all__ = ["StreamingMaxCover", "exact_max_coverage", "greedy_max_coverage"]

@@ -1,0 +1,122 @@
+"""Max k-Cover solvers (offline and one-pass streaming).
+
+Given (U, F) and a budget k, maximize |union of the chosen k sets|.
+Greedy achieves the optimal (1 - 1/e) factor [Feige]; the streaming
+algorithm keeps a candidate buffer of k sets and admits a new set when it
+improves the buffer's coverage by a margin — the structure of [SG09]'s
+one-pass Max-k-Cover, which underlies their SetCover row in Figure 1.1.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.result import StreamingCoverResult
+from repro.setsystem.set_system import SetSystem
+from repro.streaming.memory import MemoryMeter
+from repro.streaming.stream import SetStream
+
+__all__ = ["greedy_max_coverage", "exact_max_coverage", "StreamingMaxCover"]
+
+
+def greedy_max_coverage(system: SetSystem, k: int) -> list[int]:
+    """The (1 - 1/e)-approximate greedy: k rounds of best-marginal-gain."""
+    if k < 0:
+        raise ValueError(f"budget must be non-negative, got {k}")
+    uncovered: set[int] = set(range(system.n))
+    chosen: list[int] = []
+    for _ in range(min(k, system.m)):
+        best_id, best_gain = -1, 0
+        for set_id, r in enumerate(system.sets):
+            if set_id in chosen:
+                continue
+            gain = len(r & uncovered)
+            if gain > best_gain:
+                best_id, best_gain = set_id, gain
+        if best_id < 0:
+            break  # nothing adds coverage
+        chosen.append(best_id)
+        uncovered -= system[best_id]
+    return chosen
+
+
+def exact_max_coverage(system: SetSystem, k: int) -> list[int]:
+    """Optimal k-subset by exhaustive search — small instances only."""
+    if k < 0:
+        raise ValueError(f"budget must be non-negative, got {k}")
+    k = min(k, system.m)
+    best: tuple[int, ...] = ()
+    best_coverage = -1
+    for combo in itertools.combinations(range(system.m), k):
+        coverage = len(system.covered_by(combo))
+        if coverage > best_coverage:
+            best, best_coverage = combo, coverage
+    return list(best)
+
+
+class StreamingMaxCover:
+    """One-pass Max-k-Cover with a k-set buffer (the [SG09] structure).
+
+    The buffer holds at most k sets.  An arriving set is admitted when it
+    covers at least ``1/(2k)`` of the ground set beyond the buffer's current
+    coverage (the classic admission threshold giving a constant factor); if
+    the buffer is full, it replaces the buffered set with the smallest
+    contribution when that strictly improves total coverage.
+    """
+
+    name = "SG09 max-k-cover (1-pass)"
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"budget must be positive, got {k}")
+        self.k = k
+
+    def solve(self, stream: SetStream) -> StreamingCoverResult:
+        meter = MemoryMeter(label=self.name)
+        passes_before = stream.passes
+        n = stream.n
+        buffer: dict[int, frozenset[int]] = {}
+        admission = n / (2.0 * self.k)
+
+        for set_id, r in stream.iterate():
+            union_now: set[int] = set()
+            for held in buffer.values():
+                union_now |= held
+            gain = len(r - union_now)
+            if len(buffer) < self.k:
+                if gain >= min(admission, max(1, len(r))):
+                    buffer[set_id] = r
+                    meter.charge(len(r) + 1)
+                continue
+            if gain <= 0:
+                continue
+            # Try replacing the weakest buffered set.
+            best_total = len(union_now)
+            best_swap = None
+            for victim in buffer:
+                union_without: set[int] = set()
+                for other_id, other in buffer.items():
+                    if other_id != victim:
+                        union_without |= other
+                total = len(union_without | r)
+                if total > best_total:
+                    best_total = total
+                    best_swap = victim
+            if best_swap is not None:
+                meter.release(len(buffer[best_swap]) + 1)
+                del buffer[best_swap]
+                buffer[set_id] = r
+                meter.charge(len(r) + 1)
+
+        selection = sorted(buffer)
+        covered: set[int] = set()
+        for held in buffer.values():
+            covered |= held
+        return StreamingCoverResult(
+            selection=selection,
+            passes=stream.passes - passes_before,
+            peak_memory_words=meter.peak,
+            algorithm=self.name,
+            feasible=True,
+            extra={"k": self.k, "coverage": len(covered)},
+        )

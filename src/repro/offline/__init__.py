@@ -1,0 +1,22 @@
+"""Offline set-cover solvers (the ``algOfflineSC`` black box of Figure 1.3)."""
+
+from repro.offline.base import InfeasibleInstanceError, OfflineSolver
+from repro.offline.exact import ExactSolver, SearchBudgetExceeded, exact_cover
+from repro.offline.greedy import GreedySolver, greedy_cover
+from repro.offline.lp import LPRoundingSolver, fractional_optimum
+from repro.offline.primal_dual import PrimalDualSolver, max_frequency, primal_dual_cover
+
+__all__ = [
+    "ExactSolver",
+    "GreedySolver",
+    "InfeasibleInstanceError",
+    "LPRoundingSolver",
+    "OfflineSolver",
+    "PrimalDualSolver",
+    "SearchBudgetExceeded",
+    "exact_cover",
+    "fractional_optimum",
+    "greedy_cover",
+    "max_frequency",
+    "primal_dual_cover",
+]

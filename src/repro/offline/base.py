@@ -1,0 +1,60 @@
+"""The offline-solver interface used by ``algOfflineSC`` call sites.
+
+Figure 1.3 treats the offline solver as a black box with approximation
+factor rho: rho = 1 for the (exponential-time) exact solver, rho = H_n for
+greedy.  Streaming algorithms receive a solver instance and report which rho
+they ran with.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from repro.setsystem.set_system import SetSystem
+
+__all__ = ["OfflineSolver", "InfeasibleInstanceError"]
+
+
+class InfeasibleInstanceError(ValueError):
+    """Raised when the family cannot cover the ground set."""
+
+
+class OfflineSolver(abc.ABC):
+    """A solver for offline (in-memory) SetCover instances."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "offline"
+
+    @abc.abstractmethod
+    def solve(self, system: SetSystem) -> list[int]:
+        """Return indices of a cover of ``system``.
+
+        Implementations must raise :class:`InfeasibleInstanceError` when no
+        cover exists.
+        """
+
+    @abc.abstractmethod
+    def rho(self, n: int) -> float:
+        """The approximation factor guaranteed on instances with ``n`` elements."""
+
+    # ------------------------------------------------------------------
+    def solve_partial(
+        self, n: int, sets: Sequence[frozenset[int]], targets: frozenset[int]
+    ) -> list[int]:
+        """Cover only ``targets`` using the given (projected) family.
+
+        This is the call shape of ``algOfflineSC(L, F_S, k)`` in Figure 1.3:
+        the family is a list of projections and only the still-uncovered
+        sampled elements ``L`` need covering.  Elements outside ``targets``
+        are ignored.  Returns indices *into the given family*.
+        """
+        if not targets:
+            return []
+        ordered = sorted(targets)
+        renumber = {old: new for new, old in enumerate(ordered)}
+        projected = [
+            [renumber[e] for e in r if e in renumber] for r in sets
+        ]
+        sub = SetSystem(len(ordered), projected)
+        return self.solve(sub)

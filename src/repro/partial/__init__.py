@@ -1,0 +1,20 @@
+"""eps-Partial Set Cover: cover (1 - eps) of the elements.
+
+The generalization the paper's related-work section highlights ([ER14] and
+[CW16] prove their bounds for it); implemented both offline and streaming.
+"""
+
+from repro.partial.offline import (
+    coverage_requirement,
+    exact_partial_cover,
+    partial_greedy_cover,
+)
+from repro.partial.streaming import PartialIterSetCover, PartialThreshold
+
+__all__ = [
+    "PartialIterSetCover",
+    "PartialThreshold",
+    "coverage_requirement",
+    "exact_partial_cover",
+    "partial_greedy_cover",
+]

@@ -1,0 +1,128 @@
+"""Offline solvers for the eps-Partial Set Cover problem.
+
+``eps-Partial Set Cover(U, F)`` asks for the fewest sets covering at least
+``(1 - eps) |U|`` elements; the solution size is compared against the
+optimum of the *full* cover (the convention of [ER14] and [CW16], which the
+paper's related-work section adopts).  Greedy keeps its logarithmic
+guarantee for partial coverage; the exact solver is a branch-and-bound over
+"how many elements are still required".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.offline.base import InfeasibleInstanceError
+from repro.offline.greedy import greedy_cover
+from repro.setsystem.set_system import SetSystem
+from repro.utils.mathutil import ceil_div
+
+__all__ = ["coverage_requirement", "partial_greedy_cover", "exact_partial_cover"]
+
+
+def coverage_requirement(n: int, eps: float) -> int:
+    """Number of elements that must be covered: ceil((1 - eps) n).
+
+    A small tolerance absorbs float noise so that e.g. eps = 1/3 with n = 9
+    requires 6 elements, not 7 (``(1 - 1/3) * 9 == 6.000000000000001``).
+    """
+    if not 0 <= eps < 1:
+        raise ValueError(f"eps must be in [0, 1), got {eps}")
+    return max(0, math.ceil((1.0 - eps) * n - 1e-9))
+
+
+def partial_greedy_cover(system: SetSystem, eps: float) -> list[int]:
+    """Greedy until (1 - eps)-coverage is reached.
+
+    With eps = 0 this is exactly :func:`~repro.offline.greedy.greedy_cover`.
+    Raises :class:`InfeasibleInstanceError` when even the full family cannot
+    reach the requirement.
+    """
+    required = coverage_requirement(system.n, eps)
+    if required == 0:
+        return []
+    reachable = len(system.covered_by(range(system.m)))
+    if reachable < required:
+        raise InfeasibleInstanceError(
+            f"family covers only {reachable} of the required {required} elements"
+        )
+    uncovered: set[int] = set(range(system.n))
+    chosen: list[int] = []
+    covered = 0
+    while covered < required:
+        best_id, best_gain = -1, 0
+        for set_id, r in enumerate(system.sets):
+            gain = len(r & uncovered)
+            if gain > best_gain:
+                best_id, best_gain = set_id, gain
+        chosen.append(best_id)
+        uncovered -= system[best_id]
+        covered = system.n - len(uncovered)
+    return chosen
+
+
+def exact_partial_cover(
+    system: SetSystem, eps: float, max_nodes: int = 2_000_000
+) -> list[int]:
+    """Minimum number of sets covering at least (1 - eps) n elements.
+
+    Branch-and-bound over bitmasks; branches on including/excluding the set
+    with the largest residual coverage, pruning with the counting bound
+    ``ceil(still_needed / max_set_size)``.
+    """
+    n = system.n
+    required = coverage_requirement(n, eps)
+    if required == 0:
+        return []
+    masks = system.masks()
+    if not masks:
+        raise InfeasibleInstanceError("empty family cannot cover anything")
+    reachable_mask = 0
+    for mask in masks:
+        reachable_mask |= mask
+    if reachable_mask.bit_count() < required:
+        raise InfeasibleInstanceError(
+            f"family covers only {reachable_mask.bit_count()} of the "
+            f"required {required} elements"
+        )
+
+    max_set_size = max((mask.bit_count() for mask in masks), default=0)
+    best = partial_greedy_cover(system, eps)
+    best_size = len(best)
+    nodes = 0
+
+    order = sorted(range(len(masks)), key=lambda i: -masks[i].bit_count())
+
+    def search(index: int, covered: int, chosen: list[int]) -> None:
+        nonlocal best, best_size, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise RuntimeError(f"exceeded {max_nodes} nodes")
+        if covered.bit_count() >= required:
+            if len(chosen) < best_size:
+                best = list(chosen)
+                best_size = len(chosen)
+            return
+        budget = best_size - 1 - len(chosen)
+        needed = required - covered.bit_count()
+        if budget <= 0 or ceil_div(needed, max_set_size) > budget:
+            return
+        if index >= len(order):
+            return
+        # What the remaining sets could still add, at best.
+        remaining_mask = 0
+        for i in order[index:]:
+            remaining_mask |= masks[i]
+        if (remaining_mask & ~covered).bit_count() < needed:
+            return
+
+        set_id = order[index]
+        gain = (masks[set_id] & ~covered).bit_count()
+        if gain > 0:
+            chosen.append(set_id)
+            search(index + 1, covered | masks[set_id], chosen)
+            chosen.pop()
+        search(index + 1, covered, chosen)
+
+    search(0, 0, [])
+    return best

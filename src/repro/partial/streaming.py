@@ -1,0 +1,232 @@
+"""Streaming eps-Partial Set Cover.
+
+[ER14] and [CW16] both state their semi-streaming results for the partial
+problem; the paper's algorithm adapts just as naturally: run
+``iterSetCover`` but stop (and skip the cleanup pass) once at most
+``eps * n`` elements remain uncovered.  Because each iteration shrinks the
+uncovered set by ~n^delta, partial coverage typically saves iterations —
+the quantitative effect bench E11 measures.
+
+``PartialThreshold`` is the one-pass partial variant of the [ER14]-style
+algorithm: pointers are only materialized for the cheapest leftover
+elements needed to reach the requirement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import IterSetCoverConfig
+from repro.core.iter_set_cover import _GuessState
+from repro.core.result import StreamingCoverResult
+from repro.offline.base import OfflineSolver
+from repro.offline.greedy import GreedySolver
+from repro.partial.offline import coverage_requirement
+from repro.streaming.memory import MemoryMeter
+from repro.streaming.stream import SetStream
+from repro.utils.mathutil import powers_of_two_up_to
+from repro.utils.rng import as_generator
+
+__all__ = ["PartialIterSetCover", "PartialThreshold"]
+
+
+class PartialIterSetCover:
+    """``iterSetCover`` with a (1 - eps)-coverage goal.
+
+    Identical lockstep structure to :class:`~repro.core.IterSetCover`; a
+    guess retires as soon as its uncovered set is within the allowance, and
+    the cleanup pass only runs for guesses still above it.
+    """
+
+    name = "iterSetCover (partial)"
+
+    def __init__(
+        self,
+        eps: float,
+        config: "IterSetCoverConfig | None" = None,
+        solver: "OfflineSolver | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ):
+        if not 0 <= eps < 1:
+            raise ValueError(f"eps must be in [0, 1), got {eps}")
+        self.eps = eps
+        self.config = config or IterSetCoverConfig()
+        self.solver = solver or GreedySolver()
+        self._rng = as_generator(seed)
+
+    def solve(self, stream: SetStream) -> StreamingCoverResult:
+        n, m = stream.n, stream.m
+        allowance = n - coverage_requirement(n, self.eps)
+        if n == 0:
+            return StreamingCoverResult(
+                selection=[], passes=0, peak_memory_words=0, algorithm=self.name
+            )
+        rho = self.solver.rho(n)
+        guesses = [
+            _GuessState(k, n, MemoryMeter(label=f"k={k}"))
+            for k in powers_of_two_up_to(n)
+        ]
+        passes_before = stream.passes
+
+        def satisfied(guess: _GuessState) -> bool:
+            return len(guess.uncovered) <= allowance
+
+        for _ in range(self.config.iterations):
+            if all(satisfied(g) for g in guesses):
+                break
+            for g in guesses:
+                if satisfied(g):
+                    g.sample = frozenset()
+                    g.leftover = set()
+                    g.new_picks = set()
+                else:
+                    g.begin_iteration(self.config, n, m, rho, self._rng)
+            for set_id, r in stream.iterate():
+                for g in guesses:
+                    g.observe_sample_pass(set_id, r)
+            for g in guesses:
+                if not satisfied(g):
+                    self._solve_offline_partial(g, allowance)
+            for set_id, r in stream.iterate():
+                for g in guesses:
+                    g.observe_update_pass(set_id, r)
+            for g in guesses:
+                g.end_iteration()
+
+        cleanup_passes = 0
+        if self.config.cleanup_pass and any(not satisfied(g) for g in guesses):
+            cleanup_passes = 1
+            for set_id, r in stream.iterate():
+                for g in guesses:
+                    if not satisfied(g):
+                        g.observe_cleanup_pass(set_id, r)
+
+        stats = {g.k: g.finalize_stats() for g in guesses}
+        complete = [g for g in guesses if satisfied(g)]
+        passes = stream.passes - passes_before
+        total_peak = sum(g.meter.peak for g in guesses)
+        if not complete:
+            best = min(guesses, key=lambda g: len(g.uncovered))
+            feasible = False
+        else:
+            best = min(complete, key=lambda g: len(g.solution))
+            feasible = True
+        return StreamingCoverResult(
+            selection=list(best.solution),
+            passes=passes,
+            peak_memory_words=total_peak,
+            algorithm=self.name,
+            feasible=feasible,
+            best_k=best.k,
+            cleanup_passes=cleanup_passes,
+            guess_stats=stats,
+            extra={"eps": self.eps, "uncovered_left": len(best.uncovered)},
+        )
+
+
+    def _solve_offline_partial(self, guess: _GuessState, allowance: int) -> None:
+        """Cover the sampled leftovers only up to the scaled allowance.
+
+        The coverage slack ``allowance`` applies to the whole uncovered set;
+        the sample sees a proportional share of it, so the offline step only
+        needs ``|targets| - allowance * |sample| / |uncovered|`` sampled
+        elements covered.  Uses greedy for the partial objective (the
+        injected solver interface has no coverage-target notion).
+        """
+        if not guess.leftover:
+            return
+        coverable: set[int] = set()
+        for projection in guess.projections:
+            coverable |= projection
+        targets = set(guess.leftover) & coverable
+        uncovered_size = max(len(guess.uncovered), 1)
+        sample_share = len(guess.sample) / uncovered_size
+        sample_allowance = int(allowance * min(1.0, sample_share))
+        required = max(0, len(targets) - sample_allowance)
+
+        covered = 0
+        remaining = set(targets)
+        while covered < required:
+            best_index, best_gain = -1, 0
+            for index, projection in enumerate(guess.projections):
+                gain = len(projection & remaining)
+                if gain > best_gain:
+                    best_index, best_gain = index, gain
+            if best_index < 0:
+                break
+            set_id = guess.projection_ids[best_index]
+            guess._pick(set_id)
+            guess.new_picks.add(set_id)
+            guess.stats.offline_picks += 1
+            remaining -= guess.projections[best_index]
+            covered = len(targets) - len(remaining)
+        guess.leftover.clear()
+
+
+class PartialThreshold:
+    """One-pass (1 - eps)-coverage via threshold picks + cheapest pointers.
+
+    The [ER14]-style partial algorithm: heavy sets (residual coverage at
+    least ``threshold``) are taken on the fly; pointers are recorded for
+    every element, and after the pass only enough pointer-sets to reach the
+    requirement are added, largest pointer-groups first.
+    """
+
+    name = "threshold (partial, 1-pass)"
+
+    def __init__(self, eps: float, threshold: "float | None" = None):
+        if not 0 <= eps < 1:
+            raise ValueError(f"eps must be in [0, 1), got {eps}")
+        self.eps = eps
+        self.threshold = threshold
+
+    def solve(self, stream: SetStream) -> StreamingCoverResult:
+        import math
+
+        meter = MemoryMeter(label=self.name)
+        passes_before = stream.passes
+        n = stream.n
+        required = coverage_requirement(n, self.eps)
+        uncovered: set[int] = set(range(n))
+        meter.charge(n)
+        threshold = self.threshold if self.threshold is not None else math.sqrt(n)
+
+        selection: list[int] = []
+        pointer: dict[int, int] = {}
+        for set_id, r in stream.iterate():
+            hit = r & uncovered
+            if not hit:
+                continue
+            if len(hit) >= threshold:
+                selection.append(set_id)
+                meter.charge(1)
+                uncovered -= hit
+            else:
+                for element in hit:
+                    if element not in pointer:
+                        pointer[element] = set_id
+                        meter.charge(1)
+
+        covered = n - len(uncovered)
+        if covered < required:
+            # Group leftover elements by pointer set, take biggest groups
+            # until the requirement is met.
+            groups: dict[int, int] = {}
+            for element in uncovered:
+                if element in pointer:
+                    groups[pointer[element]] = groups.get(pointer[element], 0) + 1
+            for set_id, gain in sorted(groups.items(), key=lambda kv: -kv[1]):
+                selection.append(set_id)
+                meter.charge(1)
+                covered += gain
+                if covered >= required:
+                    break
+
+        return StreamingCoverResult(
+            selection=selection,
+            passes=stream.passes - passes_before,
+            peak_memory_words=meter.peak,
+            algorithm=self.name,
+            feasible=covered >= required,
+            extra={"eps": self.eps, "covered": covered, "required": required},
+        )

@@ -1,0 +1,87 @@
+"""Epsilon-nets for set systems.
+
+An ``eps``-net for ``(V, H)`` is a subset ``N`` of ``V`` hitting every range
+of density at least ``eps`` (|r| >= eps |V|  =>  r intersects N).  The paper
+leans on the eps-net literature for its geometric part ([AES10] builds
+small nets for rectangles via the same canonical splitting we implement),
+and a relative (p, eps)-approximation is in particular a (p eps)-net — the
+relationship the tests verify.
+
+The classic random-sampling bound: a uniform sample of size
+``O((d/eps) log(1/(eps q)))`` (d the VC dimension, q the failure
+probability) is an eps-net w.h.p.; with d <= log m for m ranges this needs
+no geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Collection, Iterable, Sequence
+
+import numpy as np
+
+from repro.sampling.relative_approximation import draw_sample
+from repro.utils.rng import as_generator
+
+__all__ = ["epsilon_net_size", "draw_epsilon_net", "is_epsilon_net", "net_violators"]
+
+
+def epsilon_net_size(
+    vc_dim: int, eps: float, q: float = 0.1, c: float = 1.0
+) -> int:
+    """Haussler-Welzl sample size: c (d/eps) log(1/(eps q))."""
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if not 0 < q < 1:
+        raise ValueError(f"q must be in (0, 1), got {q}")
+    if vc_dim < 0:
+        raise ValueError(f"VC dimension must be non-negative, got {vc_dim}")
+    d = max(vc_dim, 1)
+    size = c * (d / eps) * math.log2(1.0 / (eps * q))
+    return max(1, math.ceil(size))
+
+
+def draw_epsilon_net(
+    population: Collection[int],
+    vc_dim: int,
+    eps: float,
+    q: float = 0.1,
+    seed: "int | np.random.Generator | None" = None,
+    c: float = 1.0,
+) -> frozenset[int]:
+    """Draw a uniform sample of the Haussler-Welzl size."""
+    rng = as_generator(seed)
+    size = epsilon_net_size(vc_dim, eps, q=q, c=c)
+    return draw_sample(population, size, seed=rng)
+
+
+def net_violators(
+    ground: Collection[int],
+    ranges: Sequence[Iterable[int]],
+    net: Collection[int],
+    eps: float,
+) -> list[int]:
+    """Indices of eps-dense ranges the net misses (empty list = valid net)."""
+    ground_set = frozenset(ground)
+    net_set = frozenset(net)
+    if not net_set <= ground_set:
+        raise ValueError("net must be a subset of the ground set")
+    if not ground_set:
+        raise ValueError("ground set must be non-empty")
+    threshold = eps * len(ground_set)
+    violators = []
+    for index, raw in enumerate(ranges):
+        r = frozenset(raw) & ground_set
+        if len(r) >= threshold and not (r & net_set):
+            violators.append(index)
+    return violators
+
+
+def is_epsilon_net(
+    ground: Collection[int],
+    ranges: Sequence[Iterable[int]],
+    net: Collection[int],
+    eps: float,
+) -> bool:
+    """Does ``net`` hit every eps-dense range?"""
+    return not net_violators(ground, ranges, net, eps)

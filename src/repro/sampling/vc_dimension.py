@@ -1,0 +1,66 @@
+"""VC dimension of set systems.
+
+The paper invokes the bound behind Lemma 2.5 with the remark "a set system
+with M sets can have VC dimension at most log M".  This module computes VC
+dimensions exactly (exponential, for small systems), provides that log-M
+bound, and offers a shatter-function estimator — used by the test suite to
+check the remark and by users who want instance-adaptive sample sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Sequence
+
+from repro.setsystem.set_system import SetSystem
+
+__all__ = ["is_shattered", "vc_dimension", "vc_dimension_upper_bound", "shatter_counts"]
+
+
+def is_shattered(subset: Sequence[int], ranges: Sequence[frozenset[int]]) -> bool:
+    """Is every one of the 2^|subset| trace patterns realized by a range?"""
+    subset = list(subset)
+    traces = {frozenset(r & frozenset(subset)) for r in ranges}
+    return len(traces) == 1 << len(subset)
+
+
+def vc_dimension(system: SetSystem, cap: "int | None" = None) -> int:
+    """Exact VC dimension by exhaustive shattering search.
+
+    Cost grows as ``n choose d`` per candidate dimension ``d``; suitable for
+    the small systems in the tests.  ``cap`` stops the search early (the
+    returned value is then min(true dimension, cap)).
+    """
+    if system.m == 0 or system.n == 0:
+        return 0
+    limit = system.n if cap is None else min(cap, system.n)
+    dimension = 0
+    for d in range(1, limit + 1):
+        if (1 << d) > system.m + 1:
+            break  # cannot realize 2^d traces with m sets (+ empty trace)
+        shattered = any(
+            is_shattered(subset, system.sets)
+            for subset in itertools.combinations(range(system.n), d)
+        )
+        if not shattered:
+            break
+        dimension = d
+    return dimension
+
+
+def vc_dimension_upper_bound(m: int) -> int:
+    """The paper's remark: VC dimension <= log2(m) for m ranges."""
+    if m <= 0:
+        return 0
+    return int(math.floor(math.log2(m)))
+
+
+def shatter_counts(system: SetSystem, subset: Sequence[int]) -> int:
+    """Number of distinct traces the family realizes on ``subset``.
+
+    Equals 2^|subset| exactly when the subset is shattered; by
+    Sauer-Shelah it is O(|subset|^d) for VC dimension d.
+    """
+    subset_set = frozenset(subset)
+    return len({frozenset(r & subset_set) for r in system.sets})

@@ -1,0 +1,28 @@
+"""Set-system data structures: the instances every algorithm consumes."""
+
+from repro.setsystem.io import dumps_json, dumps_text, load, loads_json, loads_text, save
+from repro.setsystem.operations import (
+    cover_size,
+    coverage_histogram,
+    greedy_completion,
+    merge_systems,
+    project_family,
+    verify_cover,
+)
+from repro.setsystem.set_system import SetSystem
+
+__all__ = [
+    "SetSystem",
+    "cover_size",
+    "coverage_histogram",
+    "dumps_json",
+    "dumps_text",
+    "greedy_completion",
+    "load",
+    "loads_json",
+    "loads_text",
+    "merge_systems",
+    "project_family",
+    "save",
+    "verify_cover",
+]

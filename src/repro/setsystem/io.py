@@ -1,0 +1,78 @@
+"""Plain-text and JSON (de)serialization of set systems.
+
+The text format mirrors the classic rail/airline set-cover benchmark files:
+
+    n m
+    <set 0 elements, space separated>
+    ...
+    <set m-1 elements>
+
+Empty sets are encoded as blank lines.  The JSON format is the obvious
+``{"n": ..., "sets": [[...], ...]}`` document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.setsystem.set_system import SetSystem
+
+__all__ = ["dumps_text", "loads_text", "dumps_json", "loads_json", "save", "load"]
+
+
+def dumps_text(system: SetSystem) -> str:
+    """Serialize to the plain-text benchmark format."""
+    lines = [f"{system.n} {system.m}"]
+    for r in system.sets:
+        lines.append(" ".join(str(e) for e in sorted(r)))
+    return "\n".join(lines) + "\n"
+
+
+def loads_text(text: str) -> SetSystem:
+    """Parse the plain-text benchmark format."""
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError("empty set-system document")
+    header = lines[0].split()
+    if len(header) != 2:
+        raise ValueError(f"malformed header line: {lines[0]!r}")
+    n, m = int(header[0]), int(header[1])
+    body = lines[1 : 1 + m]
+    if len(body) != m:
+        raise ValueError(f"expected {m} set lines, found {len(body)}")
+    sets = [[int(token) for token in line.split()] for line in body]
+    return SetSystem(n, sets)
+
+
+def dumps_json(system: SetSystem) -> str:
+    """Serialize to a JSON document."""
+    return json.dumps(
+        {"n": system.n, "sets": [sorted(r) for r in system.sets]}
+    )
+
+
+def loads_json(text: str) -> SetSystem:
+    """Parse the JSON document format."""
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or "n" not in doc or "sets" not in doc:
+        raise ValueError("JSON set system must have 'n' and 'sets' keys")
+    return SetSystem(int(doc["n"]), doc["sets"])
+
+
+def save(system: SetSystem, path: "str | Path") -> None:
+    """Write a system to ``path``; format chosen by suffix (.json or text)."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(dumps_json(system))
+    else:
+        path.write_text(dumps_text(system))
+
+
+def load(path: "str | Path") -> SetSystem:
+    """Read a system from ``path``; format chosen by suffix (.json or text)."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".json":
+        return loads_json(text)
+    return loads_text(text)

@@ -1,0 +1,197 @@
+"""The central :class:`SetSystem` data structure.
+
+A set system ``(U, F)`` is a ground set ``U = {0, ..., n-1}`` together with a
+family ``F = (r_0, ..., r_{m-1})`` of subsets of ``U``.  The family is an
+ordered sequence (not a set of sets) because the streaming model of the paper
+delivers the sets in repository order, and because instances may legitimately
+contain duplicate sets.
+
+The class is immutable: all transformation helpers return new instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.utils.bitset import mask_of
+
+__all__ = ["SetSystem"]
+
+
+class SetSystem:
+    """An immutable set-cover instance ``(U, F)``.
+
+    Parameters
+    ----------
+    n:
+        Size of the ground set; elements are the integers ``0..n-1``.
+    sets:
+        The family ``F`` as an iterable of iterables of element ids.
+
+    Examples
+    --------
+    >>> inst = SetSystem(4, [[0, 1], [2], [2, 3], [0, 1, 2, 3]])
+    >>> inst.n, inst.m
+    (4, 4)
+    >>> inst.is_cover([3])
+    True
+    >>> inst.is_cover([0, 1])
+    False
+    """
+
+    __slots__ = ("_n", "_sets")
+
+    def __init__(self, n: int, sets: Iterable[Iterable[int]]):
+        if n < 0:
+            raise ValueError(f"ground set size must be non-negative, got {n}")
+        frozen: list[frozenset[int]] = []
+        for index, raw in enumerate(sets):
+            fs = frozenset(raw)
+            for element in fs:
+                if not 0 <= element < n:
+                    raise ValueError(
+                        f"set {index} contains element {element} outside the "
+                        f"ground set [0, {n})"
+                    )
+            frozen.append(fs)
+        self._n = n
+        self._sets = tuple(frozen)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of elements in the ground set."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of sets in the family."""
+        return len(self._sets)
+
+    @property
+    def sets(self) -> tuple[frozenset[int], ...]:
+        """The family ``F`` in repository order."""
+        return self._sets
+
+    @property
+    def universe(self) -> frozenset[int]:
+        """The ground set ``U`` as a frozenset."""
+        return frozenset(range(self._n))
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __getitem__(self, index: int) -> frozenset[int]:
+        return self._sets[index]
+
+    def __iter__(self) -> Iterator[frozenset[int]]:
+        return iter(self._sets)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SetSystem):
+            return NotImplemented
+        return self._n == other._n and self._sets == other._sets
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._sets))
+
+    def __repr__(self) -> str:
+        return f"SetSystem(n={self._n}, m={self.m})"
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def covered_by(self, selection: Iterable[int]) -> frozenset[int]:
+        """Union of the sets whose indices are in ``selection``."""
+        covered: set[int] = set()
+        for set_id in selection:
+            covered |= self._sets[set_id]
+        return frozenset(covered)
+
+    def uncovered_by(self, selection: Iterable[int]) -> frozenset[int]:
+        """Elements of ``U`` missed by ``selection``."""
+        return self.universe - self.covered_by(selection)
+
+    def is_cover(self, selection: Iterable[int]) -> bool:
+        """Does ``selection`` (by set index) cover the whole ground set?"""
+        return len(self.covered_by(selection)) == self._n
+
+    def is_feasible(self) -> bool:
+        """Does the family cover the ground set at all?"""
+        return self.is_cover(range(self.m))
+
+    def element_frequency(self, element: int) -> int:
+        """Number of sets containing ``element``."""
+        if not 0 <= element < self._n:
+            raise ValueError(f"element {element} outside ground set [0, {self._n})")
+        return sum(1 for r in self._sets if element in r)
+
+    def max_set_size(self) -> int:
+        """Cardinality of the largest set (0 for an empty family)."""
+        return max((len(r) for r in self._sets), default=0)
+
+    def sparsity(self) -> int:
+        """Alias of :meth:`max_set_size`; the ``s`` of s-Sparse Set Cover."""
+        return self.max_set_size()
+
+    def total_size(self) -> int:
+        """Sum of set cardinalities — the input size ``|F|`` in words."""
+        return sum(len(r) for r in self._sets)
+
+    # ------------------------------------------------------------------
+    # Conversions and transformations
+    # ------------------------------------------------------------------
+    def masks(self) -> list[int]:
+        """The family as integer bitmasks (element ``e`` -> bit ``e``)."""
+        return [mask_of(r) for r in self._sets]
+
+    def restrict_elements(self, keep: Iterable[int]) -> "SetSystem":
+        """Project the instance onto a subset of elements.
+
+        Elements in ``keep`` are renumbered ``0..len(keep)-1`` in increasing
+        order of their original id.  Sets are projected; empty projections
+        are *kept* (so set indices remain aligned with the original family).
+        """
+        ordered = sorted(set(keep))
+        for element in ordered:
+            if not 0 <= element < self._n:
+                raise ValueError(f"element {element} outside ground set [0, {self._n})")
+        renumber = {old: new for new, old in enumerate(ordered)}
+        projected = [
+            [renumber[e] for e in r if e in renumber] for r in self._sets
+        ]
+        return SetSystem(len(ordered), projected)
+
+    def subfamily(self, set_ids: Sequence[int]) -> "SetSystem":
+        """Keep only the sets whose indices appear in ``set_ids`` (in order)."""
+        return SetSystem(self._n, [self._sets[i] for i in set_ids])
+
+    def residual(self, selection: Iterable[int]) -> "SetSystem":
+        """The instance induced on the elements not covered by ``selection``.
+
+        Used by multi-pass algorithms that repeatedly re-solve on the
+        yet-uncovered part of the ground set.
+        """
+        return self.restrict_elements(self.uncovered_by(selection))
+
+    def without_dominated_sets(self) -> tuple["SetSystem", list[int]]:
+        """Drop sets contained in another set.
+
+        Returns the pruned system together with the original indices of the
+        surviving sets.  Classic preprocessing for exact solvers: a dominated
+        set can always be replaced by its dominator in an optimal cover.
+        """
+        keep: list[int] = []
+        for i, r in enumerate(self._sets):
+            dominated = False
+            for j, other in enumerate(self._sets):
+                if i == j:
+                    continue
+                if r < other or (r == other and j < i):
+                    dominated = True
+                    break
+            if not dominated:
+                keep.append(i)
+        return self.subfamily(keep), keep

@@ -1,0 +1,12 @@
+"""The streaming computation model: pass-counted access + word accounting."""
+
+from repro.streaming.memory import MemoryBudgetExceeded, MemoryMeter
+from repro.streaming.stream import ResourceReport, SetStream, StreamAccessError
+
+__all__ = [
+    "MemoryBudgetExceeded",
+    "MemoryMeter",
+    "ResourceReport",
+    "SetStream",
+    "StreamAccessError",
+]

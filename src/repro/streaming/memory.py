@@ -1,0 +1,101 @@
+"""Read-write memory accounting for streaming algorithms.
+
+The paper measures space in machine words (one word = one element id, set id,
+pointer or counter, i.e. O(log mn) bits).  Python cannot enforce a hard cap,
+so algorithms in this library *charge* a :class:`MemoryMeter` explicitly for
+everything they store, and the meter records the running total and the peak.
+
+Conventions used throughout the library:
+
+* storing an element id, a set id, a pointer or a scalar counter: 1 word;
+* storing a projected set of ``t`` elements: ``t`` words (plus 1 for the id);
+* storing a geometric canonical descriptor: its O(1) word count
+  (4 for a clipped rectangle, 3 for a disc, 6 for a triangle);
+* the uncovered-elements bitmap of the current ground set: ``n`` words
+  (the paper charges O(n) for it as well, cf. Lemma 2.2's second pass).
+
+The meter is deliberately dumb — algorithms stay honest by construction, and
+the test suite cross-checks the big-O shape of the reported peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryMeter", "MemoryBudgetExceeded"]
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """Raised when a meter with a hard budget is charged past it."""
+
+
+@dataclass
+class MemoryMeter:
+    """Tracks current and peak memory usage in words.
+
+    Parameters
+    ----------
+    budget:
+        Optional hard cap in words.  ``charge`` raises
+        :class:`MemoryBudgetExceeded` when the running total would exceed it.
+        Benchmarks normally run without a budget and report the peak.
+    label:
+        Free-form identifier used in reports (e.g. ``"guess k=8"``).
+    """
+
+    budget: "int | None" = None
+    label: str = ""
+    current: int = 0
+    peak: int = 0
+    total_charged: int = field(default=0, repr=False)
+
+    def charge(self, words: int) -> None:
+        """Record the allocation of ``words`` words."""
+        if words < 0:
+            raise ValueError(f"cannot charge a negative amount ({words})")
+        self.current += words
+        self.total_charged += words
+        if self.budget is not None and self.current > self.budget:
+            raise MemoryBudgetExceeded(
+                f"{self.label or 'meter'}: {self.current} words exceeds "
+                f"budget of {self.budget}"
+            )
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def release(self, words: int) -> None:
+        """Record the deallocation of ``words`` words."""
+        if words < 0:
+            raise ValueError(f"cannot release a negative amount ({words})")
+        if words > self.current:
+            raise ValueError(
+                f"{self.label or 'meter'}: releasing {words} words but only "
+                f"{self.current} are held"
+            )
+        self.current -= words
+
+    def reset_current(self) -> None:
+        """Drop all held words (end of an iteration); the peak is kept.
+
+        Mirrors the observation in Lemma 2.2 that the algorithm "does not
+        need to keep the memory space used by the earlier iterations".
+        """
+        self.current = 0
+
+    def merge_peak(self, other: "MemoryMeter") -> None:
+        """Fold another meter's peak into this one *additively*.
+
+        Used to combine the meters of parallel guesses: parallel executions
+        hold their memory simultaneously, so peaks add up.
+        """
+        self.peak += other.peak
+        self.total_charged += other.total_charged
+
+    def snapshot(self) -> dict:
+        """A plain-dict view for reports."""
+        return {
+            "label": self.label,
+            "current": self.current,
+            "peak": self.peak,
+            "budget": self.budget,
+        }

@@ -1,0 +1,127 @@
+"""The data-stream access model of the paper.
+
+"The sets r_1, ..., r_m are stored consecutively in a read-only repository
+and an algorithm can access the sets only by performing sequential scans of
+the repository."  (Section 1.)
+
+:class:`SetStream` enforces exactly that: the only way to see the family is
+to open a pass and consume it sequentially; every completed (or abandoned)
+pass increments the pass counter.  Random access raises.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.setsystem.set_system import SetSystem
+
+__all__ = ["SetStream", "StreamAccessError", "ResourceReport"]
+
+
+class StreamAccessError(RuntimeError):
+    """Raised on illegal access patterns (nested or random access)."""
+
+
+@dataclass
+class ResourceReport:
+    """The two resources the paper bounds, plus solution metadata."""
+
+    passes: int = 0
+    peak_memory_words: int = 0
+    solution_size: "int | None" = None
+    extra: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        row = {
+            "passes": self.passes,
+            "space(words)": self.peak_memory_words,
+            "|sol|": self.solution_size,
+        }
+        row.update(self.extra)
+        return row
+
+
+class SetStream:
+    """Sequential, pass-counted access to the family of a set system.
+
+    Parameters
+    ----------
+    system:
+        The underlying instance.  The ground set (``system.n``) is public —
+        the paper stores the element universe in memory in advance — but the
+        family may only be read through :meth:`iterate`.
+
+    Examples
+    --------
+    >>> from repro.setsystem import SetSystem
+    >>> stream = SetStream(SetSystem(3, [[0], [1, 2]]))
+    >>> [sorted(r) for _, r in stream.iterate()]
+    [[0], [1, 2]]
+    >>> stream.passes
+    1
+    """
+
+    def __init__(self, system: SetSystem):
+        self._system = system
+        self._passes = 0
+        self._in_pass = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Ground-set size (known to the algorithm up front)."""
+        return self._system.n
+
+    @property
+    def m(self) -> int:
+        """Number of sets in the repository.
+
+        The paper's algorithms know m (it appears in their sample sizes), so
+        the stream exposes it as metadata without costing a pass.
+        """
+        return self._system.m
+
+    @property
+    def passes(self) -> int:
+        """Number of passes opened so far."""
+        return self._passes
+
+    def reset_passes(self) -> None:
+        """Zero the pass counter (for reusing one stream across runs)."""
+        if self._in_pass:
+            raise StreamAccessError("cannot reset the counter mid-pass")
+        self._passes = 0
+
+    # ------------------------------------------------------------------
+    def iterate(self) -> Iterator[tuple[int, frozenset[int]]]:
+        """Open a pass and yield ``(set_id, set)`` in repository order.
+
+        Opening a pass while another is active raises — the streaming model
+        has a single read head.  A pass counts as soon as it is opened,
+        whether or not it is consumed to the end (an early exit still had to
+        rewind the repository).
+        """
+        if self._in_pass:
+            raise StreamAccessError("a pass is already in progress")
+        self._in_pass = True
+        self._passes += 1
+        try:
+            for set_id, r in enumerate(self._system.sets):
+                yield set_id, r
+        finally:
+            self._in_pass = False
+
+    # ------------------------------------------------------------------
+    def verify_solution(self, selection) -> bool:
+        """Out-of-band feasibility check used by tests and benchmarks.
+
+        This is *referee* functionality, not part of the streaming model;
+        it does not consume a pass and must not be called by algorithms.
+        """
+        return self._system.is_cover(selection)
+
+    @property
+    def system(self) -> SetSystem:
+        """Referee access to the full instance (tests/benchmarks only)."""
+        return self._system

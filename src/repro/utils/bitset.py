@@ -1,0 +1,70 @@
+"""Integer-bitmask set utilities.
+
+The offline solvers and several reductions manipulate subsets of a ground set
+``{0, ..., n-1}``.  Arbitrary-precision Python integers make an efficient and
+allocation-friendly set representation for this: membership is a shift,
+union/intersection are single ``|``/``&`` operations, and cardinality is
+``int.bit_count()``.
+
+These helpers convert between iterables of indices and masks.  They are pure
+functions with no state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["mask_of", "bits_of", "iter_bits", "count_bits", "universe_mask"]
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """Return the bitmask with exactly the given ``indices`` set.
+
+    >>> bin(mask_of([0, 2, 3]))
+    '0b1101'
+    """
+    mask = 0
+    for index in indices:
+        if index < 0:
+            raise ValueError(f"bitset indices must be non-negative, got {index}")
+        mask |= 1 << index
+    return mask
+
+
+def bits_of(mask: int) -> list[int]:
+    """Return the sorted list of indices set in ``mask``.
+
+    >>> bits_of(0b1101)
+    [0, 2, 3]
+    """
+    return list(iter_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices set in ``mask`` in increasing order.
+
+    Uses the lowest-set-bit trick so the cost is proportional to the number
+    of set bits, not to the universe size.
+    """
+    if mask < 0:
+        raise ValueError("bitset masks must be non-negative")
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def count_bits(mask: int) -> int:
+    """Return the number of set bits (``|mask|`` as a set)."""
+    return mask.bit_count()
+
+
+def universe_mask(n: int) -> int:
+    """Return the full universe ``{0, ..., n-1}`` as a mask.
+
+    >>> bin(universe_mask(4))
+    '0b1111'
+    """
+    if n < 0:
+        raise ValueError(f"universe size must be non-negative, got {n}")
+    return (1 << n) - 1

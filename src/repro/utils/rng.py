@@ -1,0 +1,38 @@
+"""Randomness plumbing.
+
+Every randomized component in the library accepts either a seed or a
+``numpy.random.Generator`` and normalizes it through :func:`as_generator`.
+This keeps all experiments reproducible from a single integer seed while
+allowing callers to share one generator across components when they want
+correlated streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def as_generator(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Normalize ``seed`` into a ``numpy.random.Generator``.
+
+    ``None`` produces a fresh OS-seeded generator; an integer produces a
+    deterministic generator; an existing generator is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Children are derived through ``Generator.spawn`` so they are
+    statistically independent and individually reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return as_generator(seed).spawn(count)

@@ -1,0 +1,15 @@
+"""Weighted Set Cover: the deployment-oriented generalization."""
+
+from repro.weighted.solvers import (
+    exact_weighted_cover,
+    validate_weights,
+    weighted_fractional_optimum,
+    weighted_greedy_cover,
+)
+
+__all__ = [
+    "exact_weighted_cover",
+    "validate_weights",
+    "weighted_fractional_optimum",
+    "weighted_greedy_cover",
+]

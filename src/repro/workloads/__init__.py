@@ -1,0 +1,23 @@
+"""Workload generators for benchmarks, examples and tests."""
+
+from repro.workloads.coverage import blog_watch_instance
+from repro.workloads.random_instances import (
+    PlantedInstance,
+    planted_instance,
+    uniform_random_instance,
+)
+from repro.workloads.skewed import (
+    nested_chain_instance,
+    threshold_trap_instance,
+    zipf_instance,
+)
+
+__all__ = [
+    "PlantedInstance",
+    "blog_watch_instance",
+    "nested_chain_instance",
+    "planted_instance",
+    "threshold_trap_instance",
+    "uniform_random_instance",
+    "zipf_instance",
+]

@@ -1,0 +1,78 @@
+"""Topic-coverage ("blog watch") workloads, after the motivation of [SG09].
+
+Saha and Getoor's motivating application: a stream of blogs, each covering a
+set of topics; choose few blogs covering all topics.  The generator builds a
+two-level topic model: blogs have a specialty community plus long-tail
+interests, and a handful of aggregator blogs cover many communities — the
+structure that makes greedy-style algorithms shine and gives streaming
+algorithms realistic skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.setsystem.set_system import SetSystem
+from repro.utils.rng import as_generator
+
+__all__ = ["blog_watch_instance"]
+
+
+def blog_watch_instance(
+    topics: int,
+    blogs: int,
+    communities: int = 8,
+    aggregators: int = 3,
+    specialty_coverage: float = 0.7,
+    tail_interest: float = 0.02,
+    seed: "int | np.random.Generator | None" = None,
+) -> SetSystem:
+    """Generate a blogs-cover-topics instance.
+
+    Parameters
+    ----------
+    topics / blogs:
+        Ground-set and family sizes (n and m).
+    communities:
+        Number of topic communities; each blog specializes in one.
+    aggregators:
+        Blogs that cover a large random slice of *all* topics (news sites).
+    specialty_coverage:
+        Fraction of its community a specialist blog covers.
+    tail_interest:
+        Probability a specialist also covers any given out-of-community
+        topic.
+    """
+    if communities < 1:
+        raise ValueError(f"need at least one community, got {communities}")
+    if blogs < communities:
+        raise ValueError(
+            f"need blogs >= communities for feasibility ({blogs} < {communities})"
+        )
+    rng = as_generator(seed)
+    community_of_topic = rng.integers(communities, size=topics)
+    topic_ids = np.arange(topics)
+
+    sets: list[set[int]] = []
+    for blog in range(blogs):
+        if blog < aggregators:
+            coverage = rng.random(topics) < rng.uniform(0.3, 0.6)
+            sets.append(set(topic_ids[coverage].tolist()))
+            continue
+        community = blog % communities
+        in_community = topic_ids[community_of_topic == community]
+        keep = rng.random(len(in_community)) < specialty_coverage
+        chosen = set(in_community[keep].tolist())
+        tail = rng.random(topics) < tail_interest
+        chosen |= set(topic_ids[tail].tolist())
+        sets.append(chosen)
+
+    covered = set().union(*sets) if sets else set()
+    for topic in range(topics):
+        if topic not in covered:
+            # Assign orphan topics to their community's first specialist.
+            blog = aggregators + int(community_of_topic[topic]) % max(
+                blogs - aggregators, 1
+            )
+            sets[min(blog, blogs - 1)].add(topic)
+    return SetSystem(topics, sets)

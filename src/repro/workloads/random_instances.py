@@ -1,0 +1,121 @@
+"""Random set-cover instance generators.
+
+Two families dominate the experiments:
+
+* **uniform** instances — every set contains each element independently
+  with probability ``density``; the instances of the Section 3 lower-bound
+  argument (Alice's random collection) are exactly these with density 1/2;
+* **planted** instances — a hidden partition of the ground set into ``opt``
+  sets is planted and then obscured with decoys, so the optimal cover size
+  is known *by construction* and approximation ratios can be measured
+  without an exact solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.setsystem.set_system import SetSystem
+from repro.utils.rng import as_generator
+
+__all__ = ["uniform_random_instance", "planted_instance", "PlantedInstance"]
+
+
+def uniform_random_instance(
+    n: int,
+    m: int,
+    density: float = 0.5,
+    seed: "int | np.random.Generator | None" = None,
+    ensure_feasible: bool = True,
+) -> SetSystem:
+    """Each of ``m`` sets contains each element with probability ``density``.
+
+    With ``ensure_feasible`` (default), any element missed by all sets is
+    appended to a uniformly chosen set, so the instance is always coverable.
+    """
+    if not 0 <= density <= 1:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = as_generator(seed)
+    membership = rng.random((m, n)) < density
+    sets = [set(np.flatnonzero(membership[i]).tolist()) for i in range(m)]
+    if ensure_feasible and m > 0:
+        covered = set().union(*sets) if sets else set()
+        for element in range(n):
+            if element not in covered:
+                sets[int(rng.integers(m))].add(element)
+    return SetSystem(n, sets)
+
+
+class PlantedInstance:
+    """A set system with a known planted optimal cover.
+
+    Attributes
+    ----------
+    system:
+        The generated :class:`SetSystem`.
+    planted_ids:
+        Indices of the planted partition sets (a cover of size ``opt``).
+    opt:
+        Size of the planted cover.  The true optimum is at most ``opt``;
+        decoys are built small enough that it is exactly ``opt`` unless a
+        lucky decoy union covers U (prevented by the size cap below).
+    """
+
+    def __init__(self, system: SetSystem, planted_ids: list[int]):
+        self.system = system
+        self.planted_ids = planted_ids
+
+    @property
+    def opt(self) -> int:
+        return len(self.planted_ids)
+
+
+def planted_instance(
+    n: int,
+    m: int,
+    opt: int,
+    seed: "int | np.random.Generator | None" = None,
+    decoy_fraction_of_part: float = 0.6,
+) -> PlantedInstance:
+    """Build an instance whose optimal cover has exactly ``opt`` sets.
+
+    The ground set is split into ``opt`` near-equal parts (the planted
+    cover).  The remaining ``m - opt`` decoy sets are random subsets that
+    each miss at least one *private* element per part: every part keeps one
+    element that occurs **only** in its planted set, so any cover must take
+    all ``opt`` planted sets or cover each private element; decoys never
+    contain private elements, hence the optimum is exactly ``opt``.
+
+    The planted sets are placed at random stream positions so streaming
+    algorithms cannot benefit from ordering.
+    """
+    if opt < 1 or opt > n:
+        raise ValueError(f"opt must be in [1, n], got {opt}")
+    if m < opt:
+        raise ValueError(f"need at least m >= opt sets, got m={m}, opt={opt}")
+    if not 0 < decoy_fraction_of_part <= 1:
+        raise ValueError(
+            f"decoy_fraction_of_part must be in (0, 1], got {decoy_fraction_of_part}"
+        )
+    rng = as_generator(seed)
+
+    permutation = rng.permutation(n)
+    parts = [sorted(part.tolist()) for part in np.array_split(permutation, opt)]
+    private = {part[0] for part in parts}  # one private element per part
+    public = [e for e in range(n) if e not in private]
+
+    decoys: list[list[int]] = []
+    max_decoy = max(1, int(decoy_fraction_of_part * (n / opt)))
+    for _ in range(m - opt):
+        size = int(rng.integers(1, max_decoy + 1))
+        size = min(size, len(public))
+        chosen = rng.choice(len(public), size=size, replace=False)
+        decoys.append([public[i] for i in chosen])
+
+    sets: list[list[int]] = decoys + [list(p) for p in parts]
+    order = rng.permutation(len(sets))
+    shuffled = [sets[i] for i in order]
+    planted_positions = [
+        int(np.flatnonzero(order == (len(decoys) + j))[0]) for j in range(opt)
+    ]
+    return PlantedInstance(SetSystem(n, shuffled), sorted(planted_positions))

@@ -1,0 +1,102 @@
+"""Skewed (Zipf-like) and adversarial workloads.
+
+Real coverage corpora (web hosts, blog topics [SG09, CKT10]) have heavy
+tails: a few huge sets and many tiny ones.  The Zipf generator reproduces
+that shape.  The adversarial generators stress specific algorithms:
+``threshold_trap`` hides a small optimum behind many just-below-threshold
+sets (bad for one-pass threshold algorithms), and ``nested_chain`` builds a
+laminar family where greedy is forced into its Theta(log n) worst case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.setsystem.set_system import SetSystem
+from repro.utils.rng import as_generator
+
+__all__ = ["zipf_instance", "threshold_trap_instance", "nested_chain_instance"]
+
+
+def zipf_instance(
+    n: int,
+    m: int,
+    exponent: float = 1.2,
+    max_set_fraction: float = 0.3,
+    seed: "int | np.random.Generator | None" = None,
+) -> SetSystem:
+    """Set sizes follow a Zipf law: size_i ~ max_size / i^exponent.
+
+    Elements within each set are uniform.  A final patch guarantees
+    feasibility (each uncovered element is added to a random set).
+    """
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    rng = as_generator(seed)
+    max_size = max(1, int(max_set_fraction * n))
+    sets: list[set[int]] = []
+    for rank in range(1, m + 1):
+        size = max(1, int(round(max_size / rank**exponent)))
+        chosen = rng.choice(n, size=min(size, n), replace=False)
+        sets.append(set(chosen.tolist()))
+    covered = set().union(*sets) if sets else set()
+    for element in range(n):
+        if element not in covered:
+            sets[int(rng.integers(m))].add(element)
+    return SetSystem(n, sets)
+
+
+def threshold_trap_instance(
+    n: int,
+    decoys_per_block: int = 4,
+    seed: "int | np.random.Generator | None" = None,
+) -> SetSystem:
+    """An instance where size-threshold heuristics overpay.
+
+    The optimum is 2: two half-universe sets.  They are drowned among many
+    decoys of size exactly ``sqrt(n)`` — right at the pick threshold of
+    one-pass threshold algorithms, which therefore commit to ~sqrt(n)
+    decoys before the optimum arrives.  Decoys precede the optimum in
+    stream order (the adversarial arrival order for threshold rules).
+    """
+    if n < 4:
+        raise ValueError(f"need n >= 4, got {n}")
+    rng = as_generator(seed)
+    half = n // 2
+    optimum = [list(range(half)), list(range(half, n))]
+    block = max(1, int(np.ceil(np.sqrt(n))))
+    decoys = []
+    for start in range(0, n - block + 1, block):
+        for _ in range(decoys_per_block):
+            decoys.append(list(range(start, start + block)))
+    rng.shuffle(decoys)
+    return SetSystem(n, decoys + optimum)
+
+
+def nested_chain_instance(n: int) -> SetSystem:
+    """The classic greedy worst-case family (laminar chain + blocks).
+
+    Ground set of size n = 2^t; the family contains the two halves
+    (the optimum, size 2) plus a chain of sets of sizes n/2, n/4, ...
+    drawn alternately from both halves so that greedy prefers the chain
+    and outputs Theta(log n) sets.
+    """
+    if n < 4 or n & (n - 1):
+        raise ValueError(f"n must be a power of two >= 4, got {n}")
+    left = list(range(0, n, 2))
+    right = list(range(1, n, 2))
+    sets = [left, right]
+    # Chain blocks: each block takes strictly more than half of what remains
+    # of each optimum half, so its residual coverage strictly beats both
+    # halves and greedy commits to the whole Theta(log n)-length chain.
+    remaining_left, remaining_right = left[:], right[:]
+    while remaining_left or remaining_right:
+        take_l = min(len(remaining_left), len(remaining_left) // 2 + 1)
+        take_r = min(len(remaining_right), len(remaining_right) // 2 + 1)
+        block = remaining_left[:take_l] + remaining_right[:take_r]
+        if not block:
+            break
+        sets.append(block)
+        remaining_left = remaining_left[take_l:]
+        remaining_right = remaining_right[take_r:]
+    return SetSystem(n, sets)

@@ -1,0 +1,80 @@
+"""Tests for the analysis helpers (theory formulas + tables)."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    FIGURE_1_1_ROWS,
+    cw16_approx,
+    dimv14_passes,
+    er14_approx,
+    format_value,
+    geometric_space,
+    iter_set_cover_passes,
+    iter_set_cover_space,
+    render_table,
+    single_pass_lb_bits,
+    sparse_lb_space,
+)
+
+
+class TestTheoryShapes:
+    def test_iter_space_sublinear_in_input(self):
+        n, m = 1024, 2048
+        assert iter_set_cover_space(n, m, 0.25) < m * n
+
+    def test_iter_space_monotone_in_delta(self):
+        assert iter_set_cover_space(1024, 2048, 0.5) > iter_set_cover_space(
+            1024, 2048, 0.25
+        )
+
+    def test_passes_tradeoff(self):
+        assert iter_set_cover_passes(0.25) == 8
+        assert dimv14_passes(0.25) == 256  # the exponential gap
+
+    def test_cw16_interpolates(self):
+        n = 4096
+        assert cw16_approx(n, 1) > cw16_approx(n, 3)
+        assert abs(cw16_approx(n, 1) - 2 * n**0.5) < 1e-9
+
+    def test_er14_is_cw16_single_pass_shape(self):
+        n = 256
+        assert er14_approx(n) == n**0.5
+
+    def test_lower_bound_formulas(self):
+        assert single_pass_lb_bits(100, 50) == 5000
+        assert sparse_lb_space(100, 8) == 800
+
+    def test_geometric_space_independent_of_m(self):
+        assert geometric_space(512) == geometric_space(512)
+
+    def test_figure_rows_well_formed(self):
+        assert len(FIGURE_1_1_ROWS) >= 10
+        for row in FIGURE_1_1_ROWS:
+            assert len(row) == 4
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(3) == "3"
+        assert format_value(0.5) == "0.5"
+        assert format_value(123456.0) == "1.23e+05"
+
+    def test_render_basic(self):
+        table = render_table(
+            [{"a": 1, "b": 2.0}, {"a": 10, "b": None}], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert lines[-1].strip().endswith("-")
+
+    def test_render_respects_column_order(self):
+        table = render_table([{"x": 1, "y": 2}], columns=["y", "x"])
+        header = table.splitlines()[0]
+        assert header.index("y") < header.index("x")
+
+    def test_render_collects_late_keys(self):
+        table = render_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "b" in table.splitlines()[0]

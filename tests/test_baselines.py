@@ -1,0 +1,213 @@
+"""Tests for the Figure 1.1 baseline algorithms."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    ChakrabartiWirth,
+    DemaineEtAl,
+    EmekRosen,
+    MultiPassGreedy,
+    SahaGetoor,
+    StoreAllGreedy,
+    ThresholdGreedy,
+)
+from repro.offline import greedy_cover
+from repro.setsystem import SetSystem
+from repro.streaming import SetStream
+from repro.workloads import (
+    planted_instance,
+    threshold_trap_instance,
+    uniform_random_instance,
+)
+
+ALL_BASELINES = [
+    StoreAllGreedy(),
+    MultiPassGreedy(),
+    ThresholdGreedy(),
+    EmekRosen(),
+    ChakrabartiWirth(passes=2),
+    SahaGetoor(),
+    DemaineEtAl(delta=0.5, k=4, seed=0),
+]
+
+
+@pytest.mark.parametrize("algo", ALL_BASELINES, ids=lambda a: a.name)
+def test_all_baselines_produce_covers(algo):
+    planted = planted_instance(n=80, m=60, opt=4, seed=2)
+    stream = SetStream(planted.system)
+    result = algo.solve(stream)
+    assert stream.verify_solution(result.selection), result.algorithm
+    assert result.feasible
+
+
+@pytest.mark.parametrize("algo", ALL_BASELINES, ids=lambda a: a.name)
+def test_all_baselines_report_pass_counts(algo):
+    planted = planted_instance(n=40, m=30, opt=3, seed=4)
+    stream = SetStream(planted.system)
+    result = algo.solve(stream)
+    assert result.passes == stream.passes
+    assert result.passes >= 1
+
+
+class TestStoreAllGreedy:
+    def test_single_pass(self, uniform_small):
+        stream = SetStream(uniform_small)
+        result = StoreAllGreedy().solve(stream)
+        assert result.passes == 1
+
+    def test_matches_offline_greedy(self, uniform_small):
+        result = StoreAllGreedy().solve(SetStream(uniform_small))
+        assert result.solution_size == len(greedy_cover(uniform_small))
+
+    def test_memory_is_total_input_size(self, uniform_small):
+        result = StoreAllGreedy().solve(SetStream(uniform_small))
+        assert result.peak_memory_words >= uniform_small.total_size()
+
+
+class TestMultiPassGreedy:
+    def test_one_pass_per_pick(self, tiny_system):
+        stream = SetStream(tiny_system)
+        result = MultiPassGreedy().solve(stream)
+        assert result.passes == result.solution_size
+        assert result.solution_size == 2
+
+    def test_matches_offline_greedy_size(self, uniform_small):
+        result = MultiPassGreedy().solve(SetStream(uniform_small))
+        assert result.solution_size == len(greedy_cover(uniform_small))
+
+    def test_memory_linear_in_n(self, uniform_small):
+        result = MultiPassGreedy().solve(SetStream(uniform_small))
+        assert result.peak_memory_words <= 3 * uniform_small.n
+
+    def test_max_passes_cutoff(self, uniform_small):
+        result = MultiPassGreedy(max_passes=1).solve(SetStream(uniform_small))
+        assert result.passes == 1
+
+    def test_infeasible(self, infeasible_system):
+        result = MultiPassGreedy().solve(SetStream(infeasible_system))
+        assert not result.feasible
+
+
+class TestThresholdGreedy:
+    def test_log_passes(self):
+        system = uniform_random_instance(128, 100, density=0.08, seed=1)
+        stream = SetStream(system)
+        result = ThresholdGreedy().solve(stream)
+        assert result.passes <= math.ceil(math.log2(128)) + 1
+        assert stream.verify_solution(result.selection)
+
+    def test_approximation_logarithmic_on_planted(self):
+        planted = planted_instance(n=128, m=90, opt=4, seed=8)
+        result = ThresholdGreedy().solve(SetStream(planted.system))
+        assert result.solution_size <= 4 * planted.opt * math.log2(128)
+
+    def test_shrink_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdGreedy(shrink=1.0)
+
+
+class TestEmekRosen:
+    def test_single_pass(self, uniform_small):
+        stream = SetStream(uniform_small)
+        result = EmekRosen().solve(stream)
+        assert result.passes == 1
+        assert stream.verify_solution(result.selection)
+
+    def test_sqrt_bound_on_planted(self):
+        planted = planted_instance(n=100, m=60, opt=4, seed=12)
+        result = EmekRosen().solve(SetStream(planted.system))
+        assert result.solution_size <= 2 * math.sqrt(100) * planted.opt
+
+    def test_memory_linear(self):
+        planted = planted_instance(n=100, m=60, opt=4, seed=12)
+        result = EmekRosen().solve(SetStream(planted.system))
+        assert result.peak_memory_words <= 4 * 100
+
+    def test_trap_instance_overpays(self):
+        """Decoys below sqrt(n) force the pointer fallback; the optimum 2 is
+        missed — the behaviour the ER14 lower bound formalizes."""
+        system = threshold_trap_instance(64, seed=3)
+        stream = SetStream(system)
+        result = EmekRosen().solve(stream)
+        assert stream.verify_solution(result.selection)
+        assert result.solution_size > 2
+
+
+class TestChakrabartiWirth:
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_p_passes(self, p):
+        system = uniform_random_instance(80, 60, density=0.1, seed=2)
+        stream = SetStream(system)
+        result = ChakrabartiWirth(passes=p).solve(stream)
+        assert result.passes <= p
+        assert stream.verify_solution(result.selection)
+
+    def test_more_passes_do_not_hurt_much(self):
+        planted = planted_instance(n=256, m=120, opt=4, seed=6)
+        sizes = {}
+        for p in (1, 3):
+            result = ChakrabartiWirth(passes=p).solve(SetStream(planted.system))
+            sizes[p] = result.solution_size
+        assert sizes[3] <= sizes[1]
+
+    def test_bound_formula_reported(self):
+        system = uniform_random_instance(64, 40, density=0.1, seed=2)
+        result = ChakrabartiWirth(passes=2).solve(SetStream(system))
+        assert result.extra["approx_bound"] == pytest.approx(3 * 64 ** (1 / 3))
+
+    def test_passes_validated(self):
+        with pytest.raises(ValueError):
+            ChakrabartiWirth(passes=0)
+
+
+class TestSahaGetoor:
+    def test_produces_cover_with_log_passes(self):
+        system = uniform_random_instance(64, 50, density=0.1, seed=3)
+        stream = SetStream(system)
+        result = SahaGetoor().solve(stream)
+        assert stream.verify_solution(result.selection)
+        assert result.passes <= math.ceil(math.log2(64)) + 2
+
+    def test_memory_superlinear_cache(self):
+        """SG09's signature: the candidate cache stores whole sets, so the
+        peak is well above the O(n) of threshold greedy on the same input."""
+        system = uniform_random_instance(64, 120, density=0.25, seed=4)
+        sg = SahaGetoor().solve(SetStream(system))
+        tg = ThresholdGreedy().solve(SetStream(system))
+        assert sg.peak_memory_words > 2 * tg.peak_memory_words
+
+
+class TestDemaineEtAl:
+    def test_with_known_k(self):
+        planted = planted_instance(n=60, m=45, opt=4, seed=7)
+        stream = SetStream(planted.system)
+        result = DemaineEtAl(delta=0.5, k=4, seed=1).solve(stream)
+        assert stream.verify_solution(result.selection)
+
+    def test_doubling_restart_without_k(self):
+        planted = planted_instance(n=60, m=45, opt=4, seed=7)
+        stream = SetStream(planted.system)
+        result = DemaineEtAl(delta=0.5, seed=1).solve(stream)
+        assert stream.verify_solution(result.selection)
+        assert result.best_k >= 1
+
+    def test_pass_count_grows_as_delta_shrinks(self):
+        """The exponential-in-1/delta recursion: with the sampling constant
+        small enough to force recursion, passes grow sharply."""
+        planted = planted_instance(n=240, m=120, opt=6, seed=9)
+        passes = {}
+        for delta in (1.0, 0.34):
+            stream = SetStream(planted.system)
+            result = DemaineEtAl(
+                delta=delta, k=6, seed=2, sample_constant=0.05
+            ).solve(stream)
+            passes[delta] = result.passes
+        assert passes[0.34] > passes[1.0]
+
+    def test_delta_validated(self):
+        with pytest.raises(ValueError):
+            DemaineEtAl(delta=0.0)

@@ -1,0 +1,78 @@
+"""Unit and property tests for the bitmask utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitset import bits_of, count_bits, iter_bits, mask_of, universe_mask
+
+
+class TestMaskOf:
+    def test_empty(self):
+        assert mask_of([]) == 0
+
+    def test_single(self):
+        assert mask_of([3]) == 0b1000
+
+    def test_multiple(self):
+        assert mask_of([0, 2, 3]) == 0b1101
+
+    def test_duplicates_are_idempotent(self):
+        assert mask_of([1, 1, 1]) == mask_of([1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of([-1])
+
+    def test_large_index(self):
+        assert mask_of([1000]) == 1 << 1000
+
+
+class TestBitsOf:
+    def test_empty(self):
+        assert bits_of(0) == []
+
+    def test_sorted_output(self):
+        assert bits_of(0b10110) == [1, 2, 4]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_bits(-1))
+
+
+class TestCountAndUniverse:
+    def test_count(self):
+        assert count_bits(0b1011) == 3
+
+    def test_universe(self):
+        assert universe_mask(4) == 0b1111
+
+    def test_universe_zero(self):
+        assert universe_mask(0) == 0
+
+    def test_universe_negative_rejected(self):
+        with pytest.raises(ValueError):
+            universe_mask(-1)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=200)))
+def test_roundtrip(indices):
+    assert set(bits_of(mask_of(indices))) == indices
+
+
+@given(st.sets(st.integers(min_value=0, max_value=200)))
+def test_count_matches_cardinality(indices):
+    assert count_bits(mask_of(indices)) == len(indices)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=100)),
+    st.sets(st.integers(min_value=0, max_value=100)),
+)
+def test_mask_operations_mirror_set_operations(a, b):
+    ma, mb = mask_of(a), mask_of(b)
+    assert set(bits_of(ma | mb)) == a | b
+    assert set(bits_of(ma & mb)) == a & b
+    assert set(bits_of(ma & ~mb)) == a - b

@@ -1,0 +1,165 @@
+"""Tests for canonical representations (Definition 4.1, Lemmas 4.2-4.4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    AxisRect,
+    CanonicalRepresentation,
+    Disc,
+    Point,
+    figure_1_2_instance,
+    random_rect_instance,
+)
+from repro.geometry.canonical import build_x_tree
+
+
+class TestXTree:
+    def test_empty(self):
+        assert build_x_tree([]) is None
+
+    def test_single_leaf(self):
+        node = build_x_tree([1.0])
+        assert node.is_leaf
+        assert node.split_x == 1.0
+
+    def test_balanced_depth(self):
+        xs = [float(i) for i in range(64)]
+        node = build_x_tree(xs)
+
+        def depth(n):
+            if n is None or n.is_leaf:
+                return 1
+            return 1 + max(depth(n.left), depth(n.right))
+
+        assert depth(node) <= math.ceil(math.log2(64)) + 1
+
+    def test_slabs_partition(self):
+        xs = [float(i) for i in range(10)]
+        root = build_x_tree(xs)
+        leaves = []
+
+        def collect(n):
+            if n is None:
+                return
+            if n.is_leaf:
+                leaves.append((n.lo, n.hi))
+                return
+            collect(n.left)
+            collect(n.right)
+
+        collect(root)
+        covered = sorted(leaves)
+        assert covered[0][0] == 0 and covered[-1][1] == 10
+        for (a, b), (c, _) in zip(covered, covered[1:]):
+            assert b == c
+
+
+class TestDecompositionCorrectness:
+    def _points(self, n, seed=0):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        return {i: Point(float(x), float(y)) for i, (x, y) in enumerate(rng.random((n, 2)))}
+
+    def test_pieces_union_to_projection_rects(self):
+        sample = self._points(40, seed=1)
+        rep = CanonicalRepresentation(sample, mode="split")
+        rect = AxisRect(0.2, 0.2, 0.7, 0.8)
+        pieces, _ = rep.add_shape(rect)
+        union = frozenset().union(*[p.content for p in pieces]) if pieces else frozenset()
+        truth = frozenset(i for i, p in sample.items() if rect.contains(p))
+        assert union == truth
+
+    def test_at_most_two_pieces(self):
+        sample = self._points(50, seed=2)
+        rep = CanonicalRepresentation(sample, mode="split")
+        for x1 in (0.1, 0.3, 0.5):
+            pieces, _ = rep.add_shape(AxisRect(x1, 0.1, x1 + 0.3, 0.9))
+            assert len(pieces) <= 2
+
+    def test_dedupe_mode_single_piece(self):
+        sample = self._points(30, seed=3)
+        rep = CanonicalRepresentation(sample, mode="dedupe")
+        pieces, _ = rep.add_shape(Disc(0.5, 0.5, 0.3))
+        assert len(pieces) == 1
+
+    def test_duplicate_shape_costs_no_new_words(self):
+        sample = self._points(30, seed=4)
+        rep = CanonicalRepresentation(sample, mode="split")
+        rect = AxisRect(0.1, 0.1, 0.9, 0.9)
+        _, first_words = rep.add_shape(rect)
+        _, second_words = rep.add_shape(rect)
+        assert first_words > 0
+        assert second_words == 0
+
+    def test_empty_shape_produces_nothing(self):
+        sample = self._points(10, seed=5)
+        rep = CanonicalRepresentation(sample, mode="split")
+        pieces, words = rep.add_shape(AxisRect(5, 5, 6, 6))
+        assert pieces == [] and words == 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CanonicalRepresentation({}, mode="bogus")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_rects_decompose_exactly(self, n, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        sample = {
+            i: Point(float(x), float(y)) for i, (x, y) in enumerate(rng.random((n, 2)))
+        }
+        rep = CanonicalRepresentation(sample, mode="split")
+        x1, y1 = rng.random(), rng.random()
+        rect = AxisRect(x1, y1, x1 + rng.random(), y1 + rng.random())
+        pieces, _ = rep.add_shape(rect)
+        union = frozenset().union(*[p.content for p in pieces]) if pieces else frozenset()
+        assert union == frozenset(i for i, p in sample.items() if rect.contains(p))
+
+
+class TestPoolGrowth:
+    def test_figure12_pool_subquadratic(self):
+        """The heart of Section 4: on the Figure 1.2 construction the
+        distinct projections are Theta(n^2) but the canonical pool is
+        near-linear."""
+        for n in (16, 32):
+            inst = figure_1_2_instance(n)
+            rep = CanonicalRepresentation(
+                {i: p for i, p in enumerate(inst.points)}, mode="split"
+            )
+            for shape in inst.shapes:
+                rep.add_shape(shape)
+            quadratic = inst.m  # == (n/2)^2, all distinct
+            assert rep.pool_size < quadratic / 2
+            assert rep.pool_size <= 4 * n * math.ceil(math.log2(n))
+
+    def test_dedupe_mode_matches_distinct_projections(self):
+        inst = figure_1_2_instance(12)
+        rep = CanonicalRepresentation(
+            {i: p for i, p in enumerate(inst.points)}, mode="dedupe"
+        )
+        for shape in inst.shapes:
+            rep.add_shape(shape)
+        assert rep.pool_size == inst.m  # dedupe alone cannot beat n^2/4
+
+    def test_pool_words_accounts_descriptors(self):
+        inst = random_rect_instance(20, 15, seed=6)
+        rep = CanonicalRepresentation(
+            {i: p for i, p in enumerate(inst.points)}, mode="split"
+        )
+        for shape in inst.shapes:
+            rep.add_shape(shape)
+        assert rep.pool_words == sum(
+            p.description_words for p in rep.all_pieces()
+        )

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.setsystem import load
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("workload", ["uniform", "planted", "zipf", "blog"])
+    def test_generates_loadable_instances(self, tmp_path, workload, capsys):
+        path = tmp_path / f"{workload}.json"
+        code = main(
+            ["generate", workload, str(path), "--n", "40", "--m", "30", "--seed", "1"]
+        )
+        assert code == 0
+        system = load(path)
+        assert system.n == 40
+        out = capsys.readouterr().out
+        assert workload in out
+
+    def test_text_format(self, tmp_path):
+        path = tmp_path / "inst.txt"
+        assert main(["generate", "uniform", str(path), "--n", "10", "--m", "8"]) == 0
+        assert load(path).n == 10
+
+
+class TestSolve:
+    @pytest.fixture
+    def instance_path(self, tmp_path):
+        path = tmp_path / "inst.json"
+        main(["generate", "planted", str(path), "--n", "60", "--m", "40",
+              "--opt", "4", "--seed", "3"])
+        return str(path)
+
+    @pytest.mark.parametrize(
+        "algorithm", ["iter", "store-all", "multi-pass", "threshold", "er14",
+                      "cw16", "sg09"]
+    )
+    def test_every_algorithm_solves(self, instance_path, algorithm, capsys):
+        code = main(["solve", instance_path, "--algorithm", algorithm,
+                     "--no-polylog"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cover with" in out
+        assert "passes" in out
+
+    def test_show_cover(self, instance_path, capsys):
+        main(["solve", instance_path, "--algorithm", "store-all", "--show-cover"])
+        assert "sets      :" in capsys.readouterr().out
+
+    def test_delta_flag(self, instance_path, capsys):
+        code = main(["solve", instance_path, "--delta", "1.0", "--no-polylog"])
+        assert code == 0
+
+
+class TestInfo:
+    def test_basic_stats(self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        main(["generate", "uniform", str(path), "--n", "30", "--m", "20"])
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "elements (n): 30" in out
+        assert "feasible    : True" in out
+
+    def test_bounds(self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        main(["generate", "planted", str(path), "--n", "30", "--m", "20",
+              "--opt", "3"])
+        assert main(["info", str(path), "--bounds"]) == 0
+        assert "optimum     : in [" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "x", "--algorithm", "bogus"])

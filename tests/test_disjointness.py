@@ -1,0 +1,117 @@
+"""Tests for Set Disjointness machinery and oracles (Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.communication import (
+    ExactDisjointnessOracle,
+    Message,
+    SketchDisjointnessOracle,
+    Transcript,
+    encode_family,
+    many_vs_many_disjoint,
+    many_vs_one_disjoint,
+    random_family,
+    streaming_to_communication_bits,
+)
+
+
+class TestGroundTruth:
+    def test_many_vs_one(self):
+        family = [frozenset({0, 1}), frozenset({2})]
+        assert many_vs_one_disjoint(family, frozenset({0, 1}))  # {2} disjoint
+        assert not many_vs_one_disjoint(family, frozenset({1, 2}))
+
+    def test_many_vs_many(self):
+        alice = [frozenset({0}), frozenset({1})]
+        bob = [frozenset({0, 1})]
+        assert not many_vs_many_disjoint(alice, bob)
+        assert many_vs_many_disjoint(alice, [frozenset({2})])
+
+
+class TestRandomFamily:
+    def test_shape(self):
+        family = random_family(20, 5, seed=0)
+        assert len(family) == 5
+        assert all(r <= frozenset(range(20)) for r in family)
+
+    def test_density_near_half(self):
+        family = random_family(1000, 4, seed=1)
+        for r in family:
+            assert 0.4 < len(r) / 1000 < 0.6
+
+    def test_deterministic(self):
+        assert random_family(10, 3, seed=5) == random_family(10, 3, seed=5)
+
+
+class TestEncoding:
+    def test_bit_count_is_mn(self):
+        family = random_family(16, 4, seed=2)
+        assert encode_family(family, 16).bits == 64
+
+    def test_matrix_matches_family(self):
+        family = [frozenset({0, 2}), frozenset({1})]
+        matrix = np.asarray(encode_family(family, 3).payload)
+        assert matrix.tolist() == [[True, False, True], [False, True, False]]
+
+
+class TestExactOracle:
+    def test_agrees_with_ground_truth(self):
+        family = random_family(24, 6, seed=3)
+        oracle = ExactDisjointnessOracle(encode_family(family, 24))
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            rb = frozenset(int(e) for e in rng.choice(24, size=5, replace=False))
+            assert oracle.exists_disjoint(rb) == many_vs_one_disjoint(family, rb)
+        assert oracle.queries == 50
+
+
+class TestSketchOracle:
+    def test_full_budget_is_exact(self):
+        family = random_family(20, 5, seed=6)
+        msg = encode_family(family, 20)
+        sketch = SketchDisjointnessOracle(msg, budget_bits=100, seed=7)
+        rng = np.random.default_rng(8)
+        for _ in range(40):
+            rb = frozenset(int(e) for e in rng.choice(20, size=4, replace=False))
+            assert sketch.exists_disjoint(rb) == many_vs_one_disjoint(family, rb)
+
+    def test_zero_budget_answers_from_noise(self):
+        family = random_family(40, 6, seed=9)
+        msg = encode_family(family, 40)
+        sketch = SketchDisjointnessOracle(msg, budget_bits=0, seed=10)
+        rng = np.random.default_rng(11)
+        disagreements = 0
+        for _ in range(200):
+            rb = frozenset(int(e) for e in rng.choice(40, size=6, replace=False))
+            if sketch.exists_disjoint(rb) != many_vs_one_disjoint(family, rb):
+                disagreements += 1
+        assert disagreements > 0  # pure guessing cannot track the truth
+
+    def test_budget_clamped(self):
+        family = random_family(10, 2, seed=12)
+        msg = encode_family(family, 10)
+        sketch = SketchDisjointnessOracle(msg, budget_bits=10**6, seed=13)
+        assert sketch.message_bits == 20
+
+
+class TestProtocolBookkeeping:
+    def test_message_bits_validated(self):
+        with pytest.raises(ValueError):
+            Message(payload=None, bits=-1)
+
+    def test_transcript_totals(self):
+        transcript = Transcript()
+        transcript.send(Message(payload="a", bits=8))
+        transcript.send(Message(payload="b", bits=4))
+        assert transcript.total_bits == 12
+        assert transcript.rounds == 2
+
+    def test_streaming_simulation_formula(self):
+        assert streaming_to_communication_bits(10, 2, 4) == 10 * 32 * 2 * 4
+
+    def test_simulation_rejects_negative(self):
+        with pytest.raises(ValueError):
+            streaming_to_communication_bits(-1, 1, 1)

@@ -1,0 +1,150 @@
+"""Property-based tests for the geometry subsystem (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    AxisRect,
+    CanonicalRepresentation,
+    Disc,
+    FatTriangle,
+    Point,
+)
+
+seeds = st.integers(min_value=0, max_value=10**6)
+sizes = st.integers(min_value=1, max_value=25)
+
+
+def _random_points(n, rng):
+    return {
+        i: Point(float(x), float(y)) for i, (x, y) in enumerate(rng.random((n, 2)))
+    }
+
+
+def _union(pieces):
+    return (
+        frozenset().union(*[p.content for p in pieces]) if pieces else frozenset()
+    )
+
+
+def _truth(sample, shape):
+    return frozenset(i for i, p in sample.items() if shape.contains(p))
+
+
+class TestDecompositionLossless:
+    """Union of canonical pieces == true projection, all shape families."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(sizes, seeds)
+    def test_rectangles(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sample = _random_points(n, rng)
+        rep = CanonicalRepresentation(sample, mode="split")
+        x1, y1 = rng.random(), rng.random()
+        shape = AxisRect(x1, y1, x1 + rng.random(), y1 + rng.random())
+        pieces, _ = rep.add_shape(shape)
+        assert _union(pieces) == _truth(sample, shape)
+        assert len(pieces) <= 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(sizes, seeds)
+    def test_triangles(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sample = _random_points(n, rng)
+        rep = CanonicalRepresentation(sample, mode="split")
+        xs, ys = rng.random(3), rng.random(3)
+        shape = FatTriangle(xs[0], ys[0], xs[1], ys[1], xs[2], ys[2])
+        pieces, _ = rep.add_shape(shape)
+        assert _union(pieces) == _truth(sample, shape)
+        assert len(pieces) <= 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(sizes, seeds, st.sampled_from(["split", "dedupe"]))
+    def test_discs(self, n, seed, mode):
+        rng = np.random.default_rng(seed)
+        sample = _random_points(n, rng)
+        rep = CanonicalRepresentation(sample, mode=mode)
+        shape = Disc(
+            float(rng.random()), float(rng.random()), float(rng.uniform(0.05, 0.7))
+        )
+        pieces, _ = rep.add_shape(shape)
+        assert _union(pieces) == _truth(sample, shape)
+
+
+class TestPoolMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(seeds)
+    def test_pool_never_shrinks_and_words_accumulate(self, seed):
+        rng = np.random.default_rng(seed)
+        sample = _random_points(15, rng)
+        rep = CanonicalRepresentation(sample, mode="split")
+        last_pool = 0
+        charged = 0
+        for _ in range(10):
+            x1, y1 = rng.random(), rng.random()
+            shape = AxisRect(x1, y1, x1 + rng.random(), y1 + rng.random())
+            _, words = rep.add_shape(shape)
+            charged += words
+            assert rep.pool_size >= last_pool
+            last_pool = rep.pool_size
+        assert rep.pool_words == charged
+
+    @settings(max_examples=25, deadline=None)
+    @given(seeds)
+    def test_dedupe_pool_bounded_by_split_pieces(self, seed):
+        """Dedupe realizes at most as many pool entries as there are
+        distinct projections; split at most 2 per shape."""
+        rng = np.random.default_rng(seed)
+        sample = _random_points(12, rng)
+        shapes = []
+        for _ in range(8):
+            x1, y1 = rng.random(), rng.random()
+            shapes.append(AxisRect(x1, y1, x1 + rng.random(), y1 + rng.random()))
+        dedupe = CanonicalRepresentation(sample, mode="dedupe")
+        split = CanonicalRepresentation(sample, mode="split")
+        for shape in shapes:
+            dedupe.add_shape(shape)
+            split.add_shape(shape)
+        distinct = len({_truth(sample, s) for s in shapes} - {frozenset()})
+        assert dedupe.pool_size == distinct
+        assert split.pool_size <= 2 * len(shapes)
+
+
+class TestContainmentProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_triangle_contains_its_centroid(self, seed):
+        rng = np.random.default_rng(seed)
+        xs, ys = rng.uniform(-5, 5, 3), rng.uniform(-5, 5, 3)
+        tri = FatTriangle(xs[0], ys[0], xs[1], ys[1], xs[2], ys[2])
+        centroid = Point(float(xs.mean()), float(ys.mean()))
+        assert tri.contains(centroid)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_disc_bounding_box_consistency(self, seed):
+        rng = np.random.default_rng(seed)
+        disc = Disc(float(rng.uniform(-3, 3)), float(rng.uniform(-3, 3)),
+                    float(rng.uniform(0.1, 2)))
+        p = Point(float(rng.uniform(-4, 4)), float(rng.uniform(-4, 4)))
+        if disc.contains(p):
+            assert disc.x_min - 1e-6 <= p.x <= disc.x_max + 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_rect_contains_iff_coordinatewise(self, seed):
+        rng = np.random.default_rng(seed)
+        x1, y1 = rng.uniform(-2, 0), rng.uniform(-2, 0)
+        rect = AxisRect(x1, y1, x1 + rng.uniform(0.1, 3), y1 + rng.uniform(0.1, 3))
+        p = Point(float(rng.uniform(-3, 3)), float(rng.uniform(-3, 3)))
+        expected = (rect.x1 <= p.x <= rect.x2) and (rect.y1 <= p.y <= rect.y2)
+        # Epsilon band tolerance at the boundary.
+        on_boundary = (
+            min(abs(p.x - rect.x1), abs(p.x - rect.x2)) < 1e-6
+            or min(abs(p.y - rect.y1), abs(p.y - rect.y2)) < 1e-6
+        )
+        if not on_boundary:
+            assert rect.contains(p) == expected

@@ -1,0 +1,116 @@
+"""Tests for ``algGeomSC`` (Figure 4.1, Theorem 4.6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    GeometricSetCover,
+    ShapeStream,
+    figure_1_2_instance,
+    geometric_set_cover,
+    random_disc_instance,
+    random_fat_triangle_instance,
+    random_rect_instance,
+)
+from repro.streaming.stream import StreamAccessError
+
+
+@pytest.mark.parametrize(
+    "make",
+    [random_disc_instance, random_rect_instance, random_fat_triangle_instance],
+    ids=["discs", "rects", "triangles"],
+)
+class TestCorrectness:
+    def test_produces_cover(self, make):
+        inst = make(50, 35, seed=8)
+        stream = ShapeStream(inst)
+        result = geometric_set_cover(stream, seed=1, sample_constant=0.5)
+        assert stream.verify_solution(result.selection)
+        assert result.feasible
+
+    def test_deterministic(self, make):
+        inst = make(30, 25, seed=9)
+        a = geometric_set_cover(ShapeStream(inst), seed=5)
+        b = geometric_set_cover(ShapeStream(inst), seed=5)
+        assert a.selection == b.selection
+
+
+class TestShapeStream:
+    def test_pass_counting(self):
+        inst = random_disc_instance(10, 5, seed=0)
+        stream = ShapeStream(inst)
+        list(stream.iterate())
+        list(stream.iterate())
+        assert stream.passes == 2
+
+    def test_nested_pass_rejected(self):
+        inst = random_disc_instance(10, 5, seed=0)
+        stream = ShapeStream(inst)
+        iterator = stream.iterate()
+        next(iterator)
+        with pytest.raises(StreamAccessError):
+            next(stream.iterate())
+        iterator.close()
+
+    def test_metadata(self):
+        inst = random_disc_instance(10, 5, seed=0)
+        stream = ShapeStream(inst)
+        assert stream.n == 10
+        assert stream.m == inst.m
+        assert len(stream.points) == 10
+
+
+class TestResources:
+    def test_pass_bound(self):
+        inst = random_disc_instance(60, 40, seed=10)
+        stream = ShapeStream(inst)
+        result = geometric_set_cover(stream, delta=0.25, seed=2)
+        # 3 passes per iteration * ceil(1/delta) + final pass.
+        assert result.passes <= 3 * 4 + 1
+
+    def test_delta_validated(self):
+        with pytest.raises(ValueError):
+            GeometricSetCover(delta=0.5)
+
+    def test_space_independent_of_m(self):
+        """Theorem 4.6's headline: O~(n) space regardless of the number of
+        shapes.  Quadrupling m must not scale the peak accordingly."""
+        small = random_rect_instance(48, 30, seed=11)
+        big = random_rect_instance(48, 120, seed=11)
+        mem_small = geometric_set_cover(
+            ShapeStream(small), seed=3, sample_constant=0.5
+        ).peak_memory_words
+        mem_big = geometric_set_cover(
+            ShapeStream(big), seed=3, sample_constant=0.5
+        ).peak_memory_words
+        assert mem_big < 2.5 * mem_small
+
+    def test_figure12_instance_stays_cheap(self):
+        """On the quadratic-rectangles construction the canonical pool keeps
+        memory near-linear even though m = Theta(n^2)."""
+        inst = figure_1_2_instance(32)  # m = 256
+        stream = ShapeStream(inst)
+        result = geometric_set_cover(stream, seed=4, sample_constant=0.5)
+        assert stream.verify_solution(result.selection)
+        assert result.peak_memory_words < inst.m * inst.n  # far below store-all
+
+    def test_mode_override(self):
+        inst = random_rect_instance(30, 20, seed=12)
+        result = geometric_set_cover(
+            ShapeStream(inst), seed=5, mode="dedupe"
+        )
+        assert result.extra["mode"] == "dedupe"
+
+    def test_approximation_near_optimal_on_planted_cover(self):
+        from repro.offline import exact_cover
+
+        inst = random_disc_instance(40, 25, seed=13)
+        optimum = len(exact_cover(inst.to_set_system()))
+        result = geometric_set_cover(ShapeStream(inst), seed=6, sample_constant=0.5)
+        n = inst.n
+        assert result.solution_size <= max(
+            4 * (math.log(n) + 1) * optimum, optimum + 4
+        )

@@ -1,0 +1,79 @@
+"""Tests for geometric instance generators, including Figure 1.2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import (
+    count_distinct_projections,
+    figure_1_2_instance,
+    random_disc_instance,
+    random_fat_triangle_instance,
+    random_rect_instance,
+)
+
+
+class TestFigure12:
+    def test_counts(self):
+        inst = figure_1_2_instance(12)
+        assert inst.n == 12
+        assert inst.m == 36  # (n/2)^2
+
+    def test_every_rectangle_contains_exactly_two_points(self):
+        inst = figure_1_2_instance(16)
+        for shape in inst.shapes:
+            assert len(inst.covered_points(shape)) == 2
+
+    def test_all_projections_distinct(self):
+        inst = figure_1_2_instance(16)
+        assert count_distinct_projections(inst) == inst.m
+
+    def test_quadratic_growth(self):
+        small = figure_1_2_instance(8)
+        large = figure_1_2_instance(16)
+        assert large.m == 4 * small.m
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ValueError):
+            figure_1_2_instance(7)
+
+    def test_pairs_are_one_top_one_bottom(self):
+        inst = figure_1_2_instance(10)
+        half = 5
+        for shape in inst.shapes:
+            ids = sorted(inst.covered_points(shape))
+            assert ids[0] < half <= ids[1]
+
+
+@pytest.mark.parametrize(
+    "make",
+    [random_disc_instance, random_rect_instance, random_fat_triangle_instance],
+    ids=["discs", "rects", "triangles"],
+)
+class TestRandomInstances:
+    def test_sizes(self, make):
+        inst = make(30, 20, seed=0)
+        assert inst.n == 30
+        assert inst.m >= 20  # feasibility patching may add shapes
+
+    def test_feasible(self, make):
+        assert make(30, 20, seed=1).is_feasible()
+
+    def test_deterministic(self, make):
+        a = make(20, 10, seed=5)
+        b = make(20, 10, seed=5)
+        assert a.to_set_system() == b.to_set_system()
+
+    def test_set_system_round_trip(self, make):
+        inst = make(25, 15, seed=2)
+        system = inst.to_set_system()
+        assert system.n == inst.n
+        assert system.m == inst.m
+        assert system.is_feasible()
+
+
+class TestFatTriangleInstances:
+    def test_triangles_are_actually_fat(self):
+        inst = random_fat_triangle_instance(20, 30, seed=3)
+        for shape in inst.shapes:
+            assert shape.is_fat(3.0), shape

@@ -1,0 +1,101 @@
+"""Tests for geometric primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import AxisRect, Disc, FatTriangle, Point
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestDisc:
+    def test_contains_center(self):
+        assert Disc(0, 0, 1).contains(Point(0, 0))
+
+    def test_boundary_inclusive(self):
+        assert Disc(0, 0, 1).contains(Point(1, 0))
+
+    def test_outside(self):
+        assert not Disc(0, 0, 1).contains(Point(1.1, 0))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Disc(0, 0, -1)
+
+    def test_x_extent(self):
+        disc = Disc(2, 3, 1.5)
+        assert disc.x_min == 0.5 and disc.x_max == 3.5
+
+    @given(coords, coords, st.floats(min_value=0.01, max_value=50), coords, coords)
+    def test_containment_matches_distance(self, cx, cy, r, px, py):
+        disc = Disc(cx, cy, r)
+        inside = math.hypot(px - cx, py - cy) <= r
+        # Allow the epsilon band around the boundary.
+        if abs(math.hypot(px - cx, py - cy) - r) > 1e-6:
+            assert disc.contains(Point(px, py)) == inside
+
+
+class TestAxisRect:
+    def test_contains(self):
+        rect = AxisRect(0, 0, 2, 1)
+        assert rect.contains(Point(1, 0.5))
+        assert rect.contains(Point(0, 0))  # corner inclusive
+        assert not rect.contains(Point(3, 0.5))
+
+    def test_corner_order_validated(self):
+        with pytest.raises(ValueError):
+            AxisRect(1, 0, 0, 1)
+
+    def test_degenerate_rect_is_point(self):
+        rect = AxisRect(1, 1, 1, 1)
+        assert rect.contains(Point(1, 1))
+        assert not rect.contains(Point(1.1, 1))
+
+
+class TestFatTriangle:
+    def test_contains_centroid(self):
+        tri = FatTriangle(0, 0, 4, 0, 2, 3)
+        assert tri.contains(Point(2, 1))
+
+    def test_vertices_inclusive(self):
+        tri = FatTriangle(0, 0, 4, 0, 2, 3)
+        assert tri.contains(Point(0, 0))
+
+    def test_outside(self):
+        tri = FatTriangle(0, 0, 4, 0, 2, 3)
+        assert not tri.contains(Point(-1, -1))
+
+    def test_orientation_independent(self):
+        a = FatTriangle(0, 0, 4, 0, 2, 3)
+        b = FatTriangle(4, 0, 0, 0, 2, 3)  # reversed orientation
+        for p in (Point(2, 1), Point(9, 9)):
+            assert a.contains(p) == b.contains(p)
+
+    def test_area(self):
+        assert FatTriangle(0, 0, 4, 0, 2, 3).area() == pytest.approx(6.0)
+
+    def test_equilateral_is_fat(self):
+        h = math.sqrt(3) / 2
+        tri = FatTriangle(0, 0, 1, 0, 0.5, h)
+        assert tri.fatness() == pytest.approx(1 / h, rel=1e-6)
+        assert tri.is_fat(1.2)
+
+    def test_sliver_is_not_fat(self):
+        sliver = FatTriangle(0, 0, 10, 0, 5, 0.01)
+        assert not sliver.is_fat(10)
+
+    def test_degenerate_fatness_infinite(self):
+        flat = FatTriangle(0, 0, 1, 0, 2, 0)
+        assert flat.fatness() == math.inf
+
+
+class TestDescriptionWords:
+    def test_constant_descriptions(self):
+        assert Disc.description_words == 3
+        assert AxisRect.description_words == 4
+        assert FatTriangle.description_words == 6

@@ -1,0 +1,164 @@
+"""Integration tests: whole-pipeline flows across modules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    ChakrabartiWirth,
+    DemaineEtAl,
+    EmekRosen,
+    MultiPassGreedy,
+    SahaGetoor,
+    StoreAllGreedy,
+    ThresholdGreedy,
+)
+from repro.communication import random_intersection_set_chasing
+from repro.core import IterSetCover, IterSetCoverConfig, iter_set_cover
+from repro.geometry import ShapeStream, geometric_set_cover, random_disc_instance
+from repro.lowerbounds import reduce_isc_to_set_cover
+from repro.offline import ExactSolver, exact_cover
+from repro.setsystem import SetSystem, verify_cover
+from repro.streaming import SetStream
+from repro.workloads import blog_watch_instance, planted_instance, zipf_instance
+
+
+class TestEveryAlgorithmOnEveryWorkload:
+    """The Figure 1.1 cross: every algorithm must cover every workload."""
+
+    WORKLOADS = {
+        "planted": lambda: planted_instance(n=64, m=48, opt=4, seed=1).system,
+        "zipf": lambda: zipf_instance(64, 48, seed=2),
+        "blog": lambda: blog_watch_instance(topics=64, blogs=24, seed=3),
+    }
+
+    ALGOS = {
+        "store-all": lambda: StoreAllGreedy(),
+        "multi-pass": lambda: MultiPassGreedy(),
+        "threshold": lambda: ThresholdGreedy(),
+        "er14": lambda: EmekRosen(),
+        "cw16": lambda: ChakrabartiWirth(passes=2),
+        "sg09": lambda: SahaGetoor(),
+        "dimv14": lambda: DemaineEtAl(delta=0.5, seed=4),
+        "iter": lambda: IterSetCover(seed=5),
+    }
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_cover(self, workload, algo):
+        system = self.WORKLOADS[workload]()
+        stream = SetStream(system)
+        result = self.ALGOS[algo]().solve(stream)
+        verify_cover(system, result.selection)
+
+
+class TestPaperHeadline:
+    """Theorem 2.8 vs [DIMV14]: same space regime, exponentially fewer passes."""
+
+    def test_pass_gap_at_small_delta(self):
+        planted = planted_instance(n=256, m=128, opt=6, seed=7)
+        delta = 0.34
+
+        stream_iter = SetStream(planted.system)
+        ours = IterSetCover(
+            config=IterSetCoverConfig(delta=delta, sample_constant=0.05),
+            seed=1,
+        ).solve(stream_iter)
+
+        stream_dimv = SetStream(planted.system)
+        theirs = DemaineEtAl(
+            delta=delta, k=planted.opt, seed=1, sample_constant=0.05
+        ).solve(stream_dimv)
+
+        assert stream_iter.verify_solution(ours.selection)
+        assert stream_dimv.verify_solution(theirs.selection)
+        assert ours.passes <= 2 * math.ceil(1 / delta) + 1
+        assert theirs.passes > ours.passes
+
+    def test_space_below_store_all(self):
+        """O~(m n^delta) vs O(mn) on a dense instance.  Polylog factors and
+        rho are stripped (they are inside the paper's O~ and dwarf n^delta
+        at laptop scale); both the total across parallel guesses and the
+        correct-guess peak must beat storing the input."""
+        from repro.workloads import uniform_random_instance
+
+        system = uniform_random_instance(256, 400, density=0.2, seed=8)
+        stream = SetStream(system)
+        result = IterSetCover(
+            config=IterSetCoverConfig(
+                delta=0.25,
+                sample_constant=1.0,
+                use_polylog_factors=False,
+                include_rho=False,
+            ),
+            seed=2,
+        ).solve(stream)
+        store_all = StoreAllGreedy().solve(SetStream(system))
+        assert result.feasible
+        assert result.peak_memory_words < store_all.peak_memory_words
+        best_guess_peak = result.guess_stats[result.best_k].peak_memory_words
+        assert best_guess_peak * 10 < store_all.peak_memory_words
+
+
+class TestExactRegime:
+    def test_iter_with_exact_solver_on_reduction_instance(self):
+        """Run the paper's algorithm on its own lower-bound instances: with
+        rho = 1 and enough passes the reduction optimum is reproduced."""
+        isc = random_intersection_set_chasing(n=2, p=2, max_out_degree=1, seed=3)
+        reduction = reduce_isc_to_set_cover(isc)
+        stream = SetStream(reduction.system)
+        result = IterSetCover(
+            config=IterSetCoverConfig(delta=1.0),
+            solver=ExactSolver(),
+            seed=0,
+        ).solve(stream)
+        assert stream.verify_solution(result.selection)
+        optimum = len(exact_cover(reduction.system))
+        # delta = 1: one iteration with a whole-universe sample = offline opt.
+        assert result.solution_size == optimum
+
+
+class TestGeometricVsAbstract:
+    def test_geometric_algorithm_saves_space_on_abstract_view(self):
+        """E5's comparison: algGeomSC's peak vs running the abstract
+        iterSetCover on the projected set system of the same instance."""
+        inst = random_disc_instance(64, 160, seed=5)
+        geo = geometric_set_cover(ShapeStream(inst), seed=1, sample_constant=0.3)
+
+        abstract = inst.to_set_system()
+        stream = SetStream(abstract)
+        abs_result = iter_set_cover(stream, delta=0.25, seed=1, sample_constant=0.3)
+
+        assert geo.feasible and abs_result.feasible
+        assert geo.peak_memory_words < abs_result.peak_memory_words
+
+
+class TestSerializationRoundTripThroughSolve:
+    def test_solve_after_reload(self, tmp_path):
+        from repro.setsystem import load, save
+
+        planted = planted_instance(n=30, m=20, opt=3, seed=9)
+        path = tmp_path / "instance.json"
+        save(planted.system, path)
+        reloaded = load(path)
+        result = iter_set_cover(SetStream(reloaded), delta=0.5, seed=3)
+        assert reloaded.is_cover(result.selection)
+
+
+class TestEmptyAndDegenerate:
+    def test_single_element_single_set(self):
+        system = SetSystem(1, [[0]])
+        result = iter_set_cover(SetStream(system), delta=1.0, seed=0)
+        assert result.solution_size == 1
+
+    def test_duplicate_sets_handled(self):
+        system = SetSystem(3, [[0, 1, 2]] * 5)
+        result = iter_set_cover(SetStream(system), delta=0.5, seed=0)
+        assert result.solution_size == 1
+
+    def test_empty_sets_in_family(self):
+        system = SetSystem(2, [[], [0], [], [1]])
+        result = iter_set_cover(SetStream(system), delta=1.0, seed=0)
+        assert result.solution_size == 2

@@ -1,0 +1,79 @@
+"""Tests for set-system serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.setsystem import (
+    SetSystem,
+    dumps_json,
+    dumps_text,
+    load,
+    loads_json,
+    loads_text,
+    save,
+)
+
+
+def small_systems():
+    return st.integers(min_value=1, max_value=10).flatmap(
+        lambda n: st.lists(
+            st.sets(st.integers(min_value=0, max_value=n - 1)),
+            min_size=0,
+            max_size=8,
+        ).map(lambda sets: SetSystem(n, sets))
+    )
+
+
+class TestText:
+    def test_roundtrip(self, tiny_system):
+        assert loads_text(dumps_text(tiny_system)) == tiny_system
+
+    def test_format(self):
+        text = dumps_text(SetSystem(3, [[2, 0], []]))
+        assert text.splitlines() == ["3 2", "0 2", ""]
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ValueError):
+            loads_text("")
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError):
+            loads_text("3\n0 1\n")
+
+    def test_missing_lines(self):
+        with pytest.raises(ValueError):
+            loads_text("3 2\n0 1\n")
+
+
+class TestJson:
+    def test_roundtrip(self, tiny_system):
+        assert loads_json(dumps_json(tiny_system)) == tiny_system
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            loads_json('{"n": 3}')
+
+
+class TestFiles:
+    def test_text_file(self, tmp_path, tiny_system):
+        path = tmp_path / "instance.txt"
+        save(tiny_system, path)
+        assert load(path) == tiny_system
+
+    def test_json_file(self, tmp_path, tiny_system):
+        path = tmp_path / "instance.json"
+        save(tiny_system, path)
+        assert load(path) == tiny_system
+
+
+@given(small_systems())
+def test_text_roundtrip_property(system):
+    assert loads_text(dumps_text(system)) == system
+
+
+@given(small_systems())
+def test_json_roundtrip_property(system):
+    assert loads_json(dumps_json(system)) == system

@@ -1,0 +1,104 @@
+"""Tests for the Section 5 reduction (Theorem 5.4, Lemmas 5.5-5.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communication import random_intersection_set_chasing
+from repro.lowerbounds import (
+    certificate_cover,
+    check_element_and_set_counts,
+    check_gap_with_exact_solver,
+    check_mandatory_sets,
+    reduce_isc_to_set_cover,
+)
+from repro.offline import exact_cover, greedy_cover
+
+
+def make_reduction(n=3, p=2, d=1, seed=0):
+    isc = random_intersection_set_chasing(n=n, p=p, max_out_degree=d, seed=seed)
+    return reduce_isc_to_set_cover(isc)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n,p", [(2, 2), (3, 2), (2, 3), (4, 2)])
+    def test_counts_match_paper(self, n, p):
+        red = make_reduction(n=n, p=p, seed=1)
+        check_element_and_set_counts(red)
+
+    def test_mandatory_coverage_structure(self):
+        for seed in range(5):
+            check_mandatory_sets(make_reduction(seed=seed))
+
+    def test_every_element_coverable(self):
+        red = make_reduction(seed=2)
+        assert red.system.is_feasible()
+
+    def test_r_and_t_sets_have_size_two_or_less(self):
+        red = make_reduction(seed=3)
+        for name, index in red.set_index.items():
+            if name[0] in ("R", "T"):
+                assert len(red.system[index]) <= 2
+
+    def test_m_is_linear_in_elements(self):
+        """Theorem 5.4 needs m = O(n); the construction gives
+        |F| = (4p+1) n_chase vs |U| = (4p+2) n_chase + 2p."""
+        red = make_reduction(n=4, p=3, seed=4)
+        assert red.system.m < red.system.n
+
+
+class TestGap:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_optimum_tracks_isc_output(self, seed):
+        red = make_reduction(n=3, p=2, d=1, seed=seed)
+        report = check_gap_with_exact_solver(red)
+        assert report["optimum"] == report["expected"]
+
+    def test_gap_with_fanout(self):
+        for seed in range(4):
+            red = make_reduction(n=2, p=2, d=2, seed=seed)
+            check_gap_with_exact_solver(red)
+
+    def test_gap_with_three_layers(self):
+        for seed in range(3):
+            red = make_reduction(n=2, p=3, d=1, seed=seed)
+            check_gap_with_exact_solver(red)
+
+    def test_greedy_cannot_certify_gap(self):
+        """The gap is a statement about *optimal* covers; greedy typically
+        overshoots the baseline, which is why exact solving (or 1/(2 delta)
+        passes) is the right regime for Theorem 5.4."""
+        red = make_reduction(n=3, p=2, seed=5)
+        greedy_size = len(greedy_cover(red.system))
+        assert greedy_size >= red.baseline
+
+
+class TestCertificate:
+    def test_certificate_exists_iff_isc_one(self):
+        seen = {True: 0, False: 0}
+        for seed in range(15):
+            red = make_reduction(n=3, p=2, seed=seed)
+            cert = certificate_cover(red)
+            if red.isc.output():
+                assert cert is not None
+                seen[True] += 1
+            else:
+                assert cert is None
+                seen[False] += 1
+        assert seen[True] > 0 and seen[False] > 0
+
+    def test_certificate_is_tight_cover(self):
+        for seed in range(15):
+            red = make_reduction(n=3, p=2, seed=seed)
+            cert = certificate_cover(red)
+            if cert is None:
+                continue
+            assert len(cert) == len(set(cert)) == red.baseline
+            assert red.system.is_cover(cert)
+
+    def test_certificate_matches_exact_optimum(self):
+        for seed in range(6):
+            red = make_reduction(n=2, p=2, seed=seed)
+            cert = certificate_cover(red)
+            if cert is not None:
+                assert len(cert) == len(exact_cover(red.system))

@@ -1,0 +1,153 @@
+"""Tests for the paper's main algorithm, ``iterSetCover`` (Figure 1.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import IterSetCover, IterSetCoverConfig, iter_set_cover
+from repro.offline import ExactSolver
+from repro.setsystem import SetSystem
+from repro.streaming import SetStream
+from repro.workloads import planted_instance, uniform_random_instance
+
+
+class TestConfig:
+    def test_iterations(self):
+        assert IterSetCoverConfig(delta=1.0).iterations == 1
+        assert IterSetCoverConfig(delta=0.5).iterations == 2
+        assert IterSetCoverConfig(delta=0.34).iterations == 3
+        assert IterSetCoverConfig(delta=0.25).iterations == 4
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_delta_validated(self, bad):
+        with pytest.raises(ValueError):
+            IterSetCoverConfig(delta=bad)
+
+    def test_sample_size_grows_with_k(self):
+        config = IterSetCoverConfig(delta=0.5)
+        assert config.sample_size(256, 256, 8, 1.0) > config.sample_size(
+            256, 256, 2, 1.0
+        )
+
+    def test_sample_size_grows_with_delta(self):
+        low = IterSetCoverConfig(delta=0.25).sample_size(4096, 100, 2, 1.0)
+        high = IterSetCoverConfig(delta=0.75).sample_size(4096, 100, 2, 1.0)
+        assert high > low
+
+    def test_polylog_toggle(self):
+        with_logs = IterSetCoverConfig(delta=0.5)
+        without = IterSetCoverConfig(delta=0.5, use_polylog_factors=False)
+        assert with_logs.sample_size(256, 256, 2, 1.0) > without.sample_size(
+            256, 256, 2, 1.0
+        )
+
+
+class TestCorrectness:
+    def test_covers_tiny(self, tiny_system):
+        stream = SetStream(tiny_system)
+        result = iter_set_cover(stream, delta=1.0, seed=0)
+        assert stream.verify_solution(result.selection)
+        assert result.feasible
+
+    def test_empty_universe(self):
+        result = iter_set_cover(SetStream(SetSystem(0, [])), seed=0)
+        assert result.selection == []
+        assert result.passes == 0
+
+    def test_infeasible_reported(self, infeasible_system):
+        result = iter_set_cover(SetStream(infeasible_system), delta=0.5, seed=0)
+        assert not result.feasible
+
+    @pytest.mark.parametrize("delta", [1.0, 0.5, 0.34])
+    def test_covers_uniform_instances(self, delta):
+        system = uniform_random_instance(60, 50, density=0.12, seed=5)
+        stream = SetStream(system)
+        result = iter_set_cover(stream, delta=delta, seed=3)
+        assert stream.verify_solution(result.selection)
+
+    def test_deterministic_given_seed(self, planted_small):
+        a = iter_set_cover(SetStream(planted_small.system), delta=0.5, seed=9)
+        b = iter_set_cover(SetStream(planted_small.system), delta=0.5, seed=9)
+        assert a.selection == b.selection
+
+
+class TestResourceShape:
+    def test_pass_bound(self, planted_small):
+        """Theorem 2.8: at most 2/delta passes plus the cleanup pass."""
+        for delta in (1.0, 0.5, 0.25):
+            stream = SetStream(planted_small.system)
+            result = iter_set_cover(stream, delta=delta, seed=1)
+            assert result.passes <= 2 * math.ceil(1 / delta) + 1
+            assert result.passes == stream.passes
+
+    def test_cleanup_accounted_in_passes(self, planted_small):
+        stream = SetStream(planted_small.system)
+        result = iter_set_cover(stream, delta=0.5, seed=1)
+        assert result.cleanup_passes in (0, 1)
+
+    def test_early_exit_when_covered(self):
+        # One giant set: first iteration covers everything; later
+        # iterations are skipped, so only 2 passes happen even at small delta.
+        system = SetSystem(10, [list(range(10)), [0], [1]])
+        stream = SetStream(system)
+        result = iter_set_cover(stream, delta=0.25, seed=0)
+        assert result.passes == 2
+        assert result.solution_size == 1
+
+    def test_memory_scales_with_parallel_guesses(self, planted_small):
+        result = iter_set_cover(SetStream(planted_small.system), delta=0.5, seed=2)
+        n = planted_small.system.n
+        guesses = len(result.guess_stats)
+        # Each guess holds at least the n-word uncovered bitmap.
+        assert result.peak_memory_words >= n * guesses
+
+    def test_guess_stats_present_for_all_powers(self, planted_small):
+        result = iter_set_cover(SetStream(planted_small.system), delta=0.5, seed=2)
+        n = planted_small.system.n
+        expected_guesses = math.floor(math.log2(n)) + 1
+        assert len(result.guess_stats) == expected_guesses
+
+
+class TestApproximation:
+    def test_recovers_planted_optimum_with_exact_solver(self):
+        planted = planted_instance(n=80, m=50, opt=5, seed=21)
+        stream = SetStream(planted.system)
+        result = IterSetCover(
+            config=IterSetCoverConfig(delta=0.5),
+            solver=ExactSolver(),
+            seed=4,
+        ).solve(stream)
+        assert stream.verify_solution(result.selection)
+        # O(rho/delta) with rho=1, delta=1/2: small constant times OPT.
+        assert result.solution_size <= 4 * planted.opt
+
+    def test_greedy_solver_stays_logarithmic(self, planted_small):
+        stream = SetStream(planted_small.system)
+        result = iter_set_cover(stream, delta=0.5, seed=5)
+        n = planted_small.system.n
+        bound = 4 * (math.log(n) + 1) * planted_small.opt / 0.5
+        assert result.solution_size <= bound
+
+    def test_best_k_is_reported(self, planted_small):
+        result = iter_set_cover(SetStream(planted_small.system), delta=0.5, seed=5)
+        assert result.best_k in result.guess_stats
+
+
+class TestSizeTestSemantics:
+    def test_heavy_sets_picked_immediately(self):
+        """A set covering everything passes any Size Test and is picked in
+        the first pass without being stored."""
+        system = SetSystem(20, [list(range(20))] + [[i] for i in range(20)])
+        stream = SetStream(system)
+        result = iter_set_cover(stream, delta=1.0, seed=0)
+        assert result.solution_size == 1
+        stats = result.guess_stats[result.best_k]
+        assert stats.heavy_picks >= 1
+
+    def test_solution_indices_valid(self, planted_small):
+        result = iter_set_cover(SetStream(planted_small.system), delta=0.5, seed=6)
+        m = planted_small.system.m
+        assert all(0 <= i < m for i in result.selection)
+        assert len(set(result.selection)) == len(result.selection)

@@ -1,0 +1,86 @@
+"""Tests for the math helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.mathutil import ceil_div, ceil_log2, harmonic, ilog2, powers_of_two_up_to
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(6, 3) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(7, 3) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=10**4))
+    def test_matches_float_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestLogs:
+    def test_ilog2_powers(self):
+        for i in range(20):
+            assert ilog2(1 << i) == i
+
+    def test_ceil_log2_sequence(self):
+        assert [ceil_log2(k) for k in (1, 2, 3, 4, 5, 8, 9)] == [0, 1, 2, 2, 3, 3, 4]
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_bracketing(self, n):
+        assert 2 ** ilog2(n) <= n < 2 ** (ilog2(n) + 1)
+        assert 2 ** ceil_log2(n) >= n
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic(0) == 0
+        assert harmonic(1) == 1
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(4) == pytest.approx(25 / 12)
+
+    def test_asymptotic_agrees_with_sum(self):
+        exact = sum(1.0 / i for i in range(1, 201))
+        assert harmonic(200) == pytest.approx(exact, rel=1e-9)
+
+    def test_monotone(self):
+        values = [harmonic(k) for k in range(1, 50)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestPowersOfTwo:
+    def test_examples(self):
+        assert powers_of_two_up_to(1) == [1]
+        assert powers_of_two_up_to(10) == [1, 2, 4, 8]
+        assert powers_of_two_up_to(16) == [1, 2, 4, 8, 16]
+
+    def test_covers_all_optima(self):
+        # Any possible OPT in [1, n] is within factor 2 of some guess.
+        for n in (5, 17, 100):
+            guesses = powers_of_two_up_to(n)
+            for opt in range(1, n + 1):
+                assert any(k <= opt < 2 * k or k >= opt for k in guesses)
+
+    def test_rejects_zero(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            powers_of_two_up_to(0)

@@ -1,0 +1,106 @@
+"""Tests for Max k-Cover solvers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maxcover import (
+    StreamingMaxCover,
+    exact_max_coverage,
+    greedy_max_coverage,
+)
+from repro.setsystem import SetSystem
+from repro.streaming import SetStream
+from repro.workloads import planted_instance, uniform_random_instance
+
+
+class TestGreedyMaxCoverage:
+    def test_budget_respected(self, uniform_small):
+        assert len(greedy_max_coverage(uniform_small, 3)) <= 3
+
+    def test_zero_budget(self, uniform_small):
+        assert greedy_max_coverage(uniform_small, 0) == []
+
+    def test_full_budget_covers_everything_coverable(self, tiny_system):
+        cover = greedy_max_coverage(tiny_system, tiny_system.m)
+        assert tiny_system.covered_by(cover) == tiny_system.universe
+
+    def test_stops_when_no_gain(self):
+        system = SetSystem(2, [[0, 1], [0], [1]])
+        assert greedy_max_coverage(system, 3) == [0]
+
+    def test_picks_best_single_set(self):
+        system = SetSystem(5, [[0], [0, 1, 2], [3, 4]])
+        assert greedy_max_coverage(system, 1) == [1]
+
+    def test_negative_budget(self, tiny_system):
+        with pytest.raises(ValueError):
+            greedy_max_coverage(tiny_system, -1)
+
+
+class TestExactMaxCoverage:
+    def test_optimal_pairs(self):
+        system = SetSystem(6, [[0, 1, 2], [2, 3], [3, 4, 5], [0, 5]])
+        best = exact_max_coverage(system, 2)
+        assert len(system.covered_by(best)) == 6
+
+    def test_budget_larger_than_family(self, tiny_system):
+        best = exact_max_coverage(tiny_system, 100)
+        assert len(best) == tiny_system.m
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_greedy_within_1_minus_1_over_e(self, seed, k):
+        system = uniform_random_instance(10, 6, density=0.3, seed=seed)
+        greedy_value = len(system.covered_by(greedy_max_coverage(system, k)))
+        exact_value = len(system.covered_by(exact_max_coverage(system, k)))
+        assert greedy_value >= (1 - 1 / math.e) * exact_value - 1e-9
+
+
+class TestStreamingMaxCover:
+    def test_single_pass(self, uniform_small):
+        stream = SetStream(uniform_small)
+        result = StreamingMaxCover(k=3).solve(stream)
+        assert result.passes == 1
+        assert len(result.selection) <= 3
+
+    def test_coverage_reported(self, uniform_small):
+        stream = SetStream(uniform_small)
+        result = StreamingMaxCover(k=3).solve(stream)
+        true_coverage = len(uniform_small.covered_by(result.selection))
+        assert result.extra["coverage"] == true_coverage
+
+    def test_competitive_with_greedy_on_planted(self):
+        planted = planted_instance(n=80, m=50, opt=4, seed=9)
+        k = 4
+        stream = SetStream(planted.system)
+        streaming = StreamingMaxCover(k=k).solve(stream)
+        offline = greedy_max_coverage(planted.system, k)
+        offline_value = len(planted.system.covered_by(offline))
+        streamed_value = streaming.extra["coverage"]
+        assert streamed_value >= 0.4 * offline_value
+
+    def test_swap_improves_on_early_junk(self):
+        # Stream order: tiny sets first, a giant set last; the buffer must
+        # swap junk out for the giant set.
+        system = SetSystem(10, [[0], [1], list(range(10))])
+        result = StreamingMaxCover(k=1).solve(SetStream(system))
+        assert result.selection == [2]
+        assert result.extra["coverage"] == 10
+
+    def test_memory_bounded_by_buffer(self):
+        system = uniform_random_instance(60, 100, density=0.2, seed=10)
+        result = StreamingMaxCover(k=2).solve(SetStream(system))
+        # Buffer holds at most k sets at a time (plus ids).
+        assert result.peak_memory_words <= 2 * (60 + 1) + 60
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            StreamingMaxCover(k=0)

@@ -1,0 +1,78 @@
+"""Tests for the word-accounting memory meter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming import MemoryBudgetExceeded, MemoryMeter
+
+
+class TestChargeRelease:
+    def test_peak_tracks_maximum(self):
+        meter = MemoryMeter()
+        meter.charge(10)
+        meter.release(4)
+        meter.charge(2)
+        assert meter.current == 8
+        assert meter.peak == 10
+
+    def test_peak_updates_on_new_high(self):
+        meter = MemoryMeter()
+        meter.charge(5)
+        meter.release(5)
+        meter.charge(12)
+        assert meter.peak == 12
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryMeter().charge(-1)
+
+    def test_over_release_rejected(self):
+        meter = MemoryMeter()
+        meter.charge(3)
+        with pytest.raises(ValueError):
+            meter.release(4)
+
+    def test_total_charged_accumulates(self):
+        meter = MemoryMeter()
+        meter.charge(3)
+        meter.release(3)
+        meter.charge(2)
+        assert meter.total_charged == 5
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        meter = MemoryMeter(budget=5)
+        meter.charge(5)
+        with pytest.raises(MemoryBudgetExceeded):
+            meter.charge(1)
+
+    def test_budget_allows_reuse_after_release(self):
+        meter = MemoryMeter(budget=5)
+        meter.charge(5)
+        meter.release(3)
+        meter.charge(3)  # back at the cap, fine
+        assert meter.current == 5
+
+
+class TestComposition:
+    def test_reset_current_keeps_peak(self):
+        meter = MemoryMeter()
+        meter.charge(7)
+        meter.reset_current()
+        assert meter.current == 0
+        assert meter.peak == 7
+
+    def test_merge_peak_adds(self):
+        a, b = MemoryMeter(), MemoryMeter()
+        a.charge(3)
+        b.charge(4)
+        a.merge_peak(b)
+        assert a.peak == 7
+
+    def test_snapshot(self):
+        meter = MemoryMeter(budget=10, label="x")
+        meter.charge(2)
+        snap = meter.snapshot()
+        assert snap == {"label": "x", "current": 2, "peak": 2, "budget": 10}

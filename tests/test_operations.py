@@ -1,0 +1,78 @@
+"""Tests for set-system operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.setsystem import (
+    SetSystem,
+    cover_size,
+    coverage_histogram,
+    greedy_completion,
+    merge_systems,
+    project_family,
+    verify_cover,
+)
+
+
+class TestProjectFamily:
+    def test_projection(self):
+        sets = [frozenset({0, 1, 2}), frozenset({3})]
+        assert project_family(sets, frozenset({1, 3})) == [
+            frozenset({1}),
+            frozenset({3}),
+        ]
+
+    def test_empty_projection_kept(self):
+        assert project_family([frozenset({0})], frozenset()) == [frozenset()]
+
+
+class TestVerifyCover:
+    def test_passes_on_cover(self, tiny_system):
+        verify_cover(tiny_system, [0, 1])
+
+    def test_raises_with_witness(self, tiny_system):
+        with pytest.raises(ValueError, match="misses"):
+            verify_cover(tiny_system, [0])
+
+    def test_cover_size_dedupes(self):
+        assert cover_size([1, 1, 2]) == 2
+
+
+class TestHistogram:
+    def test_counts(self, tiny_system):
+        hist = coverage_histogram(tiny_system, [0, 2])
+        assert hist[0] == 2  # element 0 in sets 0 and 2
+        assert hist[3] == 0
+
+    def test_duplicate_selection_counted_once(self, tiny_system):
+        hist = coverage_histogram(tiny_system, [0, 0])
+        assert hist[0] == 1
+
+
+class TestGreedyCompletion:
+    def test_completes_partial(self, tiny_system):
+        result = greedy_completion(tiny_system, [0])
+        assert tiny_system.is_cover(result)
+        assert result[0] == 0  # original picks preserved in order
+
+    def test_noop_on_full_cover(self, tiny_system):
+        assert greedy_completion(tiny_system, [0, 1]) == [0, 1]
+
+    def test_raises_on_infeasible(self, infeasible_system):
+        with pytest.raises(ValueError):
+            greedy_completion(infeasible_system, [])
+
+
+class TestMerge:
+    def test_concatenates(self):
+        a = SetSystem(3, [[0]])
+        b = SetSystem(3, [[1], [2]])
+        merged = merge_systems(a, b)
+        assert merged.m == 3
+        assert merged[0] == frozenset({0})
+        assert merged[2] == frozenset({2})
+
+    def test_rejects_mismatched_universe(self):
+        with pytest.raises(ValueError):
+            merge_systems(SetSystem(2, []), SetSystem(3, []))

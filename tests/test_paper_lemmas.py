@@ -1,0 +1,154 @@
+"""Statistical verification of the paper's probabilistic lemmas.
+
+These tests run the randomized constructions many times with fixed seeds
+and check the *events* the lemmas promise — the empirical counterpart of
+each w.h.p. statement.  Thresholds are set loosely enough to be
+deterministic under the fixed seeds yet tight enough to catch regressions
+that break the underlying distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.communication.disjointness import random_family
+from repro.core import IterSetCoverConfig
+from repro.core.iter_set_cover import _GuessState
+from repro.sampling import draw_sample
+from repro.streaming import MemoryMeter
+from repro.workloads import uniform_random_instance
+
+
+class TestLemma23SizeTest:
+    """Sets passing the Size Test are genuinely large (Lemma 2.3)."""
+
+    def test_heavy_picks_are_large(self):
+        rng = np.random.default_rng(5)
+        n, m, k = 400, 120, 4
+        system = uniform_random_instance(n, m, density=0.15, seed=3)
+        config = IterSetCoverConfig(
+            delta=0.5, use_polylog_factors=False, include_rho=False,
+            sample_constant=1.0,
+        )
+        violations = trials = 0
+        for _ in range(20):
+            guess = _GuessState(k, n, MemoryMeter())
+            guess.begin_iteration(config, n, m, 1.0, rng)
+            heavy: list[int] = []
+            for set_id, r in enumerate(system.sets):
+                before = set(guess.leftover)
+                guess.observe_sample_pass(set_id, r)
+                if set_id in guess.solution_set and (r & before):
+                    if len(r & before) * guess.k >= len(guess.sample):
+                        heavy.append(set_id)
+            for set_id in heavy:
+                trials += 1
+                # Lemma 2.3 with c = 4: true size >= |U| / (c k).
+                if len(system[set_id]) < n / (4 * k):
+                    violations += 1
+        assert trials > 0
+        assert violations / trials < 0.1
+
+    def test_small_sets_rarely_pass(self):
+        """A set far below |U|/k rarely intersects |S|/k sampled elements."""
+        rng = np.random.default_rng(9)
+        n, k = 1000, 5
+        small_set = frozenset(range(n // (4 * k)))  # quarter of the threshold
+        passes = 0
+        trials = 200
+        sample_size = 200
+        for _ in range(trials):
+            sample = draw_sample(range(n), sample_size, seed=rng)
+            if len(small_set & sample) * k >= sample_size:
+                passes += 1
+        assert passes / trials < 0.05
+
+
+class TestLemma26Reduction:
+    """One iteration shrinks the uncovered set substantially when k >= OPT."""
+
+    def test_uncovered_shrinks_by_polynomial_factor(self):
+        from repro.core import IterSetCover
+
+        from repro.streaming import SetStream
+        from repro.workloads import planted_instance
+
+        planted = planted_instance(n=400, m=200, opt=4, seed=6)
+        # One iteration only (delta = 1 would sample everything; use the
+        # delta=1/2 sample but cap iterations via max guesses): run delta=0.5
+        # and inspect the first iteration's effect through guess stats.
+        algo = IterSetCover(
+            config=IterSetCoverConfig(
+                delta=0.5, sample_constant=1.0,
+                use_polylog_factors=False, include_rho=False,
+            ),
+            seed=2,
+        )
+        stream = SetStream(planted.system)
+        result = algo.solve(stream)
+        assert result.feasible
+        # The winning guess needed at most the 2 iterations of delta=1/2 —
+        # i.e. each iteration reduced uncovered by ~n^delta = 20x.
+        stats = result.guess_stats[result.best_k]
+        assert len(stats.sample_sizes) <= 2
+
+
+class TestLemma33UniqueDisjoint:
+    """Conditioned on a probe hitting, exactly-one-disjoint dominates for
+    suitable probe sizes (the event algRecoverBit relies on)."""
+
+    def test_exactly_one_vs_two_or_more(self):
+        rng = np.random.default_rng(11)
+        n, m = 40, 8
+        query_size = 6  # ~ log2(m) + 3: P(disjoint) per set = 2^-6
+        exactly_one = two_plus = 0
+        for trial in range(400):
+            family = random_family(n, m, seed=rng)
+            probe = frozenset(
+                int(e) for e in rng.choice(n, size=query_size, replace=False)
+            )
+            disjoint = sum(1 for r in family if not (r & probe))
+            if disjoint == 1:
+                exactly_one += 1
+            elif disjoint >= 2:
+                two_plus += 1
+        assert exactly_one > 0
+        assert exactly_one > 3 * two_plus
+
+
+class TestObservation34Intersecting:
+    """Random families are intersecting (no set contains another) w.h.p."""
+
+    def test_intersecting_frequency(self):
+        rng = np.random.default_rng(13)
+        intersecting = 0
+        trials = 100
+        for _ in range(trials):
+            family = random_family(24, 6, seed=rng)
+            bad = any(
+                a < b
+                for i, a in enumerate(family)
+                for j, b in enumerate(family)
+                if i != j
+            )
+            if not bad:
+                intersecting += 1
+        assert intersecting / trials > 0.95
+
+    def test_small_universe_often_fails(self):
+        """The n >= c log m hypothesis matters: with a tiny universe,
+        containments become common."""
+        rng = np.random.default_rng(17)
+        intersecting = 0
+        trials = 100
+        for _ in range(trials):
+            family = random_family(3, 6, seed=rng)
+            bad = any(
+                a < b
+                for i, a in enumerate(family)
+                for j, b in enumerate(family)
+                if i != j
+            )
+            if not bad:
+                intersecting += 1
+        assert intersecting / trials < 0.6

@@ -1,0 +1,172 @@
+"""Tests for eps-Partial Set Cover (offline + streaming)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offline import InfeasibleInstanceError, exact_cover
+from repro.partial import (
+    PartialIterSetCover,
+    PartialThreshold,
+    coverage_requirement,
+    exact_partial_cover,
+    partial_greedy_cover,
+)
+from repro.setsystem import SetSystem
+from repro.streaming import SetStream
+from repro.workloads import planted_instance, uniform_random_instance
+
+
+class TestCoverageRequirement:
+    def test_eps_zero_requires_everything(self):
+        assert coverage_requirement(10, 0.0) == 10
+
+    def test_rounding_up(self):
+        assert coverage_requirement(10, 0.25) == 8
+        assert coverage_requirement(10, 0.01) == 10
+
+    def test_bad_eps(self):
+        with pytest.raises(ValueError):
+            coverage_requirement(10, 1.0)
+        with pytest.raises(ValueError):
+            coverage_requirement(10, -0.1)
+
+
+class TestPartialGreedy:
+    def test_eps_zero_matches_full_greedy(self, tiny_system):
+        from repro.offline import greedy_cover
+
+        assert partial_greedy_cover(tiny_system, 0.0) == greedy_cover(tiny_system)
+
+    def test_partial_needs_fewer_sets(self, singleton_system):
+        full = partial_greedy_cover(singleton_system, 0.0)
+        partial = partial_greedy_cover(singleton_system, 0.4)
+        assert len(partial) == 3  # cover ceil(0.6*5) = 3 singletons
+        assert len(partial) < len(full)
+
+    def test_meets_requirement(self, uniform_small):
+        for eps in (0.0, 0.1, 0.3):
+            cover = partial_greedy_cover(uniform_small, eps)
+            covered = len(uniform_small.covered_by(cover))
+            assert covered >= coverage_requirement(uniform_small.n, eps)
+
+    def test_infeasible_requirement(self, infeasible_system):
+        # Element 3 of 4 is uncoverable: 75% is reachable, 100% is not.
+        assert partial_greedy_cover(infeasible_system, 0.25)
+        with pytest.raises(InfeasibleInstanceError):
+            partial_greedy_cover(infeasible_system, 0.0)
+
+
+class TestExactPartial:
+    def test_eps_zero_matches_exact(self, tiny_system):
+        assert len(exact_partial_cover(tiny_system, 0.0)) == len(
+            exact_cover(tiny_system)
+        )
+
+    def test_partial_is_cheaper_on_singletons(self, singleton_system):
+        assert len(exact_partial_cover(singleton_system, 0.4)) == 3
+
+    def test_never_exceeds_greedy(self, uniform_small):
+        for eps in (0.0, 0.2):
+            exact_size = len(exact_partial_cover(uniform_small, eps))
+            greedy_size = len(partial_greedy_cover(uniform_small, eps))
+            assert exact_size <= greedy_size
+
+    def test_meets_requirement_exactly_when_optimal(self):
+        # Two sets of 3 elements + one of 6: with eps allowing 3 misses,
+        # one 6-set... construct: n=9.
+        system = SetSystem(9, [[0, 1, 2], [3, 4, 5], [6, 7, 8], list(range(6))])
+        cover = exact_partial_cover(system, eps=1 / 3)
+        covered = len(system.covered_by(cover))
+        assert covered >= coverage_requirement(9, 1 / 3)
+        assert len(cover) == 1  # the 6-element set suffices
+
+    def test_infeasible(self, infeasible_system):
+        with pytest.raises(InfeasibleInstanceError):
+            exact_partial_cover(infeasible_system, 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.sampled_from([0.0, 0.2, 0.4]),
+    )
+    def test_exact_partial_is_minimal(self, seed, eps):
+        import itertools
+
+        system = uniform_random_instance(8, 6, density=0.35, seed=seed)
+        cover = exact_partial_cover(system, eps)
+        required = coverage_requirement(system.n, eps)
+        assert len(system.covered_by(cover)) >= required
+        # No smaller selection reaches the requirement.
+        for smaller in range(len(cover)):
+            assert not any(
+                len(system.covered_by(combo)) >= required
+                for combo in itertools.combinations(range(system.m), smaller)
+            )
+
+
+class TestPartialIterSetCover:
+    def test_eps_zero_behaves_like_full(self):
+        planted = planted_instance(n=60, m=40, opt=4, seed=3)
+        stream = SetStream(planted.system)
+        result = PartialIterSetCover(eps=0.0, seed=1).solve(stream)
+        assert result.feasible
+        assert stream.verify_solution(result.selection)
+
+    def test_partial_coverage_goal_met(self):
+        planted = planted_instance(n=100, m=60, opt=5, seed=4)
+        for eps in (0.1, 0.3):
+            stream = SetStream(planted.system)
+            result = PartialIterSetCover(eps=eps, seed=1).solve(stream)
+            assert result.feasible
+            covered = len(planted.system.covered_by(result.selection))
+            assert covered >= coverage_requirement(100, eps)
+
+    def test_partial_uses_fewer_sets(self, singleton_system):
+        full = PartialIterSetCover(eps=0.0, seed=0).solve(
+            SetStream(singleton_system)
+        )
+        partial = PartialIterSetCover(eps=0.4, seed=0).solve(
+            SetStream(singleton_system)
+        )
+        assert partial.solution_size < full.solution_size
+
+    def test_eps_validated(self):
+        with pytest.raises(ValueError):
+            PartialIterSetCover(eps=1.0)
+
+    def test_pass_budget_respected(self):
+        planted = planted_instance(n=80, m=50, opt=4, seed=5)
+        stream = SetStream(planted.system)
+        result = PartialIterSetCover(eps=0.2, seed=1).solve(stream)
+        assert result.passes <= 2 * 2 + 1  # default delta = 1/2
+
+
+class TestPartialThreshold:
+    def test_single_pass(self, uniform_small):
+        stream = SetStream(uniform_small)
+        result = PartialThreshold(eps=0.1).solve(stream)
+        assert result.passes == 1
+
+    def test_coverage_goal_met(self):
+        system = uniform_random_instance(120, 80, density=0.08, seed=6)
+        for eps in (0.05, 0.25):
+            stream = SetStream(system)
+            result = PartialThreshold(eps=eps).solve(stream)
+            assert result.feasible
+            covered = len(system.covered_by(result.selection))
+            assert covered >= coverage_requirement(120, eps)
+
+    def test_larger_eps_never_needs_more_sets(self):
+        system = uniform_random_instance(120, 80, density=0.08, seed=7)
+        sizes = []
+        for eps in (0.0, 0.2, 0.4):
+            result = PartialThreshold(eps=eps).solve(SetStream(system))
+            sizes.append(result.solution_size)
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_eps_validated(self):
+        with pytest.raises(ValueError):
+            PartialThreshold(eps=-0.1)

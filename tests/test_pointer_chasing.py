@@ -1,0 +1,103 @@
+"""Tests for pointer-chasing problems (Definitions 6.1-6.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communication import (
+    EqualPointerChasing,
+    PointerChasing,
+    is_r_non_injective,
+    random_equal_pointer_chasing,
+    random_pointer_chasing,
+)
+
+
+class TestRNonInjectivity:
+    def test_injective_function(self):
+        assert not is_r_non_injective((0, 1, 2, 3), 2)
+
+    def test_detects_collision(self):
+        assert is_r_non_injective((0, 0, 2, 3), 2)
+
+    def test_threshold(self):
+        f = (1, 1, 1, 0)
+        assert is_r_non_injective(f, 3)
+        assert not is_r_non_injective(f, 4)
+
+    def test_r_one_always_true_for_nonempty(self):
+        assert is_r_non_injective((0,), 1)
+
+    def test_bad_r(self):
+        with pytest.raises(ValueError):
+            is_r_non_injective((0,), 0)
+
+
+class TestPointerChasing:
+    def test_evaluation_order(self):
+        # f_1 = +1 mod 4, f_2 = *2 mod 4; f_1(f_2(1)) = f_1(2) = 3.
+        f1 = tuple((i + 1) % 4 for i in range(4))
+        f2 = tuple((2 * i) % 4 for i in range(4))
+        chain = PointerChasing(4, (f1, f2))
+        assert chain.evaluate(start=1) == 3
+
+    def test_identity_chain(self):
+        identity = tuple(range(5))
+        chain = PointerChasing(5, (identity, identity, identity))
+        for start in range(5):
+            assert chain.evaluate(start) == start
+
+    def test_domain_validated(self):
+        with pytest.raises(ValueError):
+            PointerChasing(3, ((0, 1),))
+        with pytest.raises(ValueError):
+            PointerChasing(3, ((0, 1, 5),))
+
+    def test_max_non_injectivity(self):
+        chain = PointerChasing(4, ((0, 0, 0, 1), (0, 1, 2, 3)))
+        assert chain.max_non_injectivity() == 3
+
+
+class TestEqualPointerChasing:
+    def test_equal_chains(self):
+        identity = tuple(range(4))
+        a = PointerChasing(4, (identity,))
+        b = PointerChasing(4, (identity,))
+        assert EqualPointerChasing(a, b).output()
+
+    def test_unequal_chains(self):
+        identity = tuple(range(4))
+        shift = tuple((i + 1) % 4 for i in range(4))
+        assert not EqualPointerChasing(
+            PointerChasing(4, (identity,)), PointerChasing(4, (shift,))
+        ).output()
+
+    def test_limited_promise_forces_one(self):
+        constant = (2, 2, 2, 2)
+        shift = tuple((i + 1) % 4 for i in range(4))
+        epc = EqualPointerChasing(
+            PointerChasing(4, (constant,)), PointerChasing(4, (shift,)), r=3
+        )
+        assert epc.output()  # constant is 3-non-injective -> output 1
+
+    def test_mismatched_instances_rejected(self):
+        with pytest.raises(ValueError):
+            EqualPointerChasing(
+                PointerChasing(3, (tuple(range(3)),)),
+                PointerChasing(4, (tuple(range(4)),)),
+            )
+
+
+class TestGenerators:
+    def test_random_chain_shape(self):
+        chain = random_pointer_chasing(10, 3, seed=0)
+        assert chain.n == 10 and chain.p == 3
+
+    def test_deterministic(self):
+        assert random_pointer_chasing(8, 2, seed=1) == random_pointer_chasing(
+            8, 2, seed=1
+        )
+
+    def test_random_epc(self):
+        epc = random_equal_pointer_chasing(8, 2, r=4, seed=2)
+        assert isinstance(epc.output(), bool)

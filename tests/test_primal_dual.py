@@ -1,0 +1,95 @@
+"""Tests for the primal-dual f-approximation solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.communication import random_intersection_set_chasing
+from repro.lowerbounds import reduce_isc_to_set_cover
+from repro.offline import (
+    InfeasibleInstanceError,
+    PrimalDualSolver,
+    exact_cover,
+    max_frequency,
+    primal_dual_cover,
+)
+from repro.setsystem import SetSystem
+from repro.workloads import uniform_random_instance
+
+
+class TestMaxFrequency:
+    def test_basic(self, tiny_system):
+        assert max_frequency(tiny_system) == 2
+
+    def test_empty(self):
+        assert max_frequency(SetSystem(0, [])) == 0
+
+    def test_disjoint_partition(self):
+        assert max_frequency(SetSystem(4, [[0, 1], [2, 3]])) == 1
+
+
+class TestPrimalDual:
+    def test_produces_cover(self, tiny_system):
+        cover = primal_dual_cover(tiny_system)
+        assert tiny_system.is_cover(cover)
+
+    def test_empty_universe(self):
+        assert primal_dual_cover(SetSystem(0, [])) == []
+
+    def test_infeasible(self, infeasible_system):
+        with pytest.raises(InfeasibleInstanceError):
+            primal_dual_cover(infeasible_system)
+
+    def test_vertex_cover_style_instance_within_factor_two(self):
+        """Edges as elements, vertices as sets: f = 2, so the primal-dual
+        cover is within 2x of optimal — the classic special case."""
+        # A cycle on 6 vertices: edges e_i = {v_i, v_{i+1}}.
+        edges = 6
+        sets = [[] for _ in range(6)]
+        for e in range(edges):
+            sets[e].append(e)
+            sets[(e + 1) % 6].append(e)
+        system = SetSystem(edges, sets)
+        assert max_frequency(system) == 2
+        pd = primal_dual_cover(system)
+        optimum = len(exact_cover(system))
+        assert system.is_cover(pd)
+        assert len(pd) <= 2 * optimum
+
+    def test_frequency_two_on_reduction_instances(self):
+        """Section 5 instances have f = 2 on vertex elements; primal-dual
+        gives a 2-ish approximation where greedy has no such promise."""
+        isc = random_intersection_set_chasing(n=3, p=2, max_out_degree=1, seed=4)
+        reduction = reduce_isc_to_set_cover(isc)
+        pd = primal_dual_cover(reduction.system)
+        assert reduction.system.is_cover(pd)
+        optimum = len(exact_cover(reduction.system))
+        f = max_frequency(reduction.system)
+        assert len(pd) <= f * optimum
+
+    def test_reverse_delete_removes_redundancy(self):
+        # The first tight set becomes redundant once singletons are tight.
+        system = SetSystem(3, [[0, 1, 2], [0], [1], [2]])
+        cover = primal_dual_cover(system)
+        # No set in the output is removable.
+        for drop in range(len(cover)):
+            assert not system.is_cover(cover[:drop] + cover[drop + 1 :])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_f_approximation_guarantee(self, seed):
+        system = uniform_random_instance(9, 7, density=0.3, seed=seed)
+        cover = primal_dual_cover(system)
+        assert system.is_cover(cover)
+        f = max_frequency(system)
+        optimum = len(exact_cover(system))
+        assert len(cover) <= f * optimum
+
+
+class TestSolverInterface:
+    def test_solver_protocol(self, tiny_system):
+        solver = PrimalDualSolver()
+        assert tiny_system.is_cover(solver.solve(tiny_system))
+        assert solver.rho_for(tiny_system) == 2.0

@@ -1,0 +1,151 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import iter_set_cover
+from repro.offline import exact_cover, fractional_optimum, greedy_cover
+from repro.setsystem import SetSystem
+from repro.streaming import SetStream
+from repro.utils.mathutil import harmonic
+
+
+def feasible_systems(max_n=14, max_m=10):
+    def build(n, raw_sets):
+        sets = [set(s) for s in raw_sets] or [set()]
+        covered = set().union(*sets)
+        for e in range(n):
+            if e not in covered:
+                sets[e % len(sets)].add(e)
+        return SetSystem(n, sets)
+
+    return st.integers(min_value=1, max_value=max_n).flatmap(
+        lambda n: st.lists(
+            st.sets(st.integers(min_value=0, max_value=n - 1)),
+            min_size=1,
+            max_size=max_m,
+        ).map(lambda raw: build(n, raw))
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(feasible_systems())
+def test_greedy_is_a_cover_and_has_no_redundant_order(system):
+    cover = greedy_cover(system)
+    assert system.is_cover(cover)
+    # Every pick covered at least one new element at pick time.
+    seen: set[int] = set()
+    for set_id in cover:
+        gained = system[set_id] - seen
+        assert gained
+        seen |= system[set_id]
+
+
+@settings(max_examples=40, deadline=None)
+@given(feasible_systems(max_n=10, max_m=8))
+def test_greedy_within_harmonic_of_optimal(system):
+    """The H_s guarantee with s the largest set size."""
+    greedy_size = len(greedy_cover(system))
+    optimum = len(exact_cover(system))
+    bound = harmonic(max(system.max_set_size(), 1)) * optimum
+    assert greedy_size <= bound + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(feasible_systems(max_n=10, max_m=8))
+def test_lp_sandwiches_optimum(system):
+    value, _ = fractional_optimum(system)
+    optimum = len(exact_cover(system))
+    assert value <= optimum + 1e-6
+    # Integrality gap of set cover is at most H_n.
+    assert optimum <= value * harmonic(system.n) + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(feasible_systems(), st.sampled_from([1.0, 0.5, 0.34]))
+def test_iter_set_cover_always_covers_feasible_instances(system, delta):
+    stream = SetStream(system)
+    result = iter_set_cover(stream, delta=delta, seed=17)
+    assert result.feasible
+    assert system.is_cover(result.selection)
+
+
+@settings(max_examples=30, deadline=None)
+@given(feasible_systems(), st.sampled_from([1.0, 0.5]))
+def test_iter_set_cover_respects_pass_budget(system, delta):
+    stream = SetStream(system)
+    result = iter_set_cover(stream, delta=delta, seed=23)
+    assert result.passes <= 2 * math.ceil(1 / delta) + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(feasible_systems(max_n=10, max_m=8))
+def test_exact_solution_is_minimal_under_removal(system):
+    """No set of an optimal cover is redundant."""
+    cover = exact_cover(system)
+    for drop in range(len(cover)):
+        reduced = cover[:drop] + cover[drop + 1 :]
+        assert not system.is_cover(reduced)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_isc_reduction_counts_property(n, p, seed):
+    from repro.communication import random_intersection_set_chasing
+    from repro.lowerbounds import check_element_and_set_counts, reduce_isc_to_set_cover
+
+    isc = random_intersection_set_chasing(n=n, p=p, max_out_degree=2, seed=seed)
+    reduction = reduce_isc_to_set_cover(isc)
+    check_element_and_set_counts(reduction)
+    assert reduction.system.is_feasible()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_certificate_property(seed):
+    """Whenever ISC = 1, the Lemma 5.6 certificate is a tight cover."""
+    from repro.communication import random_intersection_set_chasing
+    from repro.lowerbounds import certificate_cover, reduce_isc_to_set_cover
+
+    isc = random_intersection_set_chasing(n=3, p=2, max_out_degree=2, seed=seed)
+    reduction = reduce_isc_to_set_cover(isc)
+    cert = certificate_cover(reduction)
+    assert (cert is not None) == reduction.isc.output()
+    if cert is not None:
+        assert len(set(cert)) == reduction.baseline
+        assert reduction.system.is_cover(cert)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=40),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_canonical_decomposition_is_lossless(n, seed):
+    """Union of canonical pieces == true projection, for random discs."""
+    import numpy as np
+
+    from repro.geometry import CanonicalRepresentation, Disc, Point
+
+    rng = np.random.default_rng(seed)
+    sample = {
+        i: Point(float(x), float(y)) for i, (x, y) in enumerate(rng.random((n, 2)))
+    }
+    for mode in ("split", "dedupe"):
+        rep = CanonicalRepresentation(sample, mode=mode)
+        disc = Disc(float(rng.random()), float(rng.random()), float(rng.uniform(0.1, 0.6)))
+        pieces, _ = rep.add_shape(disc)
+        union = (
+            frozenset().union(*[p.content for p in pieces]) if pieces else frozenset()
+        )
+        assert union == frozenset(
+            i for i, p in sample.items() if disc.contains(p)
+        )

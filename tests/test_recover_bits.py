@@ -1,0 +1,104 @@
+"""Tests for the ``algRecoverBit`` decoder (Figure 3.1, Theorem 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communication import (
+    ExactDisjointnessOracle,
+    SketchDisjointnessOracle,
+    alg_recover_bits,
+    encode_family,
+    random_family,
+    recovery_fraction,
+)
+from repro.communication.recover_bits import _prune
+
+
+class TestPruning:
+    def test_subset_artifact_rejected(self):
+        collection = [frozenset({0, 1, 2})]
+        _prune(collection, frozenset({0, 1}))
+        assert collection == [frozenset({0, 1, 2})]
+
+    def test_superset_replaces_artifact(self):
+        collection = [frozenset({0, 1})]
+        _prune(collection, frozenset({0, 1, 2}))
+        assert collection == [frozenset({0, 1, 2})]
+
+    def test_duplicate_ignored(self):
+        collection = [frozenset({0})]
+        _prune(collection, frozenset({0}))
+        assert collection == [frozenset({0})]
+
+    def test_incomparable_sets_coexist(self):
+        collection = [frozenset({0, 1})]
+        _prune(collection, frozenset({1, 2}))
+        assert len(collection) == 2
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_full_recovery_from_full_message(self, seed):
+        """The content of Theorem 3.2: the honest mn-bit message determines
+        Alice's entire input through disjointness queries alone."""
+        n, m = 32, 8
+        family = random_family(n, m, seed=seed)
+        oracle = ExactDisjointnessOracle(encode_family(family, n))
+        result = alg_recover_bits(oracle, n, m, seed=seed + 50)
+        assert result.exactly_matches(family)
+        assert recovery_fraction(result, family) == 1.0
+
+    def test_query_budget_reported(self):
+        n, m = 24, 4
+        family = random_family(n, m, seed=5)
+        oracle = ExactDisjointnessOracle(encode_family(family, n))
+        result = alg_recover_bits(oracle, n, m, seed=6)
+        assert result.oracle_queries == oracle.queries
+        assert result.message_bits == n * m
+
+    def test_early_stop(self):
+        n, m = 24, 4
+        family = random_family(n, m, seed=7)
+        oracle = ExactDisjointnessOracle(encode_family(family, n))
+        result = alg_recover_bits(oracle, n, m, seed=8, stop_when=1)
+        assert len(result.recovered) >= 1
+
+    def test_query_size_validated(self):
+        n, m = 8, 4
+        family = random_family(n, m, seed=9)
+        oracle = ExactDisjointnessOracle(encode_family(family, n))
+        with pytest.raises(ValueError):
+            alg_recover_bits(oracle, n, m, query_size=8, seed=10)
+
+
+class TestRateLimitedRecovery:
+    def test_starved_oracle_fails(self):
+        """With far fewer than mn bits, decoding collapses — the information
+        bottleneck behind the Omega(mn) bound."""
+        n, m = 32, 8
+        family = random_family(n, m, seed=11)
+        msg = encode_family(family, n)
+        sketch = SketchDisjointnessOracle(msg, budget_bits=(n * m) // 8, seed=12)
+        result = alg_recover_bits(sketch, n, m, seed=13)
+        assert recovery_fraction(result, family) < 0.5
+
+    def test_recovery_monotone_in_budget(self):
+        n, m = 32, 6
+        family = random_family(n, m, seed=14)
+        msg = encode_family(family, n)
+        fractions = []
+        for budget in (0, n * m // 2, n * m):
+            sketch = SketchDisjointnessOracle(msg, budget_bits=budget, seed=15)
+            result = alg_recover_bits(sketch, n, m, seed=16)
+            fractions.append(recovery_fraction(result, family))
+        assert fractions[-1] == 1.0
+        assert fractions[0] <= fractions[-1]
+
+
+class TestRecoveryFraction:
+    def test_empty_family(self):
+        from repro.communication import RecoveryResult
+
+        result = RecoveryResult([], probes=0, oracle_queries=0, message_bits=0)
+        assert recovery_fraction(result, []) == 1.0

@@ -1,0 +1,38 @@
+"""Tests for randomness plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_from_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(0, 2)
+        assert not np.array_equal(children[0].random(8), children[1].random(8))
+
+    def test_deterministic_from_seed(self):
+        a = [g.random(3).tolist() for g in spawn_generators(7, 3)]
+        b = [g.random(3).tolist() for g in spawn_generators(7, 3)]
+        assert a == b

@@ -1,0 +1,125 @@
+"""Tests for relative (p, eps)-approximation sampling (Definition 2.4 / Lemma 2.5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import (
+    draw_sample,
+    element_sample,
+    element_sample_size,
+    is_relative_approximation,
+    relative_approximation_size,
+    violating_ranges,
+)
+
+
+class TestSampleSize:
+    def test_monotone_in_ranges(self):
+        small = relative_approximation_size(8, p=0.1, eps=0.5, q=0.1)
+        large = relative_approximation_size(1024, p=0.1, eps=0.5, q=0.1)
+        assert large > small
+
+    def test_monotone_in_eps(self):
+        loose = relative_approximation_size(64, p=0.1, eps=0.5, q=0.1)
+        tight = relative_approximation_size(64, p=0.1, eps=0.1, q=0.1)
+        assert tight > loose
+
+    def test_monotone_in_p(self):
+        heavy = relative_approximation_size(64, p=0.5, eps=0.5, q=0.1)
+        light = relative_approximation_size(64, p=0.01, eps=0.5, q=0.1)
+        assert light > heavy
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 2.0])
+    def test_rejects_bad_parameters(self, bad):
+        with pytest.raises(ValueError):
+            relative_approximation_size(8, p=bad, eps=0.5, q=0.1)
+        with pytest.raises(ValueError):
+            relative_approximation_size(8, p=0.1, eps=bad, q=0.1)
+        with pytest.raises(ValueError):
+            relative_approximation_size(8, p=0.1, eps=0.5, q=bad)
+
+
+class TestDrawSample:
+    def test_size_capped_at_population(self):
+        sample = draw_sample(range(5), 100, seed=0)
+        assert sample == frozenset(range(5))
+
+    def test_subset_of_population(self):
+        population = set(range(100))
+        sample = draw_sample(population, 10, seed=1)
+        assert len(sample) == 10
+        assert sample <= population
+
+    def test_deterministic_given_seed(self):
+        assert draw_sample(range(50), 10, seed=7) == draw_sample(range(50), 10, seed=7)
+
+
+class TestDefinitionCheck:
+    def test_full_sample_always_approximates(self):
+        ground = range(20)
+        ranges = [set(range(10)), set(range(15, 20)), set()]
+        assert is_relative_approximation(ground, ranges, ground, p=0.1, eps=0.3)
+
+    def test_detects_heavy_violation(self):
+        ground = range(10)
+        ranges = [set(range(5))]  # density 0.5
+        sample = {5, 6, 7, 8, 9}  # sample density 0 -> multiplicative violation
+        check = violating_ranges(ground, ranges, sample, p=0.2, eps=0.5)
+        assert not check.holds
+        assert check.violations[0][0] == 0
+
+    def test_light_range_additive_slack(self):
+        ground = range(100)
+        ranges = [{0}]  # density 0.01, light for p = 0.1
+        sample = set(range(50, 100))  # misses the range entirely
+        # additive slack eps*p = 0.05 >= 0.01 difference: holds
+        assert is_relative_approximation(ground, ranges, sample, p=0.1, eps=0.5)
+
+    def test_rejects_sample_outside_ground(self):
+        with pytest.raises(ValueError):
+            violating_ranges(range(5), [], {7}, p=0.1, eps=0.5)
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ValueError):
+            violating_ranges(range(5), [], set(), p=0.1, eps=0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_lemma25_size_suffices_empirically(self, seed):
+        """At the Lemma 2.5 size (c = 1), random samples satisfy the
+        definition on random range families in the overwhelming majority of
+        trials; we assert it per-trial with generous eps."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = 400
+        ranges = [
+            set(np.flatnonzero(rng.random(n) < density).tolist())
+            for density in (0.5, 0.3, 0.1, 0.05)
+        ]
+        p, eps, q = 0.05, 0.5, 0.1
+        size = relative_approximation_size(len(ranges), p, eps, q)
+        sample = draw_sample(range(n), size, seed=rng)
+        assert is_relative_approximation(range(n), ranges, sample, p, eps)
+
+
+class TestElementSampling:
+    def test_size_zero_universe(self):
+        assert element_sample_size(0, 3, 2.0) == 0
+
+    def test_size_capped(self):
+        assert element_sample_size(10, 100, 10.0) == 10
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            element_sample_size(10, 0, 2.0)
+        with pytest.raises(ValueError):
+            element_sample_size(10, 1, 1.0)
+
+    def test_sample_subset(self):
+        sample = element_sample(range(50), cover_bound=2, reduction=2.0, seed=0)
+        assert sample <= frozenset(range(50))
+        assert sample

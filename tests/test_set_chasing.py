@@ -1,0 +1,134 @@
+"""Tests for set chasing, ISC, and the OR_t overlay (Definitions 5.1-5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.communication import (
+    IntersectionSetChasing,
+    SetChasing,
+    overlay_equal_pointer_chasing,
+    random_equal_pointer_chasing,
+    random_intersection_set_chasing,
+    random_set_chasing,
+)
+
+
+def chain_of(n, *layers):
+    return SetChasing(
+        n, tuple(tuple(frozenset(image) for image in layer) for layer in layers)
+    )
+
+
+class TestSetChasing:
+    def test_single_layer(self):
+        chain = chain_of(3, [{1, 2}, {0}, {2}])
+        assert chain.evaluate() == frozenset({1, 2})
+
+    def test_union_semantics(self):
+        # Layer f_2 fans out to {0, 1}; layer f_1 maps 0->{2}, 1->{0}.
+        chain = chain_of(3, [{2}, {0}, {1}], [{0, 1}, {2}, {1}])
+        assert chain.evaluate() == frozenset({2, 0})
+
+    def test_empty_image_propagates(self):
+        chain = chain_of(2, [set(), {0}], [{0}, {1}])
+        assert chain.evaluate() == frozenset()
+        assert not chain.has_nonempty_images()
+
+    def test_domain_validated(self):
+        with pytest.raises(ValueError):
+            chain_of(2, [{0}])
+        with pytest.raises(ValueError):
+            chain_of(2, [{5}, {0}])
+
+
+class TestISC:
+    def test_intersection_detection(self):
+        a = chain_of(3, [{0}, {1}, {2}])
+        b = chain_of(3, [{0}, {2}, {1}])
+        assert IntersectionSetChasing(a, b).output()  # both reach {0}
+
+    def test_disjoint_results(self):
+        a = chain_of(3, [{1}, {0}, {0}])
+        b = chain_of(3, [{2}, {0}, {0}])
+        assert not IntersectionSetChasing(a, b).output()
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IntersectionSetChasing(
+                chain_of(2, [{0}, {1}]), chain_of(3, [{0}, {1}, {2}])
+            )
+
+
+class TestGenerators:
+    def test_images_nonempty(self):
+        chain = random_set_chasing(10, 3, max_out_degree=2, seed=0)
+        assert chain.has_nonempty_images()
+
+    def test_out_degree_bounded(self):
+        chain = random_set_chasing(12, 2, max_out_degree=3, seed=1)
+        for layer in chain.functions:
+            for image in layer:
+                assert 1 <= len(image) <= 3
+
+    def test_deterministic(self):
+        assert random_set_chasing(8, 2, seed=3) == random_set_chasing(8, 2, seed=3)
+
+    def test_isc_both_outcomes_reachable(self):
+        outputs = {
+            random_intersection_set_chasing(3, 2, max_out_degree=1, seed=s).output()
+            for s in range(20)
+        }
+        assert outputs == {True, False}
+
+    def test_bad_out_degree(self):
+        with pytest.raises(ValueError):
+            random_set_chasing(5, 2, max_out_degree=0)
+
+
+class TestOverlay:
+    def test_single_instance_overlay_is_exact(self):
+        """With t = 1 the overlay tracks the EPC instance exactly: shared
+        final permutation, pinned start — ISC output == equality output."""
+        for seed in range(15):
+            epc = random_equal_pointer_chasing(12, 3, seed=seed)
+            isc = overlay_equal_pointer_chasing([epc], seed=seed + 100)
+            assert isc.output() == epc.output(), seed
+
+    def test_or_implies_isc(self):
+        """Soundness direction: any EPC equality forces an ISC intersection
+        (the shared layer-1 permutation maps equal endpoints together)."""
+        for seed in range(12):
+            instances = [
+                random_equal_pointer_chasing(16, 2, seed=seed * 10 + j)
+                for j in range(2)
+            ]
+            isc = overlay_equal_pointer_chasing(instances, seed=seed)
+            if any(inst.output() for inst in instances):
+                assert isc.output(), seed
+
+    def test_overlay_out_degree_bounded_by_t(self):
+        instances = [random_equal_pointer_chasing(10, 2, seed=j) for j in range(3)]
+        isc = overlay_equal_pointer_chasing(instances, seed=0)
+        for chain in (isc.first, isc.second):
+            for layer in chain.functions:
+                for image in layer:
+                    assert 1 <= len(image) <= 3
+
+    def test_empty_overlay_rejected(self):
+        with pytest.raises(ValueError):
+            overlay_equal_pointer_chasing([])
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            overlay_equal_pointer_chasing(
+                [
+                    random_equal_pointer_chasing(8, 2, seed=0),
+                    random_equal_pointer_chasing(10, 2, seed=1),
+                ]
+            )
+
+    def test_unpermuted_overlay(self):
+        epc = random_equal_pointer_chasing(8, 2, seed=4)
+        isc = overlay_equal_pointer_chasing([epc], seed=5, permute=False)
+        assert isc.output() == epc.output()

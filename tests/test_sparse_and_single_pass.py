@@ -1,0 +1,114 @@
+"""Tests for the sparse reduction (Section 6) and 2-vs-3 instances (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowerbounds import (
+    build_sparse_instance,
+    sparse_certificates,
+    two_vs_three_instance,
+)
+from repro.offline import exact_cover
+
+
+class TestSparseReduction:
+    def test_sparsity_within_bound(self):
+        for seed in range(5):
+            sparse = build_sparse_instance(n=6, p=2, t=2, seed=seed)
+            assert sparse.measured_sparsity() <= sparse.sparsity_bound
+
+    def test_sparsity_grows_with_t(self):
+        narrow = build_sparse_instance(n=8, p=2, t=1, seed=1)
+        wide = build_sparse_instance(n=8, p=2, t=4, seed=1)
+        assert wide.measured_sparsity() >= narrow.measured_sparsity()
+        assert wide.sparsity_bound > narrow.sparsity_bound
+
+    def test_reduction_gap_matches_isc(self):
+        """The SetCover optimum always tracks the (overlaid) ISC output —
+        the reduction itself is deterministic and exact."""
+        for seed in range(4):
+            sparse = build_sparse_instance(n=5, p=2, t=2, seed=seed)
+            optimum = len(exact_cover(sparse.reduction.system, max_nodes=3_000_000))
+            assert optimum == sparse.reduction.expected_optimum()
+
+    def test_or_implies_isc(self):
+        """Lemma 6.5 soundness direction: an EPC equality always yields an
+        ISC intersection (hence the baseline optimum)."""
+        hits = 0
+        for seed in range(20):
+            sparse = build_sparse_instance(n=6, p=2, t=1, seed=seed)
+            if sparse.or_of_equalities:
+                hits += 1
+                assert sparse.reduction.isc.output()
+        assert hits > 0
+
+    def test_t_equals_one_is_exact(self):
+        """With a single overlaid instance the ISC output equals the EPC
+        output, so the SetCover gap decides Equal Pointer Chasing."""
+        for seed in range(10):
+            sparse = build_sparse_instance(n=7, p=2, t=1, seed=seed)
+            assert sparse.reduction.isc.output() == sparse.or_of_equalities
+
+    def test_functions_respect_r_promise(self):
+        from repro.communication import is_r_non_injective
+
+        sparse = build_sparse_instance(n=8, p=2, t=3, seed=3)
+        for inst in sparse.epc_instances:
+            for chain in (inst.first, inst.second):
+                for f in chain.functions:
+                    assert not is_r_non_injective(f, sparse.r)
+
+    def test_certificates_report(self):
+        sparse = build_sparse_instance(n=6, p=2, t=2, seed=4)
+        report = sparse_certificates(sparse)
+        assert report["sparsity"] <= report["sparsity_bound"]
+        assert report["elements"] == sparse.reduction.system.n
+        assert report["baseline"] == sparse.reduction.baseline
+
+
+class TestTwoVsThree:
+    @pytest.mark.parametrize("plant", [True, False])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_optimum_is_as_planted(self, plant, seed):
+        inst = two_vs_three_instance(
+            n=12, m_alice=4, m_bob=4, plant_two_cover=plant, seed=seed
+        )
+        assert len(exact_cover(inst.system)) == inst.expected_optimum
+
+    def test_no_single_set_covers(self):
+        for plant in (True, False):
+            inst = two_vs_three_instance(
+                n=12, m_alice=4, m_bob=4, plant_two_cover=plant, seed=9
+            )
+            for r in inst.system.sets:
+                assert len(r) < inst.system.n
+
+    def test_two_cover_is_cross_party(self):
+        inst = two_vs_three_instance(
+            n=12, m_alice=4, m_bob=4, plant_two_cover=True, seed=2
+        )
+        alice = set(inst.alice_ids)
+        bob = set(inst.bob_ids)
+        import itertools
+
+        for a, b in itertools.combinations(range(inst.system.m), 2):
+            if inst.system.is_cover([a, b]):
+                assert (a in alice) != (b in alice) or (
+                    a in bob
+                ) != (b in bob)
+                # i.e. one from each side
+                assert len({a, b} & alice) == 1 and len({a, b} & bob) == 1
+
+    def test_stream_order_alice_first(self):
+        inst = two_vs_three_instance(
+            n=12, m_alice=3, m_bob=2, plant_two_cover=True, seed=3
+        )
+        assert inst.alice_ids == [0, 1, 2]
+        assert inst.bob_ids == [3, 4]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            two_vs_three_instance(n=4, m_alice=2, m_bob=2, plant_two_cover=True)
+        with pytest.raises(ValueError):
+            two_vs_three_instance(n=10, m_alice=1, m_bob=1, plant_two_cover=True)

@@ -1,0 +1,77 @@
+"""Consistency between the analysis formulas and actual algorithm behaviour.
+
+The theory module's predicted bounds are only useful if the implementations
+actually track them; these tests pin the relationships at one scale each.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import (
+    cw16_approx,
+    er14_approx,
+    iter_set_cover_passes,
+)
+from repro.baselines import ChakrabartiWirth, EmekRosen
+from repro.core import IterSetCover, IterSetCoverConfig
+from repro.streaming import SetStream
+from repro.workloads import planted_instance, threshold_trap_instance
+
+
+class TestPassPredictions:
+    def test_iter_passes_match_formula(self):
+        planted = planted_instance(n=128, m=96, opt=4, seed=21)
+        for delta in (1.0, 0.5, 0.25):
+            stream = SetStream(planted.system)
+            result = IterSetCover(
+                config=IterSetCoverConfig(
+                    delta=delta,
+                    sample_constant=1.0,
+                    use_polylog_factors=False,
+                    include_rho=False,
+                ),
+                seed=3,
+            ).solve(stream)
+            predicted = iter_set_cover_passes(delta)
+            assert result.passes <= math.ceil(predicted) + 1  # + cleanup
+
+
+class TestApproxPredictions:
+    def test_er14_within_formula_on_trap(self):
+        """The trap family realizes a Theta(sqrt n) overpay; the measured
+        ratio must stay below the er14_approx envelope (with slack 4 for
+        the two-sided threshold constant)."""
+        for n in (64, 256):
+            system = threshold_trap_instance(n, seed=5)
+            result = EmekRosen().solve(SetStream(system))
+            ratio = result.solution_size / 2  # optimum is 2
+            assert ratio <= 4 * er14_approx(n)
+
+    def test_cw16_within_formula(self):
+        planted = planted_instance(n=256, m=128, opt=4, seed=22)
+        for p in (1, 2, 3):
+            result = ChakrabartiWirth(passes=p).solve(SetStream(planted.system))
+            bound = cw16_approx(256, p)
+            assert result.solution_size <= bound * planted.opt
+
+
+class TestSpacePredictions:
+    def test_iter_space_tracks_delta_direction(self):
+        """iter_set_cover_space is monotone in delta; so must be the
+        measured per-guess peak (same instance, same seed)."""
+        planted = planted_instance(n=512, m=256, opt=8, seed=23)
+        peaks = []
+        for delta in (1.0, 0.5, 0.25):
+            stream = SetStream(planted.system)
+            result = IterSetCover(
+                config=IterSetCoverConfig(
+                    delta=delta,
+                    sample_constant=0.6,
+                    use_polylog_factors=False,
+                    include_rho=False,
+                ),
+                seed=4,
+            ).solve(stream)
+            peaks.append(result.guess_stats[result.best_k].peak_memory_words)
+        assert peaks[0] > peaks[1] > peaks[2]

@@ -1,0 +1,151 @@
+"""Tests for VC dimension and epsilon-net machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import (
+    draw_epsilon_net,
+    epsilon_net_size,
+    is_epsilon_net,
+    is_relative_approximation,
+    is_shattered,
+    net_violators,
+    shatter_counts,
+    vc_dimension,
+    vc_dimension_upper_bound,
+)
+from repro.setsystem import SetSystem
+from repro.workloads import uniform_random_instance
+
+
+class TestShattering:
+    def test_singletons_shatter_one_point(self):
+        ranges = [frozenset(), frozenset({0})]
+        assert is_shattered([0], ranges)
+
+    def test_missing_trace(self):
+        ranges = [frozenset({0, 1}), frozenset()]
+        assert not is_shattered([0, 1], ranges)  # {0} alone never realized
+
+    def test_full_power_set_shatters(self):
+        import itertools
+
+        ranges = [
+            frozenset(s)
+            for k in range(4)
+            for s in itertools.combinations(range(3), k)
+        ]
+        assert is_shattered([0, 1, 2], ranges)
+
+
+class TestVCDimension:
+    def test_empty_system(self):
+        assert vc_dimension(SetSystem(0, [])) == 0
+        assert vc_dimension(SetSystem(3, [])) == 0
+
+    def test_single_set(self):
+        # Traces on any single element: {} (never) and {e}; a single
+        # nonempty set realizes only one trace besides... both needed.
+        system = SetSystem(2, [[0]])
+        assert vc_dimension(system) == 0  # trace {} on {0} is not realized
+
+    def test_two_complementary_sets(self):
+        system = SetSystem(2, [[0], [1]])
+        # On {0}: traces {0} (set 0) and {} (set 1): shattered -> dim >= 1.
+        assert vc_dimension(system) == 1
+
+    def test_intervals_have_dimension_two(self):
+        # Ranges = all "intervals" [a, b] of a line of 5 points: VC dim 2.
+        sets = [
+            list(range(a, b + 1)) for a in range(5) for b in range(a, 5)
+        ]
+        system = SetSystem(5, sets)
+        assert vc_dimension(system) == 2
+
+    def test_cap_limits_search(self):
+        sets = [
+            list(range(a, b + 1)) for a in range(5) for b in range(a, 5)
+        ]
+        system = SetSystem(5, sets)
+        assert vc_dimension(system, cap=1) == 1
+
+    def test_log_m_remark(self):
+        """The paper's remark behind Lemma 2.5: VC dim <= log2 m."""
+        for seed in range(5):
+            system = uniform_random_instance(10, 6, density=0.4, seed=seed)
+            assert vc_dimension(system) <= vc_dimension_upper_bound(system.m)
+
+    def test_upper_bound_formula(self):
+        assert vc_dimension_upper_bound(0) == 0
+        assert vc_dimension_upper_bound(1) == 0
+        assert vc_dimension_upper_bound(8) == 3
+        assert vc_dimension_upper_bound(9) == 3
+
+
+class TestShatterCounts:
+    def test_counts_bound(self):
+        system = SetSystem(4, [[0, 1], [1, 2], [2, 3]])
+        assert shatter_counts(system, [0, 1]) <= 4
+        assert shatter_counts(system, []) == 1  # only the empty trace
+
+
+class TestEpsilonNets:
+    def test_size_monotone(self):
+        assert epsilon_net_size(2, 0.1) > epsilon_net_size(2, 0.5)
+        assert epsilon_net_size(4, 0.1) > epsilon_net_size(2, 0.1)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            epsilon_net_size(2, 0.0)
+        with pytest.raises(ValueError):
+            epsilon_net_size(2, 0.5, q=0.0)
+        with pytest.raises(ValueError):
+            epsilon_net_size(-1, 0.5)
+
+    def test_whole_ground_set_is_a_net(self):
+        ranges = [set(range(5)), {7, 8}]
+        assert is_epsilon_net(range(10), ranges, range(10), eps=0.1)
+
+    def test_violator_detection(self):
+        ranges = [set(range(5))]  # density 0.5
+        violators = net_violators(range(10), ranges, {7, 8}, eps=0.3)
+        assert violators == [0]
+
+    def test_net_outside_ground_rejected(self):
+        with pytest.raises(ValueError):
+            net_violators(range(5), [], {9}, eps=0.5)
+
+    def test_light_ranges_may_be_missed(self):
+        ranges = [{0}]  # density 0.1 < eps
+        assert is_epsilon_net(range(10), ranges, {5}, eps=0.3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_sampled_nets_usually_valid(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n, eps = 300, 0.2
+        ranges = [
+            set(np.flatnonzero(rng.random(n) < d).tolist())
+            for d in (0.25, 0.4, 0.6)
+        ]
+        net = draw_epsilon_net(range(n), vc_dim=2, eps=eps, q=0.05, seed=rng, c=2.0)
+        assert is_epsilon_net(range(n), ranges, net, eps)
+
+    def test_relative_approximation_is_a_net(self):
+        """A relative (p, eps)-approximation with eps < 1 hits every range of
+        density >= p (its sample density is at least (1-eps) p > 0)."""
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        n = 200
+        ranges = [set(np.flatnonzero(rng.random(n) < d).tolist()) for d in (0.3, 0.5)]
+        from repro.sampling import draw_sample
+
+        sample = draw_sample(range(n), 80, seed=rng)
+        if is_relative_approximation(range(n), ranges, sample, p=0.2, eps=0.5):
+            assert is_epsilon_net(range(n), ranges, sample, eps=0.2)

@@ -1,0 +1,142 @@
+"""Tests for weighted set cover solvers."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offline import InfeasibleInstanceError
+from repro.setsystem import SetSystem
+from repro.weighted import (
+    exact_weighted_cover,
+    validate_weights,
+    weighted_fractional_optimum,
+    weighted_greedy_cover,
+)
+from repro.workloads import uniform_random_instance
+
+
+def brute_force_weighted(system, weights):
+    best = None
+    for k in range(system.m + 1):
+        for combo in itertools.combinations(range(system.m), k):
+            if system.is_cover(combo):
+                weight = sum(weights[i] for i in combo)
+                if best is None or weight < best:
+                    best = weight
+    return best
+
+
+class TestValidation:
+    def test_wrong_length(self, tiny_system):
+        with pytest.raises(ValueError):
+            validate_weights(tiny_system, [1.0])
+
+    def test_nonpositive_rejected(self, tiny_system):
+        with pytest.raises(ValueError):
+            validate_weights(tiny_system, [1, 1, 0, 1, 1])
+
+    def test_passthrough(self, tiny_system):
+        assert validate_weights(tiny_system, [1] * 5) == [1.0] * 5
+
+
+class TestWeightedGreedy:
+    def test_unit_weights_match_unweighted(self, tiny_system):
+        from repro.offline import greedy_cover
+
+        weighted = weighted_greedy_cover(tiny_system, [1.0] * tiny_system.m)
+        assert len(weighted) == len(greedy_cover(tiny_system))
+
+    def test_prefers_cheap_sets(self):
+        # Two ways to cover {0,1}: one big expensive set, two cheap ones.
+        system = SetSystem(2, [[0, 1], [0], [1]])
+        cover = weighted_greedy_cover(system, [10.0, 1.0, 1.0])
+        assert sorted(cover) == [1, 2]
+
+    def test_expensive_singletons_avoided(self):
+        system = SetSystem(2, [[0, 1], [0], [1]])
+        cover = weighted_greedy_cover(system, [1.0, 10.0, 10.0])
+        assert cover == [0]
+
+    def test_infeasible(self, infeasible_system):
+        with pytest.raises(InfeasibleInstanceError):
+            weighted_greedy_cover(infeasible_system, [1.0] * infeasible_system.m)
+
+
+class TestExactWeighted:
+    def test_minimizes_weight_not_count(self):
+        # Cheapest cover uses MORE sets: 3 cheap singletons (weight 3) vs
+        # one heavy full set (weight 5).
+        system = SetSystem(3, [[0, 1, 2], [0], [1], [2]])
+        cover = exact_weighted_cover(system, [5.0, 1.0, 1.0, 1.0])
+        assert sorted(cover) == [1, 2, 3]
+
+    def test_unit_weights_match_exact_size(self, tiny_system):
+        from repro.offline import exact_cover
+
+        weighted = exact_weighted_cover(tiny_system, [1.0] * tiny_system.m)
+        assert len(weighted) == len(exact_cover(tiny_system))
+
+    def test_empty(self):
+        assert exact_weighted_cover(SetSystem(0, []), []) == []
+
+    def test_infeasible(self, infeasible_system):
+        with pytest.raises(InfeasibleInstanceError):
+            exact_weighted_cover(infeasible_system, [1.0] * infeasible_system.m)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_matches_brute_force(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        system = uniform_random_instance(7, 6, density=0.4, seed=seed)
+        weights = [float(w) for w in rng.uniform(0.5, 3.0, size=system.m)]
+        exact = exact_weighted_cover(system, weights)
+        exact_weight = sum(weights[i] for i in exact)
+        assert exact_weight == pytest.approx(
+            brute_force_weighted(system, weights)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_exact_never_heavier_than_greedy(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        system = uniform_random_instance(8, 6, density=0.4, seed=seed)
+        weights = [float(w) for w in rng.uniform(0.5, 3.0, size=system.m)]
+        exact_weight = sum(
+            weights[i] for i in exact_weighted_cover(system, weights)
+        )
+        greedy_weight = sum(
+            weights[i] for i in weighted_greedy_cover(system, weights)
+        )
+        assert exact_weight <= greedy_weight + 1e-9
+
+
+class TestWeightedLP:
+    def test_lower_bounds_integral(self, tiny_system):
+        weights = [2.0, 1.0, 3.0, 1.0, 1.0]
+        lp_value, x = weighted_fractional_optimum(tiny_system, weights)
+        integral = sum(
+            weights[i] for i in exact_weighted_cover(tiny_system, weights)
+        )
+        assert lp_value <= integral + 1e-6
+        assert all(v >= -1e-9 for v in x)
+
+    def test_unit_weights_match_unweighted_lp(self, tiny_system):
+        from repro.offline import fractional_optimum
+
+        unweighted, _ = fractional_optimum(tiny_system)
+        weighted, _ = weighted_fractional_optimum(tiny_system, [1.0] * 5)
+        assert weighted == pytest.approx(unweighted, abs=1e-6)
+
+    def test_infeasible(self, infeasible_system):
+        with pytest.raises(InfeasibleInstanceError):
+            weighted_fractional_optimum(
+                infeasible_system, [1.0] * infeasible_system.m
+            )

@@ -1,0 +1,103 @@
+"""Tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.offline import exact_cover, greedy_cover
+from repro.workloads import (
+    blog_watch_instance,
+    nested_chain_instance,
+    planted_instance,
+    threshold_trap_instance,
+    uniform_random_instance,
+    zipf_instance,
+)
+
+
+class TestUniform:
+    def test_feasible_by_default(self):
+        system = uniform_random_instance(30, 20, density=0.05, seed=0)
+        assert system.is_feasible()
+
+    def test_density_respected(self):
+        system = uniform_random_instance(500, 10, density=0.3, seed=1, ensure_feasible=False)
+        sizes = [len(r) for r in system.sets]
+        assert 0.2 * 500 < np.mean(sizes) < 0.4 * 500
+
+    def test_deterministic(self):
+        a = uniform_random_instance(20, 10, seed=3)
+        b = uniform_random_instance(20, 10, seed=3)
+        assert a == b
+
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            uniform_random_instance(10, 5, density=1.5)
+
+
+class TestPlanted:
+    @pytest.mark.parametrize("opt", [2, 4, 7])
+    def test_exact_optimum_is_planted(self, opt):
+        planted = planted_instance(n=40, m=30, opt=opt, seed=opt)
+        assert len(exact_cover(planted.system)) == opt
+
+    def test_planted_ids_form_a_cover(self):
+        planted = planted_instance(n=50, m=35, opt=5, seed=2)
+        assert planted.system.is_cover(planted.planted_ids)
+        assert len(planted.planted_ids) == planted.opt
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            planted_instance(n=10, m=5, opt=0)
+        with pytest.raises(ValueError):
+            planted_instance(n=10, m=2, opt=5)
+
+    def test_decoys_present(self):
+        planted = planted_instance(n=40, m=30, opt=3, seed=4)
+        assert planted.system.m == 30
+
+
+class TestSkewed:
+    def test_zipf_feasible(self):
+        assert zipf_instance(60, 40, seed=0).is_feasible()
+
+    def test_zipf_sizes_decay(self):
+        system = zipf_instance(200, 50, exponent=1.5, seed=1)
+        sizes = [len(r) for r in system.sets]
+        assert sizes[0] >= sizes[-1]
+
+    def test_trap_optimum_is_two(self):
+        system = threshold_trap_instance(36, seed=2)
+        assert len(exact_cover(system)) == 2
+
+    def test_trap_feasible(self):
+        assert threshold_trap_instance(25, seed=3).is_feasible()
+
+    def test_chain_greedy_gap(self):
+        system = nested_chain_instance(64)
+        assert len(exact_cover(system)) == 2
+        assert len(greedy_cover(system)) >= 4
+
+    def test_chain_validates_power_of_two(self):
+        with pytest.raises(ValueError):
+            nested_chain_instance(24)
+
+
+class TestBlogWatch:
+    def test_feasible(self):
+        assert blog_watch_instance(topics=50, blogs=20, seed=0).is_feasible()
+
+    def test_aggregators_are_large(self):
+        system = blog_watch_instance(
+            topics=200, blogs=30, aggregators=2, seed=1
+        )
+        aggregator_sizes = [len(system[i]) for i in range(2)]
+        specialist_sizes = [len(system[i]) for i in range(2, 30)]
+        assert min(aggregator_sizes) > np.median(specialist_sizes)
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            blog_watch_instance(topics=10, blogs=2, communities=5)
+        with pytest.raises(ValueError):
+            blog_watch_instance(topics=10, blogs=5, communities=0)
