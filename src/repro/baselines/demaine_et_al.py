@@ -42,6 +42,7 @@ from repro.core.result import StreamingCoverResult
 from repro.offline.base import OfflineSolver
 from repro.offline.greedy import GreedySolver
 from repro.sampling.relative_approximation import draw_sample
+from repro.setsystem.packed import bitmap_kernel, resolve_backend
 from repro.streaming.memory import MemoryMeter
 from repro.streaming.stream import SetStream
 from repro.utils.rng import as_generator
@@ -50,7 +51,13 @@ __all__ = ["DemaineEtAl"]
 
 
 class DemaineEtAl:
-    """Recursive element-sampling set cover in the style of [DIMV14]."""
+    """Recursive element-sampling set cover in the style of [DIMV14].
+
+    The per-set work of both streaming passes (the ``r ∩ target``
+    projection of the base case, the coverage union of the update pass)
+    runs on the bitmap kernels of :mod:`repro.setsystem.packed`; the
+    ``backend`` knob mirrors :class:`~repro.core.IterSetCoverConfig`.
+    """
 
     name = "DIMV14"
 
@@ -61,13 +68,15 @@ class DemaineEtAl:
         solver: "OfflineSolver | None" = None,
         seed: "int | np.random.Generator | None" = None,
         sample_constant: float = 1.0,
+        backend: str = "auto",
     ):
         if not 0 < delta <= 1:
             raise ValueError(f"delta must be in (0, 1], got {delta}")
         self.delta = delta
         self.k = k
-        self.solver = solver or GreedySolver()
+        self.solver = solver or GreedySolver(backend=backend)
         self.sample_constant = sample_constant
+        self.backend = resolve_backend(backend, kind="stream")
         self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------
@@ -148,19 +157,26 @@ class DemaineEtAl:
         self, stream: SetStream, target: frozenset[int], meter: MemoryMeter
     ) -> list[int]:
         """One pass storing all projections onto ``target``; offline solve."""
-        projections: list[frozenset[int]] = []
+        kernel = bitmap_kernel(stream.n, self.backend)
+        target_bitmap = kernel.from_indices(target)
+        projections: list = []  # kernel bitmaps (r ∩ target)
         ids: list[int] = []
         words = 0
-        for set_id, r in stream.iterate():
-            hit = r & target
-            if hit:
+        for set_id, row in stream.iterate_packed(kernel.backend):
+            hit = kernel.intersect(row, target_bitmap)
+            hit_count = kernel.count(hit)
+            if hit_count:
                 projections.append(hit)
                 ids.append(set_id)
-                words += len(hit) + 1
+                words += hit_count + 1
         meter.charge(words)
-        coverable = frozenset().union(*projections) if projections else frozenset()
+        coverable = kernel.empty()
+        for projection in projections:
+            coverable = kernel.union(coverable, projection)
         picked = self.solver.solve_partial(
-            stream.n, projections, target & coverable
+            stream.n,
+            [frozenset(kernel.to_indices(p)) for p in projections],
+            frozenset(kernel.to_indices(kernel.intersect(target_bitmap, coverable))),
         )
         meter.release(words)
         result = [ids[i] for i in picked]
@@ -169,9 +185,10 @@ class DemaineEtAl:
 
     def _union_pass(self, stream: SetStream, selection: list[int]) -> set[int]:
         """One pass computing the union of the selected sets."""
+        kernel = bitmap_kernel(stream.n, self.backend)
         wanted = set(selection)
-        covered: set[int] = set()
-        for set_id, r in stream.iterate():
+        covered = kernel.empty()
+        for set_id, row in stream.iterate_packed(kernel.backend):
             if set_id in wanted:
-                covered |= r
-        return covered
+                covered = kernel.union(covered, row)
+        return set(kernel.to_indices(covered))

@@ -1,0 +1,338 @@
+"""Kernel benchmark harness: ``python -m repro bench``.
+
+Times the three packed-kernel primitives (coverage union, residual gains,
+residual projection), the two preprocessing/solver hot paths built on them
+(``without_dominated_sets``, ``greedy_cover``) and the end-to-end
+``iterSetCover`` run, for every backend, across instance scales — and
+emits a machine-readable JSON report (default ``BENCH_kernels.json`` at
+the repo root) that seeds the performance trajectory tracked across PRs.
+
+Report schema (``repro.bench_kernels/v1``)::
+
+    {
+      "schema": "repro.bench_kernels/v1",
+      "scale": "paper",
+      "repeats": 3,
+      "environment": {"python": ..., "numpy": ..., "platform": ...},
+      "instances": [{"name", "workload", "n", "m", "opt", "seed"}, ...],
+      "results": [
+        {"benchmark", "instance", "backend", "seconds", "repeats"}, ...
+      ],
+      "summary": {
+        "<benchmark>": {
+          "<instance>": {
+            "frozenset_seconds": ...,
+            "python_seconds": ..., "python_speedup": ...,
+            "numpy_seconds": ...,  "numpy_speedup": ...,
+            "best_speedup": ...
+          }
+        }
+      }
+    }
+
+``*_speedup`` is always relative to the seed's frozenset path on the same
+instance (>1 means the packed backend is faster).  Packed timings are
+taken with warm memoized views (``SetSystem.packed`` caches per backend,
+by design); the one-off packing cost is reported separately as the
+``pack_build`` benchmark.  ``summary.best_speedup`` for ``greedy_cover``
+and ``without_dominated_sets`` on the planted n=2000/m=4000 instance is
+the headline number the repo tracks (DESIGN.md §4.3).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import IterSetCoverConfig, iter_set_cover
+from repro.offline.greedy import greedy_cover
+from repro.setsystem.packed import pack
+from repro.setsystem.set_system import SetSystem
+from repro.streaming.stream import SetStream
+from repro.workloads import planted_instance, uniform_random_instance
+
+__all__ = ["run_benchmarks", "render_summary", "SCHEMA", "SCALES"]
+
+SCHEMA = "repro.bench_kernels/v1"
+
+PACKED_BACKENDS = ("python", "numpy")
+ALL_BACKENDS = ("frozenset",) + PACKED_BACKENDS
+#: Backends reported in the summary speedup columns.  ``auto`` rows show
+#: what the default knob actually delivers (it resolves per call site).
+SUMMARY_BACKENDS = PACKED_BACKENDS + ("auto",)
+#: Cost-only benchmarks: no frozenset-relative speedup is meaningful.
+_COST_ONLY = {"pack_build"}
+
+#: Instance roster per scale: (name, workload, params).  The planted
+#: n=2000/m=4000 instance is the acceptance instance of PR 1.
+SCALES = {
+    "smoke": [
+        ("planted_n64_m48", "planted", dict(n=64, m=48, opt=4)),
+    ],
+    "paper": [
+        ("planted_n100_m200", "planted", dict(n=100, m=200, opt=8)),
+        ("uniform_n500_m1000", "uniform", dict(n=500, m=1000, density=0.02)),
+        # The acceptance instance: dense decoys (as large as the planted
+        # parts) put greedy in its hard, churn-heavy regime.
+        ("planted_n2000_m4000", "planted",
+         dict(n=2000, m=4000, opt=8, decoy_fraction_of_part=1.0)),
+    ],
+    "full": [
+        ("planted_n100_m200", "planted", dict(n=100, m=200, opt=8)),
+        ("uniform_n500_m1000", "uniform", dict(n=500, m=1000, density=0.02)),
+        ("planted_n2000_m4000", "planted",
+         dict(n=2000, m=4000, opt=8, decoy_fraction_of_part=1.0)),
+        ("planted_n8000_m8000", "planted",
+         dict(n=8000, m=8000, opt=16, decoy_fraction_of_part=1.0)),
+    ],
+}
+
+#: The frozenset reference is O(m^2) on domination and O(m n) per pass on
+#: the end-to-end run; above these sizes it is timed with a single repeat.
+_SLOW_BASELINE_M = 1000
+
+
+def _build_instance(workload: str, params: dict, seed: int) -> tuple[SetSystem, "int | None"]:
+    if workload == "planted":
+        planted = planted_instance(
+            params["n"],
+            params["m"],
+            opt=params["opt"],
+            seed=seed,
+            decoy_fraction_of_part=params.get("decoy_fraction_of_part", 0.6),
+        )
+        return planted.system, planted.opt
+    if workload == "uniform":
+        return (
+            uniform_random_instance(
+                params["n"], params["m"], density=params["density"], seed=seed
+            ),
+            None,
+        )
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def _best_time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class _Runner:
+    def __init__(self, repeats: int):
+        self.repeats = repeats
+        self.results: list[dict] = []
+
+    def record(
+        self,
+        benchmark: str,
+        instance: str,
+        backend: str,
+        fn,
+        repeats: "int | None" = None,
+    ) -> float:
+        repeats = max(1, self.repeats if repeats is None else repeats)
+        seconds = _best_time(fn, repeats)
+        self.results.append(
+            {
+                "benchmark": benchmark,
+                "instance": instance,
+                "backend": backend,
+                "seconds": seconds,
+                "repeats": repeats,
+            }
+        )
+        return seconds
+
+
+def _bench_instance(runner: _Runner, name: str, system: SetSystem) -> None:
+    n, m = system.n, system.m
+    sets = system.sets
+    selection = list(range(0, m, 7)) or [0]
+    slow_repeats = 1 if m > _SLOW_BASELINE_M else None
+
+    # One-off packing cost (everything below runs on warm memoized views).
+    for backend in ALL_BACKENDS:
+        runner.record(
+            "pack_build", name, backend, lambda b=backend: pack(sets, n, b)
+        )
+
+    families = {backend: system.packed(backend) for backend in ALL_BACKENDS}
+    residuals = {
+        backend: family.kernel.full() for backend, family in families.items()
+    }
+    half = range(n // 2)
+    half_bitmaps = {
+        backend: family.kernel.from_indices(half)
+        for backend, family in families.items()
+    }
+
+    for backend, family in families.items():
+        kernel = family.kernel
+        runner.record(
+            "union", name, backend, lambda f=family: f.union(selection)
+        )
+        runner.record(
+            "gains", name, backend,
+            lambda f=family, r=residuals[backend]: f.gains(r),
+        )
+        runner.record(
+            "is_cover", name, backend, lambda f=family: f.covers(range(m))
+        )
+        runner.record(
+            "project", name, backend,
+            lambda f=family, h=half_bitmaps[backend]: f.project(h),
+        )
+        runner.record(
+            "without_dominated_sets", name, backend,
+            lambda f=family: f.non_dominated(),
+            repeats=slow_repeats if backend == "frozenset" else None,
+        )
+        runner.record(
+            "greedy_cover", name, backend,
+            lambda s=system, b=backend: greedy_cover(s, backend=b),
+            repeats=slow_repeats if backend == "frozenset" else None,
+        )
+
+    # What the default knob delivers (resolves per instance size).  Same
+    # operation as the per-backend rows (the pruning kernel alone, not the
+    # subfamily rebuild) so the speedup columns stay comparable.
+    runner.record(
+        "without_dominated_sets", name, "auto",
+        lambda s=system: s.packed("auto").non_dominated(),
+    )
+    runner.record(
+        "greedy_cover", name, "auto",
+        lambda s=system: greedy_cover(s, backend="auto"),
+    )
+
+
+def _bench_end_to_end(
+    runner: _Runner, name: str, system: SetSystem, seed: int
+) -> None:
+    def run(backend: str):
+        stream = SetStream(system)
+        return iter_set_cover(
+            stream,
+            delta=0.5,
+            seed=seed,
+            backend=backend,
+            use_polylog_factors=False,
+            include_rho=False,
+        )
+
+    slow_repeats = 1 if system.m > _SLOW_BASELINE_M else None
+    for backend in ALL_BACKENDS + ("auto",):
+        runner.record(
+            "iter_set_cover", name, backend, lambda b=backend: run(b),
+            repeats=slow_repeats if backend == "frozenset" else None,
+        )
+
+
+def _summarize(results: list[dict]) -> dict:
+    by_key: dict[tuple[str, str], dict[str, float]] = {}
+    for row in results:
+        by_key.setdefault((row["benchmark"], row["instance"]), {})[
+            row["backend"]
+        ] = row["seconds"]
+    summary: dict = {}
+    for (benchmark, instance), timings in sorted(by_key.items()):
+        entry: dict = {}
+        baseline = timings.get("frozenset")
+        if baseline is not None:
+            entry["frozenset_seconds"] = baseline
+        best = 0.0
+        for backend in SUMMARY_BACKENDS:
+            seconds = timings.get(backend)
+            if seconds is None:
+                continue
+            entry[f"{backend}_seconds"] = seconds
+            if benchmark not in _COST_ONLY and baseline and seconds > 0:
+                speedup = baseline / seconds
+                entry[f"{backend}_speedup"] = round(speedup, 2)
+                best = max(best, speedup)
+        if best:
+            entry["best_speedup"] = round(best, 2)
+        summary.setdefault(benchmark, {})[instance] = entry
+    return summary
+
+
+def run_benchmarks(
+    scale: str = "paper",
+    repeats: int = 3,
+    seed: int = 0,
+    output: "str | Path | None" = "BENCH_kernels.json",
+) -> dict:
+    """Run the kernel benchmark suite and (optionally) write the JSON report."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
+    runner = _Runner(repeats)
+    instances_meta = []
+    for name, workload, params in SCALES[scale]:
+        system, opt = _build_instance(workload, params, seed)
+        instances_meta.append(
+            {
+                "name": name,
+                "workload": workload,
+                "n": system.n,
+                "m": system.m,
+                "opt": opt,
+                "seed": seed,
+            }
+        )
+        _bench_instance(runner, name, system)
+        _bench_end_to_end(runner, name, system, seed)
+
+    payload = {
+        "schema": SCHEMA,
+        "scale": scale,
+        "repeats": repeats,
+        "seed": seed,
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "instances": instances_meta,
+        "results": runner.results,
+        "summary": _summarize(runner.results),
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_summary(payload: dict) -> str:
+    """Human-readable view of the speedup summary (printed by the CLI)."""
+    lines = [
+        f"kernel benchmarks — scale={payload['scale']} "
+        f"(best-of-{payload['repeats']}, seconds; speedup vs frozenset)",
+        "",
+    ]
+    header = (
+        f"{'benchmark':<24}{'instance':<22}{'frozenset':>11}{'python':>11}"
+        f"{'numpy':>11}{'auto':>11}{'best x':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for benchmark, instances in payload["summary"].items():
+        for instance, entry in instances.items():
+            def fmt(key):
+                value = entry.get(key)
+                return f"{value:.4g}" if value is not None else "-"
+
+            lines.append(
+                f"{benchmark:<24}{instance:<22}"
+                f"{fmt('frozenset_seconds'):>11}{fmt('python_seconds'):>11}"
+                f"{fmt('numpy_seconds'):>11}{fmt('auto_seconds'):>11}"
+                f"{entry.get('best_speedup', '-'):>9}"
+            )
+    return "\n".join(lines)

@@ -1,13 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands, all file-based so the library is usable without writing
+Four commands, all file-based so the library is usable without writing
 Python:
 
 * ``generate`` — emit a workload instance to a file (text or .json);
 * ``solve``    — run a streaming algorithm over an instance file and print
   the cover plus the pass/space accounting;
 * ``info``     — instance statistics (n, m, sparsity, density, optimum
-  bounds).
+  bounds);
+* ``bench``    — run the packed-kernel benchmark suite and write a
+  machine-readable ``BENCH_kernels.json`` (see :mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ _ALGORITHMS = {
             sample_constant=args.sample_constant,
             use_polylog_factors=not args.no_polylog,
             include_rho=not args.no_polylog,
+            backend=args.backend,
         ),
         seed=args.seed,
     ),
@@ -99,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy", "frozenset"],
+        default="auto",
+        help="bitmap kernel backend for the iter algorithm",
+    )
+    solve.add_argument(
         "--show-cover", action="store_true", help="print the chosen set ids"
     )
 
@@ -109,6 +118,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also compute greedy upper / LP lower bounds on the optimum",
     )
+
+    bench = sub.add_parser(
+        "bench", help="run the packed-kernel benchmark suite"
+    )
+    bench.add_argument(
+        "--scale",
+        choices=["smoke", "paper", "full"],
+        default="paper",
+        help="instance roster: smoke (CI), paper (default), full",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_kernels.json",
+        help="where to write the JSON report",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    bench.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -155,6 +183,20 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import render_summary, run_benchmarks
+
+    payload = run_benchmarks(
+        scale=args.scale,
+        repeats=args.repeats,
+        seed=args.seed,
+        output=args.output,
+    )
+    print(render_summary(payload))
+    print(f"\n[report saved to {args.output}]")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
@@ -163,6 +205,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_solve(args)
     if args.command == "info":
         return _cmd_info(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

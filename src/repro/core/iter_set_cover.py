@@ -24,6 +24,15 @@ O(rho/delta) approximation factor:
 A final cleanup pass (mirroring Figure 4.1's last pass) handles runs where
 the with-high-probability event did not materialize at the configured
 sampling constants; it is reported separately (DESIGN.md §3.2).
+
+Implementation note (DESIGN.md §4): every per-set operation of the three
+passes — the Size Test intersection, the update subtraction, the cleanup
+hit test — runs on bitmap kernels from :mod:`repro.setsystem.packed`.
+Each streamed set is packed *once* per pass and the resulting bitmap is
+shared by all parallel guesses, instead of the seed's per-guess frozenset
+intersections.  The ``backend`` knob of :class:`IterSetCoverConfig`
+selects the kernel; all backends consume the sampling randomness
+identically, so results are bit-for-bit reproducible across backends.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from repro.core.result import GuessStats, StreamingCoverResult
 from repro.offline.base import OfflineSolver
 from repro.offline.greedy import GreedySolver
 from repro.sampling.relative_approximation import draw_sample
+from repro.setsystem.packed import BitmapKernel, bitmap_kernel
 from repro.streaming.memory import MemoryMeter
 from repro.streaming.stream import SetStream
 from repro.utils.mathutil import powers_of_two_up_to
@@ -44,12 +54,29 @@ __all__ = ["IterSetCover", "iter_set_cover"]
 
 
 class _GuessState:
-    """Execution state of one parallel guess of the optimal cover size."""
+    """Execution state of one parallel guess of the optimal cover size.
 
-    def __init__(self, k: int, n: int, meter: MemoryMeter):
+    All element sets (uncovered, sample, leftover, stored projections) are
+    bitmap handles of the shared ``kernel``; streamed sets arrive already
+    packed by the driving pass loop.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n: int,
+        meter: MemoryMeter,
+        kernel: "BitmapKernel | None" = None,
+    ):
         self.k = k
         self.meter = meter
-        self.uncovered: set[int] = set(range(n))
+        # The frozenset reference kernel keeps white-box callers (the
+        # Lemma 2.3 statistical tests) working with raw frozensets.
+        self.kernel = kernel if kernel is not None else bitmap_kernel(n, "frozenset")
+        self.uncovered = self.kernel.full()
+        # Cached |uncovered|, maintained by the two mutating passes so the
+        # per-set done/satisfied checks stay O(1) instead of a popcount.
+        self._uncovered_count = n
         # The uncovered bitmap of the ground set is held for the whole run
         # (needed by the update pass), cf. Lemma 2.2's O(n) term.
         self.meter.charge(n)
@@ -62,51 +89,68 @@ class _GuessState:
             peak_memory_words=0,
         )
         # Per-iteration scratch:
-        self.sample: frozenset[int] = frozenset()
-        self.leftover: set[int] = set()
-        self.projections: list[frozenset[int]] = []
+        self.sample = self.kernel.empty()
+        self.sample_size = 0
+        self.leftover = self.kernel.empty()
+        self.projections: list = []  # kernel bitmaps (r ∩ sample)
         self.projection_ids: list[int] = []
         self.new_picks: set[int] = set()
         self._scratch_words = 0
+
+    @property
+    def done(self) -> bool:
+        """Is the true uncovered set empty?"""
+        return self._uncovered_count == 0
+
+    def uncovered_count(self) -> int:
+        return self._uncovered_count
 
     # ------------------------------------------------------------------
     def begin_iteration(
         self, config: IterSetCoverConfig, n: int, m: int, rho: float, rng
     ) -> None:
-        if not self.uncovered:
-            self.sample = frozenset()
-            self.leftover = set()
+        kernel = self.kernel
+        if self.done:
+            self.sample = kernel.empty()
+            self.sample_size = 0
+            self.leftover = kernel.empty()
             return
         target = config.sample_size(n, m, self.k, rho)
-        self.sample = draw_sample(self.uncovered, target, seed=rng)
-        self.stats.sample_sizes.append(len(self.sample))
-        self.leftover = set(self.sample)
+        # ``to_indices`` is sorted, so the rng stream matches the seed's
+        # frozenset implementation exactly (draw_sample sorts anyway).
+        sampled = draw_sample(kernel.to_indices(self.uncovered), target, seed=rng)
+        self.sample = kernel.from_indices(sampled)
+        self.sample_size = len(sampled)
+        self.stats.sample_sizes.append(self.sample_size)
+        self.leftover = self.sample
         self.projections = []
         self.projection_ids = []
         self.new_picks = set()
-        self._scratch_words = len(self.sample)
+        self._scratch_words = self.sample_size
         self.meter.charge(self._scratch_words)
 
-    def observe_sample_pass(self, set_id: int, r: frozenset[int]) -> None:
+    def observe_sample_pass(self, set_id: int, row) -> None:
         """First pass of the iteration: Size Test or projection storage."""
-        if not self.leftover:
+        kernel = self.kernel
+        if kernel.is_empty(self.leftover):
             return
         if set_id in self.solution_set:
             return
-        hit = r & self.leftover
-        if not hit:
+        hit = kernel.intersect(row, self.leftover)
+        hit_count = kernel.count(hit)
+        if hit_count == 0:
             return
-        if len(hit) * self.k >= len(self.sample):
+        if hit_count * self.k >= self.sample_size:
             # Heavy set: pick immediately, never stored.
             self._pick(set_id)
             self.new_picks.add(set_id)
-            self.leftover -= hit
+            self.leftover = kernel.subtract(self.leftover, hit)
             self.stats.heavy_picks += 1
         else:
             # Light set: store its projection onto the sample explicitly.
             self.projections.append(hit)
             self.projection_ids.append(set_id)
-            words = len(hit) + 1  # elements + the set id
+            words = hit_count + 1  # elements + the set id
             self._scratch_words += words
             self.meter.charge(words)
 
@@ -118,42 +162,54 @@ class _GuessState:
         streamed by); on infeasible ones the uncoverable residue is left to
         surface as ``feasible=False`` at the end of the run.
         """
-        if not self.leftover:
+        kernel = self.kernel
+        if kernel.is_empty(self.leftover):
             return
-        coverable: set[int] = set()
+        coverable = kernel.empty()
         for projection in self.projections:
-            coverable |= projection
+            coverable = kernel.union(coverable, projection)
+        targets = kernel.intersect(self.leftover, coverable)
         picked = solver.solve_partial(
-            n, self.projections, frozenset(self.leftover) & frozenset(coverable)
+            n,
+            [frozenset(kernel.to_indices(p)) for p in self.projections],
+            frozenset(kernel.to_indices(targets)),
         )
         for local_index in picked:
             set_id = self.projection_ids[local_index]
             self._pick(set_id)
             self.new_picks.add(set_id)
             self.stats.offline_picks += 1
-        self.leftover.clear()
+        self.leftover = kernel.empty()
 
-    def observe_update_pass(self, set_id: int, r: frozenset[int]) -> None:
+    def observe_update_pass(self, set_id: int, row) -> None:
         """Second pass: recompute the true uncovered set."""
         if set_id in self.new_picks:
-            self.uncovered -= r
+            kernel = self.kernel
+            newly = kernel.count(kernel.intersect(row, self.uncovered))
+            if newly:
+                self.uncovered = kernel.subtract(self.uncovered, row)
+                self._uncovered_count -= newly
 
     def end_iteration(self) -> None:
         """Drop per-iteration scratch; prior iterations' memory is not kept."""
         self.projections = []
         self.projection_ids = []
-        self.sample = frozenset()
+        self.sample = self.kernel.empty()
+        self.sample_size = 0
         self.meter.release(self._scratch_words)
         self._scratch_words = 0
 
-    def observe_cleanup_pass(self, set_id: int, r: frozenset[int]) -> None:
+    def observe_cleanup_pass(self, set_id: int, row) -> None:
         """Final pass: pick any set covering a leftover element."""
-        if not self.uncovered:
+        kernel = self.kernel
+        if self.done:
             return
-        hit = r & self.uncovered
-        if hit and set_id not in self.solution_set:
+        hit = kernel.intersect(row, self.uncovered)
+        hit_count = kernel.count(hit)
+        if hit_count and set_id not in self.solution_set:
             self._pick(set_id)
-            self.uncovered -= hit
+            self.uncovered = kernel.subtract(self.uncovered, hit)
+            self._uncovered_count -= hit_count
             self.stats.cleanup_picks += 1
 
     # ------------------------------------------------------------------
@@ -164,10 +220,8 @@ class _GuessState:
             self.meter.charge(1)  # remembering the picked set id
 
     def finalize_stats(self) -> GuessStats:
-        self.stats.solution_size = (
-            len(self.solution) if not self.uncovered else None
-        )
-        self.stats.covered_after_iterations = not self.uncovered
+        self.stats.solution_size = len(self.solution) if self.done else None
+        self.stats.covered_after_iterations = self.done
         self.stats.peak_memory_words = self.meter.peak
         return self.stats
 
@@ -178,12 +232,13 @@ class IterSetCover:
     Parameters
     ----------
     config:
-        Trade-off and sampling parameters (see
+        Trade-off, sampling and kernel-backend parameters (see
         :class:`~repro.core.config.IterSetCoverConfig`).
     solver:
         The offline black box ``algOfflineSC``; defaults to greedy
-        (rho = H_n).  Pass :class:`~repro.offline.exact.ExactSolver` for the
-        rho = 1 regime of Theorem 2.8.
+        (rho = H_n) on the configured backend.  Pass
+        :class:`~repro.offline.exact.ExactSolver` for the rho = 1 regime of
+        Theorem 2.8.
     seed:
         Seed or generator for the sampling randomness.
 
@@ -206,7 +261,7 @@ class IterSetCover:
         seed: "int | np.random.Generator | None" = None,
     ):
         self.config = config or IterSetCoverConfig()
-        self.solver = solver or GreedySolver()
+        self.solver = solver or GreedySolver(backend=self.config.backend)
         self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------
@@ -218,44 +273,46 @@ class IterSetCover:
                 selection=[], passes=0, peak_memory_words=0, algorithm=self.name
             )
 
+        kernel = bitmap_kernel(n, self.config.backend)
         rho = self.solver.rho(n)
         guesses = [
-            _GuessState(k, n, MemoryMeter(label=f"k={k}"))
+            _GuessState(k, n, MemoryMeter(label=f"k={k}"), kernel)
             for k in powers_of_two_up_to(n)
         ]
         passes_before = stream.passes
 
         for _ in range(self.config.iterations):
-            if all(not g.uncovered for g in guesses):
+            if all(g.done for g in guesses):
                 break
             for guess in guesses:
                 guess.begin_iteration(self.config, n, m, rho, self._rng)
-            for set_id, r in stream.iterate():
+            for set_id, row in stream.iterate_packed(kernel.backend):
+                # One packed row per set, shared across all parallel guesses.
                 for guess in guesses:
-                    guess.observe_sample_pass(set_id, r)
+                    guess.observe_sample_pass(set_id, row)
             for guess in guesses:
                 guess.solve_offline(self.solver, n)
-            for set_id, r in stream.iterate():
+            for set_id, row in stream.iterate_packed(kernel.backend):
                 for guess in guesses:
-                    guess.observe_update_pass(set_id, r)
+                    guess.observe_update_pass(set_id, row)
             for guess in guesses:
                 guess.end_iteration()
 
         cleanup_passes = 0
-        if self.config.cleanup_pass and any(g.uncovered for g in guesses):
+        if self.config.cleanup_pass and any(not g.done for g in guesses):
             cleanup_passes = 1
-            for set_id, r in stream.iterate():
+            for set_id, row in stream.iterate_packed(kernel.backend):
                 for guess in guesses:
-                    guess.observe_cleanup_pass(set_id, r)
+                    guess.observe_cleanup_pass(set_id, row)
 
         stats = {g.k: g.finalize_stats() for g in guesses}
-        complete = [g for g in guesses if not g.uncovered]
+        complete = [g for g in guesses if g.done]
         total_peak = sum(g.meter.peak for g in guesses)
         passes = stream.passes - passes_before
 
         if not complete:
             # The family itself cannot cover U; report the best effort.
-            best = min(guesses, key=lambda g: len(g.uncovered))
+            best = min(guesses, key=lambda g: g.uncovered_count())
             return StreamingCoverResult(
                 selection=list(best.solution),
                 passes=passes,

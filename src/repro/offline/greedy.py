@@ -1,9 +1,19 @@
 """The classic greedy set-cover algorithm (rho = H_n <= ln n + 1).
 
-Implemented with lazy evaluation: residual coverage of a set only shrinks
-over time, so a stale heap entry whose recomputed gain still tops the heap
-is genuinely the best set.  This makes greedy near-linear in the total input
-size for the instance scales used here.
+Two packed-kernel execution strategies sit behind one entry point
+(DESIGN.md §4):
+
+* ``python`` — lazy-heap greedy over big-int bitmaps: residual coverage
+  of a set only shrinks over time, so a stale heap entry whose recomputed
+  gain still tops the heap is genuinely the best set;
+* ``numpy`` — full gain recomputation per pick as one vectorized
+  popcount over the m x ceil(n/64) block matrix, followed by ``argmax``.
+
+Both strategies (and the seed's ``frozenset`` reference, kept for
+benchmarking and property tests) pick the maximum-gain set with ties
+broken toward the lower set index, so all backends return *identical*
+covers — the backend-equivalence tests in ``tests/test_packed.py`` pin
+this down.
 """
 
 from __future__ import annotations
@@ -11,23 +21,91 @@ from __future__ import annotations
 import heapq
 
 from repro.offline.base import InfeasibleInstanceError, OfflineSolver
+from repro.setsystem.packed import PackedFamily, resolve_backend
 from repro.setsystem.set_system import SetSystem
 from repro.utils.mathutil import harmonic
 
 __all__ = ["GreedySolver", "greedy_cover"]
 
 
-def greedy_cover(system: SetSystem) -> list[int]:
+def greedy_cover(system: SetSystem, backend: str = "auto") -> list[int]:
     """Return the greedy cover of ``system`` (indices in pick order).
 
-    Ties are broken toward the lower set index so results are deterministic.
-    Raises :class:`InfeasibleInstanceError` if the family is not a cover.
+    Ties are broken toward the lower set index so results are deterministic
+    (and independent of ``backend``).  Raises
+    :class:`InfeasibleInstanceError` if the family is not a cover.
     """
+    resolved = resolve_backend(backend, n=system.n, m=system.m, kind="family")
+    if resolved == "frozenset":
+        return _greedy_cover_frozenset(system)
+    family = system.packed(resolved)
+    if family.backend == "numpy":
+        return _greedy_cover_argmax(family)
+    return _greedy_cover_bigint(family)
+
+
+def _infeasible(kernel, residual) -> InfeasibleInstanceError:
+    return InfeasibleInstanceError(
+        f"{kernel.count(residual)} elements cannot be covered "
+        f"(e.g. {kernel.to_indices(residual)[:10]})"
+    )
+
+
+def _greedy_cover_bigint(family: PackedFamily) -> list[int]:
+    """Lazy-heap greedy over big-int bitmaps.
+
+    The gain test is a two-opcode `&`/`bit_count` on arbitrary-precision
+    ints, inlined (no kernel dispatch) because it runs once per heap pop.
+    """
+    rows = family.rows
+    residual = family.kernel.full()
+    if not residual:
+        return []
+
+    # Max-heap of (-gain, set_id); gains are lazily refreshed.
+    heap: list[tuple[int, int]] = [
+        (-size, set_id) for set_id, size in enumerate(family.sizes()) if size
+    ]
+    heapq.heapify(heap)
+    chosen: list[int] = []
+
+    while residual:
+        while heap:
+            neg_gain, set_id = heapq.heappop(heap)
+            gain = (rows[set_id] & residual).bit_count()
+            if gain == 0:
+                continue
+            if gain == -neg_gain:
+                # Entry was fresh: this really is the best set.
+                chosen.append(set_id)
+                residual &= ~rows[set_id]
+                break
+            heapq.heappush(heap, (-gain, set_id))
+        else:
+            raise _infeasible(family.kernel, residual)
+    return chosen
+
+
+def _greedy_cover_argmax(family: PackedFamily) -> list[int]:
+    """Vectorized greedy: one all-rows gain kernel + argmax per pick."""
+    kernel = family.kernel
+    residual = kernel.full()
+    chosen: list[int] = []
+    while not kernel.is_empty(residual):
+        gain, set_id = family.best_gain(residual)
+        if gain == 0:
+            raise _infeasible(kernel, residual)
+        chosen.append(set_id)
+        residual = kernel.subtract(residual, family.row(set_id))
+    return chosen
+
+
+def _greedy_cover_frozenset(system: SetSystem) -> list[int]:
+    """The seed's frozenset implementation — the benchmark baseline."""
     uncovered: set[int] = set(range(system.n))
     if not uncovered:
         return []
 
-    # Max-heap of (-gain, set_id); gains are lazily refreshed.
     heap: list[tuple[int, int]] = [
         (-len(r), set_id) for set_id, r in enumerate(system.sets) if r
     ]
@@ -41,7 +119,6 @@ def greedy_cover(system: SetSystem) -> list[int]:
             if gain == 0:
                 continue
             if gain == -neg_gain:
-                # Entry was fresh: this really is the best set.
                 chosen.append(set_id)
                 uncovered -= system[set_id]
                 break
@@ -59,8 +136,12 @@ class GreedySolver(OfflineSolver):
 
     name = "greedy"
 
+    def __init__(self, backend: str = "auto"):
+        resolve_backend(backend)  # validate eagerly
+        self.backend = backend
+
     def solve(self, system: SetSystem) -> list[int]:
-        return greedy_cover(system)
+        return greedy_cover(system, backend=self.backend)
 
     def rho(self, n: int) -> float:
         return harmonic(max(n, 1))

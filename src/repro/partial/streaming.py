@@ -22,6 +22,7 @@ from repro.core.result import StreamingCoverResult
 from repro.offline.base import OfflineSolver
 from repro.offline.greedy import GreedySolver
 from repro.partial.offline import coverage_requirement
+from repro.setsystem.packed import bitmap_kernel
 from repro.streaming.memory import MemoryMeter
 from repro.streaming.stream import SetStream
 from repro.utils.mathutil import powers_of_two_up_to
@@ -62,51 +63,53 @@ class PartialIterSetCover:
                 selection=[], passes=0, peak_memory_words=0, algorithm=self.name
             )
         rho = self.solver.rho(n)
+        kernel = bitmap_kernel(n, self.config.backend)
         guesses = [
-            _GuessState(k, n, MemoryMeter(label=f"k={k}"))
+            _GuessState(k, n, MemoryMeter(label=f"k={k}"), kernel)
             for k in powers_of_two_up_to(n)
         ]
         passes_before = stream.passes
 
         def satisfied(guess: _GuessState) -> bool:
-            return len(guess.uncovered) <= allowance
+            return guess.uncovered_count() <= allowance
 
         for _ in range(self.config.iterations):
             if all(satisfied(g) for g in guesses):
                 break
             for g in guesses:
                 if satisfied(g):
-                    g.sample = frozenset()
-                    g.leftover = set()
+                    g.sample = kernel.empty()
+                    g.sample_size = 0
+                    g.leftover = kernel.empty()
                     g.new_picks = set()
                 else:
                     g.begin_iteration(self.config, n, m, rho, self._rng)
-            for set_id, r in stream.iterate():
+            for set_id, row in stream.iterate_packed(kernel.backend):
                 for g in guesses:
-                    g.observe_sample_pass(set_id, r)
+                    g.observe_sample_pass(set_id, row)
             for g in guesses:
                 if not satisfied(g):
                     self._solve_offline_partial(g, allowance)
-            for set_id, r in stream.iterate():
+            for set_id, row in stream.iterate_packed(kernel.backend):
                 for g in guesses:
-                    g.observe_update_pass(set_id, r)
+                    g.observe_update_pass(set_id, row)
             for g in guesses:
                 g.end_iteration()
 
         cleanup_passes = 0
         if self.config.cleanup_pass and any(not satisfied(g) for g in guesses):
             cleanup_passes = 1
-            for set_id, r in stream.iterate():
+            for set_id, row in stream.iterate_packed(kernel.backend):
                 for g in guesses:
                     if not satisfied(g):
-                        g.observe_cleanup_pass(set_id, r)
+                        g.observe_cleanup_pass(set_id, row)
 
         stats = {g.k: g.finalize_stats() for g in guesses}
         complete = [g for g in guesses if satisfied(g)]
         passes = stream.passes - passes_before
         total_peak = sum(g.meter.peak for g in guesses)
         if not complete:
-            best = min(guesses, key=lambda g: len(g.uncovered))
+            best = min(guesses, key=lambda g: g.uncovered_count())
             feasible = False
         else:
             best = min(complete, key=lambda g: len(g.solution))
@@ -120,7 +123,7 @@ class PartialIterSetCover:
             best_k=best.k,
             cleanup_passes=cleanup_passes,
             guess_stats=stats,
-            extra={"eps": self.eps, "uncovered_left": len(best.uncovered)},
+            extra={"eps": self.eps, "uncovered_left": best.uncovered_count()},
         )
 
 
@@ -133,23 +136,25 @@ class PartialIterSetCover:
         elements covered.  Uses greedy for the partial objective (the
         injected solver interface has no coverage-target notion).
         """
-        if not guess.leftover:
+        kernel = guess.kernel
+        if kernel.is_empty(guess.leftover):
             return
-        coverable: set[int] = set()
+        coverable = kernel.empty()
         for projection in guess.projections:
-            coverable |= projection
-        targets = set(guess.leftover) & coverable
-        uncovered_size = max(len(guess.uncovered), 1)
-        sample_share = len(guess.sample) / uncovered_size
+            coverable = kernel.union(coverable, projection)
+        targets = kernel.intersect(guess.leftover, coverable)
+        target_count = kernel.count(targets)
+        uncovered_size = max(guess.uncovered_count(), 1)
+        sample_share = guess.sample_size / uncovered_size
         sample_allowance = int(allowance * min(1.0, sample_share))
-        required = max(0, len(targets) - sample_allowance)
+        required = max(0, target_count - sample_allowance)
 
         covered = 0
-        remaining = set(targets)
+        remaining = targets
         while covered < required:
             best_index, best_gain = -1, 0
             for index, projection in enumerate(guess.projections):
-                gain = len(projection & remaining)
+                gain = kernel.count(kernel.intersect(projection, remaining))
                 if gain > best_gain:
                     best_index, best_gain = index, gain
             if best_index < 0:
@@ -158,9 +163,9 @@ class PartialIterSetCover:
             guess._pick(set_id)
             guess.new_picks.add(set_id)
             guess.stats.offline_picks += 1
-            remaining -= guess.projections[best_index]
-            covered = len(targets) - len(remaining)
-        guess.leftover.clear()
+            remaining = kernel.subtract(remaining, guess.projections[best_index])
+            covered = target_count - kernel.count(remaining)
+        guess.leftover = kernel.empty()
 
 
 class PartialThreshold:

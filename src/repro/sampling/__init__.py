@@ -1,6 +1,10 @@
 """Sampling primitives: relative (p, eps)-approximations and element sampling."""
 
-from repro.sampling.element_sampling import element_sample, element_sample_size
+from repro.sampling.element_sampling import (
+    element_sample,
+    element_sample_size,
+    project_onto_sample,
+)
 from repro.sampling.epsilon_net import (
     draw_epsilon_net,
     epsilon_net_size,
@@ -35,6 +39,7 @@ __all__ = [
     "element_sample",
     "element_sample_size",
     "is_relative_approximation",
+    "project_onto_sample",
     "relative_approximation_size",
     "violating_ranges",
 ]

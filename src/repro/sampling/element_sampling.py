@@ -11,13 +11,14 @@ of [DIMV14] uses this module.
 from __future__ import annotations
 
 import math
-from collections.abc import Collection
+from collections.abc import Collection, Iterable, Sequence
 
 import numpy as np
 
 from repro.sampling.relative_approximation import draw_sample
+from repro.setsystem.packed import pack
 
-__all__ = ["element_sample_size", "element_sample"]
+__all__ = ["element_sample_size", "element_sample", "project_onto_sample"]
 
 
 def element_sample_size(
@@ -50,3 +51,22 @@ def element_sample(
     """Draw one element-sampling round's sample from ``uncovered``."""
     size = element_sample_size(len(uncovered), cover_bound, reduction, c=c)
     return draw_sample(uncovered, size, seed=seed)
+
+
+def project_onto_sample(
+    n: int,
+    sets: Sequence[Iterable[int]],
+    sample: Collection[int],
+    backend: str = "auto",
+) -> list[frozenset[int]]:
+    """Project a family onto a sample: the ``r ∩ S`` step of [DIMV14].
+
+    The projection is the per-round workhorse of element sampling — a cover
+    of the projected family is what the offline solve operates on.  Runs as
+    one vectorized intersection kernel over the packed family
+    (:mod:`repro.setsystem.packed`) instead of m per-set frozenset
+    intersections; empty projections are kept so indices stay aligned with
+    the input family.
+    """
+    family = pack(sets, n, backend)
+    return family.project_to_frozensets(family.kernel.from_indices(sample))

@@ -9,10 +9,24 @@ from repro.setsystem.operations import (
     project_family,
     verify_cover,
 )
+from repro.setsystem.packed import (
+    BACKENDS,
+    BitmapKernel,
+    PackedFamily,
+    bitmap_kernel,
+    pack,
+    resolve_backend,
+)
 from repro.setsystem.set_system import SetSystem
 
 __all__ = [
+    "BACKENDS",
+    "BitmapKernel",
+    "PackedFamily",
     "SetSystem",
+    "bitmap_kernel",
+    "pack",
+    "resolve_backend",
     "cover_size",
     "coverage_histogram",
     "dumps_json",

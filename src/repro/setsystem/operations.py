@@ -23,10 +23,26 @@ __all__ = [
 
 
 def project_family(
-    sets: Iterable[frozenset[int]], onto: frozenset[int]
+    sets: Iterable[frozenset[int]],
+    onto: frozenset[int],
+    backend: "str | None" = None,
 ) -> list[frozenset[int]]:
-    """Intersect every set with ``onto`` (the ``r ∩ L`` of Figure 1.3)."""
-    return [r & onto for r in sets]
+    """Intersect every set with ``onto`` (the ``r ∩ L`` of Figure 1.3).
+
+    With ``backend`` set, the projection runs as one vectorized kernel over
+    the packed family (see
+    :func:`repro.sampling.element_sampling.project_onto_sample`); the
+    default keeps the plain frozenset path, which wins for the small
+    mid-stream projections this helper mostly serves.
+    """
+    if backend is None:
+        return [r & onto for r in sets]
+    from repro.sampling.element_sampling import project_onto_sample
+
+    sets = list(sets)
+    highest = max((max(r, default=-1) for r in sets), default=-1)
+    highest = max(highest, max(onto, default=-1))
+    return project_onto_sample(highest + 1, sets, onto, backend=backend)
 
 
 def cover_size(selection: Iterable[int]) -> int:
@@ -63,23 +79,23 @@ def greedy_completion(
 ) -> list[int]:
     """Extend a partial selection into a full cover greedily.
 
-    Repeatedly adds the set covering the most still-uncovered elements.
-    Raises ``ValueError`` if the family itself is not a cover.
+    Repeatedly adds the set covering the most still-uncovered elements
+    (best-gain kernel over the memoized packed family).  Raises
+    ``ValueError`` if the family itself is not a cover.
     """
     chosen = list(dict.fromkeys(selection))
-    uncovered = set(system.uncovered_by(chosen))
-    while uncovered:
-        best_id, best_gain = -1, 0
-        for set_id, r in enumerate(system.sets):
-            gain = len(r & uncovered)
-            if gain > best_gain:
-                best_id, best_gain = set_id, gain
-        if best_id < 0:
+    family = system.packed()
+    kernel = family.kernel
+    residual = kernel.subtract(kernel.full(), family.union(chosen))
+    while not kernel.is_empty(residual):
+        gain, best_id = family.best_gain(residual)
+        if gain == 0:
             raise ValueError(
-                f"family cannot cover remaining elements {sorted(uncovered)[:10]}"
+                f"family cannot cover remaining elements "
+                f"{kernel.to_indices(residual)[:10]}"
             )
         chosen.append(best_id)
-        uncovered -= system[best_id]
+        residual = kernel.subtract(residual, family.row(best_id))
     return chosen
 
 

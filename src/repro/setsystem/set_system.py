@@ -7,13 +7,17 @@ delivers the sets in repository order, and because instances may legitimately
 contain duplicate sets.
 
 The class is immutable: all transformation helpers return new instances.
+Immutability also makes the derived views (the universe, the integer
+bitmasks, the packed kernel families of :mod:`repro.setsystem.packed`) safe
+to memoize — they are built on first access and reused by every query.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
 
-from repro.utils.bitset import mask_of
+from repro.setsystem.packed import PackedFamily, PythonPackedFamily, pack, resolve_backend
+from repro.utils.bitset import iter_bits, mask_of, universe_mask
 
 __all__ = ["SetSystem"]
 
@@ -39,7 +43,7 @@ class SetSystem:
     False
     """
 
-    __slots__ = ("_n", "_sets")
+    __slots__ = ("_n", "_sets", "_universe", "_masks", "_packed")
 
     def __init__(self, n: int, sets: Iterable[Iterable[int]]):
         if n < 0:
@@ -56,6 +60,10 @@ class SetSystem:
             frozen.append(fs)
         self._n = n
         self._sets = tuple(frozen)
+        # Lazily built, memoized views (safe: the instance is immutable).
+        self._universe: "frozenset[int] | None" = None
+        self._masks: "tuple[int, ...] | None" = None
+        self._packed: dict[str, PackedFamily] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -77,8 +85,10 @@ class SetSystem:
 
     @property
     def universe(self) -> frozenset[int]:
-        """The ground set ``U`` as a frozenset."""
-        return frozenset(range(self._n))
+        """The ground set ``U`` as a frozenset (built once, then cached)."""
+        if self._universe is None:
+            self._universe = frozenset(range(self._n))
+        return self._universe
 
     def __len__(self) -> int:
         return len(self._sets)
@@ -101,22 +111,67 @@ class SetSystem:
         return f"SetSystem(n={self._n}, m={self.m})"
 
     # ------------------------------------------------------------------
+    # Packed views
+    # ------------------------------------------------------------------
+    def _mask_tuple(self) -> tuple[int, ...]:
+        if self._masks is None:
+            self._masks = tuple(mask_of(r) for r in self._sets)
+        return self._masks
+
+    def packed(self, backend: str = "auto") -> PackedFamily:
+        """The family as a memoized :class:`~repro.setsystem.packed.PackedFamily`.
+
+        One packed view is built per concrete backend and cached; repeated
+        calls (and every query method below) reuse it.
+        """
+        resolved = resolve_backend(backend, n=self._n, m=self.m, kind="family")
+        family = self._packed.get(resolved)
+        if family is None:
+            if resolved == "python":
+                # Shares the memoized integer masks instead of re-packing.
+                family = PythonPackedFamily.from_masks(self._n, self._mask_tuple())
+            else:
+                family = pack(self._sets, self._n, resolved)
+            self._packed[resolved] = family
+        return family
+
+    def masks(self) -> list[int]:
+        """The family as integer bitmasks (element ``e`` -> bit ``e``)."""
+        return list(self._mask_tuple())
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _covered_mask(self, selection: Iterable[int]) -> int:
+        masks = self._mask_tuple()
+        covered = 0
+        for set_id in selection:
+            covered |= masks[set_id]
+        return covered
+
     def covered_by(self, selection: Iterable[int]) -> frozenset[int]:
         """Union of the sets whose indices are in ``selection``."""
-        covered: set[int] = set()
-        for set_id in selection:
-            covered |= self._sets[set_id]
-        return frozenset(covered)
+        return frozenset(iter_bits(self._covered_mask(selection)))
 
     def uncovered_by(self, selection: Iterable[int]) -> frozenset[int]:
         """Elements of ``U`` missed by ``selection``."""
-        return self.universe - self.covered_by(selection)
+        missing = universe_mask(self._n) & ~self._covered_mask(selection)
+        return frozenset(iter_bits(missing))
 
     def is_cover(self, selection: Iterable[int]) -> bool:
-        """Does ``selection`` (by set index) cover the whole ground set?"""
-        return len(self.covered_by(selection)) == self._n
+        """Does ``selection`` (by set index) cover the whole ground set?
+
+        Short-circuits as soon as the running union reaches ``U`` instead
+        of materializing the full covered set.
+        """
+        full = universe_mask(self._n)
+        masks = self._mask_tuple()
+        covered = 0
+        for set_id in selection:
+            covered |= masks[set_id]
+            if covered == full:
+                return True
+        return covered == full
 
     def is_feasible(self) -> bool:
         """Does the family cover the ground set at all?"""
@@ -126,7 +181,8 @@ class SetSystem:
         """Number of sets containing ``element``."""
         if not 0 <= element < self._n:
             raise ValueError(f"element {element} outside ground set [0, {self._n})")
-        return sum(1 for r in self._sets if element in r)
+        bit = 1 << element
+        return sum(1 for mask in self._mask_tuple() if mask & bit)
 
     def max_set_size(self) -> int:
         """Cardinality of the largest set (0 for an empty family)."""
@@ -143,10 +199,6 @@ class SetSystem:
     # ------------------------------------------------------------------
     # Conversions and transformations
     # ------------------------------------------------------------------
-    def masks(self) -> list[int]:
-        """The family as integer bitmasks (element ``e`` -> bit ``e``)."""
-        return [mask_of(r) for r in self._sets]
-
     def restrict_elements(self, keep: Iterable[int]) -> "SetSystem":
         """Project the instance onto a subset of elements.
 
@@ -159,8 +211,10 @@ class SetSystem:
             if not 0 <= element < self._n:
                 raise ValueError(f"element {element} outside ground set [0, {self._n})")
         renumber = {old: new for new, old in enumerate(ordered)}
+        keep_mask = mask_of(ordered)
         projected = [
-            [renumber[e] for e in r if e in renumber] for r in self._sets
+            [renumber[e] for e in iter_bits(mask & keep_mask)]
+            for mask in self._mask_tuple()
         ]
         return SetSystem(len(ordered), projected)
 
@@ -176,22 +230,19 @@ class SetSystem:
         """
         return self.restrict_elements(self.uncovered_by(selection))
 
-    def without_dominated_sets(self) -> tuple["SetSystem", list[int]]:
+    def without_dominated_sets(
+        self, backend: str = "auto"
+    ) -> tuple["SetSystem", list[int]]:
         """Drop sets contained in another set.
 
         Returns the pruned system together with the original indices of the
         surviving sets.  Classic preprocessing for exact solvers: a dominated
         set can always be replaced by its dominator in an optimal cover.
+
+        Delegates to the packed kernel layer (sort-by-size + vectorized
+        submask tests); ``backend="frozenset"`` runs the seed's O(m^2)
+        pairwise reference loop.  All backends produce the same indices,
+        including the duplicate tie-break (first occurrence survives).
         """
-        keep: list[int] = []
-        for i, r in enumerate(self._sets):
-            dominated = False
-            for j, other in enumerate(self._sets):
-                if i == j:
-                    continue
-                if r < other or (r == other and j < i):
-                    dominated = True
-                    break
-            if not dominated:
-                keep.append(i)
+        keep = self.packed(backend).non_dominated()
         return self.subfamily(keep), keep

@@ -94,8 +94,8 @@ class SetStream:
         self._passes = 0
 
     # ------------------------------------------------------------------
-    def iterate(self) -> Iterator[tuple[int, frozenset[int]]]:
-        """Open a pass and yield ``(set_id, set)`` in repository order.
+    def _scan(self, make_rows) -> Iterator[tuple[int, object]]:
+        """Open a pass over ``make_rows()`` with the single-read-head rules.
 
         Opening a pass while another is active raises — the streaming model
         has a single read head.  A pass counts as soon as it is opened,
@@ -104,13 +104,34 @@ class SetStream:
         """
         if self._in_pass:
             raise StreamAccessError("a pass is already in progress")
+        rows = make_rows()
         self._in_pass = True
         self._passes += 1
         try:
-            for set_id, r in enumerate(self._system.sets):
-                yield set_id, r
+            yield from enumerate(rows)
         finally:
             self._in_pass = False
+
+    def iterate(self) -> Iterator[tuple[int, frozenset[int]]]:
+        """Open a pass and yield ``(set_id, set)`` in repository order."""
+        return self._scan(lambda: self._system.sets)
+
+    def iterate_packed(self, backend: str = "python") -> Iterator[tuple[int, object]]:
+        """Open a pass yielding ``(set_id, bitmap)`` rows of ``backend``.
+
+        The same access discipline and pass accounting as :meth:`iterate`;
+        only the wire format differs — sets arrive as bitmaps of the given
+        kernel backend (DESIGN.md §4) instead of frozensets, read from the
+        repository's memoized packed view.  This mirrors the repository
+        *storing* its sets packed: the seed's ``iterate`` likewise yields
+        pre-built frozensets rather than marshalling per pass.
+        """
+
+        def rows():
+            family = self._system.packed(backend)
+            return (family.row(i) for i in range(family.m))
+
+        return self._scan(rows)
 
     # ------------------------------------------------------------------
     def verify_solution(self, selection) -> bool:

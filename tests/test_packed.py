@@ -1,0 +1,267 @@
+"""Tests for the packed bitmask kernel layer (DESIGN.md §4).
+
+The load-bearing property: *backends never change results*.  The
+frozenset backend is the seed's executable reference; the python (big-int)
+and numpy (uint64 block matrix) backends must reproduce its covers, gains
+and domination pruning exactly — including tie-breaks — on randomized
+instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IterSetCoverConfig, iter_set_cover
+from repro.offline import InfeasibleInstanceError, greedy_cover
+from repro.sampling import project_onto_sample
+from repro.setsystem import SetSystem, bitmap_kernel, pack, resolve_backend
+from repro.setsystem.packed import BACKENDS
+from repro.streaming import SetStream
+
+PACKED = ("python", "numpy")
+ALL = ("frozenset",) + PACKED
+
+
+def random_system(rng: np.random.Generator, max_n: int = 40, max_m: int = 30) -> SetSystem:
+    n = int(rng.integers(1, max_n + 1))
+    m = int(rng.integers(0, max_m + 1))
+    sets = []
+    for _ in range(m):
+        size = int(rng.integers(0, n + 1))
+        sets.append(rng.choice(n, size=size, replace=False).tolist())
+    if m > 1 and rng.random() < 0.4:
+        # Inject duplicates: the domination tie-break must handle them.
+        sets[int(rng.integers(m))] = list(sets[int(rng.integers(m))])
+    return SetSystem(n, sets)
+
+
+def feasible_random_system(rng: np.random.Generator, **kwargs) -> SetSystem:
+    system = random_system(rng, **kwargs)
+    sets = [set(r) for r in system.sets] or [set()]
+    covered = set().union(*sets)
+    for e in range(system.n):
+        if e not in covered:
+            sets[e % len(sets)].add(e)
+    return SetSystem(system.n, sets)
+
+
+# ----------------------------------------------------------------------
+# Kernel algebra
+# ----------------------------------------------------------------------
+class TestBitmapKernels:
+    @pytest.mark.parametrize("backend", ALL)
+    @pytest.mark.parametrize("n", [0, 1, 63, 64, 65, 127, 128, 200])
+    def test_roundtrip_and_counts(self, backend, n):
+        kernel = bitmap_kernel(n, backend)
+        elements = list(range(0, n, 3))
+        bitmap = kernel.from_indices(elements)
+        assert kernel.to_indices(bitmap) == elements
+        assert kernel.count(bitmap) == len(elements)
+        assert kernel.count(kernel.full()) == n
+        assert kernel.is_empty(kernel.empty())
+        assert kernel.to_indices(kernel.full()) == list(range(n))
+
+    @pytest.mark.parametrize("backend", ALL)
+    def test_algebra_matches_sets(self, backend):
+        rng = np.random.default_rng(3)
+        kernel = bitmap_kernel(70, backend)
+        for _ in range(50):
+            a = set(rng.choice(70, size=int(rng.integers(0, 70)), replace=False).tolist())
+            b = set(rng.choice(70, size=int(rng.integers(0, 70)), replace=False).tolist())
+            ka, kb = kernel.from_indices(a), kernel.from_indices(b)
+            assert kernel.to_indices(kernel.intersect(ka, kb)) == sorted(a & b)
+            assert kernel.to_indices(kernel.union(ka, kb)) == sorted(a | b)
+            assert kernel.to_indices(kernel.subtract(ka, kb)) == sorted(a - b)
+
+    def test_auto_resolution(self):
+        assert resolve_backend("auto", n=10, m=4, kind="stream") == "python"
+        assert resolve_backend("auto", n=10, m=4, kind="family") == "python"
+        assert resolve_backend("auto", n=2000, m=4000, kind="family") == "numpy"
+        with pytest.raises(ValueError):
+            resolve_backend("cuda")
+
+    def test_backends_tuple_is_public(self):
+        assert set(BACKENDS) == {"auto", "python", "numpy", "frozenset"}
+
+
+# ----------------------------------------------------------------------
+# Family kernels: gains / union / projection / domination
+# ----------------------------------------------------------------------
+class TestFamilyKernels:
+    def test_family_kernels_agree_across_backends(self):
+        rng = np.random.default_rng(17)
+        for _ in range(60):
+            system = random_system(rng)
+            n, m = system.n, system.m
+            families = {b: pack(system.sets, n, b) for b in ALL}
+            residual_elems = range(0, n, 2)
+            selection = list(range(0, m, 3))
+            reference = None
+            for backend, family in families.items():
+                kernel = family.kernel
+                residual = kernel.from_indices(residual_elems)
+                snapshot = (
+                    family.sizes(),
+                    kernel.to_indices(family.union(selection)),
+                    family.gains(residual),
+                    family.best_gain(residual),
+                    family.covers(range(m)),
+                    family.project(residual).to_frozensets(),
+                    family.non_dominated(),
+                )
+                if reference is None:
+                    reference = snapshot
+                else:
+                    assert snapshot == reference, backend
+
+    @given(
+        st.integers(min_value=1, max_value=12).flatmap(
+            lambda n: st.lists(
+                st.sets(st.integers(min_value=0, max_value=n - 1)),
+                min_size=0,
+                max_size=10,
+            ).map(lambda sets: (n, sets))
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_domination_property(self, case):
+        n, sets = case
+        system = SetSystem(n, sets)
+        reference = system.packed("frozenset").non_dominated()
+        for backend in PACKED:
+            assert system.packed(backend).non_dominated() == reference
+
+    def test_project_onto_sample_matches_frozensets(self):
+        rng = np.random.default_rng(23)
+        for _ in range(30):
+            system = random_system(rng)
+            sample = frozenset(
+                rng.choice(system.n, size=system.n // 2, replace=False).tolist()
+            )
+            expected = [r & sample for r in system.sets]
+            for backend in ALL:
+                got = project_onto_sample(system.n, system.sets, sample, backend)
+                assert got == expected
+
+
+# ----------------------------------------------------------------------
+# Solver-output equivalence (the PR 1 acceptance property)
+# ----------------------------------------------------------------------
+class TestSolverEquivalence:
+    def test_greedy_identical_on_200_random_instances(self):
+        rng = np.random.default_rng(1234)
+        compared = 0
+        for _ in range(220):
+            system = random_system(rng)
+            outcomes = {}
+            for backend in ALL:
+                try:
+                    outcomes[backend] = ("cover", greedy_cover(system, backend))
+                except InfeasibleInstanceError:
+                    outcomes[backend] = ("infeasible", None)
+            assert outcomes["python"] == outcomes["frozenset"]
+            assert outcomes["numpy"] == outcomes["frozenset"]
+            compared += 1
+        assert compared >= 200
+
+    def test_domination_identical_on_200_random_instances(self):
+        rng = np.random.default_rng(99)
+        for _ in range(210):
+            system = random_system(rng)
+            reference = system.without_dominated_sets(backend="frozenset")[1]
+            for backend in PACKED:
+                pruned, keep = system.without_dominated_sets(backend=backend)
+                assert keep == reference
+                assert [pruned[i] for i in range(pruned.m)] == [
+                    system[i] for i in keep
+                ]
+
+    def test_iter_set_cover_identical_across_backends(self):
+        rng = np.random.default_rng(5150)
+        for _ in range(25):
+            system = feasible_random_system(rng)
+            stream_seed = int(rng.integers(0, 2**31))
+            selections = {}
+            for backend in ALL:
+                result = iter_set_cover(
+                    SetStream(system),
+                    delta=0.5,
+                    seed=stream_seed,
+                    backend=backend,
+                    use_polylog_factors=False,
+                )
+                selections[backend] = (result.selection, result.passes)
+            assert selections["python"] == selections["frozenset"]
+            assert selections["numpy"] == selections["frozenset"]
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            IterSetCoverConfig(backend="cuda")
+
+
+# ----------------------------------------------------------------------
+# Tie-breaking regression: without_dominated_sets keeps seed semantics
+# ----------------------------------------------------------------------
+class TestDominationTieBreaks:
+    @pytest.mark.parametrize("backend", ALL)
+    def test_first_duplicate_survives(self, backend):
+        system = SetSystem(4, [[0, 1], [0], [2, 3], [2, 3], [1]])
+        pruned, keep = system.without_dominated_sets(backend=backend)
+        assert keep == [0, 2]  # {0} ⊂ {0,1}; {1} ⊂ {0,1}; first {2,3} wins
+        assert pruned.sets == (frozenset({0, 1}), frozenset({2, 3}))
+
+    @pytest.mark.parametrize("backend", ALL)
+    def test_duplicate_of_dominated_set_is_dropped(self, backend):
+        # Both copies of {0} are strict subsets of {0,1}: neither survives.
+        system = SetSystem(2, [[0], [0, 1], [0]])
+        _, keep = system.without_dominated_sets(backend=backend)
+        assert keep == [1]
+
+    @pytest.mark.parametrize("backend", ALL)
+    def test_empty_sets(self, backend):
+        # An empty set is dominated by any non-empty set; among only empty
+        # sets, the first survives.
+        _, keep = SetSystem(2, [[], [0, 1], []]).without_dominated_sets(backend=backend)
+        assert keep == [1]
+        _, keep = SetSystem(2, [[], []]).without_dominated_sets(backend=backend)
+        assert keep == [0]
+
+    @pytest.mark.parametrize("backend", ALL)
+    def test_incomparable_sets_all_survive(self, backend):
+        system = SetSystem(4, [[0, 1], [1, 2], [2, 3], [3, 0]])
+        _, keep = system.without_dominated_sets(backend=backend)
+        assert keep == [0, 1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Memoized views
+# ----------------------------------------------------------------------
+class TestMemoization:
+    def test_packed_views_are_cached(self):
+        system = SetSystem(5, [[0, 1], [2, 3, 4]])
+        for backend in ALL:
+            assert system.packed(backend) is system.packed(backend)
+
+    def test_universe_is_cached(self):
+        system = SetSystem(5, [[0]])
+        assert system.universe is system.universe
+
+    def test_masks_returns_fresh_list_from_cached_tuple(self):
+        system = SetSystem(4, [[0, 1], [2, 3]])
+        first = system.masks()
+        first.append(12345)  # caller mutation must not poison the cache
+        assert system.masks() == [0b0011, 0b1100]
+
+    def test_is_cover_short_circuits(self):
+        # A selection whose first set already covers U must not index
+        # further: an out-of-range id later in the iterable is never touched.
+        system = SetSystem(3, [[0, 1, 2], [0]])
+
+        def ids():
+            yield 0
+            raise AssertionError("short-circuit failed: second id was consumed")
+
+        assert system.is_cover(ids())
