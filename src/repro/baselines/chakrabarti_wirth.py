@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.core.result import StreamingCoverResult
 from repro.streaming.memory import MemoryMeter
-from repro.streaming.stream import SetStream
+from repro.streaming.stream import SetStream, stream_resident_words
 
 __all__ = ["ChakrabartiWirth"]
 
@@ -33,6 +33,7 @@ class ChakrabartiWirth:
 
     def solve(self, stream: SetStream) -> StreamingCoverResult:
         meter = MemoryMeter(label=self.name)
+        meter.charge(stream_resident_words(stream))
         passes_before = stream.passes
         n = stream.n
         p = self.passes

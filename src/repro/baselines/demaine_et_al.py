@@ -44,7 +44,7 @@ from repro.offline.greedy import GreedySolver
 from repro.sampling.relative_approximation import draw_sample
 from repro.setsystem.packed import bitmap_kernel, resolve_backend
 from repro.streaming.memory import MemoryMeter
-from repro.streaming.stream import SetStream
+from repro.streaming.stream import SetStream, stream_resident_words
 from repro.utils.rng import as_generator
 
 __all__ = ["DemaineEtAl"]
@@ -88,6 +88,7 @@ class DemaineEtAl:
             )
         passes_before = stream.passes
         meter = MemoryMeter(label=self.name)
+        meter.charge(stream_resident_words(stream))
         meter.charge(n)  # persistent uncovered bitmap
 
         depth = math.ceil(1.0 / self.delta)

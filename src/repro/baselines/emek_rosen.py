@@ -24,7 +24,7 @@ import math
 
 from repro.core.result import StreamingCoverResult
 from repro.streaming.memory import MemoryMeter
-from repro.streaming.stream import SetStream
+from repro.streaming.stream import SetStream, stream_resident_words
 
 __all__ = ["EmekRosen"]
 
@@ -41,6 +41,7 @@ class EmekRosen:
 
     def solve(self, stream: SetStream) -> StreamingCoverResult:
         meter = MemoryMeter(label=self.name)
+        meter.charge(stream_resident_words(stream))
         passes_before = stream.passes
         n = stream.n
         uncovered: set[int] = set(range(n))

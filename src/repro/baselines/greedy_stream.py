@@ -12,15 +12,23 @@ The paper's summary table opens with the two trivial ways to stream greedy:
   O~(n) space, O(log n) approximation.  Pass ``t`` picks, on the fly, every
   set whose residual coverage is at least the current threshold; the
   threshold halves between passes.
+
+All three run over any :class:`~repro.streaming.stream.SetStreamBase`
+repository — in-memory or sharded — and report the stream's resident
+chunk buffer in their peak (DESIGN.md §3.6).  ``ThresholdGreedy``
+additionally takes the standard ``backend`` knob: its per-set residual
+test runs on bitmap kernels (DESIGN.md §4), with picks independent of the
+backend.
 """
 
 from __future__ import annotations
 
 from repro.core.result import StreamingCoverResult
 from repro.offline.greedy import greedy_cover
+from repro.setsystem.packed import bitmap_kernel
 from repro.setsystem.set_system import SetSystem
 from repro.streaming.memory import MemoryMeter
-from repro.streaming.stream import SetStream
+from repro.streaming.stream import SetStream, stream_resident_words
 
 __all__ = ["StoreAllGreedy", "MultiPassGreedy", "ThresholdGreedy"]
 
@@ -32,6 +40,7 @@ class StoreAllGreedy:
 
     def solve(self, stream: SetStream) -> StreamingCoverResult:
         meter = MemoryMeter(label=self.name)
+        meter.charge(stream_resident_words(stream))
         passes_before = stream.passes
         stored: list[frozenset[int]] = []
         for _, r in stream.iterate():
@@ -58,6 +67,7 @@ class MultiPassGreedy:
 
     def solve(self, stream: SetStream) -> StreamingCoverResult:
         meter = MemoryMeter(label=self.name)
+        meter.charge(stream_resident_words(stream))
         passes_before = stream.passes
         n = stream.n
         uncovered: set[int] = set(range(n))
@@ -93,32 +103,47 @@ class ThresholdGreedy:
     that many still-uncovered elements is picked immediately.  After the
     threshold drops below one, every element is covered (any set containing
     a leftover element covers >= 1 of them).
+
+    Parameters
+    ----------
+    shrink:
+        Factor the threshold divides by between passes (default 2).
+    backend:
+        Bitmap-kernel backend for the per-set residual test (DESIGN.md
+        §4); picks are identical across backends.  ``auto`` resolves to
+        the big-int kernel, which keeps sharded scans packed end to end.
     """
 
     name = "greedy (threshold)"
 
-    def __init__(self, shrink: float = 2.0):
+    def __init__(self, shrink: float = 2.0, backend: str = "auto"):
         if shrink <= 1:
             raise ValueError(f"shrink factor must exceed 1, got {shrink}")
         self.shrink = shrink
+        self.backend = backend
 
     def solve(self, stream: SetStream) -> StreamingCoverResult:
         meter = MemoryMeter(label=self.name)
+        meter.charge(stream_resident_words(stream))
         passes_before = stream.passes
         n = stream.n
-        uncovered: set[int] = set(range(n))
+        kernel = bitmap_kernel(n, self.backend)
+        uncovered = kernel.full()
+        uncovered_count = n
         meter.charge(n)
         selection: list[int] = []
 
         threshold = float(n)
-        while uncovered and threshold >= 1.0:
+        while uncovered_count and threshold >= 1.0:
             threshold = max(1.0, threshold / self.shrink)
-            for set_id, r in stream.iterate():
-                hit = r & uncovered
-                if len(hit) >= threshold:
+            for set_id, row in stream.iterate_packed(kernel.backend):
+                hit = kernel.intersect(row, uncovered)
+                hit_count = kernel.count(hit)
+                if hit_count >= threshold:
                     selection.append(set_id)
                     meter.charge(1)
-                    uncovered -= hit
+                    uncovered = kernel.subtract(uncovered, hit)
+                    uncovered_count -= hit_count
             if threshold <= 1.0:
                 break
 
@@ -127,5 +152,5 @@ class ThresholdGreedy:
             passes=stream.passes - passes_before,
             peak_memory_words=meter.peak,
             algorithm=self.name,
-            feasible=not uncovered,
+            feasible=not uncovered_count,
         )

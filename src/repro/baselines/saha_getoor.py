@@ -17,7 +17,7 @@ from repro.offline.base import InfeasibleInstanceError
 from repro.offline.greedy import greedy_cover
 from repro.setsystem.set_system import SetSystem
 from repro.streaming.memory import MemoryMeter
-from repro.streaming.stream import SetStream
+from repro.streaming.stream import SetStream, stream_resident_words
 from repro.utils.mathutil import ceil_log2
 
 __all__ = ["SahaGetoor"]
@@ -30,6 +30,7 @@ class SahaGetoor:
 
     def solve(self, stream: SetStream) -> StreamingCoverResult:
         meter = MemoryMeter(label=self.name)
+        meter.charge(stream_resident_words(stream))
         passes_before = stream.passes
         n = stream.n
         uncovered: set[int] = set(range(n))

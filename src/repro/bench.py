@@ -54,9 +54,14 @@ from repro.offline.greedy import greedy_cover
 from repro.setsystem.packed import pack
 from repro.setsystem.set_system import SetSystem
 from repro.streaming.stream import SetStream
-from repro.workloads import planted_instance, uniform_random_instance
+from repro.workloads import (
+    planted_instance,
+    sparse_uniform_instance,
+    uniform_random_instance,
+    zipf_instance,
+)
 
-__all__ = ["run_benchmarks", "render_summary", "SCHEMA", "SCALES"]
+__all__ = ["run_benchmarks", "render_summary", "build_instance", "SCHEMA", "SCALES"]
 
 SCHEMA = "repro.bench_kernels/v1"
 
@@ -66,7 +71,7 @@ ALL_BACKENDS = ("frozenset",) + PACKED_BACKENDS
 #: what the default knob actually delivers (it resolves per call site).
 SUMMARY_BACKENDS = PACKED_BACKENDS + ("auto",)
 #: Cost-only benchmarks: no frozenset-relative speedup is meaningful.
-_COST_ONLY = {"pack_build"}
+_COST_ONLY = {"pack_build", "shard_write"}
 
 #: Instance roster per scale: (name, workload, params).  The planted
 #: n=2000/m=4000 instance is the acceptance instance of PR 1.
@@ -90,6 +95,23 @@ SCALES = {
         ("planted_n8000_m8000", "planted",
          dict(n=8000, m=8000, opt=16, decoy_fraction_of_part=1.0)),
     ],
+    # The out-of-core regime: instances at the n ~ 5*10^4, m ~ 2*10^5
+    # scale of the streaming literature, exercised exclusively through the
+    # sharded repository (DESIGN.md §5) — written to disk once, then
+    # scanned per backend and solved end-to-end via ShardedSetStream.
+    # ``sharded=True`` routes the instance to the sharded benchmark set
+    # (shard_write / shard_scan / threshold_sharded); the in-memory family
+    # benchmarks (and the O(m^2) frozenset baselines) are skipped.
+    "large": [
+        ("planted_n50000_m200000", "planted",
+         dict(n=50_000, m=200_000, opt=100, decoy_fraction_of_part=0.05,
+              sharded=True)),
+        ("sparse_n50000_m200000", "sparse_uniform",
+         dict(n=50_000, m=200_000, expected_size=12, sharded=True)),
+        ("zipf_n50000_m200000", "zipf",
+         dict(n=50_000, m=200_000, exponent=1.2, max_set_fraction=0.005,
+              sharded=True)),
+    ],
 }
 
 #: The frozenset reference is O(m^2) on domination and O(m n) per pass on
@@ -97,7 +119,13 @@ SCALES = {
 _SLOW_BASELINE_M = 1000
 
 
-def _build_instance(workload: str, params: dict, seed: int) -> tuple[SetSystem, "int | None"]:
+def build_instance(workload: str, params: dict, seed: int) -> tuple[SetSystem, "int | None"]:
+    """Materialize one roster entry; returns ``(system, known_opt_or_None)``.
+
+    Shared by the bench harness and the ``repro experiments``
+    orchestrator so both run the exact same instances for a given
+    ``(workload, params, seed)`` triple.
+    """
     if workload == "planted":
         planted = planted_instance(
             params["n"],
@@ -111,6 +139,27 @@ def _build_instance(workload: str, params: dict, seed: int) -> tuple[SetSystem, 
         return (
             uniform_random_instance(
                 params["n"], params["m"], density=params["density"], seed=seed
+            ),
+            None,
+        )
+    if workload == "sparse_uniform":
+        return (
+            sparse_uniform_instance(
+                params["n"],
+                params["m"],
+                expected_size=params.get("expected_size", 10.0),
+                seed=seed,
+            ),
+            None,
+        )
+    if workload == "zipf":
+        return (
+            zipf_instance(
+                params["n"],
+                params["m"],
+                exponent=params.get("exponent", 1.2),
+                max_set_fraction=params.get("max_set_fraction", 0.3),
+                seed=seed,
             ),
             None,
         )
@@ -237,6 +286,78 @@ def _bench_end_to_end(
         )
 
 
+def _bench_sharded_instance(runner: _Runner, name: str, system: SetSystem) -> None:
+    """Out-of-core benchmark set: write shards once, then scan/solve them.
+
+    All timings use a single repeat — one full pass over a multi-hundred-MB
+    repository is already a stable measurement, and the frozenset row
+    decodes are far too slow to repeat.
+    """
+    import shutil
+    import tempfile
+
+    from repro.baselines.greedy_stream import ThresholdGreedy
+    from repro.setsystem.shards import ShardedRepository, write_shards
+    from repro.streaming.sharded import ShardedSetStream
+
+    tmpdir = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+    try:
+        path = tmpdir / name
+
+        def build():
+            if path.exists():
+                shutil.rmtree(path)
+            write_shards(path, system)
+
+        runner.record("shard_write", name, "auto", build, repeats=1)
+
+        repo = ShardedRepository(path)
+        try:
+            # One full sequential pass per wire format.  Every row is
+            # folded into a cardinality total so lazy decodes cannot hide:
+            # the numpy path's zero-copy mmap views must actually fault
+            # their pages and popcount, like the other backends.
+            def scan(backend: str):
+                stream = ShardedSetStream(repo)
+                total = 0
+                if backend == "frozenset":
+                    for _, row in stream.iterate_packed(backend):
+                        total += len(row)
+                elif backend == "python":
+                    for _, row in stream.iterate_packed(backend):
+                        total += row.bit_count()
+                else:  # numpy
+                    from repro.setsystem.packed import _popcount_total
+
+                    for _, row in stream.iterate_packed(backend):
+                        total += _popcount_total(row)
+                return total
+
+            for backend in ALL_BACKENDS:
+                runner.record(
+                    "shard_scan", name, backend,
+                    lambda b=backend: scan(b), repeats=1,
+                )
+
+            # End-to-end out-of-core solve (threshold greedy: O(log n)
+            # passes, O(n + chunk) resident words).
+            def solve(backend: str):
+                stream = ShardedSetStream(repo)
+                result = ThresholdGreedy(backend=backend).solve(stream)
+                assert result.feasible, f"threshold greedy failed on {name}"
+                return result
+
+            for backend in ("python", "numpy"):
+                runner.record(
+                    "threshold_sharded", name, backend,
+                    lambda b=backend: solve(b), repeats=1,
+                )
+        finally:
+            repo.close()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def _summarize(results: list[dict]) -> dict:
     by_key: dict[tuple[str, str], dict[str, float]] = {}
     for row in results:
@@ -271,25 +392,41 @@ def run_benchmarks(
     seed: int = 0,
     output: "str | Path | None" = "BENCH_kernels.json",
 ) -> dict:
-    """Run the kernel benchmark suite and (optionally) write the JSON report."""
-    if scale not in SCALES:
-        raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
+    """Run the kernel benchmark suite and (optionally) write the JSON report.
+
+    ``scale`` may be a single roster name or a comma-joined list
+    (``"paper,large"``) to record several rosters in one report — the
+    committed ``BENCH_kernels.json`` carries ``paper`` (in-memory kernels)
+    plus ``large`` (the out-of-core sharded path) this way.
+    """
+    scales = [part.strip() for part in scale.split(",") if part.strip()]
+    unknown = [part for part in scales if part not in SCALES]
+    if not scales or unknown:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected names from {sorted(SCALES)} "
+            "(optionally comma-joined)"
+        )
     runner = _Runner(repeats)
     instances_meta = []
-    for name, workload, params in SCALES[scale]:
-        system, opt = _build_instance(workload, params, seed)
-        instances_meta.append(
-            {
-                "name": name,
-                "workload": workload,
-                "n": system.n,
-                "m": system.m,
-                "opt": opt,
-                "seed": seed,
-            }
-        )
-        _bench_instance(runner, name, system)
-        _bench_end_to_end(runner, name, system, seed)
+    for part in scales:
+        for name, workload, params in SCALES[part]:
+            system, opt = build_instance(workload, params, seed)
+            instances_meta.append(
+                {
+                    "name": name,
+                    "workload": workload,
+                    "n": system.n,
+                    "m": system.m,
+                    "opt": opt,
+                    "seed": seed,
+                    "sharded": bool(params.get("sharded")),
+                }
+            )
+            if params.get("sharded"):
+                _bench_sharded_instance(runner, name, system)
+            else:
+                _bench_instance(runner, name, system)
+                _bench_end_to_end(runner, name, system, seed)
 
     payload = {
         "schema": SCHEMA,

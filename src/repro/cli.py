@@ -1,21 +1,27 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands, all file-based so the library is usable without writing
+Six commands, all file-based so the library is usable without writing
 Python:
 
 * ``generate`` — emit a workload instance to a file (text or .json);
-* ``solve``    — run a streaming algorithm over an instance file and print
-  the cover plus the pass/space accounting;
+* ``shard``    — convert an instance file into a chunked on-disk shard
+  repository (:mod:`repro.setsystem.shards`) for out-of-core runs;
+* ``solve``    — run a streaming algorithm over an instance file *or a
+  shard directory* and print the cover plus the pass/space accounting;
 * ``info``     — instance statistics (n, m, sparsity, density, optimum
   bounds);
 * ``bench``    — run the packed-kernel benchmark suite and write a
-  machine-readable ``BENCH_kernels.json`` (see :mod:`repro.bench`).
+  machine-readable ``BENCH_kernels.json`` (see :mod:`repro.bench`);
+* ``experiments`` — run a named scenario suite, write
+  ``EXPERIMENTS_<suite>.json`` and regenerate the EXPERIMENTS.md tables
+  (see :mod:`repro.experiments`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.baselines import (
     ChakrabartiWirth,
@@ -32,6 +38,7 @@ from repro.streaming import SetStream
 from repro.workloads import (
     blog_watch_instance,
     planted_instance,
+    sparse_uniform_instance,
     uniform_random_instance,
     zipf_instance,
 )
@@ -61,6 +68,9 @@ _GENERATORS = {
     "uniform": lambda args: uniform_random_instance(
         args.n, args.m, density=args.density, seed=args.seed
     ),
+    "sparse-uniform": lambda args: sparse_uniform_instance(
+        args.n, args.m, expected_size=args.expected_size, seed=args.seed
+    ),
     "planted": lambda args: planted_instance(
         args.n, args.m, opt=args.opt, seed=args.seed
     ).system,
@@ -84,11 +94,27 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--n", type=int, default=200)
     gen.add_argument("--m", type=int, default=150)
     gen.add_argument("--density", type=float, default=0.1)
+    gen.add_argument("--expected-size", type=float, default=10.0,
+                     help="mean set size for sparse-uniform")
     gen.add_argument("--opt", type=int, default=5)
     gen.add_argument("--seed", type=int, default=0)
 
+    shard = sub.add_parser(
+        "shard", help="convert an instance file into an on-disk shard repository"
+    )
+    shard.add_argument("input", help="instance path (.json or text)")
+    shard.add_argument("output", help="shard directory to create")
+    shard.add_argument(
+        "--chunk-rows", type=int, default=None,
+        help="sets per shard (default: sized for ~4 MiB shards)",
+    )
+
     solve = sub.add_parser("solve", help="run a streaming algorithm")
-    solve.add_argument("input", help="instance path (.json or text)")
+    solve.add_argument(
+        "input",
+        help="instance path (.json or text) or a shard directory "
+        "(runs out-of-core via ShardedSetStream)",
+    )
     solve.add_argument(
         "--algorithm", choices=sorted(_ALGORITHMS), default="iter"
     )
@@ -124,9 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--scale",
-        choices=["smoke", "paper", "full"],
         default="paper",
-        help="instance roster: smoke (CI), paper (default), full",
+        help="instance roster: smoke (CI), paper (default), full, large "
+        "(out-of-core, sharded); comma-join to record several "
+        "(e.g. paper,large)",
     )
     bench.add_argument(
         "--output",
@@ -137,6 +164,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3, help="timing repeats (best-of)"
     )
     bench.add_argument("--seed", type=int, default=0)
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="run a named scenario suite and regenerate EXPERIMENTS.md tables",
+    )
+    experiments.add_argument(
+        "--suite", default=None,
+        help="suite name (see --list); required unless --list is given",
+    )
+    experiments.add_argument(
+        "--list", action="store_true", help="list available suites and exit"
+    )
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument(
+        "--output-dir", default=".",
+        help="directory for EXPERIMENTS_<suite>.json (default: cwd)",
+    )
+    experiments.add_argument(
+        "--docs", default="EXPERIMENTS.md",
+        help="EXPERIMENTS.md to refresh in place",
+    )
+    experiments.add_argument(
+        "--no-update-docs", action="store_true",
+        help="skip the EXPERIMENTS.md refresh (CI smoke)",
+    )
     return parser
 
 
@@ -148,9 +200,26 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_solve(args) -> int:
+def _cmd_shard(args) -> int:
+    from repro.setsystem.shards import ShardedRepository, write_shards
+
     system = load(args.input)
-    stream = SetStream(system)
+    path = write_shards(args.output, system, chunk_rows=args.chunk_rows)
+    with ShardedRepository(path) as repo:
+        print(
+            f"wrote {repo.shard_count} shard(s) (n={repo.n}, m={repo.m}, "
+            f"chunk_rows={repo.chunk_rows}) to {path}"
+        )
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    if Path(args.input).is_dir():
+        from repro.streaming.sharded import ShardedSetStream
+
+        stream = ShardedSetStream(args.input)
+    else:
+        stream = SetStream(load(args.input))
     algorithm = _ALGORITHMS[args.algorithm](args)
     result = algorithm.solve(stream)
     status = "cover" if stream.verify_solution(result.selection) else "PARTIAL"
@@ -186,14 +255,47 @@ def _cmd_info(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import render_summary, run_benchmarks
 
-    payload = run_benchmarks(
-        scale=args.scale,
-        repeats=args.repeats,
-        seed=args.seed,
-        output=args.output,
-    )
+    try:
+        payload = run_benchmarks(
+            scale=args.scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            output=args.output,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_summary(payload))
     print(f"\n[report saved to {args.output}]")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import available_suites, run_suite
+
+    if args.list:
+        for name, description in available_suites().items():
+            print(f"{name:<14}{description}")
+        return 0
+    if args.suite is None:
+        print("error: --suite is required (or use --list)", file=sys.stderr)
+        return 2
+    try:
+        payload = run_suite(
+            args.suite,
+            seed=args.seed,
+            output_dir=args.output_dir,
+            docs_path=None if args.no_update_docs else args.docs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for title, table in payload["tables"].items():
+        print(f"\n{title}\n{table}")
+    report = Path(args.output_dir) / f"EXPERIMENTS_{args.suite}.json"
+    print(f"\n[report saved to {report}]")
+    if not args.no_update_docs:
+        print(f"[tables refreshed in {args.docs}]")
     return 0
 
 
@@ -201,12 +303,16 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "shard":
+        return _cmd_shard(args)
     if args.command == "solve":
         return _cmd_solve(args)
     if args.command == "info":
         return _cmd_info(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "experiments":
+        return _cmd_experiments(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -27,7 +27,15 @@ __all__ = ["HandoffStream", "ProtocolSimulation", "simulate_players"]
 
 
 class HandoffStream(SetStream):
-    """A :class:`SetStream` that fires a callback at player boundaries."""
+    """A :class:`SetStream` that fires a callback at player boundaries.
+
+    The hook wraps the base pass machinery (``_scan``), so both row-wise
+    pass flavours — frozenset rows and packed rows — trigger the handoff
+    accounting; algorithms keep choosing their wire format freely.  Chunk
+    batches are refused: a boundary falling inside a chunk would be
+    silently missed, so the protocol simulation only admits row-granular
+    scans.
+    """
 
     def __init__(
         self,
@@ -44,13 +52,20 @@ class HandoffStream(SetStream):
                 )
         self._on_handoff = on_handoff
 
-    def iterate(self) -> Iterator[tuple[int, frozenset[int]]]:
+    def iterate_chunks(self, backend: str = "numpy"):
+        raise NotImplementedError(
+            "HandoffStream counts handoffs at set granularity; chunk-batch "
+            "passes would skip boundaries inside a chunk. Use iterate() or "
+            "iterate_packed()."
+        )
+
+    def _scan(self, make_rows) -> Iterator[tuple[int, object]]:
         boundaries = set(self._boundaries)
         pass_index = self.passes  # incremented by super() when opened
-        for set_id, r in super().iterate():
+        for set_id, row in super()._scan(make_rows):
             if set_id in boundaries:
                 self._on_handoff(pass_index, set_id)
-            yield set_id, r
+            yield set_id, row
 
 
 @dataclass

@@ -46,7 +46,7 @@ from repro.offline.greedy import GreedySolver
 from repro.sampling.relative_approximation import draw_sample
 from repro.setsystem.packed import BitmapKernel, bitmap_kernel
 from repro.streaming.memory import MemoryMeter
-from repro.streaming.stream import SetStream
+from repro.streaming.stream import SetStream, stream_resident_words
 from repro.utils.mathutil import powers_of_two_up_to
 from repro.utils.rng import as_generator
 
@@ -307,8 +307,12 @@ class IterSetCover:
 
         stats = {g.k: g.finalize_stats() for g in guesses}
         complete = [g for g in guesses if g.done]
-        total_peak = sum(g.meter.peak for g in guesses)
+        # The stream's resident chunk buffer counts toward the peak; the
+        # repository itself never does (DESIGN.md §3.6).
+        buffer_words = stream_resident_words(stream)
+        total_peak = sum(g.meter.peak for g in guesses) + buffer_words
         passes = stream.passes - passes_before
+        buffer_extra = {"stream_buffer_words": buffer_words} if buffer_words else {}
 
         if not complete:
             # The family itself cannot cover U; report the best effort.
@@ -322,6 +326,7 @@ class IterSetCover:
                 best_k=best.k,
                 cleanup_passes=cleanup_passes,
                 guess_stats=stats,
+                extra=dict(buffer_extra),
             )
 
         best = min(complete, key=lambda g: len(g.solution))
@@ -333,7 +338,7 @@ class IterSetCover:
             best_k=best.k,
             cleanup_passes=cleanup_passes,
             guess_stats=stats,
-            extra={"rho": rho, "delta": self.config.delta},
+            extra={"rho": rho, "delta": self.config.delta, **buffer_extra},
         )
 
 

@@ -24,7 +24,7 @@ from repro.offline.greedy import GreedySolver
 from repro.partial.offline import coverage_requirement
 from repro.setsystem.packed import bitmap_kernel
 from repro.streaming.memory import MemoryMeter
-from repro.streaming.stream import SetStream
+from repro.streaming.stream import SetStream, stream_resident_words
 from repro.utils.mathutil import powers_of_two_up_to
 from repro.utils.rng import as_generator
 
@@ -37,6 +37,30 @@ class PartialIterSetCover:
     Identical lockstep structure to :class:`~repro.core.IterSetCover`; a
     guess retires as soon as its uncovered set is within the allowance, and
     the cleanup pass only runs for guesses still above it.
+
+    Parameters
+    ----------
+    eps:
+        Coverage slack: the run may leave up to ``eps * n`` elements
+        uncovered (``eps = 0`` is full set cover).
+    config:
+        Trade-off, sampling and kernel-backend parameters, as for
+        :class:`~repro.core.IterSetCover`.
+    solver:
+        The offline black box used on the stored projections.
+    seed:
+        Seed or generator for the sampling randomness.
+
+    Examples
+    --------
+    >>> from repro.setsystem import SetSystem
+    >>> from repro.streaming import SetStream
+    >>> system = SetSystem(4, [[0, 1], [2, 3], [0, 2], [1, 3]])
+    >>> result = PartialIterSetCover(eps=0.5, seed=0).solve(SetStream(system))
+    >>> result.feasible
+    True
+    >>> result.extra["uncovered_left"] <= 2
+    True
     """
 
     name = "iterSetCover (partial)"
@@ -107,7 +131,9 @@ class PartialIterSetCover:
         stats = {g.k: g.finalize_stats() for g in guesses}
         complete = [g for g in guesses if satisfied(g)]
         passes = stream.passes - passes_before
-        total_peak = sum(g.meter.peak for g in guesses)
+        # Resident chunk buffer of out-of-core streams (DESIGN.md §3.6).
+        buffer_words = stream_resident_words(stream)
+        total_peak = sum(g.meter.peak for g in guesses) + buffer_words
         if not complete:
             best = min(guesses, key=lambda g: g.uncovered_count())
             feasible = False
@@ -123,7 +149,11 @@ class PartialIterSetCover:
             best_k=best.k,
             cleanup_passes=cleanup_passes,
             guess_stats=stats,
-            extra={"eps": self.eps, "uncovered_left": best.uncovered_count()},
+            extra={
+                "eps": self.eps,
+                "uncovered_left": best.uncovered_count(),
+                **({"stream_buffer_words": buffer_words} if buffer_words else {}),
+            },
         )
 
 
@@ -175,6 +205,22 @@ class PartialThreshold:
     least ``threshold``) are taken on the fly; pointers are recorded for
     every element, and after the pass only enough pointer-sets to reach the
     requirement are added, largest pointer-groups first.
+
+    Parameters
+    ----------
+    eps:
+        Coverage slack (at most ``eps * n`` elements may stay uncovered).
+    threshold:
+        Residual-coverage pick threshold; defaults to ``sqrt(n)``.
+
+    Examples
+    --------
+    >>> from repro.setsystem import SetSystem
+    >>> from repro.streaming import SetStream
+    >>> system = SetSystem(4, [[0, 1, 2], [3], [1]])
+    >>> result = PartialThreshold(eps=0.25).solve(SetStream(system))
+    >>> result.passes, result.feasible
+    (1, True)
     """
 
     name = "threshold (partial, 1-pass)"
@@ -230,7 +276,7 @@ class PartialThreshold:
         return StreamingCoverResult(
             selection=selection,
             passes=stream.passes - passes_before,
-            peak_memory_words=meter.peak,
+            peak_memory_words=meter.peak + stream_resident_words(stream),
             algorithm=self.name,
             feasible=covered >= required,
             extra={"eps": self.eps, "covered": covered, "required": required},

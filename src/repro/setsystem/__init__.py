@@ -18,12 +18,22 @@ from repro.setsystem.packed import (
     resolve_backend,
 )
 from repro.setsystem.set_system import SetSystem
+from repro.setsystem.shards import (
+    ShardedRepository,
+    ShardFormatError,
+    ShardWriter,
+    write_shards,
+)
 
 __all__ = [
     "BACKENDS",
     "BitmapKernel",
     "PackedFamily",
     "SetSystem",
+    "ShardFormatError",
+    "ShardWriter",
+    "ShardedRepository",
+    "write_shards",
     "bitmap_kernel",
     "pack",
     "resolve_backend",

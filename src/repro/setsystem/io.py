@@ -8,7 +8,9 @@ The text format mirrors the classic rail/airline set-cover benchmark files:
     <set m-1 elements>
 
 Empty sets are encoded as blank lines.  The JSON format is the obvious
-``{"n": ..., "sets": [[...], ...]}`` document.
+``{"n": ..., "sets": [[...], ...]}`` document.  For families too large to
+(de)serialize element-by-element, use the packed shard repository format
+instead (:mod:`repro.setsystem.shards`).
 """
 
 from __future__ import annotations
@@ -22,7 +24,26 @@ __all__ = ["dumps_text", "loads_text", "dumps_json", "loads_json", "save", "load
 
 
 def dumps_text(system: SetSystem) -> str:
-    """Serialize to the plain-text benchmark format."""
+    """Serialize to the plain-text benchmark format.
+
+    Parameters
+    ----------
+    system:
+        The instance to serialize.
+
+    Returns
+    -------
+    str
+        The text document, newline-terminated.
+
+    Examples
+    --------
+    >>> print(dumps_text(SetSystem(3, [[0, 1], [], [2]])), end="")
+    3 3
+    0 1
+    <BLANKLINE>
+    2
+    """
     lines = [f"{system.n} {system.m}"]
     for r in system.sets:
         lines.append(" ".join(str(e) for e in sorted(r)))
@@ -30,7 +51,35 @@ def dumps_text(system: SetSystem) -> str:
 
 
 def loads_text(text: str) -> SetSystem:
-    """Parse the plain-text benchmark format."""
+    """Parse the plain-text benchmark format.
+
+    Parameters
+    ----------
+    text:
+        A document produced by :func:`dumps_text` (or a classic benchmark
+        file with the same layout).
+
+    Returns
+    -------
+    SetSystem
+        The parsed instance.
+
+    Raises
+    ------
+    ValueError
+        On an empty document, malformed header, or a body whose line
+        count disagrees with the header's ``m``.
+
+    Examples
+    --------
+    >>> system = loads_text("2 2\\n0 1\\n\\n")
+    >>> system.sets
+    (frozenset({0, 1}), frozenset())
+    >>> loads_text("2 9\\n0\\n")
+    Traceback (most recent call last):
+        ...
+    ValueError: expected 9 set lines, found 1
+    """
     lines = text.splitlines()
     if not lines:
         raise ValueError("empty set-system document")
@@ -46,14 +95,31 @@ def loads_text(text: str) -> SetSystem:
 
 
 def dumps_json(system: SetSystem) -> str:
-    """Serialize to a JSON document."""
+    """Serialize to a JSON document.
+
+    Examples
+    --------
+    >>> dumps_json(SetSystem(3, [[2, 0]]))
+    '{"n": 3, "sets": [[0, 2]]}'
+    """
     return json.dumps(
         {"n": system.n, "sets": [sorted(r) for r in system.sets]}
     )
 
 
 def loads_json(text: str) -> SetSystem:
-    """Parse the JSON document format."""
+    """Parse the JSON document format.
+
+    Raises
+    ------
+    ValueError
+        When the document is not an object with ``n`` and ``sets`` keys.
+
+    Examples
+    --------
+    >>> loads_json('{"n": 3, "sets": [[0, 2]]}').sets
+    (frozenset({0, 2}),)
+    """
     doc = json.loads(text)
     if not isinstance(doc, dict) or "n" not in doc or "sets" not in doc:
         raise ValueError("JSON set system must have 'n' and 'sets' keys")

@@ -1,0 +1,515 @@
+"""Chunked on-disk repository format for out-of-core set systems.
+
+The paper's access model stores the family ``r_1, ..., r_m`` in a
+*read-only repository* that algorithms scan sequentially.  Up to PR 1 the
+"repository" was always an in-RAM :class:`~repro.setsystem.set_system.SetSystem`,
+which caps experiments at whatever fits in memory.  This module gives the
+repository a real on-disk shape:
+
+* a **shard directory** holds ``manifest.json`` plus one binary file per
+  chunk of sets (``shard-00000.bin``, ``shard-00001.bin``, ...);
+* each shard file is a dense row-major matrix of packed bitmaps — one row
+  per set, ``ceil(n / 64)`` little-endian ``uint64`` words per row — i.e.
+  exactly the block layout of
+  :class:`~repro.setsystem.packed.NumpyPackedFamily`, so chunks memory-map
+  straight into the numpy kernels with zero decoding;
+* the manifest records the schema version, ``n``, ``m``, the chunk
+  geometry and a CRC-32 per shard, so truncated or corrupted repositories
+  fail loudly (:class:`ShardFormatError`) instead of silently yielding
+  garbage sets.
+
+:class:`ShardWriter` builds a repository incrementally (one set at a
+time, bounded memory), and :class:`ShardedRepository` reads one back via
+``mmap`` — the OS pages shards in and out on demand, so scans never need
+the whole family resident.  :class:`~repro.streaming.sharded.ShardedSetStream`
+wraps a repository in the pass-counted stream protocol.
+
+Examples
+--------
+>>> import tempfile
+>>> from repro.setsystem.set_system import SetSystem
+>>> system = SetSystem(5, [[0, 1], [2], [], [3, 4]])
+>>> tmp = tempfile.TemporaryDirectory()
+>>> path = write_shards(tmp.name + "/repo", system, chunk_rows=2)
+>>> repo = ShardedRepository(path)
+>>> repo.n, repo.m, repo.shard_count
+(5, 4, 2)
+>>> repo.to_system() == system
+True
+>>> repo.close(); tmp.cleanup()
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import zlib
+from bisect import bisect_right
+from collections.abc import Iterable, Iterator
+from operator import index
+from pathlib import Path
+
+from repro.setsystem.set_system import SetSystem
+from repro.utils.bitset import bits_of, mask_of
+
+try:  # numpy accelerates packing/scanning but the format never requires it
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
+__all__ = [
+    "SHARD_SCHEMA",
+    "MANIFEST_NAME",
+    "DEFAULT_CHUNK_BYTES",
+    "ShardFormatError",
+    "ShardWriter",
+    "ShardedRepository",
+    "write_shards",
+]
+
+#: Schema tag stamped into every ``manifest.json``.
+SHARD_SCHEMA = "repro.shards/v1"
+
+#: Manifest file name inside a shard directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Default shard size target: ~4 MiB of packed rows per chunk.  This is
+#: the resident buffer an out-of-core scan holds at any moment, and the
+#: unit :attr:`ShardedRepository.chunk_words` reports for accounting.
+DEFAULT_CHUNK_BYTES = 1 << 22
+
+_WORD_BITS = 64
+_WORD_BYTES = 8
+
+
+class ShardFormatError(ValueError):
+    """Raised when a shard directory is missing, truncated or corrupt."""
+
+
+def _words_for(n: int) -> int:
+    """Packed words per row for a ground set of size ``n``."""
+    return (n + _WORD_BITS - 1) // _WORD_BITS
+
+
+def _chunk_rows_for(n: int, chunk_bytes: int) -> int:
+    """Rows per shard so one shard stays near ``chunk_bytes`` bytes."""
+    row_bytes = _words_for(n) * _WORD_BYTES
+    if row_bytes == 0:  # n == 0: rows are empty, chunking is arbitrary
+        return 1 << 16
+    return max(1, chunk_bytes // row_bytes)
+
+
+class ShardWriter:
+    """Incrementally write a sharded repository, one set at a time.
+
+    Memory stays bounded by one chunk: rows accumulate in a buffer of at
+    most ``chunk_rows`` sets and are flushed to a shard file (with its
+    CRC-32 recorded) whenever the buffer fills.  ``close`` flushes the
+    tail chunk and writes the manifest; the writer is also a context
+    manager that closes itself.
+
+    Parameters
+    ----------
+    path:
+        Directory to create (must not already contain a manifest).
+    n:
+        Ground-set size; every appended element must lie in ``[0, n)``.
+    chunk_rows:
+        Sets per shard.  Default: as many rows as fit in ``chunk_bytes``.
+    chunk_bytes:
+        Target shard size in bytes when ``chunk_rows`` is not given.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> tmp = tempfile.TemporaryDirectory()
+    >>> with ShardWriter(tmp.name + "/repo", n=4, chunk_rows=2) as writer:
+    ...     for r in ([0, 1], [2], [1, 3]):
+    ...         writer.append(r)
+    >>> writer.m
+    3
+    >>> sorted(p.name for p in Path(tmp.name, "repo").iterdir())
+    ['manifest.json', 'shard-00000.bin', 'shard-00001.bin']
+    >>> tmp.cleanup()
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        n: int,
+        chunk_rows: "int | None" = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ):
+        if n < 0:
+            raise ValueError(f"ground set size must be non-negative, got {n}")
+        if chunk_rows is not None and chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        if (self.path / MANIFEST_NAME).exists():
+            raise ShardFormatError(
+                f"{self.path} already holds a shard repository; refusing to overwrite"
+            )
+        self.n = n
+        self.words = _words_for(n)
+        self.chunk_rows = (
+            chunk_rows if chunk_rows is not None else _chunk_rows_for(n, chunk_bytes)
+        )
+        self._buffer: list[list[int]] = []
+        self._shards: list[dict] = []
+        self._m = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of sets appended so far."""
+        return self._m
+
+    def append(self, elements: Iterable[int]) -> None:
+        """Append one set (an iterable of element ids) to the repository."""
+        if self._closed:
+            raise ShardFormatError("writer is closed")
+        try:
+            # operator.index rejects floats and such up front, so the
+            # numpy pack path can never silently truncate a non-integer.
+            row = [index(element) for element in elements]
+        except TypeError as exc:
+            raise ValueError(
+                f"set {self._m} contains a non-integer element: {exc}"
+            ) from exc
+        for element in row:
+            if not 0 <= element < self.n:
+                raise ValueError(
+                    f"set {self._m} contains element {element} outside the "
+                    f"ground set [0, {self.n})"
+                )
+        self._buffer.append(row)
+        self._m += 1
+        if len(self._buffer) >= self.chunk_rows:
+            self._flush()
+
+    def extend(self, sets: Iterable[Iterable[int]]) -> None:
+        """Append every set of an iterable (sets are consumed lazily)."""
+        for row in sets:
+            self.append(row)
+
+    # ------------------------------------------------------------------
+    def _pack_buffer(self) -> bytes:
+        """Pack the buffered rows into the dense little-endian block format."""
+        rows, words = len(self._buffer), self.words
+        if np is not None and words:
+            matrix = np.zeros((rows, words), dtype="<u8")
+            for i, row in enumerate(self._buffer):
+                if not row:
+                    continue
+                idx = np.asarray(row, dtype=np.int64)
+                bits = np.left_shift(np.uint64(1), (idx & 63).astype(np.uint64))
+                np.bitwise_or.at(matrix[i], idx >> 6, bits)
+            return matrix.tobytes()
+        row_bytes = words * _WORD_BYTES
+        return b"".join(
+            mask_of(row).to_bytes(row_bytes, "little") for row in self._buffer
+        )
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        name = f"shard-{len(self._shards):05d}.bin"
+        payload = self._pack_buffer()
+        (self.path / name).write_bytes(payload)
+        self._shards.append(
+            {
+                "file": name,
+                "rows": len(self._buffer),
+                "bytes": len(payload),
+                "crc32": zlib.crc32(payload),
+            }
+        )
+        self._buffer = []
+
+    def close(self) -> Path:
+        """Flush the tail chunk, write ``manifest.json``, return the path."""
+        if self._closed:
+            return self.path
+        self._flush()
+        manifest = {
+            "schema": SHARD_SCHEMA,
+            "n": self.n,
+            "m": self._m,
+            "words": self.words,
+            "chunk_rows": self.chunk_rows,
+            "shards": self._shards,
+        }
+        (self.path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+        self._closed = True
+        return self.path
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+
+def write_shards(
+    path: "str | Path",
+    source: "SetSystem | Iterable[Iterable[int]]",
+    n: "int | None" = None,
+    chunk_rows: "int | None" = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Path:
+    """Write a set system (or a lazy iterable of sets) as a shard directory.
+
+    Parameters
+    ----------
+    path:
+        Target directory for the repository.
+    source:
+        Either a :class:`SetSystem` (``n`` is taken from it) or any
+        iterable of element-id iterables — a generator works, so huge
+        families can be sharded without ever materializing in RAM.
+    n:
+        Ground-set size; required when ``source`` is not a ``SetSystem``.
+    chunk_rows / chunk_bytes:
+        Chunk geometry, as for :class:`ShardWriter`.
+
+    Returns
+    -------
+    Path
+        The repository directory, ready for :class:`ShardedRepository`.
+    """
+    if isinstance(source, SetSystem):
+        n = source.n
+        rows: Iterable[Iterable[int]] = source.sets
+    else:
+        if n is None:
+            raise ValueError("n is required when source is not a SetSystem")
+        rows = source
+    with ShardWriter(path, n, chunk_rows=chunk_rows, chunk_bytes=chunk_bytes) as writer:
+        writer.extend(rows)
+    return writer.path
+
+
+class ShardedRepository:
+    """Memory-mapped read access to a shard directory.
+
+    Opening validates the manifest (schema tag, field sanity, per-shard
+    file sizes); a size mismatch — the classic truncated-copy failure —
+    raises :class:`ShardFormatError` immediately.  CRC-32 verification is
+    a full read of every shard, so it is opt-in: pass ``verify=True`` or
+    call :meth:`validate`.
+
+    Shard files are ``mmap``-ed, not read: a sequential scan touches one
+    chunk's pages at a time and the OS reclaims them behind the read
+    head, so repositories far larger than RAM scan fine.
+
+    Parameters
+    ----------
+    path:
+        A directory produced by :class:`ShardWriter` / :func:`write_shards`.
+    verify:
+        Verify every shard's CRC-32 on open (reads the whole repository).
+    """
+
+    def __init__(self, path: "str | Path", verify: bool = False):
+        self.path = Path(path)
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ShardFormatError(f"no {MANIFEST_NAME} in {self.path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ShardFormatError(f"unparseable manifest in {self.path}: {exc}") from exc
+        if not isinstance(manifest, dict) or manifest.get("schema") != SHARD_SCHEMA:
+            raise ShardFormatError(
+                f"manifest schema is {manifest.get('schema')!r}, "
+                f"expected {SHARD_SCHEMA!r}" if isinstance(manifest, dict)
+                else "manifest is not a JSON object"
+            )
+        try:
+            self.n = int(manifest["n"])
+            self.m = int(manifest["m"])
+            self.words = int(manifest["words"])
+            self.chunk_rows = int(manifest["chunk_rows"])
+            self._shard_meta = list(manifest["shards"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ShardFormatError(f"malformed manifest in {self.path}: {exc}") from exc
+        if self.n < 0 or self.m < 0 or self.words != _words_for(self.n):
+            raise ShardFormatError(
+                f"inconsistent manifest geometry: n={self.n}, words={self.words}"
+            )
+        if sum(int(meta.get("rows", -1)) for meta in self._shard_meta) != self.m:
+            raise ShardFormatError(
+                f"manifest rows do not sum to m={self.m} in {self.path}"
+            )
+
+        self._row_bytes = self.words * _WORD_BYTES
+        self._files = []
+        self._maps: list[mmap.mmap] = []
+        self._starts: list[int] = []  # first global row id of each shard
+        start = 0
+        for meta in self._shard_meta:
+            shard_path = self.path / str(meta["file"])
+            rows = int(meta["rows"])
+            expected = rows * self._row_bytes
+            if not shard_path.is_file():
+                self.close()
+                raise ShardFormatError(f"missing shard file {shard_path}")
+            actual = shard_path.stat().st_size
+            if actual != expected:
+                self.close()
+                raise ShardFormatError(
+                    f"shard {shard_path.name} is {actual} bytes, expected "
+                    f"{expected} ({rows} rows x {self._row_bytes} bytes) — "
+                    "truncated or corrupt repository"
+                )
+            handle = open(shard_path, "rb")
+            self._files.append(handle)
+            if expected:
+                self._maps.append(mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ))
+            else:  # mmap cannot map empty files
+                self._maps.append(None)  # type: ignore[arg-type]
+            self._starts.append(start)
+            start += rows
+        self._closed = False
+        if verify:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Number of shard files."""
+        return len(self._shard_meta)
+
+    @property
+    def chunk_words(self) -> int:
+        """Packed ``uint64`` words of one full resident chunk buffer.
+
+        This is the number :class:`~repro.streaming.sharded.ShardedSetStream`
+        charges as its resident scan buffer (DESIGN.md §3.6).
+        """
+        return min(self.chunk_rows, max(self.m, 1)) * self.words
+
+    @property
+    def repository_words(self) -> int:
+        """Total packed words on disk (``m * ceil(n/64)``) — *not* resident."""
+        return self.m * self.words
+
+    def validate(self) -> None:
+        """Verify every shard's CRC-32 against the manifest (full read)."""
+        if self._closed:
+            raise ShardFormatError(f"repository {self.path} is closed")
+        for meta, mm in zip(self._shard_meta, self._maps):
+            payload = mm[:] if mm is not None else b""
+            crc = zlib.crc32(payload)
+            if crc != int(meta.get("crc32", -1)):
+                raise ShardFormatError(
+                    f"checksum mismatch in {meta['file']}: "
+                    f"crc32={crc}, manifest says {meta.get('crc32')}"
+                )
+
+    def close(self) -> None:
+        """Release all memory maps and file handles (idempotent).
+
+        Zero-copy chunk views (:meth:`iter_chunk_matrices`) export the
+        underlying ``mmap`` buffer; a map still referenced by live views
+        cannot be closed eagerly, so it is dropped instead and freed by
+        the garbage collector once the last view dies.
+        """
+        for mm in getattr(self, "_maps", []):
+            if mm is not None:
+                try:
+                    mm.close()
+                except BufferError:
+                    pass  # live exported views; GC frees the map with them
+        for handle in getattr(self, "_files", []):
+            handle.close()
+        self._maps = []
+        self._files = []
+        self._closed = True
+
+    def __enter__(self) -> "ShardedRepository":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Sequential chunk access (the out-of-core scan primitives)
+    # ------------------------------------------------------------------
+    def iter_chunk_bytes(self) -> Iterator[tuple[int, int, "mmap.mmap | bytes"]]:
+        """Yield ``(start_row, rows, raw_buffer)`` per shard, in order."""
+        if self._closed:
+            raise ShardFormatError(
+                f"repository {self.path} is closed; scanning it would "
+                "silently yield an empty family"
+            )
+        for meta, mm, start in zip(self._shard_meta, self._maps, self._starts):
+            yield start, int(meta["rows"]), (mm if mm is not None else b"")
+
+    def iter_chunk_matrices(self) -> Iterator[tuple[int, "np.ndarray"]]:
+        """Yield ``(start_row, matrix)`` per shard as ``(rows, words)`` arrays.
+
+        Matrices are zero-copy read-only views over the shard's ``mmap``
+        in the exact block layout of
+        :class:`~repro.setsystem.packed.NumpyPackedFamily`.
+        """
+        if np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("numpy is required for matrix chunk access")
+        for start, rows, raw in self.iter_chunk_bytes():
+            matrix = np.frombuffer(raw, dtype="<u8", count=rows * self.words)
+            yield start, matrix.reshape(rows, self.words)
+
+    def iter_chunk_masks(self) -> Iterator[tuple[int, list[int]]]:
+        """Yield ``(start_row, masks)`` per shard as integer-bitmask lists.
+
+        Pure-Python decode path (no numpy): one ``int.from_bytes`` per
+        row, reading each chunk's bytes straight off the ``mmap``.
+        """
+        row_bytes = self._row_bytes
+        for start, rows, raw in self.iter_chunk_bytes():
+            yield start, [
+                int.from_bytes(raw[i * row_bytes : (i + 1) * row_bytes], "little")
+                for i in range(rows)
+            ]
+
+    def iter_row_masks(self) -> Iterator[int]:
+        """Yield every row as an arbitrary-precision integer bitmask."""
+        for _, masks in self.iter_chunk_masks():
+            yield from masks
+
+    def iter_rows(self) -> Iterator[frozenset[int]]:
+        """Yield every row as a frozenset of element ids."""
+        for mask in self.iter_row_masks():
+            yield frozenset(bits_of(mask))
+
+    # ------------------------------------------------------------------
+    # Referee access (tests and verification, not the streaming model)
+    # ------------------------------------------------------------------
+    def row_mask(self, i: int) -> int:
+        """Random-access read of row ``i`` as an integer bitmask (referee)."""
+        if self._closed:
+            raise ShardFormatError(f"repository {self.path} is closed")
+        if not 0 <= i < self.m:
+            raise IndexError(f"row {i} outside [0, {self.m})")
+        shard = bisect_right(self._starts, i) - 1
+        local = i - self._starts[shard]
+        raw = self._maps[shard] if self._maps[shard] is not None else b""
+        row_bytes = self._row_bytes
+        return int.from_bytes(raw[local * row_bytes : (local + 1) * row_bytes], "little")
+
+    def to_system(self) -> SetSystem:
+        """Materialize the whole repository as an in-memory :class:`SetSystem`.
+
+        Referee/testing convenience — this is exactly the O(input) RAM
+        cost the sharded path exists to avoid.
+        """
+        return SetSystem(self.n, [bits_of(mask) for mask in self.iter_row_masks()])
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedRepository(n={self.n}, m={self.m}, "
+            f"shards={self.shard_count}, chunk_rows={self.chunk_rows})"
+        )

@@ -1,12 +1,22 @@
 """The streaming computation model: pass-counted access + word accounting."""
 
 from repro.streaming.memory import MemoryBudgetExceeded, MemoryMeter
-from repro.streaming.stream import ResourceReport, SetStream, StreamAccessError
+from repro.streaming.sharded import ShardedSetStream
+from repro.streaming.stream import (
+    ResourceReport,
+    SetStream,
+    SetStreamBase,
+    StreamAccessError,
+    stream_resident_words,
+)
 
 __all__ = [
     "MemoryBudgetExceeded",
     "MemoryMeter",
     "ResourceReport",
     "SetStream",
+    "SetStreamBase",
+    "ShardedSetStream",
     "StreamAccessError",
+    "stream_resident_words",
 ]

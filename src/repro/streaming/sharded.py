@@ -1,0 +1,149 @@
+"""Out-of-core streaming: the pass-counted protocol over an on-disk repository.
+
+:class:`ShardedSetStream` is the sharded twin of
+:class:`~repro.streaming.stream.SetStream`: same pass discipline, same
+counters, same row formats — but the family is scanned sequentially from a
+shard directory (:mod:`repro.setsystem.shards`) instead of an in-RAM
+:class:`~repro.setsystem.set_system.SetSystem`.  Because algorithms are
+written against the stream protocol only, ``iterSetCover``, the greedy
+baselines and the partial-cover passes run **unchanged** on instances that
+never fit in memory; the ``parity`` suite of ``python -m repro
+experiments`` checks cover-for-cover, pass-for-pass agreement between the
+two streams.
+
+The only model difference is accounting: a sharded scan holds one chunk
+of packed rows resident, so :attr:`ShardedSetStream.resident_words`
+reports that buffer (``chunk_rows * ceil(n/64)`` words) and algorithms
+fold it into their reported peak (DESIGN.md §3.6).  The repository itself
+stays on disk and is never charged.
+
+Examples
+--------
+>>> import tempfile
+>>> from repro.setsystem import SetSystem
+>>> from repro.setsystem.shards import write_shards
+>>> system = SetSystem(4, [[0, 1], [2], [1, 3]])
+>>> tmp = tempfile.TemporaryDirectory()
+>>> stream = ShardedSetStream(write_shards(tmp.name + "/repo", system))
+>>> [sorted(r) for _, r in stream.iterate()]
+[[0, 1], [2], [1, 3]]
+>>> stream.passes, stream.n, stream.m
+(1, 4, 3)
+>>> stream.close(); tmp.cleanup()
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.setsystem.set_system import SetSystem
+from repro.setsystem.shards import ShardedRepository
+from repro.streaming.stream import SetStreamBase
+
+__all__ = ["ShardedSetStream"]
+
+
+class ShardedSetStream(SetStreamBase):
+    """Pass-counted sequential access to a sharded on-disk repository.
+
+    Parameters
+    ----------
+    repository:
+        A :class:`~repro.setsystem.shards.ShardedRepository`, or a path to
+        a shard directory (opened, and then owned, by the stream).
+    verify:
+        When opening from a path: verify shard checksums first.
+    """
+
+    def __init__(
+        self,
+        repository: "ShardedRepository | str | Path",
+        verify: bool = False,
+    ):
+        super().__init__()
+        if isinstance(repository, (str, Path)):
+            repository = ShardedRepository(repository, verify=verify)
+        self._repo = repository
+        self._materialized: "SetSystem | None" = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Ground-set size (known to the algorithm up front)."""
+        return self._repo.n
+
+    @property
+    def m(self) -> int:
+        """Number of sets in the repository (manifest metadata, no pass)."""
+        return self._repo.m
+
+    @property
+    def repository(self) -> ShardedRepository:
+        """The underlying on-disk repository."""
+        return self._repo
+
+    @property
+    def resident_words(self) -> int:
+        """One chunk of packed rows — the buffer a scan holds resident.
+
+        ``chunk_rows * ceil(n/64)`` uint64 words (capped at the family
+        size).  This is what out-of-core runs charge on top of algorithm
+        state; the repository's ``m * ceil(n/64)`` words stay on disk.
+        """
+        return self._repo.chunk_words
+
+    def close(self) -> None:
+        """Release the repository's memory maps."""
+        self._repo.close()
+
+    # -- repository hooks ----------------------------------------------
+    def _frozenset_rows(self):
+        return enumerate(self._repo.iter_rows())
+
+    def _packed_rows(self, backend: str):
+        if backend == "python":
+            return enumerate(self._repo.iter_row_masks())
+        if backend == "frozenset":
+            return enumerate(self._repo.iter_rows())
+        if backend == "numpy":
+            def rows():
+                for start, matrix in self._repo.iter_chunk_matrices():
+                    for i in range(matrix.shape[0]):
+                        yield start + i, matrix[i]
+            return rows()
+        raise ValueError(f"unsupported packed backend {backend!r}")
+
+    def _chunk_rows(self, backend: str):
+        """One chunk per shard, in the shard geometry of the repository."""
+        if backend == "numpy":
+            return self._repo.iter_chunk_matrices()
+        if backend == "python":
+            return self._repo.iter_chunk_masks()
+        raise ValueError(f"unsupported chunk backend {backend!r}")
+
+    # ------------------------------------------------------------------
+    def verify_solution(self, selection) -> bool:
+        """Out-of-band feasibility check (referee functionality, no pass).
+
+        Streams the union of the selected rows off the repository without
+        materializing the instance.
+        """
+        ids = set(selection)
+        covered = 0
+        for mask in (self._repo.row_mask(i) for i in sorted(ids)):
+            covered |= mask
+        return covered == (1 << self._repo.n) - 1 if self._repo.n else True
+
+    @property
+    def system(self) -> SetSystem:
+        """Referee access: materialize (and cache) the full instance.
+
+        Loads the entire repository into RAM — tests and benchmarks only,
+        exactly the cost streaming algorithms must not pay.
+        """
+        if self._materialized is None:
+            self._materialized = self._repo.to_system()
+        return self._materialized
+
+    def __repr__(self) -> str:
+        return f"ShardedSetStream({self._repo!r}, passes={self.passes})"

@@ -4,9 +4,28 @@
 and an algorithm can access the sets only by performing sequential scans of
 the repository."  (Section 1.)
 
-:class:`SetStream` enforces exactly that: the only way to see the family is
-to open a pass and consume it sequentially; every completed (or abandoned)
-pass increments the pass counter.  Random access raises.
+:class:`SetStreamBase` enforces exactly that: the only way to see the family
+is to open a pass and consume it sequentially; every completed (or
+abandoned) pass increments the pass counter.  Random access raises.  Two
+repositories implement the protocol:
+
+* :class:`SetStream` — the family lives in an in-RAM
+  :class:`~repro.setsystem.set_system.SetSystem` (the seed's model);
+* :class:`~repro.streaming.sharded.ShardedSetStream` — the family lives in
+  an on-disk shard directory (:mod:`repro.setsystem.shards`) and is scanned
+  chunk by chunk, so instances never need to fit in memory.
+
+Algorithms are written against the protocol only (``n``, ``m``,
+``passes``, ``iterate``, ``iterate_packed``, ``iterate_chunks``), so the
+same pass-for-pass code runs over both repositories.
+
+Space accounting rule (DESIGN.md §3.6): the repository itself is *never*
+charged to an algorithm — it is the read-only input, whether it resides in
+the referee's RAM or on disk.  What **is** charged is the stream's
+resident scan buffer, exposed as :attr:`SetStreamBase.resident_words`:
+zero for :class:`SetStream` (rows are handed out by reference), one chunk
+of packed words for the sharded stream.  Algorithms add it to their
+reported peak so out-of-core runs stay honest.
 """
 
 from __future__ import annotations
@@ -16,7 +35,13 @@ from dataclasses import dataclass, field
 
 from repro.setsystem.set_system import SetSystem
 
-__all__ = ["SetStream", "StreamAccessError", "ResourceReport"]
+__all__ = [
+    "SetStream",
+    "SetStreamBase",
+    "StreamAccessError",
+    "ResourceReport",
+    "stream_resident_words",
+]
 
 
 class StreamAccessError(RuntimeError):
@@ -25,7 +50,14 @@ class StreamAccessError(RuntimeError):
 
 @dataclass
 class ResourceReport:
-    """The two resources the paper bounds, plus solution metadata."""
+    """The two resources the paper bounds, plus solution metadata.
+
+    ``peak_memory_words`` counts only *resident* working memory: the
+    algorithm's own state plus the stream's scan buffer
+    (:attr:`SetStreamBase.resident_words`).  The repository itself — in
+    RAM or on disk — is the read-only input and is never included
+    (DESIGN.md §3.6).
+    """
 
     passes: int = 0
     peak_memory_words: int = 0
@@ -42,50 +74,52 @@ class ResourceReport:
         return row
 
 
-class SetStream:
-    """Sequential, pass-counted access to the family of a set system.
+def stream_resident_words(stream) -> int:
+    """The stream's resident scan-buffer size in words (0 if unreported).
 
-    Parameters
-    ----------
-    system:
-        The underlying instance.  The ground set (``system.n``) is public —
-        the paper stores the element universe in memory in advance — but the
-        family may only be read through :meth:`iterate`.
+    Helper for algorithms: ``peak_memory_words`` must include this so
+    out-of-core runs account for their chunk buffer (DESIGN.md §3.6).
+    """
+    return getattr(stream, "resident_words", 0)
 
-    Examples
-    --------
-    >>> from repro.setsystem import SetSystem
-    >>> stream = SetStream(SetSystem(3, [[0], [1, 2]]))
-    >>> [sorted(r) for _, r in stream.iterate()]
-    [[0], [1, 2]]
-    >>> stream.passes
-    1
+
+class SetStreamBase:
+    """Pass-counted sequential access: the protocol algorithms consume.
+
+    Subclasses provide the repository (:meth:`_frozenset_rows`,
+    :meth:`_packed_rows`, :meth:`_chunk_rows`) plus ``n``/``m``; this base
+    enforces the single-read-head discipline and counts passes.
     """
 
-    def __init__(self, system: SetSystem):
-        self._system = system
+    def __init__(self):
         self._passes = 0
         self._in_pass = False
 
     # ------------------------------------------------------------------
     @property
-    def n(self) -> int:
+    def n(self) -> int:  # pragma: no cover - overridden
         """Ground-set size (known to the algorithm up front)."""
-        return self._system.n
+        raise NotImplementedError
 
     @property
-    def m(self) -> int:
-        """Number of sets in the repository.
-
-        The paper's algorithms know m (it appears in their sample sizes), so
-        the stream exposes it as metadata without costing a pass.
-        """
-        return self._system.m
+    def m(self) -> int:  # pragma: no cover - overridden
+        """Number of sets in the repository (metadata, costs no pass)."""
+        raise NotImplementedError
 
     @property
     def passes(self) -> int:
         """Number of passes opened so far."""
         return self._passes
+
+    @property
+    def resident_words(self) -> int:
+        """Words of scan buffer resident while a pass is open.
+
+        Zero for in-memory repositories (rows are yielded by reference);
+        the sharded stream reports one chunk of packed words.  Algorithms
+        fold this into their reported peak (DESIGN.md §3.6).
+        """
+        return 0
 
     def reset_passes(self) -> None:
         """Zero the pass counter (for reusing one stream across runs)."""
@@ -108,30 +142,102 @@ class SetStream:
         self._in_pass = True
         self._passes += 1
         try:
-            yield from enumerate(rows)
+            yield from rows
         finally:
             self._in_pass = False
 
+    # -- repository hooks ----------------------------------------------
+    def _frozenset_rows(self) -> Iterator[tuple[int, frozenset[int]]]:
+        raise NotImplementedError  # pragma: no cover - overridden
+
+    def _packed_rows(self, backend: str) -> Iterator[tuple[int, object]]:
+        raise NotImplementedError  # pragma: no cover - overridden
+
+    def _chunk_rows(self, backend: str) -> Iterator[tuple[int, object]]:
+        raise NotImplementedError  # pragma: no cover - overridden
+
+    # -- the three pass flavours ---------------------------------------
     def iterate(self) -> Iterator[tuple[int, frozenset[int]]]:
         """Open a pass and yield ``(set_id, set)`` in repository order."""
-        return self._scan(lambda: self._system.sets)
+        return self._scan(self._frozenset_rows)
 
     def iterate_packed(self, backend: str = "python") -> Iterator[tuple[int, object]]:
         """Open a pass yielding ``(set_id, bitmap)`` rows of ``backend``.
 
         The same access discipline and pass accounting as :meth:`iterate`;
         only the wire format differs — sets arrive as bitmaps of the given
-        kernel backend (DESIGN.md §4) instead of frozensets, read from the
-        repository's memoized packed view.  This mirrors the repository
-        *storing* its sets packed: the seed's ``iterate`` likewise yields
-        pre-built frozensets rather than marshalling per pass.
+        kernel backend (DESIGN.md §4) instead of frozensets.
         """
+        return self._scan(lambda: self._packed_rows(backend))
 
-        def rows():
-            family = self._system.packed(backend)
-            return (family.row(i) for i in range(family.m))
+    def iterate_chunks(self, backend: str = "numpy") -> Iterator[tuple[int, object]]:
+        """Open a pass yielding ``(first_set_id, chunk)`` batches.
 
-        return self._scan(rows)
+        One pass, delivered as packed chunk batches instead of single
+        rows: ``backend="numpy"`` yields read-only ``(rows, words)``
+        ``uint64`` matrices (the :class:`~repro.setsystem.packed.NumpyPackedFamily`
+        block layout), ``backend="python"`` yields lists of integer
+        bitmasks.  Chunk geometry follows the repository (one chunk per
+        shard on disk; a single chunk for in-memory systems), so batch
+        kernels can stream families that never fit in RAM.
+        """
+        return self._scan(lambda: self._chunk_rows(backend))
+
+
+class SetStream(SetStreamBase):
+    """Sequential, pass-counted access to an in-memory set system.
+
+    Parameters
+    ----------
+    system:
+        The underlying instance.  The ground set (``system.n``) is public —
+        the paper stores the element universe in memory in advance — but the
+        family may only be read through :meth:`iterate`.
+
+    Examples
+    --------
+    >>> from repro.setsystem import SetSystem
+    >>> stream = SetStream(SetSystem(3, [[0], [1, 2]]))
+    >>> [sorted(r) for _, r in stream.iterate()]
+    [[0], [1, 2]]
+    >>> stream.passes
+    1
+    """
+
+    def __init__(self, system: SetSystem):
+        super().__init__()
+        self._system = system
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Ground-set size (known to the algorithm up front)."""
+        return self._system.n
+
+    @property
+    def m(self) -> int:
+        """Number of sets in the repository.
+
+        The paper's algorithms know m (it appears in their sample sizes), so
+        the stream exposes it as metadata without costing a pass.
+        """
+        return self._system.m
+
+    # -- repository hooks ----------------------------------------------
+    def _frozenset_rows(self):
+        return enumerate(self._system.sets)
+
+    def _packed_rows(self, backend: str):
+        family = self._system.packed(backend)
+        return ((i, family.row(i)) for i in range(family.m))
+
+    def _chunk_rows(self, backend: str):
+        """One whole-family chunk (the in-RAM system has no shard geometry)."""
+        if backend == "numpy":
+            return iter([(0, self._system.packed("numpy").matrix)])
+        if backend == "python":
+            return iter([(0, self._system.masks())])
+        raise ValueError(f"unsupported chunk backend {backend!r}")
 
     # ------------------------------------------------------------------
     def verify_solution(self, selection) -> bool:

@@ -4,6 +4,7 @@ from repro.workloads.coverage import blog_watch_instance
 from repro.workloads.random_instances import (
     PlantedInstance,
     planted_instance,
+    sparse_uniform_instance,
     uniform_random_instance,
 )
 from repro.workloads.skewed import (
@@ -17,6 +18,7 @@ __all__ = [
     "blog_watch_instance",
     "nested_chain_instance",
     "planted_instance",
+    "sparse_uniform_instance",
     "threshold_trap_instance",
     "uniform_random_instance",
     "zipf_instance",

@@ -42,6 +42,19 @@ def blog_watch_instance(
     tail_interest:
         Probability a specialist also covers any given out-of-community
         topic.
+
+    Returns
+    -------
+    SetSystem
+        The blogs-cover-topics instance (``n = topics``, ``m = blogs``).
+
+    Examples
+    --------
+    >>> inst = blog_watch_instance(topics=20, blogs=10, seed=3)
+    >>> inst.n, inst.m
+    (20, 10)
+    >>> inst.is_feasible()
+    True
     """
     if communities < 1:
         raise ValueError(f"need at least one community, got {communities}")

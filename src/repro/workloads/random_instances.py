@@ -9,6 +9,13 @@ Two families dominate the experiments:
   sets is planted and then obscured with decoys, so the optimal cover size
   is known *by construction* and approximation ratios can be measured
   without an exact solve.
+
+``sparse_uniform_instance`` is the out-of-core-scale variant of the
+uniform family: it samples each set's elements directly (O(total set
+size) work and memory) instead of materializing an ``m x n`` membership
+matrix, which is what caps ``uniform_random_instance`` at moderate
+sizes.  The ``large`` bench roster and experiment suite build their
+``m ~ 2*10^5`` instances with it.
 """
 
 from __future__ import annotations
@@ -18,7 +25,12 @@ import numpy as np
 from repro.setsystem.set_system import SetSystem
 from repro.utils.rng import as_generator
 
-__all__ = ["uniform_random_instance", "planted_instance", "PlantedInstance"]
+__all__ = [
+    "uniform_random_instance",
+    "sparse_uniform_instance",
+    "planted_instance",
+    "PlantedInstance",
+]
 
 
 def uniform_random_instance(
@@ -32,12 +44,94 @@ def uniform_random_instance(
 
     With ``ensure_feasible`` (default), any element missed by all sets is
     appended to a uniformly chosen set, so the instance is always coverable.
+
+    Parameters
+    ----------
+    n, m:
+        Ground-set and family sizes.
+    density:
+        Independent membership probability, in ``[0, 1]``.
+    seed:
+        Seed or generator for the randomness.
+    ensure_feasible:
+        Patch elements missed by every set into a random set.
+
+    Returns
+    -------
+    SetSystem
+        The generated instance.
+
+    Examples
+    --------
+    >>> system = uniform_random_instance(6, 4, density=0.5, seed=1)
+    >>> system.n, system.m
+    (6, 4)
+    >>> system.is_feasible()
+    True
     """
     if not 0 <= density <= 1:
         raise ValueError(f"density must be in [0, 1], got {density}")
     rng = as_generator(seed)
     membership = rng.random((m, n)) < density
     sets = [set(np.flatnonzero(membership[i]).tolist()) for i in range(m)]
+    if ensure_feasible and m > 0:
+        covered = set().union(*sets) if sets else set()
+        for element in range(n):
+            if element not in covered:
+                sets[int(rng.integers(m))].add(element)
+    return SetSystem(n, sets)
+
+
+def sparse_uniform_instance(
+    n: int,
+    m: int,
+    expected_size: float = 10.0,
+    seed: "int | np.random.Generator | None" = None,
+    ensure_feasible: bool = True,
+) -> SetSystem:
+    """Sparse uniform instance built in O(total set size) work and memory.
+
+    Set sizes are Poisson(``expected_size``) clipped to ``[1, n]``;
+    elements are uniform with replacement, deduplicated.  Unlike
+    :func:`uniform_random_instance` there is no ``m x n`` membership
+    matrix, so ``m ~ 10^5..10^6`` families generate in seconds — the
+    regime of the ``large`` sharded roster.
+
+    Parameters
+    ----------
+    n, m:
+        Ground-set and family sizes.
+    expected_size:
+        Mean set cardinality (must be positive).
+    seed:
+        Seed or generator for the randomness.
+    ensure_feasible:
+        Patch elements missed by every set into a random set.
+
+    Returns
+    -------
+    SetSystem
+        The generated instance.
+
+    Examples
+    --------
+    >>> system = sparse_uniform_instance(50, 30, expected_size=4, seed=0)
+    >>> system.n, system.m
+    (50, 30)
+    >>> system.is_feasible()
+    True
+    >>> system.max_set_size() <= 50
+    True
+    """
+    if expected_size <= 0:
+        raise ValueError(f"expected_size must be positive, got {expected_size}")
+    if n < 1 and m > 0:
+        raise ValueError("need n >= 1 to draw non-empty sets")
+    rng = as_generator(seed)
+    sizes = np.clip(rng.poisson(expected_size, size=m), 1, n)
+    sets = [
+        set(rng.integers(0, n, size=int(size)).tolist()) for size in sizes
+    ]
     if ensure_feasible and m > 0:
         covered = set().union(*sets) if sets else set()
         for element in range(n):
@@ -88,6 +182,31 @@ def planted_instance(
 
     The planted sets are placed at random stream positions so streaming
     algorithms cannot benefit from ordering.
+
+    Parameters
+    ----------
+    n, m:
+        Ground-set and family sizes (``m >= opt``).
+    opt:
+        Size of the planted cover, in ``[1, n]``.
+    seed:
+        Seed or generator for the randomness.
+    decoy_fraction_of_part:
+        Cap on decoy size as a fraction of the part size ``n / opt``;
+        smaller values keep large instances sparse.
+
+    Returns
+    -------
+    PlantedInstance
+        The instance together with its planted cover.
+
+    Examples
+    --------
+    >>> planted = planted_instance(n=12, m=8, opt=3, seed=0)
+    >>> planted.opt
+    3
+    >>> planted.system.is_cover(planted.planted_ids)
+    True
     """
     if opt < 1 or opt > n:
         raise ValueError(f"opt must be in [1, n], got {opt}")

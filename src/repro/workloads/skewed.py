@@ -29,6 +29,33 @@ def zipf_instance(
 
     Elements within each set are uniform.  A final patch guarantees
     feasibility (each uncovered element is added to a random set).
+
+    Parameters
+    ----------
+    n, m:
+        Ground-set and family sizes.
+    exponent:
+        Zipf tail exponent (> 0); larger means a heavier skew.
+    max_set_fraction:
+        The rank-1 set covers this fraction of the ground set.
+    seed:
+        Seed or generator for the randomness.
+
+    Returns
+    -------
+    SetSystem
+        The generated instance.
+
+    Examples
+    --------
+    >>> system = zipf_instance(32, 10, seed=0)
+    >>> system.m
+    10
+    >>> system.is_feasible()
+    True
+    >>> sizes = [len(r) for r in system.sets]
+    >>> sizes[0] == max(sizes)  # rank 1 is the biggest set
+    True
     """
     if exponent <= 0:
         raise ValueError(f"exponent must be positive, got {exponent}")
@@ -58,6 +85,28 @@ def threshold_trap_instance(
     one-pass threshold algorithms, which therefore commit to ~sqrt(n)
     decoys before the optimum arrives.  Decoys precede the optimum in
     stream order (the adversarial arrival order for threshold rules).
+
+    Parameters
+    ----------
+    n:
+        Ground-set size (>= 4).
+    decoys_per_block:
+        Decoy copies per sqrt(n)-sized block.
+    seed:
+        Seed or generator used to shuffle the decoys.
+
+    Returns
+    -------
+    SetSystem
+        The trap instance; the last two sets are the planted optimum.
+
+    Examples
+    --------
+    >>> trap = threshold_trap_instance(16, seed=0)
+    >>> [len(r) for r in trap.sets[-2:]]  # the two half-universe sets
+    [8, 8]
+    >>> trap.is_cover(range(trap.m - 2, trap.m))
+    True
     """
     if n < 4:
         raise ValueError(f"need n >= 4, got {n}")
@@ -80,6 +129,24 @@ def nested_chain_instance(n: int) -> SetSystem:
     (the optimum, size 2) plus a chain of sets of sizes n/2, n/4, ...
     drawn alternately from both halves so that greedy prefers the chain
     and outputs Theta(log n) sets.
+
+    Parameters
+    ----------
+    n:
+        Ground-set size; must be a power of two, at least 4.
+
+    Returns
+    -------
+    SetSystem
+        The chain instance; sets 0 and 1 are the optimum.
+
+    Examples
+    --------
+    >>> chain = nested_chain_instance(8)
+    >>> [len(r) for r in chain.sets[:2]]  # the optimal halves
+    [4, 4]
+    >>> chain.is_cover([0, 1])
+    True
     """
     if n < 4 or n & (n - 1):
         raise ValueError(f"n must be a power of two >= 4, got {n}")

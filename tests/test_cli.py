@@ -73,6 +73,54 @@ class TestInfo:
         assert "optimum     : in [" in capsys.readouterr().out
 
 
+class TestShard:
+    def test_shard_then_solve_out_of_core(self, tmp_path, capsys):
+        instance = tmp_path / "inst.json"
+        main(["generate", "planted", str(instance), "--n", "60", "--m", "40",
+              "--opt", "4", "--seed", "3"])
+        shards = tmp_path / "inst.shards"
+        assert main(["shard", str(instance), str(shards), "--chunk-rows", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "shard(s)" in out and "m=40" in out
+
+        # A directory input routes through ShardedSetStream; results match
+        # the in-memory run of the same file.
+        assert main(["solve", str(shards), "--algorithm", "iter",
+                     "--no-polylog"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert main(["solve", str(instance), "--algorithm", "iter",
+                     "--no-polylog"]) == 0
+        memory_out = capsys.readouterr().out
+        pick = lambda out, key: [l for l in out.splitlines() if l.startswith(key)]
+        assert pick(sharded_out, "result") == pick(memory_out, "result")
+        assert pick(sharded_out, "passes") == pick(memory_out, "passes")
+
+    def test_sparse_uniform_generator(self, tmp_path):
+        path = tmp_path / "sparse.json"
+        assert main(["generate", "sparse-uniform", str(path), "--n", "50",
+                     "--m", "30", "--expected-size", "4"]) == 0
+        assert load(path).m == 30
+
+
+class TestExperiments:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        for suite in ("smoke", "parity", "tradeoff", "large"):
+            assert suite in out
+
+    def test_suite_required(self, capsys):
+        assert main(["experiments"]) == 2
+
+    def test_smoke_suite_writes_report(self, tmp_path, capsys):
+        assert main(["experiments", "--suite", "smoke",
+                     "--output-dir", str(tmp_path), "--no-update-docs"]) == 0
+        assert (tmp_path / "EXPERIMENTS_smoke.json").exists()
+        out = capsys.readouterr().out
+        assert "parity" in out.lower()
+        assert "report saved" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -81,3 +129,13 @@ class TestParser:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "x", "--algorithm", "bogus"])
+
+    def test_bench_scale_typo_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["bench", "--scale", "bogus",
+                     "--output", str(tmp_path / "b.json")]) == 2
+        assert "unknown scale" in capsys.readouterr().err
+
+    def test_experiments_suite_typo_is_a_clean_error(self, capsys):
+        assert main(["experiments", "--suite", "parityy",
+                     "--no-update-docs"]) == 2
+        assert "unknown suite" in capsys.readouterr().err

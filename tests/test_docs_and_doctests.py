@@ -1,11 +1,19 @@
-"""Executable-documentation checks: doctests and the README quickstart."""
+"""Executable-documentation checks: doctests, markdown code blocks, links."""
 
 from __future__ import annotations
 
 import doctest
 import importlib
+import re
+from pathlib import Path
 
 import pytest
+
+_REPO_ROOT = Path(__file__).parent.parent
+
+#: Markdown documents whose fenced ```python blocks must execute and whose
+#: relative links must resolve.
+DOC_FILES = ["README.md", "docs/ARCHITECTURE.md", "docs/REPRODUCING.md"]
 
 # Fetched via importlib: the package __init__ re-exports a *function* named
 # iter_set_cover, which shadows the module attribute of the same name.
@@ -13,8 +21,15 @@ DOCTEST_MODULES = [
     "repro.utils.bitset",
     "repro.utils.mathutil",
     "repro.setsystem.set_system",
+    "repro.setsystem.io",
+    "repro.setsystem.shards",
     "repro.streaming.stream",
+    "repro.streaming.sharded",
     "repro.core.iter_set_cover",
+    "repro.partial.streaming",
+    "repro.workloads.coverage",
+    "repro.workloads.random_instances",
+    "repro.workloads.skewed",
 ]
 
 
@@ -67,12 +82,56 @@ def test_design_doc_experiment_index_matches_bench_files():
 
 def test_experiments_doc_report_files_exist_after_bench_run():
     """EXPERIMENTS.md references bench files that actually exist."""
-    import re
-    from pathlib import Path
-
-    experiments = Path(__file__).parent.parent / "EXPERIMENTS.md"
+    experiments = _REPO_ROOT / "EXPERIMENTS.md"
     text = experiments.read_text()
     named = set(re.findall(r"`(bench_\w+\.py)`", text))
-    bench_dir = Path(__file__).parent.parent / "benchmarks"
+    bench_dir = _REPO_ROOT / "benchmarks"
     for target in named:
         assert (bench_dir / target).exists(), f"missing bench file {target}"
+
+
+# ----------------------------------------------------------------------
+# Markdown guides: executable code blocks + link integrity (the CI docs job)
+# ----------------------------------------------------------------------
+def _python_blocks(path: Path) -> list[tuple[int, str]]:
+    """(line, source) for every fenced ```python block in a markdown file."""
+    text = path.read_text()
+    blocks = []
+    for match in re.finditer(r"```python\n(.*?)```", text, flags=re.DOTALL):
+        line = text[: match.start()].count("\n") + 2
+        blocks.append((line, match.group(1)))
+    return blocks
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_markdown_python_blocks_execute(doc):
+    """Every ```python block in the guides runs clean, top to bottom."""
+    path = _REPO_ROOT / doc
+    blocks = _python_blocks(path)
+    for line, source in blocks:
+        namespace: dict = {"__name__": f"docblock:{doc}:{line}"}
+        try:
+            exec(compile(source, f"{doc}:{line}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(f"{doc} code block at line {line} failed: {exc!r}")
+
+
+@pytest.mark.parametrize("doc", DOC_FILES + ["EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md"])
+def test_markdown_relative_links_resolve(doc):
+    """No dead relative links in the documentation set."""
+    path = _REPO_ROOT / doc
+    text = path.read_text()
+    # Strip fenced code (mermaid arrows etc. are not links).
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for target in re.findall(r"\[[^\]]*\]\(([^)\s]+)\)", text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = (path.parent / target.split("#", 1)[0]).resolve()
+        assert relative.exists(), f"{doc}: dead link to {target}"
+
+
+def test_readme_links_the_guides():
+    """The docs/ guide set is reachable from the README."""
+    readme = (_REPO_ROOT / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/REPRODUCING.md" in readme

@@ -1,0 +1,283 @@
+"""Shard repository format + ShardedSetStream: round-trips, corruption, parity."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import MultiPassGreedy, StoreAllGreedy, ThresholdGreedy
+from repro.core import iter_set_cover
+from repro.partial.streaming import PartialIterSetCover, PartialThreshold
+from repro.setsystem import SetSystem
+from repro.setsystem.shards import (
+    MANIFEST_NAME,
+    SHARD_SCHEMA,
+    ShardedRepository,
+    ShardFormatError,
+    ShardWriter,
+    write_shards,
+)
+from repro.streaming import SetStream, ShardedSetStream, StreamAccessError
+from repro.workloads import planted_instance, sparse_uniform_instance
+
+
+def _random_system(rng: np.random.Generator) -> SetSystem:
+    n = int(rng.integers(1, 40))
+    m = int(rng.integers(1, 30))
+    sets = []
+    for _ in range(m):
+        size = int(rng.integers(0, n + 1))
+        sets.append(rng.choice(n, size=size, replace=False).tolist())
+    return SetSystem(n, sets)
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+def test_roundtrip_matches_in_memory_system(tmp_path):
+    rng = np.random.default_rng(0)
+    for case in range(30):
+        system = _random_system(rng)
+        path = write_shards(tmp_path / f"repo{case}", system,
+                            chunk_rows=int(rng.integers(1, 9)))
+        with ShardedRepository(path, verify=True) as repo:
+            assert repo.n == system.n and repo.m == system.m
+            assert repo.to_system() == system
+
+
+def test_roundtrip_empty_family_and_empty_sets(tmp_path):
+    system = SetSystem(6, [[], [0, 5], []])
+    with ShardedRepository(write_shards(tmp_path / "a", system)) as repo:
+        assert repo.to_system() == system
+
+    empty = SetSystem(4, [])
+    with ShardedRepository(write_shards(tmp_path / "b", empty)) as repo:
+        assert repo.m == 0
+        assert repo.to_system() == empty
+
+
+def test_roundtrip_zero_ground_set(tmp_path):
+    system = SetSystem(0, [[], []])
+    with ShardedRepository(write_shards(tmp_path / "z", system)) as repo:
+        assert (repo.n, repo.m, repo.words) == (0, 2, 0)
+        assert repo.to_system() == system
+
+
+def test_write_from_lazy_iterator(tmp_path):
+    rows = ([i % 5] for i in range(12))  # a generator, never a list
+    path = write_shards(tmp_path / "lazy", rows, n=5, chunk_rows=4)
+    with ShardedRepository(path) as repo:
+        assert repo.m == 12
+        assert repo.shard_count == 3
+        assert repo.to_system() == SetSystem(5, [[i % 5] for i in range(12)])
+
+
+def test_writer_validates_elements_and_geometry(tmp_path):
+    with pytest.raises(ValueError, match="outside the"):
+        with ShardWriter(tmp_path / "w", n=3) as writer:
+            writer.append([3])
+    with pytest.raises(ValueError, match="non-integer"):
+        with ShardWriter(tmp_path / "w1", n=3) as writer:
+            writer.append([1.5])  # floats must not silently truncate
+    with pytest.raises(ValueError, match="chunk_rows"):
+        ShardWriter(tmp_path / "w2", n=3, chunk_rows=0)
+    write_shards(tmp_path / "w3", SetSystem(2, [[0]]))
+    with pytest.raises(ShardFormatError, match="refusing to overwrite"):
+        ShardWriter(tmp_path / "w3", n=2)
+
+
+# ----------------------------------------------------------------------
+# Truncation / corruption
+# ----------------------------------------------------------------------
+def _write_sample(tmp_path):
+    system = SetSystem(70, [[i, (i * 3) % 70] for i in range(20)])
+    return write_shards(tmp_path / "repo", system, chunk_rows=6), system
+
+
+def test_missing_manifest_raises(tmp_path):
+    with pytest.raises(ShardFormatError, match="manifest"):
+        ShardedRepository(tmp_path / "nowhere")
+
+
+def test_unparseable_manifest_raises(tmp_path):
+    path, _ = _write_sample(tmp_path)
+    (path / MANIFEST_NAME).write_text("{not json")
+    with pytest.raises(ShardFormatError, match="unparseable"):
+        ShardedRepository(path)
+
+
+def test_wrong_schema_raises(tmp_path):
+    path, _ = _write_sample(tmp_path)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    manifest["schema"] = "something/else"
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ShardFormatError, match="schema"):
+        ShardedRepository(path)
+
+
+def test_inconsistent_row_total_raises(tmp_path):
+    path, _ = _write_sample(tmp_path)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    manifest["m"] = 99
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ShardFormatError, match="sum to m"):
+        ShardedRepository(path)
+
+
+def test_missing_shard_file_raises(tmp_path):
+    path, _ = _write_sample(tmp_path)
+    (path / "shard-00001.bin").unlink()
+    with pytest.raises(ShardFormatError, match="missing shard"):
+        ShardedRepository(path)
+
+
+def test_truncated_shard_raises(tmp_path):
+    path, _ = _write_sample(tmp_path)
+    shard = path / "shard-00000.bin"
+    shard.write_bytes(shard.read_bytes()[:-8])
+    with pytest.raises(ShardFormatError, match="truncated or corrupt"):
+        ShardedRepository(path)
+
+
+def test_closed_repository_raises_instead_of_presenting_empty(tmp_path):
+    path, system = _write_sample(tmp_path)
+    repo = ShardedRepository(path)
+    repo.close()
+    repo.close()  # idempotent
+    with pytest.raises(ShardFormatError, match="closed"):
+        list(repo.iter_row_masks())
+    with pytest.raises(ShardFormatError, match="closed"):
+        repo.row_mask(0)
+    with pytest.raises(ShardFormatError, match="closed"):
+        repo.validate()
+    # A stream over a closed repository fails loudly too, rather than
+    # running a 0-row "pass".
+    stream = ShardedSetStream(repo)
+    with pytest.raises(ShardFormatError, match="closed"):
+        list(stream.iterate())
+
+
+def test_bitflip_caught_by_checksum(tmp_path):
+    path, _ = _write_sample(tmp_path)
+    shard = path / "shard-00000.bin"
+    payload = bytearray(shard.read_bytes())
+    payload[0] ^= 0xFF
+    shard.write_bytes(bytes(payload))
+    # Size still matches, so plain open succeeds ...
+    with ShardedRepository(path) as repo:
+        with pytest.raises(ShardFormatError, match="checksum"):
+            repo.validate()
+    # ... but verify=True catches it on open.
+    with pytest.raises(ShardFormatError, match="checksum"):
+        ShardedRepository(path, verify=True)
+
+
+# ----------------------------------------------------------------------
+# ShardedSetStream: protocol + pass parity with SetStream
+# ----------------------------------------------------------------------
+def test_stream_protocol_and_access_rules(tmp_path):
+    path, system = _write_sample(tmp_path)
+    stream = ShardedSetStream(path)
+    assert (stream.n, stream.m) == (system.n, system.m)
+    assert stream.resident_words == 6 * stream.repository.words
+    it = stream.iterate()
+    next(it)
+    with pytest.raises(StreamAccessError):
+        next(stream.iterate())  # single read head
+    it.close()
+    assert stream.passes == 1
+    stream.reset_passes()
+    assert stream.passes == 0
+    assert stream.verify_solution(range(system.m)) == system.is_feasible()
+    assert stream.system == system
+    stream.close()
+
+
+def test_pass_counting_parity_on_random_instances(tmp_path):
+    """100+ random instances: identical rows and pass accounting."""
+    rng = np.random.default_rng(7)
+    for case in range(105):
+        system = _random_system(rng)
+        path = write_shards(tmp_path / f"r{case}", system,
+                            chunk_rows=int(rng.integers(1, 8)))
+        mem, shard = SetStream(system), ShardedSetStream(path)
+
+        assert [r for _, r in shard.iterate()] == [r for _, r in mem.iterate()]
+        backend = ("python", "numpy", "frozenset")[case % 3]
+        mem_rows = list(mem.iterate_packed(backend))
+        shard_rows = list(shard.iterate_packed(backend))
+        assert [i for i, _ in shard_rows] == [i for i, _ in mem_rows]
+        if backend == "numpy":
+            for (_, a), (_, b) in zip(mem_rows, shard_rows):
+                assert np.array_equal(a, b)
+        else:
+            assert [r for _, r in shard_rows] == [r for _, r in mem_rows]
+
+        # Abandoned passes count on both streams.
+        for s in (mem, shard):
+            it = s.iterate()
+            next(it)
+            it.close()
+        assert shard.passes == mem.passes == 3
+        shard.close()
+
+
+def test_chunk_iteration_covers_family_and_counts_one_pass(tmp_path):
+    path, system = _write_sample(tmp_path)
+    stream = ShardedSetStream(path)
+    starts, total = [], 0
+    for start, matrix in stream.iterate_chunks("numpy"):
+        starts.append(start)
+        total += matrix.shape[0]
+    assert total == system.m and starts[0] == 0 and stream.passes == 1
+
+    masks = []
+    for _, chunk in stream.iterate_chunks("python"):
+        masks.extend(chunk)
+    assert masks == system.masks()
+    assert stream.passes == 2
+
+    mem = SetStream(system)
+    mem_masks = []
+    for _, chunk in mem.iterate_chunks("python"):
+        mem_masks.extend(chunk)
+    assert mem_masks == masks and mem.passes == 1
+    stream.close()
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy", "frozenset"])
+def test_algorithm_parity_iter_set_cover(tmp_path, backend):
+    planted = planted_instance(n=90, m=120, opt=5, seed=13)
+    path = write_shards(tmp_path / "iter", planted.system, chunk_rows=11)
+    kwargs = dict(delta=0.5, seed=3, use_polylog_factors=False,
+                  include_rho=False, backend=backend)
+    mem = iter_set_cover(SetStream(planted.system), **kwargs)
+    stream = ShardedSetStream(path)
+    shard = iter_set_cover(stream, **kwargs)
+    assert shard.selection == mem.selection
+    assert shard.passes == mem.passes
+    assert shard.peak_memory_words == mem.peak_memory_words + stream.resident_words
+    assert shard.extra["stream_buffer_words"] == stream.resident_words
+    stream.close()
+
+
+def test_algorithm_parity_across_solvers(tmp_path):
+    system = sparse_uniform_instance(60, 90, expected_size=5, seed=21)
+    path = write_shards(tmp_path / "solvers", system, chunk_rows=13)
+    for make in (
+        lambda: ThresholdGreedy(),
+        lambda: MultiPassGreedy(),
+        lambda: StoreAllGreedy(),
+        lambda: PartialThreshold(eps=0.1),
+        lambda: PartialIterSetCover(eps=0.1, seed=5),
+    ):
+        mem = make().solve(SetStream(system))
+        stream = ShardedSetStream(path)
+        shard = make().solve(stream)
+        assert shard.selection == mem.selection
+        assert shard.passes == mem.passes
+        # Out-of-core peak = in-memory peak + the resident chunk buffer.
+        assert shard.peak_memory_words == mem.peak_memory_words + stream.resident_words
+        stream.close()
