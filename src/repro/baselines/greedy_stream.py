@@ -15,20 +15,30 @@ The paper's summary table opens with the two trivial ways to stream greedy:
 
 All three run over any :class:`~repro.streaming.stream.SetStreamBase`
 repository — in-memory or sharded — and report the stream's resident
-chunk buffer in their peak (DESIGN.md §3.6).  ``ThresholdGreedy``
-additionally takes the standard ``backend`` knob: its per-set residual
-test runs on bitmap kernels (DESIGN.md §4), with picks independent of the
-backend.
+chunk buffer in their peak (DESIGN.md §3.6).  ``MultiPassGreedy`` and
+``ThresholdGreedy`` drive their passes through the stream's gains-scan
+executor (``scan_gains``, DESIGN.md §6): per-pass residual gains are
+computed chunk-parallel against the pass-start residual, and the
+pick/accept step replays only the captured candidate rows in repository
+order against the live residual — exactly the rows the serial loop
+would have accepted, so picks and pass counts are bit-identical at any
+``jobs`` setting.  ``ThresholdGreedy`` additionally takes the standard
+``backend`` knob: its residual replay runs on bitmap kernels
+(DESIGN.md §4), with picks independent of the backend.
 """
 
 from __future__ import annotations
 
+import math
+
 from repro.core.result import StreamingCoverResult
 from repro.offline.greedy import greedy_cover
 from repro.setsystem.packed import bitmap_kernel
+from repro.setsystem.parallel import capture_words
 from repro.setsystem.set_system import SetSystem
 from repro.streaming.memory import MemoryMeter
 from repro.streaming.stream import SetStream, stream_resident_words
+from repro.utils.bitset import bits_of, mask_of
 
 __all__ = ["StoreAllGreedy", "MultiPassGreedy", "ThresholdGreedy"]
 
@@ -76,16 +86,24 @@ class MultiPassGreedy:
 
         limit = self.max_passes if self.max_passes is not None else n + 1
         while uncovered and (stream.passes - passes_before) < limit:
-            best_id, best_hit = -1, frozenset()
-            for set_id, r in stream.iterate():
-                hit = r & uncovered
-                if len(hit) > len(best_hit):
-                    best_id, best_hit = set_id, hit
+            # One scan computes every |r ∩ uncovered| (the residual is
+            # fixed for the whole pass) and captures each chunk's
+            # first-max row; the global winner — the serial loop's
+            # strict-improvement pick — is the largest-projection
+            # capture, ties to the lowest id (chunks arrive in order).
+            best_id, best_hit, best_gain = -1, 0, 0
+            for _, _, captured in stream.scan_gains_chunked(
+                mask_of(uncovered), best_only=True, include_gains=False
+            ):
+                for set_id, projection in captured:
+                    gain = projection.bit_count()
+                    if gain > best_gain:
+                        best_id, best_hit, best_gain = set_id, projection, gain
             if best_id < 0:
                 break  # nothing can make progress: infeasible family
             selection.append(best_id)
             meter.charge(1)
-            uncovered -= best_hit
+            uncovered -= set(bits_of(best_hit))
 
         return StreamingCoverResult(
             selection=selection,
@@ -134,16 +152,34 @@ class ThresholdGreedy:
         selection: list[int] = []
 
         threshold = float(n)
+        capture_peak = 0
         while uncovered_count and threshold >= 1.0:
             threshold = max(1.0, threshold / self.shrink)
-            for set_id, row in stream.iterate_packed(kernel.backend):
-                hit = kernel.intersect(row, uncovered)
-                hit_count = kernel.count(hit)
-                if hit_count >= threshold:
-                    selection.append(set_id)
-                    meter.charge(1)
-                    uncovered = kernel.subtract(uncovered, hit)
-                    uncovered_count -= hit_count
+            # Chunk-parallel filter: gains against the pass-start
+            # residual over-estimate live gains (the residual only
+            # shrinks), so every row the serial loop would accept is
+            # captured; the replay re-tests candidates in repository
+            # order against the live residual — bit-identical picks.
+            # Chunk-streamed consumption bounds the resident captures to
+            # one chunk's worth; the largest batch is reported
+            # (DESIGN.md §6.1).
+            parts = stream.scan_gains_chunked(
+                kernel.to_mask_int(uncovered),
+                min_capture_gain=math.ceil(threshold),
+                include_gains=False,
+            )
+            for _, _, captured in parts:
+                capture_peak = max(capture_peak, capture_words(captured))
+                for set_id, projection in captured:
+                    hit = kernel.intersect(
+                        kernel.from_mask_int(projection), uncovered
+                    )
+                    hit_count = kernel.count(hit)
+                    if hit_count >= threshold:
+                        selection.append(set_id)
+                        meter.charge(1)
+                        uncovered = kernel.subtract(uncovered, hit)
+                        uncovered_count -= hit_count
             if threshold <= 1.0:
                 break
 
@@ -153,4 +189,5 @@ class ThresholdGreedy:
             peak_memory_words=meter.peak,
             algorithm=self.name,
             feasible=not uncovered_count,
+            extra={"scan_capture_peak_words": capture_peak},
         )

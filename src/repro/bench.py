@@ -13,11 +13,16 @@ Report schema (``repro.bench_kernels/v1``)::
       "schema": "repro.bench_kernels/v1",
       "scale": "paper",
       "repeats": 3,
+      "jobs_sweep": [1, 2, 4],
       "environment": {"python": ..., "numpy": ..., "platform": ...},
       "instances": [{"name", "workload", "n", "m", "opt", "seed"}, ...],
       "results": [
         {"benchmark", "instance", "backend", "seconds", "repeats"}, ...
       ],
+      "encodings": {
+        "<instance>": {"dense_bytes", "auto_bytes", "reduction"}, ...
+      },
+      "parallel_parity": {"instances": ..., "identical": true},
       "summary": {
         "<benchmark>": {
           "<instance>": {
@@ -30,13 +35,18 @@ Report schema (``repro.bench_kernels/v1``)::
       }
     }
 
-``*_speedup`` is always relative to the seed's frozenset path on the same
-instance (>1 means the packed backend is faster).  Packed timings are
+``*_speedup`` is relative to the seed's frozenset path on the same
+instance (>1 means the packed backend is faster), except for the
+``scan_parallel_gains`` benchmark, whose baseline is the ``rows``
+backend — the per-row big-int scan of a dense repository, i.e. the
+pre-executor pass cost (DESIGN.md §6.3).  Packed timings are
 taken with warm memoized views (``SetSystem.packed`` caches per backend,
 by design); the one-off packing cost is reported separately as the
-``pack_build`` benchmark.  ``summary.best_speedup`` for ``greedy_cover``
-and ``without_dominated_sets`` on the planted n=2000/m=4000 instance is
-the headline number the repo tracks (DESIGN.md §4.3).
+``pack_build`` benchmark (``encode_write`` plays the same role for the
+sharded repositories).  ``summary.best_speedup`` for ``greedy_cover``
+and ``without_dominated_sets`` on the planted n=2000/m=4000 instance and
+for ``scan_parallel_gains`` on the ``large`` roster are the headline
+numbers the repo tracks (DESIGN.md §4.3, §6.3).
 """
 
 from __future__ import annotations
@@ -71,7 +81,15 @@ ALL_BACKENDS = ("frozenset",) + PACKED_BACKENDS
 #: what the default knob actually delivers (it resolves per call site).
 SUMMARY_BACKENDS = PACKED_BACKENDS + ("auto",)
 #: Cost-only benchmarks: no frozenset-relative speedup is meaningful.
-_COST_ONLY = {"pack_build", "shard_write"}
+_COST_ONLY = {"pack_build", "encode_write"}
+#: The parallel-executor benchmark: one full gains scan per backend row.
+#: Its summary baseline is the ``rows`` backend — the per-row big-int
+#: scan over a dense repository, i.e. what every pass cost before the
+#: executor existed — so ``best_speedup`` captures the whole engine
+#: (chunk kernels + compressed encodings + workers).
+_PARALLEL_BENCH = "scan_parallel_gains"
+#: The jobs sweep recorded when ``jobs="auto"``.
+_DEFAULT_JOBS_SWEEP = (1, 2, 4)
 
 #: Instance roster per scale: (name, workload, params).  The planted
 #: n=2000/m=4000 instance is the acceptance instance of PR 1.
@@ -286,7 +304,98 @@ def _bench_end_to_end(
         )
 
 
-def _bench_sharded_instance(runner: _Runner, name: str, system: SetSystem) -> None:
+def _bench_parallel_and_encodings(
+    runner: _Runner,
+    name: str,
+    system: SetSystem,
+    tmpdir: Path,
+    jobs_sweep: tuple,
+    parity: dict,
+) -> dict:
+    """The executor + codec benchmark set for one instance.
+
+    Writes the instance twice — ``encoding="dense"`` (the v1 raw block
+    layout) and ``encoding="auto"`` (per-row codecs) — records the
+    ``encode_write`` cost and on-disk sizes, then times one full gains
+    scan per backend row of :data:`_PARALLEL_BENCH`:
+
+    * ``rows`` — the pre-executor baseline: per-row big-int scan of the
+      dense repository (exactly a PR 2 streaming pass);
+    * ``serial`` / ``jobs=k`` — the scan executor over the ``auto``
+      repository at each sweep setting.
+
+    Every backend's gains vector is compared against the baseline's;
+    a mismatch raises (and is recorded in ``payload["parallel_parity"]``).
+    Returns the encoding size summary for ``payload["encodings"]``.
+    """
+    import shutil
+
+    from repro.setsystem.shards import ShardedRepository, write_shards
+    from repro.streaming.sharded import ShardedSetStream
+
+    paths, sizes = {}, {}
+    for encoding in ("dense", "auto"):
+        path = tmpdir / f"{name}-{encoding}"
+
+        def build(encoding=encoding, path=path):
+            if path.exists():
+                shutil.rmtree(path)
+            write_shards(path, system, encoding=encoding)
+
+        runner.record("encode_write", name, encoding, build, repeats=1)
+        paths[encoding] = path
+        with ShardedRepository(path) as repo:
+            sizes[encoding] = repo.disk_bytes
+
+    mask_int = (1 << system.n) - 1 if system.n else 0
+    observed: dict[str, list[int]] = {}
+
+    def rows_scan():
+        with ShardedRepository(paths["dense"]) as repo:
+            stream = ShardedSetStream(repo)
+            gains = []
+            for _, mask in stream.iterate_packed("python"):
+                gains.append((mask & mask_int).bit_count())
+            observed["rows"] = gains
+
+    runner.record(_PARALLEL_BENCH, name, "rows", rows_scan, repeats=1)
+
+    for jobs in jobs_sweep:
+        backend = "serial" if jobs == 1 else f"jobs={jobs}"
+
+        def scan(jobs=jobs, backend=backend):
+            with ShardedRepository(paths["auto"]) as repo:
+                stream = ShardedSetStream(repo, jobs=jobs)
+                result = stream.scan_gains(mask_int)
+                observed[backend] = [int(g) for g in result.gains]
+
+        runner.record(_PARALLEL_BENCH, name, backend, scan, repeats=1)
+
+    expected = observed["rows"]
+    for backend, gains in observed.items():
+        if gains != expected:
+            parity["identical"] = False
+            raise AssertionError(
+                f"parallel scan parity failure on {name}: backend {backend} "
+                "returned different gains than the serial row scan"
+            )
+    parity["instances"] += 1
+    reduction = sizes["dense"] / sizes["auto"] if sizes["auto"] else 1.0
+    return {
+        "dense_bytes": sizes["dense"],
+        "auto_bytes": sizes["auto"],
+        "reduction": round(reduction, 2),
+    }
+
+
+def _bench_sharded_instance(
+    runner: _Runner,
+    name: str,
+    system: SetSystem,
+    jobs_sweep: tuple,
+    parity: dict,
+    encodings: dict,
+) -> None:
     """Out-of-core benchmark set: write shards once, then scan/solve them.
 
     All timings use a single repeat — one full pass over a multi-hundred-MB
@@ -297,21 +406,18 @@ def _bench_sharded_instance(runner: _Runner, name: str, system: SetSystem) -> No
     import tempfile
 
     from repro.baselines.greedy_stream import ThresholdGreedy
-    from repro.setsystem.shards import ShardedRepository, write_shards
+    from repro.setsystem.shards import ShardedRepository
     from repro.streaming.sharded import ShardedSetStream
 
     tmpdir = Path(tempfile.mkdtemp(prefix="repro-shards-"))
     try:
-        path = tmpdir / name
+        encodings[name] = _bench_parallel_and_encodings(
+            runner, name, system, tmpdir, jobs_sweep, parity
+        )
 
-        def build():
-            if path.exists():
-                shutil.rmtree(path)
-            write_shards(path, system)
-
-        runner.record("shard_write", name, "auto", build, repeats=1)
-
-        repo = ShardedRepository(path)
+        # Row-granular wire-format scans stay on the dense (v1-layout)
+        # repository: they measure the raw mmap row path, not the codec.
+        repo = ShardedRepository(tmpdir / f"{name}-dense")
         try:
             # One full sequential pass per wire format.  Every row is
             # folded into a cardinality total so lazy decodes cannot hide:
@@ -338,20 +444,39 @@ def _bench_sharded_instance(runner: _Runner, name: str, system: SetSystem) -> No
                     "shard_scan", name, backend,
                     lambda b=backend: scan(b), repeats=1,
                 )
+        finally:
+            repo.close()
 
-            # End-to-end out-of-core solve (threshold greedy: O(log n)
-            # passes, O(n + chunk) resident words).
-            def solve(backend: str):
-                stream = ShardedSetStream(repo)
+        # End-to-end out-of-core solve (threshold greedy: O(log n)
+        # passes, O(n + chunk) resident words) through the full new
+        # engine: compressed repository + executor-driven scan passes.
+        repo = ShardedRepository(tmpdir / f"{name}-auto")
+        try:
+            selections = {}
+
+            def solve(backend: str, jobs):
+                stream = ShardedSetStream(repo, jobs=jobs)
                 result = ThresholdGreedy(backend=backend).solve(stream)
                 assert result.feasible, f"threshold greedy failed on {name}"
+                selections[(backend, jobs)] = result.selection
                 return result
 
-            for backend in ("python", "numpy"):
+            max_jobs = max(jobs_sweep) if jobs_sweep else 1
+            for backend, jobs in (
+                ("python", 1), ("numpy", 1), ("python", max_jobs)
+            ):
+                label = backend if jobs == 1 else f"{backend} jobs={jobs}"
                 runner.record(
-                    "threshold_sharded", name, backend,
-                    lambda b=backend: solve(b), repeats=1,
+                    "threshold_sharded", name, label,
+                    lambda b=backend, j=jobs: solve(b, j), repeats=1,
                 )
+            if len(set(map(tuple, selections.values()))) != 1:
+                parity["identical"] = False
+                raise AssertionError(
+                    f"threshold_sharded covers diverged across backends/jobs "
+                    f"on {name}"
+                )
+            parity["instances"] += 1
         finally:
             repo.close()
     finally:
@@ -367,6 +492,25 @@ def _summarize(results: list[dict]) -> dict:
     summary: dict = {}
     for (benchmark, instance), timings in sorted(by_key.items()):
         entry: dict = {}
+        if benchmark == _PARALLEL_BENCH:
+            # The executor benchmark measures against the per-row scan
+            # ("rows"), not the frozenset kernels.
+            baseline = timings.get("rows")
+            if baseline is not None:
+                entry["rows_seconds"] = baseline
+            best = 0.0
+            for backend, seconds in sorted(timings.items()):
+                if backend == "rows":
+                    continue
+                entry[f"{backend}_seconds"] = seconds
+                if baseline and seconds > 0:
+                    speedup = baseline / seconds
+                    entry[f"{backend}_speedup"] = round(speedup, 2)
+                    best = max(best, speedup)
+            if best:
+                entry["best_speedup"] = round(best, 2)
+            summary.setdefault(benchmark, {})[instance] = entry
+            continue
         baseline = timings.get("frozenset")
         if baseline is not None:
             entry["frozenset_seconds"] = baseline
@@ -391,6 +535,7 @@ def run_benchmarks(
     repeats: int = 3,
     seed: int = 0,
     output: "str | Path | None" = "BENCH_kernels.json",
+    jobs="auto",
 ) -> dict:
     """Run the kernel benchmark suite and (optionally) write the JSON report.
 
@@ -398,6 +543,12 @@ def run_benchmarks(
     (``"paper,large"``) to record several rosters in one report — the
     committed ``BENCH_kernels.json`` carries ``paper`` (in-memory kernels)
     plus ``large`` (the out-of-core sharded path) this way.
+
+    ``jobs`` shapes the parallel-scan sweep: ``"auto"`` records the full
+    ``serial / jobs=2 / jobs=4`` sweep, an explicit ``k`` records
+    ``serial / jobs=k``.  Every sweep row's gains are asserted identical
+    to the serial per-row scan and the verdict lands in
+    ``payload["parallel_parity"]``.
     """
     scales = [part.strip() for part in scale.split(",") if part.strip()]
     unknown = [part for part in scales if part not in SCALES]
@@ -406,7 +557,15 @@ def run_benchmarks(
             f"unknown scale {scale!r}; expected names from {sorted(SCALES)} "
             "(optionally comma-joined)"
         )
+    if jobs == "auto":
+        jobs_sweep = _DEFAULT_JOBS_SWEEP
+    else:
+        from repro.setsystem.parallel import resolve_jobs
+
+        jobs_sweep = tuple(sorted({1, resolve_jobs(jobs)}))
     runner = _Runner(repeats)
+    parity = {"instances": 0, "identical": True}
+    encodings: dict[str, dict] = {}
     instances_meta = []
     for part in scales:
         for name, workload, params in SCALES[part]:
@@ -423,16 +582,31 @@ def run_benchmarks(
                 }
             )
             if params.get("sharded"):
-                _bench_sharded_instance(runner, name, system)
+                _bench_sharded_instance(
+                    runner, name, system, jobs_sweep, parity, encodings
+                )
             else:
                 _bench_instance(runner, name, system)
                 _bench_end_to_end(runner, name, system, seed)
+                # The executor + codec sweep runs for in-memory rosters
+                # too, through a temporary sharded copy of the instance.
+                import shutil
+                import tempfile
+
+                tmpdir = Path(tempfile.mkdtemp(prefix="repro-scan-"))
+                try:
+                    encodings[name] = _bench_parallel_and_encodings(
+                        runner, name, system, tmpdir, jobs_sweep, parity
+                    )
+                finally:
+                    shutil.rmtree(tmpdir, ignore_errors=True)
 
     payload = {
         "schema": SCHEMA,
         "scale": scale,
         "repeats": repeats,
         "seed": seed,
+        "jobs_sweep": list(jobs_sweep),
         "environment": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
@@ -440,6 +614,8 @@ def run_benchmarks(
         },
         "instances": instances_meta,
         "results": runner.results,
+        "encodings": encodings,
+        "parallel_parity": parity,
         "summary": _summarize(runner.results),
     }
     if output is not None:

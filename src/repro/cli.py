@@ -81,6 +81,31 @@ _GENERATORS = {
 }
 
 
+def _jobs_argument(value: str):
+    """``--jobs`` validator: ``auto`` or a positive integer."""
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        jobs = 0
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be 'auto' or a positive integer, got {value!r}"
+        )
+    return jobs
+
+
+def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_argument,
+        default="auto",
+        help="scan-executor parallelism: 'auto' (default) or a positive "
+        "worker count; results are identical at every setting",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -136,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--show-cover", action="store_true", help="print the chosen set ids"
     )
+    _add_jobs_option(solve)
 
     info = sub.add_parser("info", help="instance statistics")
     info.add_argument("input", help="instance path (.json or text)")
@@ -164,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3, help="timing repeats (best-of)"
     )
     bench.add_argument("--seed", type=int, default=0)
+    _add_jobs_option(bench)
 
     experiments = sub.add_parser(
         "experiments",
@@ -189,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-update-docs", action="store_true",
         help="skip the EXPERIMENTS.md refresh (CI smoke)",
     )
+    _add_jobs_option(experiments)
     return parser
 
 
@@ -217,9 +245,9 @@ def _cmd_solve(args) -> int:
     if Path(args.input).is_dir():
         from repro.streaming.sharded import ShardedSetStream
 
-        stream = ShardedSetStream(args.input)
+        stream = ShardedSetStream(args.input, jobs=args.jobs)
     else:
-        stream = SetStream(load(args.input))
+        stream = SetStream(load(args.input), jobs=args.jobs)
     algorithm = _ALGORITHMS[args.algorithm](args)
     result = algorithm.solve(stream)
     status = "cover" if stream.verify_solution(result.selection) else "PARTIAL"
@@ -261,6 +289,7 @@ def _cmd_bench(args) -> int:
             repeats=args.repeats,
             seed=args.seed,
             output=args.output,
+            jobs=args.jobs,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -286,6 +315,7 @@ def _cmd_experiments(args) -> int:
             seed=args.seed,
             output_dir=args.output_dir,
             docs_path=None if args.no_update_docs else args.docs,
+            jobs=args.jobs,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

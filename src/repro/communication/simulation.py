@@ -31,10 +31,12 @@ class HandoffStream(SetStream):
 
     The hook wraps the base pass machinery (``_scan``), so both row-wise
     pass flavours — frozenset rows and packed rows — trigger the handoff
-    accounting; algorithms keep choosing their wire format freely.  Chunk
-    batches are refused: a boundary falling inside a chunk would be
-    silently missed, so the protocol simulation only admits row-granular
-    scans.
+    accounting; algorithms keep choosing their wire format freely.
+    Executor-driven gains scans (``scan_gains``) are sequential passes
+    over the whole family too, so they fire one handoff per boundary as
+    well.  Chunk batches are refused: a boundary falling inside a chunk
+    would be silently missed, so the protocol simulation only admits
+    row-granular scans.
     """
 
     def __init__(
@@ -62,10 +64,29 @@ class HandoffStream(SetStream):
     def _scan(self, make_rows) -> Iterator[tuple[int, object]]:
         boundaries = set(self._boundaries)
         pass_index = self.passes  # incremented by super() when opened
-        for set_id, row in super()._scan(make_rows):
-            if set_id in boundaries:
-                self._on_handoff(pass_index, set_id)
-            yield set_id, row
+        for item in super()._scan(make_rows):
+            # Row passes yield (set_id, row); chunked gains scans yield
+            # (start, gains, captured) and account their boundaries below.
+            if len(item) == 2 and item[0] in boundaries:
+                self._on_handoff(pass_index, item[0])
+            yield item
+
+    def _scan_gains_chunked(
+        self, mask_int, min_capture_gain, capture_ids, best_only, include_gains
+    ):
+        inner = super()._scan_gains_chunked(
+            mask_int, min_capture_gain, capture_ids, best_only, include_gains
+        )
+
+        def with_handoffs():
+            yield from inner
+            # A gains scan is one full sequential pass: one handoff per
+            # player boundary, same accounting as a row pass.
+            pass_index = self.passes - 1
+            for boundary in self._boundaries:
+                self._on_handoff(pass_index, boundary)
+
+        return with_handoffs()
 
 
 @dataclass

@@ -45,6 +45,7 @@ from repro.offline.base import OfflineSolver
 from repro.offline.greedy import GreedySolver
 from repro.sampling.relative_approximation import draw_sample
 from repro.setsystem.packed import BitmapKernel, bitmap_kernel
+from repro.setsystem.parallel import capture_words
 from repro.streaming.memory import MemoryMeter
 from repro.streaming.stream import SetStream, stream_resident_words
 from repro.utils.mathutil import powers_of_two_up_to
@@ -280,30 +281,68 @@ class IterSetCover:
             for k in powers_of_two_up_to(n)
         ]
         passes_before = stream.passes
+        # Chunk-streamed replay: captures are consumed one chunk at a
+        # time, so at most one chunk's projections are resident; the
+        # largest batch is reported as scan scratch (DESIGN.md §6.1).
+        capture_peak = 0
+
+        def replay(parts, observe):
+            nonlocal capture_peak
+            for _, _, captured in parts:
+                capture_peak = max(capture_peak, capture_words(captured))
+                for set_id, projection in captured:
+                    row = kernel.from_mask_int(projection)
+                    for guess in guesses:
+                        observe(guess, set_id, row)
 
         for _ in range(self.config.iterations):
             if all(g.done for g in guesses):
                 break
             for guess in guesses:
                 guess.begin_iteration(self.config, n, m, rho, self._rng)
-            for set_id, row in stream.iterate_packed(kernel.backend):
-                # One packed row per set, shared across all parallel guesses.
-                for guess in guesses:
-                    guess.observe_sample_pass(set_id, row)
+            # Sample pass as a gains scan (DESIGN.md §6): rows are
+            # filtered against the union of all guesses' leftover
+            # samples, and only intersecting rows are replayed — their
+            # projection onto the union determines every guess's hit
+            # exactly (leftovers only shrink within the union), so the
+            # replay is bit-identical to the serial per-row pass.  One
+            # captured projection per set, shared across all guesses.
+            sample_mask = 0
+            for guess in guesses:
+                sample_mask |= kernel.to_mask_int(guess.leftover)
+            parts = stream.scan_gains_chunked(
+                sample_mask, min_capture_gain=1, include_gains=False
+            )
+            replay(parts, lambda g, set_id, row: g.observe_sample_pass(set_id, row))
             for guess in guesses:
                 guess.solve_offline(self.solver, n)
-            for set_id, row in stream.iterate_packed(kernel.backend):
-                for guess in guesses:
-                    guess.observe_update_pass(set_id, row)
+            # Update pass: only this iteration's picks can change any
+            # uncovered set, so the scan captures exactly those rows.
+            picked: set[int] = set()
+            update_mask = 0
+            for guess in guesses:
+                if guess.new_picks:
+                    picked |= guess.new_picks
+                    update_mask |= kernel.to_mask_int(guess.uncovered)
+            parts = stream.scan_gains_chunked(
+                update_mask, min_capture_gain=1, capture_ids=picked,
+                include_gains=False,
+            )
+            replay(parts, lambda g, set_id, row: g.observe_update_pass(set_id, row))
             for guess in guesses:
                 guess.end_iteration()
 
         cleanup_passes = 0
         if self.config.cleanup_pass and any(not g.done for g in guesses):
             cleanup_passes = 1
-            for set_id, row in stream.iterate_packed(kernel.backend):
-                for guess in guesses:
-                    guess.observe_cleanup_pass(set_id, row)
+            cleanup_mask = 0
+            for guess in guesses:
+                if not guess.done:
+                    cleanup_mask |= kernel.to_mask_int(guess.uncovered)
+            parts = stream.scan_gains_chunked(
+                cleanup_mask, min_capture_gain=1, include_gains=False
+            )
+            replay(parts, lambda g, set_id, row: g.observe_cleanup_pass(set_id, row))
 
         stats = {g.k: g.finalize_stats() for g in guesses}
         complete = [g for g in guesses if g.done]
@@ -313,6 +352,7 @@ class IterSetCover:
         total_peak = sum(g.meter.peak for g in guesses) + buffer_words
         passes = stream.passes - passes_before
         buffer_extra = {"stream_buffer_words": buffer_words} if buffer_words else {}
+        buffer_extra["scan_capture_peak_words"] = capture_peak
 
         if not complete:
             # The family itself cannot cover U; report the best effort.

@@ -23,6 +23,7 @@ from repro.offline.base import OfflineSolver
 from repro.offline.greedy import GreedySolver
 from repro.partial.offline import coverage_requirement
 from repro.setsystem.packed import bitmap_kernel
+from repro.setsystem.parallel import capture_words
 from repro.streaming.memory import MemoryMeter
 from repro.streaming.stream import SetStream, stream_resident_words
 from repro.utils.mathutil import powers_of_two_up_to
@@ -93,6 +94,18 @@ class PartialIterSetCover:
             for k in powers_of_two_up_to(n)
         ]
         passes_before = stream.passes
+        # Chunk-streamed replay, exactly as in the full-cover algorithm
+        # (DESIGN.md §6.1): at most one chunk's captures are resident.
+        capture_peak = 0
+
+        def replay(parts, observe):
+            nonlocal capture_peak
+            for _, _, captured in parts:
+                capture_peak = max(capture_peak, capture_words(captured))
+                for set_id, projection in captured:
+                    row = kernel.from_mask_int(projection)
+                    for g in guesses:
+                        observe(g, set_id, row)
 
         def satisfied(guess: _GuessState) -> bool:
             return guess.uncovered_count() <= allowance
@@ -108,25 +121,49 @@ class PartialIterSetCover:
                     g.new_picks = set()
                 else:
                     g.begin_iteration(self.config, n, m, rho, self._rng)
-            for set_id, row in stream.iterate_packed(kernel.backend):
-                for g in guesses:
-                    g.observe_sample_pass(set_id, row)
+            # The same executor-driven scan passes as the full-cover
+            # algorithm (see IterSetCover.solve / DESIGN.md §6); retired
+            # guesses contribute empty masks and observe nothing.
+            sample_mask = 0
+            for g in guesses:
+                sample_mask |= kernel.to_mask_int(g.leftover)
+            parts = stream.scan_gains_chunked(
+                sample_mask, min_capture_gain=1, include_gains=False
+            )
+            replay(parts, lambda g, set_id, row: g.observe_sample_pass(set_id, row))
             for g in guesses:
                 if not satisfied(g):
                     self._solve_offline_partial(g, allowance)
-            for set_id, row in stream.iterate_packed(kernel.backend):
-                for g in guesses:
-                    g.observe_update_pass(set_id, row)
+            picked: set[int] = set()
+            update_mask = 0
+            for g in guesses:
+                if g.new_picks:
+                    picked |= g.new_picks
+                    update_mask |= kernel.to_mask_int(g.uncovered)
+            parts = stream.scan_gains_chunked(
+                update_mask, min_capture_gain=1, capture_ids=picked,
+                include_gains=False,
+            )
+            replay(parts, lambda g, set_id, row: g.observe_update_pass(set_id, row))
             for g in guesses:
                 g.end_iteration()
 
         cleanup_passes = 0
         if self.config.cleanup_pass and any(not satisfied(g) for g in guesses):
             cleanup_passes = 1
-            for set_id, row in stream.iterate_packed(kernel.backend):
-                for g in guesses:
-                    if not satisfied(g):
-                        g.observe_cleanup_pass(set_id, row)
+            cleanup_mask = 0
+            for g in guesses:
+                if not satisfied(g):
+                    cleanup_mask |= kernel.to_mask_int(g.uncovered)
+            parts = stream.scan_gains_chunked(
+                cleanup_mask, min_capture_gain=1, include_gains=False
+            )
+
+            def cleanup(g, set_id, row):
+                if not satisfied(g):
+                    g.observe_cleanup_pass(set_id, row)
+
+            replay(parts, cleanup)
 
         stats = {g.k: g.finalize_stats() for g in guesses}
         complete = [g for g in guesses if satisfied(g)]
@@ -152,6 +189,7 @@ class PartialIterSetCover:
             extra={
                 "eps": self.eps,
                 "uncovered_left": best.uncovered_count(),
+                "scan_capture_peak_words": capture_peak,
                 **({"stream_buffer_words": buffer_words} if buffer_words else {}),
             },
         )

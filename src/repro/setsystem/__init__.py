@@ -13,12 +13,24 @@ from repro.setsystem.packed import (
     BACKENDS,
     BitmapKernel,
     PackedFamily,
+    ScanMask,
     bitmap_kernel,
     pack,
     resolve_backend,
 )
+from repro.setsystem.parallel import (
+    JOBS_AUTO,
+    ProcessScanExecutor,
+    ScanExecutor,
+    ScanResult,
+    SerialScanExecutor,
+    executor_for,
+    resolve_jobs,
+    shutdown_pools,
+)
 from repro.setsystem.set_system import SetSystem
 from repro.setsystem.shards import (
+    ENCODINGS,
     ShardedRepository,
     ShardFormatError,
     ShardWriter,
@@ -27,12 +39,22 @@ from repro.setsystem.shards import (
 
 __all__ = [
     "BACKENDS",
+    "ENCODINGS",
+    "JOBS_AUTO",
     "BitmapKernel",
     "PackedFamily",
+    "ProcessScanExecutor",
+    "ScanExecutor",
+    "ScanMask",
+    "ScanResult",
+    "SerialScanExecutor",
     "SetSystem",
     "ShardFormatError",
     "ShardWriter",
     "ShardedRepository",
+    "executor_for",
+    "resolve_jobs",
+    "shutdown_pools",
     "write_shards",
     "bitmap_kernel",
     "pack",

@@ -61,9 +61,15 @@ __all__ = [
     "NumpyPackedFamily",
     "PackedFamily",
     "PythonPackedFamily",
+    "ScanMask",
     "bitmap_kernel",
+    "chunk_gains",
+    "first_argmax",
+    "membership_hits",
     "pack",
+    "range_gains",
     "resolve_backend",
+    "scan_chunk",
 ]
 
 #: Backend names accepted everywhere a ``backend=`` knob appears.
@@ -184,6 +190,21 @@ class BitmapKernel(abc.ABC):
         """Is the bitmap the empty set?"""
 
 
+    # -- executor bridging ---------------------------------------------
+    def to_mask_int(self, bitmap) -> int:
+        """The bitmap as a backend-neutral arbitrary-precision integer.
+
+        The scan executor (:mod:`repro.setsystem.parallel`) moves masks
+        between processes and backends as plain integers; these two
+        methods are the bridge in and out of kernel handles.
+        """
+        return mask_of(self.to_indices(bitmap))
+
+    def from_mask_int(self, value: int):
+        """Rebuild a kernel bitmap from an integer mask."""
+        return self.from_indices(bits_of(value))
+
+
 class FrozensetKernel(BitmapKernel):
     """Reference kernel: bitmaps are plain frozensets (the seed semantics)."""
 
@@ -249,6 +270,12 @@ class PythonBitmapKernel(BitmapKernel):
     def is_empty(self, bitmap):
         return not bitmap
 
+    def to_mask_int(self, bitmap) -> int:
+        return bitmap
+
+    def from_mask_int(self, value: int):
+        return value
+
 
 class NumpyBitmapKernel(BitmapKernel):
     """Packed kernel: bitmaps are 1-D ``uint64`` arrays of ceil(n/64) words."""
@@ -300,6 +327,13 @@ class NumpyBitmapKernel(BitmapKernel):
 
     def is_empty(self, bitmap):
         return not bitmap.any()
+
+    def to_mask_int(self, bitmap) -> int:
+        return int.from_bytes(bitmap.astype("<u8", copy=False).tobytes(), "little")
+
+    def from_mask_int(self, value: int):
+        raw = value.to_bytes(self.words * 8, "little")
+        return np.frombuffer(raw, dtype="<u8").copy()
 
 
 _KERNELS = {
@@ -732,3 +766,211 @@ def pack(
     sets = list(sets)
     resolved = resolve_backend(backend, n=n, m=len(sets), kind="family")
     return _FAMILIES[resolved](n, sets)
+
+
+# ----------------------------------------------------------------------
+# Chunk-scan kernels (the parallel executor's compute core, DESIGN.md §6)
+# ----------------------------------------------------------------------
+class ScanMask:
+    """One residual mask with every derived view a chunk scan needs.
+
+    A gains scan touches the same mask in three shapes — arbitrary
+    precision integer (backend-neutral wire format), packed ``uint64``
+    words (dense-chunk kernels) and exclusive prefix popcount (the fused
+    run-length kernel).  ``ScanMask`` computes each lazily and caches it,
+    so per-shard scan calls — serial or in worker processes — never
+    re-derive them.
+
+    Examples
+    --------
+    >>> mask = ScanMask(70, (1 << 65) | 0b1011)
+    >>> mask.words, mask.is_empty
+    (2, False)
+    >>> int(mask.prefix[66]) - int(mask.prefix[64])  # bits in [64, 66)
+    1
+    """
+
+    def __init__(self, n: int, mask_int: int):
+        if mask_int < 0:
+            raise ValueError(f"mask must be a non-negative integer, got {mask_int}")
+        self.n = n
+        self.words = (n + WORD_BITS - 1) // WORD_BITS
+        self.mask_int = mask_int
+        self._arr = None
+        self._prefix = None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.mask_int == 0
+
+    def to_bytes(self) -> bytes:
+        """The mask as ``words`` little-endian ``uint64`` words."""
+        return self.mask_int.to_bytes(self.words * 8, "little")
+
+    @property
+    def arr(self) -> "np.ndarray":
+        """Packed ``uint64`` view (numpy required)."""
+        if self._arr is None:
+            self._arr = np.frombuffer(self.to_bytes(), dtype="<u8")
+        return self._arr
+
+    @property
+    def prefix(self) -> "np.ndarray":
+        """Exclusive prefix popcount: ``prefix[i] = |mask ∩ [0, i)|``."""
+        if self._prefix is None:
+            if self.words:
+                bits = np.unpackbits(
+                    self.arr.view(np.uint8), bitorder="little"
+                )[: self.n]
+            else:
+                bits = np.zeros(0, dtype=np.uint8)
+            prefix = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(bits, dtype=np.int64, out=prefix[1:])
+            self._prefix = prefix
+        return self._prefix
+
+
+def first_argmax(gains) -> int:
+    """Index of the first maximum of a gains vector, ``-1`` if all-zero.
+
+    The lowest-index tie-break every greedy variant in this repository
+    uses (DESIGN.md §4); works on numpy arrays and plain lists.
+
+    >>> first_argmax([0, 3, 1, 3])
+    1
+    >>> first_argmax([0, 0])
+    -1
+    """
+    if np is not None and isinstance(gains, np.ndarray):
+        if gains.size == 0:
+            return -1
+        best = int(np.argmax(gains))  # first max == lowest row index
+        return best if int(gains[best]) > 0 else -1
+    best, best_gain = -1, 0
+    for i, g in enumerate(gains):
+        if g > best_gain:
+            best, best_gain = i, g
+    return best
+
+
+def chunk_gains(matrix: "np.ndarray", mask_arr: "np.ndarray") -> "np.ndarray":
+    """Per-row ``|row ∩ mask|`` over a ``(rows, words)`` ``uint64`` chunk."""
+    if matrix.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    if matrix.shape[1] == 0:
+        return np.zeros(matrix.shape[0], dtype=np.int64)
+    return _popcount_rows(np.bitwise_and(matrix, mask_arr[None, :]))
+
+
+def membership_hits(flat_idx: "np.ndarray", mask_arr: "np.ndarray") -> "np.ndarray":
+    """Which element indices have their mask bit set (fused sparse gain).
+
+    ``flat_idx`` is an ``int64`` array of element ids (possibly spanning
+    many rows); the result is a boolean array of the same shape.  This is
+    the kernel that lets sparse-encoded shard rows compute gains without
+    ever materializing ``ceil(n/64)`` dense words.
+    """
+    if flat_idx.size == 0:
+        return np.zeros(0, dtype=bool)
+    words = mask_arr[flat_idx >> 6]
+    shifts = (flat_idx & 63).astype(np.uint64)
+    return ((words >> shifts) & np.uint64(1)).astype(bool)
+
+
+def range_gains(
+    starts: "np.ndarray",
+    ends: "np.ndarray",
+    row_ids: "np.ndarray",
+    rows: int,
+    prefix: "np.ndarray",
+) -> "np.ndarray":
+    """Per-row ``|mask ∩ U [start, end)|`` via the prefix popcount.
+
+    The fused run-length gain kernel: each run ``[start, end)`` of a
+    run-length-encoded row contributes ``prefix[end] - prefix[start]``
+    mask bits, summed per row — no dense words, no index expansion.
+    """
+    out = np.zeros(rows, dtype=np.int64)
+    if starts.size:
+        np.add.at(out, row_ids, prefix[ends] - prefix[starts])
+    return out
+
+
+def scan_chunk(
+    start: int,
+    chunk,
+    mask: ScanMask,
+    min_capture_gain: "int | None" = None,
+    capture_ids=None,
+    best_only: bool = False,
+):
+    """Gains + captured projections for one chunk of packed rows.
+
+    The single compute kernel behind every executor backend: serial
+    scans, worker processes and in-memory chunk splits all call it per
+    chunk, and results merge deterministically because each chunk is
+    keyed by its ``start`` row id.
+
+    Parameters
+    ----------
+    start:
+        Global row id of the chunk's first row.
+    chunk:
+        A ``(rows, words)`` ``uint64`` matrix (numpy path) or a list of
+        integer bitmasks (pure-python fallback).
+    mask:
+        The residual :class:`ScanMask` to intersect against.
+    min_capture_gain:
+        When given, capture ``(row_id, projection)`` for every row whose
+        gain reaches it (projection = ``row ∩ mask`` as an int bitmask).
+    capture_ids:
+        Optional set of row ids further restricting captures.
+    best_only:
+        Capture only the chunk's first-max positive-gain row.
+
+    Returns
+    -------
+    (gains, captured):
+        ``gains`` — per-row ``|row ∩ mask|`` (``int64`` array or list);
+        ``captured`` — ``(row_id, projection_int)`` pairs, ascending ids.
+    """
+    if np is not None and isinstance(chunk, np.ndarray):
+        inter = np.bitwise_and(chunk, mask.arr[None, :]) if chunk.size else chunk
+        gains = (
+            _popcount_rows(inter)
+            if chunk.size
+            else np.zeros(chunk.shape[0], dtype=np.int64)
+        )
+        captured: list = []
+        if best_only:
+            local = first_argmax(gains)
+            if local >= 0:
+                captured.append(
+                    (start + local, int.from_bytes(inter[local].tobytes(), "little"))
+                )
+        elif min_capture_gain is not None:
+            for local in np.flatnonzero(gains >= min_capture_gain):
+                row_id = start + int(local)
+                if capture_ids is not None and row_id not in capture_ids:
+                    continue
+                captured.append(
+                    (row_id, int.from_bytes(inter[int(local)].tobytes(), "little"))
+                )
+        return gains, captured
+
+    mask_int = mask.mask_int
+    gains = [(row & mask_int).bit_count() for row in chunk]
+    captured = []
+    if best_only:
+        local = first_argmax(gains)
+        if local >= 0:
+            captured.append((start + local, chunk[local] & mask_int))
+    elif min_capture_gain is not None:
+        for local, gain in enumerate(gains):
+            row_id = start + local
+            if gain < min_capture_gain:
+                continue
+            if capture_ids is not None and row_id not in capture_ids:
+                continue
+            captured.append((row_id, chunk[local] & mask_int))
+    return gains, captured

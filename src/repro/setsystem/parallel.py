@@ -1,0 +1,460 @@
+"""Parallel chunk-scan executor: multi-process gains scans, bit-identical.
+
+A streaming pass is, per set, a pure map against a read-only residual —
+only the accept/pick step needs ordered reconciliation.  This module
+exploits that: a :class:`ScanExecutor` runs the per-chunk work of a
+gains scan (``|r_i ∩ residual|`` for every row, plus captured
+projections — :func:`repro.setsystem.packed.scan_chunk` and
+:meth:`repro.setsystem.shards.ShardedRepository.scan_shard`) either
+inline (``serial``) or across a pool of worker processes (``process``),
+and merges the per-chunk results **in chunk order**.  Because every
+chunk is keyed by its first global row id and workers never share
+state, covers, tie-breaks and pass counts are bit-identical at any
+``jobs`` setting — the property tests in ``tests/test_parallel.py``
+assert exactly that, and DESIGN.md §6 records the determinism model.
+
+Process backend mechanics:
+
+* workers are plain ``multiprocessing`` pool processes, created once per
+  ``jobs`` count and shared by every stream in the process (scans are
+  stateless, so pools never need flushing between streams);
+* sharded repositories are **re-opened inside each worker** (keyed by
+  path + manifest identity) so chunk reads are worker-local ``mmap``
+  page faults — no chunk bytes ever cross the process boundary;
+* in-memory chunks are shipped to workers as packed bytes (small
+  families only; the sharded path is the scale path);
+* the residual mask travels inline for small ground sets and through a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment once it
+  exceeds :data:`_SHM_MIN_MASK_BYTES`, so huge-universe scans do not
+  re-pickle megabytes of mask per chunk.
+
+``jobs="auto"`` resolves conservatively: parallel scans only pay off
+when the repository dwarfs the per-task overhead, so ``auto`` stays
+serial below :data:`_AUTO_MIN_REPOSITORY_WORDS` or on single-core
+machines.
+
+Examples
+--------
+>>> from repro.setsystem.packed import ScanMask
+>>> executor = SerialScanExecutor()
+>>> chunks = [(0, [0b011, 0b100]), (2, [0b111])]
+>>> result = executor.scan_chunks(3, chunks, ScanMask(3, 0b110))
+>>> list(result.gains), result.captured
+([1, 1, 2], [])
+"""
+
+from __future__ import annotations
+
+import abc
+import atexit
+import multiprocessing
+import operator
+import os
+import sys
+from dataclasses import dataclass
+from multiprocessing.shared_memory import SharedMemory
+from pathlib import Path
+
+from repro.setsystem.packed import ScanMask, scan_chunk
+
+try:  # numpy speeds up chunk kernels; every path has a pure-python fallback
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
+__all__ = [
+    "JOBS_AUTO",
+    "ScanExecutor",
+    "ScanResult",
+    "SerialScanExecutor",
+    "ProcessScanExecutor",
+    "capture_words",
+    "executor_for",
+    "merge_scan_parts",
+    "resolve_jobs",
+    "shutdown_pools",
+]
+
+#: The default value of every ``jobs`` knob.
+JOBS_AUTO = "auto"
+
+#: ``auto`` never resolves above this many worker processes.
+_AUTO_MAX_JOBS = 8
+
+#: ``auto`` stays serial below this repository size (packed words):
+#: per-task IPC overhead swamps the win on small families.
+_AUTO_MIN_REPOSITORY_WORDS = 1 << 24  # 128 MiB of packed rows
+
+#: Masks at least this large travel via SharedMemory instead of pickling.
+_SHM_MIN_MASK_BYTES = 1 << 20
+
+#: Worker-side cap on cached re-opened repositories.
+_WORKER_REPO_CACHE = 8
+
+
+def resolve_jobs(jobs=JOBS_AUTO, *, repository_words: int = 0) -> int:
+    """Resolve a ``jobs`` knob to a concrete worker count (>= 1).
+
+    ``"auto"`` (or ``None``) resolves to 1 on single-core machines and
+    for repositories below :data:`_AUTO_MIN_REPOSITORY_WORDS`, else to
+    ``min(cpu_count,`` :data:`_AUTO_MAX_JOBS` ``)``.  Integers (and
+    integer strings, for CLI plumbing) pass through after validation.
+
+    >>> resolve_jobs(4)
+    4
+    >>> resolve_jobs("auto", repository_words=0)
+    1
+    """
+    if jobs is None or jobs == JOBS_AUTO:
+        cpus = os.cpu_count() or 1
+        if cpus <= 1 or repository_words < _AUTO_MIN_REPOSITORY_WORDS:
+            return 1
+        return min(cpus, _AUTO_MAX_JOBS)
+    try:
+        # operator.index rejects floats; digit-strings come from the CLI.
+        value = int(jobs, 10) if isinstance(jobs, str) else operator.index(jobs)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"jobs must be 'auto' or a positive integer, got {jobs!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"jobs must be 'auto' or a positive integer, got {jobs!r}")
+    return value
+
+
+@dataclass
+class ScanResult:
+    """One full gains scan, merged in chunk order.
+
+    ``gains[i]`` is ``|r_i ∩ mask|`` for every row of the repository
+    (``numpy.int64`` array when numpy is available, else a list) — or
+    ``None`` when the caller asked for captures only
+    (``include_gains=False``), which keeps the scan's driver-resident
+    state at the captured projections alone; ``captured`` holds
+    ``(row_id, projection_int)`` pairs in ascending row order, as
+    selected by the scan's capture policy.
+    """
+
+    gains: object
+    captured: list
+
+
+def capture_words(captured) -> int:
+    """Words of a captured batch (projection elements + one id per row).
+
+    The number algorithms report as ``scan_capture_peak_words``: the
+    per-chunk capture scratch of a chunk-streamed replay, bounded by
+    one chunk's content (DESIGN.md §6.1 accounting).
+    """
+    return sum(proj.bit_count() + 1 for _, proj in captured)
+
+
+def merge_scan_parts(parts: list) -> ScanResult:
+    """Concatenate per-chunk ``(start, gains, captured)`` in chunk order."""
+    parts = sorted(parts, key=lambda part: part[0])
+    captured: list = []
+    for _, _, chunk_captured in parts:
+        captured.extend(chunk_captured)
+    gains_parts = [part[1] for part in parts]
+    if any(g is None for g in gains_parts):
+        return ScanResult(gains=None, captured=captured)
+    if np is not None and all(isinstance(g, np.ndarray) for g in gains_parts):
+        gains = (
+            np.concatenate(gains_parts)
+            if gains_parts
+            else np.zeros(0, dtype=np.int64)
+        )
+    else:
+        gains = []
+        for part in gains_parts:
+            gains.extend(int(g) for g in part)
+    return ScanResult(gains=gains, captured=captured)
+
+
+class ScanExecutor(abc.ABC):
+    """Strategy object running the per-chunk work of one gains scan.
+
+    The primitive interface is *streaming*: ``iter_scan_repository`` /
+    ``iter_scan_chunks`` yield ``(start, gains, captured)`` per chunk,
+    **in chunk order**, so a caller replaying captures holds at most one
+    chunk's worth at a time (the bounded-capture discipline of
+    DESIGN.md §6.1).  The eager ``scan_*`` wrappers merge the full scan
+    for callers that want the whole gains vector (benchmarks, tests).
+    """
+
+    jobs: int = 1
+
+    @abc.abstractmethod
+    def iter_scan_repository(
+        self,
+        repository,
+        mask_int: int,
+        min_capture_gain: "int | None" = None,
+        capture_ids=None,
+        best_only: bool = False,
+        include_gains: bool = True,
+    ):
+        """Yield ``(start, gains, captured)`` per shard, in order."""
+
+    @abc.abstractmethod
+    def iter_scan_chunks(
+        self,
+        n: int,
+        chunks,
+        mask: ScanMask,
+        min_capture_gain: "int | None" = None,
+        capture_ids=None,
+        best_only: bool = False,
+        include_gains: bool = True,
+    ):
+        """Yield ``(start, gains, captured)`` per in-memory chunk."""
+
+    def scan_repository(self, repository, mask_int, **kwargs) -> ScanResult:
+        """Eager merge of :meth:`iter_scan_repository`."""
+        return merge_scan_parts(
+            list(self.iter_scan_repository(repository, mask_int, **kwargs))
+        )
+
+    def scan_chunks(self, n, chunks, mask, **kwargs) -> ScanResult:
+        """Eager merge of :meth:`iter_scan_chunks`."""
+        return merge_scan_parts(
+            list(self.iter_scan_chunks(n, chunks, mask, **kwargs))
+        )
+
+    def close(self) -> None:
+        """Release executor resources (pools are shared; see module doc)."""
+
+
+class SerialScanExecutor(ScanExecutor):
+    """The reference executor: one chunk at a time, in order, inline."""
+
+    jobs = 1
+
+    def iter_scan_repository(
+        self, repository, mask_int, min_capture_gain=None, capture_ids=None,
+        best_only=False, include_gains=True,
+    ):
+        mask = ScanMask(repository.n, mask_int)
+        for shard in range(repository.shard_count):
+            start, gains, captured = repository.scan_shard(
+                shard, mask,
+                min_capture_gain=min_capture_gain,
+                capture_ids=capture_ids,
+                best_only=best_only,
+            )
+            yield start, (gains if include_gains else None), captured
+
+    def iter_scan_chunks(
+        self, n, chunks, mask, min_capture_gain=None, capture_ids=None,
+        best_only=False, include_gains=True,
+    ):
+        for start, chunk in chunks:
+            gains, captured = scan_chunk(
+                start, chunk, mask,
+                min_capture_gain=min_capture_gain,
+                capture_ids=capture_ids,
+                best_only=best_only,
+            )
+            yield start, (gains if include_gains else None), captured
+
+
+# ----------------------------------------------------------------------
+# Process pool plumbing
+# ----------------------------------------------------------------------
+_POOLS: dict[int, "multiprocessing.pool.Pool"] = {}
+
+
+def _get_pool(jobs: int):
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        # Prefer cheap fork workers only on Linux; macOS keeps its spawn
+        # default (fork after Objective-C/Accelerate initialize is unsafe,
+        # which is why CPython switched the default there).  Every task
+        # function and payload is module-level and picklable, so spawn
+        # works everywhere.
+        method = (
+            "fork"
+            if sys.platform.startswith("linux")
+            and "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        context = multiprocessing.get_context(method)
+        pool = context.Pool(processes=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (tests and interpreter exit)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def _attach_shm(name: str) -> SharedMemory:
+    """Attach to an existing segment without adopting its lifetime."""
+    try:
+        return SharedMemory(name=name, track=False)  # Python >= 3.13
+    except TypeError:
+        shm = SharedMemory(name=name)
+        try:  # pre-3.13: undo the tracker registration the attach made,
+            # the parent owns (and unlinks) the segment
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return shm
+
+
+def _mask_from_payload(payload, n: int) -> ScanMask:
+    kind = payload[0]
+    if kind == "raw":
+        return ScanMask(n, int.from_bytes(payload[1], "little"))
+    _, name, length = payload
+    shm = _attach_shm(name)
+    try:
+        mask_bytes = bytes(shm.buf[:length])
+    finally:
+        shm.close()
+    return ScanMask(n, int.from_bytes(mask_bytes, "little"))
+
+
+_WORKER_REPOS: dict = {}
+
+
+def _worker_repository(path: str, token):
+    """Open (and cache) a repository inside a worker process."""
+    key = (path, token)
+    repo = _WORKER_REPOS.get(key)
+    if repo is None:
+        from repro.setsystem.shards import ShardedRepository
+
+        for stale in [k for k in _WORKER_REPOS if k[0] == path]:
+            _WORKER_REPOS.pop(stale).close()
+        while len(_WORKER_REPOS) >= _WORKER_REPO_CACHE:
+            _WORKER_REPOS.pop(next(iter(_WORKER_REPOS))).close()
+        repo = ShardedRepository(path)
+        _WORKER_REPOS[key] = repo
+    return repo
+
+
+def _scan_shard_task(args):
+    (path, token, shard, n, mask_payload, min_gain, capture_ids, best_only,
+     include_gains) = args
+    repository = _worker_repository(path, token)
+    mask = _mask_from_payload(mask_payload, n)
+    start, gains, captured = repository.scan_shard(
+        shard, mask,
+        min_capture_gain=min_gain,
+        capture_ids=capture_ids,
+        best_only=best_only,
+    )
+    return start, (gains if include_gains else None), captured
+
+
+def _scan_chunk_task(args):
+    (start, kind, payload, rows, words, n, mask_payload, min_gain,
+     capture_ids, best_only, include_gains) = args
+    if kind == "matrix":
+        chunk = np.frombuffer(payload, dtype="<u8").reshape(rows, words)
+    else:
+        chunk = payload
+    mask = _mask_from_payload(mask_payload, n)
+    gains, captured = scan_chunk(
+        start, chunk, mask,
+        min_capture_gain=min_gain,
+        capture_ids=capture_ids,
+        best_only=best_only,
+    )
+    return start, (gains if include_gains else None), captured
+
+
+class ProcessScanExecutor(ScanExecutor):
+    """Chunk scans fanned out over a shared pool of worker processes.
+
+    Determinism: tasks are submitted in chunk order and collected with
+    ``Pool.imap`` (which yields in submission order), so consumers see
+    exactly the serial executor's chunk sequence — results are
+    bit-identical to ``jobs=1`` by construction.
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 2:
+            raise ValueError(f"ProcessScanExecutor needs jobs >= 2, got {jobs}")
+        self.jobs = jobs
+
+    # -- mask transport -------------------------------------------------
+    @staticmethod
+    def _mask_payload(mask_int: int, words: int):
+        """Returns ``(payload, shm)``; caller unlinks ``shm`` after use."""
+        mask_bytes = mask_int.to_bytes(words * 8, "little")
+        if len(mask_bytes) >= _SHM_MIN_MASK_BYTES:
+            shm = SharedMemory(create=True, size=max(1, len(mask_bytes)))
+            shm.buf[: len(mask_bytes)] = mask_bytes
+            return ("shm", shm.name, len(mask_bytes)), shm
+        return ("raw", mask_bytes), None
+
+    def _iterate(self, task_fn, tasks, shm):
+        """Yield task results in submission order; release the mask SHM
+        when the scan completes (or is abandoned)."""
+        try:
+            yield from _get_pool(self.jobs).imap(task_fn, tasks)
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+
+    # -- sources --------------------------------------------------------
+    def iter_scan_repository(
+        self, repository, mask_int, min_capture_gain=None, capture_ids=None,
+        best_only=False, include_gains=True,
+    ):
+        path = str(repository.path)
+        stat = (Path(path) / "manifest.json").stat()
+        token = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+        capture_ids = frozenset(capture_ids) if capture_ids is not None else None
+        payload, shm = self._mask_payload(mask_int, repository.words)
+        tasks = [
+            (path, token, shard, repository.n, payload, min_capture_gain,
+             capture_ids, best_only, include_gains)
+            for shard in range(repository.shard_count)
+        ]
+        return self._iterate(_scan_shard_task, tasks, shm)
+
+    def iter_scan_chunks(
+        self, n, chunks, mask, min_capture_gain=None, capture_ids=None,
+        best_only=False, include_gains=True,
+    ):
+        capture_ids = frozenset(capture_ids) if capture_ids is not None else None
+        payload, shm = self._mask_payload(mask.mask_int, mask.words)
+        tasks = []
+        for start, chunk in chunks:
+            if np is not None and isinstance(chunk, np.ndarray):
+                tasks.append(
+                    (start, "matrix", chunk.tobytes(), chunk.shape[0],
+                     chunk.shape[1], n, payload, min_capture_gain, capture_ids,
+                     best_only, include_gains)
+                )
+            else:
+                tasks.append(
+                    (start, "masks", list(chunk), len(chunk), 0, n, payload,
+                     min_capture_gain, capture_ids, best_only, include_gains)
+                )
+        return self._iterate(_scan_chunk_task, tasks, shm)
+
+
+def executor_for(jobs=JOBS_AUTO, *, repository_words: int = 0) -> ScanExecutor:
+    """Build the executor a ``jobs`` knob asks for.
+
+    >>> executor_for(1).jobs
+    1
+    >>> executor_for(3).jobs
+    3
+    """
+    count = resolve_jobs(jobs, repository_words=repository_words)
+    return SerialScanExecutor() if count == 1 else ProcessScanExecutor(count)

@@ -8,20 +8,50 @@ repository a real on-disk shape:
 
 * a **shard directory** holds ``manifest.json`` plus one binary file per
   chunk of sets (``shard-00000.bin``, ``shard-00001.bin``, ...);
-* each shard file is a dense row-major matrix of packed bitmaps — one row
-  per set, ``ceil(n / 64)`` little-endian ``uint64`` words per row — i.e.
-  exactly the block layout of
-  :class:`~repro.setsystem.packed.NumpyPackedFamily`, so chunks memory-map
-  straight into the numpy kernels with zero decoding;
+* a shard file is either a **raw** dense row-major matrix of packed
+  bitmaps — one row per set, ``ceil(n / 64)`` little-endian ``uint64``
+  words per row, the exact block layout of
+  :class:`~repro.setsystem.packed.NumpyPackedFamily`, so chunks
+  memory-map straight into the numpy kernels with zero decoding — or an
+  **encoded** block in which every row carries its own roaring-style
+  codec, chosen by density at write time (see below);
 * the manifest records the schema version, ``n``, ``m``, the chunk
-  geometry and a CRC-32 per shard, so truncated or corrupted repositories
-  fail loudly (:class:`ShardFormatError`) instead of silently yielding
-  garbage sets.
+  geometry, each shard's layout and a CRC-32 per shard, so truncated or
+  corrupted repositories fail loudly (:class:`ShardFormatError`) instead
+  of silently yielding garbage sets.
+
+Row codecs (schema ``repro.shards/v2``, DESIGN.md §6.2)
+-------------------------------------------------------
+Dense packed rows cost ``ceil(n/64)`` words of disk and scan work per
+set *regardless of density*, which is exactly wrong for the sparse
+regimes the paper targets (rows with ``|S| ≪ n``).  ``ShardWriter``
+therefore picks, per row, the cheapest of three encodings:
+
+``dense`` (tag 0)
+    The raw packed words.  A shard whose rows are all dense is written
+    in the **raw** layout (byte-identical to schema v1) and keeps the
+    zero-copy mmap scan path.
+``sparse-varint`` (tag 1)
+    Delta-encoded sorted element ids as LEB128 varints: the first value
+    is the first element, each later value the (>= 1) gap to the next.
+``run-length`` (tag 2)
+    Varint pairs ``(skip, length-1)``: each run covers
+    ``[pos + skip, pos + skip + length)`` and advances ``pos`` to its
+    end.  Wins on rows made of long contiguous intervals.
+
+An **encoded** shard file is ``u32 row_count | u8 tags[rows] |
+u32 lengths[rows] | payloads`` (all little-endian), so scans parse the
+record table with three vectorized reads and decode whole shards at
+once; the fused kernels in :mod:`repro.setsystem.packed` compute
+residual gains for sparse and run-length rows without ever
+materializing dense words.  Repositories with schema ``repro.shards/v1``
+(all raw) still open and scan unchanged.
 
 :class:`ShardWriter` builds a repository incrementally (one set at a
-time, bounded memory), and :class:`ShardedRepository` reads one back via
-``mmap`` — the OS pages shards in and out on demand, so scans never need
-the whole family resident.  :class:`~repro.streaming.sharded.ShardedSetStream`
+time, bounded memory) and removes partial output if the writer body
+raises; :class:`ShardedRepository` reads a repository back via ``mmap``
+— the OS pages shards in and out on demand, so scans never need the
+whole family resident.  :class:`~repro.streaming.sharded.ShardedSetStream`
 wraps a repository in the pass-counted stream protocol.
 
 Examples
@@ -49,6 +79,14 @@ from collections.abc import Iterable, Iterator
 from operator import index
 from pathlib import Path
 
+from repro.setsystem.packed import (
+    ScanMask,
+    chunk_gains,
+    first_argmax,
+    membership_hits,
+    range_gains,
+    scan_chunk,
+)
 from repro.setsystem.set_system import SetSystem
 from repro.utils.bitset import bits_of, mask_of
 
@@ -59,27 +97,44 @@ except ImportError:  # pragma: no cover - exercised only on stripped installs
 
 __all__ = [
     "SHARD_SCHEMA",
+    "SHARD_SCHEMA_V1",
     "MANIFEST_NAME",
     "DEFAULT_CHUNK_BYTES",
+    "ENCODINGS",
     "ShardFormatError",
     "ShardWriter",
     "ShardedRepository",
     "write_shards",
 ]
 
-#: Schema tag stamped into every ``manifest.json``.
-SHARD_SCHEMA = "repro.shards/v1"
+#: Schema tag stamped into every new ``manifest.json``.
+SHARD_SCHEMA = "repro.shards/v2"
+
+#: The PR 2 schema: raw dense shards only.  Still opened and scanned.
+SHARD_SCHEMA_V1 = "repro.shards/v1"
+
+_SUPPORTED_SCHEMAS = (SHARD_SCHEMA_V1, SHARD_SCHEMA)
 
 #: Manifest file name inside a shard directory.
 MANIFEST_NAME = "manifest.json"
 
-#: Default shard size target: ~4 MiB of packed rows per chunk.  This is
-#: the resident buffer an out-of-core scan holds at any moment, and the
-#: unit :attr:`ShardedRepository.chunk_words` reports for accounting.
+#: Default shard size target: ~4 MiB of packed rows per chunk.  Chunk
+#: geometry is always computed from the *dense* row size, independent of
+#: the encoding, so scan order, pass structure and the resident-buffer
+#: accounting (:attr:`ShardedRepository.chunk_words`) are identical
+#: across encodings.
 DEFAULT_CHUNK_BYTES = 1 << 22
+
+#: Writer encoding knob: ``auto`` picks the cheapest codec per row;
+#: the other values force one codec for every row (``dense`` reproduces
+#: the v1 raw layout byte-for-byte).
+ENCODINGS = ("auto", "dense", "sparse", "rle")
 
 _WORD_BITS = 64
 _WORD_BYTES = 8
+
+_TAG_DENSE, _TAG_SPARSE, _TAG_RLE = 0, 1, 2
+_LAYOUT_RAW, _LAYOUT_ENCODED = "raw", "encoded"
 
 
 class ShardFormatError(ValueError):
@@ -92,11 +147,142 @@ def _words_for(n: int) -> int:
 
 
 def _chunk_rows_for(n: int, chunk_bytes: int) -> int:
-    """Rows per shard so one shard stays near ``chunk_bytes`` bytes."""
+    """Rows per shard so one dense shard stays near ``chunk_bytes`` bytes."""
     row_bytes = _words_for(n) * _WORD_BYTES
     if row_bytes == 0:  # n == 0: rows are empty, chunking is arbitrary
         return 1 << 16
     return max(1, chunk_bytes // row_bytes)
+
+
+# ----------------------------------------------------------------------
+# Varint + per-row codec primitives
+# ----------------------------------------------------------------------
+def _varint(value: int) -> bytes:
+    """LEB128: 7 value bits per byte, high bit = continuation."""
+    out = bytearray()
+    while True:
+        low = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(low | 0x80)
+        else:
+            out.append(low)
+            return bytes(out)
+
+
+def _varint_len(value: int) -> int:
+    return max(1, (value.bit_length() + 6) // 7)
+
+
+def _read_varint(data, pos: int) -> tuple[int, int]:
+    value, shift = 0, 0
+    while True:
+        if pos >= len(data):
+            raise ShardFormatError("corrupt row payload: truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise ShardFormatError("corrupt row payload: varint overflow")
+
+
+def _iter_runs(row: list[int]) -> Iterator[tuple[int, int]]:
+    """Maximal runs ``[start, end)`` of a sorted, duplicate-free row."""
+    start = prev = None
+    for element in row:
+        if prev is not None and element == prev + 1:
+            prev = element
+            continue
+        if start is not None:
+            yield start, prev + 1
+        start = prev = element
+    if start is not None:
+        yield start, prev + 1
+
+
+def _encode_sparse(row: list[int]) -> bytes:
+    out = bytearray()
+    prev = None
+    for element in row:
+        out += _varint(element if prev is None else element - prev)
+        prev = element
+    return bytes(out)
+
+
+def _encode_rle(row: list[int]) -> bytes:
+    out = bytearray()
+    pos = 0
+    for start, end in _iter_runs(row):
+        out += _varint(start - pos)
+        out += _varint(end - start - 1)
+        pos = end
+    return bytes(out)
+
+
+def _sparse_cost(row: list[int]) -> int:
+    total, prev = 0, None
+    for element in row:
+        total += _varint_len(element if prev is None else element - prev)
+        prev = element
+    return total
+
+
+def _rle_cost(row: list[int]) -> int:
+    total, pos = 0, 0
+    for start, end in _iter_runs(row):
+        total += _varint_len(start - pos) + _varint_len(end - start - 1)
+        pos = end
+    return total
+
+
+def _decode_payload_mask(tag: int, data, n: int, row_bytes: int) -> int:
+    """Decode one row payload into an arbitrary-precision integer bitmask."""
+    if tag == _TAG_DENSE:
+        if len(data) != row_bytes:
+            raise ShardFormatError(
+                f"corrupt dense row: {len(data)} payload bytes, expected {row_bytes}"
+            )
+        value = int.from_bytes(bytes(data), "little")
+        if value >> n:
+            raise ShardFormatError("corrupt dense row: bits beyond the ground set")
+        return value
+    if tag == _TAG_SPARSE:
+        mask, prev, pos = 0, None, 0
+        while pos < len(data):
+            value, pos = _read_varint(data, pos)
+            if prev is None:
+                element = value
+            else:
+                if value < 1:
+                    raise ShardFormatError(
+                        "corrupt sparse row: non-increasing element gap"
+                    )
+                element = prev + value
+            if element >= n:
+                raise ShardFormatError(
+                    f"corrupt sparse row: element {element} outside [0, {n})"
+                )
+            mask |= 1 << element
+            prev = element
+        return mask
+    if tag == _TAG_RLE:
+        mask, pos, cursor = 0, 0, 0
+        while pos < len(data):
+            skip, pos = _read_varint(data, pos)
+            length, pos = _read_varint(data, pos)
+            start = cursor + skip
+            end = start + length + 1
+            if end > n:
+                raise ShardFormatError(
+                    f"corrupt run-length row: run [{start}, {end}) outside [0, {n})"
+                )
+            mask |= ((1 << (end - start)) - 1) << start
+            cursor = end
+        return mask
+    raise ShardFormatError(f"corrupt shard: unknown row codec tag {tag}")
 
 
 class ShardWriter:
@@ -105,8 +291,11 @@ class ShardWriter:
     Memory stays bounded by one chunk: rows accumulate in a buffer of at
     most ``chunk_rows`` sets and are flushed to a shard file (with its
     CRC-32 recorded) whenever the buffer fills.  ``close`` flushes the
-    tail chunk and writes the manifest; the writer is also a context
-    manager that closes itself.
+    tail chunk and writes the manifest.  As a context manager the writer
+    closes itself on success and **aborts** on error: partial shard
+    files (and the directory, if the writer created it) are removed, so
+    a generator raising mid-write never leaves a corrupt repository on
+    disk.
 
     Parameters
     ----------
@@ -118,6 +307,10 @@ class ShardWriter:
         Sets per shard.  Default: as many rows as fit in ``chunk_bytes``.
     chunk_bytes:
         Target shard size in bytes when ``chunk_rows`` is not given.
+    encoding:
+        Row codec policy (:data:`ENCODINGS`).  ``auto`` (default) picks
+        the smallest of dense / sparse-varint / run-length per row;
+        ``dense`` reproduces the v1 raw block layout.
 
     Examples
     --------
@@ -139,19 +332,27 @@ class ShardWriter:
         n: int,
         chunk_rows: "int | None" = None,
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        encoding: str = "auto",
     ):
         if n < 0:
             raise ValueError(f"ground set size must be non-negative, got {n}")
         if chunk_rows is not None and chunk_rows < 1:
             raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+        if encoding not in ENCODINGS:
+            raise ValueError(
+                f"unknown encoding {encoding!r}; expected one of {ENCODINGS}"
+            )
         self.path = Path(path)
+        existed = self.path.is_dir()
         self.path.mkdir(parents=True, exist_ok=True)
+        self._created_dir = not existed
         if (self.path / MANIFEST_NAME).exists():
             raise ShardFormatError(
                 f"{self.path} already holds a shard repository; refusing to overwrite"
             )
         self.n = n
         self.words = _words_for(n)
+        self.encoding = encoding
         self.chunk_rows = (
             chunk_rows if chunk_rows is not None else _chunk_rows_for(n, chunk_bytes)
         )
@@ -159,6 +360,7 @@ class ShardWriter:
         self._shards: list[dict] = []
         self._m = 0
         self._closed = False
+        self._aborted = False
 
     # ------------------------------------------------------------------
     @property
@@ -168,7 +370,7 @@ class ShardWriter:
 
     def append(self, elements: Iterable[int]) -> None:
         """Append one set (an iterable of element ids) to the repository."""
-        if self._closed:
+        if self._closed or self._aborted:
             raise ShardFormatError("writer is closed")
         try:
             # operator.index rejects floats and such up front, so the
@@ -184,7 +386,7 @@ class ShardWriter:
                     f"set {self._m} contains element {element} outside the "
                     f"ground set [0, {self.n})"
                 )
-        self._buffer.append(row)
+        self._buffer.append(sorted(set(row)))
         self._m += 1
         if len(self._buffer) >= self.chunk_rows:
             self._flush()
@@ -212,24 +414,69 @@ class ShardWriter:
             mask_of(row).to_bytes(row_bytes, "little") for row in self._buffer
         )
 
+    def _choose_tag(self, row: list[int]) -> int:
+        """Cheapest codec for one sorted row (ties prefer faster decodes)."""
+        if self.encoding == "dense":
+            return _TAG_DENSE
+        if self.encoding == "sparse":
+            return _TAG_SPARSE
+        if self.encoding == "rle":
+            return _TAG_RLE
+        dense_cost = self.words * _WORD_BYTES
+        # Each element costs at least one varint byte, so a row with more
+        # elements than dense bytes cannot win — skip the exact cost scan.
+        best_tag, best_cost = _TAG_DENSE, dense_cost
+        if len(row) < dense_cost:
+            cost = _sparse_cost(row)
+            if cost < best_cost:
+                best_tag, best_cost = _TAG_SPARSE, cost
+        cost = _rle_cost(row)
+        if cost < best_cost:
+            best_tag, best_cost = _TAG_RLE, cost
+        return best_tag
+
+    def _encode_payload(self, tag: int, row: list[int]) -> bytes:
+        if tag == _TAG_DENSE:
+            return mask_of(row).to_bytes(self.words * _WORD_BYTES, "little")
+        if tag == _TAG_SPARSE:
+            return _encode_sparse(row)
+        return _encode_rle(row)
+
     def _flush(self) -> None:
         if not self._buffer:
             return
+        rows = len(self._buffer)
+        tags = [self._choose_tag(row) for row in self._buffer]
+        if all(tag == _TAG_DENSE for tag in tags):
+            payload = self._pack_buffer()
+            layout = _LAYOUT_RAW
+        else:
+            payloads = [
+                self._encode_payload(tag, row)
+                for tag, row in zip(tags, self._buffer)
+            ]
+            parts = [rows.to_bytes(4, "little"), bytes(tags)]
+            parts += [len(p).to_bytes(4, "little") for p in payloads]
+            parts += payloads
+            payload = b"".join(parts)
+            layout = _LAYOUT_ENCODED
         name = f"shard-{len(self._shards):05d}.bin"
-        payload = self._pack_buffer()
         (self.path / name).write_bytes(payload)
         self._shards.append(
             {
                 "file": name,
-                "rows": len(self._buffer),
+                "rows": rows,
                 "bytes": len(payload),
                 "crc32": zlib.crc32(payload),
+                "layout": layout,
             }
         )
         self._buffer = []
 
     def close(self) -> Path:
         """Flush the tail chunk, write ``manifest.json``, return the path."""
+        if self._aborted:
+            raise ShardFormatError("writer was aborted; nothing to close")
         if self._closed:
             return self.path
         self._flush()
@@ -239,11 +486,34 @@ class ShardWriter:
             "m": self._m,
             "words": self.words,
             "chunk_rows": self.chunk_rows,
+            "encoding": self.encoding,
             "shards": self._shards,
         }
         (self.path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
         self._closed = True
         return self.path
+
+    def abort(self) -> None:
+        """Remove everything written so far (idempotent).
+
+        Called automatically when the writer's ``with`` body raises:
+        partial shard files and any manifest are deleted, and the
+        directory itself is removed when this writer created it — no
+        corrupt repository is left for a later open to trip over.
+        """
+        if self._closed:
+            return
+        for meta in self._shards:
+            (self.path / meta["file"]).unlink(missing_ok=True)
+        (self.path / MANIFEST_NAME).unlink(missing_ok=True)
+        if self._created_dir:
+            try:
+                self.path.rmdir()
+            except OSError:  # foreign files arrived meanwhile; leave them
+                pass
+        self._buffer = []
+        self._shards = []
+        self._aborted = True
 
     def __enter__(self) -> "ShardWriter":
         return self
@@ -251,6 +521,8 @@ class ShardWriter:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.close()
+        else:
+            self.abort()
 
 
 def write_shards(
@@ -259,6 +531,7 @@ def write_shards(
     n: "int | None" = None,
     chunk_rows: "int | None" = None,
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    encoding: str = "auto",
 ) -> Path:
     """Write a set system (or a lazy iterable of sets) as a shard directory.
 
@@ -269,11 +542,12 @@ def write_shards(
     source:
         Either a :class:`SetSystem` (``n`` is taken from it) or any
         iterable of element-id iterables — a generator works, so huge
-        families can be sharded without ever materializing in RAM.
+        families can be sharded without ever materializing in RAM.  If
+        the iterable raises mid-write, partial output is removed.
     n:
         Ground-set size; required when ``source`` is not a ``SetSystem``.
-    chunk_rows / chunk_bytes:
-        Chunk geometry, as for :class:`ShardWriter`.
+    chunk_rows / chunk_bytes / encoding:
+        Chunk geometry and row codec policy, as for :class:`ShardWriter`.
 
     Returns
     -------
@@ -287,9 +561,85 @@ def write_shards(
         if n is None:
             raise ValueError("n is required when source is not a SetSystem")
         rows = source
-    with ShardWriter(path, n, chunk_rows=chunk_rows, chunk_bytes=chunk_bytes) as writer:
+    with ShardWriter(
+        path, n, chunk_rows=chunk_rows, chunk_bytes=chunk_bytes, encoding=encoding
+    ) as writer:
         writer.extend(rows)
     return writer.path
+
+
+# ----------------------------------------------------------------------
+# Vectorized varint decoding (whole-shard bulk decode, numpy path)
+# ----------------------------------------------------------------------
+if np is not None:
+
+    def _ragged_gather(
+        payload: "np.ndarray", offsets: "np.ndarray", lengths: "np.ndarray"
+    ) -> "np.ndarray":
+        """Concatenate variable-length byte segments of ``payload``."""
+        total = int(lengths.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.uint8)
+        before = np.cumsum(lengths) - lengths
+        positions = (
+            np.repeat(offsets - before, lengths)
+            + np.arange(total, dtype=np.int64)
+        )
+        return payload[positions]
+
+    def _bulk_varints(
+        seg: "np.ndarray", max_bytes: int
+    ) -> tuple["np.ndarray", "np.ndarray"]:
+        """Decode every varint of a byte stream at once.
+
+        Returns ``(values, ends)`` where ``ends[i]`` is the byte index of
+        the ``i``-th varint's terminator.  Raises on unterminated or
+        overlong varints — the loud-failure contract for corrupt blocks.
+        """
+        if seg.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        data = seg.astype(np.int64)
+        term = data < 128
+        if not term[-1]:
+            raise ShardFormatError("corrupt shard: unterminated varint")
+        ends = np.flatnonzero(term)
+        starts = np.empty_like(ends)
+        starts[0] = 0
+        starts[1:] = ends[:-1] + 1
+        lens = ends - starts + 1
+        width = int(lens.max())
+        if width > max_bytes:
+            raise ShardFormatError("corrupt shard: varint overflow")
+        values = np.zeros(ends.size, dtype=np.int64)
+        for k in range(width):
+            sel = lens > k
+            values[sel] |= (data[starts[sel] + k] & 127) << (7 * k)
+        return values, ends
+
+    def _varint_counts(
+        ends: "np.ndarray", lengths: "np.ndarray"
+    ) -> "np.ndarray":
+        """Varints per segment, validating segment/varint alignment."""
+        bounds = np.cumsum(lengths)
+        nonzero = lengths > 0
+        if not np.isin(bounds[nonzero] - 1, ends).all():
+            raise ShardFormatError(
+                "corrupt shard: row boundary splits a varint"
+            )
+        marks = np.searchsorted(ends, bounds, side="left")
+        counts = np.empty_like(marks)
+        counts[0] = marks[0]
+        counts[1:] = marks[1:] - marks[:-1]
+        return counts
+
+    def _segmented_absolutes(
+        values: "np.ndarray", counts: "np.ndarray"
+    ) -> "np.ndarray":
+        """Per-segment cumulative sums (delta decode with per-row reset)."""
+        cum = np.cumsum(values)
+        first = np.cumsum(counts) - counts
+        base = np.where(first > 0, cum[np.maximum(first, 1) - 1], 0)
+        return cum - np.repeat(base, counts)
 
 
 class ShardedRepository:
@@ -299,7 +649,9 @@ class ShardedRepository:
     file sizes); a size mismatch — the classic truncated-copy failure —
     raises :class:`ShardFormatError` immediately.  CRC-32 verification is
     a full read of every shard, so it is opt-in: pass ``verify=True`` or
-    call :meth:`validate`.
+    call :meth:`validate`.  Encoded shards additionally validate their
+    record tables on first touch and their payloads while decoding, so a
+    corrupted compressed block raises instead of yielding garbage rows.
 
     Shard files are ``mmap``-ed, not read: a sequential scan touches one
     chunk's pages at a time and the OS reclaims them behind the read
@@ -308,7 +660,8 @@ class ShardedRepository:
     Parameters
     ----------
     path:
-        A directory produced by :class:`ShardWriter` / :func:`write_shards`.
+        A directory produced by :class:`ShardWriter` / :func:`write_shards`
+        (schema v1 or v2).
     verify:
         Verify every shard's CRC-32 on open (reads the whole repository).
     """
@@ -322,12 +675,14 @@ class ShardedRepository:
             manifest = json.loads(manifest_path.read_text())
         except json.JSONDecodeError as exc:
             raise ShardFormatError(f"unparseable manifest in {self.path}: {exc}") from exc
-        if not isinstance(manifest, dict) or manifest.get("schema") != SHARD_SCHEMA:
+        if not isinstance(manifest, dict) or manifest.get("schema") not in _SUPPORTED_SCHEMAS:
             raise ShardFormatError(
                 f"manifest schema is {manifest.get('schema')!r}, "
-                f"expected {SHARD_SCHEMA!r}" if isinstance(manifest, dict)
+                f"expected one of {_SUPPORTED_SCHEMAS!r}" if isinstance(manifest, dict)
                 else "manifest is not a JSON object"
             )
+        self.schema = str(manifest["schema"])
+        self.encoding = str(manifest.get("encoding", "dense"))
         try:
             self.n = int(manifest["n"])
             self.m = int(manifest["m"])
@@ -349,11 +704,23 @@ class ShardedRepository:
         self._files = []
         self._maps: list[mmap.mmap] = []
         self._starts: list[int] = []  # first global row id of each shard
+        self._layouts: list[str] = []
+        self._header_cache: dict[int, tuple] = {}
         start = 0
         for meta in self._shard_meta:
             shard_path = self.path / str(meta["file"])
             rows = int(meta["rows"])
-            expected = rows * self._row_bytes
+            layout = str(meta.get("layout", _LAYOUT_RAW))
+            if layout not in (_LAYOUT_RAW, _LAYOUT_ENCODED):
+                self.close()
+                raise ShardFormatError(
+                    f"shard {shard_path.name} has unknown layout {layout!r}"
+                )
+            expected = (
+                rows * self._row_bytes
+                if layout == _LAYOUT_RAW
+                else int(meta.get("bytes", -1))
+            )
             if not shard_path.is_file():
                 self.close()
                 raise ShardFormatError(f"missing shard file {shard_path}")
@@ -362,7 +729,7 @@ class ShardedRepository:
                 self.close()
                 raise ShardFormatError(
                     f"shard {shard_path.name} is {actual} bytes, expected "
-                    f"{expected} ({rows} rows x {self._row_bytes} bytes) — "
+                    f"{expected} ({layout} layout, {rows} rows) — "
                     "truncated or corrupt repository"
                 )
             handle = open(shard_path, "rb")
@@ -372,6 +739,7 @@ class ShardedRepository:
             else:  # mmap cannot map empty files
                 self._maps.append(None)  # type: ignore[arg-type]
             self._starts.append(start)
+            self._layouts.append(layout)
             start += rows
         self._closed = False
         if verify:
@@ -388,7 +756,9 @@ class ShardedRepository:
         """Packed ``uint64`` words of one full resident chunk buffer.
 
         This is the number :class:`~repro.streaming.sharded.ShardedSetStream`
-        charges as its resident scan buffer (DESIGN.md §3.6).
+        charges as its resident scan buffer (DESIGN.md §3.6).  It is the
+        *decoded* chunk size, so the accounting is identical for raw and
+        compressed repositories.
         """
         return min(self.chunk_rows, max(self.m, 1)) * self.words
 
@@ -396,6 +766,11 @@ class ShardedRepository:
     def repository_words(self) -> int:
         """Total packed words on disk (``m * ceil(n/64)``) — *not* resident."""
         return self.m * self.words
+
+    @property
+    def disk_bytes(self) -> int:
+        """Actual bytes the shard files occupy (compression included)."""
+        return sum(int(meta.get("bytes", 0)) for meta in self._shard_meta)
 
     def validate(self) -> None:
         """Verify every shard's CRC-32 against the manifest (full read)."""
@@ -428,6 +803,7 @@ class ShardedRepository:
             handle.close()
         self._maps = []
         self._files = []
+        self._header_cache = {}
         self._closed = True
 
     def __enter__(self) -> "ShardedRepository":
@@ -437,43 +813,133 @@ class ShardedRepository:
         self.close()
 
     # ------------------------------------------------------------------
+    # Encoded-shard record tables
+    # ------------------------------------------------------------------
+    def _encoded_header(self, shard: int):
+        """Parse (and cache) an encoded shard's ``tags/lengths/offsets``."""
+        cached = self._header_cache.get(shard)
+        if cached is not None:
+            return cached
+        raw = self._maps[shard]
+        meta = self._shard_meta[shard]
+        rows = int(meta["rows"])
+        size = int(meta["bytes"])
+        head = 4 + rows + 4 * rows
+        if raw is None or size < head:
+            raise ShardFormatError(
+                f"corrupt encoded shard {meta['file']}: record table truncated"
+            )
+        if int.from_bytes(raw[:4], "little") != rows:
+            raise ShardFormatError(
+                f"corrupt encoded shard {meta['file']}: row count mismatch"
+            )
+        tag_bytes = bytes(raw[4 : 4 + rows])
+        length_bytes = bytes(raw[4 + rows : head])
+        if np is not None:
+            tags = np.frombuffer(tag_bytes, dtype=np.uint8)
+            lengths = np.frombuffer(length_bytes, dtype="<u4").astype(np.int64)
+            offsets = head + np.cumsum(lengths) - lengths
+            total = int(lengths.sum())
+            bad_tag = tags.max(initial=0) > _TAG_RLE
+        else:
+            tags = list(tag_bytes)
+            lengths = [
+                int.from_bytes(length_bytes[4 * i : 4 * i + 4], "little")
+                for i in range(rows)
+            ]
+            offsets, cursor = [], head
+            for length in lengths:
+                offsets.append(cursor)
+                cursor += length
+            total = cursor - head
+            bad_tag = any(tag > _TAG_RLE for tag in tags)
+        if bad_tag:
+            raise ShardFormatError(
+                f"corrupt encoded shard {meta['file']}: unknown row codec tag"
+            )
+        if head + total != size:
+            raise ShardFormatError(
+                f"corrupt encoded shard {meta['file']}: payload length mismatch"
+            )
+        header = (tags, lengths, offsets)
+        self._header_cache[shard] = header
+        return header
+
+    def _decode_row_local(self, shard: int, local: int) -> int:
+        """Decode one encoded row into an integer bitmask."""
+        tags, lengths, offsets = self._encoded_header(shard)
+        offset, length = int(offsets[local]), int(lengths[local])
+        data = self._maps[shard][offset : offset + length]
+        return _decode_payload_mask(int(tags[local]), data, self.n, self._row_bytes)
+
+    def chunk_masks(self, shard: int) -> list[int]:
+        """One shard's rows as integer bitmasks (decoding if needed)."""
+        if self._closed:
+            raise ShardFormatError(f"repository {self.path} is closed")
+        rows = int(self._shard_meta[shard]["rows"])
+        if self._layouts[shard] == _LAYOUT_RAW:
+            raw = self._maps[shard] if self._maps[shard] is not None else b""
+            row_bytes = self._row_bytes
+            return [
+                int.from_bytes(raw[i * row_bytes : (i + 1) * row_bytes], "little")
+                for i in range(rows)
+            ]
+        return [self._decode_row_local(shard, i) for i in range(rows)]
+
+    def chunk_matrix(self, shard: int) -> "np.ndarray":
+        """One shard as a ``(rows, words)`` ``uint64`` matrix.
+
+        Raw shards are zero-copy read-only views over the ``mmap``;
+        encoded shards decode into a freshly packed matrix (one chunk of
+        resident memory, the same budget the scan accounting charges).
+        """
+        if np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("numpy is required for matrix chunk access")
+        if self._closed:
+            raise ShardFormatError(f"repository {self.path} is closed")
+        rows = int(self._shard_meta[shard]["rows"])
+        if self._layouts[shard] == _LAYOUT_RAW:
+            raw = self._maps[shard] if self._maps[shard] is not None else b""
+            matrix = np.frombuffer(raw, dtype="<u8", count=rows * self.words)
+            return matrix.reshape(rows, self.words)
+        row_bytes = self._row_bytes
+        data = b"".join(
+            mask.to_bytes(row_bytes, "little") for mask in self.chunk_masks(shard)
+        )
+        return np.frombuffer(data, dtype="<u8").reshape(rows, self.words)
+
+    # ------------------------------------------------------------------
     # Sequential chunk access (the out-of-core scan primitives)
     # ------------------------------------------------------------------
-    def iter_chunk_bytes(self) -> Iterator[tuple[int, int, "mmap.mmap | bytes"]]:
-        """Yield ``(start_row, rows, raw_buffer)`` per shard, in order."""
+    def iter_chunk_matrices(self) -> Iterator[tuple[int, "np.ndarray"]]:
+        """Yield ``(start_row, matrix)`` per shard as ``(rows, words)`` arrays.
+
+        Matrices are in the exact block layout of
+        :class:`~repro.setsystem.packed.NumpyPackedFamily` — zero-copy
+        views for raw shards, decoded buffers for encoded ones.
+        """
+        if np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("numpy is required for matrix chunk access")
         if self._closed:
             raise ShardFormatError(
                 f"repository {self.path} is closed; scanning it would "
                 "silently yield an empty family"
             )
-        for meta, mm, start in zip(self._shard_meta, self._maps, self._starts):
-            yield start, int(meta["rows"]), (mm if mm is not None else b"")
-
-    def iter_chunk_matrices(self) -> Iterator[tuple[int, "np.ndarray"]]:
-        """Yield ``(start_row, matrix)`` per shard as ``(rows, words)`` arrays.
-
-        Matrices are zero-copy read-only views over the shard's ``mmap``
-        in the exact block layout of
-        :class:`~repro.setsystem.packed.NumpyPackedFamily`.
-        """
-        if np is None:  # pragma: no cover - guarded by callers
-            raise RuntimeError("numpy is required for matrix chunk access")
-        for start, rows, raw in self.iter_chunk_bytes():
-            matrix = np.frombuffer(raw, dtype="<u8", count=rows * self.words)
-            yield start, matrix.reshape(rows, self.words)
+        for shard, start in enumerate(self._starts):
+            yield start, self.chunk_matrix(shard)
 
     def iter_chunk_masks(self) -> Iterator[tuple[int, list[int]]]:
         """Yield ``(start_row, masks)`` per shard as integer-bitmask lists.
 
-        Pure-Python decode path (no numpy): one ``int.from_bytes`` per
-        row, reading each chunk's bytes straight off the ``mmap``.
+        Pure-Python decode path (no numpy required for any layout).
         """
-        row_bytes = self._row_bytes
-        for start, rows, raw in self.iter_chunk_bytes():
-            yield start, [
-                int.from_bytes(raw[i * row_bytes : (i + 1) * row_bytes], "little")
-                for i in range(rows)
-            ]
+        if self._closed:
+            raise ShardFormatError(
+                f"repository {self.path} is closed; scanning it would "
+                "silently yield an empty family"
+            )
+        for shard, start in enumerate(self._starts):
+            yield start, self.chunk_masks(shard)
 
     def iter_row_masks(self) -> Iterator[int]:
         """Yield every row as an arbitrary-precision integer bitmask."""
@@ -486,6 +952,148 @@ class ShardedRepository:
             yield frozenset(bits_of(mask))
 
     # ------------------------------------------------------------------
+    # Fused shard scans (the executor's per-chunk unit of work)
+    # ------------------------------------------------------------------
+    def scan_shard(
+        self,
+        shard: int,
+        mask: ScanMask,
+        min_capture_gain: "int | None" = None,
+        capture_ids=None,
+        best_only: bool = False,
+    ):
+        """Gains + captured projections for one shard against a residual.
+
+        The per-chunk unit of a gains scan (DESIGN.md §6): raw shards run
+        the dense chunk kernel on their zero-copy matrix view; encoded
+        shards run the **fused decode-and-gain kernels** — sparse rows
+        gather mask bits per element id and run-length rows difference a
+        prefix popcount, neither ever materializing dense words.
+
+        Returns ``(start_row, gains, captured)`` with the same semantics
+        as :func:`repro.setsystem.packed.scan_chunk`.
+        """
+        if self._closed:
+            raise ShardFormatError(f"repository {self.path} is closed")
+        start = self._starts[shard]
+        rows = int(self._shard_meta[shard]["rows"])
+        if mask.is_empty:
+            gains = np.zeros(rows, dtype=np.int64) if np is not None else [0] * rows
+            return start, gains, []
+        if self._layouts[shard] == _LAYOUT_RAW:
+            chunk = (
+                self.chunk_matrix(shard) if np is not None else self.chunk_masks(shard)
+            )
+            gains, captured = scan_chunk(
+                start, chunk, mask,
+                min_capture_gain=min_capture_gain,
+                capture_ids=capture_ids,
+                best_only=best_only,
+            )
+            return start, gains, captured
+        if np is None:
+            gains, captured = scan_chunk(
+                start, self.chunk_masks(shard), mask,
+                min_capture_gain=min_capture_gain,
+                capture_ids=capture_ids,
+                best_only=best_only,
+            )
+            return start, gains, captured
+        gains = self._encoded_gains(shard, rows, mask)
+        captured = self._encoded_captures(
+            shard, start, gains, mask, min_capture_gain, capture_ids, best_only
+        )
+        return start, gains, captured
+
+    def _encoded_gains(self, shard: int, rows: int, mask: ScanMask) -> "np.ndarray":
+        """Whole-shard fused gains for an encoded shard (numpy path)."""
+        tags, lengths, offsets = self._encoded_header(shard)
+        payload = np.frombuffer(self._maps[shard], dtype=np.uint8)
+        gains = np.zeros(rows, dtype=np.int64)
+        max_bytes = max(1, (int(self.n).bit_length() + 6) // 7) if self.n else 1
+        row_bytes = self._row_bytes
+        meta_file = self._shard_meta[shard]["file"]
+
+        sel = np.flatnonzero(tags == _TAG_SPARSE)
+        if sel.size:
+            seg = _ragged_gather(payload, offsets[sel], lengths[sel])
+            values, ends = _bulk_varints(seg, max_bytes)
+            counts = _varint_counts(ends, lengths[sel])
+            if values.size:
+                first = np.cumsum(counts) - counts
+                nonzero = counts > 0
+                is_first = np.zeros(values.size, dtype=bool)
+                is_first[first[nonzero]] = True
+                if values[~is_first].size and int(values[~is_first].min()) < 1:
+                    raise ShardFormatError(
+                        f"corrupt encoded shard {meta_file}: "
+                        "non-increasing sparse row"
+                    )
+                elements = _segmented_absolutes(values, counts)
+                if int(elements.max()) >= self.n:
+                    raise ShardFormatError(
+                        f"corrupt encoded shard {meta_file}: "
+                        "element outside the ground set"
+                    )
+                row_ids = np.repeat(sel, counts)
+                hits = membership_hits(elements, mask.arr)
+                gains += np.bincount(row_ids[hits], minlength=rows)
+
+        sel = np.flatnonzero(tags == _TAG_RLE)
+        if sel.size:
+            seg = _ragged_gather(payload, offsets[sel], lengths[sel])
+            values, ends = _bulk_varints(seg, max_bytes)
+            counts = _varint_counts(ends, lengths[sel])
+            if (counts % 2).any():
+                raise ShardFormatError(
+                    f"corrupt encoded shard {meta_file}: dangling run-length pair"
+                )
+            if values.size:
+                skips, stored = values[0::2], values[1::2]
+                run_lens = stored + 1
+                pair_counts = counts // 2
+                run_ends = _segmented_absolutes(skips + run_lens, pair_counts)
+                run_starts = run_ends - run_lens
+                if int(run_ends.max()) > self.n:
+                    raise ShardFormatError(
+                        f"corrupt encoded shard {meta_file}: "
+                        "run outside the ground set"
+                    )
+                row_ids = np.repeat(sel, pair_counts)
+                gains += range_gains(run_starts, run_ends, row_ids, rows, mask.prefix)
+
+        sel = np.flatnonzero(tags == _TAG_DENSE)
+        if sel.size:
+            if (lengths[sel] != row_bytes).any():
+                raise ShardFormatError(
+                    f"corrupt encoded shard {meta_file}: dense row length mismatch"
+                )
+            if row_bytes:
+                positions = offsets[sel][:, None] + np.arange(row_bytes, dtype=np.int64)
+                matrix = (
+                    np.ascontiguousarray(payload[positions]).view("<u8")
+                )
+                gains[sel] = chunk_gains(matrix, mask.arr)
+        return gains
+
+    def _encoded_captures(
+        self, shard, start, gains, mask, min_capture_gain, capture_ids, best_only
+    ) -> list:
+        candidates: list[int] = []
+        if best_only:
+            local = first_argmax(gains)
+            if local >= 0:
+                candidates = [local]
+        elif min_capture_gain is not None:
+            for local in np.flatnonzero(gains >= min_capture_gain):
+                if capture_ids is None or start + int(local) in capture_ids:
+                    candidates.append(int(local))
+        return [
+            (start + local, self._decode_row_local(shard, local) & mask.mask_int)
+            for local in candidates
+        ]
+
+    # ------------------------------------------------------------------
     # Referee access (tests and verification, not the streaming model)
     # ------------------------------------------------------------------
     def row_mask(self, i: int) -> int:
@@ -496,6 +1104,8 @@ class ShardedRepository:
             raise IndexError(f"row {i} outside [0, {self.m})")
         shard = bisect_right(self._starts, i) - 1
         local = i - self._starts[shard]
+        if self._layouts[shard] == _LAYOUT_ENCODED:
+            return self._decode_row_local(shard, local)
         raw = self._maps[shard] if self._maps[shard] is not None else b""
         row_bytes = self._row_bytes
         return int.from_bytes(raw[local * row_bytes : (local + 1) * row_bytes], "little")
@@ -511,5 +1121,6 @@ class ShardedRepository:
     def __repr__(self) -> str:
         return (
             f"ShardedRepository(n={self.n}, m={self.m}, "
-            f"shards={self.shard_count}, chunk_rows={self.chunk_rows})"
+            f"shards={self.shard_count}, chunk_rows={self.chunk_rows}, "
+            f"schema={self.schema!r})"
         )

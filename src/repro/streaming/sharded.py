@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.setsystem.parallel import JOBS_AUTO, executor_for
 from repro.setsystem.set_system import SetSystem
 from repro.setsystem.shards import ShardedRepository
 from repro.streaming.stream import SetStreamBase
@@ -53,17 +54,26 @@ class ShardedSetStream(SetStreamBase):
         a shard directory (opened, and then owned, by the stream).
     verify:
         When opening from a path: verify shard checksums first.
+    jobs:
+        Scan-executor parallelism for :meth:`~repro.streaming.stream.SetStreamBase.scan_gains`
+        (``"auto"`` or a positive worker count).  Worker processes
+        re-open the repository and scan whole shards via their own
+        ``mmap``; covers, pass counts and tie-breaks are identical at
+        every setting (DESIGN.md §6).
     """
 
     def __init__(
         self,
         repository: "ShardedRepository | str | Path",
         verify: bool = False,
+        jobs=JOBS_AUTO,
     ):
         super().__init__()
         if isinstance(repository, (str, Path)):
             repository = ShardedRepository(repository, verify=verify)
         self._repo = repository
+        self._jobs = jobs
+        self._executor = None
         self._materialized: "SetSystem | None" = None
 
     # ------------------------------------------------------------------
@@ -120,6 +130,31 @@ class ShardedSetStream(SetStreamBase):
         if backend == "python":
             return self._repo.iter_chunk_masks()
         raise ValueError(f"unsupported chunk backend {backend!r}")
+
+    # -- executor-driven gains scans -----------------------------------
+    @property
+    def jobs(self) -> int:
+        """The resolved scan-executor worker count."""
+        return self._scan_executor().jobs
+
+    def _scan_executor(self):
+        if self._executor is None:
+            self._executor = executor_for(
+                self._jobs, repository_words=self._repo.repository_words
+            )
+        return self._executor
+
+    def _scan_gains_chunked(
+        self, mask_int, min_capture_gain, capture_ids, best_only, include_gains
+    ):
+        return self._scan_executor().iter_scan_repository(
+            self._repo,
+            mask_int,
+            min_capture_gain=min_capture_gain,
+            capture_ids=capture_ids,
+            best_only=best_only,
+            include_gains=include_gains,
+        )
 
     # ------------------------------------------------------------------
     def verify_solution(self, selection) -> bool:

@@ -33,7 +33,19 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
+from repro.setsystem.parallel import (
+    JOBS_AUTO,
+    ScanResult,
+    executor_for,
+    merge_scan_parts,
+)
+from repro.setsystem.packed import ScanMask
 from repro.setsystem.set_system import SetSystem
+
+try:  # the scan fast path prefers packed matrices; big-ints otherwise
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
 
 __all__ = [
     "SetStream",
@@ -156,7 +168,7 @@ class SetStreamBase:
     def _chunk_rows(self, backend: str) -> Iterator[tuple[int, object]]:
         raise NotImplementedError  # pragma: no cover - overridden
 
-    # -- the three pass flavours ---------------------------------------
+    # -- the pass flavours ---------------------------------------------
     def iterate(self) -> Iterator[tuple[int, frozenset[int]]]:
         """Open a pass and yield ``(set_id, set)`` in repository order."""
         return self._scan(self._frozenset_rows)
@@ -183,6 +195,70 @@ class SetStreamBase:
         """
         return self._scan(lambda: self._chunk_rows(backend))
 
+    # -- executor-driven gains scans -----------------------------------
+    def scan_gains_chunked(
+        self,
+        mask_int: int,
+        min_capture_gain: "int | None" = None,
+        capture_ids=None,
+        best_only: bool = False,
+        include_gains: bool = True,
+    ) -> Iterator[tuple[int, object, list]]:
+        """Open a pass yielding ``(start, gains, captured)`` per chunk.
+
+        The fourth pass flavour (DESIGN.md §6): one sequential scan,
+        executed chunk-by-chunk by the stream's
+        :class:`~repro.setsystem.parallel.ScanExecutor` (serial or
+        multi-process, per the stream's ``jobs`` knob) and delivered in
+        chunk order — results are bit-identical at every ``jobs``
+        setting.  Same access discipline and pass accounting as
+        :meth:`iterate`: one read head, the scan counts one pass.
+
+        Each chunk's ``captured`` holds ``(row_id, row ∩ mask)``
+        projections for rows reaching ``min_capture_gain`` (optionally
+        restricted to ``capture_ids``), or only the chunk's first-max
+        row with ``best_only``.  Consuming chunk-by-chunk is the
+        bounded-capture discipline: a replay holds at most one chunk's
+        captures at a time and reports the largest batch as
+        ``scan_capture_peak_words`` (DESIGN.md §6.1).  Callers that do
+        not need per-row gains pass ``include_gains=False`` and the
+        gains vectors are never materialized driver-side.
+        """
+        return self._scan(
+            lambda: self._scan_gains_chunked(
+                mask_int, min_capture_gain, capture_ids, best_only, include_gains
+            )
+        )
+
+    def scan_gains(
+        self,
+        mask_int: int,
+        min_capture_gain: "int | None" = None,
+        capture_ids=None,
+        best_only: bool = False,
+        include_gains: bool = True,
+    ) -> ScanResult:
+        """One full gains scan, merged (eager :meth:`scan_gains_chunked`).
+
+        Convenience for callers that want the whole ``gains`` vector at
+        once (benchmarks, parity checks); algorithms replay through
+        :meth:`scan_gains_chunked` instead, so their capture scratch
+        stays bounded by one chunk.
+        """
+        return merge_scan_parts(
+            list(
+                self.scan_gains_chunked(
+                    mask_int, min_capture_gain, capture_ids, best_only,
+                    include_gains,
+                )
+            )
+        )
+
+    def _scan_gains_chunked(
+        self, mask_int, min_capture_gain, capture_ids, best_only, include_gains
+    ):
+        raise NotImplementedError  # pragma: no cover - overridden
+
 
 class SetStream(SetStreamBase):
     """Sequential, pass-counted access to an in-memory set system.
@@ -193,6 +269,11 @@ class SetStream(SetStreamBase):
         The underlying instance.  The ground set (``system.n``) is public —
         the paper stores the element universe in memory in advance — but the
         family may only be read through :meth:`iterate`.
+    jobs:
+        Scan-executor parallelism for :meth:`scan_gains` (``"auto"`` or a
+        positive worker count).  ``auto`` stays serial for in-memory
+        instances below the parallel threshold.  Results are identical
+        at every setting (DESIGN.md §6).
 
     Examples
     --------
@@ -204,9 +285,11 @@ class SetStream(SetStreamBase):
     1
     """
 
-    def __init__(self, system: SetSystem):
+    def __init__(self, system: SetSystem, jobs=JOBS_AUTO):
         super().__init__()
         self._system = system
+        self._jobs = jobs
+        self._executor = None
 
     # ------------------------------------------------------------------
     @property
@@ -238,6 +321,58 @@ class SetStream(SetStreamBase):
         if backend == "python":
             return iter([(0, self._system.masks())])
         raise ValueError(f"unsupported chunk backend {backend!r}")
+
+    # -- executor-driven gains scans -----------------------------------
+    @property
+    def jobs(self) -> int:
+        """The resolved scan-executor worker count."""
+        return self._scan_executor().jobs
+
+    def _scan_executor(self):
+        if self._executor is None:
+            words = (self.n + 63) // 64
+            self._executor = executor_for(
+                self._jobs, repository_words=self.m * words
+            )
+        return self._executor
+
+    def _scan_gains_chunked(
+        self, mask_int, min_capture_gain, capture_ids, best_only, include_gains
+    ):
+        executor = self._scan_executor()
+        mask = ScanMask(self.n, mask_int)
+        return executor.iter_scan_chunks(
+            self.n,
+            self._scan_chunk_source(executor.jobs),
+            mask,
+            min_capture_gain=min_capture_gain,
+            capture_ids=capture_ids,
+            best_only=best_only,
+            include_gains=include_gains,
+        )
+
+    def _scan_chunk_source(self, jobs: int):
+        """Virtual chunks of the in-RAM family for the scan executor.
+
+        Serial scans take the whole family as one chunk; parallel scans
+        split it into ``2 * jobs`` row slices so workers load-balance.
+        The split never changes results — chunks merge by start row.
+        """
+        m = self._system.m
+        if m == 0:
+            return []
+        chunk_rows = m if jobs <= 1 else max(1, -(-m // (2 * jobs)))
+        if np is not None:
+            matrix = self._system.packed("numpy").matrix
+            return [
+                (start, matrix[start : start + chunk_rows])
+                for start in range(0, m, chunk_rows)
+            ]
+        masks = self._system.masks()
+        return [
+            (start, masks[start : start + chunk_rows])
+            for start in range(0, m, chunk_rows)
+        ]
 
     # ------------------------------------------------------------------
     def verify_solution(self, selection) -> bool:

@@ -121,6 +121,43 @@ class TestExperiments:
         assert "report saved" in out
 
 
+class TestJobs:
+    @pytest.fixture
+    def instance_path(self, tmp_path):
+        path = tmp_path / "inst.json"
+        main(["generate", "planted", str(path), "--n", "40", "--m", "30",
+              "--opt", "4", "--seed", "3"])
+        return str(path)
+
+    def test_solve_accepts_jobs(self, instance_path, tmp_path, capsys):
+        shards = tmp_path / "inst.shards"
+        main(["shard", instance_path, str(shards), "--chunk-rows", "7"])
+        capsys.readouterr()
+        assert main(["solve", instance_path, "--algorithm", "threshold",
+                     "--jobs", "2"]) == 0
+        memory_out = capsys.readouterr().out
+        assert main(["solve", str(shards), "--algorithm", "threshold",
+                     "--jobs", "auto"]) == 0
+        sharded_out = capsys.readouterr().out
+        pick = lambda out, key: [l for l in out.splitlines() if l.startswith(key)]
+        assert pick(sharded_out, "result") == pick(memory_out, "result")
+
+    @pytest.mark.parametrize("command", [
+        ["solve", "x", "--jobs", "0"],
+        ["solve", "x", "--jobs", "-2"],
+        ["solve", "x", "--jobs", "lots"],
+        ["bench", "--jobs", "1.5"],
+        ["experiments", "--jobs", "none"],
+    ])
+    def test_invalid_jobs_rejected(self, command):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(command)
+
+    def test_jobs_defaults_to_auto(self):
+        for command in (["solve", "x"], ["bench"], ["experiments"]):
+            assert build_parser().parse_args(command).jobs == "auto"
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

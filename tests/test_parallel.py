@@ -1,0 +1,289 @@
+"""Parallel scan executor: jobs x encoding parity, SHM transport, knobs.
+
+The contract under test (DESIGN.md §6): for every algorithm, every
+repository encoding and every ``jobs`` setting, covers, pass counts and
+the resident-buffer accounting are **bit-identical** — the executor is
+an execution detail, never an observable one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MultiPassGreedy, ThresholdGreedy
+from repro.bench import SCALES, build_instance
+from repro.core import IterSetCoverConfig, iter_set_cover
+from repro.partial.streaming import PartialIterSetCover
+from repro.setsystem import SetSystem
+from repro.setsystem import parallel as parallel_mod
+from repro.setsystem.parallel import (
+    ProcessScanExecutor,
+    SerialScanExecutor,
+    executor_for,
+    resolve_jobs,
+    shutdown_pools,
+)
+from repro.setsystem.shards import write_shards
+from repro.streaming import SetStream, ShardedSetStream
+
+ENCODINGS_UNDER_TEST = ("dense", "auto")
+JOBS_UNDER_TEST = (1, 2, 4)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _reap_pools():
+    yield
+    shutdown_pools()
+
+
+def _random_system(rng: np.random.Generator) -> SetSystem:
+    n = int(rng.integers(1, 50))
+    m = int(rng.integers(1, 30))
+    sets = []
+    for _ in range(m):
+        size = int(rng.integers(0, n + 1))
+        sets.append(rng.choice(n, size=size, replace=False).tolist())
+    return SetSystem(n, sets)
+
+
+def _fingerprint(result, stream):
+    return (
+        result.selection,
+        result.passes,
+        result.feasible,
+        result.peak_memory_words,
+        stream.resident_words,
+    )
+
+
+# ----------------------------------------------------------------------
+# Knob resolution
+# ----------------------------------------------------------------------
+def test_resolve_jobs_validation():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs("4") == 4  # CLI plumbing
+    assert resolve_jobs("auto", repository_words=0) == 1
+    assert resolve_jobs(None) == resolve_jobs("auto")
+    for bad in (0, -1, "zero", 1.5, "many"):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(bad)
+
+
+def test_executor_for_picks_backend():
+    assert isinstance(executor_for(1), SerialScanExecutor)
+    executor = executor_for(3)
+    assert isinstance(executor, ProcessScanExecutor)
+    assert executor.jobs == 3
+    with pytest.raises(ValueError):
+        ProcessScanExecutor(1)
+
+
+def test_streams_expose_resolved_jobs(tmp_path):
+    system = SetSystem(8, [[0, 1], [2]])
+    assert SetStream(system).jobs == 1  # auto stays serial on tiny inputs
+    assert SetStream(system, jobs=2).jobs == 2
+    path = write_shards(tmp_path / "r", system)
+    stream = ShardedSetStream(path, jobs=3)
+    assert stream.jobs == 3
+    stream.close()
+
+
+# ----------------------------------------------------------------------
+# Scan-level parity: gains, captures, both stream kinds, SHM transport
+# ----------------------------------------------------------------------
+def test_scan_gains_identical_across_jobs_and_encodings(tmp_path):
+    rng = np.random.default_rng(11)
+    for case in range(25):
+        system = _random_system(rng)
+        mask_int = int(rng.integers(0, 2 ** system.n)) if system.n < 60 else (
+            sum(1 << e for e in range(0, system.n, 2))
+        )
+        reference = None
+        streams = [lambda j: SetStream(system, jobs=j)]
+        for encoding in ENCODINGS_UNDER_TEST:
+            path = write_shards(
+                tmp_path / f"{case}-{encoding}", system,
+                chunk_rows=int(rng.integers(1, 8)), encoding=encoding,
+            )
+            streams.append(
+                lambda j, p=path: ShardedSetStream(p, jobs=j)
+            )
+        for make in streams:
+            for jobs in JOBS_UNDER_TEST:
+                stream = make(jobs)
+                scan = stream.scan_gains(mask_int, min_capture_gain=1)
+                got = ([int(g) for g in scan.gains], scan.captured)
+                if reference is None:
+                    reference = got
+                else:
+                    assert got == reference
+                assert stream.passes == 1
+
+
+def test_shared_memory_mask_transport(tmp_path, monkeypatch):
+    """Force the SHM path (normally only for huge masks) and check parity."""
+    monkeypatch.setattr(parallel_mod, "_SHM_MIN_MASK_BYTES", 0)
+    system = SetSystem(100, [[i, (i * 7) % 100] for i in range(40)])
+    path = write_shards(tmp_path / "shm", system, chunk_rows=6)
+    mask_int = sum(1 << e for e in range(0, 100, 3))
+    serial = ShardedSetStream(path, jobs=1).scan_gains(mask_int, min_capture_gain=1)
+    parallel = ShardedSetStream(path, jobs=2).scan_gains(mask_int, min_capture_gain=1)
+    assert [int(g) for g in serial.gains] == [int(g) for g in parallel.gains]
+    assert serial.captured == parallel.captured
+
+
+def test_best_only_capture_is_the_global_first_max(tmp_path):
+    system = SetSystem(12, [[0, 1], [2, 3, 4], [5, 6, 7], [8]])
+    path = write_shards(tmp_path / "best", system, chunk_rows=1)
+    for jobs in (1, 2):
+        stream = ShardedSetStream(path, jobs=jobs)
+        scan = stream.scan_gains((1 << 12) - 1, best_only=True)
+        from repro.setsystem.packed import first_argmax
+
+        best = first_argmax(scan.gains)
+        assert best == 1  # first of the two 3-gain rows
+        assert any(i == best for i, _ in scan.captured)
+        stream.close()
+
+
+# ----------------------------------------------------------------------
+# Algorithm-level parity: the satellite property test
+# ----------------------------------------------------------------------
+def test_threshold_parity_on_100_random_instances(tmp_path):
+    """covers/passes/resident_words identical across jobs x encoding."""
+    rng = np.random.default_rng(23)
+    for case in range(105):
+        system = _random_system(rng)
+        chunk_rows = int(rng.integers(1, 8))
+        reference = None
+        for encoding in ENCODINGS_UNDER_TEST:
+            path = write_shards(tmp_path / f"t{case}-{encoding}", system,
+                                chunk_rows=chunk_rows, encoding=encoding)
+            jobs_axis = (1, 2) if case % 5 else JOBS_UNDER_TEST
+            for jobs in jobs_axis:
+                stream = ShardedSetStream(path, jobs=jobs)
+                result = ThresholdGreedy().solve(stream)
+                fingerprint = _fingerprint(result, stream)
+                if reference is None:
+                    reference = fingerprint
+                else:
+                    assert fingerprint == reference, (case, encoding, jobs)
+                stream.close()
+        # The in-memory stream agrees too (modulo its zero buffer).
+        memory = ThresholdGreedy().solve(SetStream(system))
+        assert memory.selection == reference[0]
+        assert memory.passes == reference[1]
+
+
+def test_iter_set_cover_parity_on_random_instances(tmp_path):
+    rng = np.random.default_rng(31)
+    for case in range(20):
+        system = _random_system(rng)
+        seed = int(rng.integers(0, 2**31))
+        kwargs = dict(delta=0.5, seed=seed, use_polylog_factors=False,
+                      include_rho=False)
+        chunk_rows = int(rng.integers(1, 6))  # same geometry for every config
+        reference = None
+        for encoding in ENCODINGS_UNDER_TEST:
+            path = write_shards(tmp_path / f"i{case}-{encoding}", system,
+                                chunk_rows=chunk_rows, encoding=encoding)
+            for jobs in (1, 2):
+                stream = ShardedSetStream(path, jobs=jobs)
+                result = iter_set_cover(stream, **kwargs)
+                fingerprint = _fingerprint(result, stream)
+                if reference is None:
+                    reference = fingerprint
+                else:
+                    assert fingerprint == reference, (case, encoding, jobs)
+                stream.close()
+
+
+@pytest.mark.parametrize("name,workload,params", SCALES["paper"])
+def test_paper_roster_parity_across_jobs_and_encodings(
+    tmp_path, name, workload, params
+):
+    """The paper bench roster, full algorithm set, jobs in {1, 2, 4}."""
+    system, _ = build_instance(workload, params, seed=0)
+    algorithms = [
+        ("threshold", lambda stream: ThresholdGreedy().solve(stream)),
+        ("multipass", lambda stream: MultiPassGreedy(max_passes=4).solve(stream)),
+        (
+            "iter",
+            lambda stream: iter_set_cover(
+                stream, delta=0.5, seed=7,
+                use_polylog_factors=False, include_rho=False,
+            ),
+        ),
+        (
+            "partial-iter",
+            lambda stream: PartialIterSetCover(
+                eps=0.1, seed=7,
+                config=IterSetCoverConfig(
+                    use_polylog_factors=False, include_rho=False
+                ),
+            ).solve(stream),
+        ),
+    ]
+    fingerprints: dict[str, tuple] = {}
+    for encoding in ENCODINGS_UNDER_TEST:
+        path = write_shards(tmp_path / f"{name}-{encoding}", system,
+                            encoding=encoding)
+        for jobs in JOBS_UNDER_TEST:
+            for algo_name, run in algorithms:
+                stream = ShardedSetStream(path, jobs=jobs)
+                result = run(stream)
+                fingerprint = _fingerprint(result, stream)
+                reference = fingerprints.setdefault(algo_name, fingerprint)
+                assert fingerprint == reference, (algo_name, encoding, jobs)
+                stream.close()
+
+
+def test_capture_only_scans_omit_the_gains_vector(tmp_path):
+    system = SetSystem(16, [[0, 1], [2]])
+    path = write_shards(tmp_path / "nog", system)
+    stream = ShardedSetStream(path)
+    scan = stream.scan_gains((1 << 16) - 1, min_capture_gain=1,
+                             include_gains=False)
+    assert scan.gains is None
+    assert [i for i, _ in scan.captured] == [0, 1]
+    from repro.setsystem.parallel import capture_words
+
+    assert capture_words(scan.captured) == (2 + 1) + (1 + 1)
+    stream.close()
+
+
+def test_capture_scratch_is_chunk_bounded(tmp_path):
+    """Replays hold at most one chunk's captured projections.
+
+    Regression: m near-duplicate heavy sets all clear the pass-start
+    threshold.  With one big chunk their projections are co-resident
+    (and reported); with small chunks the chunk-streamed replay caps
+    the scratch at a chunk's worth — it must never scale with m."""
+    n, m = 64, 50
+    system = SetSystem(n, [list(range(n)) for _ in range(m)])
+
+    coarse = write_shards(tmp_path / "coarse", system, chunk_rows=m)
+    result = ThresholdGreedy().solve(ShardedSetStream(coarse))
+    assert result.extra["scan_capture_peak_words"] >= m * (n + 1)
+
+    fine = write_shards(tmp_path / "fine", system, chunk_rows=2)
+    bounded = ThresholdGreedy().solve(ShardedSetStream(fine))
+    assert bounded.extra["scan_capture_peak_words"] <= 2 * (n + 1)
+    assert bounded.selection == result.selection == [0]
+
+
+def test_set_stream_algorithms_with_process_jobs():
+    """In-memory streams accept jobs too (chunks ship to the workers)."""
+    system, _ = build_instance("planted", dict(n=100, m=200, opt=8), seed=1)
+    for algo in (
+        lambda s: ThresholdGreedy().solve(s),
+        lambda s: iter_set_cover(s, delta=0.5, seed=3,
+                                 use_polylog_factors=False, include_rho=False),
+    ):
+        baseline = algo(SetStream(system, jobs=1))
+        parallel = algo(SetStream(system, jobs=2))
+        assert parallel.selection == baseline.selection
+        assert parallel.passes == baseline.passes
+        assert parallel.peak_memory_words == baseline.peak_memory_words

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import zlib
 
 import numpy as np
 import pytest
@@ -11,9 +12,12 @@ from repro.baselines import MultiPassGreedy, StoreAllGreedy, ThresholdGreedy
 from repro.core import iter_set_cover
 from repro.partial.streaming import PartialIterSetCover, PartialThreshold
 from repro.setsystem import SetSystem
+from repro.setsystem.packed import ScanMask
 from repro.setsystem.shards import (
+    ENCODINGS,
     MANIFEST_NAME,
     SHARD_SCHEMA,
+    SHARD_SCHEMA_V1,
     ShardedRepository,
     ShardFormatError,
     ShardWriter,
@@ -86,6 +90,218 @@ def test_writer_validates_elements_and_geometry(tmp_path):
     write_shards(tmp_path / "w3", SetSystem(2, [[0]]))
     with pytest.raises(ShardFormatError, match="refusing to overwrite"):
         ShardWriter(tmp_path / "w3", n=2)
+
+
+# ----------------------------------------------------------------------
+# v2 encodings: round-trips, v1 compatibility, fused scans
+# ----------------------------------------------------------------------
+def _mixed_system() -> SetSystem:
+    """Rows that exercise every codec: runs, sparse points, dense noise.
+
+    Ordered so that (at ``chunk_rows=2``) the first chunk is all-dense —
+    written raw — while later chunks mix codecs and come out encoded.
+    """
+    n = 256
+    rng = np.random.default_rng(5)
+    sets = [
+        sorted(rng.choice(n, size=200, replace=False).tolist()),  # dense
+        list(range(0, 256, 2)),                                  # alternating
+        list(range(40, 200)),                                    # run-length
+        [0, 255],                                                # sparse
+        [],                                                      # empty
+        [7],                                                     # singleton
+    ]
+    return SetSystem(n, sets)
+
+
+@pytest.mark.parametrize("encoding", ENCODINGS)
+def test_v2_roundtrip_every_encoding(tmp_path, encoding):
+    system = _mixed_system()
+    path = write_shards(tmp_path / encoding, system, chunk_rows=2,
+                        encoding=encoding)
+    with ShardedRepository(path, verify=True) as repo:
+        assert repo.schema == SHARD_SCHEMA
+        assert repo.encoding == encoding
+        assert repo.to_system() == system
+        for i in range(system.m):
+            assert repo.row_mask(i) == system.masks()[i]
+
+
+def test_auto_encoding_mixes_layouts_and_shrinks_sparse(tmp_path):
+    system = _mixed_system()
+    auto = write_shards(tmp_path / "auto", system, chunk_rows=2)
+    dense = write_shards(tmp_path / "dense", system, chunk_rows=2,
+                         encoding="dense")
+    with ShardedRepository(auto) as a, ShardedRepository(dense) as d:
+        layouts = {meta["layout"] for meta in a._shard_meta}
+        assert layouts == {"raw", "encoded"}  # dense rows stay raw chunks
+        assert a.disk_bytes < d.disk_bytes
+        assert a.to_system() == d.to_system() == system
+        # The resident-buffer accounting is encoding-invariant.
+        assert a.chunk_words == d.chunk_words
+
+    sparse = sparse_uniform_instance(512, 200, expected_size=6, seed=9)
+    small = write_shards(tmp_path / "s-auto", sparse)
+    big = write_shards(tmp_path / "s-dense", sparse, encoding="dense")
+    with ShardedRepository(small) as a, ShardedRepository(big) as d:
+        assert a.disk_bytes * 2 <= d.disk_bytes  # the >=2x reduction regime
+
+
+def test_v1_repository_still_opens_and_scans(tmp_path):
+    """A v1 manifest (raw shards, no layout/encoding keys) reads unchanged."""
+    system = _mixed_system()
+    path = write_shards(tmp_path / "v1", system, chunk_rows=2,
+                        encoding="dense")
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    manifest["schema"] = SHARD_SCHEMA_V1
+    del manifest["encoding"]
+    for meta in manifest["shards"]:
+        del meta["layout"]
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with ShardedRepository(path, verify=True) as repo:
+        assert repo.schema == SHARD_SCHEMA_V1
+        assert repo.encoding == "dense"
+        assert repo.to_system() == system
+        mask = ScanMask(repo.n, (1 << repo.n) - 1)
+        start, gains, captured = repo.scan_shard(0, mask, min_capture_gain=1)
+        assert start == 0
+        assert [int(g) for g in gains] == [len(s) for s in system.sets[:2]]
+
+
+def test_scan_shard_matches_bruteforce_per_encoding(tmp_path):
+    system = _mixed_system()
+    masks = system.masks()
+    mask_int = sum(1 << e for e in range(0, system.n, 3))
+    expected = [(m & mask_int).bit_count() for m in masks]
+    for encoding in ENCODINGS:
+        path = write_shards(tmp_path / f"scan-{encoding}", system,
+                            chunk_rows=2, encoding=encoding)
+        with ShardedRepository(path) as repo:
+            gains, captured = [], []
+            for shard in range(repo.shard_count):
+                _, g, c = repo.scan_shard(
+                    shard, ScanMask(repo.n, mask_int), min_capture_gain=1
+                )
+                gains.extend(int(x) for x in g)
+                captured.extend(c)
+            assert gains == expected, encoding
+            assert [i for i, _ in captured] == [
+                i for i, g in enumerate(expected) if g >= 1
+            ]
+            for row_id, projection in captured:
+                assert projection == masks[row_id] & mask_int
+
+
+# ----------------------------------------------------------------------
+# Writer cleanup on error
+# ----------------------------------------------------------------------
+def test_writer_aborts_cleanly_when_source_raises(tmp_path):
+    """A generator raising mid-write must leave no partial repository."""
+
+    def exploding_rows():
+        yield [0, 1]
+        yield [2]
+        raise RuntimeError("disk full, say")
+
+    target = tmp_path / "partial"
+    with pytest.raises(RuntimeError, match="disk full"):
+        write_shards(target, exploding_rows(), n=4, chunk_rows=1)
+    assert not target.exists()  # directory created by the writer: removed
+
+
+def test_writer_abort_in_preexisting_directory_removes_only_its_files(tmp_path):
+    target = tmp_path / "existing"
+    target.mkdir()
+    foreign = target / "keep.txt"
+    foreign.write_text("not a shard")
+    with pytest.raises(ValueError, match="outside the"):
+        with ShardWriter(target, n=3, chunk_rows=1) as writer:
+            writer.append([0])
+            writer.append([99])  # out of range -> abort
+    assert foreign.exists()
+    assert not (target / MANIFEST_NAME).exists()
+    assert not list(target.glob("shard-*.bin"))
+    # The directory is reusable afterwards.
+    write_shards(target, SetSystem(3, [[0], [1, 2]]))
+    with ShardedRepository(target) as repo:
+        assert repo.m == 2
+
+
+def test_writer_close_after_abort_raises(tmp_path):
+    writer = ShardWriter(tmp_path / "w", n=3, chunk_rows=1)
+    writer.append([0])
+    writer.abort()
+    with pytest.raises(ShardFormatError, match="aborted"):
+        writer.close()
+    with pytest.raises(ShardFormatError, match="closed"):
+        writer.append([1])
+
+
+# ----------------------------------------------------------------------
+# Corrupt compressed blocks fail loudly
+# ----------------------------------------------------------------------
+def _corrupt_payload_byte(path, shard_name, edit):
+    """Apply ``edit`` to a shard's bytes and re-stamp the manifest CRC,
+    so only the decode-time validation (not the checksum) can catch it."""
+    shard = path / shard_name
+    payload = bytearray(shard.read_bytes())
+    edit(payload)
+    shard.write_bytes(bytes(payload))
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    for meta in manifest["shards"]:
+        if meta["file"] == shard_name:
+            meta["crc32"] = zlib.crc32(bytes(payload))
+            meta["bytes"] = len(payload)
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+
+def test_corrupt_sparse_block_fails_loudly(tmp_path):
+    system = SetSystem(10, [[1, 5], [2]])
+    path = write_shards(tmp_path / "c1", system, chunk_rows=2,
+                        encoding="sparse")
+
+    # Row 0's payload is varint(1), varint(4); overwriting the final byte
+    # with a continuation byte leaves a varint unterminated at the row
+    # boundary.
+    def unterminate(payload):
+        payload[-2] = 0x80
+
+    _corrupt_payload_byte(path, "shard-00000.bin", unterminate)
+    with ShardedRepository(path, verify=True) as repo:  # CRC matches...
+        with pytest.raises(ShardFormatError, match="corrupt|varint"):
+            list(repo.iter_row_masks())  # ...decode still fails loudly
+        with pytest.raises(ShardFormatError, match="corrupt|varint"):
+            repo.scan_shard(0, ScanMask(10, (1 << 10) - 1), min_capture_gain=1)
+
+
+def test_corrupt_element_out_of_range_fails_loudly(tmp_path):
+    system = SetSystem(10, [[1], [2]])
+    path = write_shards(tmp_path / "c2", system, chunk_rows=2,
+                        encoding="sparse")
+
+    def oversized_element(payload):
+        payload[-2] = 0x7F  # row 0 becomes [127], outside [0, 10)
+
+    _corrupt_payload_byte(path, "shard-00000.bin", oversized_element)
+    with ShardedRepository(path) as repo:
+        with pytest.raises(ShardFormatError, match="outside"):
+            repo.row_mask(0)
+        with pytest.raises(ShardFormatError, match="corrupt"):
+            repo.scan_shard(0, ScanMask(10, (1 << 10) - 1), min_capture_gain=1)
+
+
+def test_corrupt_record_table_fails_loudly(tmp_path):
+    system = SetSystem(64, [[1, 3], [5]])
+    path = write_shards(tmp_path / "c3", system, chunk_rows=2,
+                        encoding="sparse")
+
+    def inflate_length(payload):
+        payload[4 + 2] = 0xEE  # lengths[0] no longer matches the payload
+
+    _corrupt_payload_byte(path, "shard-00000.bin", inflate_length)
+    with ShardedRepository(path) as repo:
+        with pytest.raises(ShardFormatError, match="corrupt"):
+            list(repo.iter_row_masks())
 
 
 # ----------------------------------------------------------------------
