@@ -16,15 +16,25 @@ The paper's summary table opens with the two trivial ways to stream greedy:
 All three run over any :class:`~repro.streaming.stream.SetStreamBase`
 repository — in-memory or sharded — and report the stream's resident
 chunk buffer in their peak (DESIGN.md §3.6).  ``MultiPassGreedy`` and
-``ThresholdGreedy`` drive their passes through the stream's gains-scan
-executor (``scan_gains``, DESIGN.md §6): per-pass residual gains are
-computed chunk-parallel against the pass-start residual, and the
-pick/accept step replays only the captured candidate rows in repository
-order against the live residual — exactly the rows the serial loop
-would have accepted, so picks and pass counts are bit-identical at any
-``jobs`` setting.  ``ThresholdGreedy`` additionally takes the standard
-``backend`` knob: its residual replay runs on bitmap kernels
-(DESIGN.md §4), with picks independent of the backend.
+``ThresholdGreedy`` drive their passes through the stream's scan
+executor (DESIGN.md §6, §8): per-pass residual gains are computed
+chunk-parallel against the pass-start residual, and the pick/accept
+step is resolved with as little driver work as the algorithm's
+semantics allow.  ``MultiPassGreedy``'s accept (a single global
+first-max) is a commutative reduction, so each worker ships one
+candidate per chunk and the driver merely max-merges.
+``ThresholdGreedy``'s accept loop is fused into the workers
+(``scan_accepts_chunked``, DESIGN.md §8.4): each chunk arrives with its
+accept simulation already run against the pass-start residual, the
+driver applies it wholesale whenever no earlier accept touched the
+chunk's candidates, and replays the captured rows in repository order
+otherwise — exactly the rows the serial loop would have accepted, so
+picks, pass counts and meter charges are bit-identical at any ``jobs``
+or ``planner`` setting.  The fused pass moves projections, residual and
+accept tests onto integer bitmasks end to end, so ``ThresholdGreedy``'s
+``backend`` knob is validated for API compatibility but no longer
+selects anything — every value runs (and always returned) the same
+solve.
 """
 
 from __future__ import annotations
@@ -33,12 +43,12 @@ import math
 
 from repro.core.result import StreamingCoverResult
 from repro.offline.greedy import greedy_cover
-from repro.setsystem.packed import bitmap_kernel
+from repro.setsystem.packed import resolve_backend
 from repro.setsystem.parallel import capture_words
 from repro.setsystem.set_system import SetSystem
 from repro.streaming.memory import MemoryMeter
 from repro.streaming.stream import SetStream, stream_resident_words
-from repro.utils.bitset import bits_of, mask_of
+from repro.utils.bitset import bits_of, mask_of, universe_mask
 
 __all__ = ["StoreAllGreedy", "MultiPassGreedy", "ThresholdGreedy"]
 
@@ -127,9 +137,11 @@ class ThresholdGreedy:
     shrink:
         Factor the threshold divides by between passes (default 2).
     backend:
-        Bitmap-kernel backend for the per-set residual test (DESIGN.md
-        §4); picks are identical across backends.  ``auto`` resolves to
-        the big-int kernel, which keeps sharded scans packed end to end.
+        Validated for API compatibility, but inert since the fused
+        accept pass (DESIGN.md §8.4): captured projections, the residual
+        and every accept test are integer bitmasks end to end — exactly
+        the ``python`` kernel's representation — so every backend value
+        executes (and always returned) the identical solve.
     """
 
     name = "greedy (threshold)"
@@ -137,6 +149,7 @@ class ThresholdGreedy:
     def __init__(self, shrink: float = 2.0, backend: str = "auto"):
         if shrink <= 1:
             raise ValueError(f"shrink factor must exceed 1, got {shrink}")
+        resolve_backend(backend)  # validate eagerly; see the class docstring
         self.shrink = shrink
         self.backend = backend
 
@@ -145,8 +158,7 @@ class ThresholdGreedy:
         meter.charge(stream_resident_words(stream))
         passes_before = stream.passes
         n = stream.n
-        kernel = bitmap_kernel(n, self.backend)
-        uncovered = kernel.full()
+        uncovered_int = universe_mask(n)
         uncovered_count = n
         meter.charge(n)
         selection: list[int] = []
@@ -155,30 +167,42 @@ class ThresholdGreedy:
         capture_peak = 0
         while uncovered_count and threshold >= 1.0:
             threshold = max(1.0, threshold / self.shrink)
-            # Chunk-parallel filter: gains against the pass-start
-            # residual over-estimate live gains (the residual only
-            # shrinks), so every row the serial loop would accept is
-            # captured; the replay re-tests candidates in repository
-            # order against the live residual — bit-identical picks.
-            # Chunk-streamed consumption bounds the resident captures to
-            # one chunk's worth; the largest batch is reported
-            # (DESIGN.md §6.1).
-            parts = stream.scan_gains_chunked(
-                kernel.to_mask_int(uncovered),
-                min_capture_gain=math.ceil(threshold),
-                include_gains=False,
+            # Worker-fused accept pass (DESIGN.md §8.4): gains against
+            # the pass-start residual over-estimate live gains (the
+            # residual only shrinks), so every row the serial loop would
+            # accept arrives as a captured candidate — and each chunk
+            # additionally carries its accept simulation, run inside the
+            # scan worker against the pass-start residual.  The chunk's
+            # simulated accepts equal the serial replay's exactly when
+            # nothing removed by earlier chunks intersects any of the
+            # chunk's candidate projections (`changed & touched == 0`);
+            # only chunks where that check fails re-test their
+            # candidates in repository order against the live residual.
+            # Either way the picks, charges and pass counts match the
+            # serial loop bit for bit.  Chunk-streamed consumption
+            # bounds the resident captures to one chunk's worth; the
+            # largest batch is reported (DESIGN.md §6.1).
+            pass_mask = uncovered_int
+            parts = stream.scan_accepts_chunked(
+                pass_mask, math.ceil(threshold)
             )
-            for _, _, captured in parts:
+            for _, captured, batch in parts:
                 capture_peak = max(capture_peak, capture_words(captured))
+                changed = pass_mask & ~uncovered_int
+                if not changed & batch.touched:
+                    for set_id in batch.ids:
+                        selection.append(set_id)
+                        meter.charge(1)
+                    uncovered_int &= ~batch.removed
+                    uncovered_count -= batch.removed.bit_count()
+                    continue
                 for set_id, projection in captured:
-                    hit = kernel.intersect(
-                        kernel.from_mask_int(projection), uncovered
-                    )
-                    hit_count = kernel.count(hit)
+                    hit_int = projection & uncovered_int
+                    hit_count = hit_int.bit_count()
                     if hit_count >= threshold:
                         selection.append(set_id)
                         meter.charge(1)
-                        uncovered = kernel.subtract(uncovered, hit)
+                        uncovered_int &= ~hit_int
                         uncovered_count -= hit_count
             if threshold <= 1.0:
                 break

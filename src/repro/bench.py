@@ -17,7 +17,8 @@ Report schema (``repro.bench_kernels/v1``)::
       "environment": {"python": ..., "numpy": ..., "platform": ...},
       "instances": [{"name", "workload", "n", "m", "opt", "seed"}, ...],
       "results": [
-        {"benchmark", "instance", "backend", "seconds", "repeats"}, ...
+        {"benchmark", "instance", "backend", "seconds", "repeats",
+         "peak_rss_bytes"}, ...
       ],
       "encodings": {
         "<instance>": {"dense_bytes", "auto_bytes", "reduction"}, ...
@@ -46,7 +47,13 @@ by design); the one-off packing cost is reported separately as the
 sharded repositories).  ``summary.best_speedup`` for ``greedy_cover``
 and ``without_dominated_sets`` on the planted n=2000/m=4000 instance and
 for ``scan_parallel_gains`` on the ``large`` roster are the headline
-numbers the repo tracks (DESIGN.md §4.3, §6.3).
+numbers the repo tracks (DESIGN.md §4.3, §6.3, §8.6).
+
+Beyond the (overwritten) report, every run appends one line of schema
+``repro.bench_history/v1`` to ``BENCH_history.jsonl`` in the report's
+directory — the cross-PR perf trajectory, including each benchmark's
+peak RSS so the resident-memory claims of DESIGN.md §3.6 are checked
+against the process high-water mark.
 """
 
 from __future__ import annotations
@@ -58,6 +65,11 @@ import time
 from pathlib import Path
 
 import numpy as np
+
+try:  # POSIX high-water RSS; Windows runs without the memory column
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms only
+    resource = None
 
 from repro.core import IterSetCoverConfig, iter_set_cover
 from repro.offline.greedy import greedy_cover
@@ -71,9 +83,27 @@ from repro.workloads import (
     zipf_instance,
 )
 
-__all__ = ["run_benchmarks", "render_summary", "build_instance", "SCHEMA", "SCALES"]
+__all__ = [
+    "run_benchmarks",
+    "render_summary",
+    "build_instance",
+    "SCHEMA",
+    "HISTORY_SCHEMA",
+    "HISTORY_NAME",
+    "SCALES",
+]
 
 SCHEMA = "repro.bench_kernels/v1"
+
+#: One JSON line per ``run_benchmarks`` call, appended next to the main
+#: report so the perf trajectory survives report overwrites.  Each line
+#: carries the run's headline speedups and the per-benchmark peak RSS
+#: (``ru_maxrss`` high-water, bytes) — the machine check behind the
+#: memory claims of DESIGN.md §3.6.
+HISTORY_SCHEMA = "repro.bench_history/v1"
+
+#: File name of the benchmark trajectory, in the report's directory.
+HISTORY_NAME = "BENCH_history.jsonl"
 
 PACKED_BACKENDS = ("python", "numpy")
 ALL_BACKENDS = ("frozenset",) + PACKED_BACKENDS
@@ -193,6 +223,22 @@ def _best_time(fn, repeats: int) -> float:
     return best
 
 
+def _peak_rss_bytes() -> "int | None":
+    """Process high-water resident set size, in bytes (None off-POSIX).
+
+    ``ru_maxrss`` is monotone over the process lifetime, so a benchmark
+    row records the high-water mark *as of the end of that benchmark* —
+    a run whose row matches its predecessors allocated nothing new,
+    which is exactly the §3.6 claim the history file machine-checks for
+    the out-of-core benchmarks.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms only
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes.
+    return peak * 1024 if sys.platform.startswith("linux") else peak
+
+
 class _Runner:
     def __init__(self, repeats: int):
         self.repeats = repeats
@@ -215,6 +261,7 @@ class _Runner:
                 "backend": backend,
                 "seconds": seconds,
                 "repeats": repeats,
+                "peak_rss_bytes": _peak_rss_bytes(),
             }
         )
         return seconds
@@ -360,12 +407,19 @@ def _bench_parallel_and_encodings(
 
     runner.record(_PARALLEL_BENCH, name, "rows", rows_scan, repeats=1)
 
-    for jobs in jobs_sweep:
+    # Planner on for the whole sweep, plus planner-off control rows at
+    # the sweep's endpoints (the PR 3 schedule: per-shard tasks in index
+    # order, no prefetch) — the parity assertion spans all of them.
+    planner_axis = [(jobs, True) for jobs in jobs_sweep]
+    planner_axis += [(jobs, False) for jobs in sorted({min(jobs_sweep), max(jobs_sweep)})]
+    for jobs, planner in planner_axis:
         backend = "serial" if jobs == 1 else f"jobs={jobs}"
+        if not planner:
+            backend += " planner=off"
 
-        def scan(jobs=jobs, backend=backend):
+        def scan(jobs=jobs, planner=planner, backend=backend):
             with ShardedRepository(paths["auto"]) as repo:
-                stream = ShardedSetStream(repo, jobs=jobs)
+                stream = ShardedSetStream(repo, jobs=jobs, planner=planner)
                 result = stream.scan_gains(mask_int)
                 observed[backend] = [int(g) for g in result.gains]
 
@@ -530,6 +584,47 @@ def _summarize(results: list[dict]) -> dict:
     return summary
 
 
+def _append_history(payload: dict, report_path: Path) -> Path:
+    """Append one ``repro.bench_history/v1`` line next to the report.
+
+    The trajectory file keeps what report overwrites destroy: when each
+    run happened, its headline speedups, the full executor-sweep summary
+    and the per-benchmark peak RSS (so the §3.6 "resident memory = one
+    chunk + state" claims are checked against actual process high-water
+    marks, not just the word-count meters).
+    """
+    peak_rss: dict[str, int] = {}
+    for row in payload["results"]:
+        rss = row.get("peak_rss_bytes")
+        if rss is not None:
+            peak_rss[row["benchmark"]] = max(peak_rss.get(row["benchmark"], 0), rss)
+    best_speedups = {
+        benchmark: {
+            instance: entry["best_speedup"]
+            for instance, entry in instances.items()
+            if "best_speedup" in entry
+        }
+        for benchmark, instances in payload["summary"].items()
+    }
+    line = {
+        "schema": HISTORY_SCHEMA,
+        "recorded_unix": int(time.time()),
+        "scale": payload["scale"],
+        "seed": payload["seed"],
+        "repeats": payload["repeats"],
+        "jobs_sweep": payload["jobs_sweep"],
+        "environment": payload["environment"],
+        "parallel_parity": payload["parallel_parity"],
+        "peak_rss_bytes": peak_rss,
+        "best_speedups": best_speedups,
+        "scan_parallel": payload["summary"].get(_PARALLEL_BENCH, {}),
+    }
+    history = report_path.resolve().parent / HISTORY_NAME
+    with history.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return history
+
+
 def run_benchmarks(
     scale: str = "paper",
     repeats: int = 3,
@@ -546,9 +641,16 @@ def run_benchmarks(
 
     ``jobs`` shapes the parallel-scan sweep: ``"auto"`` records the full
     ``serial / jobs=2 / jobs=4`` sweep, an explicit ``k`` records
-    ``serial / jobs=k``.  Every sweep row's gains are asserted identical
-    to the serial per-row scan and the verdict lands in
-    ``payload["parallel_parity"]``.
+    ``serial / jobs=k``; planner-off control rows (the PR 3 schedule)
+    are recorded at the sweep's endpoints.  Every sweep row's gains are
+    asserted identical to the serial per-row scan and the verdict lands
+    in ``payload["parallel_parity"]``.
+
+    Unless ``output`` is ``None``, every run also appends one
+    ``repro.bench_history/v1`` line (headline speedups, executor-sweep
+    seconds, per-benchmark peak RSS) to ``BENCH_history.jsonl`` in the
+    report's directory, so the perf trajectory accumulates instead of
+    being overwritten.
     """
     scales = [part.strip() for part in scale.split(",") if part.strip()]
     unknown = [part for part in scales if part not in SCALES]
@@ -620,6 +722,7 @@ def run_benchmarks(
     }
     if output is not None:
         Path(output).write_text(json.dumps(payload, indent=2) + "\n")
+        _append_history(payload, Path(output))
     return payload
 
 

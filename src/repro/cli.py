@@ -82,18 +82,20 @@ _GENERATORS = {
 
 
 def _jobs_argument(value: str):
-    """``--jobs`` validator: ``auto`` or a positive integer."""
+    """``--jobs`` validator: ``auto`` or a positive integer.
+
+    Delegates to :func:`repro.setsystem.parallel.resolve_jobs` so the
+    CLI rejects ``--jobs 0`` / negatives with the library's message (an
+    argparse usage error, never a traceback).
+    """
+    from repro.setsystem.parallel import resolve_jobs
+
     if value == "auto":
         return "auto"
     try:
-        jobs = int(value)
-    except ValueError:
-        jobs = 0
-    if jobs < 1:
-        raise argparse.ArgumentTypeError(
-            f"jobs must be 'auto' or a positive integer, got {value!r}"
-        )
-    return jobs
+        return resolve_jobs(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
@@ -103,6 +105,17 @@ def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help="scan-executor parallelism: 'auto' (default) or a positive "
         "worker count; results are identical at every setting",
+    )
+
+
+def _add_planner_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--planner",
+        choices=["on", "off"],
+        default="on",
+        help="adaptive scan planning (cost-balanced schedules + "
+        "prefetch I/O); 'off' reproduces the pre-planner execution "
+        "order — results are identical either way",
     )
 
 
@@ -162,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-cover", action="store_true", help="print the chosen set ids"
     )
     _add_jobs_option(solve)
+    _add_planner_option(solve)
 
     info = sub.add_parser("info", help="instance statistics")
     info.add_argument("input", help="instance path (.json or text)")
@@ -242,12 +256,13 @@ def _cmd_shard(args) -> int:
 
 
 def _cmd_solve(args) -> int:
+    planner = args.planner != "off"
     if Path(args.input).is_dir():
         from repro.streaming.sharded import ShardedSetStream
 
-        stream = ShardedSetStream(args.input, jobs=args.jobs)
+        stream = ShardedSetStream(args.input, jobs=args.jobs, planner=planner)
     else:
-        stream = SetStream(load(args.input), jobs=args.jobs)
+        stream = SetStream(load(args.input), jobs=args.jobs, planner=planner)
     algorithm = _ALGORITHMS[args.algorithm](args)
     result = algorithm.solve(stream)
     status = "cover" if stream.verify_solution(result.selection) else "PARTIAL"

@@ -33,6 +33,16 @@ shared by all parallel guesses, instead of the seed's per-guess frozenset
 intersections.  The ``backend`` knob of :class:`IterSetCoverConfig`
 selects the kernel; all backends consume the sampling randomness
 identically, so results are bit-for-bit reproducible across backends.
+
+The passes themselves are executor-driven capture scans (DESIGN.md §6):
+the stream's ``jobs`` / ``planner`` knobs decide how the repository is
+scanned — serial with overlapped prefetch, or cost-balanced worker
+batches — while the replay over captured projections stays bit-identical
+at every setting.  The default offline black box runs with
+``jobs="auto"``, so ``algOfflineSC`` fans its argmax scans over the
+shared thread pool (DESIGN.md §8.5) whenever a sub-instance is large
+enough to amortize it, and stays serial on the tiny mid-stream
+projections.
 """
 
 from __future__ import annotations
@@ -262,7 +272,10 @@ class IterSetCover:
         seed: "int | np.random.Generator | None" = None,
     ):
         self.config = config or IterSetCoverConfig()
-        self.solver = solver or GreedySolver(backend=self.config.backend)
+        # ``jobs="auto"`` keeps the offline black box serial on the tiny
+        # mid-stream projections and thread-parallel on instances big
+        # enough to amortize the fan-out (DESIGN.md §8.5).
+        self.solver = solver or GreedySolver(backend=self.config.backend, jobs="auto")
         self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------

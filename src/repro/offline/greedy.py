@@ -14,6 +14,14 @@ benchmarking and property tests) pick the maximum-gain set with ties
 broken toward the lower set index, so all backends return *identical*
 covers — the backend-equivalence tests in ``tests/test_packed.py`` pin
 this down.
+
+With ``jobs > 1`` the numpy strategy runs each pick's gains scan
+through a :class:`~repro.setsystem.parallel.ThreadScanExecutor` over
+row slices of the block matrix (DESIGN.md §8.5): every chunk ships its
+first-max candidate, and the reduction keeps the strictly larger gain
+(ascending chunks, so ties stay with the lowest row index) — the exact
+argmax the serial kernel computes, now on every core.  The packed
+kernels release the GIL, so threads scale without copying the matrix.
 """
 
 from __future__ import annotations
@@ -21,18 +29,22 @@ from __future__ import annotations
 import heapq
 
 from repro.offline.base import InfeasibleInstanceError, OfflineSolver
-from repro.setsystem.packed import PackedFamily, resolve_backend
+from repro.setsystem.packed import PackedFamily, ScanMask, resolve_backend
+from repro.setsystem.parallel import JOBS_AUTO, ThreadScanExecutor, resolve_jobs
 from repro.setsystem.set_system import SetSystem
 from repro.utils.mathutil import harmonic
 
 __all__ = ["GreedySolver", "greedy_cover"]
 
 
-def greedy_cover(system: SetSystem, backend: str = "auto") -> list[int]:
+def greedy_cover(
+    system: SetSystem, backend: str = "auto", jobs=1
+) -> list[int]:
     """Return the greedy cover of ``system`` (indices in pick order).
 
     Ties are broken toward the lower set index so results are deterministic
-    (and independent of ``backend``).  Raises
+    (and independent of ``backend`` — and of ``jobs``, which only fans the
+    numpy gains scan out over threads).  Raises
     :class:`InfeasibleInstanceError` if the family is not a cover.
     """
     resolved = resolve_backend(backend, n=system.n, m=system.m, kind="family")
@@ -40,6 +52,10 @@ def greedy_cover(system: SetSystem, backend: str = "auto") -> list[int]:
         return _greedy_cover_frozenset(system)
     family = system.packed(resolved)
     if family.backend == "numpy":
+        words = (system.n + 63) // 64
+        count = resolve_jobs(jobs, repository_words=system.m * words)
+        if count > 1:
+            return _greedy_cover_argmax_threaded(family, count)
         return _greedy_cover_argmax(family)
     return _greedy_cover_bigint(family)
 
@@ -100,6 +116,42 @@ def _greedy_cover_argmax(family: PackedFamily) -> list[int]:
     return chosen
 
 
+def _greedy_cover_argmax_threaded(family, jobs: int) -> list[int]:
+    """Thread-parallel argmax greedy over matrix row slices.
+
+    Each pick runs one ``best_only`` chunk scan per slice on the shared
+    thread pool; the driver keeps the strictly larger gain while
+    consuming chunks in ascending row order, which is exactly the
+    serial kernel's first-max tie-break.
+    """
+    kernel = family.kernel
+    executor = ThreadScanExecutor(jobs)
+    matrix = family.matrix
+    m, n = family.m, family.n
+    chunk_rows = max(1, -(-m // (2 * jobs)))
+    slices = [
+        (start, matrix[start : start + chunk_rows])
+        for start in range(0, m, chunk_rows)
+    ]
+    residual = kernel.full()
+    chosen: list[int] = []
+    while not kernel.is_empty(residual):
+        mask = ScanMask(n, kernel.to_mask_int(residual))
+        best_id, best_gain = -1, 0
+        for _, _, captured in executor.iter_scan_chunks(
+            n, slices, mask, best_only=True, include_gains=False
+        ):
+            for row_id, projection in captured:
+                gain = projection.bit_count()
+                if gain > best_gain:
+                    best_id, best_gain = row_id, gain
+        if best_gain == 0:
+            raise _infeasible(kernel, residual)
+        chosen.append(best_id)
+        residual = kernel.subtract(residual, family.row(best_id))
+    return chosen
+
+
 def _greedy_cover_frozenset(system: SetSystem) -> list[int]:
     """The seed's frozenset implementation — the benchmark baseline."""
     uncovered: set[int] = set(range(system.n))
@@ -132,16 +184,25 @@ def _greedy_cover_frozenset(system: SetSystem) -> list[int]:
 
 
 class GreedySolver(OfflineSolver):
-    """Offline solver wrapper around :func:`greedy_cover` (rho = H_n)."""
+    """Offline solver wrapper around :func:`greedy_cover` (rho = H_n).
+
+    ``jobs`` fans the numpy argmax scan out over threads (``"auto"``
+    stays serial below the parallel threshold, so the tiny mid-stream
+    subproblems of ``iterSetCover`` never pay thread overhead); covers
+    are identical at every setting.
+    """
 
     name = "greedy"
 
-    def __init__(self, backend: str = "auto"):
+    def __init__(self, backend: str = "auto", jobs=1):
         resolve_backend(backend)  # validate eagerly
+        if jobs is not None and jobs != JOBS_AUTO:
+            resolve_jobs(jobs)
         self.backend = backend
+        self.jobs = jobs
 
     def solve(self, system: SetSystem) -> list[int]:
-        return greedy_cover(system, backend=self.backend)
+        return greedy_cover(system, backend=self.backend, jobs=self.jobs)
 
     def rho(self, n: int) -> float:
         return harmonic(max(n, 1))

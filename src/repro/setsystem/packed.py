@@ -456,7 +456,7 @@ class PackedFamily(abc.ABC):
         return [frozenset(kernel.to_indices(self.row(i))) for i in range(self.m)]
 
     # -- domination ----------------------------------------------------
-    def non_dominated(self) -> list[int]:
+    def non_dominated(self, jobs=1) -> list[int]:
         """Indices of the sets not strictly contained in another set.
 
         Matches the seed's ``without_dominated_sets`` semantics exactly:
@@ -470,6 +470,11 @@ class PackedFamily(abc.ABC):
         ``r_i ⊆ r_j`` and (``|r_j| > |r_i|`` — a strict superset — or
         ``j < i`` — an earlier duplicate; submask plus equal size implies
         equal content).
+
+        ``jobs`` fans the work out over the shared scan thread pool
+        where the backend can use it (the numpy kernel releases the
+        GIL; see DESIGN.md §8.5) — every row's verdict is independent,
+        so the surviving indices are identical at any setting.
         """
         m = self.m
         if m == 0:
@@ -547,7 +552,7 @@ class FrozensetFamily(PackedFamily):
     def gain(self, i: int, residual) -> int:
         return len(self._rows[i] & residual)
 
-    def non_dominated(self) -> list[int]:
+    def non_dominated(self, jobs=1) -> list[int]:
         # The seed's O(m^2) pairwise loop, kept verbatim as the executable
         # reference that the packed backends are property-tested against.
         keep: list[int] = []
@@ -693,7 +698,7 @@ class NumpyPackedFamily(PackedFamily):
             self.n, np.bitwise_and(self.matrix, residual[None, :])
         )
 
-    def non_dominated(self) -> list[int]:
+    def non_dominated(self, jobs=1) -> list[int]:
         m, n = self.m, self.n
         if m == 0:
             return []
@@ -718,7 +723,8 @@ class NumpyPackedFamily(PackedFamily):
         keep_mask = np.zeros(m, dtype=bool)
         words = max(1, self.kernel.words)
         max_block = max(1, (1 << 22) // words)  # cap one block at ~32 MB
-        for group in np.split(order, boundaries):
+
+        def handle(group) -> None:
             candidates = np.flatnonzero(bits[:, rarest[group[0]]])
             rows_c = self.matrix[candidates]
             chunk = max(1, max_block // max(1, len(candidates)))
@@ -735,6 +741,13 @@ class NumpyPackedFamily(PackedFamily):
                     | (candidates[None, :] < part[:, None])
                 )
                 keep_mask[part] = ~dominating.any(axis=1)
+
+        groups = np.split(order, boundaries)
+        from repro.setsystem.parallel import resolve_jobs, thread_map
+
+        # Groups are disjoint row index sets writing disjoint slices of
+        # ``keep_mask``, so thread order cannot change the result.
+        thread_map(handle, groups, resolve_jobs(jobs, repository_words=m * words))
         return np.flatnonzero(keep_mask).tolist()
 
     @classmethod

@@ -231,7 +231,7 @@ class SetSystem:
         return self.restrict_elements(self.uncovered_by(selection))
 
     def without_dominated_sets(
-        self, backend: str = "auto"
+        self, backend: str = "auto", jobs=1
     ) -> tuple["SetSystem", list[int]]:
         """Drop sets contained in another set.
 
@@ -241,8 +241,10 @@ class SetSystem:
 
         Delegates to the packed kernel layer (sort-by-size + vectorized
         submask tests); ``backend="frozenset"`` runs the seed's O(m^2)
-        pairwise reference loop.  All backends produce the same indices,
-        including the duplicate tie-break (first occurrence survives).
+        pairwise reference loop.  ``jobs`` fans the pruning kernel out
+        over the shared scan thread pool (DESIGN.md §8.5).  All backends
+        and worker counts produce the same indices, including the
+        duplicate tie-break (first occurrence survives).
         """
-        keep = self.packed(backend).non_dominated()
+        keep = self.packed(backend).non_dominated(jobs=jobs)
         return self.subfamily(keep), keep

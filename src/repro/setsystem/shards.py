@@ -47,6 +47,19 @@ residual gains for sparse and run-length rows without ever
 materializing dense words.  Repositories with schema ``repro.shards/v1``
 (all raw) still open and scan unchanged.
 
+Manifest statistics (schema ``repro.shards/v3``, DESIGN.md §8.1)
+----------------------------------------------------------------
+New manifests additionally record, per shard, the statistics the
+adaptive scan planner (:mod:`repro.setsystem.parallel`) feeds its cost
+model: a 16-bucket row-density histogram, the codec mix, the element
+and run totals per codec.  The stats block is covered by its own
+CRC-32 (``stats_crc32``) so a hand-edited manifest fails loudly.
+``v1``/``v2`` repositories still open unchanged; their statistics are
+estimated lazily from shard geometry and record tables
+(:meth:`ShardedRepository.shard_cost_estimates`) and can be persisted
+— idempotently, upgrading the manifest in place to ``v3`` — with
+:meth:`ShardedRepository.backfill_stats`.
+
 :class:`ShardWriter` builds a repository incrementally (one set at a
 time, bounded memory) and removes partial output if the writer body
 raises; :class:`ShardedRepository` reads a repository back via ``mmap``
@@ -98,9 +111,11 @@ except ImportError:  # pragma: no cover - exercised only on stripped installs
 __all__ = [
     "SHARD_SCHEMA",
     "SHARD_SCHEMA_V1",
+    "SHARD_SCHEMA_V2",
     "MANIFEST_NAME",
     "DEFAULT_CHUNK_BYTES",
     "ENCODINGS",
+    "STATS_HIST_BUCKETS",
     "ShardFormatError",
     "ShardWriter",
     "ShardedRepository",
@@ -108,12 +123,20 @@ __all__ = [
 ]
 
 #: Schema tag stamped into every new ``manifest.json``.
-SHARD_SCHEMA = "repro.shards/v2"
+SHARD_SCHEMA = "repro.shards/v3"
+
+#: The PR 3 schema: per-row codecs, no manifest statistics.
+SHARD_SCHEMA_V2 = "repro.shards/v2"
 
 #: The PR 2 schema: raw dense shards only.  Still opened and scanned.
 SHARD_SCHEMA_V1 = "repro.shards/v1"
 
-_SUPPORTED_SCHEMAS = (SHARD_SCHEMA_V1, SHARD_SCHEMA)
+_SUPPORTED_SCHEMAS = (SHARD_SCHEMA_V1, SHARD_SCHEMA_V2, SHARD_SCHEMA)
+
+#: Buckets of the per-shard row-density histogram: bucket ``b`` counts
+#: rows with ``|S| / n`` in ``[b/16, (b+1)/16)`` (the last bucket is
+#: closed above, so full rows land in bucket 15).
+STATS_HIST_BUCKETS = 16
 
 #: Manifest file name inside a shard directory.
 MANIFEST_NAME = "manifest.json"
@@ -236,6 +259,64 @@ def _rle_cost(row: list[int]) -> int:
         total += _varint_len(start - pos) + _varint_len(end - start - 1)
         pos = end
     return total
+
+
+# ----------------------------------------------------------------------
+# Per-shard statistics (manifest schema v3, the planner's cost inputs)
+# ----------------------------------------------------------------------
+def _density_bucket(size: int, n: int) -> int:
+    """Histogram bucket of a row with ``size`` elements (see above)."""
+    if n <= 0:
+        return 0
+    return min(STATS_HIST_BUCKETS - 1, size * STATS_HIST_BUCKETS // n)
+
+
+def _run_count(row: list[int]) -> int:
+    """Number of maximal runs of a sorted, duplicate-free row."""
+    return sum(1 for _ in _iter_runs(row))
+
+
+def _shard_stats(rows: list[list[int]], tags: list[int], n: int) -> dict:
+    """The v3 per-shard statistics block for one chunk of sorted rows.
+
+    Everything the planner's cost model consumes (DESIGN.md §8.1):
+    the row-density histogram, the codec mix, and the element / run
+    totals split by codec so dense, sparse and run-length scan work can
+    be priced separately.
+    """
+    hist = [0] * STATS_HIST_BUCKETS
+    mix = {"dense": 0, "sparse": 0, "rle": 0}
+    set_bits = runs = sparse_elems = rle_runs = 0
+    names = {_TAG_DENSE: "dense", _TAG_SPARSE: "sparse", _TAG_RLE: "rle"}
+    for row, tag in zip(rows, tags):
+        size = len(row)
+        hist[_density_bucket(size, n)] += 1
+        mix[names[tag]] += 1
+        set_bits += size
+        row_runs = _run_count(row)
+        runs += row_runs
+        if tag == _TAG_SPARSE:
+            sparse_elems += size
+        elif tag == _TAG_RLE:
+            rle_runs += row_runs
+    return {
+        "density_hist": hist,
+        "codec_mix": mix,
+        "set_bits": set_bits,
+        "runs": runs,
+        "sparse_elems": sparse_elems,
+        "rle_runs": rle_runs,
+    }
+
+
+def _stats_checksum(shard_meta: list[dict]) -> int:
+    """CRC-32 of the canonical JSON of every shard's stats block."""
+    blob = json.dumps(
+        [meta.get("stats") for meta in shard_meta],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return zlib.crc32(blob.encode("ascii"))
 
 
 def _decode_payload_mask(tag: int, data, n: int, row_bytes: int) -> int:
@@ -469,6 +550,7 @@ class ShardWriter:
                 "bytes": len(payload),
                 "crc32": zlib.crc32(payload),
                 "layout": layout,
+                "stats": _shard_stats(self._buffer, tags, self.n),
             }
         )
         self._buffer = []
@@ -488,6 +570,7 @@ class ShardWriter:
             "chunk_rows": self.chunk_rows,
             "encoding": self.encoding,
             "shards": self._shards,
+            "stats_crc32": _stats_checksum(self._shards),
         }
         (self.path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
         self._closed = True
@@ -681,6 +764,7 @@ class ShardedRepository:
                 f"expected one of {_SUPPORTED_SCHEMAS!r}" if isinstance(manifest, dict)
                 else "manifest is not a JSON object"
             )
+        self._manifest = manifest
         self.schema = str(manifest["schema"])
         self.encoding = str(manifest.get("encoding", "dense"))
         try:
@@ -699,6 +783,21 @@ class ShardedRepository:
             raise ShardFormatError(
                 f"manifest rows do not sum to m={self.m} in {self.path}"
             )
+        if self.schema == SHARD_SCHEMA:
+            # v3 manifests carry planner statistics guarded by their own
+            # checksum — a stats block that was hand-edited (or silently
+            # corrupted) must fail here, not skew schedules quietly.
+            if any(not isinstance(meta.get("stats"), dict) for meta in self._shard_meta):
+                raise ShardFormatError(
+                    f"v3 manifest in {self.path} is missing per-shard stats"
+                )
+            recorded = manifest.get("stats_crc32")
+            computed = _stats_checksum(self._shard_meta)
+            if recorded != computed:
+                raise ShardFormatError(
+                    f"stats checksum mismatch in {self.path}: "
+                    f"stats_crc32={recorded}, computed {computed}"
+                )
 
         self._row_bytes = self.words * _WORD_BYTES
         self._files = []
@@ -771,6 +870,110 @@ class ShardedRepository:
     def disk_bytes(self) -> int:
         """Actual bytes the shard files occupy (compression included)."""
         return sum(int(meta.get("bytes", 0)) for meta in self._shard_meta)
+
+    # ------------------------------------------------------------------
+    # Planner statistics (manifest schema v3, DESIGN.md §8.1)
+    # ------------------------------------------------------------------
+    @property
+    def has_stats(self) -> bool:
+        """Does the manifest carry (checksummed) per-shard statistics?"""
+        return self.schema == SHARD_SCHEMA
+
+    def shard_stats(self) -> "list[dict | None]":
+        """Per-shard stats blocks; ``None`` entries for pre-v3 manifests."""
+        return [meta.get("stats") for meta in self._shard_meta]
+
+    def shard_cost_estimates(self) -> list[int]:
+        """Estimated scan cost per shard, in fused-kernel work units.
+
+        The planner's cost model (DESIGN.md §8.2): a dense row costs its
+        ``ceil(n/64)`` packed words, a sparse row one unit per element
+        (the bit-gather), a run-length row two units per run (the prefix
+        difference), plus a fixed two-unit per-row overhead.  Exact for
+        v3 manifests; pre-v3 repositories are estimated from what costs
+        nothing to read — shard geometry for raw shards, the payload
+        byte count for encoded ones (one varint byte ≈ one decode unit)
+        — so the planner never forces a data scan just to schedule one.
+        """
+        words = max(1, self.words)
+        costs: list[int] = []
+        for meta, layout in zip(self._shard_meta, self._layouts):
+            rows = int(meta["rows"])
+            stats = meta.get("stats")
+            if isinstance(stats, dict):
+                mix = stats.get("codec_mix", {})
+                cost = (
+                    2 * rows
+                    + int(mix.get("dense", 0)) * words
+                    + int(stats.get("sparse_elems", 0))
+                    + 2 * int(stats.get("rle_runs", 0))
+                )
+            elif layout == _LAYOUT_RAW:
+                cost = rows * words
+            else:
+                cost = 2 * rows + int(meta.get("bytes", 0))
+            costs.append(max(1, cost))
+        return costs
+
+    def compute_shard_stats(self, shard: int) -> dict:
+        """Recompute one shard's stats block by decoding its rows."""
+        if self._closed:
+            raise ShardFormatError(f"repository {self.path} is closed")
+        if self._layouts[shard] == _LAYOUT_ENCODED:
+            tags, _, _ = self._encoded_header(shard)
+            tag_list = [int(tag) for tag in tags]
+        else:
+            tag_list = [_TAG_DENSE] * int(self._shard_meta[shard]["rows"])
+        rows = [bits_of(mask) for mask in self.chunk_masks(shard)]
+        return _shard_stats(rows, tag_list, self.n)
+
+    def backfill_stats(self) -> bool:
+        """Persist per-shard statistics, upgrading the manifest to v3.
+
+        Computes the stats block of every shard that lacks one (a full
+        read of those shards), rewrites ``manifest.json`` atomically with
+        ``schema = repro.shards/v3`` and a fresh ``stats_crc32``, and
+        returns whether anything changed.  Idempotent: a repository that
+        already carries checksummed stats is left byte-identical and the
+        call returns ``False``.  Shard files are never touched.
+        """
+        if self._closed:
+            raise ShardFormatError(f"repository {self.path} is closed")
+        if self.has_stats:
+            return False
+        for shard, meta in enumerate(self._shard_meta):
+            if not isinstance(meta.get("stats"), dict):
+                meta["stats"] = self.compute_shard_stats(shard)
+        manifest = dict(self._manifest)
+        manifest["schema"] = SHARD_SCHEMA
+        manifest["shards"] = self._shard_meta
+        manifest["stats_crc32"] = _stats_checksum(self._shard_meta)
+        target = self.path / MANIFEST_NAME
+        staging = self.path / (MANIFEST_NAME + ".tmp")
+        staging.write_text(json.dumps(manifest, indent=2) + "\n")
+        staging.replace(target)
+        self._manifest = manifest
+        self.schema = SHARD_SCHEMA
+        return True
+
+    def prefetch_shard(self, shard: int) -> None:
+        """Hint the OS to page a shard in ahead of its scan.
+
+        ``madvise(MADV_WILLNEED)`` on the shard's map — the prefetch
+        half of the planner's overlapped-I/O pipeline (DESIGN.md §8.3).
+        Purely advisory: a platform without ``madvise`` (or a closed or
+        empty shard) makes this a no-op, never an error.
+        """
+        if self._closed or not 0 <= shard < len(self._maps):
+            return
+        mm = self._maps[shard]
+        advice = getattr(mmap, "MADV_WILLNEED", None)
+        if mm is None or advice is None:
+            return
+        try:
+            mm.madvise(advice)
+        except (AttributeError, OSError, ValueError):  # pragma: no cover
+            pass  # advisory only; never fail a scan over a hint
 
     def validate(self) -> None:
         """Verify every shard's CRC-32 against the manifest (full read)."""

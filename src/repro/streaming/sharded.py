@@ -60,6 +60,12 @@ class ShardedSetStream(SetStreamBase):
         re-open the repository and scan whole shards via their own
         ``mmap``; covers, pass counts and tie-breaks are identical at
         every setting (DESIGN.md §6).
+    planner:
+        Adaptive scan planning (DESIGN.md §8): manifest-statistics
+        cost-balanced shard schedules, overlapped prefetch I/O and
+        ``madvise`` readahead.  ``False`` reproduces the PR 3 execution
+        order (one task per shard, index order, no prefetch); results
+        are identical either way.
     """
 
     def __init__(
@@ -67,12 +73,14 @@ class ShardedSetStream(SetStreamBase):
         repository: "ShardedRepository | str | Path",
         verify: bool = False,
         jobs=JOBS_AUTO,
+        planner: bool = True,
     ):
         super().__init__()
         if isinstance(repository, (str, Path)):
             repository = ShardedRepository(repository, verify=verify)
         self._repo = repository
         self._jobs = jobs
+        self._planner = bool(planner)
         self._executor = None
         self._materialized: "SetSystem | None" = None
 
@@ -140,7 +148,9 @@ class ShardedSetStream(SetStreamBase):
     def _scan_executor(self):
         if self._executor is None:
             self._executor = executor_for(
-                self._jobs, repository_words=self._repo.repository_words
+                self._jobs,
+                repository_words=self._repo.repository_words,
+                planner=self._planner,
             )
         return self._executor
 
@@ -154,6 +164,11 @@ class ShardedSetStream(SetStreamBase):
             capture_ids=capture_ids,
             best_only=best_only,
             include_gains=include_gains,
+        )
+
+    def _scan_accepts_chunked(self, mask_int, threshold):
+        return self._scan_executor().iter_accept_repository(
+            self._repo, mask_int, threshold
         )
 
     # ------------------------------------------------------------------

@@ -230,6 +230,31 @@ class SetStreamBase:
             )
         )
 
+    def scan_accepts_chunked(
+        self, mask_int: int, threshold: int
+    ) -> Iterator[tuple[int, list, object]]:
+        """Open a threshold-accept pass: one scan, accepts fused worker-side.
+
+        The fifth pass flavour (DESIGN.md §8.4), for passes whose accept
+        step is a sequential threshold loop over the captured candidates
+        (``ThresholdGreedy``-style).  One sequential scan — same access
+        discipline and pass accounting as :meth:`iterate` — yielding
+        ``(start, captured, batch)`` per chunk in chunk order, where
+        ``captured`` holds the candidates reaching ``threshold`` against
+        the pass-start mask and ``batch`` is the chunk's
+        :class:`~repro.setsystem.parallel.AcceptBatch`: the accepts a
+        sequential replay would produce *if the pass-start mask were
+        still live*, simulated inside the scan workers.  The driver
+        applies a batch wholesale when nothing earlier chunks removed
+        touches the chunk's candidates and replays ``captured`` in order
+        otherwise — bit-identical picks either way.
+        """
+        if threshold < 1:
+            raise ValueError(f"accept threshold must be >= 1, got {threshold}")
+        return self._scan(
+            lambda: self._scan_accepts_chunked(mask_int, int(threshold))
+        )
+
     def scan_gains(
         self,
         mask_int: int,
@@ -259,6 +284,9 @@ class SetStreamBase:
     ):
         raise NotImplementedError  # pragma: no cover - overridden
 
+    def _scan_accepts_chunked(self, mask_int, threshold):
+        raise NotImplementedError  # pragma: no cover - overridden
+
 
 class SetStream(SetStreamBase):
     """Sequential, pass-counted access to an in-memory set system.
@@ -274,6 +302,10 @@ class SetStream(SetStreamBase):
         positive worker count).  ``auto`` stays serial for in-memory
         instances below the parallel threshold.  Results are identical
         at every setting (DESIGN.md §6).
+    planner:
+        Adaptive scan planning (DESIGN.md §8): cost-balanced chunk
+        schedules and overlapped prefetch.  ``False`` reproduces the
+        PR 3 execution order; results are identical either way.
 
     Examples
     --------
@@ -285,10 +317,11 @@ class SetStream(SetStreamBase):
     1
     """
 
-    def __init__(self, system: SetSystem, jobs=JOBS_AUTO):
+    def __init__(self, system: SetSystem, jobs=JOBS_AUTO, planner: bool = True):
         super().__init__()
         self._system = system
         self._jobs = jobs
+        self._planner = bool(planner)
         self._executor = None
 
     # ------------------------------------------------------------------
@@ -332,7 +365,9 @@ class SetStream(SetStreamBase):
         if self._executor is None:
             words = (self.n + 63) // 64
             self._executor = executor_for(
-                self._jobs, repository_words=self.m * words
+                self._jobs,
+                repository_words=self.m * words,
+                planner=self._planner,
             )
         return self._executor
 
@@ -349,6 +384,13 @@ class SetStream(SetStreamBase):
             capture_ids=capture_ids,
             best_only=best_only,
             include_gains=include_gains,
+        )
+
+    def _scan_accepts_chunked(self, mask_int, threshold):
+        executor = self._scan_executor()
+        mask = ScanMask(self.n, mask_int)
+        return executor.iter_accept_chunks(
+            self.n, self._scan_chunk_source(executor.jobs), mask, threshold
         )
 
     def _scan_chunk_source(self, jobs: int):

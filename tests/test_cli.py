@@ -149,13 +149,28 @@ class TestJobs:
         ["bench", "--jobs", "1.5"],
         ["experiments", "--jobs", "none"],
     ])
-    def test_invalid_jobs_rejected(self, command):
-        with pytest.raises(SystemExit):
+    def test_invalid_jobs_rejected(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(command)
+        # An argparse usage error naming the flag — never a traceback.
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err and "positive integer" in err
 
     def test_jobs_defaults_to_auto(self):
         for command in (["solve", "x"], ["bench"], ["experiments"]):
             assert build_parser().parse_args(command).jobs == "auto"
+
+    def test_solve_accepts_planner_off(self, instance_path, capsys):
+        assert main(["solve", instance_path, "--algorithm", "threshold",
+                     "--planner", "off"]) == 0
+        off_out = capsys.readouterr().out
+        assert main(["solve", instance_path, "--algorithm", "threshold"]) == 0
+        on_out = capsys.readouterr().out
+        pick = lambda out, key: [l for l in out.splitlines() if l.startswith(key)]
+        assert pick(off_out, "result") == pick(on_out, "result")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "x", "--planner", "maybe"])
 
 
 class TestParser:

@@ -18,6 +18,7 @@ from repro.setsystem.shards import (
     MANIFEST_NAME,
     SHARD_SCHEMA,
     SHARD_SCHEMA_V1,
+    SHARD_SCHEMA_V2,
     ShardedRepository,
     ShardFormatError,
     ShardWriter,
@@ -497,3 +498,98 @@ def test_algorithm_parity_across_solvers(tmp_path):
         # Out-of-core peak = in-memory peak + the resident chunk buffer.
         assert shard.peak_memory_words == mem.peak_memory_words + stream.resident_words
         stream.close()
+
+
+# ----------------------------------------------------------------------
+# v3 manifest statistics: write-time stats, checksums, lazy backfill
+# ----------------------------------------------------------------------
+def _downgrade_manifest(path, schema):
+    """Rewrite a repository's manifest as an older schema (test fixture)."""
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    manifest["schema"] = schema
+    manifest.pop("stats_crc32", None)
+    for meta in manifest["shards"]:
+        meta.pop("stats", None)
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def test_v3_manifest_records_checksummed_stats(tmp_path):
+    system = _mixed_system()
+    path = write_shards(tmp_path / "v3", system, chunk_rows=2)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    assert manifest["schema"] == SHARD_SCHEMA == "repro.shards/v3"
+    assert isinstance(manifest["stats_crc32"], int)
+    with ShardedRepository(path, verify=True) as repo:
+        assert repo.has_stats
+        stats = repo.shard_stats()
+        assert len(stats) == repo.shard_count
+        # Totals reconcile with the instance across all shards.
+        assert sum(s["set_bits"] for s in stats) == system.total_size()
+        assert sum(sum(s["codec_mix"].values()) for s in stats) == system.m
+        assert all(sum(s["density_hist"]) == int(meta["rows"])
+                   for s, meta in zip(stats, repo._shard_meta))
+        costs = repo.shard_cost_estimates()
+        assert len(costs) == repo.shard_count
+        assert all(cost >= 1 for cost in costs)
+
+
+def test_tampered_stats_fail_loudly(tmp_path):
+    path = write_shards(tmp_path / "tamper", _mixed_system(), chunk_rows=2)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    manifest["shards"][0]["stats"]["set_bits"] += 1
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ShardFormatError, match="stats checksum"):
+        ShardedRepository(path)
+    manifest["shards"][0]["stats"] = None
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ShardFormatError, match="stats"):
+        ShardedRepository(path)
+
+
+@pytest.mark.parametrize("schema", [SHARD_SCHEMA_V1, SHARD_SCHEMA_V2])
+def test_pre_v3_repositories_open_and_backfill_idempotently(tmp_path, schema):
+    system = _mixed_system()
+    encoding = "dense" if schema == SHARD_SCHEMA_V1 else "auto"
+    path = write_shards(tmp_path / schema.replace("/", "-"), system,
+                        chunk_rows=2, encoding=encoding)
+    with ShardedRepository(path) as fresh:
+        expected_stats = fresh.shard_stats()
+    _downgrade_manifest(path, schema)
+    if schema == SHARD_SCHEMA_V1:  # v1 predates layout/encoding keys too
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest.pop("encoding")
+        for meta in manifest["shards"]:
+            meta.pop("layout")
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+    # Opens unchanged, scans unchanged, costs estimated without stats.
+    with ShardedRepository(path, verify=True) as repo:
+        assert repo.schema == schema
+        assert not repo.has_stats
+        assert repo.shard_stats() == [None] * repo.shard_count
+        assert all(cost >= 1 for cost in repo.shard_cost_estimates())
+        assert repo.to_system() == system
+
+        # Backfill recomputes exactly the write-time stats and upgrades.
+        assert repo.backfill_stats() is True
+        assert repo.schema == SHARD_SCHEMA and repo.has_stats
+        assert repo.shard_stats() == expected_stats
+        first = (path / MANIFEST_NAME).read_bytes()
+        assert repo.backfill_stats() is False  # idempotent
+        assert (path / MANIFEST_NAME).read_bytes() == first
+
+    # The upgraded repository round-trips through a fresh open + verify.
+    with ShardedRepository(path, verify=True) as upgraded:
+        assert upgraded.has_stats
+        assert upgraded.shard_stats() == expected_stats
+        assert upgraded.to_system() == system
+
+
+def test_prefetch_shard_is_a_safe_noop_everywhere(tmp_path):
+    path = write_shards(tmp_path / "pf", SetSystem(4, [[0], [], [1, 2]]),
+                        chunk_rows=1)
+    with ShardedRepository(path) as repo:
+        for shard in range(-1, repo.shard_count + 2):
+            repo.prefetch_shard(shard)  # out-of-range included: no error
+    repo.prefetch_shard(0)  # closed repository: still a no-op
