@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="streaming-set-cover-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Towards Tight Bounds for the Streaming Set Cover "
         "Problem' (Har-Peled, Indyk, Mahabadi, Vakilian; PODS 2016)"

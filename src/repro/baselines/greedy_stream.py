@@ -44,7 +44,7 @@ import math
 from repro.core.result import StreamingCoverResult
 from repro.offline.greedy import greedy_cover
 from repro.setsystem.packed import resolve_backend
-from repro.setsystem.parallel import capture_words
+from repro.engine import capture_words
 from repro.setsystem.set_system import SetSystem
 from repro.streaming.memory import MemoryMeter
 from repro.streaming.stream import SetStream, stream_resident_words

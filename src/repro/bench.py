@@ -23,6 +23,7 @@ Report schema (``repro.bench_kernels/v1``)::
       "encodings": {
         "<instance>": {"dense_bytes", "auto_bytes", "reduction"}, ...
       },
+      "remote_transport": {"workers": 2, "error": null},
       "parallel_parity": {"instances": ..., "identical": true},
       "summary": {
         "<benchmark>": {
@@ -358,6 +359,7 @@ def _bench_parallel_and_encodings(
     tmpdir: Path,
     jobs_sweep: tuple,
     parity: dict,
+    remote_workers: list,
 ) -> dict:
     """The executor + codec benchmark set for one instance.
 
@@ -369,7 +371,11 @@ def _bench_parallel_and_encodings(
     * ``rows`` — the pre-executor baseline: per-row big-int scan of the
       dense repository (exactly a PR 2 streaming pass);
     * ``serial`` / ``jobs=k`` — the scan executor over the ``auto``
-      repository at each sweep setting.
+      repository at each sweep setting;
+    * ``remote workers=2`` — the **transport dimension** (DESIGN.md §9):
+      the same scan spread over two localhost ``repro worker serve``
+      subprocesses, so the trajectory records the first multi-node
+      numbers alongside the local sweep.
 
     Every backend's gains vector is compared against the baseline's;
     a mismatch raises (and is recorded in ``payload["parallel_parity"]``).
@@ -425,6 +431,23 @@ def _bench_parallel_and_encodings(
 
         runner.record(_PARALLEL_BENCH, name, backend, scan, repeats=1)
 
+    # The transport dimension: the run's localhost worker fleet (spawned
+    # once in run_benchmarks, serving every instance's tmpdir) scans the
+    # same repository over the remote backend.  Timings include the wire
+    # protocol but not worker startup.
+    if remote_workers:
+        label = f"remote workers={len(remote_workers)}"
+
+        def remote_scan():
+            with ShardedRepository(paths["auto"]) as repo:
+                stream = ShardedSetStream(
+                    repo, transport="remote", workers=remote_workers
+                )
+                result = stream.scan_gains(mask_int)
+                observed[label] = [int(g) for g in result.gains]
+
+        runner.record(_PARALLEL_BENCH, name, label, remote_scan, repeats=1)
+
     expected = observed["rows"]
     for backend, gains in observed.items():
         if gains != expected:
@@ -449,6 +472,8 @@ def _bench_sharded_instance(
     jobs_sweep: tuple,
     parity: dict,
     encodings: dict,
+    remote_workers: list,
+    work_root: "Path | None" = None,
 ) -> None:
     """Out-of-core benchmark set: write shards once, then scan/solve them.
 
@@ -463,10 +488,10 @@ def _bench_sharded_instance(
     from repro.setsystem.shards import ShardedRepository
     from repro.streaming.sharded import ShardedSetStream
 
-    tmpdir = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+    tmpdir = Path(tempfile.mkdtemp(prefix="repro-shards-", dir=work_root))
     try:
         encodings[name] = _bench_parallel_and_encodings(
-            runner, name, system, tmpdir, jobs_sweep, parity
+            runner, name, system, tmpdir, jobs_sweep, parity, remote_workers
         )
 
         # Row-granular wire-format scans stay on the dense (v1-layout)
@@ -642,9 +667,11 @@ def run_benchmarks(
     ``jobs`` shapes the parallel-scan sweep: ``"auto"`` records the full
     ``serial / jobs=2 / jobs=4`` sweep, an explicit ``k`` records
     ``serial / jobs=k``; planner-off control rows (the PR 3 schedule)
-    are recorded at the sweep's endpoints.  Every sweep row's gains are
-    asserted identical to the serial per-row scan and the verdict lands
-    in ``payload["parallel_parity"]``.
+    are recorded at the sweep's endpoints, and a ``remote workers=2``
+    transport row runs the same scan over two localhost
+    ``repro worker serve`` subprocesses (DESIGN.md §9).  Every sweep
+    row's gains are asserted identical to the serial per-row scan and
+    the verdict lands in ``payload["parallel_parity"]``.
 
     Unless ``output`` is ``None``, every run also appends one
     ``repro.bench_history/v1`` line (headline speedups, executor-sweep
@@ -662,46 +689,85 @@ def run_benchmarks(
     if jobs == "auto":
         jobs_sweep = _DEFAULT_JOBS_SWEEP
     else:
-        from repro.setsystem.parallel import resolve_jobs
+        from repro.engine import resolve_jobs
 
         jobs_sweep = tuple(sorted({1, resolve_jobs(jobs)}))
     runner = _Runner(repeats)
     parity = {"instances": 0, "identical": True}
     encodings: dict[str, dict] = {}
     instances_meta = []
-    for part in scales:
-        for name, workload, params in SCALES[part]:
-            system, opt = build_instance(workload, params, seed)
-            instances_meta.append(
-                {
-                    "name": name,
-                    "workload": workload,
-                    "n": system.n,
-                    "m": system.m,
-                    "opt": opt,
-                    "seed": seed,
-                    "sharded": bool(params.get("sharded")),
-                }
-            )
-            if params.get("sharded"):
-                _bench_sharded_instance(
-                    runner, name, system, jobs_sweep, parity, encodings
-                )
-            else:
-                _bench_instance(runner, name, system)
-                _bench_end_to_end(runner, name, system, seed)
-                # The executor + codec sweep runs for in-memory rosters
-                # too, through a temporary sharded copy of the instance.
-                import shutil
-                import tempfile
+    # One localhost worker fleet serves the whole run — two subprocess
+    # startups per run, not per instance.  Every instance's shard tmpdir
+    # is created under one run-scoped directory and the workers serve
+    # only that root (the narrowest-root guidance of the protocol: an
+    # unauthenticated loopback worker must not expose all of /tmp).
+    import shutil
+    import tempfile
 
-                tmpdir = Path(tempfile.mkdtemp(prefix="repro-scan-"))
-                try:
-                    encodings[name] = _bench_parallel_and_encodings(
-                        runner, name, system, tmpdir, jobs_sweep, parity
+    from repro.engine import spawn_local_worker
+
+    remote_procs = []
+    work_root = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    try:
+        # Best-effort: a box that cannot spawn subprocesses or bind
+        # loopback sockets still benches everything else — the remote
+        # row is one backend of many, and CI (which can) asserts its
+        # presence.  Append as each worker spawns, so a failed second
+        # spawn still leaves the first in remote_procs for the reap.
+        remote_error = None
+        try:
+            for _ in range(2):
+                remote_procs.append(spawn_local_worker(work_root))
+        except (RuntimeError, OSError) as exc:
+            remote_error = f"{type(exc).__name__}: {exc}"
+        remote_workers = (
+            [address for _, address in remote_procs]
+            if remote_error is None
+            else []
+        )
+        for part in scales:
+            for name, workload, params in SCALES[part]:
+                system, opt = build_instance(workload, params, seed)
+                instances_meta.append(
+                    {
+                        "name": name,
+                        "workload": workload,
+                        "n": system.n,
+                        "m": system.m,
+                        "opt": opt,
+                        "seed": seed,
+                        "sharded": bool(params.get("sharded")),
+                    }
+                )
+                if params.get("sharded"):
+                    _bench_sharded_instance(
+                        runner, name, system, jobs_sweep, parity, encodings,
+                        remote_workers, work_root,
                     )
-                finally:
-                    shutil.rmtree(tmpdir, ignore_errors=True)
+                else:
+                    _bench_instance(runner, name, system)
+                    _bench_end_to_end(runner, name, system, seed)
+                    # The executor + codec sweep runs for in-memory rosters
+                    # too, through a temporary sharded copy of the instance.
+                    tmpdir = Path(tempfile.mkdtemp(
+                        prefix="repro-scan-", dir=work_root
+                    ))
+                    try:
+                        encodings[name] = _bench_parallel_and_encodings(
+                            runner, name, system, tmpdir, jobs_sweep, parity,
+                            remote_workers,
+                        )
+                    finally:
+                        shutil.rmtree(tmpdir, ignore_errors=True)
+    finally:
+        for process, _ in remote_procs:
+            process.terminate()
+        for process, _ in remote_procs:
+            try:
+                process.wait(timeout=10)
+            except Exception:  # pragma: no cover - stuck worker
+                process.kill()
+        shutil.rmtree(work_root, ignore_errors=True)
 
     payload = {
         "schema": SCHEMA,
@@ -717,6 +783,10 @@ def run_benchmarks(
         "instances": instances_meta,
         "results": runner.results,
         "encodings": encodings,
+        "remote_transport": {
+            "workers": len(remote_workers),
+            "error": remote_error,
+        },
         "parallel_parity": parity,
         "summary": _summarize(runner.results),
     }

@@ -1,13 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands, all file-based so the library is usable without writing
+Seven commands, all file-based so the library is usable without writing
 Python:
 
 * ``generate`` — emit a workload instance to a file (text or .json);
-* ``shard``    — convert an instance file into a chunked on-disk shard
-  repository (:mod:`repro.setsystem.shards`) for out-of-core runs;
+* ``shard``    — shard-repository tooling: ``shard create`` converts an
+  instance file into a chunked on-disk repository
+  (:mod:`repro.setsystem.shards`) for out-of-core runs, ``shard
+  backfill-stats`` upgrades a v1/v2 repository to the v3 statistics
+  schema in place (``repro shard <input> <output>`` still works as an
+  alias for ``create``);
 * ``solve``    — run a streaming algorithm over an instance file *or a
   shard directory* and print the cover plus the pass/space accounting;
+  ``--transport remote --workers host:port,...`` spreads the scans over
+  ``repro worker serve`` processes (results are bit-identical to local
+  runs, DESIGN.md §9);
+* ``worker``   — ``worker serve --root <dir>``: serve shard scans to
+  remote drivers over TCP (:mod:`repro.engine.transport.remote`);
 * ``info``     — instance statistics (n, m, sparsity, density, optimum
   bounds);
 * ``bench``    — run the packed-kernel benchmark suite and write a
@@ -15,11 +24,18 @@ Python:
 * ``experiments`` — run a named scenario suite, write
   ``EXPERIMENTS_<suite>.json`` and regenerate the EXPERIMENTS.md tables
   (see :mod:`repro.experiments`).
+
+Knob validation is shared with the library: every flag that feeds an
+engine knob (``--jobs``, ``--workers``) converts through the library's
+resolver inside :func:`_library_flag`, so invalid values surface as
+argparse usage errors naming the flag — never tracebacks — with one
+error path for all of them.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -81,27 +97,45 @@ _GENERATORS = {
 }
 
 
-def _jobs_argument(value: str):
-    """``--jobs`` validator: ``auto`` or a positive integer.
+def _library_flag(convert):
+    """Shared argparse error path for library-validated knob flags.
 
-    Delegates to :func:`repro.setsystem.parallel.resolve_jobs` so the
-    CLI rejects ``--jobs 0`` / negatives with the library's message (an
-    argparse usage error, never a traceback).
+    Wraps a library resolver (:func:`repro.engine.resolve_jobs`,
+    :func:`repro.engine.resolve_workers`, ...) as an argparse ``type``:
+    the library's ``ValueError`` — whose message names the flag — becomes
+    an :class:`argparse.ArgumentTypeError`, so every invalid knob value
+    surfaces as the same kind of usage error, never a traceback.
     """
-    from repro.setsystem.parallel import resolve_jobs
+
+    def parse(value: str):
+        try:
+            return convert(value)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+
+    return parse
+
+
+def _jobs_value(value: str):
+    """``--jobs`` resolver: ``auto`` or a positive integer."""
+    from repro.engine import resolve_jobs
 
     if value == "auto":
         return "auto"
-    try:
-        return resolve_jobs(value)
-    except ValueError as exc:
-        raise argparse.ArgumentTypeError(str(exc)) from None
+    return resolve_jobs(value)
+
+
+def _workers_value(value: str):
+    """``--workers`` resolver: comma-joined host:port pairs."""
+    from repro.engine import resolve_workers
+
+    return resolve_workers(value)
 
 
 def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
-        type=_jobs_argument,
+        type=_library_flag(_jobs_value),
         default="auto",
         help="scan-executor parallelism: 'auto' (default) or a positive "
         "worker count; results are identical at every setting",
@@ -137,14 +171,45 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--opt", type=int, default=5)
     gen.add_argument("--seed", type=int, default=0)
 
-    shard = sub.add_parser(
-        "shard", help="convert an instance file into an on-disk shard repository"
+    shard = sub.add_parser("shard", help="on-disk shard repository tooling")
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    shard_create = shard_sub.add_parser(
+        "create",
+        help="convert an instance file into an on-disk shard repository",
     )
-    shard.add_argument("input", help="instance path (.json or text)")
-    shard.add_argument("output", help="shard directory to create")
-    shard.add_argument(
+    shard_create.add_argument("input", help="instance path (.json or text)")
+    shard_create.add_argument("output", help="shard directory to create")
+    shard_create.add_argument(
         "--chunk-rows", type=int, default=None,
         help="sets per shard (default: sized for ~4 MiB shards)",
+    )
+    shard_backfill = shard_sub.add_parser(
+        "backfill-stats",
+        help="upgrade a v1/v2 repository to the v3 statistics schema in "
+        "place (idempotent; shard files untouched)",
+    )
+    shard_backfill.add_argument("root", help="shard directory to upgrade")
+    shard_backfill.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would change without rewriting the manifest",
+    )
+
+    worker = sub.add_parser("worker", help="distributed scan workers")
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+    worker_serve = worker_sub.add_parser(
+        "serve",
+        help="serve shard scans over TCP to `repro solve --transport remote` "
+        "drivers (trusted networks only; see docs/DISTRIBUTED.md)",
+    )
+    worker_serve.add_argument(
+        "--root", required=True,
+        help="directory tree the worker may open shard repositories under",
+    )
+    worker_serve.add_argument("--host", default="127.0.0.1")
+    worker_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (0 = pick an ephemeral port and "
+        "announce it on stdout)",
     )
 
     solve = sub.add_parser("solve", help="run a streaming algorithm")
@@ -176,6 +241,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_option(solve)
     _add_planner_option(solve)
+    solve.add_argument(
+        "--transport",
+        choices=["local", "remote"],
+        default="local",
+        help="scan-engine backend: 'local' (default; serial or process "
+        "pool per --jobs) or 'remote' (spread scans over --workers; "
+        "requires a shard-directory input; results are identical)",
+    )
+    solve.add_argument(
+        "--workers",
+        type=_library_flag(_workers_value),
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="remote worker addresses for --transport remote "
+        "(start them with `repro worker serve`)",
+    )
 
     info = sub.add_parser("info", help="instance statistics")
     info.add_argument("input", help="instance path (.json or text)")
@@ -242,7 +323,7 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_shard(args) -> int:
+def _cmd_shard_create(args) -> int:
     from repro.setsystem.shards import ShardedRepository, write_shards
 
     system = load(args.input)
@@ -255,12 +336,74 @@ def _cmd_shard(args) -> int:
     return 0
 
 
-def _cmd_solve(args) -> int:
+def _cmd_shard_backfill(args) -> int:
+    from repro.setsystem.shards import SHARD_SCHEMA, ShardedRepository
+
+    with ShardedRepository(args.root) as repo:
+        stats = "yes" if repo.has_stats else "no"
+        print(f"before : schema={repo.schema} stats={stats} "
+              f"shards={repo.shard_count}")
+        if args.dry_run:
+            if repo.has_stats:
+                print("dry-run: nothing to do — statistics already present")
+            else:
+                print(
+                    f"dry-run: would compute statistics for "
+                    f"{repo.shard_count} shard(s) and rewrite manifest.json "
+                    f"as {SHARD_SCHEMA} (shard files untouched)"
+                )
+            return 0
+        changed = repo.backfill_stats()
+        print(f"after  : schema={repo.schema} stats=yes "
+              f"shards={repo.shard_count}")
+        print("upgraded manifest in place" if changed
+              else "already up to date — nothing rewritten")
+    return 0
+
+
+def _cmd_worker_serve(args) -> int:
+    from repro.engine import WorkerServer
+
+    server = WorkerServer(args.root, host=args.host, port=args.port)
+    host, port = server.address
+    print(
+        f"repro worker (pid {os.getpid()}) serving {server.root}, "
+        f"listening on {host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_solve(args, parser: argparse.ArgumentParser) -> int:
     planner = args.planner != "off"
+    if args.transport == "remote" and args.workers is None:
+        parser.error("--transport remote requires --workers host:port[,...]")
+    if args.transport != "remote" and args.workers is not None:
+        parser.error("--workers only applies with --transport remote")
+    if args.transport == "remote" and args.jobs != "auto":
+        parser.error(
+            "--jobs does not apply with --transport remote "
+            "(parallelism is one scan lane per --workers entry)"
+        )
+    if args.transport == "remote" and not Path(args.input).is_dir():
+        parser.error(
+            "--transport remote needs a shard-directory input (remote "
+            "workers open repositories by path; see `repro shard create`)"
+        )
     if Path(args.input).is_dir():
         from repro.streaming.sharded import ShardedSetStream
 
-        stream = ShardedSetStream(args.input, jobs=args.jobs, planner=planner)
+        stream = ShardedSetStream(
+            args.input, jobs=args.jobs, planner=planner,
+            transport=(args.transport if args.transport != "local" else None),
+            workers=args.workers,
+        )
     else:
         stream = SetStream(load(args.input), jobs=args.jobs, planner=planner)
     algorithm = _ALGORITHMS[args.algorithm](args)
@@ -345,13 +488,27 @@ def _cmd_experiments(args) -> int:
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Pre-subcommand compatibility: `repro shard <input> <output>` keeps
+    # working as an alias for `repro shard create <input> <output>`.
+    if (
+        argv[:1] == ["shard"]
+        and len(argv) > 1
+        and argv[1] not in {"create", "backfill-stats", "-h", "--help"}
+    ):
+        argv.insert(1, "create")
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "shard":
-        return _cmd_shard(args)
+        if args.shard_command == "backfill-stats":
+            return _cmd_shard_backfill(args)
+        return _cmd_shard_create(args)
+    if args.command == "worker":
+        return _cmd_worker_serve(args)
     if args.command == "solve":
-        return _cmd_solve(args)
+        return _cmd_solve(args, parser)
     if args.command == "info":
         return _cmd_info(args)
     if args.command == "bench":

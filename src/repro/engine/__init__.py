@@ -1,0 +1,91 @@
+"""The transport-agnostic scan engine (DESIGN.md §6, §8, §9).
+
+A streaming pass is, per set, a pure map against a read-only residual —
+only the accept/pick step needs ordered reconciliation.  This package
+exploits that observation in three cleanly separated layers:
+
+* :mod:`repro.engine.plan` — *what to run where*: the batch planner
+  (contiguous cost-balanced shard segments from the manifest
+  statistics) and the ``jobs`` / ``workers`` knob resolution;
+* :mod:`repro.engine.transport` — *how to run it*: the
+  :class:`ScanExecutor` protocol with ``serial``, ``thread``,
+  ``process`` and ``remote`` backends, each a single module;
+* :mod:`repro.engine.merge` — *how results become one scan*: the
+  chunk-order reorder window, eager scan merging and the worker-side
+  accept simulation, shared by every backend.
+
+Because scheduling and transport are quarantined away from
+reconciliation, covers, tie-breaks, pass counts and accounting are
+**bit-identical** at every ``jobs`` × ``transport`` × ``planner`` ×
+encoding setting — the property tests in ``tests/test_parallel.py`` and
+``tests/test_remote.py`` assert exactly that, and a new backend (a job
+queue, an async I/O ring) is a one-file addition that inherits the
+guarantee from the merge layer.
+
+This is the import surface the rest of the repository uses; the old
+location, :mod:`repro.setsystem.parallel`, remains as a deprecated
+import shim.
+
+Examples
+--------
+>>> from repro.setsystem.packed import ScanMask
+>>> executor = SerialScanExecutor()
+>>> chunks = [(0, [0b011, 0b100]), (2, [0b111])]
+>>> result = executor.scan_chunks(3, chunks, ScanMask(3, 0b110))
+>>> list(result.gains), result.captured
+([1, 1, 2], [])
+>>> plan_batches([1, 1, 8, 1, 1], jobs=2, batches_per_worker=1)
+[[0, 1], [2, 3, 4]]
+"""
+
+from repro.engine.merge import (
+    AcceptBatch,
+    ReorderWindow,
+    ScanResult,
+    capture_words,
+    merge_scan_parts,
+    simulate_accepts,
+)
+from repro.engine.plan import (
+    JOBS_AUTO,
+    plan_batches,
+    resolve_jobs,
+    resolve_workers,
+)
+from repro.engine.transport import (
+    TRANSPORTS,
+    ProcessScanExecutor,
+    RemoteScanExecutor,
+    ScanExecutor,
+    SerialScanExecutor,
+    ThreadScanExecutor,
+    WorkerServer,
+    executor_for,
+    shutdown_pools,
+    spawn_local_worker,
+    thread_map,
+)
+
+__all__ = [
+    "JOBS_AUTO",
+    "TRANSPORTS",
+    "AcceptBatch",
+    "ProcessScanExecutor",
+    "RemoteScanExecutor",
+    "ReorderWindow",
+    "ScanExecutor",
+    "ScanResult",
+    "SerialScanExecutor",
+    "ThreadScanExecutor",
+    "WorkerServer",
+    "capture_words",
+    "executor_for",
+    "merge_scan_parts",
+    "plan_batches",
+    "resolve_jobs",
+    "resolve_workers",
+    "shutdown_pools",
+    "simulate_accepts",
+    "spawn_local_worker",
+    "thread_map",
+]

@@ -1,0 +1,399 @@
+"""Process-pool backend: local multi-core scans over worker-owned mmaps.
+
+Mechanics (DESIGN.md §6, §8):
+
+* workers live in :class:`concurrent.futures.ProcessPoolExecutor` pools,
+  created once per ``jobs`` count and shared by every stream in the
+  process (scans are stateless, so pools never need flushing between
+  streams); a worker that dies mid-scan raises a loud ``RuntimeError``
+  (never a hang), the mask's SharedMemory segment is unlinked, and the
+  broken pool is discarded so the next scan starts fresh;
+* sharded repositories are **re-opened inside each worker** (keyed by
+  path + manifest identity) so chunk reads are worker-local ``mmap``
+  page faults — no chunk bytes ever cross the process boundary;
+* in-memory chunks are shipped to workers as packed bytes (small
+  families only; the sharded path is the scale path);
+* the residual mask travels inline for small ground sets and through a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment once it
+  exceeds :data:`_SHM_MIN_MASK_BYTES`, so huge-universe scans do not
+  re-pickle megabytes of mask per chunk.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import signal
+import sys
+from multiprocessing.shared_memory import SharedMemory
+from pathlib import Path
+
+from repro.engine.merge import ReorderWindow, simulate_accepts
+from repro.engine.plan import plan_batches
+from repro.engine.transport.base import ScanExecutor
+from repro.setsystem.packed import ScanMask, scan_chunk
+
+try:  # numpy speeds up chunk kernels; every path has a pure-python fallback
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
+__all__ = ["ProcessScanExecutor"]
+
+#: Masks at least this large travel via SharedMemory instead of pickling.
+_SHM_MIN_MASK_BYTES = 1 << 20
+
+#: Worker-side cap on cached re-opened repositories.
+_WORKER_REPO_CACHE = 8
+
+#: Test hook (``tests/test_parallel.py``): when this environment
+#: variable is set, scan workers SIGKILL themselves mid-task so the
+#: crash-hygiene contract (loud failure, no SHM leak, pool recovery)
+#: stays regression-tested.
+_CRASH_TEST_ENV = "REPRO_TEST_CRASH_SCAN"
+
+_PROCESS_POOLS: dict[int, "concurrent.futures.ProcessPoolExecutor"] = {}
+
+
+def _get_process_pool(jobs: int):
+    pool = _PROCESS_POOLS.get(jobs)
+    if pool is None:
+        # Prefer cheap fork workers only on Linux; macOS keeps its spawn
+        # default (fork after Objective-C/Accelerate initialize is unsafe,
+        # which is why CPython switched the default there).  Every task
+        # function and payload is module-level and picklable, so spawn
+        # works everywhere.  Fork + the engine's thread pools is safe in
+        # the supported usage: drivers are single-threaded, a process
+        # pool is never created *during* a serial pipelined scan, and
+        # idle pool threads wait in pthread_cond_wait holding no locks —
+        # but it is a constraint: callers forking while another thread
+        # of theirs actively scans should pass their own start method
+        # policy (spawn pays worker reimport, ~seconds with numpy).
+        method = (
+            "fork"
+            if sys.platform.startswith("linux")
+            and "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        context = multiprocessing.get_context(method)
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context
+        )
+        _PROCESS_POOLS[jobs] = pool
+    return pool
+
+
+def _discard_process_pool(jobs: int) -> None:
+    """Drop a (broken) pool so the next scan at this count starts fresh."""
+    pool = _PROCESS_POOLS.pop(jobs, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _shutdown_process_pools() -> None:
+    for pool in _PROCESS_POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _PROCESS_POOLS.clear()
+
+
+def _attach_shm(name: str) -> SharedMemory:
+    """Attach to an existing segment without adopting its lifetime."""
+    try:
+        return SharedMemory(name=name, track=False)  # Python >= 3.13
+    except TypeError:
+        shm = SharedMemory(name=name)
+        try:  # pre-3.13: undo the tracker registration the attach made,
+            # the parent owns (and unlinks) the segment
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return shm
+
+
+def _mask_from_payload(payload, n: int) -> ScanMask:
+    kind = payload[0]
+    if kind == "raw":
+        return ScanMask(n, int.from_bytes(payload[1], "little"))
+    _, name, length = payload
+    shm = _attach_shm(name)
+    try:
+        mask_bytes = bytes(shm.buf[:length])
+    finally:
+        shm.close()
+    return ScanMask(n, int.from_bytes(mask_bytes, "little"))
+
+
+_WORKER_REPOS: dict = {}
+
+
+def _worker_repository(path: str, token):
+    """Open (and cache) a repository inside a worker process.
+
+    Deliberately simpler than the remote backend's refcounted
+    :class:`~repro.engine.transport.remote.WorkerServer` cache: a pool
+    worker runs one task at a time, so eviction can never race an
+    in-flight scan here and plain close-on-evict is safe.
+    """
+    key = (path, token)
+    repo = _WORKER_REPOS.get(key)
+    if repo is None:
+        from repro.setsystem.shards import ShardedRepository
+
+        for stale in [k for k in _WORKER_REPOS if k[0] == path]:
+            _WORKER_REPOS.pop(stale).close()
+        while len(_WORKER_REPOS) >= _WORKER_REPO_CACHE:
+            _WORKER_REPOS.pop(next(iter(_WORKER_REPOS))).close()
+        repo = ShardedRepository(path)
+        _WORKER_REPOS[key] = repo
+    return repo
+
+
+def _maybe_crash_for_tests() -> None:
+    if os.environ.get(_CRASH_TEST_ENV):  # pragma: no cover - dies by design
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _scan_shard_batch_task(args):
+    """Scan one planned batch of shards inside a worker process.
+
+    Returns ``[(shard, item), ...]`` where ``item`` is the per-chunk
+    scan triple — or, in accept mode, ``(start, captured, AcceptBatch)``
+    with the accept simulation already run worker-side.
+    """
+    (path, token, shards, n, mask_payload, min_gain, capture_ids, best_only,
+     include_gains, accept_threshold) = args
+    _maybe_crash_for_tests()
+    repository = _worker_repository(path, token)
+    mask = _mask_from_payload(mask_payload, n)
+    out = []
+    for position, shard in enumerate(shards):
+        if position + 1 < len(shards):
+            repository.prefetch_shard(shards[position + 1])
+        start, gains, captured = repository.scan_shard(
+            shard, mask,
+            min_capture_gain=(
+                accept_threshold if accept_threshold is not None else min_gain
+            ),
+            capture_ids=capture_ids,
+            best_only=best_only,
+        )
+        if accept_threshold is not None:
+            item = (
+                start,
+                captured,
+                simulate_accepts(mask.mask_int, accept_threshold, captured),
+            )
+        else:
+            item = (start, (gains if include_gains else None), captured)
+        out.append((shard, item))
+    return out
+
+
+def _scan_chunk_batch_task(args):
+    """Scan one batch of shipped in-memory chunks inside a worker."""
+    (batch, n, mask_payload, min_gain, capture_ids, best_only, include_gains,
+     accept_threshold) = args
+    _maybe_crash_for_tests()
+    mask = _mask_from_payload(mask_payload, n)
+    out = []
+    for order, start, kind, payload, rows, words in batch:
+        if kind == "matrix":
+            chunk = np.frombuffer(payload, dtype="<u8").reshape(rows, words)
+        else:
+            chunk = payload
+        gains, captured = scan_chunk(
+            start, chunk, mask,
+            min_capture_gain=(
+                accept_threshold if accept_threshold is not None else min_gain
+            ),
+            capture_ids=capture_ids,
+            best_only=best_only,
+        )
+        if accept_threshold is not None:
+            item = (
+                start,
+                captured,
+                simulate_accepts(mask.mask_int, accept_threshold, captured),
+            )
+        else:
+            item = (start, (gains if include_gains else None), captured)
+        out.append((order, item))
+    return out
+
+
+class ProcessScanExecutor(ScanExecutor):
+    """Chunk scans fanned out over a shared pool of worker processes.
+
+    Determinism: whatever order the planner submits batches in, every
+    per-chunk result is keyed by its position in the chunk sequence and
+    re-assembled in that order through the shared
+    :class:`~repro.engine.merge.ReorderWindow` before it reaches the
+    caller — consumers see exactly the serial executor's chunk sequence,
+    so results are bit-identical to ``jobs=1`` by construction.
+
+    Crash hygiene: a worker that dies mid-scan surfaces as a
+    ``RuntimeError`` (wrapping ``BrokenProcessPool``) on the consuming
+    side — never a hang — the residual mask's SharedMemory segment is
+    unlinked before the error propagates, and the broken pool is
+    discarded so the next scan at this ``jobs`` count starts a fresh
+    one.
+    """
+
+    transport = "process"
+
+    def __init__(self, jobs: int, planner: bool = True):
+        if jobs < 2:
+            raise ValueError(f"ProcessScanExecutor needs jobs >= 2, got {jobs}")
+        self.jobs = jobs
+        self.planner = planner
+
+    # -- mask transport -------------------------------------------------
+    @staticmethod
+    def _mask_payload(mask_int: int, words: int):
+        """Returns ``(payload, shm)``; caller unlinks ``shm`` after use."""
+        mask_bytes = mask_int.to_bytes(words * 8, "little")
+        if len(mask_bytes) >= _SHM_MIN_MASK_BYTES:
+            shm = SharedMemory(create=True, size=max(1, len(mask_bytes)))
+            shm.buf[: len(mask_bytes)] = mask_bytes
+            return ("shm", shm.name, len(mask_bytes)), shm
+        return ("raw", mask_bytes), None
+
+    def _drain(self, task_fn, make_tasks):
+        """Submit planned batches; yield per-chunk items in chunk order.
+
+        ``make_tasks()`` builds the task tuples (and the mask's
+        SharedMemory segment, when one is needed) — called here, inside
+        the generator body, so nothing is allocated until the first
+        ``next()`` and an iterator that is never started can never leak
+        a segment.  Task results are lists of ``(position, item)`` pairs
+        with positions partitioning ``0..count-1``; items buffer in the
+        shared reorder window until their position is next, so consumers
+        never observe the batching.
+        """
+        tasks, count, shm = make_tasks()
+        futures: list = []
+        try:
+            # Submission sits inside the try: submitting to a pool whose
+            # workers died earlier (and whose breakage went unobserved,
+            # e.g. after an abandoned scan) raises BrokenProcessPool too,
+            # and must discard the pool and release the mask SHM exactly
+            # like a mid-scan death.
+            pool = _get_process_pool(self.jobs)
+            futures = [pool.submit(task_fn, task) for task in tasks]
+            window = ReorderWindow(count)
+            pending = set(futures)
+            while not window.complete:
+                done, pending = concurrent.futures.wait(
+                    pending,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    for position, item in future.result():
+                        window.push(position, item)
+                yield from window.pop_ready()
+        except concurrent.futures.BrokenExecutor as exc:
+            _discard_process_pool(self.jobs)
+            raise RuntimeError(
+                f"a scan worker died mid-scan (jobs={self.jobs}); the broken "
+                "pool was discarded and the next scan will start a fresh one"
+            ) from exc
+        finally:
+            for future in futures:
+                future.cancel()
+            concurrent.futures.wait(futures)
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+
+    # -- sources --------------------------------------------------------
+    def _repository_tasks(
+        self, repository, mask_int, min_capture_gain, capture_ids, best_only,
+        include_gains, accept_threshold,
+    ):
+        path = str(repository.path)
+        stat = (Path(path) / "manifest.json").stat()
+        token = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+        capture_ids = frozenset(capture_ids) if capture_ids is not None else None
+        if self.planner:
+            batches = plan_batches(repository.shard_cost_estimates(), self.jobs)
+        else:  # the PR 3 schedule: one task per shard, index order
+            batches = [[shard] for shard in range(repository.shard_count)]
+        payload, shm = self._mask_payload(mask_int, repository.words)
+        tasks = [
+            (path, token, batch, repository.n, payload, min_capture_gain,
+             capture_ids, best_only, include_gains, accept_threshold)
+            for batch in batches
+        ]
+        return tasks, repository.shard_count, shm
+
+    def iter_scan_repository(
+        self, repository, mask_int, min_capture_gain=None, capture_ids=None,
+        best_only=False, include_gains=True,
+    ):
+        return self._drain(
+            _scan_shard_batch_task,
+            lambda: self._repository_tasks(
+                repository, mask_int, min_capture_gain, capture_ids,
+                best_only, include_gains, None,
+            ),
+        )
+
+    def iter_accept_repository(self, repository, mask_int, threshold):
+        return self._drain(
+            _scan_shard_batch_task,
+            lambda: self._repository_tasks(
+                repository, mask_int, None, None, False, False, threshold,
+            ),
+        )
+
+    def _chunk_tasks(
+        self, n, chunks, mask, min_capture_gain, capture_ids, best_only,
+        include_gains, accept_threshold,
+    ):
+        capture_ids = frozenset(capture_ids) if capture_ids is not None else None
+        payload, shm = self._mask_payload(mask.mask_int, mask.words)
+        entries = []
+        for order, (start, chunk) in enumerate(chunks):
+            if np is not None and isinstance(chunk, np.ndarray):
+                entries.append(
+                    (order, start, "matrix", chunk.tobytes(),
+                     chunk.shape[0], chunk.shape[1])
+                )
+            else:
+                entries.append((order, start, "masks", list(chunk), len(chunk), 0))
+        if self.planner:
+            # Chunks of an in-memory family are near-equal row slices, so
+            # the plan degenerates to even contiguous batching — the win
+            # here is amortized IPC, not balance.
+            plan = plan_batches([max(1, entry[4]) for entry in entries], self.jobs)
+        else:
+            plan = [[order] for order in range(len(entries))]
+        tasks = [
+            ([entries[order] for order in batch], n, payload, min_capture_gain,
+             capture_ids, best_only, include_gains, accept_threshold)
+            for batch in plan
+        ]
+        return tasks, len(entries), shm
+
+    def iter_scan_chunks(
+        self, n, chunks, mask, min_capture_gain=None, capture_ids=None,
+        best_only=False, include_gains=True,
+    ):
+        return self._drain(
+            _scan_chunk_batch_task,
+            lambda: self._chunk_tasks(
+                n, chunks, mask, min_capture_gain, capture_ids, best_only,
+                include_gains, None,
+            ),
+        )
+
+    def iter_accept_chunks(self, n, chunks, mask, threshold):
+        return self._drain(
+            _scan_chunk_batch_task,
+            lambda: self._chunk_tasks(
+                n, chunks, mask, None, None, False, False, threshold,
+            ),
+        )

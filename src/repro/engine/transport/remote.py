@@ -1,0 +1,770 @@
+"""Remote-worker backend: scans spread over multiple machines (DESIGN.md §9).
+
+The multi-pass algorithms of the paper trade passes for space, so at
+scale the dominant cost is re-scanning the repository every pass — the
+regime where adding machines adds scan bandwidth.  This backend spreads
+one logical scan over a fleet of worker processes reachable by TCP:
+
+* a **worker** (``python -m repro worker serve --root <dir>``) owns a
+  directory tree of shard repositories.  Per scan request it opens the
+  named repository *by path* (cached, keyed by path + manifest token,
+  exactly like the process backend's fork workers), scans the requested
+  shards via its own ``mmap``, and streams per-shard results back as
+  they complete;
+* the **driver** (:class:`RemoteScanExecutor`) plans contiguous
+  cost-balanced shard batches (:func:`repro.engine.plan.plan_batches`),
+  deals them round-robin to its workers in chunk order, and funnels
+  every reply through the shared
+  :class:`~repro.engine.merge.ReorderWindow` — so whatever order
+  workers finish in, consumers observe exactly the serial executor's
+  chunk sequence and results stay bit-identical (§9.2).
+
+Wire protocol (version :data:`PROTOCOL_VERSION`)
+------------------------------------------------
+Every frame is ``tag(1 byte) + length(u32 big-endian) + payload``; tag
+``J`` marks a UTF-8 JSON payload, tag ``B`` raw bytes.  Bitmask-valued
+fields travel as lowercase hex strings inside JSON; the residual mask
+and the per-shard gains vectors — the two bulk payloads — travel as
+``B`` frames (mask: little-endian packed words; gains: ``int64``
+little-endian).  See docs/DISTRIBUTED.md for the full message table.
+
+Failure model: a worker that disconnects (or reports an error) mid-scan
+surfaces as a loud ``RuntimeError`` naming the worker — never a hang and
+never a silently-short scan; the driver holds no SharedMemory and no
+pools, so there is nothing to leak or recover.  Workers are stateless
+between requests: the next scan simply reconnects.
+
+The protocol carries set-system scan requests only — no code, no
+pickles — but it is **unauthenticated**: run workers on a trusted
+network (or an SSH tunnel), and point ``--root`` at the narrowest
+directory that contains your repositories (path traversal outside the
+root is rejected).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import select
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import zlib
+from pathlib import Path
+
+from repro.engine.merge import AcceptBatch, ReorderWindow, simulate_accepts
+from repro.engine.plan import plan_batches, resolve_workers
+from repro.engine.transport.base import ScanExecutor
+
+try:  # gains vectors decode into numpy when available
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RemoteScanExecutor",
+    "WorkerServer",
+    "manifest_token",
+    "spawn_local_worker",
+]
+
+#: Bumped whenever a frame or message field changes shape.  Driver and
+#: worker exchange versions in the hello handshake and refuse mismatches
+#: loudly instead of desynchronizing mid-scan.
+PROTOCOL_VERSION = 1
+
+_FRAME_JSON = b"J"
+_FRAME_BYTES = b"B"
+_FRAME_HEADER = struct.Struct(">cI")
+
+#: Frames larger than this indicate a desynchronized (or hostile) peer.
+_MAX_FRAME_BYTES = 1 << 30
+
+#: Worker-side cap on cached opened repositories (mirrors the process
+#: backend's worker cache).
+_SERVER_REPO_CACHE = 8
+
+#: Test hook (``tests/test_remote.py``): when set in a worker's
+#: environment, the worker SIGKILLs itself after streaming its first
+#: shard result — the remote twin of ``REPRO_TEST_CRASH_SCAN`` — so the
+#: disconnect contract (loud RuntimeError, no SHM, no partial state)
+#: stays regression-tested.
+_CRASH_TEST_ENV = "REPRO_TEST_CRASH_REMOTE"
+
+#: How long :func:`spawn_local_worker` waits for the announce line.
+_SPAWN_TIMEOUT_SECONDS = 30.0
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class ProtocolError(RuntimeError):
+    """A malformed, truncated or mismatched protocol exchange."""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    parts = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def _send_frame(sock: socket.socket, tag: bytes, payload: bytes) -> None:
+    sock.sendall(_FRAME_HEADER.pack(tag, len(payload)) + payload)
+
+
+def _recv_frame(sock: socket.socket) -> tuple[bytes, bytes]:
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    tag, length = _FRAME_HEADER.unpack(header)
+    if tag not in (_FRAME_JSON, _FRAME_BYTES):
+        raise ProtocolError(f"unknown frame tag {tag!r}")
+    if length > _MAX_FRAME_BYTES:
+        raise ProtocolError(f"oversized frame ({length} bytes)")
+    return tag, _recv_exact(sock, length)
+
+
+def send_json(sock: socket.socket, message: dict) -> None:
+    """Send one JSON control frame."""
+    _send_frame(sock, _FRAME_JSON, json.dumps(message).encode("utf-8"))
+
+
+def send_bytes(sock: socket.socket, payload: bytes) -> None:
+    """Send one raw-bytes bulk frame."""
+    _send_frame(sock, _FRAME_BYTES, payload)
+
+
+def recv_json(sock: socket.socket) -> dict:
+    """Receive one frame and require it to be JSON."""
+    tag, payload = _recv_frame(sock)
+    if tag != _FRAME_JSON:
+        raise ProtocolError("expected a JSON frame, got bytes")
+    message = json.loads(payload.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ProtocolError("JSON frame is not an object")
+    return message
+
+
+def recv_bytes(sock: socket.socket) -> bytes:
+    """Receive one frame and require it to be raw bytes."""
+    tag, payload = _recv_frame(sock)
+    if tag != _FRAME_BYTES:
+        raise ProtocolError("expected a bytes frame, got JSON")
+    return payload
+
+
+def manifest_token(path: "str | Path") -> list[int]:
+    """Content identity of a repository's manifest: ``[size, crc32]``.
+
+    Unlike the process backend's ``(inode, mtime, size)`` key — which is
+    only meaningful on one filesystem — this token is pure content, so a
+    driver and a worker that see the repository through different mounts
+    still agree on what they are scanning.  A worker whose manifest
+    bytes hash differently refuses the scan instead of silently scanning
+    a different family.
+    """
+    data = (Path(path) / "manifest.json").read_bytes()
+    return [len(data), zlib.crc32(data)]
+
+
+def _encode_captured(captured) -> list:
+    return [[int(row_id), format(projection, "x")] for row_id, projection in captured]
+
+
+def _decode_captured(encoded) -> list:
+    return [(int(row_id), int(projection_hex, 16)) for row_id, projection_hex in encoded]
+
+
+def _encode_gains(gains) -> bytes:
+    if np is not None and isinstance(gains, np.ndarray):
+        return np.ascontiguousarray(gains, dtype="<i8").tobytes()
+    return b"".join(int(g).to_bytes(8, "little", signed=True) for g in gains)
+
+
+def _decode_gains(payload: bytes):
+    if np is not None:
+        return np.frombuffer(payload, dtype="<i8").astype(np.int64, copy=False)
+    return [
+        int.from_bytes(payload[i : i + 8], "little", signed=True)
+        for i in range(0, len(payload), 8)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker server
+# ----------------------------------------------------------------------
+class WorkerServer:
+    """One remote scan worker: serves shard scans under a root directory.
+
+    Lifecycle: construct (binds and listens immediately, so
+    :attr:`address` is final even with ``port=0``), then either
+    :meth:`serve_forever` on the current thread (the CLI) or
+    :meth:`start` a daemon thread (tests), and :meth:`stop` to unbind.
+    Each connection is handled on its own thread; requests on one
+    connection are processed strictly in order.  The server holds
+    repositories open in a small cache keyed by (path, manifest token) —
+    a repository that was rewritten in place simply misses the cache and
+    re-opens.
+    """
+
+    def __init__(self, root: "str | Path", host: str = "127.0.0.1", port: int = 0):
+        self.root = Path(root).resolve()
+        if not self.root.is_dir():
+            raise ValueError(f"worker root {self.root} is not a directory")
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        # Repository cache with reference counts: concurrent connections
+        # may be scanning a repository the moment eviction wants it gone,
+        # so evicted-while-busy entries are only *doomed* and closed by
+        # the releasing scan once their refcount drains to zero.
+        self._repos: dict = {}
+        self._repo_refs: dict = {}
+        self._repo_doomed: set = set()
+        self._repo_lock = threading.Lock()
+        self._stopped = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` the server is listening on."""
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    # -- lifecycle ------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`stop` (or EINTR)."""
+        while not self._stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def start(self) -> "WorkerServer":
+        """Serve on a daemon thread (in-process workers for tests)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Unbind the listener and drop cached repositories."""
+        self._stopped.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+        with self._repo_lock:
+            for repo in self._repos.values():
+                repo.close()
+            self._repos.clear()
+            self._repo_refs.clear()
+            self._repo_doomed.clear()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "WorkerServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- request handling -----------------------------------------------
+    def _open_repository(self, path_text: str, token):
+        resolved = Path(path_text)
+        if not resolved.is_absolute():
+            resolved = self.root / resolved
+        resolved = resolved.resolve()
+        if self.root != resolved and self.root not in resolved.parents:
+            raise ProtocolError(
+                f"repository {path_text!r} is outside the serving root "
+                f"{self.root}"
+            )
+        observed = manifest_token(resolved)
+        if list(token) != observed:
+            raise ProtocolError(
+                f"manifest token mismatch for {path_text!r}: driver sent "
+                f"{list(token)}, worker sees {observed} — driver and worker "
+                "are not looking at the same repository"
+            )
+        key = (str(resolved), tuple(observed))
+        with self._repo_lock:
+            repo = self._repos.get(key)
+            if repo is None:
+                from repro.setsystem.shards import ShardedRepository
+
+                for stale in [k for k in self._repos if k[0] == str(resolved)]:
+                    self._evict_locked(stale)
+                # Evict exactly the overflow count of *live* entries: a
+                # doomed-but-busy entry stays in the dict until released
+                # (it is already as evicted as it can get), so re-checking
+                # len() here would doom the whole hot working set.
+                excess = (
+                    len(self._repos) - len(self._repo_doomed)
+                    - _SERVER_REPO_CACHE + 1
+                )
+                for victim in list(self._repos):
+                    if excess <= 0:
+                        break
+                    if victim in self._repo_doomed:
+                        continue
+                    self._evict_locked(victim)
+                    excess -= 1
+                repo = ShardedRepository(resolved)
+                self._repos[key] = repo
+                self._repo_refs.setdefault(key, 0)
+            else:
+                self._repo_doomed.discard(key)  # hot again: cancel eviction
+            self._repo_refs[key] += 1
+        return key, repo
+
+    def _evict_locked(self, key) -> None:
+        """Drop a cache entry; close now if idle, else on last release.
+
+        Closing a memory-mapped repository another connection thread is
+        mid-scan on would pull the mmap out from under it, so busy
+        entries are only marked doomed here and the final
+        :meth:`_release_repository` performs the close.
+        """
+        if self._repo_refs.get(key, 0) > 0:
+            self._repo_doomed.add(key)
+        else:
+            self._repos.pop(key).close()
+            self._repo_refs.pop(key, None)
+            self._repo_doomed.discard(key)
+
+    def _release_repository(self, key) -> None:
+        with self._repo_lock:
+            if key not in self._repos:
+                return  # stop() already closed everything
+            self._repo_refs[key] -= 1
+            if key in self._repo_doomed and self._repo_refs[key] <= 0:
+                self._repos.pop(key).close()
+                self._repo_refs.pop(key, None)
+                self._repo_doomed.discard(key)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            try:
+                hello = recv_json(conn)
+                if hello.get("op") != "hello":
+                    raise ProtocolError(f"expected hello, got {hello.get('op')!r}")
+                if hello.get("protocol") != PROTOCOL_VERSION:
+                    send_json(conn, {
+                        "op": "error",
+                        "message": (
+                            f"protocol mismatch: driver speaks "
+                            f"{hello.get('protocol')!r}, worker speaks "
+                            f"{PROTOCOL_VERSION}"
+                        ),
+                    })
+                    return
+                send_json(conn, {
+                    "op": "hello",
+                    "protocol": PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                    "root": str(self.root),
+                })
+                while True:
+                    try:
+                        request = recv_json(conn)
+                    except ConnectionError:
+                        return  # driver went away between requests: normal
+                    op = request.get("op")
+                    if op == "ping":
+                        send_json(conn, {"op": "pong"})
+                    elif op == "scan":
+                        self._handle_scan(conn, request)
+                    else:
+                        raise ProtocolError(f"unknown op {op!r}")
+            except (ProtocolError, ConnectionError, OSError, ValueError) as exc:
+                # Describe the failure to the driver if the socket still
+                # works, then drop the connection: per-connection state is
+                # only the repo cache, which is shared and still valid.
+                try:
+                    send_json(conn, {"op": "error", "message": str(exc)})
+                except OSError:
+                    pass
+
+    def _handle_scan(self, conn: socket.socket, request: dict) -> None:
+        mask_bytes = recv_bytes(conn)
+        try:
+            key, repo = self._open_repository(request["path"], request["token"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed scan request: {exc}") from exc
+        try:
+            try:
+                n = int(request["n"])
+                if n != repo.n:
+                    raise ProtocolError(
+                        f"driver expects n={n}, repository has n={repo.n}"
+                    )
+                shards = [int(s) for s in request["shards"]]
+                for shard in shards:
+                    if not 0 <= shard < repo.shard_count:
+                        raise ProtocolError(
+                            f"shard {shard} outside 0..{repo.shard_count - 1}"
+                        )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(f"malformed scan request: {exc}") from exc
+            from repro.setsystem.packed import ScanMask
+
+            mask = ScanMask(n, int.from_bytes(mask_bytes, "little"))
+            accept_threshold = request.get("accept_threshold")
+            min_gain = request.get("min_capture_gain")
+            capture_ids = request.get("capture_ids")
+            capture_ids = (
+                frozenset(capture_ids) if capture_ids is not None else None
+            )
+            include_gains = bool(request.get("include_gains", True))
+            best_only = bool(request.get("best_only", False))
+            crash_hook = os.environ.get(_CRASH_TEST_ENV)
+            for position, shard in enumerate(shards):
+                if position + 1 < len(shards):
+                    repo.prefetch_shard(shards[position + 1])
+                start, gains, captured = repo.scan_shard(
+                    shard, mask,
+                    min_capture_gain=(
+                        accept_threshold
+                        if accept_threshold is not None
+                        else min_gain
+                    ),
+                    capture_ids=capture_ids,
+                    best_only=best_only,
+                )
+                reply = {
+                    "op": "result",
+                    "shard": shard,
+                    "start": start,
+                    "captured": _encode_captured(captured),
+                }
+                send_gains = accept_threshold is None and include_gains
+                reply["gains"] = send_gains
+                if accept_threshold is not None:
+                    batch = simulate_accepts(
+                        mask.mask_int, accept_threshold, captured
+                    )
+                    reply["accept"] = {
+                        "ids": batch.ids,
+                        "removed": format(batch.removed, "x"),
+                        "touched": format(batch.touched, "x"),
+                    }
+                send_json(conn, reply)
+                if send_gains:
+                    send_bytes(conn, _encode_gains(gains))
+                if crash_hook:  # pragma: no cover - dies by design
+                    os.kill(os.getpid(), signal.SIGKILL)
+            send_json(conn, {"op": "done", "shards": len(shards)})
+        finally:
+            self._release_repository(key)
+
+
+# ----------------------------------------------------------------------
+# Driver executor
+# ----------------------------------------------------------------------
+def _connect(worker: tuple[str, int]) -> socket.socket:
+    host, port = worker
+    try:
+        sock = socket.create_connection((host, port), timeout=30.0)
+    except OSError as exc:
+        raise RuntimeError(
+            f"cannot reach remote worker {host}:{port}: {exc} "
+            "(is `python -m repro worker serve` running there?)"
+        ) from exc
+    try:
+        # The connect timeout stays in force through the handshake: a
+        # host that accepts the connection but never replies (wedged
+        # worker, wrong service) must error, not hang the driver.
+        send_json(sock, {"op": "hello", "protocol": PROTOCOL_VERSION})
+        reply = recv_json(sock)
+        if reply.get("op") == "error":
+            raise ProtocolError(reply.get("message", "worker refused the hello"))
+        if reply.get("op") != "hello" or reply.get("protocol") != PROTOCOL_VERSION:
+            raise ProtocolError(f"unexpected hello reply {reply!r}")
+    except (ProtocolError, ConnectionError, OSError) as exc:
+        sock.close()
+        raise RuntimeError(
+            f"handshake with remote worker {host}:{port} failed: {exc}"
+        ) from exc
+    sock.settimeout(None)  # scans block as long as the data takes
+    return sock
+
+
+class RemoteScanExecutor(ScanExecutor):
+    """Chunk scans fanned out over remote worker processes.
+
+    ``workers`` takes anything :func:`repro.engine.plan.resolve_workers`
+    accepts (the CLI's ``host:port,host:port`` string or a list of
+    pairs).  Connections are opened per scan and closed when the scan's
+    iterator is exhausted or abandoned — workers keep no per-driver
+    state, so a failed scan needs no cleanup beyond reconnecting.
+
+    Only repository scans are remote: the whole point of the backend is
+    that workers re-open the shard repository themselves and page it
+    through their own ``mmap``.  In-memory chunk scans
+    (:meth:`iter_scan_chunks`) raise — shipping a resident family over
+    TCP would be strictly worse than the process backend.
+    """
+
+    transport = "remote"
+
+    def __init__(self, workers, planner: bool = True):
+        self.workers = resolve_workers(workers)
+        self.jobs = len(self.workers)
+        self.planner = planner
+
+    # -- unsupported in-memory flavours ---------------------------------
+    def iter_scan_chunks(
+        self, n, chunks, mask, min_capture_gain=None, capture_ids=None,
+        best_only=False, include_gains=True,
+    ):
+        raise RuntimeError(
+            "the remote transport scans on-disk shard repositories only; "
+            "in-memory families have no path a worker could open — use "
+            "`repro shard create` (or write_shards) and a ShardedSetStream"
+        )
+
+    def iter_accept_chunks(self, n, chunks, mask, threshold):
+        return self.iter_scan_chunks(n, chunks, mask)
+
+    # -- repository scans ------------------------------------------------
+    def iter_scan_repository(
+        self, repository, mask_int, min_capture_gain=None, capture_ids=None,
+        best_only=False, include_gains=True,
+    ):
+        return self._iter_remote(
+            repository, mask_int, min_capture_gain, capture_ids, best_only,
+            include_gains, None,
+        )
+
+    def iter_accept_repository(self, repository, mask_int, threshold):
+        return self._iter_remote(
+            repository, mask_int, None, None, False, False, threshold,
+        )
+
+    def _assignments(self, repository) -> list[list[int]]:
+        """Deal planned batches round-robin to workers, in chunk order."""
+        if self.planner:
+            batches = plan_batches(repository.shard_cost_estimates(), self.jobs)
+        else:  # the pre-planner schedule: one batch per shard, index order
+            batches = [[shard] for shard in range(repository.shard_count)]
+        assignments: list[list[int]] = [[] for _ in self.workers]
+        for index, batch in enumerate(batches):
+            assignments[index % len(self.workers)].extend(batch)
+        return assignments
+
+    def _iter_remote(
+        self, repository, mask_int, min_capture_gain, capture_ids, best_only,
+        include_gains, accept_threshold,
+    ):
+        count = repository.shard_count
+        if count == 0:
+            return
+        request = {
+            "op": "scan",
+            "path": str(Path(repository.path).resolve()),
+            "token": manifest_token(repository.path),
+            "n": repository.n,
+            "min_capture_gain": min_capture_gain,
+            "capture_ids": (
+                sorted(capture_ids) if capture_ids is not None else None
+            ),
+            "best_only": best_only,
+            "include_gains": include_gains,
+            "accept_threshold": accept_threshold,
+        }
+        mask_bytes = mask_int.to_bytes(max(1, repository.words * 8), "little")
+        assignments = [a for a in self._assignments(repository) if a]
+        results: "queue.Queue[tuple]" = queue.Queue()
+        sockets: list[socket.socket] = []
+        threads: list[threading.Thread] = []
+        try:
+            active = []
+            for worker, shards in zip(self.workers, assignments):
+                sock = _connect(worker)
+                sockets.append(sock)
+                active.append((worker, sock, shards))
+            # Connect first, then send: if any worker is unreachable the
+            # scan fails before any request reaches the others.
+            for worker, sock, shards in active:
+                thread = threading.Thread(
+                    target=self._pump_worker,
+                    args=(worker, sock, dict(request, shards=shards),
+                          mask_bytes, accept_threshold, include_gains, results),
+                    daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+            window = ReorderWindow(count)
+            finished = 0
+            while not window.complete:
+                if finished == len(threads):
+                    raise RuntimeError(
+                        "remote scan ended short: every worker reported done "
+                        f"but only {window.emitted} of {count} shard results "
+                        "arrived"
+                    )
+                kind, payload = results.get()
+                if kind == "error":
+                    worker, message = payload
+                    host, port = worker
+                    raise RuntimeError(
+                        f"remote worker {host}:{port} failed mid-scan: "
+                        f"{message} — the scan is incomplete and must be "
+                        "rerun (chunks yielded before the failure may "
+                        "already have been consumed)"
+                    )
+                if kind == "done":
+                    finished += 1
+                    continue
+                shard, item = payload
+                window.push(shard, item)
+                yield from window.pop_ready()
+        finally:
+            for sock in sockets:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - already dead
+                    pass
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+    @staticmethod
+    def _pump_worker(
+        worker, sock, request, mask_bytes, accept_threshold, include_gains,
+        results,
+    ) -> None:
+        """Connection thread: send one scan request, stream replies back."""
+        expected = set(request["shards"])
+        try:
+            send_json(sock, request)
+            send_bytes(sock, mask_bytes)
+            while expected:
+                message = recv_json(sock)
+                op = message.get("op")
+                if op == "error":
+                    results.put(("error", (worker, message.get("message"))))
+                    return
+                if op == "done":
+                    raise ProtocolError(
+                        f"worker finished with {len(expected)} shard(s) "
+                        "undelivered"
+                    )
+                if op != "result":
+                    raise ProtocolError(f"unexpected op {op!r} mid-scan")
+                shard = int(message["shard"])
+                if shard not in expected:
+                    raise ProtocolError(f"unrequested shard {shard} delivered")
+                expected.discard(shard)
+                start = int(message["start"])
+                captured = _decode_captured(message["captured"])
+                if accept_threshold is not None:
+                    accept = message["accept"]
+                    item = (
+                        start,
+                        captured,
+                        AcceptBatch(
+                            ids=[int(i) for i in accept["ids"]],
+                            removed=int(accept["removed"], 16),
+                            touched=int(accept["touched"], 16),
+                        ),
+                    )
+                else:
+                    gains = (
+                        _decode_gains(recv_bytes(sock))
+                        if message.get("gains")
+                        else None
+                    )
+                    item = (start, (gains if include_gains else None), captured)
+                results.put(("item", (shard, item)))
+            message = recv_json(sock)
+            if message.get("op") != "done":
+                raise ProtocolError(
+                    f"expected done after last shard, got {message.get('op')!r}"
+                )
+            results.put(("done", worker))
+        except (ProtocolError, ConnectionError, OSError, ValueError, KeyError) as exc:
+            results.put(("error", (worker, f"{type(exc).__name__}: {exc}")))
+
+
+# ----------------------------------------------------------------------
+# Local spawn helper (tests, benchmarks, CI smoke)
+# ----------------------------------------------------------------------
+def spawn_local_worker(
+    root: "str | Path",
+    host: str = "127.0.0.1",
+    extra_env: "dict | None" = None,
+    timeout: float = _SPAWN_TIMEOUT_SECONDS,
+):
+    """Start ``python -m repro worker serve`` as a localhost subprocess.
+
+    Binds an ephemeral port (``--port 0``) and parses the worker's
+    announce line for the actual address.  Returns ``(process,
+    (host, port))``; the caller owns the process and should
+    ``terminate()`` it when done.  ``extra_env`` entries overlay the
+    inherited environment (used by the crash-hygiene tests to plant
+    :data:`_CRASH_TEST_ENV`).
+    """
+    import repro
+
+    env = dict(os.environ)
+    package_parent = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = (
+        package_parent + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else package_parent
+    )
+    if extra_env:
+        env.update(extra_env)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "serve",
+         "--root", str(root), "--host", host, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    deadline = time.monotonic() + timeout
+    announce = ""
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            process.terminate()
+            raise RuntimeError(f"worker did not announce within {timeout}s")
+        # select() guards the readline: a worker that wedges before
+        # printing (and never exits) must trip the timeout, not block
+        # this call forever on the pipe.
+        ready, _, _ = select.select([process.stdout], [], [],
+                                    min(0.5, remaining))
+        if process.poll() is not None and not ready:
+            rest = process.stdout.read() or ""
+            raise RuntimeError(
+                f"worker exited during startup (rc={process.returncode}): "
+                f"{announce}{rest}"
+            )
+        if not ready:
+            continue
+        announce = process.stdout.readline()
+        if "listening on" in announce:
+            break
+        if announce == "" and process.poll() is not None:
+            raise RuntimeError(
+                f"worker exited during startup (rc={process.returncode})"
+            )
+    port = int(announce.rstrip().rsplit(":", 1)[1])
+    return process, (host, port)

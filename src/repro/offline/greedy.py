@@ -16,7 +16,7 @@ covers — the backend-equivalence tests in ``tests/test_packed.py`` pin
 this down.
 
 With ``jobs > 1`` the numpy strategy runs each pick's gains scan
-through a :class:`~repro.setsystem.parallel.ThreadScanExecutor` over
+through a :class:`~repro.engine.transport.thread.ThreadScanExecutor` over
 row slices of the block matrix (DESIGN.md §8.5): every chunk ships its
 first-max candidate, and the reduction keeps the strictly larger gain
 (ascending chunks, so ties stay with the lowest row index) — the exact
@@ -30,7 +30,7 @@ import heapq
 
 from repro.offline.base import InfeasibleInstanceError, OfflineSolver
 from repro.setsystem.packed import PackedFamily, ScanMask, resolve_backend
-from repro.setsystem.parallel import JOBS_AUTO, ThreadScanExecutor, resolve_jobs
+from repro.engine import JOBS_AUTO, ThreadScanExecutor, resolve_jobs
 from repro.setsystem.set_system import SetSystem
 from repro.utils.mathutil import harmonic
 

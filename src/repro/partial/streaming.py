@@ -23,7 +23,7 @@ from repro.offline.base import OfflineSolver
 from repro.offline.greedy import GreedySolver
 from repro.partial.offline import coverage_requirement
 from repro.setsystem.packed import bitmap_kernel
-from repro.setsystem.parallel import capture_words
+from repro.engine import capture_words
 from repro.streaming.memory import MemoryMeter
 from repro.streaming.stream import SetStream, stream_resident_words
 from repro.utils.mathutil import powers_of_two_up_to

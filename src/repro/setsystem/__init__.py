@@ -18,16 +18,6 @@ from repro.setsystem.packed import (
     pack,
     resolve_backend,
 )
-from repro.setsystem.parallel import (
-    JOBS_AUTO,
-    ProcessScanExecutor,
-    ScanExecutor,
-    ScanResult,
-    SerialScanExecutor,
-    executor_for,
-    resolve_jobs,
-    shutdown_pools,
-)
 from repro.setsystem.set_system import SetSystem
 from repro.setsystem.shards import (
     ENCODINGS,
@@ -36,6 +26,39 @@ from repro.setsystem.shards import (
     ShardWriter,
     write_shards,
 )
+
+# Scan-engine names, kept importable from this package for backward
+# compatibility.  They live in repro.engine now and are forwarded lazily
+# (PEP 562): repro.engine itself imports repro.setsystem.packed, so an
+# eager import here would be a cycle whenever repro.engine loads first.
+_ENGINE_NAMES = frozenset(
+    {
+        "JOBS_AUTO",
+        "ProcessScanExecutor",
+        "ScanExecutor",
+        "ScanResult",
+        "SerialScanExecutor",
+        "executor_for",
+        "resolve_jobs",
+        "shutdown_pools",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_NAMES:
+        import repro.engine
+
+        return getattr(repro.engine, name)
+    if name == "parallel":
+        # The deprecated shim used to be imported eagerly, which bound it
+        # as a package attribute; keep `repro.setsystem.parallel` working
+        # for attribute access too (the import itself emits the warning).
+        import importlib
+
+        return importlib.import_module("repro.setsystem.parallel")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BACKENDS",

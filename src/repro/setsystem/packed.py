@@ -194,7 +194,7 @@ class BitmapKernel(abc.ABC):
     def to_mask_int(self, bitmap) -> int:
         """The bitmap as a backend-neutral arbitrary-precision integer.
 
-        The scan executor (:mod:`repro.setsystem.parallel`) moves masks
+        The scan executor (:mod:`repro.engine.transport`) moves masks
         between processes and backends as plain integers; these two
         methods are the bridge in and out of kernel handles.
         """
@@ -743,7 +743,7 @@ class NumpyPackedFamily(PackedFamily):
                 keep_mask[part] = ~dominating.any(axis=1)
 
         groups = np.split(order, boundaries)
-        from repro.setsystem.parallel import resolve_jobs, thread_map
+        from repro.engine import resolve_jobs, thread_map
 
         # Groups are disjoint row index sets writing disjoint slices of
         # ``keep_mask``, so thread order cannot change the result.

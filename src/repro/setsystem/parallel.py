@@ -1,957 +1,66 @@
-"""Adaptive parallel chunk-scan executor: planned, prefetched, bit-identical.
+"""Deprecated import shim — the scan engine moved to :mod:`repro.engine`.
 
-A streaming pass is, per set, a pure map against a read-only residual —
-only the accept/pick step needs ordered reconciliation.  This module
-exploits that: a :class:`ScanExecutor` runs the per-chunk work of a
-gains scan (``|r_i ∩ residual|`` for every row, plus captured
-projections — :func:`repro.setsystem.packed.scan_chunk` and
-:meth:`repro.setsystem.shards.ShardedRepository.scan_shard`) either
-inline (``serial``), across a pool of worker processes (``process``) or
-across a pool of threads (``thread``, for in-memory families), and
-delivers the per-chunk results **in chunk order**.  Because every chunk
-is keyed by its first global row id and workers never share state,
-covers, tie-breaks and pass counts are bit-identical at any ``jobs``
-setting — the property tests in ``tests/test_parallel.py`` assert
-exactly that, and DESIGN.md §6/§8 record the determinism model.
+The parallel chunk-scan executor grew out of this module (PR 3/4) and
+was decomposed into the transport-agnostic engine package:
 
-The adaptive scan planner (DESIGN.md §8)
-----------------------------------------
-PR 3's executor was reactive: one task per shard, submitted in index
-order, pages faulted synchronously.  The planner turns the manifest
-statistics of :mod:`repro.setsystem.shards` into schedules:
+* planning (``plan_batches``, ``resolve_jobs``) → :mod:`repro.engine.plan`
+* executors (serial / thread / process, now also remote)
+  → :mod:`repro.engine.transport`
+* chunk-order merging and accept simulation → :mod:`repro.engine.merge`
 
-* **cost-balanced batches** — :func:`plan_batches` partitions the chunk
-  sequence into contiguous segments of near-equal estimated scan cost
-  (:meth:`~repro.setsystem.shards.ShardedRepository.shard_cost_estimates`),
-  so one dense straggler shard never serializes the tail of a scan and
-  per-task IPC is paid once per batch instead of once per shard;
-  batches submit in chunk order, so completion tracks submission and
-  streaming consumers never buffer most of a scan waiting for chunk 0;
-* **overlapped prefetch I/O** — the serial executor decodes chunk
-  ``N+1`` on a background thread while the caller consumes chunk ``N``
-  (double buffering), and both backends issue ``madvise(MADV_WILLNEED)``
-  readahead hints one shard ahead, hiding disk latency on cold caches;
-* **worker-side residual fusion** — threshold-style accept passes ship
-  the in-chunk accept simulation to the workers
-  (:func:`simulate_accepts`); the driver applies each chunk's accepts
-  wholesale whenever nothing an earlier chunk removed touches the
-  chunk's candidates, falling back to the PR 3 ordered replay otherwise
-  (the determinism argument is spelled out in DESIGN.md §8.4).
-
-``planner=False`` reproduces the PR 3 schedule exactly (one task per
-chunk, index order, no prefetch); results are identical either way —
-only the wall clock moves.
-
-Process backend mechanics:
-
-* workers live in :class:`concurrent.futures.ProcessPoolExecutor` pools,
-  created once per ``jobs`` count and shared by every stream in the
-  process (scans are stateless, so pools never need flushing between
-  streams); a worker that dies mid-scan raises a loud ``RuntimeError``
-  (never a hang), the mask's SharedMemory segment is unlinked, and the
-  broken pool is discarded so the next scan starts fresh;
-* sharded repositories are **re-opened inside each worker** (keyed by
-  path + manifest identity) so chunk reads are worker-local ``mmap``
-  page faults — no chunk bytes ever cross the process boundary;
-* in-memory chunks are shipped to workers as packed bytes (small
-  families only; the sharded path is the scale path);
-* the residual mask travels inline for small ground sets and through a
-  :class:`multiprocessing.shared_memory.SharedMemory` segment once it
-  exceeds :data:`_SHM_MIN_MASK_BYTES`, so huge-universe scans do not
-  re-pickle megabytes of mask per chunk.
-
-``jobs="auto"`` resolves conservatively: parallel scans only pay off
-when the repository dwarfs the per-task overhead, so ``auto`` stays
-serial below :data:`_AUTO_MIN_REPOSITORY_WORDS` or on single-core
-machines.
-
-Examples
---------
->>> from repro.setsystem.packed import ScanMask
->>> executor = SerialScanExecutor()
->>> chunks = [(0, [0b011, 0b100]), (2, [0b111])]
->>> result = executor.scan_chunks(3, chunks, ScanMask(3, 0b110))
->>> list(result.gains), result.captured
-([1, 1, 2], [])
->>> plan_batches([1, 1, 8, 1, 1], jobs=2, batches_per_worker=1)
-[[0, 1], [2, 3, 4]]
+Every public name this module ever exported is re-exported below, so
+external ``from repro.setsystem.parallel import ...`` code keeps
+working — but new code should import from :mod:`repro.engine`, and this
+shim emits a :class:`DeprecationWarning` on import to say so.
 """
 
 from __future__ import annotations
 
-import abc
-import atexit
-import concurrent.futures
-import multiprocessing
-import operator
-import os
-import signal
-import sys
-from dataclasses import dataclass, field
-from multiprocessing.shared_memory import SharedMemory
-from pathlib import Path
+import warnings
 
-from repro.setsystem.packed import ScanMask, scan_chunk
-
-try:  # numpy speeds up chunk kernels; every path has a pure-python fallback
-    import numpy as np
-except ImportError:  # pragma: no cover - exercised only on stripped installs
-    np = None
+from repro.engine import (
+    JOBS_AUTO,
+    AcceptBatch,
+    ProcessScanExecutor,
+    RemoteScanExecutor,
+    ScanExecutor,
+    ScanResult,
+    SerialScanExecutor,
+    ThreadScanExecutor,
+    capture_words,
+    executor_for,
+    merge_scan_parts,
+    plan_batches,
+    resolve_jobs,
+    resolve_workers,
+    shutdown_pools,
+    simulate_accepts,
+    thread_map,
+)
 
 __all__ = [
     "JOBS_AUTO",
     "AcceptBatch",
+    "ProcessScanExecutor",
+    "RemoteScanExecutor",
     "ScanExecutor",
     "ScanResult",
     "SerialScanExecutor",
-    "ProcessScanExecutor",
     "ThreadScanExecutor",
     "capture_words",
     "executor_for",
     "merge_scan_parts",
     "plan_batches",
     "resolve_jobs",
+    "resolve_workers",
     "shutdown_pools",
     "simulate_accepts",
     "thread_map",
 ]
 
-#: The default value of every ``jobs`` knob.
-JOBS_AUTO = "auto"
-
-#: ``auto`` never resolves above this many worker processes.
-_AUTO_MAX_JOBS = 8
-
-#: ``auto`` stays serial below this repository size (packed words):
-#: per-task IPC overhead swamps the win on small families.
-_AUTO_MIN_REPOSITORY_WORDS = 1 << 24  # 128 MiB of packed rows
-
-#: Masks at least this large travel via SharedMemory instead of pickling.
-_SHM_MIN_MASK_BYTES = 1 << 20
-
-#: Worker-side cap on cached re-opened repositories.
-_WORKER_REPO_CACHE = 8
-
-#: Planner batching: cost-balanced batches per worker.  More batches
-#: load-balance better, fewer batches amortize IPC better; 4 keeps the
-#: largest batch under ~25% of one worker's share.
-_BATCHES_PER_WORKER = 4
-
-#: The serial decode-ahead pipeline needs a second core to overlap
-#: decode with replay; below this many CPUs it degenerates to thread
-#: hop overhead, so the planner keeps only the ``madvise`` hints.
-_PIPELINE_MIN_CPUS = 2
-
-#: Test hook (``tests/test_parallel.py``): when this environment
-#: variable is set, scan workers SIGKILL themselves mid-task so the
-#: crash-hygiene contract (loud failure, no SHM leak, pool recovery)
-#: stays regression-tested.
-_CRASH_TEST_ENV = "REPRO_TEST_CRASH_SCAN"
-
-
-def resolve_jobs(jobs=JOBS_AUTO, *, repository_words: int = 0) -> int:
-    """Resolve a ``jobs`` knob to a concrete worker count (>= 1).
-
-    ``"auto"`` (or ``None``) resolves to 1 on single-core machines and
-    for repositories below :data:`_AUTO_MIN_REPOSITORY_WORDS`, else to
-    ``min(cpu_count,`` :data:`_AUTO_MAX_JOBS` ``)``.  Integers (and
-    integer strings, for CLI plumbing) pass through after validation;
-    zero and negative counts raise a ``ValueError`` naming the
-    ``--jobs`` CLI flag that usually feeds this knob.
-
-    >>> resolve_jobs(4)
-    4
-    >>> resolve_jobs("auto", repository_words=0)
-    1
-    >>> resolve_jobs(0)
-    Traceback (most recent call last):
-        ...
-    ValueError: jobs must be 'auto' or a positive integer, got 0 (the --jobs flag takes the same values)
-    """
-    if jobs is None or jobs == JOBS_AUTO:
-        cpus = os.cpu_count() or 1
-        if cpus <= 1 or repository_words < _AUTO_MIN_REPOSITORY_WORDS:
-            return 1
-        return min(cpus, _AUTO_MAX_JOBS)
-    try:
-        # operator.index rejects floats; digit-strings come from the CLI.
-        value = int(jobs, 10) if isinstance(jobs, str) else operator.index(jobs)
-    except (TypeError, ValueError):
-        raise ValueError(
-            f"jobs must be 'auto' or a positive integer, got {jobs!r} "
-            "(the --jobs flag takes the same values)"
-        ) from None
-    if value < 1:
-        raise ValueError(
-            f"jobs must be 'auto' or a positive integer, got {jobs!r} "
-            "(the --jobs flag takes the same values)"
-        )
-    return value
-
-
-@dataclass
-class ScanResult:
-    """One full gains scan, merged in chunk order.
-
-    ``gains[i]`` is ``|r_i ∩ mask|`` for every row of the repository
-    (``numpy.int64`` array when numpy is available, else a list) — or
-    ``None`` when the caller asked for captures only
-    (``include_gains=False``), which keeps the scan's driver-resident
-    state at the captured projections alone; ``captured`` holds
-    ``(row_id, projection_int)`` pairs in ascending row order, as
-    selected by the scan's capture policy.
-    """
-
-    gains: object
-    captured: list
-
-
-@dataclass
-class AcceptBatch:
-    """One chunk's worker-side accept simulation (DESIGN.md §8.4).
-
-    ``ids`` are the rows a sequential threshold-accept loop over the
-    chunk's candidates would pick when the chunk's incoming residual is
-    the pass-start mask; ``removed`` is the union of their (disjoint)
-    hits; ``touched`` is the union of *every* candidate's projection.
-    The driver may apply the batch wholesale exactly when nothing
-    removed by earlier chunks intersects ``touched`` — otherwise it
-    replays the captured candidates in order, as PR 3 did.
-    """
-
-    ids: list = field(default_factory=list)
-    removed: int = 0
-    touched: int = 0
-
-
-def simulate_accepts(mask_int: int, threshold: int, captured) -> AcceptBatch:
-    """Sequential in-chunk accept simulation against the pass-start mask.
-
-    ``captured`` are ``(row_id, projection_int)`` candidates in ascending
-    row order, projections taken against ``mask_int``.  Accepts every
-    candidate whose *live* hit still reaches ``threshold``, shrinking the
-    simulated residual as it goes — exactly the driver's replay loop,
-    relocated into the worker.
-
-    >>> batch = simulate_accepts(0b1111, 2, [(0, 0b0011), (1, 0b0110), (2, 0b1100)])
-    >>> batch.ids, bin(batch.removed), bin(batch.touched)
-    ([0, 2], '0b1111', '0b1111')
-    """
-    residual = mask_int
-    ids: list = []
-    touched = 0
-    for row_id, projection in captured:
-        touched |= projection
-        hit = projection & residual
-        if hit.bit_count() >= threshold:
-            ids.append(row_id)
-            residual &= ~hit
-    return AcceptBatch(ids=ids, removed=mask_int & ~residual, touched=touched)
-
-
-def capture_words(captured) -> int:
-    """Words of a captured batch (projection elements + one id per row).
-
-    The number algorithms report as ``scan_capture_peak_words``: the
-    per-chunk capture scratch of a chunk-streamed replay, bounded by
-    one chunk's content (DESIGN.md §6.1 accounting).
-    """
-    return sum(proj.bit_count() + 1 for _, proj in captured)
-
-
-def merge_scan_parts(parts: list) -> ScanResult:
-    """Concatenate per-chunk ``(start, gains, captured)`` in chunk order."""
-    parts = sorted(parts, key=lambda part: part[0])
-    captured: list = []
-    for _, _, chunk_captured in parts:
-        captured.extend(chunk_captured)
-    gains_parts = [part[1] for part in parts]
-    if any(g is None for g in gains_parts):
-        return ScanResult(gains=None, captured=captured)
-    if np is not None and all(isinstance(g, np.ndarray) for g in gains_parts):
-        gains = (
-            np.concatenate(gains_parts)
-            if gains_parts
-            else np.zeros(0, dtype=np.int64)
-        )
-    else:
-        gains = []
-        for part in gains_parts:
-            gains.extend(int(g) for g in part)
-    return ScanResult(gains=gains, captured=captured)
-
-
-def plan_batches(
-    costs, jobs: int, batches_per_worker: int = _BATCHES_PER_WORKER
-) -> list[list[int]]:
-    """Cost-balanced, contiguous chunk batches, in chunk order.
-
-    Partitions chunk indices ``0..len(costs)-1`` into at most
-    ``jobs * batches_per_worker`` **contiguous** segments whose
-    estimated costs are as even as a greedy prefix walk can make them:
-    contiguity keeps each worker's page faults sequential (what the OS
-    readahead rewards), and the cost-equalized split — not submission
-    order — is what keeps one dense straggler from serializing a scan.
-    Batches stay in chunk order because consumers drain results in
-    chunk order: pool workers pull tasks FIFO, so completion tracks
-    submission and the driver's reorder window stays a few batches deep
-    instead of buffering most of the scan behind a late first chunk.
-    Purely a schedule: results are re-assembled in chunk order
-    regardless, so the plan can never change what a scan returns.
-
-    >>> plan_batches([4, 4, 4, 4], jobs=2, batches_per_worker=1)
-    [[0, 1], [2, 3]]
-    >>> plan_batches([1, 1, 8, 1, 1], jobs=2, batches_per_worker=2)
-    [[0, 1], [2], [3], [4]]
-    >>> plan_batches([], jobs=4)
-    []
-    """
-    count = len(costs)
-    if count == 0:
-        return []
-    target_batches = max(1, min(count, jobs * batches_per_worker))
-    batches: list[list[int]] = []
-    batch: list[int] = []
-    batch_cost = 0
-    remaining = sum(costs)  # cost not yet sealed into a closed batch
-    for index, cost in enumerate(costs):
-        batches_left = target_batches - len(batches)
-        # Seal the batch before a chunk that would push it past an even
-        # share of the remaining cost (the last batch takes everything).
-        if (
-            batch
-            and batches_left > 1
-            and batch_cost + cost > remaining / batches_left
-        ):
-            batches.append(batch)
-            remaining -= batch_cost
-            batch, batch_cost = [], 0
-        batch.append(index)
-        batch_cost += cost
-    batches.append(batch)
-    return batches
-
-
-class ScanExecutor(abc.ABC):
-    """Strategy object running the per-chunk work of one gains scan.
-
-    The primitive interface is *streaming*: ``iter_scan_repository`` /
-    ``iter_scan_chunks`` yield ``(start, gains, captured)`` per chunk,
-    **in chunk order**, so a caller replaying captures holds at most one
-    chunk's worth at a time (the bounded-capture discipline of
-    DESIGN.md §6.1).  The eager ``scan_*`` wrappers merge the full scan
-    for callers that want the whole gains vector (benchmarks, tests).
-
-    The accept flavour (``iter_accept_*``) additionally runs the
-    in-chunk threshold-accept simulation (:func:`simulate_accepts`) and
-    yields ``(start, captured, AcceptBatch)`` per chunk; the process
-    backend runs the simulation inside its workers (worker-side
-    residual fusion, DESIGN.md §8.4).
-    """
-
-    jobs: int = 1
-
-    @abc.abstractmethod
-    def iter_scan_repository(
-        self,
-        repository,
-        mask_int: int,
-        min_capture_gain: "int | None" = None,
-        capture_ids=None,
-        best_only: bool = False,
-        include_gains: bool = True,
-    ):
-        """Yield ``(start, gains, captured)`` per shard, in order."""
-
-    @abc.abstractmethod
-    def iter_scan_chunks(
-        self,
-        n: int,
-        chunks,
-        mask: ScanMask,
-        min_capture_gain: "int | None" = None,
-        capture_ids=None,
-        best_only: bool = False,
-        include_gains: bool = True,
-    ):
-        """Yield ``(start, gains, captured)`` per in-memory chunk."""
-
-    def iter_accept_repository(self, repository, mask_int: int, threshold: int):
-        """Yield ``(start, captured, AcceptBatch)`` per shard, in order."""
-        for start, _, captured in self.iter_scan_repository(
-            repository, mask_int,
-            min_capture_gain=threshold, include_gains=False,
-        ):
-            yield start, captured, simulate_accepts(mask_int, threshold, captured)
-
-    def iter_accept_chunks(self, n: int, chunks, mask: ScanMask, threshold: int):
-        """Yield ``(start, captured, AcceptBatch)`` per in-memory chunk."""
-        for start, _, captured in self.iter_scan_chunks(
-            n, chunks, mask,
-            min_capture_gain=threshold, include_gains=False,
-        ):
-            yield start, captured, simulate_accepts(
-                mask.mask_int, threshold, captured
-            )
-
-    def scan_repository(self, repository, mask_int, **kwargs) -> ScanResult:
-        """Eager merge of :meth:`iter_scan_repository`."""
-        return merge_scan_parts(
-            list(self.iter_scan_repository(repository, mask_int, **kwargs))
-        )
-
-    def scan_chunks(self, n, chunks, mask, **kwargs) -> ScanResult:
-        """Eager merge of :meth:`iter_scan_chunks`."""
-        return merge_scan_parts(
-            list(self.iter_scan_chunks(n, chunks, mask, **kwargs))
-        )
-
-    def close(self) -> None:
-        """Release executor resources (pools are shared; see module doc)."""
-
-
-class SerialScanExecutor(ScanExecutor):
-    """The reference executor: one chunk at a time, in order, inline.
-
-    With ``prefetch=True`` (the planner default) repository scans issue
-    ``madvise`` readahead hints one shard ahead of the read head, and —
-    on machines with at least :data:`_PIPELINE_MIN_CPUS` cores — run a
-    double-buffered pipeline: while the caller consumes chunk ``N``, a
-    background thread decodes chunk ``N+1`` (the numpy kernels release
-    the GIL, so decode and replay genuinely overlap).  On a single core
-    the pipeline would be pure thread-hop overhead, so only the hints
-    remain.  Chunks are still yielded strictly in order; results are
-    identical at every setting.
-    """
-
-    jobs = 1
-
-    def __init__(self, prefetch: bool = False):
-        self.prefetch = prefetch
-
-    def iter_scan_repository(
-        self, repository, mask_int, min_capture_gain=None, capture_ids=None,
-        best_only=False, include_gains=True,
-    ):
-        mask = ScanMask(repository.n, mask_int)
-
-        def scan(shard: int):
-            return repository.scan_shard(
-                shard, mask,
-                min_capture_gain=min_capture_gain,
-                capture_ids=capture_ids,
-                best_only=best_only,
-            )
-
-        count = repository.shard_count
-        hint = getattr(repository, "prefetch_shard", None)
-        pipeline = (
-            self.prefetch
-            and count > 1
-            and (os.cpu_count() or 1) >= _PIPELINE_MIN_CPUS
-        )
-        if not pipeline:
-            for shard in range(count):
-                if self.prefetch and hint is not None and shard + 1 < count:
-                    hint(shard + 1)
-                start, gains, captured = scan(shard)
-                yield start, (gains if include_gains else None), captured
-            return
-        pool = _get_prefetch_pool()
-        if hint is not None:
-            hint(0)
-        pending = pool.submit(scan, 0)
-        try:
-            for shard in range(count):
-                if hint is not None and shard + 1 < count:
-                    hint(shard + 1)
-                upcoming = (
-                    pool.submit(scan, shard + 1) if shard + 1 < count else None
-                )
-                start, gains, captured = pending.result()
-                pending = upcoming
-                yield start, (gains if include_gains else None), captured
-        finally:
-            if pending is not None and not pending.cancel():
-                pending.exception()  # wait it out; never orphan a scan
-
-    def iter_scan_chunks(
-        self, n, chunks, mask, min_capture_gain=None, capture_ids=None,
-        best_only=False, include_gains=True,
-    ):
-        for start, chunk in chunks:
-            gains, captured = scan_chunk(
-                start, chunk, mask,
-                min_capture_gain=min_capture_gain,
-                capture_ids=capture_ids,
-                best_only=best_only,
-            )
-            yield start, (gains if include_gains else None), captured
-
-
-class ThreadScanExecutor(ScanExecutor):
-    """Chunk scans fanned out over a shared thread pool.
-
-    Threads share the address space, so in-memory families need no
-    serialization at all — and the packed numpy kernels release the GIL,
-    so chunk scans genuinely overlap.  This is the backend the offline
-    hot paths use (the ``algOfflineSC`` greedy argmax and domination
-    pruning, DESIGN.md §8.5); streams default to processes for sharded
-    repositories, where workers want their own ``mmap``.
-    """
-
-    def __init__(self, jobs: int):
-        if jobs < 2:
-            raise ValueError(f"ThreadScanExecutor needs jobs >= 2, got {jobs}")
-        self.jobs = jobs
-
-    def iter_scan_repository(
-        self, repository, mask_int, min_capture_gain=None, capture_ids=None,
-        best_only=False, include_gains=True,
-    ):
-        mask = ScanMask(repository.n, mask_int)
-        if np is not None and not mask.is_empty:
-            mask.arr  # build the shared packed view before fanning out
-        pool = _get_thread_pool(self.jobs)
-        futures = [
-            pool.submit(
-                repository.scan_shard, shard, mask,
-                min_capture_gain=min_capture_gain,
-                capture_ids=capture_ids,
-                best_only=best_only,
-            )
-            for shard in range(repository.shard_count)
-        ]
-        for future in futures:  # submission order == chunk order
-            start, gains, captured = future.result()
-            yield start, (gains if include_gains else None), captured
-
-    def iter_scan_chunks(
-        self, n, chunks, mask, min_capture_gain=None, capture_ids=None,
-        best_only=False, include_gains=True,
-    ):
-        chunks = list(chunks)
-        if np is not None and not mask.is_empty:
-            mask.arr  # build the shared packed view before fanning out
-        pool = _get_thread_pool(self.jobs)
-        futures = [
-            pool.submit(
-                scan_chunk, start, chunk, mask,
-                min_capture_gain=min_capture_gain,
-                capture_ids=capture_ids,
-                best_only=best_only,
-            )
-            for start, chunk in chunks
-        ]
-        for (start, _), future in zip(chunks, futures):
-            gains, captured = future.result()
-            yield start, (gains if include_gains else None), captured
-
-
-# ----------------------------------------------------------------------
-# Shared pools (process workers, scan threads, the prefetch thread)
-# ----------------------------------------------------------------------
-_PROCESS_POOLS: dict[int, "concurrent.futures.ProcessPoolExecutor"] = {}
-_THREAD_POOLS: dict[int, "concurrent.futures.ThreadPoolExecutor"] = {}
-_PREFETCH_POOL: "concurrent.futures.ThreadPoolExecutor | None" = None
-
-
-def _get_process_pool(jobs: int):
-    pool = _PROCESS_POOLS.get(jobs)
-    if pool is None:
-        # Prefer cheap fork workers only on Linux; macOS keeps its spawn
-        # default (fork after Objective-C/Accelerate initialize is unsafe,
-        # which is why CPython switched the default there).  Every task
-        # function and payload is module-level and picklable, so spawn
-        # works everywhere.  Fork + the module's thread pools is safe in
-        # the supported usage: drivers are single-threaded, a process
-        # pool is never created *during* a serial pipelined scan, and
-        # idle pool threads wait in pthread_cond_wait holding no locks —
-        # but it is a constraint: callers forking while another thread
-        # of theirs actively scans should pass their own start method
-        # policy (spawn pays worker reimport, ~seconds with numpy).
-        method = (
-            "fork"
-            if sys.platform.startswith("linux")
-            and "fork" in multiprocessing.get_all_start_methods()
-            else None
-        )
-        context = multiprocessing.get_context(method)
-        pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=jobs, mp_context=context
-        )
-        _PROCESS_POOLS[jobs] = pool
-    return pool
-
-
-def _discard_process_pool(jobs: int) -> None:
-    """Drop a (broken) pool so the next scan at this count starts fresh."""
-    pool = _PROCESS_POOLS.pop(jobs, None)
-    if pool is not None:
-        pool.shutdown(wait=False, cancel_futures=True)
-
-
-def _get_thread_pool(jobs: int):
-    pool = _THREAD_POOLS.get(jobs)
-    if pool is None:
-        pool = concurrent.futures.ThreadPoolExecutor(
-            max_workers=jobs, thread_name_prefix="repro-scan"
-        )
-        _THREAD_POOLS[jobs] = pool
-    return pool
-
-
-def _get_prefetch_pool():
-    global _PREFETCH_POOL
-    if _PREFETCH_POOL is None:
-        _PREFETCH_POOL = concurrent.futures.ThreadPoolExecutor(
-            max_workers=2, thread_name_prefix="repro-prefetch"
-        )
-    return _PREFETCH_POOL
-
-
-def thread_map(fn, items, jobs: int) -> list:
-    """Map ``fn`` over ``items`` on the shared scan thread pool.
-
-    Results come back in item order, so callers stay deterministic
-    however the threads interleave.  Falls back to a plain loop for
-    ``jobs <= 1`` or single-item inputs.
-    """
-    items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    return list(_get_thread_pool(jobs).map(fn, items))
-
-
-def shutdown_pools() -> None:
-    """Shut down every cached pool (tests and interpreter exit)."""
-    global _PREFETCH_POOL
-    for pool in _PROCESS_POOLS.values():
-        pool.shutdown(wait=False, cancel_futures=True)
-    _PROCESS_POOLS.clear()
-    for pool in _THREAD_POOLS.values():
-        pool.shutdown(wait=False, cancel_futures=True)
-    _THREAD_POOLS.clear()
-    if _PREFETCH_POOL is not None:
-        _PREFETCH_POOL.shutdown(wait=False, cancel_futures=True)
-        _PREFETCH_POOL = None
-
-
-atexit.register(shutdown_pools)
-
-
-def _attach_shm(name: str) -> SharedMemory:
-    """Attach to an existing segment without adopting its lifetime."""
-    try:
-        return SharedMemory(name=name, track=False)  # Python >= 3.13
-    except TypeError:
-        shm = SharedMemory(name=name)
-        try:  # pre-3.13: undo the tracker registration the attach made,
-            # the parent owns (and unlinks) the segment
-            from multiprocessing import resource_tracker
-
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:  # pragma: no cover - tracker internals moved
-            pass
-        return shm
-
-
-def _mask_from_payload(payload, n: int) -> ScanMask:
-    kind = payload[0]
-    if kind == "raw":
-        return ScanMask(n, int.from_bytes(payload[1], "little"))
-    _, name, length = payload
-    shm = _attach_shm(name)
-    try:
-        mask_bytes = bytes(shm.buf[:length])
-    finally:
-        shm.close()
-    return ScanMask(n, int.from_bytes(mask_bytes, "little"))
-
-
-_WORKER_REPOS: dict = {}
-
-
-def _worker_repository(path: str, token):
-    """Open (and cache) a repository inside a worker process."""
-    key = (path, token)
-    repo = _WORKER_REPOS.get(key)
-    if repo is None:
-        from repro.setsystem.shards import ShardedRepository
-
-        for stale in [k for k in _WORKER_REPOS if k[0] == path]:
-            _WORKER_REPOS.pop(stale).close()
-        while len(_WORKER_REPOS) >= _WORKER_REPO_CACHE:
-            _WORKER_REPOS.pop(next(iter(_WORKER_REPOS))).close()
-        repo = ShardedRepository(path)
-        _WORKER_REPOS[key] = repo
-    return repo
-
-
-def _maybe_crash_for_tests() -> None:
-    if os.environ.get(_CRASH_TEST_ENV):  # pragma: no cover - dies by design
-        os.kill(os.getpid(), signal.SIGKILL)
-
-
-def _scan_shard_batch_task(args):
-    """Scan one planned batch of shards inside a worker process.
-
-    Returns ``[(shard, item), ...]`` where ``item`` is the per-chunk
-    scan triple — or, in accept mode, ``(start, captured, AcceptBatch)``
-    with the accept simulation already run worker-side.
-    """
-    (path, token, shards, n, mask_payload, min_gain, capture_ids, best_only,
-     include_gains, accept_threshold) = args
-    _maybe_crash_for_tests()
-    repository = _worker_repository(path, token)
-    mask = _mask_from_payload(mask_payload, n)
-    out = []
-    for position, shard in enumerate(shards):
-        if position + 1 < len(shards):
-            repository.prefetch_shard(shards[position + 1])
-        start, gains, captured = repository.scan_shard(
-            shard, mask,
-            min_capture_gain=(
-                accept_threshold if accept_threshold is not None else min_gain
-            ),
-            capture_ids=capture_ids,
-            best_only=best_only,
-        )
-        if accept_threshold is not None:
-            item = (
-                start,
-                captured,
-                simulate_accepts(mask.mask_int, accept_threshold, captured),
-            )
-        else:
-            item = (start, (gains if include_gains else None), captured)
-        out.append((shard, item))
-    return out
-
-
-def _scan_chunk_batch_task(args):
-    """Scan one batch of shipped in-memory chunks inside a worker."""
-    (batch, n, mask_payload, min_gain, capture_ids, best_only, include_gains,
-     accept_threshold) = args
-    _maybe_crash_for_tests()
-    mask = _mask_from_payload(mask_payload, n)
-    out = []
-    for order, start, kind, payload, rows, words in batch:
-        if kind == "matrix":
-            chunk = np.frombuffer(payload, dtype="<u8").reshape(rows, words)
-        else:
-            chunk = payload
-        gains, captured = scan_chunk(
-            start, chunk, mask,
-            min_capture_gain=(
-                accept_threshold if accept_threshold is not None else min_gain
-            ),
-            capture_ids=capture_ids,
-            best_only=best_only,
-        )
-        if accept_threshold is not None:
-            item = (
-                start,
-                captured,
-                simulate_accepts(mask.mask_int, accept_threshold, captured),
-            )
-        else:
-            item = (start, (gains if include_gains else None), captured)
-        out.append((order, item))
-    return out
-
-
-class ProcessScanExecutor(ScanExecutor):
-    """Chunk scans fanned out over a shared pool of worker processes.
-
-    Determinism: whatever order the planner submits batches in, every
-    per-chunk result is keyed by its position in the chunk sequence and
-    re-assembled in that order before it reaches the caller — consumers
-    see exactly the serial executor's chunk sequence, so results are
-    bit-identical to ``jobs=1`` by construction.
-
-    Crash hygiene: a worker that dies mid-scan surfaces as a
-    ``RuntimeError`` (wrapping ``BrokenProcessPool``) on the consuming
-    side — never a hang — the residual mask's SharedMemory segment is
-    unlinked before the error propagates, and the broken pool is
-    discarded so the next scan at this ``jobs`` count starts a fresh
-    one.
-    """
-
-    def __init__(self, jobs: int, planner: bool = True):
-        if jobs < 2:
-            raise ValueError(f"ProcessScanExecutor needs jobs >= 2, got {jobs}")
-        self.jobs = jobs
-        self.planner = planner
-
-    # -- mask transport -------------------------------------------------
-    @staticmethod
-    def _mask_payload(mask_int: int, words: int):
-        """Returns ``(payload, shm)``; caller unlinks ``shm`` after use."""
-        mask_bytes = mask_int.to_bytes(words * 8, "little")
-        if len(mask_bytes) >= _SHM_MIN_MASK_BYTES:
-            shm = SharedMemory(create=True, size=max(1, len(mask_bytes)))
-            shm.buf[: len(mask_bytes)] = mask_bytes
-            return ("shm", shm.name, len(mask_bytes)), shm
-        return ("raw", mask_bytes), None
-
-    def _drain(self, task_fn, make_tasks):
-        """Submit planned batches; yield per-chunk items in chunk order.
-
-        ``make_tasks()`` builds the task tuples (and the mask's
-        SharedMemory segment, when one is needed) — called here, inside
-        the generator body, so nothing is allocated until the first
-        ``next()`` and an iterator that is never started can never leak
-        a segment.  Task results are lists of ``(position, item)`` pairs
-        with positions partitioning ``0..count-1``; items buffer in a
-        reorder window until their position is next, so consumers never
-        observe the batching.
-        """
-        tasks, count, shm = make_tasks()
-        futures: list = []
-        try:
-            # Submission sits inside the try: submitting to a pool whose
-            # workers died earlier (and whose breakage went unobserved,
-            # e.g. after an abandoned scan) raises BrokenProcessPool too,
-            # and must discard the pool and release the mask SHM exactly
-            # like a mid-scan death.
-            pool = _get_process_pool(self.jobs)
-            futures = [pool.submit(task_fn, task) for task in tasks]
-            ready: dict[int, object] = {}
-            pending = set(futures)
-            emit = 0
-            while emit < count:
-                if emit not in ready:
-                    done, pending = concurrent.futures.wait(
-                        pending,
-                        return_when=concurrent.futures.FIRST_COMPLETED,
-                    )
-                    for future in done:
-                        for position, item in future.result():
-                            ready[position] = item
-                while emit in ready:
-                    yield ready.pop(emit)
-                    emit += 1
-        except concurrent.futures.BrokenExecutor as exc:
-            _discard_process_pool(self.jobs)
-            raise RuntimeError(
-                f"a scan worker died mid-scan (jobs={self.jobs}); the broken "
-                "pool was discarded and the next scan will start a fresh one"
-            ) from exc
-        finally:
-            for future in futures:
-                future.cancel()
-            concurrent.futures.wait(futures)
-            if shm is not None:
-                shm.close()
-                shm.unlink()
-
-    # -- sources --------------------------------------------------------
-    def _repository_tasks(
-        self, repository, mask_int, min_capture_gain, capture_ids, best_only,
-        include_gains, accept_threshold,
-    ):
-        path = str(repository.path)
-        stat = (Path(path) / "manifest.json").stat()
-        token = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
-        capture_ids = frozenset(capture_ids) if capture_ids is not None else None
-        if self.planner:
-            batches = plan_batches(repository.shard_cost_estimates(), self.jobs)
-        else:  # the PR 3 schedule: one task per shard, index order
-            batches = [[shard] for shard in range(repository.shard_count)]
-        payload, shm = self._mask_payload(mask_int, repository.words)
-        tasks = [
-            (path, token, batch, repository.n, payload, min_capture_gain,
-             capture_ids, best_only, include_gains, accept_threshold)
-            for batch in batches
-        ]
-        return tasks, repository.shard_count, shm
-
-    def iter_scan_repository(
-        self, repository, mask_int, min_capture_gain=None, capture_ids=None,
-        best_only=False, include_gains=True,
-    ):
-        return self._drain(
-            _scan_shard_batch_task,
-            lambda: self._repository_tasks(
-                repository, mask_int, min_capture_gain, capture_ids,
-                best_only, include_gains, None,
-            ),
-        )
-
-    def iter_accept_repository(self, repository, mask_int, threshold):
-        return self._drain(
-            _scan_shard_batch_task,
-            lambda: self._repository_tasks(
-                repository, mask_int, None, None, False, False, threshold,
-            ),
-        )
-
-    def _chunk_tasks(
-        self, n, chunks, mask, min_capture_gain, capture_ids, best_only,
-        include_gains, accept_threshold,
-    ):
-        capture_ids = frozenset(capture_ids) if capture_ids is not None else None
-        payload, shm = self._mask_payload(mask.mask_int, mask.words)
-        entries = []
-        for order, (start, chunk) in enumerate(chunks):
-            if np is not None and isinstance(chunk, np.ndarray):
-                entries.append(
-                    (order, start, "matrix", chunk.tobytes(),
-                     chunk.shape[0], chunk.shape[1])
-                )
-            else:
-                entries.append((order, start, "masks", list(chunk), len(chunk), 0))
-        if self.planner:
-            # Chunks of an in-memory family are near-equal row slices, so
-            # the plan degenerates to even contiguous batching — the win
-            # here is amortized IPC, not balance.
-            plan = plan_batches([max(1, entry[4]) for entry in entries], self.jobs)
-        else:
-            plan = [[order] for order in range(len(entries))]
-        tasks = [
-            ([entries[order] for order in batch], n, payload, min_capture_gain,
-             capture_ids, best_only, include_gains, accept_threshold)
-            for batch in plan
-        ]
-        return tasks, len(entries), shm
-
-    def iter_scan_chunks(
-        self, n, chunks, mask, min_capture_gain=None, capture_ids=None,
-        best_only=False, include_gains=True,
-    ):
-        return self._drain(
-            _scan_chunk_batch_task,
-            lambda: self._chunk_tasks(
-                n, chunks, mask, min_capture_gain, capture_ids, best_only,
-                include_gains, None,
-            ),
-        )
-
-    def iter_accept_chunks(self, n, chunks, mask, threshold):
-        return self._drain(
-            _scan_chunk_batch_task,
-            lambda: self._chunk_tasks(
-                n, chunks, mask, None, None, False, False, threshold,
-            ),
-        )
-
-
-def executor_for(
-    jobs=JOBS_AUTO, *, repository_words: int = 0, planner: bool = True
-) -> ScanExecutor:
-    """Build the executor a ``jobs`` knob asks for.
-
-    ``planner`` toggles the adaptive schedule (cost-balanced batches,
-    prefetch pipeline); ``planner=False`` reproduces the PR 3 execution
-    order exactly.  Results never depend on either knob.
-
-    >>> executor_for(1).jobs
-    1
-    >>> executor_for(3).jobs
-    3
-    """
-    count = resolve_jobs(jobs, repository_words=repository_words)
-    if count == 1:
-        return SerialScanExecutor(prefetch=planner)
-    return ProcessScanExecutor(count, planner=planner)
+warnings.warn(
+    "repro.setsystem.parallel is a deprecated shim; import from "
+    "repro.engine (plan/transport/merge) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -50,7 +50,7 @@ materializing dense words.  Repositories with schema ``repro.shards/v1``
 Manifest statistics (schema ``repro.shards/v3``, DESIGN.md §8.1)
 ----------------------------------------------------------------
 New manifests additionally record, per shard, the statistics the
-adaptive scan planner (:mod:`repro.setsystem.parallel`) feeds its cost
+adaptive scan planner (:mod:`repro.engine.plan`) feeds its cost
 model: a 16-bucket row-density histogram, the codec mix, the element
 and run totals per codec.  The stats block is covered by its own
 CRC-32 (``stats_crc32``) so a hand-edited manifest fails loudly.

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.setsystem.parallel import JOBS_AUTO, executor_for
+from repro.engine import JOBS_AUTO, executor_for
 from repro.setsystem.set_system import SetSystem
 from repro.setsystem.shards import ShardedRepository
 from repro.streaming.stream import SetStreamBase
@@ -66,6 +66,17 @@ class ShardedSetStream(SetStreamBase):
         ``madvise`` readahead.  ``False`` reproduces the PR 3 execution
         order (one task per shard, index order, no prefetch); results
         are identical either way.
+    transport:
+        Scan-engine backend family (``"local"``, ``"serial"``,
+        ``"thread"``, ``"process"``, ``"remote"``; ``None`` = local
+        auto).  ``"remote"`` spreads scans over
+        ``python -m repro worker serve`` processes, which re-open this
+        repository by path + manifest token (DESIGN.md §9); results are
+        bit-identical to every local backend.
+    workers:
+        Remote worker addresses (implies ``transport="remote"``); the
+        CLI's ``host:port,host:port`` string or ``(host, port)`` pairs
+        (:func:`repro.engine.plan.resolve_workers`).
     """
 
     def __init__(
@@ -74,6 +85,8 @@ class ShardedSetStream(SetStreamBase):
         verify: bool = False,
         jobs=JOBS_AUTO,
         planner: bool = True,
+        transport: "str | None" = None,
+        workers=None,
     ):
         super().__init__()
         if isinstance(repository, (str, Path)):
@@ -81,6 +94,8 @@ class ShardedSetStream(SetStreamBase):
         self._repo = repository
         self._jobs = jobs
         self._planner = bool(planner)
+        self._transport = transport
+        self._workers = workers
         self._executor = None
         self._materialized: "SetSystem | None" = None
 
@@ -151,6 +166,8 @@ class ShardedSetStream(SetStreamBase):
                 self._jobs,
                 repository_words=self._repo.repository_words,
                 planner=self._planner,
+                transport=self._transport,
+                workers=self._workers,
             )
         return self._executor
 

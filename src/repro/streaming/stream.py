@@ -33,7 +33,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
-from repro.setsystem.parallel import (
+from repro.engine import (
     JOBS_AUTO,
     ScanResult,
     executor_for,
@@ -208,10 +208,10 @@ class SetStreamBase:
 
         The fourth pass flavour (DESIGN.md §6): one sequential scan,
         executed chunk-by-chunk by the stream's
-        :class:`~repro.setsystem.parallel.ScanExecutor` (serial or
-        multi-process, per the stream's ``jobs`` knob) and delivered in
-        chunk order — results are bit-identical at every ``jobs``
-        setting.  Same access discipline and pass accounting as
+        :class:`~repro.engine.transport.base.ScanExecutor` (serial,
+        thread, multi-process or remote, per the stream's ``jobs`` /
+        ``transport`` knobs) and delivered in chunk order — results are
+        bit-identical at every setting.  Same access discipline and pass accounting as
         :meth:`iterate`: one read head, the scan counts one pass.
 
         Each chunk's ``captured`` holds ``(row_id, row ∩ mask)``
@@ -242,7 +242,7 @@ class SetStreamBase:
         ``(start, captured, batch)`` per chunk in chunk order, where
         ``captured`` holds the candidates reaching ``threshold`` against
         the pass-start mask and ``batch`` is the chunk's
-        :class:`~repro.setsystem.parallel.AcceptBatch`: the accepts a
+        :class:`~repro.engine.merge.AcceptBatch`: the accepts a
         sequential replay would produce *if the pass-start mask were
         still live*, simulated inside the scan workers.  The driver
         applies a batch wholesale when nothing earlier chunks removed
@@ -306,6 +306,14 @@ class SetStream(SetStreamBase):
         Adaptive scan planning (DESIGN.md §8): cost-balanced chunk
         schedules and overlapped prefetch.  ``False`` reproduces the
         PR 3 execution order; results are identical either way.
+    transport:
+        Scan-engine backend family (``"local"``, ``"serial"``,
+        ``"thread"``, ``"process"``, ``"remote"``; ``None`` = local
+        auto).  In-memory streams cannot use ``"remote"`` — remote
+        workers open shard repositories by path (DESIGN.md §9).
+    workers:
+        Remote worker addresses (implies ``transport="remote"``); see
+        :func:`repro.engine.plan.resolve_workers`.
 
     Examples
     --------
@@ -317,11 +325,20 @@ class SetStream(SetStreamBase):
     1
     """
 
-    def __init__(self, system: SetSystem, jobs=JOBS_AUTO, planner: bool = True):
+    def __init__(
+        self,
+        system: SetSystem,
+        jobs=JOBS_AUTO,
+        planner: bool = True,
+        transport: "str | None" = None,
+        workers=None,
+    ):
         super().__init__()
         self._system = system
         self._jobs = jobs
         self._planner = bool(planner)
+        self._transport = transport
+        self._workers = workers
         self._executor = None
 
     # ------------------------------------------------------------------
@@ -368,6 +385,8 @@ class SetStream(SetStreamBase):
                 self._jobs,
                 repository_words=self.m * words,
                 planner=self._planner,
+                transport=self._transport,
+                workers=self._workers,
             )
         return self._executor
 

@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.bench import HISTORY_NAME, HISTORY_SCHEMA, SCHEMA, run_benchmarks
-from repro.setsystem.parallel import shutdown_pools
+from repro.engine import shutdown_pools
 
 
 @pytest.fixture(scope="module")

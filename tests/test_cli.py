@@ -79,6 +79,7 @@ class TestShard:
         main(["generate", "planted", str(instance), "--n", "60", "--m", "40",
               "--opt", "4", "--seed", "3"])
         shards = tmp_path / "inst.shards"
+        # The pre-subcommand spelling still works as an alias for `create`.
         assert main(["shard", str(instance), str(shards), "--chunk-rows", "7"]) == 0
         out = capsys.readouterr().out
         assert "shard(s)" in out and "m=40" in out
@@ -100,6 +101,59 @@ class TestShard:
         assert main(["generate", "sparse-uniform", str(path), "--n", "50",
                      "--m", "30", "--expected-size", "4"]) == 0
         assert load(path).m == 30
+
+    def test_shard_create_subcommand(self, tmp_path, capsys):
+        instance = tmp_path / "inst.json"
+        main(["generate", "uniform", str(instance), "--n", "20", "--m", "15"])
+        assert main(["shard", "create", str(instance),
+                     str(tmp_path / "repo")]) == 0
+        assert "shard(s)" in capsys.readouterr().out
+
+    def test_shard_backfill_stats_upgrades_v2_in_place(self, tmp_path, capsys):
+        """`repro shard backfill-stats` takes a v1/v2 repo to v3, no Python."""
+        import json
+
+        from repro.setsystem.shards import (
+            SHARD_SCHEMA,
+            SHARD_SCHEMA_V2,
+            ShardedRepository,
+        )
+
+        instance = tmp_path / "inst.json"
+        main(["generate", "planted", str(instance), "--n", "40", "--m", "30",
+              "--opt", "4", "--seed", "5"])
+        repo = tmp_path / "repo"
+        main(["shard", "create", str(instance), str(repo),
+              "--chunk-rows", "6"])
+        capsys.readouterr()
+        # Downgrade the fresh repository into a v2 fixture.
+        manifest_path = repo / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema"] = SHARD_SCHEMA_V2
+        manifest.pop("stats_crc32")
+        for meta in manifest["shards"]:
+            meta.pop("stats")
+        manifest_path.write_text(json.dumps(manifest))
+
+        # Dry run: reports the plan, rewrites nothing.
+        assert main(["shard", "backfill-stats", str(repo), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert f"before : schema={SHARD_SCHEMA_V2}" in out
+        assert "dry-run: would compute statistics" in out
+        with ShardedRepository(repo) as opened:
+            assert opened.schema == SHARD_SCHEMA_V2
+
+        # Real run: before/after schemas printed, manifest upgraded.
+        assert main(["shard", "backfill-stats", str(repo)]) == 0
+        out = capsys.readouterr().out
+        assert f"before : schema={SHARD_SCHEMA_V2}" in out
+        assert f"after  : schema={SHARD_SCHEMA}" in out
+        with ShardedRepository(repo, verify=True) as opened:
+            assert opened.schema == SHARD_SCHEMA and opened.has_stats
+
+        # Idempotent: the second run says so and changes nothing.
+        assert main(["shard", "backfill-stats", str(repo)]) == 0
+        assert "already up to date" in capsys.readouterr().out
 
 
 class TestExperiments:
@@ -160,6 +214,54 @@ class TestJobs:
     def test_jobs_defaults_to_auto(self):
         for command in (["solve", "x"], ["bench"], ["experiments"]):
             assert build_parser().parse_args(command).jobs == "auto"
+
+    @pytest.mark.parametrize("workers", [
+        "", ":80", "host:", "host", "host:0", "host:-4", "host:65536",
+        "host:http", "a:1,,b:2",
+    ])
+    def test_invalid_workers_rejected(self, workers, capsys):
+        """--workers shares the --jobs error path: usage errors naming the
+        flag (bad port, empty host, missing colon), never tracebacks."""
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["solve", "x", "--transport", "remote", "--workers", workers]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err and "host:port" in err
+
+    def test_transport_worker_flag_combinations(self, tmp_path, capsys):
+        shards = tmp_path / "repo"
+        instance = tmp_path / "inst.json"
+        main(["generate", "uniform", str(instance), "--n", "12", "--m", "8"])
+        main(["shard", "create", str(instance), str(shards)])
+        capsys.readouterr()
+        # remote without workers / workers without remote / remote on a
+        # non-directory input: all argparse usage errors, exit code 2.
+        cases = [
+            ["solve", str(shards), "--transport", "remote"],
+            ["solve", str(shards), "--workers", "h:1"],
+            ["solve", str(instance), "--transport", "remote",
+             "--workers", "h:1"],
+            ["solve", str(shards), "--transport", "remote",
+             "--workers", "h:1", "--jobs", "8"],
+        ]
+        for argv in cases:
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2, argv
+            err = capsys.readouterr().err
+            assert "--transport" in err or "--workers" in err, argv
+
+    def test_transport_defaults_to_local(self):
+        args = build_parser().parse_args(["solve", "x"])
+        assert args.transport == "local" and args.workers is None
+
+    def test_worker_serve_requires_root(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["worker", "serve"])
+        assert excinfo.value.code == 2
+        assert "--root" in capsys.readouterr().err
 
     def test_solve_accepts_planner_off(self, instance_path, capsys):
         assert main(["solve", instance_path, "--algorithm", "threshold",

@@ -13,13 +13,22 @@ _REPO_ROOT = Path(__file__).parent.parent
 
 #: Markdown documents whose fenced ```python blocks must execute and whose
 #: relative links must resolve.
-DOC_FILES = ["README.md", "docs/ARCHITECTURE.md", "docs/REPRODUCING.md"]
+DOC_FILES = [
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/REPRODUCING.md",
+    "docs/DISTRIBUTED.md",
+]
 
 # Fetched via importlib: the package __init__ re-exports a *function* named
 # iter_set_cover, which shadows the module attribute of the same name.
 DOCTEST_MODULES = [
     "repro.utils.bitset",
     "repro.utils.mathutil",
+    "repro.engine",
+    "repro.engine.plan",
+    "repro.engine.merge",
+    "repro.engine.transport",
     "repro.setsystem.set_system",
     "repro.setsystem.io",
     "repro.setsystem.shards",

@@ -1,12 +1,15 @@
-"""Parallel scan executor: jobs x encoding x planner parity, SHM, knobs.
+"""The local scan-engine backends: jobs x encoding x planner parity, SHM.
 
-The contract under test (DESIGN.md §6, §8): for every algorithm, every
-repository encoding, every ``jobs`` setting and planner on/off, covers,
-pass counts and the resident-buffer accounting are **bit-identical** —
-the executor (and its adaptive schedule) is an execution detail, never
-an observable one.  Crash hygiene is part of the contract: a worker
-dying mid-scan must fail loudly, leak no SharedMemory, and leave the
-pool machinery able to serve the next scan.
+The contract under test (DESIGN.md §6, §8, §9.2): for every algorithm,
+every repository encoding, every ``jobs`` setting, every transport
+backend and planner on/off, covers, pass counts and the resident-buffer
+accounting are **bit-identical** — the engine (and its adaptive
+schedule) is an execution detail, never an observable one.  Crash
+hygiene is part of the contract: a worker dying mid-scan must fail
+loudly, leak no SharedMemory, and leave the pool machinery able to
+serve the next scan.  The remote backend's half of the contract lives
+in ``tests/test_remote.py``; the deprecated ``setsystem.parallel`` shim
+is pinned here too.
 """
 
 from __future__ import annotations
@@ -20,10 +23,7 @@ import pytest
 from repro.baselines import MultiPassGreedy, ThresholdGreedy
 from repro.bench import SCALES, build_instance
 from repro.core import IterSetCoverConfig, iter_set_cover
-from repro.partial.streaming import PartialIterSetCover
-from repro.setsystem import SetSystem
-from repro.setsystem import parallel as parallel_mod
-from repro.setsystem.parallel import (
+from repro.engine import (
     ProcessScanExecutor,
     SerialScanExecutor,
     ThreadScanExecutor,
@@ -33,12 +33,19 @@ from repro.setsystem.parallel import (
     shutdown_pools,
     simulate_accepts,
 )
+from repro.engine.transport import process as process_mod
+from repro.engine.transport import serial as serial_mod
+from repro.partial.streaming import PartialIterSetCover
+from repro.setsystem import SetSystem
 from repro.setsystem.shards import write_shards
 from repro.streaming import SetStream, ShardedSetStream
 
 ENCODINGS_UNDER_TEST = ("dense", "auto")
 JOBS_UNDER_TEST = (1, 2, 4)
 PLANNER_UNDER_TEST = (True, False)
+#: The local transport families swept by the parity property tests (the
+#: remote family is swept in tests/test_remote.py, which owns workers).
+LOCAL_TRANSPORTS = (None, "thread")
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -95,6 +102,59 @@ def test_executor_for_picks_backend():
         ProcessScanExecutor(1)
     with pytest.raises(ValueError):
         ThreadScanExecutor(1)
+
+
+def test_executor_for_transport_dispatch():
+    """The transport knob picks the backend family; jobs sizes it."""
+    assert executor_for(2, transport="thread").transport == "thread"
+    assert executor_for(2, transport="process").transport == "process"
+    assert executor_for(1, transport="serial").transport == "serial"
+    assert executor_for("auto", transport="serial").transport == "serial"
+    # A jobs count that cannot take effect errors instead of silently
+    # meaning one lane (same policy as workers with a local family).
+    with pytest.raises(ValueError, match="serial transport"):
+        executor_for(4, transport="serial")
+    with pytest.raises(ValueError, match="--jobs"):
+        executor_for(0, transport="serial")  # still validated
+    # One-lane pools are pure overhead: thread/process degrade to serial.
+    assert isinstance(executor_for(1, transport="thread"), SerialScanExecutor)
+    assert isinstance(executor_for(1, transport="process"), SerialScanExecutor)
+    # local (and None) keep the pre-engine serial-or-process behaviour.
+    assert isinstance(executor_for(1, transport="local"), SerialScanExecutor)
+    assert isinstance(executor_for(3, transport="local"), ProcessScanExecutor)
+    with pytest.raises(ValueError, match="--transport"):
+        executor_for(2, transport="carrier-pigeon")
+    with pytest.raises(ValueError, match="workers"):
+        executor_for(2, transport="remote")
+
+
+def test_setsystem_parallel_shim_is_deprecated_but_complete():
+    """The old import location warns and forwards every public name."""
+    import importlib
+    import sys
+
+    import repro.engine as engine
+
+    sys.modules.pop("repro.setsystem.parallel", None)
+    with pytest.warns(DeprecationWarning, match="repro.engine"):
+        shim = importlib.import_module("repro.setsystem.parallel")
+    for name in shim.__all__:
+        assert getattr(shim, name) is getattr(engine, name), name
+    # The pre-engine surface survived the move wholesale.
+    for name in ("JOBS_AUTO", "AcceptBatch", "ScanExecutor", "ScanResult",
+                 "SerialScanExecutor", "ProcessScanExecutor",
+                 "ThreadScanExecutor", "capture_words", "executor_for",
+                 "merge_scan_parts", "plan_batches", "resolve_jobs",
+                 "shutdown_pools", "simulate_accepts", "thread_map"):
+        assert name in shim.__all__, name
+    # Attribute access through the package keeps working too (the shim
+    # used to be imported eagerly, binding it as a package attribute).
+    import repro.setsystem
+
+    assert repro.setsystem.parallel.resolve_jobs is engine.resolve_jobs
+    assert repro.setsystem.executor_for is engine.executor_for  # PEP 562
+    with pytest.raises(AttributeError):
+        repro.setsystem.no_such_name
 
 
 def test_plan_batches_partitions_contiguously():
@@ -164,7 +224,7 @@ def test_scan_gains_identical_across_jobs_and_encodings(tmp_path):
 
 def test_shared_memory_mask_transport(tmp_path, monkeypatch):
     """Force the SHM path (normally only for huge masks) and check parity."""
-    monkeypatch.setattr(parallel_mod, "_SHM_MIN_MASK_BYTES", 0)
+    monkeypatch.setattr(process_mod, "_SHM_MIN_MASK_BYTES", 0)
     system = SetSystem(100, [[i, (i * 7) % 100] for i in range(40)])
     path = write_shards(tmp_path / "shm", system, chunk_rows=6)
     mask_int = sum(1 << e for e in range(0, 100, 3))
@@ -190,7 +250,7 @@ def test_best_only_capture_is_the_global_first_max(tmp_path):
 
 def test_planner_off_matches_planner_on(tmp_path, monkeypatch):
     """Scheduling is invisible: planner on/off x jobs gives equal scans."""
-    monkeypatch.setattr(parallel_mod, "_PIPELINE_MIN_CPUS", 1)  # force pipeline
+    monkeypatch.setattr(serial_mod, "_PIPELINE_MIN_CPUS", 1)  # force pipeline
     rng = np.random.default_rng(47)
     for case in range(10):
         system = _random_system(rng)
@@ -209,9 +269,26 @@ def test_planner_off_matches_planner_on(tmp_path, monkeypatch):
                 stream.close()
 
 
+def test_abandoned_thread_scan_leaves_stream_usable(tmp_path):
+    """Early-exiting a thread-transport pass settles its in-flight work.
+
+    The finally block must cancel/await the remaining futures so no pool
+    thread is still scanning when the caller closes the repository."""
+    system = SetSystem(16, [[i % 16] for i in range(20)])
+    path = write_shards(tmp_path / "tabandon", system, chunk_rows=2)
+    stream = ShardedSetStream(path, jobs=2, transport="thread")
+    parts = stream.scan_gains_chunked((1 << 16) - 1)
+    next(parts)
+    parts.close()  # abandon mid-pass
+    assert stream.passes == 1
+    full = stream.scan_gains((1 << 16) - 1)
+    assert len(full.gains) == 20
+    stream.close()  # no background thread left to race this
+
+
 def test_abandoned_prefetch_scan_leaves_stream_usable(tmp_path, monkeypatch):
     """Early-exiting a prefetched pass never wedges or orphans work."""
-    monkeypatch.setattr(parallel_mod, "_PIPELINE_MIN_CPUS", 1)  # force pipeline
+    monkeypatch.setattr(serial_mod, "_PIPELINE_MIN_CPUS", 1)  # force pipeline
     system = SetSystem(16, [[i % 16] for i in range(20)])
     path = write_shards(tmp_path / "abandon", system, chunk_rows=2)
     stream = ShardedSetStream(path, jobs=1, planner=True)
@@ -321,14 +398,14 @@ def test_worker_crash_is_loud_leak_free_and_recoverable(tmp_path, monkeypatch):
 
     # Force the mask through SharedMemory and build a fresh pool whose
     # workers inherit the crash hook.
-    monkeypatch.setattr(parallel_mod, "_SHM_MIN_MASK_BYTES", 0)
+    monkeypatch.setattr(process_mod, "_SHM_MIN_MASK_BYTES", 0)
     shutdown_pools()
-    monkeypatch.setenv(parallel_mod._CRASH_TEST_ENV, "1")
+    monkeypatch.setenv(process_mod._CRASH_TEST_ENV, "1")
     stream = ShardedSetStream(path, jobs=2)
     with pytest.raises(RuntimeError, match="worker died"):
         stream.scan_gains(mask_int)
     stream.close()
-    monkeypatch.delenv(parallel_mod._CRASH_TEST_ENV)
+    monkeypatch.delenv(process_mod._CRASH_TEST_ENV)
 
     if os.path.isdir(shm_dir):  # no leaked SharedMemory segments
         leaked = {
@@ -362,16 +439,25 @@ def test_threshold_parity_on_100_random_instances(tmp_path):
                                 chunk_rows=chunk_rows, encoding=encoding)
             jobs_axis = (1, 2) if case % 5 else JOBS_UNDER_TEST
             planner_axis = PLANNER_UNDER_TEST if case % 7 == 0 else (True,)
+            transport_axis = LOCAL_TRANSPORTS if case % 3 == 0 else (None,)
             for jobs in jobs_axis:
                 for planner in planner_axis:
-                    stream = ShardedSetStream(path, jobs=jobs, planner=planner)
-                    result = ThresholdGreedy().solve(stream)
-                    fingerprint = _fingerprint(result, stream)
-                    if reference is None:
-                        reference = fingerprint
-                    else:
-                        assert fingerprint == reference, (case, encoding, jobs, planner)
-                    stream.close()
+                    for transport in transport_axis:
+                        if transport == "thread" and jobs < 2:
+                            continue  # degenerates to serial, covered above
+                        stream = ShardedSetStream(
+                            path, jobs=jobs, planner=planner,
+                            transport=transport,
+                        )
+                        result = ThresholdGreedy().solve(stream)
+                        fingerprint = _fingerprint(result, stream)
+                        if reference is None:
+                            reference = fingerprint
+                        else:
+                            assert fingerprint == reference, (
+                                case, encoding, jobs, planner, transport,
+                            )
+                        stream.close()
         # The in-memory stream agrees too (modulo its zero buffer).
         memory = ThresholdGreedy().solve(SetStream(system))
         assert memory.selection == reference[0]
@@ -449,7 +535,7 @@ def test_capture_only_scans_omit_the_gains_vector(tmp_path):
                              include_gains=False)
     assert scan.gains is None
     assert [i for i, _ in scan.captured] == [0, 1]
-    from repro.setsystem.parallel import capture_words
+    from repro.engine import capture_words
 
     assert capture_words(scan.captured) == (2 + 1) + (1 + 1)
     stream.close()
@@ -539,7 +625,7 @@ def test_unstarted_scan_iterator_allocates_nothing(tmp_path, monkeypatch):
     Task construction — including the mask's SharedMemory segment —
     happens inside the generator body, so a never-started iterator
     allocates nothing to clean up."""
-    monkeypatch.setattr(parallel_mod, "_SHM_MIN_MASK_BYTES", 0)
+    monkeypatch.setattr(process_mod, "_SHM_MIN_MASK_BYTES", 0)
     system = SetSystem(32, [[i % 32] for i in range(12)])
     path = write_shards(tmp_path / "unstarted", system, chunk_rows=3)
     shm_dir = "/dev/shm"

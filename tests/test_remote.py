@@ -1,0 +1,429 @@
+"""The remote transport backend: parity, wire protocol, crash hygiene.
+
+The contract under test (DESIGN.md §9): a two-worker localhost fleet
+produces **bit-identical** covers, pass counts, captures and accounting
+to the serial executor, at every encoding and planner setting — and a
+worker that dies mid-batch surfaces as a loud ``RuntimeError`` with no
+SharedMemory leak and no partial state (the remote twin of the
+``REPRO_TEST_CRASH_SCAN`` regression test).
+
+In-process :class:`~repro.engine.transport.remote.WorkerServer` threads
+back the parity sweeps (cheap, no subprocess spawn); the crash tests use
+real ``python -m repro worker serve`` subprocesses via
+:func:`~repro.engine.transport.remote.spawn_local_worker`, because the
+worker SIGKILLs itself mid-scan.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+import numpy as np
+import pytest
+
+from repro.baselines import MultiPassGreedy, ThresholdGreedy
+from repro.core import iter_set_cover
+from repro.engine import (
+    RemoteScanExecutor,
+    WorkerServer,
+    executor_for,
+    resolve_workers,
+    shutdown_pools,
+)
+from repro.engine.transport import remote as remote_mod
+from repro.engine.transport.remote import (
+    PROTOCOL_VERSION,
+    manifest_token,
+    recv_json,
+    send_json,
+    spawn_local_worker,
+)
+from repro.setsystem import SetSystem
+from repro.setsystem.shards import write_shards
+from repro.streaming import SetStream, ShardedSetStream
+
+ENCODINGS_UNDER_TEST = ("dense", "auto")
+PLANNER_UNDER_TEST = (True, False)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _reap_pools():
+    yield
+    shutdown_pools()
+
+
+@pytest.fixture(scope="module")
+def worker_fleet(tmp_path_factory):
+    """Two in-process workers serving the whole pytest tmp tree."""
+    root = tmp_path_factory.getbasetemp()
+    servers = [WorkerServer(root).start(), WorkerServer(root).start()]
+    yield [server.address for server in servers]
+    for server in servers:
+        server.stop()
+
+
+def _random_system(rng: np.random.Generator) -> SetSystem:
+    n = int(rng.integers(1, 50))
+    m = int(rng.integers(1, 30))
+    sets = []
+    for _ in range(m):
+        size = int(rng.integers(0, n + 1))
+        sets.append(rng.choice(n, size=size, replace=False).tolist())
+    return SetSystem(n, sets)
+
+
+def _fingerprint(result, stream):
+    return (
+        result.selection,
+        result.passes,
+        result.feasible,
+        result.peak_memory_words,
+        stream.resident_words,
+    )
+
+
+# ----------------------------------------------------------------------
+# Knob resolution and executor construction
+# ----------------------------------------------------------------------
+def test_resolve_workers_validation():
+    assert resolve_workers("a:1,b:2") == [("a", 1), ("b", 2)]
+    assert resolve_workers(" a:1 , b:2 ") == [("a", 1), ("b", 2)]
+    assert resolve_workers(["a:1", ("b", 2)]) == [("a", 1), ("b", 2)]
+    for bad in (None, "", "a", ":80", "a:", "a:0", "a:-1", "a:65536",
+                "a:http", "a:1,,b:2", [("a",)], [("a", "x")]):
+        # The message names the CLI flag that feeds this knob.
+        with pytest.raises(ValueError, match="--workers"):
+            resolve_workers(bad)
+
+
+def test_executor_for_builds_remote():
+    executor = executor_for(workers="h:1,h:2")
+    assert isinstance(executor, RemoteScanExecutor)
+    assert executor.transport == "remote"
+    assert executor.jobs == 2  # one lane per worker
+    assert executor_for(workers="h:1", planner=False).planner is False
+    assert isinstance(
+        executor_for(transport="remote", workers=[("h", 1)]),
+        RemoteScanExecutor,
+    )
+    with pytest.raises(ValueError, match="workers"):
+        executor_for(transport="remote")
+    with pytest.raises(ValueError, match="--workers"):
+        executor_for(workers="nonsense")
+    # Workers must never be silently dropped for a local family.
+    for transport in ("local", "serial", "thread", "process"):
+        with pytest.raises(ValueError, match="transport='remote'"):
+            executor_for(2, transport=transport, workers="h:1")
+    # ... and an explicit jobs count must never be silently dropped for
+    # the remote family (parallelism there is one lane per worker).
+    with pytest.raises(ValueError, match="one lane per"):
+        executor_for(8, workers="h:1,h:2")
+    assert executor_for("auto", workers="h:1,h:2").jobs == 2
+
+
+def test_remote_refuses_in_memory_chunk_scans(worker_fleet):
+    system = SetSystem(8, [[0, 1], [2]])
+    stream = SetStream(system, transport="remote", workers=worker_fleet)
+    with pytest.raises(RuntimeError, match="shard repositories only"):
+        list(stream.scan_gains_chunked((1 << 8) - 1))
+
+
+# ----------------------------------------------------------------------
+# Scan- and algorithm-level parity: the acceptance property test
+# ----------------------------------------------------------------------
+def test_remote_scan_gains_match_serial(tmp_path, worker_fleet):
+    rng = np.random.default_rng(101)
+    for case in range(15):
+        system = _random_system(rng)
+        mask_int = sum(1 << e for e in range(0, system.n, 2)) | 1
+        for encoding in ENCODINGS_UNDER_TEST:
+            path = write_shards(tmp_path / f"g{case}-{encoding}", system,
+                                chunk_rows=int(rng.integers(1, 6)),
+                                encoding=encoding)
+            serial = ShardedSetStream(path, jobs=1)
+            reference = serial.scan_gains(mask_int, min_capture_gain=1)
+            serial.close()
+            for planner in PLANNER_UNDER_TEST:
+                stream = ShardedSetStream(
+                    path, transport="remote", workers=worker_fleet,
+                    planner=planner,
+                )
+                scan = stream.scan_gains(mask_int, min_capture_gain=1)
+                assert [int(g) for g in scan.gains] == [
+                    int(g) for g in reference.gains
+                ], (case, encoding, planner)
+                assert scan.captured == reference.captured
+                assert stream.passes == 1
+                stream.close()
+
+
+def test_remote_algorithm_parity_on_random_instances(tmp_path, worker_fleet):
+    """Covers/passes/accounting: remote == serial, the §9 guarantee."""
+    rng = np.random.default_rng(103)
+    algorithms = [
+        ("threshold", lambda stream: ThresholdGreedy().solve(stream)),
+        ("multipass", lambda stream: MultiPassGreedy(max_passes=4).solve(stream)),
+        (
+            "iter",
+            lambda stream: iter_set_cover(
+                stream, delta=0.5, seed=13,
+                use_polylog_factors=False, include_rho=False,
+            ),
+        ),
+    ]
+    for case in range(20):
+        system = _random_system(rng)
+        chunk_rows = int(rng.integers(1, 6))
+        encoding = ENCODINGS_UNDER_TEST[case % 2]
+        path = write_shards(tmp_path / f"a{case}", system,
+                            chunk_rows=chunk_rows, encoding=encoding)
+        algo_name, run = algorithms[case % len(algorithms)]
+        serial_stream = ShardedSetStream(path, jobs=1)
+        reference = _fingerprint(run(serial_stream), serial_stream)
+        serial_stream.close()
+        planner = PLANNER_UNDER_TEST[case % 2]
+        stream = ShardedSetStream(path, transport="remote",
+                                  workers=worker_fleet, planner=planner)
+        fingerprint = _fingerprint(run(stream), stream)
+        assert fingerprint == reference, (case, algo_name, encoding, planner)
+        stream.close()
+
+
+def test_remote_accepts_fuse_worker_side(tmp_path, worker_fleet):
+    """scan_accepts_chunked ships the simulation to remote workers."""
+    system = SetSystem(8, [[0, 1, 2], [2, 3], [4, 5, 6, 7], [0]])
+    path = write_shards(tmp_path / "acc", system, chunk_rows=2)
+    serial = list(ShardedSetStream(path, jobs=1).scan_accepts_chunked(
+        (1 << 8) - 1, 2
+    ))
+    remote = list(
+        ShardedSetStream(path, transport="remote", workers=worker_fleet)
+        .scan_accepts_chunked((1 << 8) - 1, 2)
+    )
+    assert len(remote) == len(serial) == 2
+    for (s_start, s_cap, s_batch), (r_start, r_cap, r_batch) in zip(
+        serial, remote
+    ):
+        assert (r_start, r_cap) == (s_start, s_cap)
+        assert (r_batch.ids, r_batch.removed, r_batch.touched) == (
+            s_batch.ids, s_batch.removed, s_batch.touched,
+        )
+
+
+def test_remote_single_worker_and_abandoned_scan(tmp_path, worker_fleet):
+    """One worker serves everything; an abandoned pass leaves no wreckage."""
+    system = SetSystem(16, [[i % 16] for i in range(20)])
+    path = write_shards(tmp_path / "one", system, chunk_rows=2)
+    stream = ShardedSetStream(path, transport="remote",
+                              workers=worker_fleet[:1])
+    parts = stream.scan_gains_chunked((1 << 16) - 1)
+    next(parts)
+    parts.close()  # abandon mid-pass
+    assert stream.passes == 1
+    full = stream.scan_gains((1 << 16) - 1)
+    assert len(full.gains) == 20
+    stream.close()
+
+
+# ----------------------------------------------------------------------
+# Wire-protocol failure modes
+# ----------------------------------------------------------------------
+def test_manifest_token_mismatch_is_refused(tmp_path, worker_fleet):
+    """A worker never scans a repository whose manifest content differs
+    from what the driver's token promises (a stale or divergent mount)."""
+    system = SetSystem(8, [[0, 1], [2, 3]])
+    path = write_shards(tmp_path / "tok", system)
+    stale = manifest_token(path)
+    stale = [stale[0] + 1, stale[1] ^ 0xDEAD]  # a token from "elsewhere"
+    host, port = worker_fleet[0]
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        send_json(sock, {"op": "hello", "protocol": PROTOCOL_VERSION})
+        assert recv_json(sock)["op"] == "hello"
+        send_json(sock, {
+            "op": "scan", "path": str(path), "token": stale, "n": 8,
+            "shards": [0], "min_capture_gain": None, "capture_ids": None,
+            "best_only": False, "include_gains": True,
+            "accept_threshold": None,
+        })
+        from repro.engine.transport.remote import send_bytes
+
+        send_bytes(sock, (255).to_bytes(1, "little"))  # the mask frame
+        reply = recv_json(sock)
+        assert reply["op"] == "error"
+        assert "token mismatch" in reply["message"]
+    # The full driver path reports the same failure loudly.
+    stream = ShardedSetStream(path, transport="remote", workers=worker_fleet)
+    real = stream.scan_gains((1 << 8) - 1)  # sanity: matching token works
+    assert len(real.gains) == 2
+    stream.close()
+
+
+def test_paths_outside_worker_root_are_rejected(tmp_path):
+    system = SetSystem(8, [[0, 1], [2, 3]])
+    inside = tmp_path / "root"
+    inside.mkdir()
+    outside = write_shards(tmp_path / "outside", system)
+    with WorkerServer(inside) as server:
+        server.start()
+        stream = ShardedSetStream(outside, transport="remote",
+                                  workers=[server.address])
+        with pytest.raises(RuntimeError, match="outside the serving root"):
+            stream.scan_gains((1 << 8) - 1)
+        stream.close()
+
+
+def test_protocol_version_mismatch_is_loud(worker_fleet):
+    host, port = worker_fleet[0]
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        send_json(sock, {"op": "hello", "protocol": PROTOCOL_VERSION + 1})
+        reply = recv_json(sock)
+        assert reply["op"] == "error"
+        assert "protocol mismatch" in reply["message"]
+
+
+def test_ping_pong(worker_fleet):
+    host, port = worker_fleet[0]
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        send_json(sock, {"op": "hello", "protocol": PROTOCOL_VERSION})
+        assert recv_json(sock)["op"] == "hello"
+        send_json(sock, {"op": "ping"})
+        assert recv_json(sock)["op"] == "pong"
+
+
+def test_unreachable_worker_fails_before_any_request(tmp_path):
+    system = SetSystem(8, [[0, 1], [2, 3]])
+    path = write_shards(tmp_path / "unreach", system)
+    # Grab a port that is certainly closed by binding and releasing it.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_port = probe.getsockname()[1]
+    probe.close()
+    stream = ShardedSetStream(
+        path, transport="remote", workers=[("127.0.0.1", dead_port)]
+    )
+    with pytest.raises(RuntimeError, match="cannot reach remote worker"):
+        stream.scan_gains((1 << 8) - 1)
+    stream.close()
+
+
+# ----------------------------------------------------------------------
+# Crash hygiene: a worker killed mid-batch is loud, leak-free, recoverable
+# ----------------------------------------------------------------------
+def test_worker_crash_mid_batch_is_loud_and_leak_free(tmp_path):
+    """The remote twin of the REPRO_TEST_CRASH_SCAN regression test.
+
+    A real subprocess worker SIGKILLs itself after its first shard
+    result; the driver must raise a RuntimeError naming the worker (not
+    hang, not return a short scan), leave /dev/shm clean, and a fresh
+    worker must serve the same repository immediately afterwards.
+    """
+    system = SetSystem(64, [[i % 64, (i * 3) % 64] for i in range(30)])
+    path = write_shards(tmp_path / "crash", system, chunk_rows=4)
+    mask_int = (1 << 64) - 1
+    shm_dir = "/dev/shm"
+    before = set(os.listdir(shm_dir)) if os.path.isdir(shm_dir) else set()
+
+    process, address = spawn_local_worker(
+        tmp_path, extra_env={remote_mod._CRASH_TEST_ENV: "1"}
+    )
+    try:
+        stream = ShardedSetStream(path, transport="remote", workers=[address])
+        with pytest.raises(RuntimeError, match="remote worker .* failed"):
+            stream.scan_gains(mask_int)
+        stream.close()
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+    if os.path.isdir(shm_dir):  # no leaked SharedMemory segments
+        leaked = {
+            entry for entry in set(os.listdir(shm_dir)) - before
+            if entry.startswith("psm_")
+        }
+        assert not leaked, leaked
+
+    # No partial state anywhere: a fresh worker reproduces the serial scan.
+    process, address = spawn_local_worker(tmp_path)
+    try:
+        recovered = ShardedSetStream(path, transport="remote",
+                                     workers=[address])
+        serial = ShardedSetStream(path, jobs=1)
+        assert (
+            [int(g) for g in recovered.scan_gains(mask_int).gains]
+            == [int(g) for g in serial.scan_gains(mask_int).gains]
+        )
+        recovered.close()
+        serial.close()
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+def test_spawned_worker_round_trip(tmp_path):
+    """The subprocess worker (the CLI path) serves a real solve."""
+    system = SetSystem(24, [[i % 24, (i * 5) % 24] for i in range(18)])
+    path = write_shards(tmp_path / "spawn", system, chunk_rows=3)
+    reference = ThresholdGreedy().solve(ShardedSetStream(path, jobs=1))
+    process, address = spawn_local_worker(tmp_path)
+    try:
+        stream = ShardedSetStream(path, transport="remote", workers=[address])
+        result = ThresholdGreedy().solve(stream)
+        assert result.selection == reference.selection
+        assert result.passes == reference.passes
+        assert result.peak_memory_words == reference.peak_memory_words
+        stream.close()
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+def test_repo_cache_eviction_defers_while_busy(tmp_path):
+    """Evicting a repository a scan still holds must not close its mmaps.
+
+    The server's cache may be asked to drop an entry (same-path rewrite,
+    LRU overflow) while another connection thread is mid-scan on it;
+    the close must defer to the last release (regression for the
+    use-after-close race)."""
+    from repro.setsystem.shards import ShardFormatError
+
+    system = SetSystem(8, [[0, 1], [2, 3]])
+    path = write_shards(tmp_path / "busy", system)
+    server = WorkerServer(tmp_path)
+    try:
+        token = manifest_token(path)
+        key, repo = server._open_repository(str(path), token)  # refs = 1
+        with server._repo_lock:
+            server._evict_locked(key)  # busy: doomed, NOT closed
+        assert repo.row_mask(0) == 0b11  # still scannable
+        server._release_repository(key)  # last holder gone: now closed
+        with pytest.raises(ShardFormatError, match="closed"):
+            repo.row_mask(0)
+
+        # A cache hit on a doomed-but-busy entry revives it: the entry
+        # is hot again, so draining to zero holders keeps it cached.
+        key, repo = server._open_repository(str(path), token)
+        with server._repo_lock:
+            server._evict_locked(key)
+        key2, repo2 = server._open_repository(str(path), token)
+        assert key2 == key and repo2 is repo
+        server._release_repository(key)
+        server._release_repository(key)
+        assert repo.row_mask(1) == 0b1100  # revived: stays open, cached
+
+        # Idle eviction closes immediately.
+        with server._repo_lock:
+            server._evict_locked(key)
+        with pytest.raises(ShardFormatError, match="closed"):
+            repo.row_mask(0)
+    finally:
+        server.stop()
+
+
+def test_manifest_token_is_content_keyed(tmp_path):
+    system = SetSystem(8, [[0, 1], [2, 3]])
+    path = write_shards(tmp_path / "t1", system)
+    token = manifest_token(path)
+    assert token == manifest_token(path)  # stable
+    other = write_shards(tmp_path / "t2", SetSystem(8, [[0], [1, 2, 3]]))
+    assert token != manifest_token(other)
