@@ -375,7 +375,12 @@ def _bench_parallel_and_encodings(
     * ``remote workers=2`` — the **transport dimension** (DESIGN.md §9):
       the same scan spread over two localhost ``repro worker serve``
       subprocesses, so the trajectory records the first multi-node
-      numbers alongside the local sweep.
+      numbers alongside the local sweep;
+    * ``fault_recovery`` — the **robustness dimension** (DESIGN.md §10):
+      the same remote scan with one worker's connection killed mid-batch
+      (a chaos drop proxy) and retries enabled, so the report prices
+      batch re-dispatch against the clean ``remote workers=2`` row —
+      and the parity assertion proves the recovered scan bit-identical.
 
     Every backend's gains vector is compared against the baseline's;
     a mismatch raises (and is recorded in ``payload["parallel_parity"]``).
@@ -447,6 +452,31 @@ def _bench_parallel_and_encodings(
                 observed[label] = [int(g) for g in result.gains]
 
         runner.record(_PARALLEL_BENCH, name, label, remote_scan, repeats=1)
+
+        # The robustness dimension: worker 0's first connection is cut
+        # mid-batch (drop proxy, one sabotaged connection) and the retry
+        # policy re-dispatches the lost shards.  The fleet itself stays
+        # alive for the next instance; the delta against the clean
+        # remote row above is the price of one mid-scan worker loss.
+        def fault_scan():
+            from repro.engine.fault import ChaosProxy
+
+            with ChaosProxy(
+                remote_workers[0], mode="drop", after_frames=2, times=1,
+                seed=0,
+            ) as proxy:
+                fleet = [proxy.address] + list(remote_workers[1:])
+                with ShardedRepository(paths["auto"]) as repo:
+                    stream = ShardedSetStream(
+                        repo, transport="remote", workers=fleet,
+                        retry={"attempts": 3, "backoff": 0.05, "seed": 0},
+                    )
+                    result = stream.scan_gains(mask_int)
+                    observed["fault_recovery"] = [int(g) for g in result.gains]
+
+        runner.record(
+            _PARALLEL_BENCH, name, "fault_recovery", fault_scan, repeats=1
+        )
 
     expected = observed["rows"]
     for backend, gains in observed.items():

@@ -17,6 +17,9 @@ Python:
   runs, DESIGN.md §9);
 * ``worker``   — ``worker serve --root <dir>``: serve shard scans to
   remote drivers over TCP (:mod:`repro.engine.transport.remote`);
+  ``worker ping HOST:PORT``: round-trip a protocol ping to a running
+  worker and print its latency, protocol version, pid and root —
+  the operator's fleet-health probe;
 * ``info``     — instance statistics (n, m, sparsity, density, optimum
   bounds);
 * ``bench``    — run the packed-kernel benchmark suite and write a
@@ -211,6 +214,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port to listen on (0 = pick an ephemeral port and "
         "announce it on stdout)",
     )
+    worker_ping = worker_sub.add_parser(
+        "ping",
+        help="round-trip a protocol ping to one worker: prints latency, "
+        "protocol version, pid and serving root",
+    )
+    worker_ping.add_argument(
+        "worker", metavar="HOST:PORT",
+        help="address of a running `repro worker serve`",
+    )
+    worker_ping.add_argument(
+        "--count", type=int, default=3, help="pings to send (default 3)"
+    )
+    worker_ping.add_argument(
+        "--connect-timeout", type=float, default=5.0,
+        help="seconds to wait for connect + handshake + each pong",
+    )
 
     solve = sub.add_parser("solve", help="run a streaming algorithm")
     solve.add_argument(
@@ -256,6 +275,62 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT[,HOST:PORT...]",
         help="remote worker addresses for --transport remote "
         "(start them with `repro worker serve`)",
+    )
+    retry = solve.add_argument_group(
+        "remote fault tolerance",
+        "failure handling for --transport remote (see docs/DISTRIBUTED.md); "
+        "defaults are fail-loud: the first worker fault aborts the solve. "
+        "Results are bit-identical whether or not retries fire.",
+    )
+    retry.add_argument(
+        "--retry-attempts", type=int, default=None, metavar="N",
+        help="scan attempts per batch (default 1 = fail-loud; N>1 enables "
+        "re-dispatch of failed batches to surviving workers)",
+    )
+    retry.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="SECONDS",
+        help="base backoff between a lane's attempts (default 0.1; "
+        "doubles per attempt, jittered)",
+    )
+    retry.add_argument(
+        "--retry-backoff-max", type=float, default=None, metavar="SECONDS",
+        help="backoff ceiling (default 5.0)",
+    )
+    retry.add_argument(
+        "--retry-jitter", type=float, default=None, metavar="FRACTION",
+        help="randomized fraction of each backoff, in [0,1] (default 0.5)",
+    )
+    retry.add_argument(
+        "--connect-timeout", type=float, default=None, metavar="SECONDS",
+        help="socket timeout for connect + handshake (default 30)",
+    )
+    retry.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="post-handshake read timeout: a wedged worker errors instead "
+        "of hanging the scan (default 120)",
+    )
+    retry.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock cap per dispatched batch (default: none; the "
+        "idle timeout still bounds every read)",
+    )
+    retry.add_argument(
+        "--retry-eject-after", type=int, default=None, metavar="N",
+        help="consecutive faults before a worker is ejected from the "
+        "scan (default 3)",
+    )
+    retry.add_argument(
+        "--retry-rejoin-backoff", type=float, default=None, metavar="SECONDS",
+        help="cooldown before an ejected worker may rejoin (default 5)",
+    )
+    retry.add_argument(
+        "--ping-interval", type=float, default=None, metavar="SECONDS",
+        help="idle-connection health-ping interval (default 30)",
+    )
+    retry.add_argument(
+        "--no-local-fallback", action="store_true",
+        help="abort instead of degrading to a local serial scan when "
+        "every worker is lost mid-scan",
     )
 
     info = sub.add_parser("info", help="instance statistics")
@@ -363,20 +438,54 @@ def _cmd_shard_backfill(args) -> int:
 
 def _cmd_worker_serve(args) -> int:
     from repro.engine import WorkerServer
+    from repro.engine.transport.remote import _EXIT_TEST_ENV, _WEDGE_TEST_ENV
 
     server = WorkerServer(args.root, host=args.host, port=args.port)
     host, port = server.address
-    print(
+    announce = (
         f"repro worker (pid {os.getpid()}) serving {server.root}, "
-        f"listening on {host}:{port}",
-        flush=True,
+        f"listening on {host}:{port}"
     )
+    if os.environ.get(_EXIT_TEST_ENV):
+        # Test hook: announce, then die before ever serving — the
+        # spawn_local_worker connect probe must catch this, loudly.
+        server.stop()
+        print(announce, flush=True)
+        return 0
+    if not os.environ.get(_WEDGE_TEST_ENV):
+        # (Other test hook: bind and serve but never announce — the
+        # spawn announce timeout must catch that, loudly.)
+        print(announce, flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
         server.stop()
+    return 0
+
+
+def _cmd_worker_ping(args) -> int:
+    from repro.engine import RetryPolicy, ping_worker
+
+    try:
+        policy = RetryPolicy(
+            connect_timeout=args.connect_timeout,
+            idle_timeout=args.connect_timeout,
+        )
+        report = ping_worker(args.worker, policy=policy, pings=args.count)
+    except (RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rtts = report["rtt_ms"]
+    print(f"worker    : {report['worker']}")
+    print(f"protocol  : v{report['protocol']}")
+    print(f"pid       : {report['pid']}")
+    print(f"root      : {report['root']}")
+    print(
+        f"rtt (ms)  : min {min(rtts):.3f} / avg {sum(rtts) / len(rtts):.3f} "
+        f"/ max {max(rtts):.3f} over {len(rtts)} ping(s)"
+    )
     return 0
 
 
@@ -396,28 +505,102 @@ def _cmd_solve(args, parser: argparse.ArgumentParser) -> int:
             "--transport remote needs a shard-directory input (remote "
             "workers open repositories by path; see `repro shard create`)"
         )
+    retry = _resolve_retry_flags(args, parser)
     if Path(args.input).is_dir():
         from repro.streaming.sharded import ShardedSetStream
 
         stream = ShardedSetStream(
             args.input, jobs=args.jobs, planner=planner,
             transport=(args.transport if args.transport != "local" else None),
-            workers=args.workers,
+            workers=args.workers, retry=retry,
         )
     else:
         stream = SetStream(load(args.input), jobs=args.jobs, planner=planner)
-    algorithm = _ALGORITHMS[args.algorithm](args)
-    result = algorithm.solve(stream)
-    status = "cover" if stream.verify_solution(result.selection) else "PARTIAL"
-    print(f"algorithm : {result.algorithm}")
-    print(f"result    : {status} with {result.solution_size} sets")
-    print(f"passes    : {result.passes}")
-    print(f"space     : {result.peak_memory_words} words")
-    if result.best_k is not None:
-        print(f"best guess: k={result.best_k}")
-    if args.show_cover:
-        print(f"sets      : {sorted(set(result.selection))}")
-    return 0 if result.feasible else 1
+    try:
+        algorithm = _ALGORITHMS[args.algorithm](args)
+        result = algorithm.solve(stream)
+        status = (
+            "cover" if stream.verify_solution(result.selection) else "PARTIAL"
+        )
+        _report_faults(stream)
+        print(f"algorithm : {result.algorithm}")
+        print(f"result    : {status} with {result.solution_size} sets")
+        print(f"passes    : {result.passes}")
+        print(f"space     : {result.peak_memory_words} words")
+        if result.best_k is not None:
+            print(f"best guess: k={result.best_k}")
+        if args.show_cover:
+            print(f"sets      : {sorted(set(result.selection))}")
+        return 0 if result.feasible else 1
+    finally:
+        close = getattr(stream, "close", None)
+        if close is not None:
+            close()
+
+
+def _resolve_retry_flags(args, parser) -> "dict | None":
+    """Bundle the solve ``--retry-*`` flags into a RetryPolicy dict.
+
+    Returns ``None`` when no flag was given (the fail-loud default).
+    Validation happens in :class:`repro.engine.fault.RetryPolicy`, whose
+    ``ValueError`` messages name the flags — surfaced here as the usual
+    argparse usage errors.
+    """
+    flags = {
+        "attempts": args.retry_attempts,
+        "backoff": args.retry_backoff,
+        "backoff_max": args.retry_backoff_max,
+        "jitter": args.retry_jitter,
+        "connect_timeout": args.connect_timeout,
+        "idle_timeout": args.idle_timeout,
+        "deadline": args.deadline,
+        "eject_after": args.retry_eject_after,
+        "rejoin_backoff": args.retry_rejoin_backoff,
+        "ping_interval": args.ping_interval,
+    }
+    flags = {knob: value for knob, value in flags.items() if value is not None}
+    if args.no_local_fallback:
+        flags["local_fallback"] = False
+    if not flags:
+        return None
+    if args.transport != "remote":
+        parser.error(
+            "the --retry-*/--deadline/--idle-timeout/--connect-timeout/"
+            "--ping-interval/--no-local-fallback flags only apply with "
+            "--transport remote"
+        )
+    flags.setdefault("seed", args.seed)  # deterministic backoff jitter
+    from repro.engine import RetryPolicy
+
+    try:
+        RetryPolicy(**flags)  # validate now: usage error, not traceback
+    except ValueError as exc:
+        parser.error(str(exc))
+    return flags
+
+
+def _report_faults(stream) -> None:
+    """Print the remote fault log (if any) to stderr, operator-style."""
+    fault_log = getattr(stream, "fault_log", None)
+    if not fault_log:
+        return
+    summary = fault_log.summary()
+    kinds = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(summary["by_kind"].items())
+    )
+    degraded = (
+        " — degraded to a local scan" if summary["degraded_to_local"] else ""
+    )
+    print(
+        f"faults    : survived {summary['events']} event(s) "
+        f"[{kinds}]{degraded}",
+        file=sys.stderr,
+    )
+    for event in fault_log.events:
+        print(
+            f"  [{event.kind}] {event.worker}: {event.detail}",
+            file=sys.stderr,
+        )
 
 
 def _cmd_info(args) -> int:
@@ -506,6 +689,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_shard_backfill(args)
         return _cmd_shard_create(args)
     if args.command == "worker":
+        if args.worker_command == "ping":
+            return _cmd_worker_ping(args)
         return _cmd_worker_serve(args)
     if args.command == "solve":
         return _cmd_solve(args, parser)

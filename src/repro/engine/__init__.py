@@ -38,6 +38,16 @@ Examples
 [[0, 1], [2, 3, 4]]
 """
 
+from repro.engine.fault import (
+    CHAOS_ENV,
+    CHAOS_MODES,
+    ChaosProxy,
+    FaultEvent,
+    FaultLog,
+    RetryPolicy,
+    chaos_spec_from_env,
+    parse_chaos_spec,
+)
 from repro.engine.merge import (
     AcceptBatch,
     ReorderWindow,
@@ -59,28 +69,40 @@ from repro.engine.transport import (
     ScanExecutor,
     SerialScanExecutor,
     ThreadScanExecutor,
+    WorkerFaultError,
     WorkerServer,
     executor_for,
+    ping_worker,
     shutdown_pools,
     spawn_local_worker,
     thread_map,
 )
 
 __all__ = [
+    "CHAOS_ENV",
+    "CHAOS_MODES",
     "JOBS_AUTO",
     "TRANSPORTS",
     "AcceptBatch",
+    "ChaosProxy",
+    "FaultEvent",
+    "FaultLog",
     "ProcessScanExecutor",
     "RemoteScanExecutor",
     "ReorderWindow",
+    "RetryPolicy",
     "ScanExecutor",
     "ScanResult",
     "SerialScanExecutor",
     "ThreadScanExecutor",
+    "WorkerFaultError",
     "WorkerServer",
     "capture_words",
+    "chaos_spec_from_env",
     "executor_for",
     "merge_scan_parts",
+    "parse_chaos_spec",
+    "ping_worker",
     "plan_batches",
     "resolve_jobs",
     "resolve_workers",

@@ -1,0 +1,135 @@
+"""The fault log: what failed, what was done about it, what it cost.
+
+Every recoverable event on the remote transport — a connect refusal, a
+mid-batch disconnect, a deadline overrun, a failed health ping, a worker
+ejection or rejoin, a batch re-dispatch, a quorum-loss degradation —
+lands here as one :class:`FaultEvent`.  The log is executor-scoped (it
+accumulates across the passes of one solve), thread-safe (lanes append
+concurrently), and surfaced twice: algorithms see a snapshot in
+``ScanResult.extra["fault_summary"]`` and operators see a summary on
+``repro solve`` stderr.
+
+Events are *observability*, never control flow: results are already
+bit-identical by the reorder-window argument, so the log's only job is
+to make "the solve survived two worker crashes" visible instead of
+silent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["FaultEvent", "FaultLog"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One recoverable fault (or the action taken for one).
+
+    ``kind`` is a small closed vocabulary: ``connect`` / ``scan`` /
+    ``ping`` / ``deadline`` (the fault families), ``redispatch`` /
+    ``eject`` / ``rejoin`` / ``fallback`` (the actions).  ``worker`` is
+    the ``host:port`` text of the lane that observed it; ``batch`` the
+    shard ids involved (empty for connection-level events); ``attempt``
+    the 1-based attempt number that failed (0 for actions); ``elapsed``
+    seconds since the log was created.
+    """
+
+    kind: str
+    worker: str
+    detail: str
+    batch: tuple = ()
+    attempt: int = 0
+    elapsed: float = 0.0
+
+    def as_row(self) -> dict:
+        """JSON-friendly view (``ScanResult.extra``, experiments rows)."""
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "detail": self.detail,
+            "batch": list(self.batch),
+            "attempt": self.attempt,
+            "elapsed": round(self.elapsed, 6),
+        }
+
+
+class FaultLog:
+    """Thread-safe, append-only record of an executor's fault events.
+
+    >>> log = FaultLog()
+    >>> bool(log)
+    False
+    >>> _ = log.record("scan", ("h", 1), "peer closed", batch=(3, 4), attempt=1)
+    >>> _ = log.record("redispatch", ("h", 2), "batch resubmitted", batch=(3, 4))
+    >>> len(log), log.summary()["by_kind"]["scan"]
+    (2, 1)
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: list[FaultEvent] = []
+        self._born = time.monotonic()
+
+    def record(
+        self,
+        kind: str,
+        worker,
+        detail: str,
+        batch=(),
+        attempt: int = 0,
+    ) -> FaultEvent:
+        """Append one event; ``worker`` is ``(host, port)`` or text."""
+        if isinstance(worker, tuple):
+            worker = f"{worker[0]}:{worker[1]}"
+        event = FaultEvent(
+            kind=kind,
+            worker=str(worker),
+            detail=str(detail),
+            batch=tuple(batch),
+            attempt=attempt,
+            elapsed=time.monotonic() - self._born,
+        )
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @property
+    def events(self) -> "list[FaultEvent]":
+        """A snapshot copy (safe to iterate while lanes append)."""
+        with self._lock:
+            return list(self._events)
+
+    def as_rows(self) -> list[dict]:
+        """JSON-friendly snapshot of every event."""
+        return [event.as_row() for event in self.events]
+
+    def summary(self) -> dict:
+        """Aggregate counts: total, by kind, by worker, recovery flag."""
+        events = self.events
+        by_kind: dict[str, int] = {}
+        by_worker: dict[str, int] = {}
+        for event in events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+            by_worker[event.worker] = by_worker.get(event.worker, 0) + 1
+        return {
+            "events": len(events),
+            "by_kind": by_kind,
+            "by_worker": by_worker,
+            "degraded_to_local": by_kind.get("fallback", 0) > 0,
+        }
+
+    def clear(self) -> None:
+        """Drop all events (benchmark harness between timed runs)."""
+        with self._lock:
+            self._events.clear()

@@ -53,10 +53,19 @@ class ScanResult:
     state at the captured projections alone; ``captured`` holds
     ``(row_id, projection_int)`` pairs in ascending row order, as
     selected by the scan's capture policy.
+
+    ``extra`` carries transport-side observability that rides along with
+    a result without affecting it — today the remote executor's fault
+    summary (``extra["fault_summary"]`` / ``extra["fault_events"]``)
+    when a scan survived worker faults.  Values never influence gains,
+    captures or any downstream decision; two results are the *same
+    result* whenever ``gains`` and ``captured`` match, whatever
+    ``extra`` says about the road travelled.
     """
 
     gains: object
     captured: list
+    extra: dict = field(default_factory=dict)
 
 
 @dataclass

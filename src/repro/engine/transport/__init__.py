@@ -32,7 +32,9 @@ from repro.engine.transport.process import (
 )
 from repro.engine.transport.remote import (
     RemoteScanExecutor,
+    WorkerFaultError,
     WorkerServer,
+    ping_worker,
     spawn_local_worker,
 )
 from repro.engine.transport.serial import (
@@ -52,8 +54,10 @@ __all__ = [
     "SerialScanExecutor",
     "ThreadScanExecutor",
     "TRANSPORTS",
+    "WorkerFaultError",
     "WorkerServer",
     "executor_for",
+    "ping_worker",
     "shutdown_pools",
     "spawn_local_worker",
     "thread_map",
@@ -72,6 +76,7 @@ def executor_for(
     planner: bool = True,
     transport: "str | None" = None,
     workers=None,
+    retry=None,
 ) -> ScanExecutor:
     """Build the executor a knob combination asks for.
 
@@ -85,8 +90,11 @@ def executor_for(
     degrade to the serial executor when ``jobs`` resolves to 1 (a
     one-lane pool is pure overhead).
     ``planner`` toggles the adaptive schedule (cost-balanced batches,
-    prefetch pipeline) on every backend; results never depend on any of
-    these knobs.
+    prefetch pipeline) on every backend; ``retry`` (anything
+    :meth:`repro.engine.fault.RetryPolicy.resolve` accepts) sets the
+    remote transport's failure handling and errors on every other
+    backend — local faults are crashes, not retriable events.  Results
+    never depend on any of these knobs.
 
     >>> executor_for(1).jobs
     1
@@ -113,7 +121,15 @@ def executor_for(
                 f"jobs={jobs!r}); parallelism is one lane per --workers "
                 "entry"
             )
-        return RemoteScanExecutor(workers, planner=planner)
+        return RemoteScanExecutor(workers, planner=planner, retry=retry)
+    if retry is not None:
+        # A retry policy that cannot take effect must error: only the
+        # remote transport has recoverable faults to apply it to.
+        raise ValueError(
+            f"retry only applies with transport='remote', got "
+            f"transport={transport!r} (the --retry-* flags pair with "
+            "--workers the same way)"
+        )
     if workers is not None:
         # Dropping a worker list silently would run every scan locally
         # while the caller believes a fleet is doing the work.

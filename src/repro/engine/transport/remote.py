@@ -13,26 +13,42 @@ one logical scan over a fleet of worker processes reachable by TCP:
   they complete;
 * the **driver** (:class:`RemoteScanExecutor`) plans contiguous
   cost-balanced shard batches (:func:`repro.engine.plan.plan_batches`),
-  deals them round-robin to its workers in chunk order, and funnels
-  every reply through the shared
+  feeds them through a shared work queue to one lane thread per worker,
+  and funnels every reply through the shared
   :class:`~repro.engine.merge.ReorderWindow` — so whatever order
   workers finish in, consumers observe exactly the serial executor's
   chunk sequence and results stay bit-identical (§9.2).
 
 Wire protocol (version :data:`PROTOCOL_VERSION`)
 ------------------------------------------------
-Every frame is ``tag(1 byte) + length(u32 big-endian) + payload``; tag
-``J`` marks a UTF-8 JSON payload, tag ``B`` raw bytes.  Bitmask-valued
-fields travel as lowercase hex strings inside JSON; the residual mask
-and the per-shard gains vectors — the two bulk payloads — travel as
-``B`` frames (mask: little-endian packed words; gains: ``int64``
-little-endian).  See docs/DISTRIBUTED.md for the full message table.
+Every frame is ``tag(1 byte) + length(u32 big-endian) + crc32(u32
+big-endian) + payload``; tag ``J`` marks a UTF-8 JSON payload, tag ``B``
+raw bytes.  The checksum covers the payload and is verified on every
+receive, so a byte corrupted in transit surfaces as a loud
+:class:`ProtocolError` instead of a silently-wrong gains vector.
+Bitmask-valued fields travel as lowercase hex strings inside JSON; the
+residual mask and the per-shard gains vectors — the two bulk payloads —
+travel as ``B`` frames (mask: little-endian packed words; gains:
+``int64`` little-endian).  See docs/DISTRIBUTED.md for the full message
+table.
 
-Failure model: a worker that disconnects (or reports an error) mid-scan
-surfaces as a loud ``RuntimeError`` naming the worker — never a hang and
-never a silently-short scan; the driver holds no SharedMemory and no
-pools, so there is nothing to leak or recover.  Workers are stateless
-between requests: the next scan simply reconnects.
+Failure model (DESIGN.md §10)
+-----------------------------
+Failure handling is governed by a
+:class:`~repro.engine.fault.RetryPolicy`.  The default is **fail-loud**:
+the first worker fault aborts the scan with a :class:`WorkerFaultError`
+naming the worker — never a hang (post-handshake reads carry the
+policy's idle timeout) and never a silently-short scan.  With retries
+enabled (``attempts > 1``) a failed batch is re-dispatched — shards
+already delivered are never re-sent, so the reorder window sees each
+shard exactly once and results stay bit-identical no matter which
+worker died when.  Workers accumulating consecutive faults are ejected
+for ``rejoin_backoff`` seconds; if every worker is lost mid-scan the
+driver degrades to a local serial scan of the undelivered shards (with
+a warning) unless ``local_fallback`` is off.  Everything observed along
+the way lands in the executor's :class:`~repro.engine.fault.FaultLog`.
+The driver holds no SharedMemory and no pools, so there is nothing to
+leak or recover; workers are stateless between requests.
 
 The protocol carries set-system scan requests only — no code, no
 pickles — but it is **unauthenticated**: run workers on a trusted
@@ -54,9 +70,11 @@ import subprocess
 import sys
 import threading
 import time
+import warnings
 import zlib
 from pathlib import Path
 
+from repro.engine.fault import ChaosProxy, FaultLog, RetryPolicy, chaos_spec_from_env
 from repro.engine.merge import AcceptBatch, ReorderWindow, simulate_accepts
 from repro.engine.plan import plan_batches, resolve_workers
 from repro.engine.transport.base import ScanExecutor
@@ -68,20 +86,26 @@ except ImportError:  # pragma: no cover - exercised only on stripped installs
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "ProtocolError",
     "RemoteScanExecutor",
+    "WorkerFaultError",
     "WorkerServer",
     "manifest_token",
+    "ping_worker",
     "spawn_local_worker",
 ]
 
 #: Bumped whenever a frame or message field changes shape.  Driver and
 #: worker exchange versions in the hello handshake and refuse mismatches
-#: loudly instead of desynchronizing mid-scan.
-PROTOCOL_VERSION = 1
+#: loudly instead of desynchronizing mid-scan.  Version 2 added the
+#: per-frame crc32.
+PROTOCOL_VERSION = 2
 
 _FRAME_JSON = b"J"
 _FRAME_BYTES = b"B"
-_FRAME_HEADER = struct.Struct(">cI")
+#: tag(1) + payload length(u32 BE) + payload crc32(u32 BE).  Mirrored by
+#: ``repro.engine.fault.chaos._FRAME_HEADER`` (tests assert they agree).
+_FRAME_HEADER = struct.Struct(">cII")
 
 #: Frames larger than this indicate a desynchronized (or hostile) peer.
 _MAX_FRAME_BYTES = 1 << 30
@@ -93,9 +117,17 @@ _SERVER_REPO_CACHE = 8
 #: Test hook (``tests/test_remote.py``): when set in a worker's
 #: environment, the worker SIGKILLs itself after streaming its first
 #: shard result — the remote twin of ``REPRO_TEST_CRASH_SCAN`` — so the
-#: disconnect contract (loud RuntimeError, no SHM, no partial state)
-#: stays regression-tested.
+#: disconnect contract (loud error, no SHM, no partial state) stays
+#: regression-tested.
 _CRASH_TEST_ENV = "REPRO_TEST_CRASH_REMOTE"
+
+#: Test hooks (``tests/test_fault.py``) for the spawn_local_worker edge
+#: cases: a worker that binds and serves but never prints its announce
+#: line, and a worker that announces and then immediately exits.  Both
+#: must surface as a named RuntimeError from spawn_local_worker — never
+#: a hang.  Honoured by ``repro worker serve`` (see repro.cli).
+_WEDGE_TEST_ENV = "REPRO_TEST_WEDGE_ANNOUNCE"
+_EXIT_TEST_ENV = "REPRO_TEST_EXIT_AFTER_ANNOUNCE"
 
 #: How long :func:`spawn_local_worker` waits for the announce line.
 _SPAWN_TIMEOUT_SECONDS = 30.0
@@ -105,7 +137,17 @@ _SPAWN_TIMEOUT_SECONDS = 30.0
 # Framing
 # ----------------------------------------------------------------------
 class ProtocolError(RuntimeError):
-    """A malformed, truncated or mismatched protocol exchange."""
+    """A malformed, truncated, corrupted or mismatched protocol exchange."""
+
+
+class WorkerFaultError(RuntimeError):
+    """A remote scan failed after exhausting its fault budget.
+
+    Raised by :class:`RemoteScanExecutor` when a batch runs out of
+    attempts (with the default fail-loud policy: on the first fault), or
+    when every worker is lost and local fallback is disabled.  The
+    message names the worker and the last fault.
+    """
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -121,17 +163,25 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
 
 
 def _send_frame(sock: socket.socket, tag: bytes, payload: bytes) -> None:
-    sock.sendall(_FRAME_HEADER.pack(tag, len(payload)) + payload)
+    header = _FRAME_HEADER.pack(tag, len(payload), zlib.crc32(payload))
+    sock.sendall(header + payload)
 
 
 def _recv_frame(sock: socket.socket) -> tuple[bytes, bytes]:
     header = _recv_exact(sock, _FRAME_HEADER.size)
-    tag, length = _FRAME_HEADER.unpack(header)
+    tag, length, checksum = _FRAME_HEADER.unpack(header)
     if tag not in (_FRAME_JSON, _FRAME_BYTES):
         raise ProtocolError(f"unknown frame tag {tag!r}")
     if length > _MAX_FRAME_BYTES:
         raise ProtocolError(f"oversized frame ({length} bytes)")
-    return tag, _recv_exact(sock, length)
+    payload = _recv_exact(sock, length)
+    observed = zlib.crc32(payload)
+    if observed != checksum:
+        raise ProtocolError(
+            f"frame checksum mismatch (sender says {checksum:#010x}, payload "
+            f"hashes to {observed:#010x}) — the frame was corrupted in transit"
+        )
+    return tag, payload
 
 
 def send_json(sock: socket.socket, message: dict) -> None:
@@ -200,6 +250,41 @@ def _decode_gains(payload: bytes):
     ]
 
 
+def _close_socket(sock) -> None:
+    # shutdown() before close(): close alone does not send FIN (or wake
+    # a concurrent recv) while another thread's syscall still references
+    # the socket's file description — and close_socket() exists exactly
+    # to unblock a lane stuck in recv from the driver's finally.
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass  # never connected, or the peer is already gone
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - already dead
+        pass
+
+
+def _join_reaped(thread: threading.Thread, what: str, timeout: float = 5.0) -> bool:
+    """Join ``thread``; warn loudly instead of silently leaking it.
+
+    The old code joined with a timeout and dropped still-running threads
+    on the floor without a trace.  A daemon thread that outlives its
+    join is still abandoned (there is nothing safer to do), but now the
+    leak is *named* so tests and operators can see it.
+    """
+    thread.join(timeout=timeout)
+    if thread.is_alive():
+        warnings.warn(
+            f"{what} ({thread.name!r}) did not exit within {timeout}s and was "
+            "abandoned as a daemon thread",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return False
+    return True
+
+
 # ----------------------------------------------------------------------
 # Worker server
 # ----------------------------------------------------------------------
@@ -251,19 +336,30 @@ class WorkerServer:
             except OSError:
                 break  # listener closed by stop()
             thread = threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
+                target=self._serve_connection, args=(conn,),
+                name="repro-worker-conn", daemon=True,
             )
             thread.start()
 
     def start(self) -> "WorkerServer":
         """Serve on a daemon thread (in-process workers for tests)."""
-        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-worker-accept", daemon=True
+        )
         self._thread.start()
         return self
 
     def stop(self) -> None:
         """Unbind the listener and drop cached repositories."""
         self._stopped.set()
+        try:
+            # Closing a listening socket does not reliably wake a thread
+            # blocked in accept(); poke it with a throwaway connection so
+            # serve_forever re-checks the stop flag and exits promptly.
+            with socket.create_connection(self.address, timeout=1.0):
+                pass
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:  # pragma: no cover - double close
@@ -275,7 +371,7 @@ class WorkerServer:
             self._repo_refs.clear()
             self._repo_doomed.clear()
         if self._thread is not None:
-            self._thread.join(timeout=5.0)
+            _join_reaped(self._thread, "worker accept loop")
             self._thread = None
 
     def __enter__(self) -> "WorkerServer":
@@ -475,21 +571,34 @@ class WorkerServer:
 
 
 # ----------------------------------------------------------------------
-# Driver executor
+# Driver connections
 # ----------------------------------------------------------------------
-def _connect(worker: tuple[str, int]) -> socket.socket:
+def _connect(worker, policy=None, display=None):
+    """Dial a worker and run the hello handshake.
+
+    Returns ``(socket, hello_reply)``.  ``display`` names the worker in
+    error messages when the dialed address is an interposed proxy (the
+    chaos harness) rather than the worker itself.  The connect timeout
+    stays in force through the handshake: a host that accepts the
+    connection but never replies (wedged worker, wrong service) must
+    error, not hang the driver.  Post-handshake reads carry the policy
+    idle timeout — the old ``settimeout(None)`` meant a peer that wedged
+    *after* the handshake could hang a scan forever.
+    """
+    policy = RetryPolicy.resolve(policy)
     host, port = worker
+    shown = display if display is not None else (host, port)
+    shown = f"{shown[0]}:{shown[1]}"
     try:
-        sock = socket.create_connection((host, port), timeout=30.0)
+        sock = socket.create_connection(
+            (host, port), timeout=policy.connect_timeout
+        )
     except OSError as exc:
         raise RuntimeError(
-            f"cannot reach remote worker {host}:{port}: {exc} "
+            f"cannot reach remote worker {shown}: {exc} "
             "(is `python -m repro worker serve` running there?)"
         ) from exc
     try:
-        # The connect timeout stays in force through the handshake: a
-        # host that accepts the connection but never replies (wedged
-        # worker, wrong service) must error, not hang the driver.
         send_json(sock, {"op": "hello", "protocol": PROTOCOL_VERSION})
         reply = recv_json(sock)
         if reply.get("op") == "error":
@@ -499,10 +608,370 @@ def _connect(worker: tuple[str, int]) -> socket.socket:
     except (ProtocolError, ConnectionError, OSError) as exc:
         sock.close()
         raise RuntimeError(
-            f"handshake with remote worker {host}:{port} failed: {exc}"
+            f"handshake with remote worker {shown} failed: {exc}"
         ) from exc
-    sock.settimeout(None)  # scans block as long as the data takes
-    return sock
+    sock.settimeout(policy.idle_timeout)
+    return sock, reply
+
+
+def ping_worker(worker, policy=None, pings: int = 3) -> dict:
+    """Round-trip ``ping`` frames to one worker and report its health.
+
+    ``worker`` is a ``(host, port)`` pair or a ``HOST:PORT`` string.
+    Returns ``{"worker", "protocol", "pid", "root", "rtt_ms"}`` — the
+    handshake facts plus one measured round-trip per ping.  Raises the
+    usual named ``RuntimeError`` when the worker is unreachable or the
+    handshake fails; backs ``repro worker ping``.
+    """
+    if isinstance(worker, str):
+        targets = resolve_workers(worker)
+        if len(targets) != 1:
+            raise ValueError(
+                f"ping takes exactly one worker, got {len(targets)} "
+                "(the worker ping command takes a single HOST:PORT)"
+            )
+        worker = targets[0]
+    host, port = str(worker[0]), int(worker[1])
+    policy = RetryPolicy.resolve(policy)
+    sock, hello = _connect((host, port), policy)
+    try:
+        rtts = []
+        for _ in range(max(1, int(pings))):
+            begin = time.monotonic()
+            send_json(sock, {"op": "ping"})
+            reply = recv_json(sock)
+            if reply.get("op") != "pong":
+                raise ProtocolError(f"expected pong, got {reply.get('op')!r}")
+            rtts.append(time.monotonic() - begin)
+    except (ProtocolError, ConnectionError, OSError, ValueError) as exc:
+        raise RuntimeError(
+            f"ping to remote worker {host}:{port} failed: {exc}"
+        ) from exc
+    finally:
+        _close_socket(sock)
+    return {
+        "worker": f"{host}:{port}",
+        "protocol": int(hello.get("protocol", PROTOCOL_VERSION)),
+        "pid": hello.get("pid"),
+        "root": hello.get("root"),
+        "rtt_ms": [round(rtt * 1000.0, 3) for rtt in rtts],
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver executor
+# ----------------------------------------------------------------------
+class _LaneFault(Exception):
+    """Internal: one recoverable fault observed by a worker lane."""
+
+    def __init__(self, kind: str, detail: str):
+        super().__init__(detail)
+        self.kind = kind
+        self.detail = detail
+
+
+class _Batch:
+    """One planned unit of re-dispatchable work (a list of shard ids)."""
+
+    __slots__ = ("index", "shards", "attempts")
+
+    def __init__(self, index: int, shards):
+        self.index = index
+        self.shards = list(shards)
+        self.attempts = 0
+
+
+class _WorkerHealth:
+    """Executor-scoped per-worker state (guarded by the executor lock)."""
+
+    __slots__ = ("consecutive", "ejected_until")
+
+    def __init__(self):
+        self.consecutive = 0
+        self.ejected_until = 0.0
+
+
+class _ScanState:
+    """Shared state of one in-flight scan: work queue, delivery ledger.
+
+    ``deliver`` marks a shard delivered *and* queues it for the reorder
+    window in one step, so a batch that faults mid-stream re-dispatches
+    only its undelivered remainder — the window never sees a shard
+    twice, which is what keeps retried scans bit-identical.
+    """
+
+    def __init__(self, shard_count: int, batches):
+        self.shard_count = shard_count
+        self.stop = threading.Event()
+        self.results: "queue.Queue[tuple]" = queue.Queue()
+        self.work: "queue.Queue[_Batch]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._delivered: set = set()
+        self._batches = len(batches)
+        self._done_batches = 0
+        for batch in batches:
+            self.work.put(batch)
+
+    def take(self, timeout: float):
+        try:
+            return self.work.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def requeue(self, batch: _Batch) -> None:
+        self.work.put(batch)
+
+    def todo(self, batch: _Batch) -> list:
+        with self._lock:
+            return [s for s in batch.shards if s not in self._delivered]
+
+    def deliver(self, shard: int, item) -> None:
+        with self._lock:
+            self._delivered.add(shard)
+        self.results.put(("item", (shard, item)))
+
+    def batch_done(self, batch: _Batch) -> None:
+        with self._lock:
+            self._done_batches += 1
+
+    def finished(self) -> bool:
+        with self._lock:
+            return self._done_batches >= self._batches
+
+    def undelivered(self) -> tuple:
+        with self._lock:
+            return tuple(sorted(set(range(self.shard_count)) - self._delivered))
+
+
+class _WorkerLane(threading.Thread):
+    """One worker's lane: pulls batches off the shared queue, streams
+    results, and converts faults into retry/re-dispatch decisions."""
+
+    def __init__(
+        self, executor, worker, state, request, mask_bytes, accept_threshold,
+        include_gains, sock=None,
+    ):
+        host, port = worker
+        super().__init__(name=f"repro-remote-{host}:{port}", daemon=True)
+        self.executor = executor
+        self.worker = worker
+        self.state = state
+        self.request = request
+        self.mask_bytes = mask_bytes
+        self.accept_threshold = accept_threshold
+        self.include_gains = include_gains
+        self.sock = sock
+
+    # -- lifecycle ------------------------------------------------------
+    def run(self) -> None:
+        executor = self.executor
+        policy = executor.retry
+        state = self.state
+        try:
+            if self.sock is None and policy.enabled:
+                # Eager connect keeps idle lanes pingable; failures here
+                # are not fatal — each batch retries the connect itself.
+                try:
+                    self.sock = executor._connect_worker(self.worker)
+                except RuntimeError as exc:
+                    executor.fault_log.record("connect", self.worker, str(exc))
+                    if self._note_failure():
+                        return
+            last_beat = time.monotonic()
+            while not state.stop.is_set():
+                batch = state.take(timeout=0.25)
+                if batch is None:
+                    if state.finished():
+                        return
+                    if (
+                        self.sock is not None
+                        and time.monotonic() - last_beat >= policy.ping_interval
+                    ):
+                        last_beat = time.monotonic()
+                        if not self._ping() and self._note_failure():
+                            return
+                    continue
+                todo = state.todo(batch)
+                if not todo:
+                    state.batch_done(batch)
+                    continue
+                try:
+                    self._run_batch(todo)
+                except _LaneFault as fault:
+                    self._close()
+                    if state.stop.is_set():
+                        return  # scan abandoned: not a fault, just exit
+                    batch.attempts += 1
+                    executor.fault_log.record(
+                        fault.kind, self.worker, fault.detail,
+                        batch=tuple(todo), attempt=batch.attempts,
+                    )
+                    if batch.attempts >= policy.attempts:
+                        state.results.put(
+                            ("fatal", (self.worker, batch, fault.detail))
+                        )
+                        return
+                    remaining = state.todo(batch)
+                    if remaining:
+                        executor.fault_log.record(
+                            "redispatch", self.worker,
+                            f"batch {batch.index} requeued with "
+                            f"{len(remaining)} shard(s) undelivered",
+                            batch=tuple(remaining), attempt=batch.attempts,
+                        )
+                        state.requeue(batch)
+                    else:
+                        # The fault hit after the last shard arrived but
+                        # before `done` — nothing left to re-dispatch.
+                        state.batch_done(batch)
+                    if self._note_failure():
+                        return
+                    state.stop.wait(
+                        policy.backoff_seconds(batch.attempts, executor._rng)
+                    )
+                else:
+                    state.batch_done(batch)
+                    executor._note_success(self.worker)
+                    last_beat = time.monotonic()
+        finally:
+            self._close()
+            state.results.put(("lane_exit", self.worker))
+
+    # -- one batch ------------------------------------------------------
+    def _run_batch(self, todo) -> None:
+        executor = self.executor
+        policy = executor.retry
+        if self.sock is None:
+            try:
+                self.sock = executor._connect_worker(self.worker)
+            except RuntimeError as exc:
+                raise _LaneFault("connect", str(exc)) from exc
+        sock = self.sock
+        deadline = (
+            time.monotonic() + policy.deadline
+            if policy.deadline is not None
+            else None
+        )
+        expected = set(todo)
+        try:
+            send_json(sock, dict(self.request, shards=list(todo)))
+            send_bytes(sock, self.mask_bytes)
+            while expected:
+                self._arm_timeout(sock, deadline)
+                message = recv_json(sock)
+                op = message.get("op")
+                if op == "error":
+                    raise _LaneFault("scan", str(message.get("message")))
+                if op == "done":
+                    raise ProtocolError(
+                        f"worker finished with {len(expected)} shard(s) "
+                        "undelivered"
+                    )
+                if op != "result":
+                    raise ProtocolError(f"unexpected op {op!r} mid-scan")
+                shard = int(message["shard"])
+                if shard not in expected:
+                    raise ProtocolError(f"unrequested shard {shard} delivered")
+                start = int(message["start"])
+                captured = _decode_captured(message["captured"])
+                if self.accept_threshold is not None:
+                    accept = message["accept"]
+                    item = (
+                        start,
+                        captured,
+                        AcceptBatch(
+                            ids=[int(i) for i in accept["ids"]],
+                            removed=int(accept["removed"], 16),
+                            touched=int(accept["touched"], 16),
+                        ),
+                    )
+                else:
+                    if message.get("gains"):
+                        self._arm_timeout(sock, deadline)
+                        gains = _decode_gains(recv_bytes(sock))
+                    else:
+                        gains = None
+                    item = (
+                        start, (gains if self.include_gains else None), captured
+                    )
+                expected.discard(shard)
+                self.state.deliver(shard, item)
+            self._arm_timeout(sock, deadline)
+            message = recv_json(sock)
+            if message.get("op") != "done":
+                raise ProtocolError(
+                    f"expected done after last shard, got {message.get('op')!r}"
+                )
+        except _LaneFault:
+            raise
+        except (ProtocolError, ConnectionError, OSError, ValueError, KeyError) as exc:
+            if isinstance(exc, (socket.timeout, TimeoutError)):
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise _LaneFault(
+                        "deadline",
+                        f"batch deadline of {policy.deadline}s exceeded",
+                    ) from exc
+                raise _LaneFault(
+                    "scan",
+                    f"idle timeout: no data within {policy.idle_timeout}s",
+                ) from exc
+            raise _LaneFault("scan", f"{type(exc).__name__}: {exc}") from exc
+
+    def _arm_timeout(self, sock, deadline) -> None:
+        """Point the socket timeout at min(idle timeout, deadline left)."""
+        policy = self.executor.retry
+        timeout = policy.idle_timeout
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _LaneFault(
+                    "deadline",
+                    f"batch deadline of {policy.deadline}s exceeded",
+                )
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        sock.settimeout(timeout)
+
+    # -- health ---------------------------------------------------------
+    def _ping(self) -> bool:
+        """Health-check an idle connection with the protocol ping verb."""
+        policy = self.executor.retry
+        sock = self.sock
+        try:
+            sock.settimeout(policy.idle_timeout or policy.connect_timeout)
+            send_json(sock, {"op": "ping"})
+            reply = recv_json(sock)
+            if reply.get("op") != "pong":
+                raise ProtocolError(f"expected pong, got {reply.get('op')!r}")
+            return True
+        except (ProtocolError, ConnectionError, OSError, ValueError) as exc:
+            self.executor.fault_log.record(
+                "ping", self.worker, f"{type(exc).__name__}: {exc}"
+            )
+            self._close()
+            return False
+
+    def _note_failure(self) -> bool:
+        """Count one fault against this worker; True when now ejected."""
+        policy = self.executor.retry
+        if self.executor._note_failure(self.worker):
+            self.executor.fault_log.record(
+                "eject", self.worker,
+                f"ejected after {policy.eject_after} consecutive fault(s); "
+                f"eligible to rejoin in {policy.rejoin_backoff}s",
+            )
+            return True
+        return False
+
+    def _close(self) -> None:
+        sock, self.sock = self.sock, None
+        if sock is not None:
+            _close_socket(sock)
+
+    def close_socket(self) -> None:
+        """Unblock a lane stuck in recv (called by the driver's finally)."""
+        sock = self.sock
+        if sock is not None:
+            _close_socket(sock)
 
 
 class RemoteScanExecutor(ScanExecutor):
@@ -510,9 +979,21 @@ class RemoteScanExecutor(ScanExecutor):
 
     ``workers`` takes anything :func:`repro.engine.plan.resolve_workers`
     accepts (the CLI's ``host:port,host:port`` string or a list of
-    pairs).  Connections are opened per scan and closed when the scan's
-    iterator is exhausted or abandoned — workers keep no per-driver
-    state, so a failed scan needs no cleanup beyond reconnecting.
+    pairs).  ``retry`` takes anything
+    :meth:`repro.engine.fault.RetryPolicy.resolve` accepts; the default
+    is the fail-loud policy.  Connections are opened per scan and closed
+    when the scan's iterator is exhausted or abandoned — workers keep no
+    per-driver state, so a failed scan needs no cleanup beyond
+    reconnecting.  Worker health (consecutive faults, ejection cooldown)
+    and the :attr:`fault_log` persist across scans on one executor, so a
+    flaky worker ejected in pass 3 sits out pass 4 and rejoins later.
+
+    When the ``REPRO_CHAOS`` environment knob is set, one
+    :class:`~repro.engine.fault.ChaosProxy` is interposed per worker at
+    construction (and torn down by :meth:`close`): every connection the
+    executor dials then crosses the fault injector, which is how the CI
+    chaos-smoke job and ad-hoc resilience experiments run unmodified
+    solves under injected faults.
 
     Only repository scans are remote: the whole point of the backend is
     that workers re-open the shard repository themselves and page it
@@ -523,10 +1004,30 @@ class RemoteScanExecutor(ScanExecutor):
 
     transport = "remote"
 
-    def __init__(self, workers, planner: bool = True):
+    def __init__(self, workers, planner: bool = True, retry=None):
         self.workers = resolve_workers(workers)
         self.jobs = len(self.workers)
         self.planner = planner
+        self.retry = RetryPolicy.resolve(retry)
+        self.fault_log = FaultLog()
+        self._rng = self.retry.jitter_rng()
+        self._health = {worker: _WorkerHealth() for worker in self.workers}
+        self._health_lock = threading.Lock()
+        self._dial: dict = {}
+        self._chaos: list = []
+        spec = chaos_spec_from_env(os.environ)
+        if spec is not None:
+            for worker in self.workers:
+                proxy = ChaosProxy(worker, **spec).start()
+                self._chaos.append(proxy)
+                self._dial[worker] = proxy.address
+
+    def close(self) -> None:
+        """Tear down any interposed chaos proxies (idempotent)."""
+        for proxy in self._chaos:
+            proxy.stop()
+        self._chaos = []
+        self._dial = {}
 
     # -- unsupported in-memory flavours ---------------------------------
     def iter_scan_chunks(
@@ -557,16 +1058,109 @@ class RemoteScanExecutor(ScanExecutor):
             repository, mask_int, None, None, False, False, threshold,
         )
 
-    def _assignments(self, repository) -> list[list[int]]:
-        """Deal planned batches round-robin to workers, in chunk order."""
-        if self.planner:
-            batches = plan_batches(repository.shard_cost_estimates(), self.jobs)
-        else:  # the pre-planner schedule: one batch per shard, index order
-            batches = [[shard] for shard in range(repository.shard_count)]
-        assignments: list[list[int]] = [[] for _ in self.workers]
-        for index, batch in enumerate(batches):
-            assignments[index % len(self.workers)].extend(batch)
-        return assignments
+    # -- health ledger ----------------------------------------------------
+    def _note_success(self, worker) -> None:
+        with self._health_lock:
+            self._health[worker].consecutive = 0
+
+    def _note_failure(self, worker) -> bool:
+        """Count one fault; True when the worker just got ejected."""
+        with self._health_lock:
+            health = self._health[worker]
+            health.consecutive += 1
+            if health.consecutive >= self.retry.eject_after:
+                health.ejected_until = (
+                    time.monotonic() + self.retry.rejoin_backoff
+                )
+                health.consecutive = 0
+                return True
+            return False
+
+    def _roster(self) -> list:
+        """Workers eligible for this scan (rejoin-on-backoff applied)."""
+        now = time.monotonic()
+        with self._health_lock:
+            roster = []
+            for worker in self.workers:
+                health = self._health[worker]
+                if health.ejected_until:
+                    if health.ejected_until > now:
+                        continue  # still sitting out its rejoin backoff
+                    health.ejected_until = 0.0
+                    health.consecutive = 0
+                    self.fault_log.record(
+                        "rejoin", worker,
+                        "rejoin backoff elapsed; rejoining the fleet",
+                    )
+                roster.append(worker)
+            if not roster:
+                # Every worker is inside its cooldown: rejoin them all
+                # rather than refuse to scan — necessity beats backoff.
+                for worker in self.workers:
+                    health = self._health[worker]
+                    health.ejected_until = 0.0
+                    health.consecutive = 0
+                    self.fault_log.record(
+                        "rejoin", worker,
+                        "rejoined early: every worker was ejected",
+                    )
+                roster = list(self.workers)
+        return roster
+
+    def _connect_worker(self, worker):
+        """Dial one worker (through its chaos proxy when interposed)."""
+        sock, _ = _connect(
+            self._dial.get(worker, worker), self.retry, display=worker
+        )
+        return sock
+
+    # -- the scan ---------------------------------------------------------
+    def _raise_fatal(self, payload) -> None:
+        worker, batch, message = payload
+        host, port = worker
+        attempts = ""
+        if self.retry.enabled:
+            attempts = f" (attempt {batch.attempts} of {self.retry.attempts})"
+        raise WorkerFaultError(
+            f"remote worker {host}:{port} failed mid-scan: {message}"
+            f"{attempts} — the scan is incomplete and must be rerun (chunks "
+            "yielded before the failure may already have been consumed)"
+        )
+
+    def _scan_locally(
+        self, repository, shards, mask_int, min_capture_gain, capture_ids,
+        best_only, include_gains, accept_threshold,
+    ):
+        """Quorum-loss degradation: serial in-process scan of ``shards``.
+
+        Mirrors the worker-side parameter handling exactly, so a shard
+        scanned here is bit-identical to the same shard scanned remotely.
+        """
+        from repro.setsystem.packed import ScanMask
+
+        mask = ScanMask(repository.n, mask_int)
+        ids = frozenset(capture_ids) if capture_ids is not None else None
+        for shard in shards:
+            start, gains, captured = repository.scan_shard(
+                shard, mask,
+                min_capture_gain=(
+                    accept_threshold
+                    if accept_threshold is not None
+                    else min_capture_gain
+                ),
+                capture_ids=ids,
+                best_only=best_only,
+            )
+            if accept_threshold is not None:
+                yield shard, (
+                    start,
+                    captured,
+                    simulate_accepts(mask_int, accept_threshold, captured),
+                )
+            else:
+                yield shard, (
+                    start, (gains if include_gains else None), captured
+                )
 
     def _iter_remote(
         self, repository, mask_int, min_capture_gain, capture_ids, best_only,
@@ -575,6 +1169,7 @@ class RemoteScanExecutor(ScanExecutor):
         count = repository.shard_count
         if count == 0:
             return
+        policy = self.retry
         request = {
             "op": "scan",
             "path": str(Path(repository.path).resolve()),
@@ -589,117 +1184,103 @@ class RemoteScanExecutor(ScanExecutor):
             "accept_threshold": accept_threshold,
         }
         mask_bytes = mask_int.to_bytes(max(1, repository.words * 8), "little")
-        assignments = [a for a in self._assignments(repository) if a]
-        results: "queue.Queue[tuple]" = queue.Queue()
-        sockets: list[socket.socket] = []
-        threads: list[threading.Thread] = []
+        if self.planner:
+            plan = plan_batches(repository.shard_cost_estimates(), self.jobs)
+        else:  # the pre-planner schedule: one batch per shard, index order
+            plan = [[shard] for shard in range(count)]
+        batches = [
+            _Batch(index, shards)
+            for index, shards in enumerate(plan)
+            if shards
+        ]
+        state = _ScanState(count, batches)
+        roster = self._roster()
+        preconnected: dict = {}
+        if not policy.enabled:
+            # Fail-loud contract: connect to every worker before any
+            # request, so an unreachable fleet fails before work starts.
+            try:
+                for worker in roster:
+                    preconnected[worker] = self._connect_worker(worker)
+            except Exception:
+                for sock in preconnected.values():
+                    _close_socket(sock)
+                raise
+        lanes: list[_WorkerLane] = []
         try:
-            active = []
-            for worker, shards in zip(self.workers, assignments):
-                sock = _connect(worker)
-                sockets.append(sock)
-                active.append((worker, sock, shards))
-            # Connect first, then send: if any worker is unreachable the
-            # scan fails before any request reaches the others.
-            for worker, sock, shards in active:
-                thread = threading.Thread(
-                    target=self._pump_worker,
-                    args=(worker, sock, dict(request, shards=shards),
-                          mask_bytes, accept_threshold, include_gains, results),
-                    daemon=True,
+            for worker in roster:
+                lane = _WorkerLane(
+                    self, worker, state, request, mask_bytes,
+                    accept_threshold, include_gains,
+                    sock=preconnected.pop(worker, None),
                 )
-                thread.start()
-                threads.append(thread)
+                lane.start()
+                lanes.append(lane)
             window = ReorderWindow(count)
-            finished = 0
+            alive = len(lanes)
             while not window.complete:
-                if finished == len(threads):
-                    raise RuntimeError(
-                        "remote scan ended short: every worker reported done "
-                        f"but only {window.emitted} of {count} shard results "
-                        "arrived"
+                kind, payload = state.results.get()
+                if kind == "item":
+                    shard, item = payload
+                    window.push(shard, item)
+                    yield from window.pop_ready()
+                elif kind == "fatal":
+                    self._raise_fatal(payload)
+                else:  # lane_exit
+                    alive -= 1
+                    if alive:
+                        continue
+                    # Every lane is gone.  Drain what they queued before
+                    # exiting, then decide whether this is quorum loss.
+                    while True:
+                        try:
+                            kind, payload = state.results.get_nowait()
+                        except queue.Empty:
+                            break
+                        if kind == "item":
+                            shard, item = payload
+                            window.push(shard, item)
+                            yield from window.pop_ready()
+                        elif kind == "fatal":
+                            self._raise_fatal(payload)
+                    if window.complete:
+                        break
+                    missing = state.undelivered()
+                    if not policy.local_fallback:
+                        raise WorkerFaultError(
+                            f"remote scan lost all {len(lanes)} worker(s) "
+                            f"with {len(missing)} shard(s) undelivered and "
+                            "local fallback disabled — the scan is "
+                            "incomplete and must be rerun"
+                        )
+                    self.fault_log.record(
+                        "fallback", "driver",
+                        "quorum loss: every worker ejected or exited; "
+                        f"scanning {len(missing)} shard(s) locally",
+                        batch=missing,
                     )
-                kind, payload = results.get()
-                if kind == "error":
-                    worker, message = payload
-                    host, port = worker
-                    raise RuntimeError(
-                        f"remote worker {host}:{port} failed mid-scan: "
-                        f"{message} — the scan is incomplete and must be "
-                        "rerun (chunks yielded before the failure may "
-                        "already have been consumed)"
+                    warnings.warn(
+                        f"remote scan degraded to local: all {len(lanes)} "
+                        f"worker(s) failed; scanning {len(missing)} "
+                        "remaining shard(s) in-process (results are "
+                        "unaffected)",
+                        RuntimeWarning,
+                        stacklevel=2,
                     )
-                if kind == "done":
-                    finished += 1
-                    continue
-                shard, item = payload
-                window.push(shard, item)
-                yield from window.pop_ready()
+                    for shard, item in self._scan_locally(
+                        repository, missing, mask_int, min_capture_gain,
+                        capture_ids, best_only, include_gains,
+                        accept_threshold,
+                    ):
+                        window.push(shard, item)
+                        yield from window.pop_ready()
         finally:
-            for sock in sockets:
-                try:
-                    sock.close()
-                except OSError:  # pragma: no cover - already dead
-                    pass
-            for thread in threads:
-                thread.join(timeout=5.0)
-
-    @staticmethod
-    def _pump_worker(
-        worker, sock, request, mask_bytes, accept_threshold, include_gains,
-        results,
-    ) -> None:
-        """Connection thread: send one scan request, stream replies back."""
-        expected = set(request["shards"])
-        try:
-            send_json(sock, request)
-            send_bytes(sock, mask_bytes)
-            while expected:
-                message = recv_json(sock)
-                op = message.get("op")
-                if op == "error":
-                    results.put(("error", (worker, message.get("message"))))
-                    return
-                if op == "done":
-                    raise ProtocolError(
-                        f"worker finished with {len(expected)} shard(s) "
-                        "undelivered"
-                    )
-                if op != "result":
-                    raise ProtocolError(f"unexpected op {op!r} mid-scan")
-                shard = int(message["shard"])
-                if shard not in expected:
-                    raise ProtocolError(f"unrequested shard {shard} delivered")
-                expected.discard(shard)
-                start = int(message["start"])
-                captured = _decode_captured(message["captured"])
-                if accept_threshold is not None:
-                    accept = message["accept"]
-                    item = (
-                        start,
-                        captured,
-                        AcceptBatch(
-                            ids=[int(i) for i in accept["ids"]],
-                            removed=int(accept["removed"], 16),
-                            touched=int(accept["touched"], 16),
-                        ),
-                    )
-                else:
-                    gains = (
-                        _decode_gains(recv_bytes(sock))
-                        if message.get("gains")
-                        else None
-                    )
-                    item = (start, (gains if include_gains else None), captured)
-                results.put(("item", (shard, item)))
-            message = recv_json(sock)
-            if message.get("op") != "done":
-                raise ProtocolError(
-                    f"expected done after last shard, got {message.get('op')!r}"
-                )
-            results.put(("done", worker))
-        except (ProtocolError, ConnectionError, OSError, ValueError, KeyError) as exc:
-            results.put(("error", (worker, f"{type(exc).__name__}: {exc}")))
+            state.stop.set()
+            for lane in lanes:
+                lane.close_socket()
+            for lane in lanes:
+                host, port = lane.worker
+                _join_reaped(lane, f"remote lane for worker {host}:{port}")
 
 
 # ----------------------------------------------------------------------
@@ -714,11 +1295,13 @@ def spawn_local_worker(
     """Start ``python -m repro worker serve`` as a localhost subprocess.
 
     Binds an ephemeral port (``--port 0``) and parses the worker's
-    announce line for the actual address.  Returns ``(process,
-    (host, port))``; the caller owns the process and should
-    ``terminate()`` it when done.  ``extra_env`` entries overlay the
-    inherited environment (used by the crash-hygiene tests to plant
-    :data:`_CRASH_TEST_ENV`).
+    announce line for the actual address, then probes the endpoint with
+    one TCP connect — a worker that announces and immediately dies must
+    raise a named ``RuntimeError`` here, not hang the first scan.
+    Returns ``(process, (host, port))``; the caller owns the process and
+    should ``terminate()`` it when done.  ``extra_env`` entries overlay
+    the inherited environment (used by the crash-hygiene tests to plant
+    :data:`_CRASH_TEST_ENV` and friends).
     """
     import repro
 
@@ -767,4 +1350,25 @@ def spawn_local_worker(
                 f"worker exited during startup (rc={process.returncode})"
             )
     port = int(announce.rstrip().rsplit(":", 1)[1])
+    # Probe the announced endpoint before handing it to a driver: the
+    # connect must succeed while the worker lives, and fail fast (with
+    # the process's exit status) when it announced and then died.
+    while True:
+        try:
+            probe = socket.create_connection((host, port), timeout=1.0)
+            probe.close()
+            break
+        except OSError as exc:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"worker announced {host}:{port} but exited during "
+                    f"startup (rc={process.returncode})"
+                ) from exc
+            if time.monotonic() >= deadline:
+                process.terminate()
+                raise RuntimeError(
+                    f"worker announced {host}:{port} but never accepted a "
+                    f"connection within {timeout}s: {exc}"
+                ) from exc
+            time.sleep(0.05)
     return process, (host, port)

@@ -77,6 +77,14 @@ class ShardedSetStream(SetStreamBase):
         Remote worker addresses (implies ``transport="remote"``); the
         CLI's ``host:port,host:port`` string or ``(host, port)`` pairs
         (:func:`repro.engine.plan.resolve_workers`).
+    retry:
+        Remote failure handling: anything
+        :meth:`repro.engine.fault.RetryPolicy.resolve` accepts (``None``
+        = fail-loud, a :class:`~repro.engine.fault.RetryPolicy`, or a
+        dict of its knobs — the CLI's ``--retry-*`` flag bundle).  Only
+        meaningful with the remote transport; recoverable faults land in
+        :attr:`~repro.streaming.stream.SetStreamBase.fault_log` and
+        results stay bit-identical whether or not retries fire.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class ShardedSetStream(SetStreamBase):
         planner: bool = True,
         transport: "str | None" = None,
         workers=None,
+        retry=None,
     ):
         super().__init__()
         if isinstance(repository, (str, Path)):
@@ -96,6 +105,7 @@ class ShardedSetStream(SetStreamBase):
         self._planner = bool(planner)
         self._transport = transport
         self._workers = workers
+        self._retry = retry
         self._executor = None
         self._materialized: "SetSystem | None" = None
 
@@ -126,7 +136,14 @@ class ShardedSetStream(SetStreamBase):
         return self._repo.chunk_words
 
     def close(self) -> None:
-        """Release the repository's memory maps."""
+        """Release the repository's memory maps and the scan executor.
+
+        Executor close matters on the remote transport: it tears down
+        any interposed ``REPRO_CHAOS`` proxies (connections themselves
+        are per-scan and never outlive their iterator).
+        """
+        if self._executor is not None:
+            self._executor.close()
         self._repo.close()
 
     # -- repository hooks ----------------------------------------------
@@ -168,6 +185,7 @@ class ShardedSetStream(SetStreamBase):
                 planner=self._planner,
                 transport=self._transport,
                 workers=self._workers,
+                retry=self._retry,
             )
         return self._executor
 

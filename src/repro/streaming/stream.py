@@ -269,8 +269,13 @@ class SetStreamBase:
         once (benchmarks, parity checks); algorithms replay through
         :meth:`scan_gains_chunked` instead, so their capture scratch
         stays bounded by one chunk.
+
+        When the stream's executor recorded fault events (remote
+        transport surviving worker faults), the scan's
+        :class:`~repro.engine.merge.ScanResult` carries their summary in
+        ``extra`` — observability only, never part of the result.
         """
-        return merge_scan_parts(
+        result = merge_scan_parts(
             list(
                 self.scan_gains_chunked(
                     mask_int, min_capture_gain, capture_ids, best_only,
@@ -278,6 +283,20 @@ class SetStreamBase:
                 )
             )
         )
+        fault_log = self.fault_log
+        if fault_log:
+            result.extra["fault_summary"] = fault_log.summary()
+            result.extra["fault_events"] = fault_log.as_rows()
+        return result
+
+    @property
+    def fault_log(self):
+        """The remote executor's fault log, or ``None`` off-remote.
+
+        Truthy exactly when the stream's scans recorded recoverable
+        fault events (see :class:`repro.engine.fault.FaultLog`).
+        """
+        return getattr(getattr(self, "_executor", None), "fault_log", None)
 
     def _scan_gains_chunked(
         self, mask_int, min_capture_gain, capture_ids, best_only, include_gains
@@ -314,6 +333,12 @@ class SetStream(SetStreamBase):
     workers:
         Remote worker addresses (implies ``transport="remote"``); see
         :func:`repro.engine.plan.resolve_workers`.
+    retry:
+        Remote failure handling
+        (:meth:`repro.engine.fault.RetryPolicy.resolve` input).  Only
+        meaningful with the remote transport — an in-memory stream with
+        a retry policy is a ``ValueError``, same as the other
+        cannot-take-effect knob combinations.
 
     Examples
     --------
@@ -332,6 +357,7 @@ class SetStream(SetStreamBase):
         planner: bool = True,
         transport: "str | None" = None,
         workers=None,
+        retry=None,
     ):
         super().__init__()
         self._system = system
@@ -339,6 +365,7 @@ class SetStream(SetStreamBase):
         self._planner = bool(planner)
         self._transport = transport
         self._workers = workers
+        self._retry = retry
         self._executor = None
 
     # ------------------------------------------------------------------
@@ -387,6 +414,7 @@ class SetStream(SetStreamBase):
                 planner=self._planner,
                 transport=self._transport,
                 workers=self._workers,
+                retry=self._retry,
             )
         return self._executor
 

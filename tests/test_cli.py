@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -273,6 +275,108 @@ class TestJobs:
         assert pick(off_out, "result") == pick(on_out, "result")
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "x", "--planner", "maybe"])
+
+
+class TestWorkerPing:
+    def test_ping_running_worker(self, tmp_path, capsys):
+        from repro.engine import WorkerServer
+        from repro.engine.transport.remote import PROTOCOL_VERSION
+
+        with WorkerServer(tmp_path) as server:
+            server.start()
+            host, port = server.address
+            code = main(["worker", "ping", f"{host}:{port}", "--count", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"worker    : {host}:{port}" in out
+        assert f"protocol  : v{PROTOCOL_VERSION}" in out
+        assert "pid       :" in out
+        assert "rtt (ms)  :" in out and "over 2 ping(s)" in out
+
+    def test_ping_unreachable_worker_fails_cleanly(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(["worker", "ping", f"127.0.0.1:{port}",
+                     "--connect-timeout", "0.5"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot reach remote worker" in err
+
+    def test_ping_rejects_multiple_workers(self, capsys):
+        code = main(["worker", "ping", "a:1,b:2"])
+        assert code == 1
+        assert "exactly one worker" in capsys.readouterr().err
+
+
+class TestRetryFlags:
+    @pytest.fixture
+    def shards(self, tmp_path, capsys):
+        instance = tmp_path / "inst.json"
+        main(["generate", "planted", str(instance), "--n", "24", "--m",
+              "16", "--opt", "3", "--seed", "5"])
+        shards = tmp_path / "repo"
+        main(["shard", "create", str(instance), str(shards)])
+        capsys.readouterr()
+        return str(shards)
+
+    @pytest.mark.parametrize("flags", [
+        ["--retry-attempts", "3"],
+        ["--deadline", "5"],
+        ["--idle-timeout", "9"],
+        ["--no-local-fallback"],
+    ])
+    def test_retry_flags_require_remote_transport(self, shards, flags,
+                                                  capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", shards] + flags)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--transport remote" in err
+
+    @pytest.mark.parametrize("flag, value, named", [
+        ("--retry-attempts", "0", "--retry-attempts"),
+        ("--retry-jitter", "2", "--retry-jitter"),
+        ("--retry-backoff", "-1", "--retry-backoff"),
+        ("--deadline", "0", "--deadline"),
+        ("--idle-timeout", "-2", "--idle-timeout"),
+        ("--retry-eject-after", "0", "--retry-eject-after"),
+    ])
+    def test_invalid_retry_values_name_the_flag(self, shards, flag, value,
+                                                named, capsys):
+        """Validation lives in RetryPolicy; the CLI surfaces it as a
+        usage error naming the flag — never a traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", shards, "--transport", "remote",
+                  "--workers", "h:1", flag, value])
+        assert excinfo.value.code == 2
+        assert named in capsys.readouterr().err
+
+    def test_remote_solve_with_retry_flags(self, shards, capsys):
+        """The full path: retry flags reach the executor and the solve
+        matches the local run line for line."""
+        from repro.engine import WorkerServer
+
+        assert main(["solve", shards, "--algorithm", "threshold"]) == 0
+        local_out = capsys.readouterr().out
+        with WorkerServer(Path(shards).parent) as server:
+            server.start()
+            host, port = server.address
+            code = main([
+                "solve", shards, "--algorithm", "threshold",
+                "--transport", "remote", "--workers", f"{host}:{port}",
+                "--retry-attempts", "3", "--retry-backoff", "0.05",
+                "--deadline", "60", "--seed", "0",
+            ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == local_out
+        # No faults happened, so no fault report lands on stderr.
+        assert "faults" not in captured.err
 
 
 class TestParser:
