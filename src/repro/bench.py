@@ -112,7 +112,10 @@ ALL_BACKENDS = ("frozenset",) + PACKED_BACKENDS
 #: what the default knob actually delivers (it resolves per call site).
 SUMMARY_BACKENDS = PACKED_BACKENDS + ("auto",)
 #: Cost-only benchmarks: no frozenset-relative speedup is meaningful.
-_COST_ONLY = {"pack_build", "encode_write"}
+_COST_ONLY = {
+    "pack_build", "encode_write",
+    "delta_apply", "delta_compact", "dynamic_maintain",
+}
 #: The parallel-executor benchmark: one full gains scan per backend row.
 #: Its summary baseline is the ``rows`` backend — the per-row big-int
 #: scan over a dense repository, i.e. what every pass cost before the
@@ -126,10 +129,14 @@ _DEFAULT_JOBS_SWEEP = (1, 2, 4)
 #: n=2000/m=4000 instance is the acceptance instance of PR 1.
 SCALES = {
     "smoke": [
-        ("planted_n64_m48", "planted", dict(n=64, m=48, opt=4)),
+        ("planted_n64_m48", "planted",
+         dict(n=64, m=48, opt=4,
+              dynamic=dict(topics=40, blogs=80, generations=3, batch=4))),
     ],
     "paper": [
-        ("planted_n100_m200", "planted", dict(n=100, m=200, opt=8)),
+        ("planted_n100_m200", "planted",
+         dict(n=100, m=200, opt=8,
+              dynamic=dict(topics=60, blogs=120, generations=8, batch=6))),
         ("uniform_n500_m1000", "uniform", dict(n=500, m=1000, density=0.02)),
         # The acceptance instance: dense decoys (as large as the planted
         # parts) put greedy in its hard, churn-heavy regime.
@@ -592,6 +599,66 @@ def _bench_sharded_instance(
         shutil.rmtree(tmpdir, ignore_errors=True)
 
 
+def _bench_dynamic(
+    runner: _Runner, name: str, spec: dict, seed: int, work_root: Path
+) -> None:
+    """Churn-path cost rows: delta append, compaction, incremental cover.
+
+    All three are cost-only rows (no frozenset baseline exists for a
+    mutation): ``delta_apply`` times appending a full churn script as
+    delta generations to a fresh copy of the base repository,
+    ``delta_compact`` times folding that chain into a flat repository
+    (output mode, so the timed chain is reused across repeats), and
+    ``dynamic_maintain`` times :class:`repro.dynamic.DynamicCover`
+    absorbing the same script in memory.
+    """
+    import itertools
+    import shutil
+    import tempfile
+
+    from repro.dynamic import DynamicCover
+    from repro.setsystem import SetSystem
+    from repro.setsystem.deltas import apply_delta, compact
+    from repro.setsystem.shards import write_shards
+    from repro.workloads.churn import rolling_blog_watch
+
+    script = rolling_blog_watch(
+        topics=spec["topics"], blogs=spec["blogs"],
+        generations=spec["generations"], batch=spec["batch"], seed=seed,
+    )
+    tmpdir = Path(tempfile.mkdtemp(prefix="repro-dynamic-", dir=work_root))
+    counter = itertools.count()
+    try:
+        base = write_shards(
+            tmpdir / "base", SetSystem(script.n, script.base), chunk_rows=32
+        )
+
+        def apply_chain() -> Path:
+            root = tmpdir / f"chain-{next(counter)}"
+            shutil.copytree(base, root)
+            for batch in script.batches:
+                apply_delta(root, batch)
+            return root
+
+        runner.record("delta_apply", name, "chain", apply_chain, repeats=1)
+        chained = apply_chain()
+        runner.record(
+            "delta_compact", name, "rewrite",
+            lambda: compact(chained, output=tmpdir / f"out-{next(counter)}"),
+            repeats=1,
+        )
+
+        def maintain():
+            dyn = DynamicCover(script.n, enumerate(script.base), theta=2.0)
+            for batch in script.batches:
+                dyn.apply(batch)
+            assert dyn.is_valid_cover()
+
+        runner.record("dynamic_maintain", name, "levels", maintain)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def _summarize(results: list[dict]) -> dict:
     by_key: dict[tuple[str, str], dict[str, float]] = {}
     for row in results:
@@ -789,6 +856,10 @@ def run_benchmarks(
                         )
                     finally:
                         shutil.rmtree(tmpdir, ignore_errors=True)
+                if params.get("dynamic"):
+                    _bench_dynamic(
+                        runner, name, params["dynamic"], seed, work_root
+                    )
     finally:
         for process, _ in remote_procs:
             process.terminate()

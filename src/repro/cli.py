@@ -8,8 +8,14 @@ Python:
   instance file into a chunked on-disk repository
   (:mod:`repro.setsystem.shards`) for out-of-core runs, ``shard
   backfill-stats`` upgrades a v1/v2 repository to the v3 statistics
-  schema in place (``repro shard <input> <output>`` still works as an
-  alias for ``create``);
+  schema in place, ``shard apply-delta`` appends insert/tombstone
+  delta generations from a churn script or op list
+  (:mod:`repro.setsystem.deltas`), ``shard compact`` folds pending
+  deltas back into a single flat repository, and ``shard churn-script``
+  emits a reproducible mutation script
+  (:mod:`repro.workloads.churn`) for the other two to consume
+  (``repro shard <input> <output>`` still works as an alias for
+  ``create``);
 * ``solve``    — run a streaming algorithm over an instance file *or a
   shard directory* and print the cover plus the pass/space accounting;
   ``--transport remote --workers host:port,...`` spreads the scans over
@@ -195,6 +201,52 @@ def build_parser() -> argparse.ArgumentParser:
     shard_backfill.add_argument(
         "--dry-run", action="store_true",
         help="report what would change without rewriting the manifest",
+    )
+    shard_delta = shard_sub.add_parser(
+        "apply-delta",
+        help="append insert/tombstone delta generation(s) from a churn "
+        "script (each batch = one generation) or a single op list",
+    )
+    shard_delta.add_argument("root", help="shard repository to mutate")
+    shard_delta.add_argument(
+        "ops",
+        help="JSON path: a churn script (repro.churn/v1), an "
+        '{"ops": [...]} object, or a bare op list',
+    )
+    shard_delta.add_argument(
+        "--batches", type=int, default=None, metavar="K",
+        help="apply only the first K churn-script batches (default: all)",
+    )
+    shard_compact = shard_sub.add_parser(
+        "compact",
+        help="fold pending delta generations into a flat repository — "
+        "bit-identical to writing the merged system from scratch",
+    )
+    shard_compact.add_argument("root", help="shard repository to compact")
+    shard_compact.add_argument(
+        "--output", default=None, metavar="DIR",
+        help="write the compacted repository here instead of rewriting "
+        "ROOT in place (ROOT is left untouched)",
+    )
+    shard_churn = shard_sub.add_parser(
+        "churn-script",
+        help="emit a reproducible churn script (plus optionally its base "
+        "instance) for `shard apply-delta`",
+    )
+    shard_churn.add_argument(
+        "workload", choices=["rolling-blog-watch", "delete-storm"],
+        help="churn regime (see repro.workloads.churn)",
+    )
+    shard_churn.add_argument("output", help="churn-script JSON path")
+    shard_churn.add_argument("--topics", type=int, default=60)
+    shard_churn.add_argument("--blogs", type=int, default=120)
+    shard_churn.add_argument("--generations", type=int, default=8)
+    shard_churn.add_argument("--batch", type=int, default=6)
+    shard_churn.add_argument("--seed", type=int, default=0)
+    shard_churn.add_argument(
+        "--base-instance", default=None, metavar="PATH",
+        help="also write the script's base family as an instance file "
+        "(ready for `repro shard create`)",
     )
 
     worker = sub.add_parser("worker", help="distributed scan workers")
@@ -412,9 +464,18 @@ def _cmd_shard_create(args) -> int:
 
 
 def _cmd_shard_backfill(args) -> int:
-    from repro.setsystem.shards import SHARD_SCHEMA, ShardedRepository
+    from repro.setsystem.shards import (
+        SHARD_SCHEMA,
+        PendingDeltaError,
+        ShardedRepository,
+    )
 
-    with ShardedRepository(args.root) as repo:
+    try:
+        repo = ShardedRepository(args.root)
+    except PendingDeltaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    with repo:
         stats = "yes" if repo.has_stats else "no"
         print(f"before : schema={repo.schema} stats={stats} "
               f"shards={repo.shard_count}")
@@ -433,6 +494,102 @@ def _cmd_shard_backfill(args) -> int:
               f"shards={repo.shard_count}")
         print("upgraded manifest in place" if changed
               else "already up to date — nothing rewritten")
+    return 0
+
+
+def _load_delta_batches(path: str) -> "list[list[dict]]":
+    """Read ``apply-delta`` input: churn script, {"ops": [...]}, or op list."""
+    import json
+
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, dict) and "batches" in payload:
+        from repro.workloads.churn import ChurnScript
+
+        return [list(batch) for batch in ChurnScript.from_json(
+            json.dumps(payload)).batches]
+    if isinstance(payload, dict) and "ops" in payload:
+        return [list(payload["ops"])]
+    if isinstance(payload, list):
+        return [list(payload)]
+    raise ValueError(
+        f"{path}: expected a churn script (repro.churn/v1), an "
+        '{"ops": [...]} object, or a bare op list'
+    )
+
+
+def _cmd_shard_apply_delta(args) -> int:
+    from repro.setsystem.deltas import apply_delta
+    from repro.setsystem.shards import ShardFormatError
+
+    try:
+        batches = _load_delta_batches(args.ops)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.batches is not None:
+        batches = batches[: args.batches]
+    try:
+        for batch in batches:
+            summary = apply_delta(args.root, batch)
+            print(
+                f"generation {summary['generation']:>3}: "
+                f"+{summary['inserts']} insert(s), "
+                f"-{summary['tombstones']} tombstone(s), "
+                f"{summary['live_rows']} live row(s)"
+            )
+    except (ShardFormatError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not batches:
+        print("no ops to apply")
+    return 0
+
+
+def _cmd_shard_compact(args) -> int:
+    from repro.setsystem.deltas import compact, open_repository
+    from repro.setsystem.shards import ShardFormatError
+
+    try:
+        before = open_repository(args.root)
+        pending = getattr(before, "pending_deltas", 0)
+        before.close()
+        path = compact(args.root, output=args.output)
+        with open_repository(path) as repo:
+            print(
+                f"compacted {pending} pending generation(s) into {path} "
+                f"({repo.shard_count} shard(s), n={repo.n}, m={repo.m})"
+            )
+    except (ShardFormatError, ValueError, FileExistsError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_shard_churn_script(args) -> int:
+    from repro.setsystem import SetSystem
+    from repro.workloads.churn import delete_storm, rolling_blog_watch
+
+    generator = (
+        rolling_blog_watch
+        if args.workload == "rolling-blog-watch"
+        else delete_storm
+    )
+    script = generator(
+        topics=args.topics,
+        blogs=args.blogs,
+        generations=args.generations,
+        batch=args.batch,
+        seed=args.seed,
+    )
+    script.save(args.output)
+    print(
+        f"wrote {args.workload} script (n={script.n}, "
+        f"base m={len(script.base)}, {len(script.batches)} batch(es), "
+        f"{script.updates} op(s)) to {args.output}"
+    )
+    if args.base_instance:
+        save(SetSystem(script.n, script.base), args.base_instance)
+        print(f"wrote base instance to {args.base_instance}")
     return 0
 
 
@@ -677,7 +834,10 @@ def main(argv: "list[str] | None" = None) -> int:
     if (
         argv[:1] == ["shard"]
         and len(argv) > 1
-        and argv[1] not in {"create", "backfill-stats", "-h", "--help"}
+        and argv[1] not in {
+            "create", "backfill-stats", "apply-delta", "compact",
+            "churn-script", "-h", "--help",
+        }
     ):
         argv.insert(1, "create")
     parser = build_parser()
@@ -687,6 +847,12 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.command == "shard":
         if args.shard_command == "backfill-stats":
             return _cmd_shard_backfill(args)
+        if args.shard_command == "apply-delta":
+            return _cmd_shard_apply_delta(args)
+        if args.shard_command == "compact":
+            return _cmd_shard_compact(args)
+        if args.shard_command == "churn-script":
+            return _cmd_shard_churn_script(args)
         return _cmd_shard_create(args)
     if args.command == "worker":
         if args.worker_command == "ping":

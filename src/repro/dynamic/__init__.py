@@ -1,0 +1,22 @@
+"""Incremental set-cover maintenance under churn (DESIGN.md §11).
+
+The streaming model of the paper reveals a static family once; the
+ROADMAP's live-catalog scenario mutates it continuously.  This package
+keeps a valid, provably-bounded cover across insertions and deletions
+without re-solving from scratch on every update:
+:class:`~repro.dynamic.cover.DynamicCover` buckets chosen sets by
+log-scale residual-coverage density (the density-level structure of
+``dynamic-rms``'s ``SetCover.java``, SNIPPETS.md Snippet 3) so an update
+touches only the affected levels, and falls back to a full greedy
+re-solve only when the repair budget degrades past its threshold.
+
+The durable twin of this in-memory maintainer is the delta-shard chain
+(:mod:`repro.setsystem.deltas`): drive both with the same churn script
+and the maintainer's family always equals the merged view's live rows —
+that lockstep is what ``tests/test_dynamic.py`` and the ``dynamic``
+experiments suite assert.
+"""
+
+from repro.dynamic.cover import DynamicCover, dynamic_approx_factor
+
+__all__ = ["DynamicCover", "dynamic_approx_factor"]

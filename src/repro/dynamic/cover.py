@@ -1,0 +1,431 @@
+"""``DynamicCover``: density-level incremental set-cover maintenance.
+
+Structure (after SNIPPETS.md Snippet 3, ``dynamic-rms/SetCover.java``):
+every chosen set ``S`` owns the elements it covered when it was picked
+(``own(S)``, a partition of the universe) and sits on a **density
+level** ``level(S) = floor(log2 |own(S) at placement|)``.  The
+maintained invariant is
+
+    **Invariant A**:  ``|own(S)| >= 2^(level(S) - 1)`` for every chosen
+    set with ``level(S) >= 1`` — a set may lose up to half the coverage
+    density it was picked at, but no more, before it is released and
+    its orphans re-covered.
+
+Updates touch only affected levels:
+
+* **insert** — the new set joins the candidate pool; if it could grab at
+  least ``2^j`` elements currently owned at levels *below* ``j`` (the
+  Snippet-3 steal rule, scanned from the highest level down), it enters
+  the cover at level ``j``, steals exactly those elements, and any
+  donor that drops below Invariant A is released (its surviving orphans
+  re-covered by a residual greedy over the live pool).  Otherwise the
+  insert is O(1): no level is affected.
+* **delete** of an unchosen set is O(1).  Deleting a chosen set orphans
+  ``own(S)``; a residual greedy over the live pool re-covers exactly
+  those orphans — sets already in the cover absorb orphans without a
+  new pick (their level, a *placement* density, only gains coverage).
+
+Every repair pick and release consumes a **degradation budget** of
+``ceil(theta * |cover at last full solve|)`` (default ``theta = 0.5``);
+exhausting it triggers one full greedy re-solve and resets the budget.
+Amortized, a full solve therefore happens at most once per
+``Theta(|C|)`` structural repairs — the churn suites assert >= 90% of
+updates complete without one.
+
+Approximation factor (the documented bound of DESIGN.md §11.4): at all
+times ``|C| <= 4 * (floor(log2 n) + 2) * OPT``.  Sketch: partition the
+cover by level.  A set at level ``j`` owns >= ``2^(j-1)`` elements
+(Invariant A), and when it was *picked* (by full greedy, a repair
+greedy, or the steal rule) it covered >= ``2^j`` then-uncovered
+elements no available set could beat by a factor 2 at that density
+scale, so any fixed optimum cover ``O`` must pay at least
+``|own level-j sets| * 2^(j-1) / max_S |S ∩ (level-j ownership)|``
+picks against it; summing the at most ``floor(log2 n) + 1`` non-empty
+levels (plus level 0, whose sets own singletons charged directly to
+OPT) gives the stated bound with the steal/release slack folded into
+the factor 4.  ``tests/test_dynamic.py`` checks the bound at every step
+of randomized churn against a from-scratch greedy (``OPT <= |greedy|``).
+"""
+
+from __future__ import annotations
+
+from operator import index
+
+from repro.offline.greedy import InfeasibleInstanceError
+from repro.utils.bitset import bits_of, mask_of
+
+__all__ = ["DynamicCover", "dynamic_approx_factor"]
+
+
+def dynamic_approx_factor(n: int) -> int:
+    """The documented churn-time approximation factor for ground size ``n``.
+
+    ``4 * (floor(log2 n) + 2)`` — see the module docstring and
+    DESIGN.md §11.4.  Monotone in ``n`` and >= 8, so the trivial cases
+    (``n <= 1``) are covered too.
+    """
+    return 4 * (max(n, 1).bit_length() + 1)
+
+
+class DynamicCover:
+    """Maintain an approximate set cover under set insertions/deletions.
+
+    The family lives in memory as integer bitmasks keyed by **stable
+    ids** — the same ids :class:`~repro.setsystem.deltas.DeltaShardWriter`
+    assigns, so one churn script drives the maintainer and the delta
+    chain in lockstep.
+
+    Parameters
+    ----------
+    n:
+        Ground-set size.  Every maintained cover covers ``{0..n-1}``
+        exactly; an update that makes the universe uncoverable raises
+        :class:`~repro.offline.greedy.InfeasibleInstanceError` (and the
+        maintainer refuses the mutation, leaving its state unchanged).
+    sets:
+        Optional initial family: an iterable of ``(set_id, elements)``
+        pairs (or a mapping ``id -> elements``).  Solved once by the
+        full greedy on construction.
+    theta:
+        Degradation threshold: structural repairs (releases + repair
+        picks) may consume ``ceil(theta * |cover|)`` budget since the
+        last full solve before the next update triggers one.
+    steal:
+        Enable the Snippet-3 insert steal rule.  Disabling it keeps
+        inserts O(1) but converges to the fallback solver more often;
+        the default is on.
+
+    Examples
+    --------
+    >>> cover = DynamicCover(4, [(0, [0, 1]), (1, [2, 3]), (2, [0, 1, 2, 3])])
+    >>> sorted(cover.cover)
+    [2]
+    >>> cover.delete(2)
+    >>> sorted(cover.cover)
+    [0, 1]
+    >>> cover.insert(7, [1, 2, 3])
+    >>> cover.is_valid_cover()
+    True
+    """
+
+    def __init__(self, n, sets=None, theta: float = 0.5, steal: bool = True):
+        n = index(n)
+        if n < 0:
+            raise ValueError(f"ground set size must be non-negative, got {n}")
+        if not 0 < theta <= 4:
+            raise ValueError(f"theta must be in (0, 4], got {theta}")
+        self.n = n
+        self.theta = float(theta)
+        self.steal_enabled = bool(steal)
+        self._full = (1 << n) - 1
+        self._rows: "dict[int, int]" = {}
+        self._own: "dict[int, int]" = {}
+        self._level: "dict[int, int]" = {}
+        self._assign: "dict[int, int]" = {}
+        # churn accounting
+        self.updates = 0
+        self.full_solves = 0
+        self.repair_picks = 0
+        self.releases = 0
+        self.steals = 0
+        self._budget_used = 0
+        self._budget_limit = 0
+        # Monotonic id high-water mark: auto-assigned insert ids must
+        # never be reused after a delete, or the maintainer's ids drift
+        # from the delta chain's stable-id sequence.
+        self._top = 0
+        if sets is not None:
+            items = sets.items() if hasattr(sets, "items") else sets
+            for set_id, elements in items:
+                self._rows[self._check_id(set_id, new=True)] = self._mask(
+                    elements
+                )
+        self._full_solve()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of live sets."""
+        return len(self._rows)
+
+    @property
+    def cover(self) -> "list[int]":
+        """Chosen stable ids, sorted."""
+        return sorted(self._own)
+
+    @property
+    def cover_size(self) -> int:
+        return len(self._own)
+
+    @property
+    def approx_factor(self) -> int:
+        """The documented bound: ``|cover| <= approx_factor * OPT``."""
+        return dynamic_approx_factor(self.n)
+
+    def levels(self) -> "dict[int, list[int]]":
+        """Density level -> chosen ids (diagnostics and tests)."""
+        out: "dict[int, list[int]]" = {}
+        for set_id, level in self._level.items():
+            out.setdefault(level, []).append(set_id)
+        return {level: sorted(ids) for level, ids in sorted(out.items())}
+
+    def stats(self) -> dict:
+        """Churn counters, including the incremental-update fraction."""
+        incremental = self.updates and 1.0 - (self.full_solves / self.updates)
+        return {
+            "updates": self.updates,
+            "full_solves": self.full_solves,
+            "repair_picks": self.repair_picks,
+            "releases": self.releases,
+            "steals": self.steals,
+            "cover_size": self.cover_size,
+            "live_sets": self.m,
+            "incremental_fraction": float(incremental),
+        }
+
+    def rows(self) -> "dict[int, int]":
+        """Live family as ``id -> bitmask`` (a copy; referee access)."""
+        return dict(self._rows)
+
+    def is_valid_cover(self) -> bool:
+        """Does the chosen family cover the universe right now?"""
+        covered = 0
+        for set_id in self._own:
+            covered |= self._rows[set_id]
+        return covered == self._full
+
+    def verify(self) -> None:
+        """Check every structural invariant; raises ``AssertionError``.
+
+        Validity (ownership partitions the universe, owners are chosen,
+        owned elements lie in their owner's set) and Invariant A.  The
+        churn-parity suite calls this after every update.
+        """
+        seen = 0
+        for set_id, own in self._own.items():
+            assert own, f"chosen set {set_id} owns nothing"
+            assert set_id in self._rows, f"chosen set {set_id} is not live"
+            assert own & self._rows[set_id] == own, (
+                f"set {set_id} owns elements outside itself"
+            )
+            assert seen & own == 0, "ownership overlaps"
+            seen |= own
+            level = self._level[set_id]
+            if level >= 1:
+                assert _popcount(own) >= 1 << (level - 1), (
+                    f"Invariant A violated: set {set_id} at level {level} "
+                    f"owns {_popcount(own)} < {1 << (level - 1)}"
+                )
+        assert seen == self._full, "ownership does not partition the universe"
+        for element, owner in self._assign.items():
+            assert self._own.get(owner, 0) >> element & 1, (
+                f"assignment of element {element} disagrees with ownership"
+            )
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, set_id: int, elements) -> None:
+        """Insert a new set under a fresh stable id."""
+        set_id = self._check_id(set_id, new=True)
+        mask = self._mask(elements)
+        self._rows[set_id] = mask
+        self.updates += 1
+        if self.steal_enabled and mask:
+            self._try_steal(set_id, mask)
+        self._maybe_full_solve()
+
+    def delete(self, set_id: int) -> None:
+        """Delete a live set; re-covers its owned elements if chosen.
+
+        If removing the set makes the universe uncoverable the mutation
+        is refused (state unchanged) and
+        :class:`~repro.offline.greedy.InfeasibleInstanceError` is raised.
+        """
+        set_id = self._check_id(set_id, new=False)
+        orphans = self._own.get(set_id, 0)
+        row = self._rows.pop(set_id)
+        if orphans:
+            remaining = 0
+            for other in self._rows.values():
+                remaining |= other
+                if remaining & orphans == orphans:
+                    break
+            if remaining & orphans != orphans:
+                self._rows[set_id] = row  # refuse: keep a valid state
+                raise InfeasibleInstanceError(
+                    f"deleting set {set_id} leaves elements "
+                    f"{bits_of(orphans & ~remaining)} uncoverable"
+                )
+            del self._own[set_id]
+            del self._level[set_id]
+            for element in bits_of(orphans):
+                del self._assign[element]
+            self.updates += 1
+            self._repair(orphans)
+        else:
+            self.updates += 1
+        self._maybe_full_solve()
+
+    def apply(self, ops) -> None:
+        """Apply a churn-script batch (the ``apply_delta`` op format)."""
+        for op in ops:
+            kind = op.get("op")
+            if kind == "insert":
+                self.insert(op["id"] if "id" in op else self._next_id(),
+                            op["elements"])
+            elif kind == "delete":
+                self.delete(op["id"])
+            else:
+                raise ValueError(
+                    f"unknown churn op {kind!r}; expected 'insert' or 'delete'"
+                )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _next_id(self) -> int:
+        return self._top
+
+    def _check_id(self, set_id, new: bool) -> int:
+        set_id = index(set_id)
+        if set_id < 0:
+            raise ValueError(f"stable ids are non-negative, got {set_id}")
+        if new and set_id in self._rows:
+            raise ValueError(f"set {set_id} is already live")
+        if not new and set_id not in self._rows:
+            raise KeyError(f"set {set_id} is not live")
+        if new:
+            self._top = max(self._top, set_id + 1)
+        return set_id
+
+    def _mask(self, elements) -> int:
+        mask = mask_of(elements)
+        if mask >> self.n:
+            raise ValueError(
+                f"elements outside the ground set [0, {self.n})"
+            )
+        return mask
+
+    def _place(self, set_id: int, gained: int) -> None:
+        """Record a pick that covered ``gained`` (>= 1 bit) elements."""
+        self._own[set_id] = self._own.get(set_id, 0) | gained
+        if set_id not in self._level:
+            self._level[set_id] = _popcount(gained).bit_length() - 1
+        for element in bits_of(gained):
+            self._assign[element] = set_id
+
+    def _full_solve(self) -> None:
+        """Greedy from scratch over the live family; resets the budget."""
+        uncovered = self._full
+        self._own = {}
+        self._level = {}
+        self._assign = {}
+        while uncovered:
+            best_id, best_gain, best_take = -1, 0, 0
+            for set_id, row in self._rows.items():
+                take = row & uncovered
+                if not take:
+                    continue
+                gain = _popcount(take)
+                if gain > best_gain or (gain == best_gain and set_id < best_id):
+                    best_id, best_gain, best_take = set_id, gain, take
+            if best_id < 0:
+                raise InfeasibleInstanceError(
+                    f"elements {bits_of(uncovered)} appear in no live set"
+                )
+            self._place(best_id, best_take)
+            uncovered &= ~best_take
+        self.full_solves += 1 if self.updates else 0
+        self._budget_used = 0
+        self._budget_limit = max(
+            8, int(self.theta * max(1, len(self._own))) + 1
+        )
+
+    def _maybe_full_solve(self) -> None:
+        if self._budget_used > self._budget_limit:
+            self._full_solve()
+
+    def _repair(self, orphan_mask: int) -> None:
+        """Residual greedy restricted to orphaned elements."""
+        uncovered = orphan_mask
+        while uncovered:
+            best_id, best_gain, best_take = -1, 0, 0
+            for set_id, row in self._rows.items():
+                take = row & uncovered
+                if not take:
+                    continue
+                gain = _popcount(take)
+                if gain > best_gain or (gain == best_gain and set_id < best_id):
+                    best_id, best_gain, best_take = set_id, gain, take
+            if best_id < 0:  # pragma: no cover - guarded by delete()
+                raise InfeasibleInstanceError(
+                    f"elements {bits_of(uncovered)} appear in no live set"
+                )
+            self._place(best_id, best_take)
+            uncovered &= ~best_take
+            self.repair_picks += 1
+            self._budget_used += 1
+
+    def _try_steal(self, set_id: int, mask: int) -> None:
+        """Snippet-3 insert rule: adopt at the highest profitable level.
+
+        Scans candidate levels from the top: entering at level ``j``
+        requires grabbing >= ``2^j`` elements currently owned at levels
+        strictly below ``j``.  One pass accumulates ownership level by
+        level, so the scan costs one mask-AND per occupied level.
+        """
+        if not self._level:
+            return
+        by_level: "dict[int, int]" = {}
+        for owner, level in self._level.items():
+            by_level[level] = by_level.get(level, 0) | self._own[owner]
+        top = max(by_level) + 1
+        below = 0
+        takes: "dict[int, int]" = {}
+        for level in range(top + 1):
+            takes[level] = mask & below  # owned strictly below `level`
+            below |= by_level.get(level, 0)
+        for level in range(top, 0, -1):
+            take = takes[level]
+            if _popcount(take) >= 1 << level:
+                self._adopt(set_id, level, take)
+                return
+
+    def _adopt(self, set_id: int, level: int, take: int) -> None:
+        donors: "set[int]" = set()
+        for element in bits_of(take):
+            donor = self._assign[element]
+            self._own[donor] &= ~(1 << element)
+            donors.add(donor)
+        self._own[set_id] = take
+        self._level[set_id] = level
+        for element in bits_of(take):
+            self._assign[element] = set_id
+        self.steals += 1
+        orphans = 0
+        for donor in sorted(donors):
+            own = self._own[donor]
+            donor_level = self._level[donor]
+            if own and (
+                donor_level < 1 or _popcount(own) >= 1 << (donor_level - 1)
+            ):
+                continue  # Invariant A still holds
+            # Release: the donor lost too much density; its survivors
+            # re-cover through the residual greedy (possibly re-picking
+            # the donor itself at a truthful, lower level).
+            del self._own[donor]
+            del self._level[donor]
+            for element in bits_of(own):
+                del self._assign[element]
+            orphans |= own
+            self.releases += 1
+            self._budget_used += 1
+        if orphans:
+            self._repair(orphans)
+
+
+def _popcount(mask: int) -> int:
+    return mask.bit_count()

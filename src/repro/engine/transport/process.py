@@ -140,13 +140,16 @@ def _worker_repository(path: str, token):
     key = (path, token)
     repo = _WORKER_REPOS.get(key)
     if repo is None:
-        from repro.setsystem.shards import ShardedRepository
+        from repro.setsystem.deltas import open_repository
 
         for stale in [k for k in _WORKER_REPOS if k[0] == path]:
             _WORKER_REPOS.pop(stale).close()
         while len(_WORKER_REPOS) >= _WORKER_REPO_CACHE:
             _WORKER_REPOS.pop(next(iter(_WORKER_REPOS))).close()
-        repo = ShardedRepository(path)
+        # Delta-aware: a repository with pending delta generations opens
+        # as its merged view, so workers scan the same live family the
+        # driver planned (the token covers every chain manifest).
+        repo = open_repository(path)
         _WORKER_REPOS[key] = repo
     return repo
 
@@ -314,8 +317,10 @@ class ProcessScanExecutor(ScanExecutor):
         include_gains, accept_threshold,
     ):
         path = str(repository.path)
-        stat = (Path(path) / "manifest.json").stat()
-        token = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+        token = getattr(repository, "cache_token", None)
+        if token is None:
+            stat = (Path(path) / "manifest.json").stat()
+            token = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
         capture_ids = frozenset(capture_ids) if capture_ids is not None else None
         if self.planner:
             batches = plan_batches(repository.shard_cost_estimates(), self.jobs)

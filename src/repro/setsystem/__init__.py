@@ -1,5 +1,12 @@
 """Set-system data structures: the instances every algorithm consumes."""
 
+from repro.setsystem.deltas import (
+    DeltaShardWriter,
+    MergedShardView,
+    apply_delta,
+    compact,
+    open_repository,
+)
 from repro.setsystem.io import dumps_json, dumps_text, load, loads_json, loads_text, save
 from repro.setsystem.operations import (
     cover_size,
@@ -21,6 +28,7 @@ from repro.setsystem.packed import (
 from repro.setsystem.set_system import SetSystem
 from repro.setsystem.shards import (
     ENCODINGS,
+    PendingDeltaError,
     ShardedRepository,
     ShardFormatError,
     ShardWriter,
@@ -71,10 +79,16 @@ __all__ = [
     "ScanMask",
     "ScanResult",
     "SerialScanExecutor",
+    "DeltaShardWriter",
+    "MergedShardView",
+    "PendingDeltaError",
     "SetSystem",
     "ShardFormatError",
     "ShardWriter",
     "ShardedRepository",
+    "apply_delta",
+    "compact",
+    "open_repository",
     "executor_for",
     "resolve_jobs",
     "shutdown_pools",

@@ -1,0 +1,856 @@
+"""LSM-style delta shards: mutable repositories over ``repro.shards/v3``.
+
+A shard repository (:mod:`repro.setsystem.shards`) is write-once — the
+right durability model for the paper's static streams, and exactly wrong
+for the ROADMAP's "millions of users mutating the catalog".  This module
+makes a repository *mutable* without ever rewriting its base shards, the
+classic LSM shape:
+
+* the base directory stays byte-identical (its ``manifest.json`` CRC-32
+  anchors the chain);
+* every batch of mutations lands as one **delta generation** — a
+  sub-directory ``deltas/00001/``, ``deltas/00002/``, ... holding
+  *insert shards* (a full mini-repository written by
+  :class:`~repro.setsystem.shards.ShardWriter`, so inserts inherit the
+  row codecs, per-shard CRCs and checksummed v3 statistics for free)
+  plus a chain manifest ``delta.json`` listing **tombstones**;
+* a read opens the **merged view** (:class:`MergedShardView`): tombstones
+  win, newer generations win, and the live rows present as a dense
+  ``0..m_live-1`` family — base order first (minus tombstoned rows),
+  then each generation's surviving inserts in append order.  That is
+  precisely the order a from-scratch rewrite would produce, which makes
+  **compaction** (:func:`compact`) bit-identical to
+  :func:`~repro.setsystem.shards.write_shards` of the merged system:
+  the churn-parity property suite (``tests/test_dynamic.py``) asserts
+  file-for-file byte equality after arbitrary delta/compact
+  interleavings.
+
+Chain integrity (every check raises a typed
+:class:`~repro.setsystem.shards.ShardFormatError`, never a silently
+wrong family):
+
+* generations must be consecutively numbered from ``00001`` — a gap
+  means a lost directory;
+* each ``delta.json`` records the CRC-32 of its *parent manifest bytes*
+  (``manifest.json`` for generation 1, the previous ``delta.json``
+  otherwise), so editing any earlier link severs the chain loudly —
+  this is also why :meth:`ShardedRepository.backfill_stats
+  <repro.setsystem.shards.ShardedRepository.backfill_stats>` refuses
+  while deltas are pending;
+* each ``delta.json`` carries its own canonical-JSON CRC-32, so a
+  hand-edited tombstone list fails before it can hide the wrong row;
+* tombstones must name rows that exist in the parent view and are still
+  alive — a tombstone for a never-written (or doubly-deleted) row is a
+  format error;
+* insert shards get the full :class:`ShardedRepository` validation
+  (schema, sizes, ``stats_crc32``, opt-in CRCs) because they *are* a
+  repository.
+
+Examples
+--------
+>>> import tempfile
+>>> from repro.setsystem.set_system import SetSystem
+>>> from repro.setsystem.shards import write_shards
+>>> tmp = tempfile.TemporaryDirectory()
+>>> root = write_shards(tmp.name + "/repo", SetSystem(4, [[0, 1], [2], [3]]))
+>>> with DeltaShardWriter(root) as delta:
+...     delta.delete(1)
+...     _ = delta.append([1, 2])
+>>> view = open_repository(root)
+>>> [sorted(row) for row in view.iter_rows()]
+[[0, 1], [3], [1, 2]]
+>>> view.stable_ids
+(0, 2, 3)
+>>> view.close()
+>>> compact(root) == root
+True
+>>> [sorted(row) for row in open_repository(root).iter_rows()]
+[[0, 1], [3], [1, 2]]
+>>> tmp.cleanup()
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import zlib
+from collections.abc import Iterable, Iterator
+from operator import index
+from pathlib import Path
+
+from repro.setsystem.packed import ScanMask, scan_chunk
+from repro.setsystem.set_system import SetSystem
+from repro.setsystem.shards import (
+    DEFAULT_CHUNK_BYTES,
+    DELTA_MANIFEST_NAME,
+    DELTAS_DIRNAME,
+    MANIFEST_NAME,
+    PendingDeltaError,
+    ShardedRepository,
+    ShardFormatError,
+    ShardWriter,
+    _choose_row_tag,
+    _shard_stats,
+    _WORD_BYTES,
+    pending_delta_generations,
+    write_shards,
+)
+from repro.utils.bitset import bits_of
+
+try:  # numpy accelerates merged-chunk packing; the format never requires it
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None
+
+__all__ = [
+    "DELTA_SCHEMA",
+    "DeltaShardWriter",
+    "MergedShardView",
+    "apply_delta",
+    "compact",
+    "open_repository",
+]
+
+#: Schema tag stamped into every ``delta.json`` chain manifest.
+DELTA_SCHEMA = "repro.deltas/v1"
+
+
+def _file_crc32(path: Path) -> int:
+    return zlib.crc32(path.read_bytes())
+
+
+def _chain_checksum(record: dict) -> int:
+    """Canonical-JSON CRC-32 of a chain manifest (minus its own crc)."""
+    body = {key: value for key, value in record.items() if key != "crc32"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(blob.encode("ascii"))
+
+
+def _generation_name(generation: int) -> str:
+    return f"{generation:05d}"
+
+
+# ----------------------------------------------------------------------
+# Writing one delta generation
+# ----------------------------------------------------------------------
+class DeltaShardWriter:
+    """Append one delta generation (inserts + tombstones) to a repository.
+
+    Opens the existing chain read-only to learn the geometry and the
+    live row population, then accumulates mutations:
+
+    * :meth:`append` adds a new set; it returns the set's **stable id**
+      (base rows own ``0..m_base-1``, each generation's inserts continue
+      the sequence) — the handle later generations use to delete it;
+    * :meth:`delete` tombstones a stable id that is alive in the parent
+      view.  Deleting a row this same generation inserted is rejected:
+      a writer that changes its mind simply does not append the row.
+
+    ``close`` writes the generation atomically enough for the chain
+    discipline: insert shards and their ``manifest.json`` land first
+    (via an inner :class:`~repro.setsystem.shards.ShardWriter`, so
+    aborts clean up exactly like base writes), then ``delta.json`` —
+    a generation directory without ``delta.json`` is invisible to
+    :func:`pending_delta_generations` and harmless.  As a context
+    manager the writer closes on success and aborts on error, removing
+    the partial generation directory.
+
+    Parameters
+    ----------
+    root:
+        The repository directory (base ``manifest.json`` must exist).
+    chunk_rows / chunk_bytes:
+        Insert-shard chunk geometry; defaults to the base repository's
+        ``chunk_rows`` so merged chunk boundaries match a from-scratch
+        rewrite.
+    encoding:
+        Row codec policy for insert shards; defaults to the base
+        repository's policy.
+    """
+
+    def __init__(
+        self,
+        root: "str | Path",
+        chunk_rows: "int | None" = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        encoding: "str | None" = None,
+    ):
+        self.root = Path(root)
+        base, generations = _load_chain(self.root)
+        try:
+            self.n = base.n
+            self.generation = len(generations) + 1
+            self._parent_rows = base.m + sum(
+                gen.inserts for gen in generations
+            )
+            self._dead = set()
+            for gen in generations:
+                self._dead.update(gen.tombstones)
+            if generations:
+                parent_manifest = generations[-1].path / DELTA_MANIFEST_NAME
+            else:
+                parent_manifest = self.root / MANIFEST_NAME
+            self._parent_crc32 = _file_crc32(parent_manifest)
+            chunk_rows = chunk_rows if chunk_rows is not None else base.chunk_rows
+            encoding = encoding if encoding is not None else base.encoding
+        finally:
+            base.close()
+            for gen in generations:
+                gen.repo.close()
+        self.path = self.root / DELTAS_DIRNAME / _generation_name(self.generation)
+        if self.path.exists():
+            raise ShardFormatError(
+                f"{self.path} already exists; a crashed writer left a partial "
+                "generation — remove it before writing a new delta"
+            )
+        self._writer = ShardWriter(
+            self.path,
+            self.n,
+            chunk_rows=chunk_rows,
+            chunk_bytes=chunk_bytes,
+            encoding=encoding,
+        )
+        self._tombstones: "set[int]" = set()
+        self._closed = False
+        self._aborted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def inserts(self) -> int:
+        """Number of sets appended to this generation so far."""
+        return self._writer.m
+
+    @property
+    def tombstones(self) -> "tuple[int, ...]":
+        """Stable ids tombstoned by this generation (sorted)."""
+        return tuple(sorted(self._tombstones))
+
+    def append(self, elements: Iterable[int]) -> int:
+        """Insert one set; returns its stable id in the chain."""
+        if self._closed or self._aborted:
+            raise ShardFormatError("delta writer is closed")
+        self._writer.append(elements)
+        return self._parent_rows + self._writer.m - 1
+
+    def delete(self, set_id: int) -> None:
+        """Tombstone one live stable id of the *parent* view."""
+        if self._closed or self._aborted:
+            raise ShardFormatError("delta writer is closed")
+        set_id = index(set_id)
+        if not 0 <= set_id < self._parent_rows:
+            raise ValueError(
+                f"cannot tombstone set {set_id}: the parent view holds rows "
+                f"[0, {self._parent_rows}) — rows this generation inserts "
+                "cannot be deleted by it"
+            )
+        if set_id in self._dead:
+            raise ValueError(
+                f"cannot tombstone set {set_id}: already deleted by an "
+                "earlier generation"
+            )
+        if set_id in self._tombstones:
+            raise ValueError(f"set {set_id} is already tombstoned here")
+        self._tombstones.add(set_id)
+
+    def close(self) -> Path:
+        """Flush insert shards, write ``delta.json``, return the directory."""
+        if self._aborted:
+            raise ShardFormatError("delta writer was aborted; nothing to close")
+        if self._closed:
+            return self.path
+        self._writer.close()
+        record = {
+            "schema": DELTA_SCHEMA,
+            "generation": self.generation,
+            "n": self.n,
+            "parent_rows": self._parent_rows,
+            "inserts": self._writer.m,
+            "tombstones": sorted(self._tombstones),
+            "parent_crc32": self._parent_crc32,
+        }
+        record["crc32"] = _chain_checksum(record)
+        (self.path / DELTA_MANIFEST_NAME).write_text(
+            json.dumps(record, indent=2) + "\n"
+        )
+        self._closed = True
+        return self.path
+
+    def abort(self) -> None:
+        """Remove the partial generation directory (idempotent)."""
+        if self._closed:
+            return
+        self._writer.abort()
+        (self.path / DELTA_MANIFEST_NAME).unlink(missing_ok=True)
+        shutil.rmtree(self.path, ignore_errors=True)
+        deltas_dir = self.root / DELTAS_DIRNAME
+        if deltas_dir.is_dir() and not any(deltas_dir.iterdir()):
+            deltas_dir.rmdir()
+        self._aborted = True
+
+    def __enter__(self) -> "DeltaShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+# ----------------------------------------------------------------------
+# Reading the chain back
+# ----------------------------------------------------------------------
+class _Generation:
+    """One validated delta generation: its mini-repository + tombstones."""
+
+    __slots__ = ("generation", "path", "repo", "tombstones", "parent_rows",
+                 "inserts")
+
+    def __init__(self, generation, path, repo, tombstones, parent_rows,
+                 inserts):
+        self.generation = generation
+        self.path = path
+        self.repo = repo
+        self.tombstones = tombstones
+        self.parent_rows = parent_rows
+        self.inserts = inserts
+
+
+def _load_chain(
+    root: "str | Path", verify: bool = False
+) -> "tuple[ShardedRepository, list[_Generation]]":
+    """Open and fully validate a repository's delta chain.
+
+    Returns ``(base, generations)`` with every repository open; the
+    caller owns closing them.  Any structural problem raises
+    :class:`~repro.setsystem.shards.ShardFormatError` (and closes
+    whatever was already open).
+    """
+    root = Path(root)
+    base = ShardedRepository(root, verify=verify, base_only=True)
+    generations: "list[_Generation]" = []
+    try:
+        parent_manifest = root / MANIFEST_NAME
+        parent_rows = base.m
+        dead: "set[int]" = set()
+        for position, gen_dir in enumerate(pending_delta_generations(root), 1):
+            expected_name = _generation_name(position)
+            if gen_dir.name != expected_name:
+                raise ShardFormatError(
+                    f"delta chain gap in {root}: expected generation "
+                    f"{expected_name}, found {gen_dir.name} — a generation "
+                    "directory is missing or misnamed"
+                )
+            manifest_path = gen_dir / DELTA_MANIFEST_NAME
+            try:
+                record = json.loads(manifest_path.read_text())
+            except json.JSONDecodeError as exc:
+                raise ShardFormatError(
+                    f"unparseable {DELTA_MANIFEST_NAME} in {gen_dir}: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or record.get("schema") != DELTA_SCHEMA:
+                raise ShardFormatError(
+                    f"{manifest_path} schema is "
+                    f"{record.get('schema') if isinstance(record, dict) else record!r}, "
+                    f"expected {DELTA_SCHEMA!r}"
+                )
+            if record.get("crc32") != _chain_checksum(record):
+                raise ShardFormatError(
+                    f"chain manifest checksum mismatch in {manifest_path}: "
+                    "the tombstone list or metadata was edited after write"
+                )
+            try:
+                generation = int(record["generation"])
+                n = int(record["n"])
+                recorded_parent_rows = int(record["parent_rows"])
+                inserts = int(record["inserts"])
+                tombstones = [index(t) for t in record["tombstones"]]
+                parent_crc32 = int(record["parent_crc32"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ShardFormatError(
+                    f"malformed {DELTA_MANIFEST_NAME} in {gen_dir}: {exc}"
+                ) from exc
+            if generation != position:
+                raise ShardFormatError(
+                    f"delta chain gap in {root}: {manifest_path} says "
+                    f"generation {generation}, position implies {position}"
+                )
+            if n != base.n:
+                raise ShardFormatError(
+                    f"generation {generation} has n={n}, base has n={base.n}"
+                )
+            if recorded_parent_rows != parent_rows:
+                raise ShardFormatError(
+                    f"generation {generation} expects {recorded_parent_rows} "
+                    f"parent rows, the chain provides {parent_rows} — "
+                    "a generation was rewritten or reordered"
+                )
+            actual_parent_crc = _file_crc32(parent_manifest)
+            if parent_crc32 != actual_parent_crc:
+                raise ShardFormatError(
+                    f"delta chain severed at generation {generation}: "
+                    f"{parent_manifest.name} has CRC-32 {actual_parent_crc}, "
+                    f"the chain manifest recorded {parent_crc32} — the "
+                    "parent manifest was rewritten after this delta"
+                )
+            for tomb in tombstones:
+                if not 0 <= tomb < parent_rows:
+                    raise ShardFormatError(
+                        f"generation {generation} tombstones row {tomb}, "
+                        f"which was never written (parent rows are "
+                        f"[0, {parent_rows}))"
+                    )
+                if tomb in dead:
+                    raise ShardFormatError(
+                        f"generation {generation} tombstones row {tomb}, "
+                        "which an earlier generation already deleted"
+                    )
+            repo = ShardedRepository(gen_dir, verify=verify)
+            if repo.n != base.n or repo.m != inserts:
+                repo.close()
+                raise ShardFormatError(
+                    f"generation {generation} insert shards hold "
+                    f"(n={repo.n}, m={repo.m}); {DELTA_MANIFEST_NAME} "
+                    f"promises (n={base.n}, m={inserts})"
+                )
+            generations.append(
+                _Generation(
+                    generation, gen_dir, repo, frozenset(tombstones),
+                    parent_rows, inserts,
+                )
+            )
+            dead.update(tombstones)
+            parent_rows += inserts
+            parent_manifest = manifest_path
+    except BaseException:
+        base.close()
+        for gen in generations:
+            gen.repo.close()
+        raise
+    return base, generations
+
+
+class MergedShardView:
+    """The merged read view over a base repository and its delta chain.
+
+    Presents the live family as a dense ``0..m-1`` repository with the
+    exact scan interface of
+    :class:`~repro.setsystem.shards.ShardedRepository` — chunk iteration,
+    fused ``scan_shard``, planner cost estimates, random-access
+    ``row_mask`` — so :class:`~repro.streaming.sharded.ShardedSetStream`
+    and every local :class:`~repro.engine.transport.base.ScanExecutor`
+    run on it unchanged, at any ``jobs`` × ``planner`` × encoding
+    setting.  (The *remote* transport is the one exclusion: its workers
+    hold no chain state, so streams refuse it until compaction.)
+
+    Merge semantics: a row is live iff no generation tombstoned its
+    stable id; live rows appear in base order first, then each
+    generation's surviving inserts in append order — the same order
+    :func:`compact` writes, so view row ``i`` *is* compacted row ``i``.
+    Chunk geometry follows the base ``chunk_rows``, which makes chunk
+    boundaries — and therefore per-chunk stats, cost estimates and
+    capture accounting — identical to the compacted rewrite too.
+
+    The view also predicts, per merged chunk, the v3 statistics block a
+    from-scratch rewrite would record (:meth:`shard_stats`), by running
+    the writer's own codec chooser over the live rows; the churn-parity
+    suite asserts block-for-block equality against real rebuilds.
+    """
+
+    def __init__(self, path: "str | Path", verify: bool = False):
+        self.path = Path(path)
+        base, generations = _load_chain(self.path, verify=verify)
+        self.base = base
+        self.generations = generations
+        self.n = base.n
+        self.words = base.words
+        self.chunk_rows = base.chunk_rows
+        self.encoding = base.encoding
+        self.schema = DELTA_SCHEMA
+        dead: "set[int]" = set()
+        for gen in generations:
+            dead.update(gen.tombstones)
+        self.tombstoned = len(dead)
+        # Dense merged id -> (source repository, local row, stable id).
+        sources: "list[tuple[ShardedRepository, int]]" = []
+        stable: "list[int]" = []
+        for local in range(base.m):
+            if local not in dead:
+                sources.append((base, local))
+                stable.append(local)
+        offset = base.m
+        for gen in generations:
+            for local in range(gen.inserts):
+                if offset + local not in dead:
+                    sources.append((gen.repo, local))
+                    stable.append(offset + local)
+            offset += gen.inserts
+        self._sources = sources
+        self._stable = tuple(stable)
+        self.m = len(sources)
+        self.total_rows = offset
+        self._row_bytes = self.words * _WORD_BYTES
+        self._stats_cache: "dict[int, dict]" = {}
+        self._closed = False
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def pending_deltas(self) -> int:
+        """Number of delta generations merged into this view."""
+        return len(self.generations)
+
+    @property
+    def stable_ids(self) -> "tuple[int, ...]":
+        """Stable chain id of each dense merged row, in view order."""
+        return self._stable
+
+    @property
+    def shard_count(self) -> int:
+        """Merged chunks, sliced at the base ``chunk_rows`` geometry."""
+        if self.m == 0:
+            return 0
+        return (self.m + self.chunk_rows - 1) // self.chunk_rows
+
+    @property
+    def chunk_words(self) -> int:
+        """Resident words of one decoded merged chunk (DESIGN.md §3.6)."""
+        return min(self.chunk_rows, max(self.m, 1)) * self.words
+
+    @property
+    def repository_words(self) -> int:
+        """Total live packed words (``m * ceil(n/64)``) — *not* resident."""
+        return self.m * self.words
+
+    @property
+    def disk_bytes(self) -> int:
+        """Bytes across base and delta shard files (dead rows included)."""
+        return self.base.disk_bytes + sum(
+            gen.repo.disk_bytes for gen in self.generations
+        )
+
+    @property
+    def has_stats(self) -> bool:
+        """Merged chunk statistics are always computable (lazily)."""
+        return True
+
+    @property
+    def cache_token(self):
+        """Identity token for worker-side re-open caches.
+
+        Covers the base manifest *and* every chain manifest, so a worker
+        that cached the view before another generation landed re-opens
+        instead of scanning a stale merge.
+        """
+        parts = [_stat_token(self.path / MANIFEST_NAME)]
+        for gen in self.generations:
+            parts.append(_stat_token(gen.path / DELTA_MANIFEST_NAME))
+        return tuple(parts)
+
+    def _bounds(self, shard: int) -> "tuple[int, int]":
+        if not 0 <= shard < self.shard_count:
+            raise IndexError(
+                f"chunk {shard} outside [0, {self.shard_count})"
+            )
+        start = shard * self.chunk_rows
+        return start, min(start + self.chunk_rows, self.m)
+
+    # -- row access ----------------------------------------------------
+    def row_mask(self, i: int) -> int:
+        """Random-access read of live row ``i`` as an integer bitmask."""
+        if self._closed:
+            raise ShardFormatError(f"merged view over {self.path} is closed")
+        if not 0 <= i < self.m:
+            raise IndexError(f"row {i} outside [0, {self.m})")
+        repo, local = self._sources[i]
+        return repo.row_mask(local)
+
+    def chunk_masks(self, shard: int) -> "list[int]":
+        """One merged chunk's rows as integer bitmasks."""
+        if self._closed:
+            raise ShardFormatError(f"merged view over {self.path} is closed")
+        start, end = self._bounds(shard)
+        return [
+            repo.row_mask(local) for repo, local in self._sources[start:end]
+        ]
+
+    def chunk_matrix(self, shard: int) -> "np.ndarray":
+        """One merged chunk as a ``(rows, words)`` ``uint64`` matrix."""
+        if np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("numpy is required for matrix chunk access")
+        masks = self.chunk_masks(shard)
+        data = b"".join(
+            mask.to_bytes(self._row_bytes, "little") for mask in masks
+        )
+        return np.frombuffer(data, dtype="<u8").reshape(
+            len(masks), self.words
+        )
+
+    def iter_chunk_masks(self) -> "Iterator[tuple[int, list[int]]]":
+        """Yield ``(start_row, masks)`` per merged chunk."""
+        for shard in range(self.shard_count):
+            yield shard * self.chunk_rows, self.chunk_masks(shard)
+
+    def iter_chunk_matrices(self) -> "Iterator[tuple[int, np.ndarray]]":
+        """Yield ``(start_row, matrix)`` per merged chunk."""
+        for shard in range(self.shard_count):
+            yield shard * self.chunk_rows, self.chunk_matrix(shard)
+
+    def iter_row_masks(self) -> "Iterator[int]":
+        """Yield every live row as an integer bitmask, in merged order."""
+        for _, masks in self.iter_chunk_masks():
+            yield from masks
+
+    def iter_rows(self) -> "Iterator[frozenset[int]]":
+        """Yield every live row as a frozenset of element ids."""
+        for mask in self.iter_row_masks():
+            yield frozenset(bits_of(mask))
+
+    def to_system(self) -> SetSystem:
+        """Materialize the merged family (referee/testing convenience)."""
+        return SetSystem(self.n, [bits_of(mask) for mask in self.iter_row_masks()])
+
+    # -- planner statistics -------------------------------------------
+    def compute_shard_stats(self, shard: int) -> dict:
+        """The v3 stats block a compacted rewrite would record for a chunk."""
+        cached = self._stats_cache.get(shard)
+        if cached is not None:
+            return cached
+        rows = [bits_of(mask) for mask in self.chunk_masks(shard)]
+        tags = [_choose_row_tag(row, self.words, self.encoding) for row in rows]
+        stats = _shard_stats(rows, tags, self.n)
+        self._stats_cache[shard] = stats
+        return stats
+
+    def shard_stats(self) -> "list[dict]":
+        """Per-merged-chunk stats blocks (computed lazily, cached)."""
+        return [self.compute_shard_stats(s) for s in range(self.shard_count)]
+
+    def shard_cost_estimates(self) -> "list[int]":
+        """Planner scan costs per merged chunk — the v3 cost model."""
+        words = max(1, self.words)
+        costs: "list[int]" = []
+        for shard in range(self.shard_count):
+            stats = self.compute_shard_stats(shard)
+            start, end = self._bounds(shard)
+            mix = stats["codec_mix"]
+            cost = (
+                2 * (end - start)
+                + int(mix.get("dense", 0)) * words
+                + int(stats.get("sparse_elems", 0))
+                + 2 * int(stats.get("rle_runs", 0))
+            )
+            costs.append(max(1, cost))
+        return costs
+
+    def backfill_stats(self) -> bool:
+        """Refuse: merged views have no manifest of their own to upgrade."""
+        raise PendingDeltaError(
+            f"cannot backfill stats through a merged view of {self.path}: "
+            "compact first, then backfill the clean repository"
+        )
+
+    # -- scanning ------------------------------------------------------
+    def prefetch_shard(self, shard: int) -> None:
+        """Readahead hint for a merged chunk (advisory, never an error)."""
+        if self._closed or not 0 <= shard < self.shard_count:
+            return
+        start, end = self._bounds(shard)
+        hinted: "set[tuple[int, int]]" = set()
+        for repo, local in self._sources[start:end]:
+            # One hint per underlying shard file the chunk touches.
+            key = (id(repo), local // max(1, repo.chunk_rows))
+            if key not in hinted:
+                hinted.add(key)
+                repo.prefetch_shard(local // max(1, repo.chunk_rows))
+
+    def scan_shard(
+        self,
+        shard: int,
+        mask: ScanMask,
+        min_capture_gain: "int | None" = None,
+        capture_ids=None,
+        best_only: bool = False,
+    ):
+        """Gains + captures for one merged chunk against a residual.
+
+        Same contract as :meth:`ShardedRepository.scan_shard
+        <repro.setsystem.shards.ShardedRepository.scan_shard>`; chunk
+        boundaries match the compacted rewrite, so gains vectors,
+        captures and capture accounting are bit-identical to scanning
+        the compacted repository.
+        """
+        if self._closed:
+            raise ShardFormatError(f"merged view over {self.path} is closed")
+        start, end = self._bounds(shard)
+        rows = end - start
+        if mask.is_empty:
+            gains = (
+                np.zeros(rows, dtype=np.int64) if np is not None else [0] * rows
+            )
+            return start, gains, []
+        chunk = (
+            self.chunk_matrix(shard) if np is not None
+            else self.chunk_masks(shard)
+        )
+        gains, captured = scan_chunk(
+            start, chunk, mask,
+            min_capture_gain=min_capture_gain,
+            capture_ids=capture_ids,
+            best_only=best_only,
+        )
+        return start, gains, captured
+
+    # -- lifecycle -----------------------------------------------------
+    def validate(self) -> None:
+        """CRC-verify the base repository and every generation (full read)."""
+        if self._closed:
+            raise ShardFormatError(f"merged view over {self.path} is closed")
+        self.base.validate()
+        for gen in self.generations:
+            gen.repo.validate()
+
+    def close(self) -> None:
+        """Release the base and every generation repository (idempotent)."""
+        self.base.close()
+        for gen in self.generations:
+            gen.repo.close()
+        self._closed = True
+
+    def __enter__(self) -> "MergedShardView":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"MergedShardView(n={self.n}, m={self.m}, "
+            f"generations={self.pending_deltas}, "
+            f"tombstoned={self.tombstoned}, chunk_rows={self.chunk_rows})"
+        )
+
+
+def _stat_token(path: Path):
+    stat = path.stat()
+    return (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+
+
+def open_repository(
+    path: "str | Path", verify: bool = False
+) -> "ShardedRepository | MergedShardView":
+    """Open a shard directory, merged when delta generations are pending.
+
+    The one choke point every reader goes through — streams, the CLI,
+    and process-pool workers re-opening by path — so a repository with
+    pending deltas is *always* the merged family and a clean repository
+    opens exactly as before (same :class:`ShardedRepository`, same
+    bytes untouched).
+    """
+    if pending_delta_generations(path):
+        return MergedShardView(path, verify=verify)
+    return ShardedRepository(path, verify=verify)
+
+
+# ----------------------------------------------------------------------
+# Batch mutation + compaction
+# ----------------------------------------------------------------------
+def apply_delta(
+    root: "str | Path",
+    ops: "Iterable[dict]",
+    chunk_rows: "int | None" = None,
+    encoding: "str | None" = None,
+) -> dict:
+    """Apply one batch of mutation ops as a single new delta generation.
+
+    ``ops`` is an iterable of plain dicts — the churn-script format the
+    workload generators emit and ``repro shard apply-delta`` reads:
+    ``{"op": "insert", "elements": [...]}`` appends a set,
+    ``{"op": "delete", "id": k}`` tombstones stable id ``k``.  Returns a
+    summary: ``{"generation", "inserts", "tombstones", "live_rows"}``.
+    """
+    inserted = 0
+    with DeltaShardWriter(
+        root, chunk_rows=chunk_rows, encoding=encoding
+    ) as writer:
+        for op in ops:
+            kind = op.get("op")
+            if kind == "insert":
+                writer.append(op["elements"])
+                inserted += 1
+            elif kind == "delete":
+                writer.delete(op["id"])
+            else:
+                raise ValueError(
+                    f"unknown churn op {kind!r}; expected 'insert' or 'delete'"
+                )
+        tombstones = len(writer.tombstones)
+        generation = writer.generation
+        live = writer._parent_rows - len(writer._dead) - tombstones + inserted
+    return {
+        "generation": generation,
+        "inserts": inserted,
+        "tombstones": tombstones,
+        "live_rows": live,
+    }
+
+
+def compact(
+    root: "str | Path",
+    output: "str | Path | None" = None,
+    chunk_rows: "int | None" = None,
+    encoding: "str | None" = None,
+) -> Path:
+    """Rewrite a repository's merged view as a clean single generation.
+
+    The rewrite goes through :class:`~repro.setsystem.shards.ShardWriter`
+    over the merged rows in view order, with the base chunk geometry and
+    codec policy (unless overridden) — i.e. it *is* a from-scratch write
+    of the merged system, so the output is bit-identical to
+    :func:`~repro.setsystem.shards.write_shards` of
+    ``MergedShardView.to_system()`` (asserted file-for-file by the
+    churn-parity suite).
+
+    With ``output`` the compacted repository lands in a new directory
+    and ``root`` is untouched.  In place (the default), the new
+    generation is staged in a sibling directory, then the base shards
+    and the whole ``deltas/`` chain are replaced atomically enough for a
+    crashed compaction to leave either the old chain or the new
+    repository, never a half-merged hybrid: the staging directory is
+    moved in only after the old files are gone.
+
+    A repository with no pending deltas compacts to itself: in place it
+    is returned unchanged (byte-identical), with ``output`` it is
+    rewritten from its rows (still bit-identical for repositories this
+    code wrote, since writes are deterministic).
+    """
+    root = Path(root)
+    view = open_repository(root)
+    with view:
+        rows = (bits_of(mask) for mask in view.iter_row_masks())
+        target_chunk_rows = (
+            chunk_rows if chunk_rows is not None else view.chunk_rows
+        )
+        target_encoding = encoding if encoding is not None else view.encoding
+        if output is not None:
+            return write_shards(
+                output, rows, n=view.n,
+                chunk_rows=target_chunk_rows, encoding=target_encoding,
+            )
+        if isinstance(view, ShardedRepository):
+            return root  # already a clean single generation
+        staging = root.parent / (root.name + ".compact-tmp")
+        if staging.exists():
+            shutil.rmtree(staging)
+        write_shards(
+            staging, rows, n=view.n,
+            chunk_rows=target_chunk_rows, encoding=target_encoding,
+        )
+        old_files = [root / meta["file"] for meta in view.base._shard_meta]
+    for path in old_files:
+        path.unlink(missing_ok=True)
+    (root / MANIFEST_NAME).unlink()
+    shutil.rmtree(root / DELTAS_DIRNAME)
+    for item in sorted(staging.iterdir()):
+        item.replace(root / item.name)
+    staging.rmdir()
+    return root

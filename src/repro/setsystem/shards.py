@@ -113,12 +113,16 @@ __all__ = [
     "SHARD_SCHEMA_V1",
     "SHARD_SCHEMA_V2",
     "MANIFEST_NAME",
+    "DELTAS_DIRNAME",
+    "DELTA_MANIFEST_NAME",
     "DEFAULT_CHUNK_BYTES",
     "ENCODINGS",
     "STATS_HIST_BUCKETS",
     "ShardFormatError",
+    "PendingDeltaError",
     "ShardWriter",
     "ShardedRepository",
+    "pending_delta_generations",
     "write_shards",
 ]
 
@@ -141,6 +145,14 @@ STATS_HIST_BUCKETS = 16
 #: Manifest file name inside a shard directory.
 MANIFEST_NAME = "manifest.json"
 
+#: Sub-directory a mutable repository keeps its delta generations in
+#: (``deltas/00001/``, ``deltas/00002/``, ... — see
+#: :mod:`repro.setsystem.deltas`).
+DELTAS_DIRNAME = "deltas"
+
+#: Chain-manifest file name inside one delta generation directory.
+DELTA_MANIFEST_NAME = "delta.json"
+
 #: Default shard size target: ~4 MiB of packed rows per chunk.  Chunk
 #: geometry is always computed from the *dense* row size, independent of
 #: the encoding, so scan order, pass structure and the resident-buffer
@@ -162,6 +174,38 @@ _LAYOUT_RAW, _LAYOUT_ENCODED = "raw", "encoded"
 
 class ShardFormatError(ValueError):
     """Raised when a shard directory is missing, truncated or corrupt."""
+
+
+class PendingDeltaError(ShardFormatError):
+    """A repository has unapplied delta generations (``deltas/*``).
+
+    The base shards alone are **not** the set system any more: tombstones
+    may hide rows and newer generations may append rows.  Opening the base
+    as if it were the whole family — or rewriting ``manifest.json``, whose
+    byte-level CRC-32 anchors the generation chain — would be silently
+    wrong, so both refuse with this error.  Open the merged view instead
+    (:func:`repro.setsystem.deltas.open_repository`) or compact first
+    (:func:`repro.setsystem.deltas.compact` / ``repro shard compact``).
+    """
+
+
+def pending_delta_generations(path: "str | Path") -> "list[Path]":
+    """Delta generation directories under ``path/deltas``, name-sorted.
+
+    A generation is any sub-directory carrying a ``delta.json`` chain
+    manifest; validation of the chain itself (consecutive numbering,
+    parent checksums, tombstone sanity) happens in
+    :mod:`repro.setsystem.deltas` — this helper only *detects* them so
+    plain opens can fail loudly instead of scanning a stale base.
+    """
+    root = Path(path) / DELTAS_DIRNAME
+    if not root.is_dir():
+        return []
+    return sorted(
+        child
+        for child in root.iterdir()
+        if child.is_dir() and (child / DELTA_MANIFEST_NAME).is_file()
+    )
 
 
 def _words_for(n: int) -> int:
@@ -264,6 +308,34 @@ def _rle_cost(row: list[int]) -> int:
 # ----------------------------------------------------------------------
 # Per-shard statistics (manifest schema v3, the planner's cost inputs)
 # ----------------------------------------------------------------------
+def _choose_row_tag(row: list[int], words: int, encoding: str) -> int:
+    """Cheapest codec tag for one sorted row under a writer policy.
+
+    The single source of truth for codec choice: :class:`ShardWriter`
+    encodes with it, and the merged delta view
+    (:class:`repro.setsystem.deltas.MergedShardView`) re-runs it to
+    predict — exactly — the stats a compacted rewrite will carry.
+    """
+    if encoding == "dense":
+        return _TAG_DENSE
+    if encoding == "sparse":
+        return _TAG_SPARSE
+    if encoding == "rle":
+        return _TAG_RLE
+    dense_cost = words * _WORD_BYTES
+    # Each element costs at least one varint byte, so a row with more
+    # elements than dense bytes cannot win — skip the exact cost scan.
+    best_tag, best_cost = _TAG_DENSE, dense_cost
+    if len(row) < dense_cost:
+        cost = _sparse_cost(row)
+        if cost < best_cost:
+            best_tag, best_cost = _TAG_SPARSE, cost
+    cost = _rle_cost(row)
+    if cost < best_cost:
+        best_tag, best_cost = _TAG_RLE, cost
+    return best_tag
+
+
 def _density_bucket(size: int, n: int) -> int:
     """Histogram bucket of a row with ``size`` elements (see above)."""
     if n <= 0:
@@ -497,24 +569,7 @@ class ShardWriter:
 
     def _choose_tag(self, row: list[int]) -> int:
         """Cheapest codec for one sorted row (ties prefer faster decodes)."""
-        if self.encoding == "dense":
-            return _TAG_DENSE
-        if self.encoding == "sparse":
-            return _TAG_SPARSE
-        if self.encoding == "rle":
-            return _TAG_RLE
-        dense_cost = self.words * _WORD_BYTES
-        # Each element costs at least one varint byte, so a row with more
-        # elements than dense bytes cannot win — skip the exact cost scan.
-        best_tag, best_cost = _TAG_DENSE, dense_cost
-        if len(row) < dense_cost:
-            cost = _sparse_cost(row)
-            if cost < best_cost:
-                best_tag, best_cost = _TAG_SPARSE, cost
-        cost = _rle_cost(row)
-        if cost < best_cost:
-            best_tag, best_cost = _TAG_RLE, cost
-        return best_tag
+        return _choose_row_tag(row, self.words, self.encoding)
 
     def _encode_payload(self, tag: int, row: list[int]) -> bytes:
         if tag == _TAG_DENSE:
@@ -747,10 +802,27 @@ class ShardedRepository:
         (schema v1 or v2).
     verify:
         Verify every shard's CRC-32 on open (reads the whole repository).
+    base_only:
+        Open only the base generation of a repository that has pending
+        delta shards.  By default a repository with a non-empty
+        ``deltas/`` chain refuses to open (:class:`PendingDeltaError`):
+        its base shards alone are not the set system any more.  The
+        merged view and the compactor (:mod:`repro.setsystem.deltas`)
+        pass ``True``; so do tests that inspect the base in isolation.
     """
 
-    def __init__(self, path: "str | Path", verify: bool = False):
+    def __init__(
+        self, path: "str | Path", verify: bool = False, base_only: bool = False
+    ):
         self.path = Path(path)
+        self.pending_deltas = len(pending_delta_generations(self.path))
+        if self.pending_deltas and not base_only:
+            raise PendingDeltaError(
+                f"{self.path} has {self.pending_deltas} pending delta "
+                "generation(s); its base shards are not the merged set "
+                "system. Open it with repro.setsystem.deltas.open_repository "
+                "(merged view) or compact it first (`repro shard compact`)."
+            )
         manifest_path = self.path / MANIFEST_NAME
         if not manifest_path.is_file():
             raise ShardFormatError(f"no {MANIFEST_NAME} in {self.path}")
@@ -936,9 +1008,22 @@ class ShardedRepository:
         returns whether anything changed.  Idempotent: a repository that
         already carries checksummed stats is left byte-identical and the
         call returns ``False``.  Shard files are never touched.
+
+        Refuses (:class:`PendingDeltaError`) while delta generations are
+        pending: the first generation's chain manifest records the CRC-32
+        of the *bytes* of ``manifest.json``, so rewriting it here would
+        sever the chain and every subsequent merged open would fail.
+        Compact first, then backfill the clean repository.
         """
         if self._closed:
             raise ShardFormatError(f"repository {self.path} is closed")
+        if self.pending_deltas:
+            raise PendingDeltaError(
+                f"cannot backfill stats in {self.path}: "
+                f"{self.pending_deltas} pending delta generation(s) anchor "
+                f"their chain to the CRC-32 of {MANIFEST_NAME}; rewriting "
+                "it would sever the chain. Run `repro shard compact` first."
+            )
         if self.has_stats:
             return False
         for shard, meta in enumerate(self._shard_meta):

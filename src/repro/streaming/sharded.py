@@ -37,6 +37,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.engine import JOBS_AUTO, executor_for
+from repro.setsystem.deltas import MergedShardView, open_repository
 from repro.setsystem.set_system import SetSystem
 from repro.setsystem.shards import ShardedRepository
 from repro.streaming.stream import SetStreamBase
@@ -99,7 +100,20 @@ class ShardedSetStream(SetStreamBase):
     ):
         super().__init__()
         if isinstance(repository, (str, Path)):
-            repository = ShardedRepository(repository, verify=verify)
+            # Delta-aware: a repository with pending delta generations
+            # opens as its merged view (tombstones win, newest
+            # generation wins) — same scan interface, same parity
+            # guarantees across local backends (DESIGN.md §11).
+            repository = open_repository(repository, verify=verify)
+        if isinstance(repository, MergedShardView) and (
+            transport == "remote" or workers
+        ):
+            raise ValueError(
+                "the remote transport cannot scan a repository with "
+                f"{repository.pending_deltas} pending delta generation(s): "
+                "remote workers re-open the base by path and hold no chain "
+                "state. Run `repro shard compact` first."
+            )
         self._repo = repository
         self._jobs = jobs
         self._planner = bool(planner)

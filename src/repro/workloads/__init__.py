@@ -1,5 +1,6 @@
 """Workload generators for benchmarks, examples and tests."""
 
+from repro.workloads.churn import ChurnScript, delete_storm, rolling_blog_watch
 from repro.workloads.coverage import blog_watch_instance
 from repro.workloads.random_instances import (
     PlantedInstance,
@@ -14,10 +15,13 @@ from repro.workloads.skewed import (
 )
 
 __all__ = [
+    "ChurnScript",
     "PlantedInstance",
     "blog_watch_instance",
+    "delete_storm",
     "nested_chain_instance",
     "planted_instance",
+    "rolling_blog_watch",
     "sparse_uniform_instance",
     "threshold_trap_instance",
     "uniform_random_instance",

@@ -1,0 +1,364 @@
+"""Dynamic subsystem tests: delta shards, DynamicCover, churn parity.
+
+The headline is the randomized churn-parity property suite
+(:mod:`tests.churn`): hundreds of random insert/delete/compact
+interleavings, each asserting after every step that the merged read
+view equals a from-scratch reference (rows, stats, cost estimates),
+that compaction is byte-identical to a clean rewrite, and that the
+incremental :class:`repro.dynamic.DynamicCover` stays a valid cover
+within its documented factor — across the backend x encoding x
+planner x jobs matrix.  Satellite coverage: delta-chain corruption
+taxonomy (typed :class:`~repro.setsystem.shards.ShardFormatError`),
+v1/v2/v3 no-delta open regression, the ``backfill_stats`` refusal,
+the remote-transport refusal, and DynamicCover unit edges.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.dynamic import DynamicCover, dynamic_approx_factor
+from repro.offline.greedy import InfeasibleInstanceError
+from repro.setsystem import SetSystem
+from repro.setsystem.deltas import (
+    DELTA_MANIFEST_NAME,
+    DeltaShardWriter,
+    MergedShardView,
+    apply_delta,
+    compact,
+    open_repository,
+)
+from repro.setsystem.shards import (
+    MANIFEST_NAME,
+    SHARD_SCHEMA,
+    SHARD_SCHEMA_V1,
+    SHARD_SCHEMA_V2,
+    PendingDeltaError,
+    ShardedRepository,
+    ShardFormatError,
+    write_shards,
+)
+from repro.streaming.sharded import ShardedSetStream
+from repro.workloads.churn import ChurnScript, delete_storm, rolling_blog_watch
+
+from churn import drive_scenario, random_scenario
+
+# ----------------------------------------------------------------------
+# Churn-parity property suite (the test tentpole)
+# ----------------------------------------------------------------------
+# 6 matrix cells x 17 seeds = 102 random interleavings, each checked
+# step-by-step (merged rows == reference, cover valid + bounded) and at
+# endgame (stats, cost estimates, byte-identical compaction, identical
+# iter_set_cover solves between the chain and a from-scratch rebuild).
+_MATRIX = [
+    # (backend, encoding, jobs, planner)
+    ("python", "auto", 1, True),
+    ("python", "dense", 2, True),
+    ("python", "sparse", 1, False),
+    ("numpy", "auto", 2, False),
+    ("numpy", "rle", 1, True),
+    ("auto", "auto", 2, True),
+]
+_SEEDS_PER_CELL = 17
+
+
+@pytest.mark.parametrize(
+    "backend,encoding,jobs,planner",
+    _MATRIX,
+    ids=[f"{b}-{e}-jobs{j}-{'planner' if p else 'noplan'}"
+         for b, e, j, p in _MATRIX],
+)
+def test_churn_parity_matrix(tmp_path, backend, encoding, jobs, planner):
+    cell = _MATRIX.index((backend, encoding, jobs, planner))
+    incremental = []
+    for index in range(_SEEDS_PER_CELL):
+        seed = 1000 * cell + index
+        scenario = random_scenario(seed)
+        outcome = drive_scenario(
+            scenario,
+            tmp_path / f"s{seed}",
+            chunk_rows=5 + (seed % 4),
+            encoding=encoding,
+            backend=backend,
+            jobs=jobs,
+            planner=planner,
+            # Keep the per-cell runtime down: the full solve referee runs
+            # on a third of the scenarios; rows/stats/compaction parity
+            # runs on every step of every scenario.
+            solve=(index % 3 == 0),
+        )
+        stats = outcome["stats"]
+        if stats["updates"]:
+            incremental.append(stats["incremental_fraction"])
+    # The acceptance bar: the maintainer absorbs >= 90% of updates
+    # without a full re-solve, on aggregate across the cell's scenarios.
+    assert sum(incremental) / len(incremental) >= 0.9, incremental
+
+
+def test_generated_churn_scripts_replay(tmp_path):
+    """The shipped churn workloads replay through the same referee."""
+    for name, script in (
+        ("rolling", rolling_blog_watch(
+            topics=40, blogs=80, generations=4, batch=4, seed=3)),
+        ("storm", delete_storm(
+            topics=40, blogs=80, generations=3, batch=5, seed=3)),
+    ):
+        root = write_shards(
+            tmp_path / name, SetSystem(script.n, script.base), chunk_rows=16
+        )
+        for k, batch in enumerate(script.batches, start=1):
+            apply_delta(root, batch)
+            with MergedShardView(root) as view:
+                assert [sorted(r) for r in view.iter_rows()] == [
+                    sorted(r) for r in script.live_rows(k)
+                ]
+        roundtrip = ChurnScript.from_json(script.to_json())
+        assert roundtrip == script
+
+
+# ----------------------------------------------------------------------
+# Delta-chain corruption taxonomy — every fault is a typed error
+# ----------------------------------------------------------------------
+@pytest.fixture
+def chained(tmp_path):
+    """A small repository with two delta generations."""
+    system = SetSystem(8, [[0, 1], [2, 3], [4, 5], [6, 7], [0, 4], [1, 5]])
+    root = write_shards(tmp_path / "repo", system, chunk_rows=2)
+    apply_delta(root, [
+        {"op": "insert", "elements": [2, 6]},
+        {"op": "delete", "id": 4},
+    ])
+    apply_delta(root, [
+        {"op": "insert", "elements": [3, 7]},
+        {"op": "delete", "id": 6},
+    ])
+    return root
+
+
+def test_tombstone_for_never_written_row_is_rejected(chained):
+    # At write time: the writer refuses out-of-range and dead ids.
+    writer = DeltaShardWriter(chained)
+    try:
+        with pytest.raises(ValueError, match="parent view holds"):
+            writer.delete(99)
+        with pytest.raises(ValueError, match="already deleted"):
+            writer.delete(4)
+    finally:
+        writer.abort()
+    # At read time: a hand-tampered manifest fails with a typed error.
+    manifest_path = chained / "deltas" / "00002" / DELTA_MANIFEST_NAME
+    record = json.loads(manifest_path.read_text())
+    record["tombstones"] = [99]
+    record["crc32"] = zlib.crc32(json.dumps(
+        {k: v for k, v in sorted(record.items()) if k != "crc32"},
+        sort_keys=True, separators=(",", ":"),
+    ).encode()) & 0xFFFFFFFF
+    manifest_path.write_text(json.dumps(record))
+    with pytest.raises(ShardFormatError, match="tombstone"):
+        MergedShardView(chained)
+
+
+def test_generation_gap_is_rejected(chained):
+    (chained / "deltas" / "00002").rename(chained / "deltas" / "00005")
+    with pytest.raises(ShardFormatError, match="generation"):
+        MergedShardView(chained)
+
+
+def test_tampered_delta_stats_crc32_is_rejected(chained):
+    gen_manifest = chained / "deltas" / "00001" / MANIFEST_NAME
+    manifest = json.loads(gen_manifest.read_text())
+    manifest["shards"][0]["stats"]["set_bits"] += 1
+    gen_manifest.write_text(json.dumps(manifest))
+    with pytest.raises(ShardFormatError, match="stats checksum"):
+        MergedShardView(chained)
+
+
+def test_truncated_delta_shard_is_rejected(chained):
+    shard = next((chained / "deltas" / "00001").glob("shard-*.bin"))
+    shard.write_bytes(shard.read_bytes()[:-1])
+    with pytest.raises(ShardFormatError, match="truncated or corrupt"):
+        MergedShardView(chained)
+
+
+def test_tampered_chain_self_checksum_is_rejected(chained):
+    manifest_path = chained / "deltas" / "00001" / DELTA_MANIFEST_NAME
+    record = json.loads(manifest_path.read_text())
+    record["inserts"] += 1
+    manifest_path.write_text(json.dumps(record))
+    with pytest.raises(ShardFormatError, match="checksum"):
+        MergedShardView(chained)
+
+
+def test_severed_parent_anchor_is_rejected(chained):
+    # Rewriting the base manifest (even with equivalent JSON) changes its
+    # bytes, severing generation 1's parent_crc32 anchor.
+    manifest_path = chained / MANIFEST_NAME
+    manifest_path.write_text(
+        json.dumps(json.loads(manifest_path.read_text()), indent=4)
+    )
+    with pytest.raises(ShardFormatError, match="parent"):
+        MergedShardView(chained)
+
+
+def test_plain_open_refuses_pending_deltas(chained):
+    with pytest.raises(PendingDeltaError, match="pending delta"):
+        ShardedRepository(chained)
+    # base_only is the explicit escape hatch (parent-view access).
+    with ShardedRepository(chained, base_only=True) as repo:
+        assert repo.m == 6 and repo.pending_deltas == 2
+
+
+def test_backfill_stats_refuses_pending_deltas(chained):
+    # Satellite (c): rewriting manifest.json would sever the gen-1
+    # parent anchor, so backfill on a delta'd repo must be refused with
+    # a named error — not silently corrupt the chain.
+    with ShardedRepository(chained, base_only=True) as repo:
+        with pytest.raises(PendingDeltaError, match="backfill"):
+            repo.backfill_stats()
+    # The merged view refuses likewise (nothing to rewrite there).
+    with MergedShardView(chained) as view:
+        with pytest.raises(PendingDeltaError):
+            view.backfill_stats()
+
+
+def test_remote_transport_refuses_merged_views(chained):
+    with pytest.raises(ValueError, match="remote transport"):
+        ShardedSetStream(
+            chained, transport="remote", workers=[("localhost", 9)]
+        )
+
+
+def test_delta_writer_abort_leaves_no_trace(tmp_path):
+    system = SetSystem(4, [[0, 1], [2, 3]])
+    root = write_shards(tmp_path / "repo", system, chunk_rows=2)
+    before = sorted(p.name for p in root.iterdir())
+    writer = DeltaShardWriter(root)
+    writer.append([0, 2])
+    writer.abort()
+    assert sorted(p.name for p in root.iterdir()) == before
+    with ShardedRepository(root) as repo:  # no pending deltas left behind
+        assert repo.pending_deltas == 0
+
+
+# ----------------------------------------------------------------------
+# No-delta regression: v1/v2/v3 repositories open exactly as before
+# ----------------------------------------------------------------------
+def test_no_delta_repositories_open_byte_identically(tmp_path):
+    system = SetSystem(10, [[i, (i + 1) % 10] for i in range(10)])
+    for schema in (SHARD_SCHEMA_V1, SHARD_SCHEMA_V2, SHARD_SCHEMA):
+        # dense encoding writes the raw layout, shared by all three
+        # schema generations, so the v1 downgrade below stays readable.
+        root = write_shards(tmp_path / schema.replace("/", "_"), system,
+                            chunk_rows=3, encoding="dense")
+        if schema != SHARD_SCHEMA:
+            manifest = json.loads((root / MANIFEST_NAME).read_text())
+            manifest["schema"] = schema
+            manifest.pop("stats_crc32")
+            for meta in manifest["shards"]:
+                meta.pop("stats")
+                if schema == SHARD_SCHEMA_V1:
+                    meta.pop("layout")
+                    meta.pop("bytes")
+                    meta.pop("encoding", None)
+            (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+        snapshot = {
+            p.name: p.read_bytes() for p in root.iterdir() if p.is_file()
+        }
+        # open_repository must hand back a plain repository (not a merged
+        # view), read the same rows, and leave every byte untouched.
+        with open_repository(root, verify=True) as repo:
+            assert isinstance(repo, ShardedRepository)
+            assert not isinstance(repo, MergedShardView)
+            assert repo.schema == schema
+            assert repo.to_system() == system
+        assert {
+            p.name: p.read_bytes() for p in root.iterdir() if p.is_file()
+        } == snapshot, f"{schema}: opening mutated the repository"
+
+
+def test_compact_is_noop_on_clean_repository(tmp_path):
+    system = SetSystem(6, [[0, 1, 2], [3, 4, 5], [1, 4]])
+    root = write_shards(tmp_path / "repo", system, chunk_rows=2)
+    snapshot = {p.name: p.read_bytes() for p in root.iterdir()}
+    assert compact(root) == root
+    assert {p.name: p.read_bytes() for p in root.iterdir()} == snapshot
+
+
+# ----------------------------------------------------------------------
+# DynamicCover unit edges
+# ----------------------------------------------------------------------
+def test_dynamic_cover_basic_validity():
+    dyn = DynamicCover(4, [(0, [0, 1]), (1, [2, 3]), (2, [0, 2])])
+    assert dyn.is_valid_cover()
+    dyn.verify()
+    assert dyn.cover_size <= dyn.approx_factor
+
+
+def test_dynamic_cover_factor_documented():
+    # 4 * (floor(log2 n) + 2): every level is within 2x of its density,
+    # times the greedy H_n <= log n + 1 per level (DESIGN.md §11).
+    assert dynamic_approx_factor(1) == 4 * 2
+    assert dynamic_approx_factor(1024) == 4 * 12
+    dyn = DynamicCover(16, [(0, range(16))])
+    assert dyn.approx_factor == dynamic_approx_factor(16)
+
+
+def test_dynamic_cover_infeasible_delete_is_refused():
+    dyn = DynamicCover(3, [(0, [0, 1]), (1, [1, 2])])
+    with pytest.raises(InfeasibleInstanceError):
+        dyn.delete(0)  # element 0 has no other home
+    dyn.verify()  # state unchanged and still valid
+    assert sorted(dyn.rows()) == [0, 1]
+
+
+def test_dynamic_cover_id_hygiene():
+    dyn = DynamicCover(4, [(0, [0, 1]), (1, [2, 3])])
+    with pytest.raises(ValueError, match="already live"):
+        dyn.insert(1, [0])
+    with pytest.raises(KeyError):
+        dyn.delete(7)
+    with pytest.raises(ValueError, match="non-negative"):
+        dyn.insert(-1, [0])
+
+
+def test_dynamic_cover_ids_stay_monotonic_after_deleting_max():
+    # Regression: auto-assigned ids must never be reused after deleting
+    # the highest id, or the maintainer drifts from the delta chain's
+    # stable-id sequence.
+    dyn = DynamicCover(4, [(0, [0, 1, 2, 3])])
+    dyn.apply([{"op": "insert", "elements": [0, 1]}])   # id 1
+    dyn.apply([{"op": "delete", "id": 1}])
+    dyn.apply([{"op": "insert", "elements": [2, 3]}])   # must become id 2
+    assert sorted(dyn.rows()) == [0, 2]
+
+
+def test_dynamic_cover_full_solve_budget():
+    dyn = DynamicCover(6, [(i, [i]) for i in range(6)], theta=0.5)
+    solves_before = dyn.full_solves
+    # Deleting singletons that are covered elsewhere is impossible here;
+    # pile on inserts instead and watch the budget trigger eventually.
+    for k in range(40):
+        dyn.insert(6 + k, [k % 6, (k + 1) % 6])
+    dyn.verify()
+    stats = dyn.stats()
+    assert stats["updates"] == 40
+    assert dyn.full_solves >= solves_before  # budget may or may not fire
+    assert dyn.is_valid_cover()
+
+
+def test_merged_view_matches_delta_writer_ids(tmp_path):
+    """DeltaShardWriter's returned stable ids line up with the view."""
+    system = SetSystem(6, [[0, 1, 2], [3, 4, 5], [0, 3]])
+    root = write_shards(tmp_path / "repo", system, chunk_rows=2)
+    with DeltaShardWriter(root) as writer:
+        assert writer.append([1, 4]) == 3
+        writer.delete(2)
+        assert writer.append([2, 5]) == 4
+    with MergedShardView(root) as view:
+        assert list(view.stable_ids) == [0, 1, 3, 4]
+        assert [sorted(r) for r in view.iter_rows()] == [
+            [0, 1, 2], [3, 4, 5], [1, 4], [2, 5],
+        ]
