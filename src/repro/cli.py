@@ -10,10 +10,16 @@ Python:
   backfill-stats`` upgrades a v1/v2 repository to the v3 statistics
   schema in place, ``shard apply-delta`` appends insert/tombstone
   delta generations from a churn script or op list
-  (:mod:`repro.setsystem.deltas`), ``shard compact`` folds pending
-  deltas back into a single flat repository, and ``shard churn-script``
-  emits a reproducible mutation script
-  (:mod:`repro.workloads.churn`) for the other two to consume
+  (:mod:`repro.setsystem.deltas`) — with ``--checkpoint`` it also
+  maintains a durable :class:`~repro.dynamic.cover.DynamicCover`
+  across batches, so incremental maintenance survives process
+  restarts — ``shard compact`` folds pending deltas back into a
+  single flat repository (intent-journaled in place, so a crash is
+  always recoverable), ``shard fsck`` sweeps every storage invariant
+  into a typed findings report (``--repair`` resolves interrupted
+  compactions and invisible partial state), and ``shard
+  churn-script`` emits a reproducible mutation script
+  (:mod:`repro.workloads.churn`) for the others to consume
   (``repro shard <input> <output>`` still works as an alias for
   ``create``);
 * ``solve``    — run a streaming algorithm over an instance file *or a
@@ -217,6 +223,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--batches", type=int, default=None, metavar="K",
         help="apply only the first K churn-script batches (default: all)",
     )
+    shard_delta.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="maintain a durable DynamicCover alongside the chain: "
+        "restore it from PATH if present (refusing stale checkpoints "
+        "whose chain token no longer matches), mirror every batch into "
+        "it, and re-checkpoint after each generation",
+    )
+    shard_delta.add_argument(
+        "--force", action="store_true",
+        help="discard a stale <root>.compact-tmp staging directory left "
+        "by a compaction that crashed before its commit point",
+    )
     shard_compact = shard_sub.add_parser(
         "compact",
         help="fold pending delta generations into a flat repository — "
@@ -226,7 +244,36 @@ def build_parser() -> argparse.ArgumentParser:
     shard_compact.add_argument(
         "--output", default=None, metavar="DIR",
         help="write the compacted repository here instead of rewriting "
-        "ROOT in place (ROOT is left untouched)",
+        "ROOT in place (ROOT is left untouched); must not lie inside "
+        "ROOT or name a non-empty existing directory",
+    )
+    shard_compact.add_argument(
+        "--force", action="store_true",
+        help="discard a stale <root>.compact-tmp staging directory left "
+        "by a compaction that crashed before its commit point",
+    )
+    shard_fsck = shard_sub.add_parser(
+        "fsck",
+        help="sweep every storage invariant (manifest/stats/chain CRCs, "
+        "shard checksums, codec decode, chain contiguity, interrupted "
+        "compactions, orphan state) into a typed findings report",
+    )
+    shard_fsck.add_argument("root", help="shard repository to check")
+    shard_fsck.add_argument(
+        "--repair", action="store_true",
+        help="resolve what is safely resolvable: complete interrupted "
+        "compactions (roll the intent journal forward), discard "
+        "pre-commit staging debris, remove invisible partial "
+        "generations; checksum/codec corruption is only ever reported",
+    )
+    shard_fsck.add_argument(
+        "--shallow", action="store_true",
+        help="skip the full-read checks (per-shard CRC-32 and row codec "
+        "decode); structural sweep only",
+    )
+    shard_fsck.add_argument(
+        "--json", action="store_true",
+        help="emit the findings report as JSON on stdout",
     )
     shard_churn = shard_sub.add_parser(
         "churn-script",
@@ -517,6 +564,31 @@ def _load_delta_batches(path: str) -> "list[list[dict]]":
     )
 
 
+def _load_maintainer(checkpoint: Path, root: str):
+    """Restore the ``--checkpoint`` DynamicCover, or rebuild it from ROOT.
+
+    A missing checkpoint file and a stale one (chain token moved on
+    without us — someone mutated the chain between runs) both rebuild
+    from the merged view's live rows; staleness is reported on stderr
+    so the full re-solve is never silent.  A corrupt or unreadable
+    checkpoint is an error, not a rebuild: silently re-solving over a
+    damaged file would hide exactly the durability bug the checkpoint
+    exists to catch.
+    """
+    from repro.dynamic import CheckpointError, DynamicCover, StaleCheckpointError
+    from repro.setsystem.deltas import open_repository
+
+    if checkpoint.exists():
+        try:
+            return DynamicCover.restore(checkpoint, root=root)
+        except StaleCheckpointError as exc:
+            print(f"note: {exc}; rebuilding from {root}", file=sys.stderr)
+        # CheckpointError propagates: corrupt state must be loud.
+    with open_repository(root) as repo:
+        ids = getattr(repo, "stable_ids", None) or range(repo.m)
+        return DynamicCover(repo.n, zip(ids, repo.iter_rows()))
+
+
 def _cmd_shard_apply_delta(args) -> int:
     from repro.setsystem.deltas import apply_delta
     from repro.setsystem.shards import ShardFormatError
@@ -529,13 +601,43 @@ def _cmd_shard_apply_delta(args) -> int:
     if args.batches is not None:
         batches = batches[: args.batches]
     try:
+        maintainer = None
+        if args.checkpoint is not None:
+            from repro.dynamic import CheckpointError
+
+            try:
+                maintainer = _load_maintainer(Path(args.checkpoint), args.root)
+            except (CheckpointError, ShardFormatError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
         for batch in batches:
-            summary = apply_delta(args.root, batch)
+            summary = apply_delta(args.root, batch, force=args.force)
             print(
                 f"generation {summary['generation']:>3}: "
                 f"+{summary['inserts']} insert(s), "
                 f"-{summary['tombstones']} tombstone(s), "
                 f"{summary['live_rows']} live row(s)"
+            )
+            if maintainer is not None:
+                # Mirror the batch with explicit stable ids so the
+                # maintainer's id sequence can never drift from the
+                # chain's, then re-checkpoint: the durable pair
+                # (chain generation, checkpoint) moves in lockstep.
+                next_id = summary["first_insert_id"]
+                mirrored = []
+                for op in batch:
+                    if op.get("op") == "insert":
+                        op = dict(op, id=next_id)
+                        next_id += 1
+                    mirrored.append(op)
+                maintainer.apply(mirrored)
+                maintainer.checkpoint(args.checkpoint, root=args.root)
+        if maintainer is not None:
+            stats = maintainer.stats()
+            print(
+                f"checkpoint {args.checkpoint}: |cover|={maintainer.cover_size} "
+                f"(m={maintainer.m}, {stats['updates']} update(s), "
+                f"{stats['full_solves']} full solve(s))"
             )
     except (ShardFormatError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -545,15 +647,28 @@ def _cmd_shard_apply_delta(args) -> int:
     return 0
 
 
-def _cmd_shard_compact(args) -> int:
+def _cmd_shard_compact(args, parser) -> int:
     from repro.setsystem.deltas import compact, open_repository
     from repro.setsystem.shards import ShardFormatError
 
+    if args.output is not None:
+        out = Path(args.output).resolve()
+        root = Path(args.root).resolve()
+        if out == root or root in out.parents:
+            parser.error(
+                f"--output {args.output} lies inside the source repository "
+                f"{args.root}; compaction would corrupt its own input"
+            )
+        if out.exists() and (not out.is_dir() or any(out.iterdir())):
+            parser.error(
+                f"--output {args.output} already exists and is not an "
+                "empty directory; refusing to overwrite"
+            )
     try:
         before = open_repository(args.root)
         pending = getattr(before, "pending_deltas", 0)
         before.close()
-        path = compact(args.root, output=args.output)
+        path = compact(args.root, output=args.output, force=args.force)
         with open_repository(path) as repo:
             print(
                 f"compacted {pending} pending generation(s) into {path} "
@@ -563,6 +678,35 @@ def _cmd_shard_compact(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_shard_fsck(args) -> int:
+    import json
+
+    from repro.setsystem.durability import fsck_repository
+
+    report = fsck_repository(
+        args.root, repair=args.repair, deep=not args.shallow
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    for action in report.repaired:
+        print(f"repaired: {action}")
+    for finding in report.findings:
+        print(str(finding))
+    mode = "shallow" if args.shallow else "deep"
+    if report.ok:
+        print(f"{args.root}: clean ({mode} sweep"
+              f"{', after repair' if report.repaired else ''})")
+        return 0
+    print(
+        f"{args.root}: {len(report.findings)} finding(s) ({mode} sweep)"
+        + ("" if args.repair else " — rerun with --repair to resolve "
+           "interrupted compactions and partial state"),
+        file=sys.stderr,
+    )
+    return 1
 
 
 def _cmd_shard_churn_script(args) -> int:
@@ -836,7 +980,7 @@ def main(argv: "list[str] | None" = None) -> int:
         and len(argv) > 1
         and argv[1] not in {
             "create", "backfill-stats", "apply-delta", "compact",
-            "churn-script", "-h", "--help",
+            "churn-script", "fsck", "-h", "--help",
         }
     ):
         argv.insert(1, "create")
@@ -850,9 +994,11 @@ def main(argv: "list[str] | None" = None) -> int:
         if args.shard_command == "apply-delta":
             return _cmd_shard_apply_delta(args)
         if args.shard_command == "compact":
-            return _cmd_shard_compact(args)
+            return _cmd_shard_compact(args, parser)
         if args.shard_command == "churn-script":
             return _cmd_shard_churn_script(args)
+        if args.shard_command == "fsck":
+            return _cmd_shard_fsck(args)
         return _cmd_shard_create(args)
     if args.command == "worker":
         if args.worker_command == "ping":

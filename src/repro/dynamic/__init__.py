@@ -17,6 +17,18 @@ that lockstep is what ``tests/test_dynamic.py`` and the ``dynamic``
 experiments suite assert.
 """
 
-from repro.dynamic.cover import DynamicCover, dynamic_approx_factor
+from repro.dynamic.cover import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    DynamicCover,
+    StaleCheckpointError,
+    dynamic_approx_factor,
+)
 
-__all__ = ["DynamicCover", "dynamic_approx_factor"]
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "DynamicCover",
+    "StaleCheckpointError",
+    "dynamic_approx_factor",
+]

@@ -49,12 +49,40 @@ of randomized churn against a from-scratch greedy (``OPT <= |greedy|``).
 
 from __future__ import annotations
 
+import json
+import zlib
 from operator import index
+from pathlib import Path
 
 from repro.offline.greedy import InfeasibleInstanceError
 from repro.utils.bitset import bits_of, mask_of
 
-__all__ = ["DynamicCover", "dynamic_approx_factor"]
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "DynamicCover",
+    "StaleCheckpointError",
+    "dynamic_approx_factor",
+]
+
+#: Schema tag stamped into every checkpoint file.
+CHECKPOINT_SCHEMA = "repro.dynamic-checkpoint/v1"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is missing, unreadable, corrupt, or mis-schemaed."""
+
+
+class StaleCheckpointError(CheckpointError):
+    """The checkpoint's chain token no longer matches the repository.
+
+    The delta chain moved underneath the checkpoint (a generation was
+    appended, compacted, or rewritten after it was taken), so the
+    recorded ownership no longer describes the on-disk family.
+    Restoring it would silently maintain a cover over the *wrong*
+    rows — rebuild from the repository instead
+    (``DynamicCover(n, rows)``) or restore from a fresher checkpoint.
+    """
 
 
 def dynamic_approx_factor(n: int) -> int:
@@ -284,6 +312,152 @@ class DynamicCover:
                 )
 
     # ------------------------------------------------------------------
+    # durable checkpoints (DESIGN.md §12.5)
+    # ------------------------------------------------------------------
+    def checkpoint(
+        self, path: "str | Path", root: "str | Path | None" = None
+    ) -> Path:
+        """Durably persist the maintainer's full state to ``path``.
+
+        The checkpoint records everything :meth:`restore` needs to
+        resume maintenance *without a full re-solve*: the live rows,
+        the ownership partition, each chosen set's density level, the
+        id high-water mark, and the churn counters (including the spent
+        degradation budget, so a restore cannot launder budget).  With
+        ``root`` it is additionally stamped with the repository chain's
+        content token (:func:`repro.setsystem.deltas.chain_token`);
+        restoring against a chain that has since moved then refuses
+        (:class:`StaleCheckpointError`) instead of maintaining a cover
+        over rows that no longer exist.
+
+        The write uses the storage layer's fsync discipline
+        (stage + fsync + ``os.replace``), so a crash mid-checkpoint
+        leaves the previous checkpoint intact, never a torn file.
+        """
+        from repro.setsystem.durability import crashpoint, durable_write_text
+
+        record = {
+            "schema": CHECKPOINT_SCHEMA,
+            "n": self.n,
+            "theta": self.theta,
+            "steal": self.steal_enabled,
+            "top": self._top,
+            "rows": {str(k): format(v, "x") for k, v in self._rows.items()},
+            "own": {str(k): format(v, "x") for k, v in self._own.items()},
+            "level": {str(k): v for k, v in self._level.items()},
+            "counters": {
+                "updates": self.updates,
+                "full_solves": self.full_solves,
+                "repair_picks": self.repair_picks,
+                "releases": self.releases,
+                "steals": self.steals,
+                "budget_used": self._budget_used,
+                "budget_limit": self._budget_limit,
+            },
+        }
+        if root is not None:
+            from repro.setsystem.deltas import chain_token
+
+            record["chain_token"] = chain_token(root)
+        record["crc32"] = _checkpoint_checksum(record)
+        path = Path(path)
+        crashpoint("checkpoint.staged")
+        durable_write_text(path, json.dumps(record, indent=2) + "\n")
+        return path
+
+    @classmethod
+    def restore(
+        cls, path: "str | Path", root: "str | Path | None" = None
+    ) -> "DynamicCover":
+        """Resume maintenance from a checkpoint written by :meth:`checkpoint`.
+
+        Rebuilds the maintainer exactly as checkpointed — ownership,
+        levels, assignment, counters, budget — with **no** full solve,
+        so a restart costs O(state) instead of a budget-blowing greedy.
+        With ``root`` the checkpoint's chain token is verified against
+        the repository first; a moved chain raises
+        :class:`StaleCheckpointError`.  A corrupt, truncated, or
+        mis-schemaed file raises :class:`CheckpointError`; the restored
+        state is also structurally verified (:meth:`verify`) before it
+        is returned, so a hand-edited checkpoint that passes its CRC
+        still cannot smuggle in an invalid cover.
+        """
+        path = Path(path)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {path}: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or record.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"{path} is not a {CHECKPOINT_SCHEMA} checkpoint"
+            )
+        if record.get("crc32") != _checkpoint_checksum(record):
+            raise CheckpointError(
+                f"checkpoint checksum mismatch in {path}: the file was "
+                "edited or corrupted after write"
+            )
+        if root is not None:
+            from repro.setsystem.deltas import chain_token
+
+            recorded = record.get("chain_token")
+            current = chain_token(root)
+            if recorded is None:
+                raise StaleCheckpointError(
+                    f"checkpoint {path} carries no chain token; it cannot "
+                    f"be verified against {root} — re-checkpoint with "
+                    "root= to stamp one"
+                )
+            if recorded != current:
+                raise StaleCheckpointError(
+                    f"checkpoint {path} was taken against a different "
+                    f"chain state of {root} (token {recorded} != current "
+                    f"{current}); the family moved underneath it — "
+                    "rebuild from the repository instead"
+                )
+        try:
+            cover = cls.__new__(cls)
+            cover.n = int(record["n"])
+            cover.theta = float(record["theta"])
+            cover.steal_enabled = bool(record["steal"])
+            cover._full = (1 << cover.n) - 1
+            cover._rows = {
+                int(k): int(v, 16) for k, v in record["rows"].items()
+            }
+            cover._own = {
+                int(k): int(v, 16) for k, v in record["own"].items()
+            }
+            cover._level = {
+                int(k): int(v) for k, v in record["level"].items()
+            }
+            counters = record["counters"]
+            cover.updates = int(counters["updates"])
+            cover.full_solves = int(counters["full_solves"])
+            cover.repair_picks = int(counters["repair_picks"])
+            cover.releases = int(counters["releases"])
+            cover.steals = int(counters["steals"])
+            cover._budget_used = int(counters["budget_used"])
+            cover._budget_limit = int(counters["budget_limit"])
+            cover._top = int(record["top"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint {path}: {exc}"
+            ) from exc
+        cover._assign = {
+            element: owner
+            for owner, own in cover._own.items()
+            for element in bits_of(own)
+        }
+        try:
+            cover.verify()
+        except AssertionError as exc:
+            raise CheckpointError(
+                f"checkpoint {path} describes an invalid cover state: {exc}"
+            ) from exc
+        return cover
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _next_id(self) -> int:
@@ -429,3 +603,10 @@ class DynamicCover:
 
 def _popcount(mask: int) -> int:
     return mask.bit_count()
+
+
+def _checkpoint_checksum(record: dict) -> int:
+    """Canonical-JSON CRC-32 of a checkpoint (minus its own crc)."""
+    body = {key: value for key, value in record.items() if key != "crc32"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(blob.encode("ascii"))

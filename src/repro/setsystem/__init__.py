@@ -4,8 +4,16 @@ from repro.setsystem.deltas import (
     DeltaShardWriter,
     MergedShardView,
     apply_delta,
+    chain_token,
     compact,
     open_repository,
+)
+from repro.setsystem.durability import (
+    Finding,
+    FsckReport,
+    RepositoryLock,
+    fsck_repository,
+    recover_compaction,
 )
 from repro.setsystem.io import dumps_json, dumps_text, load, loads_json, loads_text, save
 from repro.setsystem.operations import (
@@ -28,10 +36,13 @@ from repro.setsystem.packed import (
 from repro.setsystem.set_system import SetSystem
 from repro.setsystem.shards import (
     ENCODINGS,
+    InterruptedCompactionError,
     PendingDeltaError,
+    RepositoryBusyError,
     ShardedRepository,
     ShardFormatError,
     ShardWriter,
+    StaleStagingError,
     write_shards,
 )
 
@@ -80,15 +91,24 @@ __all__ = [
     "ScanResult",
     "SerialScanExecutor",
     "DeltaShardWriter",
+    "Finding",
+    "FsckReport",
+    "InterruptedCompactionError",
     "MergedShardView",
     "PendingDeltaError",
+    "RepositoryBusyError",
+    "RepositoryLock",
     "SetSystem",
     "ShardFormatError",
     "ShardWriter",
     "ShardedRepository",
+    "StaleStagingError",
     "apply_delta",
+    "chain_token",
     "compact",
+    "fsck_repository",
     "open_repository",
+    "recover_compaction",
     "executor_for",
     "resolve_jobs",
     "shutdown_pools",

@@ -78,6 +78,17 @@ from collections.abc import Iterable, Iterator
 from operator import index
 from pathlib import Path
 
+from repro.setsystem.durability import (
+    RepositoryLock,
+    complete_compaction,
+    crashpoint,
+    durable_write_text,
+    fsync_dir,
+    read_compact_intent,
+    recover_compaction,
+    staging_dir_for,
+    write_compact_intent,
+)
 from repro.setsystem.packed import ScanMask, scan_chunk
 from repro.setsystem.set_system import SetSystem
 from repro.setsystem.shards import (
@@ -89,6 +100,7 @@ from repro.setsystem.shards import (
     ShardedRepository,
     ShardFormatError,
     ShardWriter,
+    StaleStagingError,
     _choose_row_tag,
     _shard_stats,
     _WORD_BYTES,
@@ -107,6 +119,7 @@ __all__ = [
     "DeltaShardWriter",
     "MergedShardView",
     "apply_delta",
+    "chain_token",
     "compact",
     "open_repository",
 ]
@@ -146,14 +159,23 @@ class DeltaShardWriter:
       view.  Deleting a row this same generation inserted is rejected:
       a writer that changes its mind simply does not append the row.
 
-    ``close`` writes the generation atomically enough for the chain
-    discipline: insert shards and their ``manifest.json`` land first
-    (via an inner :class:`~repro.setsystem.shards.ShardWriter`, so
-    aborts clean up exactly like base writes), then ``delta.json`` —
-    a generation directory without ``delta.json`` is invisible to
-    :func:`pending_delta_generations` and harmless.  As a context
-    manager the writer closes on success and aborts on error, removing
-    the partial generation directory.
+    ``close`` publishes the generation with ``delta.json`` as its
+    single commit point: insert shards and their ``manifest.json`` land
+    and are fsynced first (via an inner
+    :class:`~repro.setsystem.shards.ShardWriter`, so aborts clean up
+    exactly like base writes), then ``delta.json`` is staged, fsynced
+    and ``os.replace``-d into place.  A crash anywhere before that
+    rename leaves a generation directory without ``delta.json``, which
+    is invisible to :func:`pending_delta_generations` — the repository
+    reads exactly as before the write — and which ``repro shard fsck``
+    reports (and ``--repair`` removes) as an orphan generation.  A
+    crash after the rename leaves the generation fully applied.  The
+    writer holds the repository's advisory lock for its whole lifetime,
+    so a concurrent writer or compactor fails loudly
+    (:class:`~repro.setsystem.shards.RepositoryBusyError`) instead of
+    interleaving with it.  As a context manager the writer closes on
+    success and aborts on error, removing the partial generation
+    directory.
 
     Parameters
     ----------
@@ -176,40 +198,51 @@ class DeltaShardWriter:
         encoding: "str | None" = None,
     ):
         self.root = Path(root)
-        base, generations = _load_chain(self.root)
+        self._lock = RepositoryLock(self.root, purpose="delta-write")
+        self._lock.acquire()
         try:
-            self.n = base.n
-            self.generation = len(generations) + 1
-            self._parent_rows = base.m + sum(
-                gen.inserts for gen in generations
+            base, generations = _load_chain(self.root)
+            try:
+                self.n = base.n
+                self.generation = len(generations) + 1
+                self._parent_rows = base.m + sum(
+                    gen.inserts for gen in generations
+                )
+                self._dead = set()
+                for gen in generations:
+                    self._dead.update(gen.tombstones)
+                if generations:
+                    parent_manifest = generations[-1].path / DELTA_MANIFEST_NAME
+                else:
+                    parent_manifest = self.root / MANIFEST_NAME
+                self._parent_crc32 = _file_crc32(parent_manifest)
+                chunk_rows = (
+                    chunk_rows if chunk_rows is not None else base.chunk_rows
+                )
+                encoding = encoding if encoding is not None else base.encoding
+            finally:
+                base.close()
+                for gen in generations:
+                    gen.repo.close()
+            self.path = (
+                self.root / DELTAS_DIRNAME / _generation_name(self.generation)
             )
-            self._dead = set()
-            for gen in generations:
-                self._dead.update(gen.tombstones)
-            if generations:
-                parent_manifest = generations[-1].path / DELTA_MANIFEST_NAME
-            else:
-                parent_manifest = self.root / MANIFEST_NAME
-            self._parent_crc32 = _file_crc32(parent_manifest)
-            chunk_rows = chunk_rows if chunk_rows is not None else base.chunk_rows
-            encoding = encoding if encoding is not None else base.encoding
-        finally:
-            base.close()
-            for gen in generations:
-                gen.repo.close()
-        self.path = self.root / DELTAS_DIRNAME / _generation_name(self.generation)
-        if self.path.exists():
-            raise ShardFormatError(
-                f"{self.path} already exists; a crashed writer left a partial "
-                "generation — remove it before writing a new delta"
+            if self.path.exists():
+                raise ShardFormatError(
+                    f"{self.path} already exists; a crashed writer left a "
+                    "partial generation — remove it (`repro shard fsck "
+                    "--repair`) before writing a new delta"
+                )
+            self._writer = ShardWriter(
+                self.path,
+                self.n,
+                chunk_rows=chunk_rows,
+                chunk_bytes=chunk_bytes,
+                encoding=encoding,
             )
-        self._writer = ShardWriter(
-            self.path,
-            self.n,
-            chunk_rows=chunk_rows,
-            chunk_bytes=chunk_bytes,
-            encoding=encoding,
-        )
+        except BaseException:
+            self._lock.release()
+            raise
         self._tombstones: "set[int]" = set()
         self._closed = False
         self._aborted = False
@@ -258,26 +291,42 @@ class DeltaShardWriter:
             raise ShardFormatError("delta writer was aborted; nothing to close")
         if self._closed:
             return self.path
-        self._writer.close()
-        record = {
-            "schema": DELTA_SCHEMA,
-            "generation": self.generation,
-            "n": self.n,
-            "parent_rows": self._parent_rows,
-            "inserts": self._writer.m,
-            "tombstones": sorted(self._tombstones),
-            "parent_crc32": self._parent_crc32,
-        }
-        record["crc32"] = _chain_checksum(record)
-        (self.path / DELTA_MANIFEST_NAME).write_text(
-            json.dumps(record, indent=2) + "\n"
-        )
+        try:
+            self._writer.close()
+            # deltas/<gen>/ and its contents are durable; publishing
+            # delta.json is the commit point that makes the generation
+            # visible to pending_delta_generations.
+            fsync_dir(self.path.parent)
+            fsync_dir(self.root)
+            crashpoint("delta.staged")
+            record = {
+                "schema": DELTA_SCHEMA,
+                "generation": self.generation,
+                "n": self.n,
+                "parent_rows": self._parent_rows,
+                "inserts": self._writer.m,
+                "tombstones": sorted(self._tombstones),
+                "parent_crc32": self._parent_crc32,
+            }
+            record["crc32"] = _chain_checksum(record)
+            durable_write_text(
+                self.path / DELTA_MANIFEST_NAME,
+                json.dumps(record, indent=2) + "\n",
+            )
+        except BaseException:
+            # A failed commit (ENOSPC mid-write, injected error) must not
+            # leak the invisible partial generation or the advisory lock.
+            self.abort()
+            raise
         self._closed = True
+        self._lock.release()
         return self.path
 
     def abort(self) -> None:
         """Remove the partial generation directory (idempotent)."""
         if self._closed:
+            return
+        if self._aborted:
             return
         self._writer.abort()
         (self.path / DELTA_MANIFEST_NAME).unlink(missing_ok=True)
@@ -286,6 +335,7 @@ class DeltaShardWriter:
         if deltas_dir.is_dir() and not any(deltas_dir.iterdir()):
             deltas_dir.rmdir()
         self._aborted = True
+        self._lock.release()
 
     def __enter__(self) -> "DeltaShardWriter":
         return self
@@ -745,20 +795,71 @@ def open_repository(
     pending deltas is *always* the merged family and a clean repository
     opens exactly as before (same :class:`ShardedRepository`, same
     bytes untouched).
+
+    A repository whose in-place compaction was interrupted (it holds a
+    ``compact.intent`` journal) is recovered here first: the journal is
+    written only once the staged rewrite is complete, so recovery rolls
+    the compaction **forward**
+    (:func:`repro.setsystem.durability.recover_compaction`) and the
+    open proceeds on the post-compaction repository.  A compactor still
+    live (holding the advisory lock) surfaces as
+    :class:`~repro.setsystem.shards.RepositoryBusyError` instead.
     """
+    recover_compaction(path)
     if pending_delta_generations(path):
         return MergedShardView(path, verify=verify)
     return ShardedRepository(path, verify=verify)
 
 
+def chain_token(path: "str | Path") -> "list[list[int]]":
+    """Content-keyed identity of a repository's manifest chain.
+
+    ``[[size, crc32], ...]`` over the base ``manifest.json`` and every
+    generation's ``delta.json``, in chain order — the durable sibling
+    of :attr:`MergedShardView.cache_token`: that one is cheap but keyed
+    to inodes and mtimes, so it changes across restarts and copies;
+    this one is pure content, so a
+    :meth:`~repro.dynamic.cover.DynamicCover.checkpoint` stamped with
+    it can tell "same family, new process" from "the chain moved
+    underneath me" (every mutation rewrites or appends a manifest, and
+    each ``delta.json`` CRC-anchors its parent's bytes).
+    """
+    root = Path(path)
+    parts: "list[list[int]]" = []
+    for manifest in [root / MANIFEST_NAME] + [
+        gen_dir / DELTA_MANIFEST_NAME
+        for gen_dir in pending_delta_generations(root)
+    ]:
+        data = manifest.read_bytes()
+        parts.append([len(data), zlib.crc32(data)])
+    return parts
+
+
 # ----------------------------------------------------------------------
 # Batch mutation + compaction
 # ----------------------------------------------------------------------
+def _refuse_stale_staging(root: Path, force: bool, operation: str) -> None:
+    """Refuse (or, with ``force``, discard) a stale staging directory."""
+    staging = staging_dir_for(root)
+    if not staging.exists():
+        return
+    if not force:
+        raise StaleStagingError(
+            f"cannot {operation} {root}: stale staging directory "
+            f"{staging.name} is present (a previous compaction crashed "
+            "before its commit point; the repository itself is intact). "
+            "Pass force=True / `--force`, or run `repro shard fsck "
+            "--repair`, to discard it."
+        )
+    shutil.rmtree(staging)
+
+
 def apply_delta(
     root: "str | Path",
     ops: "Iterable[dict]",
     chunk_rows: "int | None" = None,
     encoding: "str | None" = None,
+    force: bool = False,
 ) -> dict:
     """Apply one batch of mutation ops as a single new delta generation.
 
@@ -766,12 +867,23 @@ def apply_delta(
     workload generators emit and ``repro shard apply-delta`` reads:
     ``{"op": "insert", "elements": [...]}`` appends a set,
     ``{"op": "delete", "id": k}`` tombstones stable id ``k``.  Returns a
-    summary: ``{"generation", "inserts", "tombstones", "live_rows"}``.
+    summary: ``{"generation", "inserts", "tombstones", "live_rows",
+    "first_insert_id"}`` (the stable id of the batch's first insert, so
+    maintenance layers can mirror new rows without re-reading the chain).
+
+    An interrupted compaction is rolled forward first; a stale staging
+    directory (pre-commit-point crash debris) is refused
+    (:class:`~repro.setsystem.shards.StaleStagingError`) unless
+    ``force=True`` discards it.
     """
+    root = Path(root)
+    recover_compaction(root)
+    _refuse_stale_staging(root, force, "apply a delta to")
     inserted = 0
     with DeltaShardWriter(
         root, chunk_rows=chunk_rows, encoding=encoding
     ) as writer:
+        first_insert_id = writer._parent_rows
         for op in ops:
             kind = op.get("op")
             if kind == "insert":
@@ -791,6 +903,7 @@ def apply_delta(
         "inserts": inserted,
         "tombstones": tombstones,
         "live_rows": live,
+        "first_insert_id": first_insert_id,
     }
 
 
@@ -799,6 +912,7 @@ def compact(
     output: "str | Path | None" = None,
     chunk_rows: "int | None" = None,
     encoding: "str | None" = None,
+    force: bool = False,
 ) -> Path:
     """Rewrite a repository's merged view as a clean single generation.
 
@@ -811,12 +925,26 @@ def compact(
     churn-parity suite).
 
     With ``output`` the compacted repository lands in a new directory
-    and ``root`` is untouched.  In place (the default), the new
-    generation is staged in a sibling directory, then the base shards
-    and the whole ``deltas/`` chain are replaced atomically enough for a
-    crashed compaction to leave either the old chain or the new
-    repository, never a half-merged hybrid: the staging directory is
-    moved in only after the old files are gone.
+    and ``root`` is untouched.  In place (the default), the rewrite is
+    **intent-journaled** (DESIGN.md §12): the new generation is staged
+    in a sibling ``<root>.compact-tmp`` directory and fsynced, a
+    checksummed ``compact.intent`` journal is durably published in the
+    root *before* any destructive step, and only then are the staged
+    files moved in (``os.replace``, the manifest last), the old shards
+    and the ``deltas/`` chain removed, and the journal unlinked.  The
+    journal is the commit point: a crash before it leaves the old chain
+    intact (plus staging debris ``fsck --repair`` discards); a crash
+    after it is rolled forward to the new repository by the next
+    :func:`open_repository` (or ``fsck --repair``) — so the repository
+    is always exactly the old chain or the new base, never unopenable
+    and never a half-merged hybrid.  The whole in-place rewrite runs
+    under the repository's advisory lock, so concurrent writers or
+    compactors fail loudly
+    (:class:`~repro.setsystem.shards.RepositoryBusyError`).
+
+    A stale staging directory from a *pre*-commit-point crash is
+    refused (:class:`~repro.setsystem.shards.StaleStagingError`) unless
+    ``force=True`` discards it.
 
     A repository with no pending deltas compacts to itself: in place it
     is returned unchanged (byte-identical), with ``output`` it is
@@ -824,33 +952,46 @@ def compact(
     code wrote, since writes are deterministic).
     """
     root = Path(root)
-    view = open_repository(root)
-    with view:
-        rows = (bits_of(mask) for mask in view.iter_row_masks())
-        target_chunk_rows = (
-            chunk_rows if chunk_rows is not None else view.chunk_rows
-        )
-        target_encoding = encoding if encoding is not None else view.encoding
-        if output is not None:
+    recover_compaction(root)
+    _refuse_stale_staging(root, force, "compact")
+    if output is not None:
+        with open_repository(root) as view:
+            rows = (bits_of(mask) for mask in view.iter_row_masks())
             return write_shards(
                 output, rows, n=view.n,
-                chunk_rows=target_chunk_rows, encoding=target_encoding,
+                chunk_rows=(
+                    chunk_rows if chunk_rows is not None else view.chunk_rows
+                ),
+                encoding=encoding if encoding is not None else view.encoding,
             )
-        if isinstance(view, ShardedRepository):
-            return root  # already a clean single generation
-        staging = root.parent / (root.name + ".compact-tmp")
-        if staging.exists():
-            shutil.rmtree(staging)
-        write_shards(
-            staging, rows, n=view.n,
-            chunk_rows=target_chunk_rows, encoding=target_encoding,
-        )
-        old_files = [root / meta["file"] for meta in view.base._shard_meta]
-    for path in old_files:
-        path.unlink(missing_ok=True)
-    (root / MANIFEST_NAME).unlink()
-    shutil.rmtree(root / DELTAS_DIRNAME)
-    for item in sorted(staging.iterdir()):
-        item.replace(root / item.name)
-    staging.rmdir()
+    with RepositoryLock(root, purpose="compact"):
+        # Re-check under the lock: another compactor may have journaled
+        # (and died) between our recovery pass and the acquire.
+        intent = read_compact_intent(root)
+        if intent is not None:
+            complete_compaction(root, intent)
+        staging = staging_dir_for(root)
+        view = open_repository(root)
+        with view:
+            if isinstance(view, ShardedRepository):
+                return root  # already a clean single generation
+            crashpoint("compact.begin")
+            rows = (bits_of(mask) for mask in view.iter_row_masks())
+            write_shards(
+                staging, rows, n=view.n,
+                chunk_rows=(
+                    chunk_rows if chunk_rows is not None else view.chunk_rows
+                ),
+                encoding=encoding if encoding is not None else view.encoding,
+            )
+            old_files = [str(meta["file"]) for meta in view.base._shard_meta]
+        old_files.append(MANIFEST_NAME)
+        fsync_dir(root.parent)  # the staging directory's own entry
+        staged_files = [item.name for item in staging.iterdir()]
+        crashpoint("compact.staged")
+        # Commit point: the journal is durable before any destruction,
+        # so recovery from here on always rolls forward.
+        write_compact_intent(root, staged_files, old_files)
+        crashpoint("compact.intent")
+        complete_compaction(root, read_compact_intent(root))
     return root

@@ -92,6 +92,13 @@ from collections.abc import Iterable, Iterator
 from operator import index
 from pathlib import Path
 
+from repro.setsystem.durability import (
+    COMPACT_INTENT_NAME,
+    crashpoint,
+    durable_write_text,
+    fsync_dir,
+    fsync_file,
+)
 from repro.setsystem.packed import (
     ScanMask,
     chunk_gains,
@@ -120,6 +127,9 @@ __all__ = [
     "STATS_HIST_BUCKETS",
     "ShardFormatError",
     "PendingDeltaError",
+    "InterruptedCompactionError",
+    "RepositoryBusyError",
+    "StaleStagingError",
     "ShardWriter",
     "ShardedRepository",
     "pending_delta_generations",
@@ -186,6 +196,43 @@ class PendingDeltaError(ShardFormatError):
     wrong, so both refuse with this error.  Open the merged view instead
     (:func:`repro.setsystem.deltas.open_repository`) or compact first
     (:func:`repro.setsystem.deltas.compact` / ``repro shard compact``).
+    """
+
+
+class InterruptedCompactionError(ShardFormatError):
+    """A repository holds a ``compact.intent`` journal: an in-place
+    compaction crashed mid-replace.
+
+    The journal commits the staged rewrite, so the repository is
+    recoverable — but its files may be a half-replaced mix of the old
+    and new generations, so a plain open refuses rather than scan the
+    hybrid.  :func:`repro.setsystem.deltas.open_repository` rolls the
+    compaction forward automatically
+    (:func:`repro.setsystem.durability.recover_compaction`), as does
+    ``repro shard fsck --repair``.
+    """
+
+
+class RepositoryBusyError(ShardFormatError):
+    """Another writer or compactor holds the repository's advisory lock.
+
+    Mutators (delta writers, the compactor, ``fsck --repair``) take an
+    exclusive ``fcntl`` lock (``.repro-lock``) for their critical
+    section and fail loudly on contention rather than interleave — the
+    chain discipline assumes a single mutator at a time.
+    """
+
+
+class StaleStagingError(ShardFormatError):
+    """A stale ``<root>.compact-tmp`` staging directory is present.
+
+    A previous compaction crashed *before* its commit point (the intent
+    journal), so the staging is garbage and the repository itself is
+    intact — but silently discarding an unexpected directory is how
+    operator mistakes (two compactors racing, a mistyped ``--output``)
+    turn into data loss.  ``compact(force=True)`` /
+    ``repro shard compact --force`` discards it explicitly, as does
+    ``repro shard fsck --repair``.
     """
 
 
@@ -597,7 +644,9 @@ class ShardWriter:
             payload = b"".join(parts)
             layout = _LAYOUT_ENCODED
         name = f"shard-{len(self._shards):05d}.bin"
+        crashpoint("writer.shard-flush")
         (self.path / name).write_bytes(payload)
+        fsync_file(self.path / name)
         self._shards.append(
             {
                 "file": name,
@@ -627,7 +676,16 @@ class ShardWriter:
             "shards": self._shards,
             "stats_crc32": _stats_checksum(self._shards),
         }
-        (self.path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+        # The manifest is the commit point of the whole repository: the
+        # shard files (and the directory entries naming them) are made
+        # durable first, then the manifest is published atomically — a
+        # crash anywhere leaves either no repository (orphan shards,
+        # `fsck --repair` removes them) or a complete one.
+        fsync_dir(self.path)
+        crashpoint("writer.manifest")
+        durable_write_text(
+            self.path / MANIFEST_NAME, json.dumps(manifest, indent=2) + "\n"
+        )
         self._closed = True
         return self.path
 
@@ -815,6 +873,18 @@ class ShardedRepository:
         self, path: "str | Path", verify: bool = False, base_only: bool = False
     ):
         self.path = Path(path)
+        # An intent journal means an in-place compaction crashed between
+        # its commit point and its cleanup: the files on disk may be a
+        # half-replaced mix of the old and new generations.  Refuse even
+        # base_only opens — there is no consistent "base" to scan until
+        # the journal is rolled forward.
+        if (self.path / COMPACT_INTENT_NAME).is_file():
+            raise InterruptedCompactionError(
+                f"{self.path} holds a {COMPACT_INTENT_NAME} journal: an "
+                "in-place compaction was interrupted mid-replace. Open it "
+                "with repro.setsystem.deltas.open_repository (which rolls "
+                "the compaction forward) or run `repro shard fsck --repair`."
+            )
         self.pending_deltas = len(pending_delta_generations(self.path))
         if self.pending_deltas and not base_only:
             raise PendingDeltaError(
@@ -1033,10 +1103,10 @@ class ShardedRepository:
         manifest["schema"] = SHARD_SCHEMA
         manifest["shards"] = self._shard_meta
         manifest["stats_crc32"] = _stats_checksum(self._shard_meta)
-        target = self.path / MANIFEST_NAME
-        staging = self.path / (MANIFEST_NAME + ".tmp")
-        staging.write_text(json.dumps(manifest, indent=2) + "\n")
-        staging.replace(target)
+        crashpoint("backfill.manifest")
+        durable_write_text(
+            self.path / MANIFEST_NAME, json.dumps(manifest, indent=2) + "\n"
+        )
         self._manifest = manifest
         self.schema = SHARD_SCHEMA
         return True

@@ -220,8 +220,15 @@ def drive_scenario(
     planner: bool = True,
     solve: bool = True,
     theta: float = 2.0,
+    restart_every: "int | None" = None,
 ) -> dict:
     """Replay one scenario, asserting every churn-parity property.
+
+    With ``restart_every=k`` the maintainer is checkpointed to disk and
+    rebuilt via :meth:`DynamicCover.restore` after every ``k``-th step —
+    simulating a process restart mid-churn.  The restored maintainer
+    must carry every property (validity, factor bound, counters) across
+    the restart, so the same aggregate assertions apply unchanged.
 
     Returns the collected endgame facts (cover sizes, update counters)
     so callers can make aggregate assertions across many scenarios.
@@ -238,6 +245,7 @@ def drive_scenario(
     dyn_ids = {i: i for i in range(len(scenario.base))}
     next_dyn = len(scenario.base)
     compactions = 0
+    restarts = 0
     for index, (kind, ops) in enumerate(scenario.steps):
         context = f"seed={scenario.seed} step={index}"
         if kind == "delta":
@@ -262,6 +270,13 @@ def drive_scenario(
                 chunk_rows=chunk_rows, encoding=encoding,
             )
             _assert_bit_identical(root, rebuilt, context)
+        if restart_every and (index + 1) % restart_every == 0:
+            # Simulated process restart: persist, drop, restore.  The
+            # checkpoint is bound to the chain's current content token,
+            # so a stale file could never restore silently.
+            ckpt = dyn.checkpoint(tmp_path / "cover.ckpt", root=root)
+            dyn = DynamicCover.restore(ckpt, root=root)
+            restarts += 1
         with MergedShardView(root) as view:
             merged = [sorted(row) for row in view.iter_rows()]
         assert merged == model.live(), (
@@ -282,6 +297,7 @@ def drive_scenario(
         "seed": scenario.seed,
         "updates": scenario.updates,
         "compactions": compactions,
+        "restarts": restarts,
         "live_rows": final.m,
         "cover_size": dyn.cover_size,
         "stats": dyn.stats(),

@@ -397,3 +397,171 @@ class TestParser:
         assert main(["experiments", "--suite", "parityy",
                      "--no-update-docs"]) == 2
         assert "unknown suite" in capsys.readouterr().err
+
+
+class TestShardDurability:
+    """`shard fsck`, `--force`, `--output` validation, `--checkpoint`."""
+
+    @pytest.fixture
+    def chain(self, tmp_path, capsys):
+        import json
+
+        from repro.setsystem import SetSystem, save
+        from repro.setsystem.deltas import apply_delta
+
+        save(
+            SetSystem(8, [[0, 1], [2, 3], [4, 5], [6, 7], [1, 2], [5, 6]]),
+            tmp_path / "base.json",
+        )
+        root = tmp_path / "repo"
+        main(["shard", "create", str(tmp_path / "base.json"), str(root),
+              "--chunk-rows", "2"])
+        apply_delta(root, [{"op": "insert", "elements": [0, 3, 6]},
+                           {"op": "delete", "id": 4}])
+        capsys.readouterr()
+        return root
+
+    def test_fsck_clean_repository(self, chain, capsys):
+        assert main(["shard", "fsck", str(chain)]) == 0
+        assert "clean (deep sweep)" in capsys.readouterr().out
+
+    def test_fsck_reports_typed_findings(self, chain, capsys):
+        shard = sorted(chain.glob("shard-*.bin"))[0]
+        shard.write_bytes(b"\xff" + shard.read_bytes()[1:])
+        assert main(["shard", "fsck", str(chain)]) == 1
+        captured = capsys.readouterr()
+        assert "shard-checksum" in captured.out
+        assert "finding(s)" in captured.err
+
+    def test_fsck_shallow_skips_checksums(self, chain, capsys):
+        shard = sorted(chain.glob("shard-*.bin"))[0]
+        shard.write_bytes(b"\xff" + shard.read_bytes()[1:])
+        assert main(["shard", "fsck", str(chain), "--shallow"]) == 0
+        assert "clean (shallow sweep)" in capsys.readouterr().out
+
+    def test_fsck_json_report(self, chain, capsys):
+        import json
+
+        assert main(["shard", "fsck", str(chain), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.fsck/v1"
+        assert payload["findings"] == []
+
+    def test_fsck_repair_discards_stale_staging(self, chain, capsys):
+        from repro.setsystem.durability import staging_dir_for
+
+        staging_dir_for(chain).mkdir()
+        assert main(["shard", "fsck", str(chain)]) == 1
+        assert "stale-staging" in capsys.readouterr().out
+        assert main(["shard", "fsck", str(chain), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired:" in out and "after repair" in out
+        assert not staging_dir_for(chain).exists()
+
+    def test_compact_and_apply_delta_refuse_stale_staging_until_forced(
+        self, chain, capsys
+    ):
+        import json
+
+        from repro.setsystem.durability import staging_dir_for
+
+        staging_dir_for(chain).mkdir()
+        ops = chain.parent / "ops.json"
+        ops.write_text(json.dumps([{"op": "insert", "elements": [0, 7]}]))
+        assert main(["shard", "apply-delta", str(chain), str(ops)]) == 1
+        assert "stale staging" in capsys.readouterr().err
+        assert main(["shard", "compact", str(chain)]) == 1
+        assert "stale staging" in capsys.readouterr().err
+        assert main(["shard", "compact", str(chain), "--force"]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert not staging_dir_for(chain).exists()
+
+    @pytest.mark.parametrize("dest", ["inside", ".", "sub/deep"])
+    def test_compact_output_inside_source_is_a_usage_error(
+        self, chain, dest, capsys
+    ):
+        target = chain if dest == "." else chain / dest
+        with pytest.raises(SystemExit) as excinfo:
+            main(["shard", "compact", str(chain), "--output", str(target)])
+        assert excinfo.value.code == 2
+        assert "inside the source repository" in capsys.readouterr().err
+
+    def test_compact_output_nonempty_dir_is_a_usage_error(
+        self, chain, tmp_path, capsys
+    ):
+        full = tmp_path / "full"
+        full.mkdir()
+        (full / "x").touch()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["shard", "compact", str(chain), "--output", str(full)])
+        assert excinfo.value.code == 2
+        assert "not an empty directory" in capsys.readouterr().err
+
+    def test_apply_delta_checkpoint_survives_restart(
+        self, chain, tmp_path, capsys
+    ):
+        import json
+
+        from repro.dynamic import DynamicCover
+
+        ckpt = tmp_path / "cover.ckpt"
+        batch1 = tmp_path / "b1.json"
+        batch1.write_text(json.dumps([{"op": "insert", "elements": [0, 7]}]))
+        assert main(["shard", "apply-delta", str(chain), str(batch1),
+                     "--checkpoint", str(ckpt)]) == 0
+        out = capsys.readouterr()
+        assert "checkpoint" in out.out and "full solve(s)" in out.out
+        assert "note:" not in out.err
+        # Second invocation restores (chain token still matches) and
+        # keeps maintaining incrementally — no stale note, no rebuild.
+        batch2 = tmp_path / "b2.json"
+        batch2.write_text(json.dumps([{"op": "delete", "id": 3}]))
+        assert main(["shard", "apply-delta", str(chain), str(batch2),
+                     "--checkpoint", str(ckpt)]) == 0
+        out = capsys.readouterr()
+        assert "note:" not in out.err
+        restored = DynamicCover.restore(ckpt, root=chain)
+        restored.verify()
+        assert restored.stats()["updates"] == 2
+        assert restored.stats()["full_solves"] == 0
+
+    def test_apply_delta_checkpoint_stale_rebuilds_loudly(
+        self, chain, tmp_path, capsys
+    ):
+        import json
+
+        from repro.setsystem.deltas import apply_delta
+
+        ckpt = tmp_path / "cover.ckpt"
+        batch = tmp_path / "b.json"
+        batch.write_text(json.dumps([{"op": "insert", "elements": [3, 7]}]))
+        assert main(["shard", "apply-delta", str(chain), str(batch),
+                     "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        # The chain moves without the checkpoint being told.
+        apply_delta(chain, [{"op": "insert", "elements": [1, 4]}])
+        assert main(["shard", "apply-delta", str(chain), str(batch),
+                     "--checkpoint", str(ckpt)]) == 0
+        assert "note:" in capsys.readouterr().err
+
+    def test_apply_delta_corrupt_checkpoint_is_an_error(
+        self, chain, tmp_path, capsys
+    ):
+        import json
+
+        ckpt = tmp_path / "cover.ckpt"
+        batch = tmp_path / "b.json"
+        batch.write_text(json.dumps([{"op": "insert", "elements": [3, 7]}]))
+        assert main(["shard", "apply-delta", str(chain), str(batch),
+                     "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        ckpt.write_text("{corrupt")
+        assert main(["shard", "apply-delta", str(chain), str(batch),
+                     "--checkpoint", str(ckpt)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_fsck_legacy_alias_is_not_hijacked(self, chain, capsys):
+        # `repro shard fsck X` must reach the fsck verb, not the
+        # `shard create fsck X` compatibility alias.
+        assert main(["shard", "fsck", str(chain)]) == 0
+        assert "clean" in capsys.readouterr().out
