@@ -252,6 +252,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="discard a stale <root>.compact-tmp staging directory left "
         "by a compaction that crashed before its commit point",
     )
+    shard_compact.add_argument(
+        "--online", action="store_true",
+        help="stage the fold off to the side while readers and "
+        "apply-delta continue against the live chain, then swing the "
+        "manifest in a short critical section (incompatible with "
+        "--output); superseded files are parked until the last reader "
+        "lease drains",
+    )
+    shard_maintain = shard_sub.add_parser(
+        "maintain",
+        help="self-healing maintenance: watch chain length and dead-row "
+        "fraction, fold the chain with `compact --online` when either "
+        "crosses its threshold, backing off on contention and "
+        "journaling every decision to <root>.maintenance.log",
+    )
+    shard_maintain.add_argument("root", help="shard repository to maintain")
+    shard_maintain.add_argument(
+        "--watch", action="store_true",
+        help="keep cycling (measure, maybe compact, sleep) instead of "
+        "running a single cycle",
+    )
+    shard_maintain.add_argument(
+        "--cycles", type=int, default=None, metavar="K",
+        help="with --watch: stop after K cycles (default: run forever)",
+    )
+    shard_maintain.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="with --watch: stop after this much wall-clock time",
+    )
+    shard_maintain.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="sleep between --watch cycles (default: 1.0)",
+    )
+    shard_maintain.add_argument(
+        "--max-generations", type=int, default=8, metavar="G",
+        help="fold once the delta chain reaches G generations "
+        "(default: 8)",
+    )
+    shard_maintain.add_argument(
+        "--max-dead-fraction", type=float, default=0.5, metavar="F",
+        help="fold once fraction F of rows is tombstoned (default: 0.5)",
+    )
+    shard_maintain.add_argument(
+        "--retry-attempts", type=int, default=None, metavar="K",
+        help="attempts per cycle when the repository is busy "
+        "(default: 3; see `repro solve --retry-attempts`)",
+    )
+    shard_maintain.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="SECONDS",
+        help="base backoff between busy retries (default: 0.1)",
+    )
+    shard_maintain.add_argument(
+        "--retry-backoff-max", type=float, default=None, metavar="SECONDS",
+        help="backoff ceiling (default: 5.0)",
+    )
+    shard_maintain.add_argument(
+        "--retry-jitter", type=float, default=None, metavar="FRACTION",
+        help="randomized fraction of each backoff (default: 0.5)",
+    )
+    shard_maintain.add_argument(
+        "--seed", type=int, default=None,
+        help="seed for deterministic backoff jitter",
+    )
     shard_fsck = shard_sub.add_parser(
         "fsck",
         help="sweep every storage invariant (manifest/stats/chain CRCs, "
@@ -567,20 +630,23 @@ def _load_delta_batches(path: str) -> "list[list[dict]]":
 def _load_maintainer(checkpoint: Path, root: str):
     """Restore the ``--checkpoint`` DynamicCover, or rebuild it from ROOT.
 
-    A missing checkpoint file and a stale one (chain token moved on
-    without us — someone mutated the chain between runs) both rebuild
-    from the merged view's live rows; staleness is reported on stderr
-    so the full re-solve is never silent.  A corrupt or unreadable
-    checkpoint is an error, not a rebuild: silently re-solving over a
-    damaged file would hide exactly the durability bug the checkpoint
-    exists to catch.
+    Restores with ``allow_remap=True``: a chain that moved only by
+    *compaction* (same live rows, renumbered ids — what a concurrent
+    `repro shard maintain` does) remaps the checkpoint onto the folded
+    repository instead of discarding it.  A chain that moved by
+    *mutation* and a missing checkpoint file both rebuild from the
+    merged view's live rows; staleness is reported on stderr so the
+    full re-solve is never silent.  A corrupt or unreadable checkpoint
+    is an error, not a rebuild: silently re-solving over a damaged file
+    would hide exactly the durability bug the checkpoint exists to
+    catch.
     """
     from repro.dynamic import CheckpointError, DynamicCover, StaleCheckpointError
     from repro.setsystem.deltas import open_repository
 
     if checkpoint.exists():
         try:
-            return DynamicCover.restore(checkpoint, root=root)
+            return DynamicCover.restore(checkpoint, root=root, allow_remap=True)
         except StaleCheckpointError as exc:
             print(f"note: {exc}; rebuilding from {root}", file=sys.stderr)
         # CheckpointError propagates: corrupt state must be loud.
@@ -651,6 +717,11 @@ def _cmd_shard_compact(args, parser) -> int:
     from repro.setsystem.deltas import compact, open_repository
     from repro.setsystem.shards import ShardFormatError
 
+    if args.online and args.output is not None:
+        parser.error(
+            "--online folds ROOT in place; it cannot be combined with "
+            "--output"
+        )
     if args.output is not None:
         out = Path(args.output).resolve()
         root = Path(args.root).resolve()
@@ -668,7 +739,10 @@ def _cmd_shard_compact(args, parser) -> int:
         before = open_repository(args.root)
         pending = getattr(before, "pending_deltas", 0)
         before.close()
-        path = compact(args.root, output=args.output, force=args.force)
+        path = compact(
+            args.root, output=args.output, force=args.force,
+            online=args.online,
+        )
         with open_repository(path) as repo:
             print(
                 f"compacted {pending} pending generation(s) into {path} "
@@ -678,6 +752,85 @@ def _cmd_shard_compact(args, parser) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _describe_maintenance(record: dict) -> str:
+    """One operator-readable line for a maintenance decision record."""
+    action = record.get("action", "?")
+    if action == "skip":
+        pressure = record.get("pressure", {})
+        return (
+            f"skip: generations={pressure.get('generations', '?')} "
+            f"dead_fraction={pressure.get('dead_fraction', 0.0):.3f} "
+            "below thresholds"
+        )
+    if action == "compact":
+        return (
+            f"compacted (attempt {record.get('attempts', 1)}): "
+            f"{record.get('reason', '')}"
+        )
+    if action == "busy":
+        return (
+            f"busy (attempt {record.get('attempt', 1)}): "
+            f"{record.get('error', '')}"
+        )
+    if action == "repair":
+        return f"repaired stale staging: {record.get('error', '')}"
+    if action == "give-up":
+        return (
+            f"gave up after {record.get('attempts', '?')} attempt(s): "
+            f"{record.get('reason', '')} (next cycle retries)"
+        )
+    return f"{action}: {record.get('error', record.get('reason', ''))}"
+
+
+def _cmd_shard_maintain(args) -> int:
+    from repro.setsystem.maintenance import MaintenanceLoop
+    from repro.setsystem.shards import ShardFormatError
+
+    retry = {
+        knob: value
+        for knob, value in {
+            "attempts": args.retry_attempts,
+            "backoff": args.retry_backoff,
+            "backoff_max": args.retry_backoff_max,
+            "jitter": args.retry_jitter,
+            "seed": args.seed,
+        }.items()
+        if value is not None
+    }
+    retry.setdefault("attempts", 3)  # a maintainer should be patient
+    try:
+        loop = MaintenanceLoop(
+            args.root,
+            max_generations=args.max_generations,
+            max_dead_fraction=args.max_dead_fraction,
+            retry=retry,
+            interval=args.interval,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def show(record: dict) -> None:
+        print(_describe_maintenance(record), flush=True)
+
+    try:
+        if args.watch:
+            records = loop.watch(
+                cycles=args.cycles, duration=args.duration, on_cycle=show
+            )
+        else:
+            records = [loop.run_once()]
+            show(records[0])
+    except (ShardFormatError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("maintenance interrupted; the journal has the trail")
+        return 0
+    failed = any(r.get("action") in ("give-up", "error") for r in records)
+    return 1 if failed else 0
 
 
 def _cmd_shard_fsck(args) -> int:
@@ -695,6 +848,10 @@ def _cmd_shard_fsck(args) -> int:
         print(f"repaired: {action}")
     for finding in report.findings:
         print(str(finding))
+    if report.maintenance:
+        print(f"maintenance log (last {len(report.maintenance)}):")
+        for record in report.maintenance:
+            print(f"  {_describe_maintenance(record)}")
     mode = "shallow" if args.shallow else "deep"
     if report.ok:
         print(f"{args.root}: clean ({mode} sweep"
@@ -980,7 +1137,7 @@ def main(argv: "list[str] | None" = None) -> int:
         and len(argv) > 1
         and argv[1] not in {
             "create", "backfill-stats", "apply-delta", "compact",
-            "churn-script", "fsck", "-h", "--help",
+            "churn-script", "fsck", "maintain", "-h", "--help",
         }
     ):
         argv.insert(1, "create")
@@ -999,6 +1156,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_shard_churn_script(args)
         if args.shard_command == "fsck":
             return _cmd_shard_fsck(args)
+        if args.shard_command == "maintain":
+            return _cmd_shard_maintain(args)
         return _cmd_shard_create(args)
     if args.command == "worker":
         if args.worker_command == "ping":

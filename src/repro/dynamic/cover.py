@@ -367,7 +367,10 @@ class DynamicCover:
 
     @classmethod
     def restore(
-        cls, path: "str | Path", root: "str | Path | None" = None
+        cls,
+        path: "str | Path",
+        root: "str | Path | None" = None,
+        allow_remap: bool = False,
     ) -> "DynamicCover":
         """Resume maintenance from a checkpoint written by :meth:`checkpoint`.
 
@@ -376,11 +379,24 @@ class DynamicCover:
         so a restart costs O(state) instead of a budget-blowing greedy.
         With ``root`` the checkpoint's chain token is verified against
         the repository first; a moved chain raises
-        :class:`StaleCheckpointError`.  A corrupt, truncated, or
-        mis-schemaed file raises :class:`CheckpointError`; the restored
-        state is also structurally verified (:meth:`verify`) before it
-        is returned, so a hand-edited checkpoint that passes its CRC
-        still cannot smuggle in an invalid cover.
+        :class:`StaleCheckpointError`.
+
+        ``allow_remap=True`` relaxes exactly one kind of move: a
+        **compaction**.  Folding the chain preserves the live rows and
+        their view order while renumbering stable ids densely, so the
+        checkpoint's rows are remapped by rank (old id ``k`` becomes the
+        repository's id at ``k``'s rank among the checkpoint's live
+        ids) and the remapped masks are verified row-for-row against
+        the repository before the cover is accepted — a chain that
+        moved by *mutation* (rows added or removed) still raises
+        :class:`StaleCheckpointError` rather than silently covering the
+        wrong family.
+
+        A corrupt, truncated, or mis-schemaed file raises
+        :class:`CheckpointError`; the restored state is also
+        structurally verified (:meth:`verify`) before it is returned,
+        so a hand-edited checkpoint that passes its CRC still cannot
+        smuggle in an invalid cover.
         """
         path = Path(path)
         try:
@@ -398,6 +414,7 @@ class DynamicCover:
                 f"checkpoint checksum mismatch in {path}: the file was "
                 "edited or corrupted after write"
             )
+        needs_remap = False
         if root is not None:
             from repro.setsystem.deltas import chain_token
 
@@ -410,12 +427,14 @@ class DynamicCover:
                     "root= to stamp one"
                 )
             if recorded != current:
-                raise StaleCheckpointError(
-                    f"checkpoint {path} was taken against a different "
-                    f"chain state of {root} (token {recorded} != current "
-                    f"{current}); the family moved underneath it — "
-                    "rebuild from the repository instead"
-                )
+                if not allow_remap:
+                    raise StaleCheckpointError(
+                        f"checkpoint {path} was taken against a different "
+                        f"chain state of {root} (token {recorded} != current "
+                        f"{current}); the family moved underneath it — "
+                        "rebuild from the repository instead"
+                    )
+                needs_remap = True
         try:
             cover = cls.__new__(cls)
             cover.n = int(record["n"])
@@ -449,6 +468,8 @@ class DynamicCover:
             for owner, own in cover._own.items()
             for element in bits_of(own)
         }
+        if needs_remap:
+            cover._remap_onto(path, root)
         try:
             cover.verify()
         except AssertionError as exc:
@@ -456,6 +477,41 @@ class DynamicCover:
                 f"checkpoint {path} describes an invalid cover state: {exc}"
             ) from exc
         return cover
+
+    def _remap_onto(self, path: Path, root: "str | Path") -> None:
+        """Renumber this cover's ids onto a compacted ``root`` — verified.
+
+        A compaction keeps live rows in view order (stable ids ascend in
+        view order), so the repository's ``k``-th row must carry exactly
+        the mask of the checkpoint's ``k``-th live id.  Every row is
+        compared before any id moves; any difference means the chain
+        moved by mutation, not (only) compaction, and the remap refuses.
+        """
+        from repro.setsystem.deltas import open_repository
+
+        old_ids = sorted(self._rows)
+        with open_repository(root) as repo:
+            new_ids = list(getattr(repo, "stable_ids", None) or range(repo.m))
+            masks = list(repo.iter_row_masks())
+        if len(new_ids) != len(old_ids) or any(
+            self._rows[old] != mask for old, mask in zip(old_ids, masks)
+        ):
+            raise StaleCheckpointError(
+                f"checkpoint {path} cannot be remapped onto {root}: the "
+                f"repository's {len(new_ids)} row(s) do not match the "
+                f"checkpoint's {len(old_ids)} live row(s) — the chain "
+                "moved by mutation, not just compaction; rebuild from "
+                "the repository instead"
+            )
+        mapping = dict(zip(old_ids, new_ids))
+        self._rows = {mapping[k]: v for k, v in self._rows.items()}
+        self._own = {mapping[k]: v for k, v in self._own.items()}
+        self._level = {mapping[k]: v for k, v in self._level.items()}
+        self._assign = {
+            element: mapping[owner]
+            for element, owner in self._assign.items()
+        }
+        self._top = (max(new_ids) + 1) if new_ids else 0
 
     # ------------------------------------------------------------------
     # internals

@@ -66,6 +66,7 @@ from repro.engine.transport import (
     TRANSPORTS,
     ProcessScanExecutor,
     RemoteScanExecutor,
+    StaleRepositoryError,
     ScanExecutor,
     SerialScanExecutor,
     ThreadScanExecutor,
@@ -89,6 +90,7 @@ __all__ = [
     "FaultLog",
     "ProcessScanExecutor",
     "RemoteScanExecutor",
+    "StaleRepositoryError",
     "ReorderWindow",
     "RetryPolicy",
     "ScanExecutor",

@@ -32,6 +32,7 @@ from repro.engine.transport.process import (
 )
 from repro.engine.transport.remote import (
     RemoteScanExecutor,
+    StaleRepositoryError,
     WorkerFaultError,
     WorkerServer,
     ping_worker,
@@ -50,6 +51,7 @@ from repro.engine.transport.thread import (
 __all__ = [
     "ProcessScanExecutor",
     "RemoteScanExecutor",
+    "StaleRepositoryError",
     "ScanExecutor",
     "SerialScanExecutor",
     "ThreadScanExecutor",

@@ -88,6 +88,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RemoteScanExecutor",
+    "StaleRepositoryError",
     "WorkerFaultError",
     "WorkerServer",
     "manifest_token",
@@ -147,6 +148,21 @@ class WorkerFaultError(RuntimeError):
     attempts (with the default fail-loud policy: on the first fault), or
     when every worker is lost and local fallback is disabled.  The
     message names the worker and the last fault.
+    """
+
+
+class StaleRepositoryError(ProtocolError):
+    """The generation the driver is scanning is gone from the worker's disk.
+
+    Raised worker-side when a scan request's manifest token neither hits
+    the repository cache nor matches what the worker reads from disk —
+    the repository was rewritten (almost always: compacted) after the
+    driver opened it.  The condition is *retriable*, not fatal: another
+    worker may still hold that generation open, and the driver itself
+    always can (its ``mmap`` pins the old family), so the driver
+    re-dispatches or salvages the batch locally instead of aborting.
+    The worker reports it as an ``error`` reply tagged
+    ``kind="stale-repository"`` and keeps the connection.
     """
 
 
@@ -317,6 +333,11 @@ class WorkerServer:
         self._repos: dict = {}
         self._repo_refs: dict = {}
         self._repo_doomed: set = set()
+        # Eviction counters, reported in every `done` and `pong` reply so
+        # drivers (and tests) can see cache churn without guessing:
+        # "stale" = a superseded generation swept on first sight of its
+        # successor, "overflow" = capacity pressure.
+        self._evictions = {"stale": 0, "overflow": 0}
         self._repo_lock = threading.Lock()
         self._stopped = threading.Event()
         self._thread: "threading.Thread | None" = None
@@ -382,6 +403,19 @@ class WorkerServer:
 
     # -- request handling -----------------------------------------------
     def _open_repository(self, path_text: str, token):
+        """Resolve one scan request to an open repository, cache-first.
+
+        The cache is consulted **before** the disk: an entry keyed by
+        the driver's exact ``(path, token)`` serves even after the
+        on-disk repository was compacted underneath it — the entry's
+        ``mmap`` pins the old family, so a driver mid-fleet keeps
+        getting bit-identical answers for the generation it opened.
+        Only a cache *miss* consults the disk; a disk token that
+        disagrees with the driver's raises the retriable
+        :class:`StaleRepositoryError` (never evicting entries other
+        drivers may still be scanning), while an agreeing one opens
+        fresh and precisely sweeps the now-superseded same-path entries.
+        """
         resolved = Path(path_text)
         if not resolved.is_absolute():
             resolved = self.root / resolved
@@ -391,43 +425,94 @@ class WorkerServer:
                 f"repository {path_text!r} is outside the serving root "
                 f"{self.root}"
             )
-        observed = manifest_token(resolved)
-        if list(token) != observed:
-            raise ProtocolError(
-                f"manifest token mismatch for {path_text!r}: driver sent "
-                f"{list(token)}, worker sees {observed} — driver and worker "
-                "are not looking at the same repository"
-            )
-        key = (str(resolved), tuple(observed))
+        try:
+            key = (str(resolved), tuple(int(part) for part in token))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed manifest token {token!r}") from exc
         with self._repo_lock:
             repo = self._repos.get(key)
-            if repo is None:
-                from repro.setsystem.shards import ShardedRepository
-
-                for stale in [k for k in self._repos if k[0] == str(resolved)]:
-                    self._evict_locked(stale)
-                # Evict exactly the overflow count of *live* entries: a
-                # doomed-but-busy entry stays in the dict until released
-                # (it is already as evicted as it can get), so re-checking
-                # len() here would doom the whole hot working set.
-                excess = (
-                    len(self._repos) - len(self._repo_doomed)
-                    - _SERVER_REPO_CACHE + 1
-                )
-                for victim in list(self._repos):
-                    if excess <= 0:
-                        break
-                    if victim in self._repo_doomed:
-                        continue
-                    self._evict_locked(victim)
-                    excess -= 1
-                repo = ShardedRepository(resolved)
-                self._repos[key] = repo
-                self._repo_refs.setdefault(key, 0)
-            else:
+            if repo is not None:
                 self._repo_doomed.discard(key)  # hot again: cancel eviction
+                self._repo_refs[key] += 1
+                return key, repo
+        observed = manifest_token(resolved)
+        if list(key[1]) != observed:
+            raise StaleRepositoryError(
+                f"manifest token mismatch for {path_text!r}: driver sent "
+                f"{list(key[1])}, worker sees {observed} — the repository "
+                "was rewritten (likely compacted) after the driver opened "
+                "it; re-open and re-dispatch"
+            )
+        from repro.setsystem.durability import COMPACT_INTENT_NAME
+        from repro.setsystem.shards import (
+            InterruptedCompactionError,
+            PendingDeltaError,
+            RepositoryBusyError,
+            ShardedRepository,
+        )
+
+        try:
+            fresh = ShardedRepository(resolved)
+        except (
+            InterruptedCompactionError, PendingDeltaError,
+            RepositoryBusyError,
+        ) as exc:
+            raise StaleRepositoryError(
+                f"repository {path_text!r} is mid-maintenance on the "
+                f"worker ({exc}); re-open and re-dispatch"
+            ) from exc
+        # Seqlock-style validation (same discipline as open_repository):
+        # the manifest read and the shard mmaps are not atomic, so a
+        # compaction swinging in between could hand us old-manifest/
+        # new-data hybrids.  A swing always moves data files before the
+        # manifest and unlinks its intent after, so re-checking both
+        # detects any overlap.
+        if (
+            manifest_token(resolved) != observed
+            or (resolved / COMPACT_INTENT_NAME).exists()
+        ):
+            fresh.close()
+            raise StaleRepositoryError(
+                f"repository {path_text!r} was compacted while the worker "
+                "opened it; re-open and re-dispatch"
+            )
+        with self._repo_lock:
+            repo = self._repos.get(key)
+            if repo is not None:  # another connection raced us to it
+                fresh.close()
+                self._repo_doomed.discard(key)
+                self._repo_refs[key] += 1
+                return key, repo
+            # Precise stale sweep: same path, different token — those
+            # entries describe generations this disk no longer carries.
+            # (On the StaleRepositoryError paths above nothing is swept:
+            # a cached old generation may still be serving its driver.)
+            for stale in [
+                k for k in self._repos
+                if k[0] == str(resolved) and k != key
+            ]:
+                self._evict_locked(stale)
+                self._evictions["stale"] += 1
+            # Evict exactly the overflow count of *live* entries: a
+            # doomed-but-busy entry stays in the dict until released
+            # (it is already as evicted as it can get), so re-checking
+            # len() here would doom the whole hot working set.
+            excess = (
+                len(self._repos) - len(self._repo_doomed)
+                - _SERVER_REPO_CACHE + 1
+            )
+            for victim in list(self._repos):
+                if excess <= 0:
+                    break
+                if victim in self._repo_doomed:
+                    continue
+                self._evict_locked(victim)
+                self._evictions["overflow"] += 1
+                excess -= 1
+            self._repos[key] = fresh
+            self._repo_refs.setdefault(key, 0)
             self._repo_refs[key] += 1
-        return key, repo
+        return key, fresh
 
     def _evict_locked(self, key) -> None:
         """Drop a cache entry; close now if idle, else on last release.
@@ -483,9 +568,24 @@ class WorkerServer:
                         return  # driver went away between requests: normal
                     op = request.get("op")
                     if op == "ping":
-                        send_json(conn, {"op": "pong"})
+                        with self._repo_lock:
+                            evictions = dict(self._evictions)
+                        send_json(
+                            conn, {"op": "pong", "evictions": evictions}
+                        )
                     elif op == "scan":
-                        self._handle_scan(conn, request)
+                        try:
+                            self._handle_scan(conn, request)
+                        except StaleRepositoryError as exc:
+                            # Retriable, and raised before any result
+                            # frame (the request is fully consumed), so
+                            # the connection stays in sync: report the
+                            # typed error and keep serving.
+                            send_json(conn, {
+                                "op": "error",
+                                "kind": "stale-repository",
+                                "message": str(exc),
+                            })
                     else:
                         raise ProtocolError(f"unknown op {op!r}")
             except (ProtocolError, ConnectionError, OSError, ValueError) as exc:
@@ -565,7 +665,11 @@ class WorkerServer:
                     send_bytes(conn, _encode_gains(gains))
                 if crash_hook:  # pragma: no cover - dies by design
                     os.kill(os.getpid(), signal.SIGKILL)
-            send_json(conn, {"op": "done", "shards": len(shards)})
+            with self._repo_lock:
+                evictions = dict(self._evictions)
+            send_json(conn, {
+                "op": "done", "shards": len(shards), "evictions": evictions,
+            })
         finally:
             self._release_repository(key)
 
@@ -671,14 +775,23 @@ class _LaneFault(Exception):
 
 
 class _Batch:
-    """One planned unit of re-dispatchable work (a list of shard ids)."""
+    """One planned unit of re-dispatchable work (a list of shard ids).
 
-    __slots__ = ("index", "shards", "attempts")
+    ``stale_workers`` collects workers that reported the repository
+    generation stale for this batch — a retriable condition tracked
+    separately from ``attempts`` (staleness is the repository moving,
+    not the worker failing).  Once every rostered worker is in the set
+    the driver stops re-dispatching and salvages the batch locally
+    through its own open handle.
+    """
+
+    __slots__ = ("index", "shards", "attempts", "stale_workers")
 
     def __init__(self, index: int, shards):
         self.index = index
         self.shards = list(shards)
         self.attempts = 0
+        self.stale_workers: set = set()
 
 
 class _WorkerHealth:
@@ -705,12 +818,42 @@ class _ScanState:
         self.stop = threading.Event()
         self.results: "queue.Queue[tuple]" = queue.Queue()
         self.work: "queue.Queue[_Batch]" = queue.Queue()
+        #: Workers participating in this scan — the denominator for the
+        #: "every worker reports this batch's generation stale" check.
+        self.roster: set = set()
         self._lock = threading.Lock()
         self._delivered: set = set()
         self._batches = len(batches)
         self._done_batches = 0
+        self._exited: set = set()
+        self._stale_queued: set = set()
         for batch in batches:
             self.work.put(batch)
+
+    def mark_stale(self, batch: _Batch, worker) -> bool:
+        """Record one stale-repository report against ``batch``.
+
+        Returns ``True`` when the batch is (or already was) handed to
+        the driver for local salvage — exactly once, even when several
+        lanes report concurrently — which happens as soon as every
+        *still-running* rostered lane has reported the batch stale.
+        ``False`` means the caller should requeue the batch for the
+        remaining workers.
+        """
+        with self._lock:
+            batch.stale_workers.add(worker)
+            if batch.index in self._stale_queued:
+                return True
+            if self.roster - self._exited <= batch.stale_workers:
+                self._stale_queued.add(batch.index)
+                self.results.put(("stale", batch))
+                return True
+            return False
+
+    def note_exit(self, worker) -> None:
+        """A lane is gone: stop counting it toward the stale quorum."""
+        with self._lock:
+            self._exited.add(worker)
 
     def take(self, timeout: float):
         try:
@@ -795,9 +938,33 @@ class _WorkerLane(threading.Thread):
                 if not todo:
                     state.batch_done(batch)
                     continue
+                if self.worker in batch.stale_workers:
+                    # This worker already proved it cannot serve the
+                    # batch's generation; hand it back for a peer that
+                    # may still hold it cached, without burning a lap.
+                    # (mark_stale re-checks the quorum in case the
+                    # missing reporters have since exited.)
+                    if not state.mark_stale(batch, self.worker):
+                        state.requeue(batch)
+                        state.stop.wait(0.05)
+                    continue
                 try:
                     self._run_batch(todo)
                 except _LaneFault as fault:
+                    if fault.kind == "stale-repository":
+                        # The repository moved, not the worker failing:
+                        # the connection is healthy (the worker kept
+                        # it), so no close, no attempt burned, no health
+                        # strike.  Re-dispatch until every rostered
+                        # worker has reported stale, then hand the batch
+                        # to the driver for local salvage.
+                        executor.fault_log.record(
+                            fault.kind, self.worker, fault.detail,
+                            batch=tuple(todo),
+                        )
+                        if not state.mark_stale(batch, self.worker):
+                            state.requeue(batch)
+                        continue
                     self._close()
                     if state.stop.is_set():
                         return  # scan abandoned: not a fault, just exit
@@ -835,6 +1002,7 @@ class _WorkerLane(threading.Thread):
                     last_beat = time.monotonic()
         finally:
             self._close()
+            state.note_exit(self.worker)
             state.results.put(("lane_exit", self.worker))
 
     # -- one batch ------------------------------------------------------
@@ -861,6 +1029,10 @@ class _WorkerLane(threading.Thread):
                 message = recv_json(sock)
                 op = message.get("op")
                 if op == "error":
+                    if message.get("kind") == "stale-repository":
+                        raise _LaneFault(
+                            "stale-repository", str(message.get("message"))
+                        )
                     raise _LaneFault("scan", str(message.get("message")))
                 if op == "done":
                     raise ProtocolError(
@@ -1170,10 +1342,21 @@ class RemoteScanExecutor(ScanExecutor):
         if count == 0:
             return
         policy = self.retry
+        # The token names the generation the driver actually has open —
+        # ShardedRepository captures it from the manifest bytes at open —
+        # so a compaction that rewrites the disk mid-fleet surfaces as a
+        # typed stale-repository condition, never as silently-different
+        # scan results.  (Fallback to the on-disk token for repository
+        # objects predating the attribute.)
+        open_token = getattr(repository, "token", None)
         request = {
             "op": "scan",
             "path": str(Path(repository.path).resolve()),
-            "token": manifest_token(repository.path),
+            "token": (
+                list(open_token)
+                if open_token is not None
+                else manifest_token(repository.path)
+            ),
             "n": repository.n,
             "min_capture_gain": min_capture_gain,
             "capture_ids": (
@@ -1195,6 +1378,7 @@ class RemoteScanExecutor(ScanExecutor):
         ]
         state = _ScanState(count, batches)
         roster = self._roster()
+        state.roster = set(roster)
         preconnected: dict = {}
         if not policy.enabled:
             # Fail-loud contract: connect to every worker before any
@@ -1226,6 +1410,30 @@ class RemoteScanExecutor(ScanExecutor):
                     yield from window.pop_ready()
                 elif kind == "fatal":
                     self._raise_fatal(payload)
+                elif kind == "stale":
+                    # Every rostered worker reports this batch's
+                    # generation gone from its disk and cache.  The
+                    # driver's own handle still pins the old family, so
+                    # salvage the remainder locally — delivered through
+                    # the same ledger + reorder window, so results stay
+                    # bit-identical and nothing is re-dispatched.
+                    batch = payload
+                    todo = state.todo(batch)
+                    self.fault_log.record(
+                        "stale-salvage", "driver",
+                        "every worker reports the repository stale "
+                        f"(compacted mid-scan); scanning {len(todo)} "
+                        "shard(s) locally through the driver's open "
+                        "handle",
+                        batch=tuple(todo),
+                    )
+                    for shard, item in self._scan_locally(
+                        repository, todo, mask_int, min_capture_gain,
+                        capture_ids, best_only, include_gains,
+                        accept_threshold,
+                    ):
+                        state.deliver(shard, item)
+                    state.batch_done(batch)
                 else:  # lane_exit
                     alive -= 1
                     if alive:

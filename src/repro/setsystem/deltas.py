@@ -73,20 +73,28 @@ from __future__ import annotations
 
 import json
 import shutil
+import time
 import zlib
 from collections.abc import Iterable, Iterator
 from operator import index
 from pathlib import Path
 
 from repro.setsystem.durability import (
+    COMPACT_INTENT_NAME,
+    GenerationLease,
     RepositoryLock,
     complete_compaction,
     crashpoint,
+    current_epoch,
     durable_write_text,
     fsync_dir,
     read_compact_intent,
+    reclaim_retired,
     recover_compaction,
+    StagingLock,
     staging_dir_for,
+    staging_is_live,
+    staging_lock_for,
     write_compact_intent,
 )
 from repro.setsystem.packed import ScanMask, scan_chunk
@@ -96,7 +104,9 @@ from repro.setsystem.shards import (
     DELTA_MANIFEST_NAME,
     DELTAS_DIRNAME,
     MANIFEST_NAME,
+    InterruptedCompactionError,
     PendingDeltaError,
+    RepositoryBusyError,
     ShardedRepository,
     ShardFormatError,
     ShardWriter,
@@ -542,6 +552,9 @@ class MergedShardView:
         self._row_bytes = self.words * _WORD_BYTES
         self._stats_cache: "dict[int, dict]" = {}
         self._closed = False
+        #: Content token of the base manifest bytes this view was built
+        #: from — the swing detector :func:`open_repository` rechecks.
+        self.token = base.token
 
     # -- geometry ------------------------------------------------------
     @property
@@ -760,11 +773,24 @@ class MergedShardView:
             gen.repo.validate()
 
     def close(self) -> None:
-        """Release the base and every generation repository (idempotent)."""
+        """Release the base and every generation repository (idempotent).
+
+        Also releases the generation lease :func:`open_repository`
+        attached (if any) and opportunistically reclaims retired
+        generations the drained lease was the last to cover.
+        """
         self.base.close()
         for gen in self.generations:
             gen.repo.close()
         self._closed = True
+        lease = getattr(self, "_lease", None)
+        if lease is not None:
+            self._lease = None
+            lease.release()
+            try:
+                reclaim_retired(self.path)
+            except OSError:  # pragma: no cover - reclaim is best-effort
+                pass
 
     def __enter__(self) -> "MergedShardView":
         return self
@@ -801,14 +827,82 @@ def open_repository(
     written only once the staged rewrite is complete, so recovery rolls
     the compaction **forward**
     (:func:`repro.setsystem.durability.recover_compaction`) and the
-    open proceeds on the post-compaction repository.  A compactor still
-    live (holding the advisory lock) surfaces as
-    :class:`~repro.setsystem.shards.RepositoryBusyError` instead.
+    open proceeds on the post-compaction repository.
+
+    Two live-repository guarantees (DESIGN.md §13) are implemented here:
+
+    * **Generation lease** — before the manifest is read, the reader
+      registers a :class:`~repro.setsystem.durability.GenerationLease`
+      at the current epoch, so an online compaction that supersedes this
+      generation parks the old files (``<root>.retired/<epoch>``)
+      instead of deleting them until this handle closes.  The lease is
+      attached to the returned handle and released by its ``close()``.
+    * **Swing detection** — an online compaction's critical section is
+      bracketed by the intent journal (written before the first rename,
+      unlinked after the last), and the manifest is swapped *after*
+      every data file.  So after constructing the handle the open
+      re-reads the manifest bytes and checks no intent is present: if
+      either check fails, a swing overlapped the open and the handle is
+      torn down and retried — the retry lands on a fully-swung,
+      consistent family.  A compactor holding the lock mid-swing
+      surfaces as a short retry too, so readers never crash on a
+      healthy concurrent compaction.
     """
-    recover_compaction(path)
-    if pending_delta_generations(path):
-        return MergedShardView(path, verify=verify)
-    return ShardedRepository(path, verify=verify)
+    root = Path(path)
+    last_error: "Exception | None" = None
+    for attempt in range(60):
+        if attempt:
+            time.sleep(0.01)
+        try:
+            recover_compaction(root)
+        except RepositoryBusyError as exc:
+            last_error = exc  # a live compactor is mid-swing; wait it out
+            continue
+        lease = GenerationLease(root).acquire() if root.is_dir() else None
+        try:
+            if pending_delta_generations(root):
+                view = MergedShardView(root, verify=verify)
+            else:
+                view = ShardedRepository(root, verify=verify)
+        except (InterruptedCompactionError, PendingDeltaError) as exc:
+            # An intent or a fresh delta generation appeared between the
+            # recovery pass and the construction: state moved under us,
+            # re-resolve from the top.
+            if lease is not None:
+                lease.release()
+            last_error = exc
+            continue
+        except (ShardFormatError, OSError) as exc:
+            if lease is not None:
+                lease.release()
+            if (root / COMPACT_INTENT_NAME).is_file():
+                # Mid-swing: files are a transient old/new mix that the
+                # intent journal will resolve.  Not corruption — retry.
+                last_error = exc
+                continue
+            raise
+        # Seqlock-style validation: if an online swing overlapped the
+        # construction, either its intent is still present or it already
+        # swapped the manifest (data files move first, manifest last,
+        # intent unlinked after that) — both detectable here.
+        try:
+            raw = (root / MANIFEST_NAME).read_bytes()
+        except OSError:
+            raw = b""
+        if (
+            [len(raw), zlib.crc32(raw)] != view.token
+            or (root / COMPACT_INTENT_NAME).is_file()
+        ):
+            view.close()
+            if lease is not None:
+                lease.release()
+            last_error = None
+            continue
+        view._lease = lease
+        return view
+    raise last_error or RepositoryBusyError(
+        f"{root} kept swinging under concurrent compactions; retry"
+    )
 
 
 def chain_token(path: "str | Path") -> "list[list[int]]":
@@ -838,11 +932,28 @@ def chain_token(path: "str | Path") -> "list[list[int]]":
 # ----------------------------------------------------------------------
 # Batch mutation + compaction
 # ----------------------------------------------------------------------
-def _refuse_stale_staging(root: Path, force: bool, operation: str) -> None:
-    """Refuse (or, with ``force``, discard) a stale staging directory."""
+def _refuse_stale_staging(
+    root: Path, force: bool, operation: str, live_ok: bool = False
+) -> None:
+    """Refuse (or, with ``force``, discard) a stale staging directory.
+
+    A staging directory whose :class:`StagingLock` is currently held
+    belongs to a *live* online compactor, not a crashed one: callers
+    that can safely proceed alongside it (``apply_delta`` — the
+    compactor will notice the chain moved and restage) pass
+    ``live_ok=True``; everyone else gets :class:`RepositoryBusyError`
+    instead of a destructive ``force`` discard.
+    """
     staging = staging_dir_for(root)
     if not staging.exists():
         return
+    if staging_is_live(root):
+        if live_ok:
+            return
+        raise RepositoryBusyError(
+            f"cannot {operation} {root}: an online compaction is staging "
+            f"({staging.name} is live); retry when it finishes"
+        )
     if not force:
         raise StaleStagingError(
             f"cannot {operation} {root}: stale staging directory "
@@ -852,6 +963,10 @@ def _refuse_stale_staging(root: Path, force: bool, operation: str) -> None:
             "--repair`, to discard it."
         )
     shutil.rmtree(staging)
+    try:
+        staging_lock_for(root).unlink()
+    except OSError:
+        pass
 
 
 def apply_delta(
@@ -878,7 +993,7 @@ def apply_delta(
     """
     root = Path(root)
     recover_compaction(root)
-    _refuse_stale_staging(root, force, "apply a delta to")
+    _refuse_stale_staging(root, force, "apply a delta to", live_ok=True)
     inserted = 0
     with DeltaShardWriter(
         root, chunk_rows=chunk_rows, encoding=encoding
@@ -913,6 +1028,7 @@ def compact(
     chunk_rows: "int | None" = None,
     encoding: "str | None" = None,
     force: bool = False,
+    online: bool = False,
 ) -> Path:
     """Rewrite a repository's merged view as a clean single generation.
 
@@ -950,8 +1066,28 @@ def compact(
     is returned unchanged (byte-identical), with ``output`` it is
     rewritten from its rows (still bit-identical for repositories this
     code wrote, since writes are deterministic).
+
+    ``online=True`` (in place only) stages the fold **without holding
+    the lock** — readers and ``apply_delta`` keep working against the
+    live chain the whole time — then takes the lock only for the short
+    *swing* critical section (intent journal + renames).  The superseded
+    generation's files are parked under ``<root>.retired/<epoch>``
+    rather than deleted, and reclaimed only once the last generation
+    lease on that epoch drains (DESIGN.md §13).  A delta that lands
+    while staging is in progress is detected under the lock (the chain
+    token moved) and the fold restages; a concurrent mutator holding
+    the lock at swing time surfaces as
+    :class:`~repro.setsystem.shards.RepositoryBusyError` — the
+    maintenance loop's cue to back off and retry, never a crash.
     """
     root = Path(root)
+    if online:
+        if output is not None:
+            raise ValueError(
+                "compact(online=True) is in-place only; side-output "
+                "compaction never blocks readers in the first place"
+            )
+        return _compact_online(root, chunk_rows, encoding, force)
     recover_compaction(root)
     _refuse_stale_staging(root, force, "compact")
     if output is not None:
@@ -995,3 +1131,93 @@ def compact(
         crashpoint("compact.intent")
         complete_compaction(root, read_compact_intent(root))
     return root
+
+
+def _compact_online(
+    root: Path,
+    chunk_rows: "int | None",
+    encoding: "str | None",
+    force: bool,
+) -> Path:
+    """Stage off to the side, swing under the lock, retire under leases.
+
+    The restage loop is the availability/consistency trade: staging runs
+    lock-free, so a delta generation may land mid-fold.  The chain token
+    captured before staging is re-checked *under the lock* right before
+    the intent journal is written; a moved token discards the staging
+    and refolds the (now longer) chain.  The loop terminates in practice
+    because each restage folds everything the previous one saw; a
+    pathological writer that outruns five folds surfaces as
+    :class:`~repro.setsystem.shards.RepositoryBusyError` for the
+    maintenance loop to back off on.
+    """
+    recover_compaction(root)
+    _refuse_stale_staging(root, force, "compact")
+    staging = staging_dir_for(root)
+    marker = StagingLock(root).acquire()
+    try:
+        for _ in range(5):
+            token_before = chain_token(root) if root.is_dir() else None
+            view = open_repository(root)
+            with view:
+                if isinstance(view, ShardedRepository):
+                    return root  # already a clean single generation
+                if staging.exists():
+                    shutil.rmtree(staging)  # our own superseded attempt
+                rows = (bits_of(mask) for mask in view.iter_row_masks())
+                write_shards(
+                    staging, rows, n=view.n,
+                    chunk_rows=(
+                        chunk_rows
+                        if chunk_rows is not None
+                        else view.chunk_rows
+                    ),
+                    encoding=(
+                        encoding if encoding is not None else view.encoding
+                    ),
+                )
+                old_files = [
+                    str(meta["file"]) for meta in view.base._shard_meta
+                ]
+            old_files.append(MANIFEST_NAME)
+            fsync_dir(root.parent)  # the staging directory's own entry
+            staged_files = [item.name for item in staging.iterdir()]
+            crashpoint("compact.online-staged")
+            lock = RepositoryLock(root, purpose="compact")
+            try:
+                lock.acquire()
+            except RepositoryBusyError:
+                # Contention is a first-class outcome, not a crash: drop
+                # our staging (it may be stale by the time the lock
+                # frees) and let the caller back off and retry.
+                shutil.rmtree(staging, ignore_errors=True)
+                raise
+            try:
+                intent = read_compact_intent(root)
+                if intent is not None:
+                    # A crashed compactor journaled between our recovery
+                    # pass and the acquire: its staged rewrite wins.
+                    # Roll it forward, discard ours, refold what's left.
+                    complete_compaction(root, intent)
+                    shutil.rmtree(staging, ignore_errors=True)
+                    continue
+                if chain_token(root) != token_before:
+                    # A delta landed while we staged: the fold is stale.
+                    shutil.rmtree(staging, ignore_errors=True)
+                    continue
+                epoch = current_epoch(root)
+                write_compact_intent(
+                    root, staged_files, old_files, epoch=epoch
+                )
+                crashpoint("compact.swing")
+                complete_compaction(root, read_compact_intent(root))
+            finally:
+                lock.release()
+            reclaim_retired(root)
+            return root
+        raise RepositoryBusyError(
+            f"online compaction of {root} was outrun by concurrent deltas "
+            "5 times; retry when the churn quiets down"
+        )
+    finally:
+        marker.release()

@@ -65,9 +65,12 @@ faults, seeded/named injection, loud-or-correct:
 from __future__ import annotations
 
 import errno
+import itertools
 import json
 import os
+import shutil
 import sys
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -85,19 +88,32 @@ __all__ = [
     "COMPACT_INTENT_SCHEMA",
     "COMPACT_STAGING_SUFFIX",
     "DURABILITY_ENV",
+    "EPOCH_FILE_NAME",
+    "LEASES_SUFFIX",
+    "LEASE_SCHEMA",
     "LOCK_FILE_NAME",
+    "RETIRED_SUFFIX",
     "Finding",
     "FsckReport",
+    "GenerationLease",
     "RepositoryLock",
+    "StagingLock",
+    "active_leases",
     "crashpoint",
+    "current_epoch",
     "durable_write_bytes",
     "durable_write_text",
     "fsck_repository",
     "fsync_dir",
     "fsync_file",
+    "leases_dir_for",
     "read_compact_intent",
+    "reclaim_retired",
     "recover_compaction",
+    "retired_dir_for",
     "staging_dir_for",
+    "staging_is_live",
+    "staging_lock_for",
     "write_compact_intent",
 ]
 
@@ -130,6 +146,12 @@ CRASHPOINTS = (
     "compact.intent",
     "compact.shards-moved",
     "compact.manifest",
+    # compact(online=True): staged without the lock, the swing critical
+    # section (post-intent), the retire tail, and the lease-drain reclaim
+    "compact.online-staged",
+    "compact.swing",
+    "compact.retire",
+    "lease.drain",
     # DynamicCover.checkpoint(): staged checkpoint not yet swapped in
     "checkpoint.staged",
 )
@@ -145,6 +167,23 @@ COMPACT_STAGING_SUFFIX = ".compact-tmp"
 
 #: Advisory lock file name inside a repository root.
 LOCK_FILE_NAME = ".repro-lock"
+
+#: Suffix of the sibling lease directory ``<root><suffix>`` where
+#: readers register generation leases (plus the ``epoch`` counter file).
+#: Live-state is *sibling* state by design: the repository root itself
+#: stays byte-identical to a never-leased, never-online-compacted one.
+LEASES_SUFFIX = ".leases"
+
+#: Suffix of the sibling retirement directory ``<root><suffix>`` where
+#: an online compaction parks the superseded generation's files until
+#: the last lease on that epoch drains.
+RETIRED_SUFFIX = ".retired"
+
+#: Name of the epoch counter file inside the lease directory.
+EPOCH_FILE_NAME = "epoch"
+
+#: Schema tag stamped into every lease file.
+LEASE_SCHEMA = "repro.lease/v1"
 
 
 # ----------------------------------------------------------------------
@@ -259,6 +298,12 @@ def durable_write_text(path: "str | Path", text: str) -> None:
 # ----------------------------------------------------------------------
 # Advisory repository lock
 # ----------------------------------------------------------------------
+#: One warning per process when fcntl is unavailable: mutual exclusion
+#: silently degrading to a no-op is exactly the kind of thing users must
+#: learn about once, not discover from a corrupted chain.
+_warned_no_fcntl = False
+
+
 class RepositoryLock:
     """Advisory exclusive lock on a repository root (``fcntl``-based).
 
@@ -293,7 +338,18 @@ class RepositoryLock:
     def acquire(self) -> "RepositoryLock":
         from repro.setsystem.shards import RepositoryBusyError
 
-        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        if fcntl is None:
+            global _warned_no_fcntl
+            if not _warned_no_fcntl:
+                _warned_no_fcntl = True
+                warnings.warn(
+                    "fcntl is unavailable on this platform: repository "
+                    "locking degrades to a no-op, so concurrent writers "
+                    "and compactors are NOT mutually excluded — corruption "
+                    "from interleaved mutators will not be prevented",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return self
         if self._fd is not None:
             raise RepositoryBusyError(f"lock on {self.root} is already held")
@@ -307,9 +363,20 @@ class RepositoryLock:
                 fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
             except OSError:
                 os.close(fd)
+                # Best-effort holder identification: the winner writes
+                # "pid=... purpose=..." into the lock file right after
+                # flock succeeds, so contenders can name it.
+                try:
+                    holder = self.path.read_text().strip()
+                except OSError:
+                    holder = ""
+                held_by = (
+                    f"held by {holder}" if holder
+                    else f"{self.path.name} held"
+                )
                 raise RepositoryBusyError(
                     f"{self.root} is locked by another writer or compactor "
-                    f"({self.path.name} held); retry when it finishes"
+                    f"({held_by}); retry when it finishes"
                 ) from None
             # Guard the unlink-on-release race: if the path no longer
             # names the inode we locked, a previous holder released and
@@ -323,9 +390,17 @@ class RepositoryLock:
             if os.fstat(fd).st_ino != current.st_ino:
                 os.close(fd)
                 continue
+            try:
+                os.ftruncate(fd, 0)
+                os.write(
+                    fd,
+                    f"pid={os.getpid()} purpose={self.purpose}\n".encode(),
+                )
+            except OSError:  # pragma: no cover - metadata is best-effort
+                pass
             self._fd = fd
             return self
-        raise RepositoryBusyError(  # pragma: no cover - needs a live race
+        raise RepositoryBusyError(
             f"could not acquire the lock on {self.root} after 16 attempts"
         )
 
@@ -347,12 +422,282 @@ class RepositoryLock:
 
 
 # ----------------------------------------------------------------------
+# Generation leases + epoch-counted retirement (online compaction)
+# ----------------------------------------------------------------------
+def leases_dir_for(root: "str | Path") -> Path:
+    """The sibling directory holding reader leases + the epoch counter."""
+    root = Path(root)
+    return root.parent / (root.name + LEASES_SUFFIX)
+
+
+def retired_dir_for(root: "str | Path", epoch: "int | None" = None) -> Path:
+    """The sibling retirement directory (or one epoch's subdirectory)."""
+    root = Path(root)
+    base = root.parent / (root.name + RETIRED_SUFFIX)
+    return base if epoch is None else base / f"{int(epoch):05d}"
+
+
+def current_epoch(root: "str | Path") -> int:
+    """The repository's generation epoch (0 until an online compact).
+
+    Bumped durably by each completed *online* compaction; a lease taken
+    at epoch ``E`` guarantees the files retired *by* the compaction that
+    supersedes ``E`` (parked under ``<root>.retired/<E>``) survive until
+    the lease drains.
+    """
+    path = leases_dir_for(root) / EPOCH_FILE_NAME
+    try:
+        return int(path.read_text().strip())
+    except (OSError, ValueError):
+        return 0
+
+
+def _advance_epoch(root: "str | Path", epoch: int) -> None:
+    """Durably record ``epoch`` as the current one (idempotent, monotonic)."""
+    if current_epoch(root) >= epoch:
+        return
+    directory = leases_dir_for(root)
+    directory.mkdir(parents=True, exist_ok=True)
+    durable_write_text(directory / EPOCH_FILE_NAME, f"{epoch}\n")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign-uid holder
+        return True
+    except OSError:  # pragma: no cover - platform oddities
+        return False
+    return True
+
+
+class GenerationLease:
+    """One reader's registered claim on a repository generation.
+
+    Taken by :func:`~repro.setsystem.deltas.open_repository` *before* the
+    manifest is read (so the recorded epoch never exceeds the epoch of
+    the family actually opened) and released by the handle's ``close()``.
+    A lease is a tiny JSON file in the sibling ``<root>.leases/``
+    directory naming ``{epoch, pid}``; :func:`reclaim_retired` treats the
+    minimum epoch across live-pid leases as the reclaim floor, so a
+    superseded generation's files are deleted only once the last handle
+    that could be reading them is gone — never under a live ``mmap``.
+
+    Crash-tolerant by construction: a lease whose pid no longer exists
+    is pruned by the next reclaim (or by ``fsck``), so a SIGKILLed
+    reader delays reclamation, it never wedges it.
+    """
+
+    _seq = itertools.count()
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.epoch: "int | None" = None
+        self.path: "Path | None" = None
+
+    @property
+    def held(self) -> bool:
+        return self.path is not None
+
+    def acquire(self) -> "GenerationLease":
+        if self.path is not None:
+            return self
+        self.epoch = current_epoch(self.root)
+        directory = leases_dir_for(self.root)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / (
+            f"{self.epoch:05d}-{os.getpid()}-{next(self._seq):06d}.json"
+        )
+        record = {
+            "schema": LEASE_SCHEMA,
+            "epoch": self.epoch,
+            "pid": os.getpid(),
+        }
+        path.write_text(json.dumps(record, sort_keys=True) + "\n")
+        self.path = path
+        return self
+
+    def release(self) -> None:
+        if self.path is None:
+            return
+        try:
+            self.path.unlink()
+        except OSError:  # pragma: no cover - foreign cleanup
+            pass
+        self.path = None
+
+    def __enter__(self) -> "GenerationLease":
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+def active_leases(root: "str | Path", prune: bool = False) -> "list[dict]":
+    """Live-pid leases on a repository (``{path, epoch, pid}`` each).
+
+    Malformed lease files and leases whose holder pid is gone are
+    skipped; with ``prune=True`` they are unlinked too (the self-healing
+    half — a crashed reader must delay reclamation, not wedge it).
+    """
+    directory = leases_dir_for(root)
+    if not directory.is_dir():
+        return []
+    leases: "list[dict]" = []
+    for child in sorted(directory.iterdir()):
+        if child.name == EPOCH_FILE_NAME or not child.is_file():
+            continue
+        try:
+            record = json.loads(child.read_text())
+            epoch = int(record["epoch"])
+            pid = int(record["pid"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                ValueError):
+            # Unreadable mid-release or malformed: never count it as a
+            # live claim.
+            if prune:
+                child.unlink(missing_ok=True)
+            continue
+        if not _pid_alive(pid):
+            if prune:
+                child.unlink(missing_ok=True)
+            continue
+        leases.append({"path": str(child), "epoch": epoch, "pid": pid})
+    return leases
+
+
+def reclaim_retired(root: "str | Path") -> "list[str]":
+    """Remove retired generation dirs no live lease can still reference.
+
+    The reclaim floor is the minimum epoch across live-pid leases: a
+    reader holding epoch ``E`` may still be scanning the files parked in
+    ``retired/<E>`` (path-based access during its open), so only strictly
+    older epochs are deleted.  Called best-effort after every lease
+    release and by ``fsck --repair``; returns the epoch names removed.
+    """
+    root = Path(root)
+    retired_root = retired_dir_for(root)
+    if not retired_root.is_dir():
+        return []
+    leases = active_leases(root, prune=True)
+    floor = min((lease["epoch"] for lease in leases), default=None)
+    removed: "list[str]" = []
+    for child in sorted(retired_root.iterdir()):
+        if not child.is_dir():
+            continue
+        try:
+            epoch = int(child.name)
+        except ValueError:
+            continue
+        if floor is None or epoch < floor:
+            # The commit point of one reclaim step: a crash here leaves
+            # the retired directory fully present — a legal state the
+            # next reclaim (or fsck --repair) resolves.
+            crashpoint("lease.drain")
+            shutil.rmtree(child)
+            removed.append(child.name)
+    if removed:
+        fsync_dir(retired_root)
+    try:
+        retired_root.rmdir()  # only succeeds once empty
+    except OSError:
+        pass
+    return removed
+
+
+# ----------------------------------------------------------------------
 # Compaction intent journal
 # ----------------------------------------------------------------------
 def staging_dir_for(root: "str | Path") -> Path:
     """The sibling staging directory an in-place compaction writes to."""
     root = Path(root)
     return root.parent / (root.name + COMPACT_STAGING_SUFFIX)
+
+
+def staging_lock_for(root: "str | Path") -> Path:
+    """The liveness-marker lock file of an online compactor's staging."""
+    root = Path(root)
+    return root.parent / (root.name + COMPACT_STAGING_SUFFIX + ".lock")
+
+
+class StagingLock:
+    """Liveness marker for an online compactor's lock-free staging phase.
+
+    An *online* compaction stages without the repository lock (that is
+    the availability win), which makes its staging directory look
+    exactly like the crash debris :class:`StaleStagingError` exists to
+    refuse.  The compactor therefore ``flock``-holds this sibling marker
+    for the whole staging window: :func:`staging_is_live` distinguishes
+    "a live compactor is folding right now" (mutators proceed, a second
+    compactor backs off) from "orphaned debris" (refuse / repair).  A
+    crash drops the ``flock`` with the process, so stale markers are
+    self-resolving.
+    """
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.path = staging_lock_for(root)
+        self._fd: "int | None" = None
+
+    def acquire(self) -> "StagingLock":
+        from repro.setsystem.shards import RepositoryBusyError
+
+        if fcntl is None:
+            return self  # the RepositoryLock no-op warning already fired
+        fd = os.open(os.fspath(self.path), os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise RepositoryBusyError(
+                f"{self.root} already has an online compaction staging "
+                f"({self.path.name} held); retry when it finishes"
+            ) from None
+        try:
+            os.ftruncate(fd, 0)
+            os.write(fd, f"pid={os.getpid()} purpose=compact-online\n".encode())
+        except OSError:  # pragma: no cover - metadata is best-effort
+            pass
+        self._fd = fd
+        return self
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        try:
+            self.path.unlink()
+        except OSError:  # pragma: no cover - foreign cleanup
+            pass
+        os.close(self._fd)
+        self._fd = None
+
+    def __enter__(self) -> "StagingLock":
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+def staging_is_live(root: "str | Path") -> bool:
+    """Whether an online compactor currently holds the staging marker."""
+    if fcntl is None:
+        return False
+    path = staging_lock_for(root)
+    try:
+        fd = os.open(os.fspath(path), os.O_RDWR)
+    except OSError:
+        return False
+    try:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            return True  # held: a live compactor is staging
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        return False
+    finally:
+        os.close(fd)
 
 
 def _intent_checksum(record: dict) -> int:
@@ -362,7 +707,10 @@ def _intent_checksum(record: dict) -> int:
 
 
 def write_compact_intent(
-    root: "str | Path", staged_files: "list[str]", old_files: "list[str]"
+    root: "str | Path",
+    staged_files: "list[str]",
+    old_files: "list[str]",
+    epoch: "int | None" = None,
 ) -> Path:
     """Durably journal a compaction about to enter its destructive phase.
 
@@ -373,6 +721,12 @@ def write_compact_intent(
     already moved in" from "the staging directory was lost" — the latter
     must refuse rather than silently keep the old repository while
     destroying its delta chain.
+
+    ``epoch`` marks an *online* compaction: instead of unlinking the
+    superseded files, the roll-forward parks them under
+    ``<root>.retired/<epoch>`` and advances the epoch counter, leaving
+    reclamation to :func:`reclaim_retired` once every lease on that
+    epoch drains.
     """
     from repro.setsystem.shards import MANIFEST_NAME
 
@@ -385,6 +739,8 @@ def write_compact_intent(
         "old_files": sorted(old_files),
         "staged_manifest_crc32": zlib.crc32(staged_manifest.read_bytes()),
     }
+    if epoch is not None:
+        record["epoch"] = int(epoch)
     record["crc32"] = _intent_checksum(record)
     path = root / COMPACT_INTENT_NAME
     durable_write_text(path, json.dumps(record, indent=2) + "\n")
@@ -432,6 +788,15 @@ def complete_compaction(root: "str | Path", intent: dict) -> None:
     are then removed.  Re-running after a crash at any point converges
     on the same final state.
 
+    *Online* intents (those carrying an ``epoch``) never unlink the
+    superseded generation: every pre-compaction file (and the whole
+    ``deltas/`` chain) is parked under ``<root>.retired/<epoch>``
+    instead, because a reader holding a lease on that epoch may still be
+    opening those paths.  Every step is existence-conditional, so a
+    re-run after a crash never retires a freshly-staged file; the final
+    durable step advances the epoch counter so new leases bind to the
+    new generation.
+
     The caller must hold the repository lock.
     """
     from repro.setsystem.shards import (
@@ -449,11 +814,28 @@ def complete_compaction(root: "str | Path", intent: dict) -> None:
     staged_files = [str(name) for name in intent["staged_files"]]
     old_files = [str(name) for name in intent["old_files"]]
     data_files = [name for name in staged_files if name != MANIFEST_NAME]
+    epoch = intent.get("epoch")
+    retired = retired_dir_for(root, epoch) if epoch is not None else None
+    if retired is not None:
+        retired.mkdir(parents=True, exist_ok=True)
+
+    def _retire_or_unlink(live: Path) -> None:
+        if retired is not None:
+            os.replace(live, retired / live.name)
+        else:
+            live.unlink(missing_ok=True)
+
     for name in data_files:
         staged = staging / name
+        live = root / name
         if staged.exists():
-            os.replace(staged, root / name)
-        elif not (root / name).exists():
+            # Retire the superseded file *before* moving the staged one
+            # in; a staged file already consumed by a previous run is
+            # skipped entirely, so a re-run never retires the new file.
+            if retired is not None and live.exists():
+                os.replace(live, retired / name)
+            os.replace(staged, live)
+        elif not live.exists():
             raise ShardFormatError(
                 f"cannot complete the interrupted compaction of {root}: "
                 f"staged file {name} is in neither {staging.name} nor the "
@@ -463,6 +845,8 @@ def complete_compaction(root: "str | Path", intent: dict) -> None:
     staged_manifest = staging / MANIFEST_NAME
     live_manifest = root / MANIFEST_NAME
     if staged_manifest.exists():
+        if retired is not None and live_manifest.exists():
+            os.replace(live_manifest, retired / MANIFEST_NAME)
         os.replace(staged_manifest, live_manifest)
     elif not (
         live_manifest.is_file()
@@ -485,20 +869,28 @@ def complete_compaction(root: "str | Path", intent: dict) -> None:
         )
     fsync_dir(root)
     crashpoint("compact.manifest")
-    # Destructive tail: everything below only removes pre-compaction
+    # Retire/remove tail: everything below only displaces pre-compaction
     # state the new manifest no longer references.
     staged_set = set(staged_files)
     for name in old_files:
-        if name not in staged_set:
-            (root / name).unlink(missing_ok=True)
+        if name not in staged_set and (root / name).exists():
+            _retire_or_unlink(root / name)
     deltas = root / DELTAS_DIRNAME
     if deltas.is_dir():
-        import shutil
-
-        shutil.rmtree(deltas)
+        if retired is not None:
+            # One atomic rename parks the whole chain; a re-run finds
+            # the source gone and skips.
+            os.replace(deltas, retired / DELTAS_DIRNAME)
+        else:
+            shutil.rmtree(deltas)
+    if retired is not None:
+        crashpoint("compact.retire")
+        fsync_dir(retired)
+        # Advance the epoch before dropping the journal, so a crash
+        # in between re-runs this (idempotent) step on recovery and a
+        # new lease can never bind the old epoch to the new family.
+        _advance_epoch(root, int(epoch) + 1)
     if staging.is_dir():
-        import shutil
-
         shutil.rmtree(staging)
     fsync_dir(root.parent)
     (root / COMPACT_INTENT_NAME).unlink(missing_ok=True)
@@ -565,6 +957,9 @@ class FsckReport:
     findings: "list[Finding]" = field(default_factory=list)
     repaired: "list[str]" = field(default_factory=list)
     deep: bool = True
+    #: Tail of the sibling maintenance log (newest last), so one fsck
+    #: surfaces what the self-healing loop last decided and why.
+    maintenance: "list[dict]" = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -588,6 +983,7 @@ class FsckReport:
                 for f in self.findings
             ],
             "repaired": list(self.repaired),
+            "maintenance": list(self.maintenance),
         }
 
 
@@ -898,6 +1294,70 @@ def _fsck_chain(root: Path, findings: "list[Finding]", deep: bool) -> None:
         parent_manifest = manifest_path
 
 
+def _fsck_live_state(root: Path, report: FsckReport, repair: bool) -> None:
+    """Sweep the sibling lease/retired state of the online machinery.
+
+    A lease whose holder pid is gone (or whose file is malformed) is
+    inert debris — :func:`active_leases` never counts it as a live
+    claim, so it cannot wedge reclamation; ``--repair`` prunes it with a
+    note, a plain sweep ignores it (no finding: it self-resolves on the
+    next reclaim pass).  A retired generation directory no *live* lease
+    covers is ``retired-debris`` — legal but unreclaimed, repairable.
+    An active lease and the retired epochs it covers are normal
+    operation, never findings.
+    """
+    directory = leases_dir_for(root)
+    if repair and directory.is_dir():
+        for child in sorted(directory.iterdir()):
+            if child.name == EPOCH_FILE_NAME or not child.is_file():
+                continue
+            reason = None
+            try:
+                record = json.loads(child.read_text())
+                int(record["epoch"])
+                pid = int(record["pid"])
+            except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                    ValueError):
+                reason = "malformed lease file"
+            else:
+                if not _pid_alive(pid):
+                    reason = f"holder pid {pid} is gone"
+            if reason is None:
+                continue
+            child.unlink(missing_ok=True)
+            report.repaired.append(
+                f"pruned the stale lease {child.name} ({reason})"
+            )
+    retired_root = retired_dir_for(root)
+    if not retired_root.is_dir():
+        return
+    if repair:
+        for name in reclaim_retired(root):
+            report.repaired.append(
+                f"reclaimed the retired generation {name} "
+                "(no live lease covers it)"
+            )
+        return
+    leases = active_leases(root)
+    floor = min((lease["epoch"] for lease in leases), default=None)
+    for child in sorted(retired_root.iterdir()):
+        covered = False
+        if child.is_dir():
+            try:
+                covered = floor is not None and int(child.name) >= floor
+            except ValueError:
+                pass
+        if not covered:
+            report.findings.append(
+                Finding(
+                    "retired-debris", str(child),
+                    "superseded generation files with no live lease "
+                    "covering them (repair reclaims them)",
+                    repairable=True,
+                )
+            )
+
+
 def fsck_repository(
     root: "str | Path", repair: bool = False, deep: bool = True
 ) -> FsckReport:
@@ -932,6 +1392,12 @@ def fsck_repository(
 
     root = Path(root)
     report = FsckReport(root=str(root), deep=deep)
+    try:
+        from repro.setsystem.maintenance import read_maintenance_log
+
+        report.maintenance = read_maintenance_log(root, limit=5)
+    except ImportError:  # pragma: no cover - partial installs
+        pass
     if not root.is_dir():
         report.findings.append(
             Finding("missing-repository", str(root), "not a directory")
@@ -968,12 +1434,27 @@ def fsck_repository(
                     "from compact.intent)"
                 )
         staging = staging_dir_for(root)
-        if staging.is_dir() and read_compact_intent(root) is None:
+        if (
+            staging.is_dir()
+            and read_compact_intent(root) is None
+            and not staging_is_live(root)
+        ):
             shutil.rmtree(staging)
             report.repaired.append(
                 f"removed the stale staging directory {staging.name} "
                 "(compaction crashed before its intent journal)"
             )
+        marker = staging_lock_for(root)
+        if marker.exists() and not staging_is_live(root):
+            try:
+                marker.unlink()
+            except OSError:  # pragma: no cover - foreign cleanup
+                pass
+            else:
+                report.repaired.append(
+                    f"removed the orphaned staging marker {marker.name} "
+                    "(its online compactor is gone)"
+                )
 
     # Interrupted-compaction / staging findings (post-repair these are
     # gone and nothing is appended).
@@ -998,7 +1479,7 @@ def fsck_repository(
         # journal already tells the whole story.
         return report
     staging = staging_dir_for(root)
-    if staging.is_dir():
+    if staging.is_dir() and not staging_is_live(root):
         report.findings.append(
             Finding(
                 "stale-staging", str(staging),
@@ -1008,6 +1489,10 @@ def fsck_repository(
                 repairable=True,
             )
         )
+
+    # Online-compaction live state: stale leases, unreclaimed retired
+    # generations (repair prunes + reclaims them before the sweep).
+    _fsck_live_state(root, report, repair)
 
     before = len(report.findings)
     _fsck_flat_repository(root, report.findings, deep, chain=True)

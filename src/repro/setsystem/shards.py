@@ -897,9 +897,17 @@ class ShardedRepository:
         if not manifest_path.is_file():
             raise ShardFormatError(f"no {MANIFEST_NAME} in {self.path}")
         try:
-            manifest = json.loads(manifest_path.read_text())
-        except json.JSONDecodeError as exc:
+            manifest_raw = manifest_path.read_bytes()
+            manifest = json.loads(manifest_raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ShardFormatError(f"unparseable manifest in {self.path}: {exc}") from exc
+        #: Content token ``[size, crc32]`` of the exact manifest bytes
+        #: this handle was opened from.  Describes the *open* family
+        #: even after the on-disk repository is compacted underneath it
+        #: (the mmaps pin the old inodes), which is what the remote
+        #: driver must send so warm worker caches keep serving the same
+        #: generation mid-solve.
+        self.token = [len(manifest_raw), zlib.crc32(manifest_raw)]
         if not isinstance(manifest, dict) or manifest.get("schema") not in _SUPPORTED_SCHEMAS:
             raise ShardFormatError(
                 f"manifest schema is {manifest.get('schema')!r}, "
@@ -1163,6 +1171,19 @@ class ShardedRepository:
         self._files = []
         self._header_cache = {}
         self._closed = True
+        lease = getattr(self, "_lease", None)
+        if lease is not None:
+            # Attached by repro.setsystem.deltas.open_repository: drain
+            # the generation lease and reclaim retired generations this
+            # handle was the last reader of.
+            self._lease = None
+            lease.release()
+            try:
+                from repro.setsystem.durability import reclaim_retired
+
+                reclaim_retired(self.path)
+            except OSError:  # pragma: no cover - reclaim is best-effort
+                pass
 
     def __enter__(self) -> "ShardedRepository":
         return self

@@ -18,8 +18,14 @@ Operations (first argv token):
     ``ShardedRepository.backfill_stats`` (manifest upgrade in place).
 ``compact ROOT``
     In-place intent-journaled ``compact``.
+``compact-online ROOT``
+    Online ``compact(online=True)`` (lock-free staging, journaled
+    swing, leased reclaim).
 ``compact-output ROOT DEST``
     Side-output ``compact`` (source must stay untouched).
+``open-hold ROOT``
+    ``open_repository`` and exit without closing — leaves a lease whose
+    holder pid is dead (crash-debris twin of a reader crash).
 ``checkpoint ROOT CKPT OPS.json``
     Restore a :class:`~repro.dynamic.DynamicCover` from ``CKPT``, apply
     the ops in memory, re-checkpoint to the same path.
@@ -62,11 +68,26 @@ def main(argv: "list[str]") -> int:
         (root,) = rest
         compact(root)
         return 0
+    if operation == "compact-online":
+        from repro.setsystem.deltas import compact
+
+        (root,) = rest
+        compact(root, online=True)
+        return 0
     if operation == "compact-output":
         from repro.setsystem.deltas import compact
 
         root, dest = rest
         compact(root, output=dest)
+        return 0
+    if operation == "open-hold":
+        import os
+
+        from repro.setsystem.deltas import open_repository
+
+        (root,) = rest
+        open_repository(root)
+        os._exit(0)  # skip close(): the lease survives as dead-pid debris
         return 0
     if operation == "checkpoint":
         from repro.dynamic import DynamicCover

@@ -565,3 +565,99 @@ class TestShardDurability:
         # `shard create fsck X` compatibility alias.
         assert main(["shard", "fsck", str(chain)]) == 0
         assert "clean" in capsys.readouterr().out
+
+
+class TestShardMaintain:
+    """`shard maintain` (+ `compact --online`): the operator surface of
+    the self-healing maintenance loop."""
+
+    @pytest.fixture
+    def chain(self, tmp_path, capsys):
+        from repro.setsystem import SetSystem, save
+        from repro.setsystem.deltas import apply_delta
+
+        save(
+            SetSystem(8, [[0, 1], [2, 3], [4, 5], [6, 7], [1, 2], [5, 6]]),
+            tmp_path / "base.json",
+        )
+        root = tmp_path / "repo"
+        main(["shard", "create", str(tmp_path / "base.json"), str(root),
+              "--chunk-rows", "2"])
+        apply_delta(root, [{"op": "insert", "elements": [0, 3, 6]},
+                           {"op": "delete", "id": 4}])
+        capsys.readouterr()
+        return root
+
+    def test_maintain_folds_then_skips(self, chain, capsys):
+        from repro.setsystem.maintenance import read_maintenance_log
+
+        assert main(["shard", "maintain", str(chain),
+                     "--max-generations", "1"]) == 0
+        assert "compacted (attempt 1)" in capsys.readouterr().out
+        assert read_maintenance_log(chain)[-1]["action"] == "compact"
+        # Pressure is gone: the next cycle journals a skip.
+        assert main(["shard", "maintain", str(chain),
+                     "--max-generations", "1"]) == 0
+        assert "skip: generations=0" in capsys.readouterr().out
+
+    def test_maintain_watch_runs_bounded_cycles(self, chain, capsys):
+        assert main(["shard", "maintain", str(chain), "--watch",
+                     "--cycles", "2", "--interval", "0",
+                     "--max-generations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted (attempt 1)" in out
+        assert "skip:" in out
+
+    def test_maintain_gives_up_loudly_under_contention(self, chain, capsys):
+        from repro.setsystem.durability import StagingLock
+
+        with StagingLock(chain):  # a live online compactor holds the marker
+            code = main(["shard", "maintain", str(chain),
+                         "--max-generations", "1",
+                         "--retry-attempts", "2",
+                         "--retry-backoff", "0.01"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "gave up after 2 attempt(s)" in out
+        # The per-attempt trail lives in the journal, not on stdout.
+        from repro.setsystem.maintenance import read_maintenance_log
+
+        actions = [r["action"] for r in read_maintenance_log(chain)]
+        assert actions == ["busy", "busy", "give-up"]
+
+    def test_maintain_validates_knobs(self, chain, capsys):
+        assert main(["shard", "maintain", str(chain),
+                     "--max-generations", "0"]) == 2
+        assert "max_generations" in capsys.readouterr().err
+
+    def test_maintain_missing_repository_is_an_error(self, tmp_path, capsys):
+        assert main(["shard", "maintain", str(tmp_path / "nowhere")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_fsck_surfaces_the_maintenance_tail(self, chain, capsys):
+        assert main(["shard", "maintain", str(chain),
+                     "--max-generations", "1"]) == 0
+        capsys.readouterr()
+        assert main(["shard", "fsck", str(chain)]) == 0
+        out = capsys.readouterr().out
+        assert "maintenance log (last 1):" in out
+        assert "compacted (attempt 1)" in out
+
+    def test_compact_online_flag(self, chain, capsys):
+        assert main(["shard", "compact", str(chain), "--online"]) == 0
+        assert "compacted 1 pending generation(s)" in capsys.readouterr().out
+
+    def test_compact_online_with_output_is_a_usage_error(self, chain,
+                                                         tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["shard", "compact", str(chain), "--online",
+                  "--output", str(tmp_path / "out")])
+        assert excinfo.value.code == 2
+        assert "--online" in capsys.readouterr().err
+
+    def test_maintain_legacy_alias_is_not_hijacked(self, chain, capsys):
+        # `repro shard maintain X` must reach the maintain verb, not the
+        # `shard create maintain X` compatibility alias.
+        assert main(["shard", "maintain", str(chain),
+                     "--max-generations", "99"]) == 0
+        assert "skip:" in capsys.readouterr().out

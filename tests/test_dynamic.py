@@ -389,3 +389,54 @@ def test_merged_view_matches_delta_writer_ids(tmp_path):
         assert [sorted(r) for r in view.iter_rows()] == [
             [0, 1, 2], [3, 4, 5], [1, 4], [2, 5],
         ]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint remap across a compaction (ISSUE 9)
+# ----------------------------------------------------------------------
+def test_checkpoint_remap_survives_a_compaction(tmp_path):
+    """A compaction renumbers stable ids but moves no masks; with
+    ``allow_remap=True`` a checkpoint follows the fold instead of dying
+    as stale — the self-healing maintenance loop depends on this."""
+    from repro.dynamic import StaleCheckpointError
+
+    system = SetSystem(8, [[0, 1], [2, 3], [4, 5], [6, 7]])
+    root = write_shards(tmp_path / "repo", system, chunk_rows=2)
+    apply_delta(root, [{"op": "insert", "elements": [0, 2, 3]},
+                       {"op": "delete", "id": 1}])
+    with open_repository(root) as repo:
+        cover = DynamicCover(repo.n, zip(repo.stable_ids, repo.iter_rows()))
+    path = cover.checkpoint(tmp_path / "cover.ckpt", root=root)
+
+    compact(root, online=True)
+    # The strict restore still refuses (the chain token moved)...
+    with pytest.raises(StaleCheckpointError):
+        DynamicCover.restore(path, root=root)
+    # ...but the remapping restore verifies masks-for-masks and lands on
+    # the folded id space, fully operational.
+    remapped = DynamicCover.restore(path, root=root, allow_remap=True)
+    remapped.verify()
+    assert remapped.cover_size == cover.cover_size
+    assert remapped.m == cover.m
+    remapped.insert(99, [0, 7])
+    remapped.delete(99)
+    remapped.verify()
+    # Re-checkpointing binds the folded chain: strict restores work again.
+    remapped.checkpoint(path, root=root)
+    DynamicCover.restore(path, root=root).verify()
+
+
+def test_checkpoint_remap_refuses_a_mutated_chain(tmp_path):
+    """Remap is for compaction only: if rows changed (not just moved),
+    silently rebinding would corrupt the cover — refuse loudly."""
+    from repro.dynamic import StaleCheckpointError
+
+    system = SetSystem(8, [[0, 1], [2, 3], [4, 5], [6, 7]])
+    root = write_shards(tmp_path / "repo", system, chunk_rows=2)
+    with open_repository(root) as repo:
+        cover = DynamicCover(repo.n, enumerate(repo.iter_rows()))
+    path = cover.checkpoint(tmp_path / "cover.ckpt", root=root)
+    apply_delta(root, [{"op": "insert", "elements": [6, 7]}])  # a mutation
+    compact(root)
+    with pytest.raises(StaleCheckpointError, match="mutation"):
+        DynamicCover.restore(path, root=root, allow_remap=True)

@@ -427,3 +427,145 @@ def test_manifest_token_is_content_keyed(tmp_path):
     assert token == manifest_token(path)  # stable
     other = write_shards(tmp_path / "t2", SetSystem(8, [[0], [1, 2, 3]]))
     assert token != manifest_token(other)
+
+
+# ----------------------------------------------------------------------
+# Stale repositories: typed wire error, precise eviction, driver salvage
+# ----------------------------------------------------------------------
+def _churn_and_fold(path):
+    """Land one delta and fold it, rewriting the base manifest."""
+    from repro.setsystem.deltas import apply_delta, compact
+
+    apply_delta(path, [{"op": "insert", "elements": [0, 1]}])
+    compact(path)
+
+
+def test_stale_repository_error_is_typed_and_keeps_connection(
+    tmp_path, worker_fleet
+):
+    """A cold worker whose disk moved past the driver's token reports the
+    typed retriable ``stale-repository`` error — and keeps the
+    connection, because the repository moved, not the worker failed."""
+    from repro.engine.transport.remote import send_bytes
+
+    system = SetSystem(8, [[0, 1], [2, 3]])
+    path = write_shards(tmp_path / "stale-wire", system)
+    old = manifest_token(path)
+    _churn_and_fold(path)
+    assert manifest_token(path) != old
+    host, port = worker_fleet[0]
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        send_json(sock, {"op": "hello", "protocol": PROTOCOL_VERSION})
+        assert recv_json(sock)["op"] == "hello"
+        send_json(sock, {
+            "op": "scan", "path": str(path), "token": list(old), "n": 8,
+            "shards": [0], "min_capture_gain": None, "capture_ids": None,
+            "best_only": False, "include_gains": True,
+            "accept_threshold": None,
+        })
+        send_bytes(sock, (255).to_bytes(1, "little"))  # the mask frame
+        reply = recv_json(sock)
+        assert reply["op"] == "error"
+        assert reply["kind"] == "stale-repository"
+        assert "rewritten" in reply["message"]
+        # The connection survived the typed error: the worker still
+        # serves, and its pong carries the eviction counters.
+        send_json(sock, {"op": "ping"})
+        pong = recv_json(sock)
+        assert pong["op"] == "pong"
+        assert set(pong["evictions"]) == {"stale", "overflow"}
+
+
+def test_worker_cache_eviction_is_precise_and_counted(tmp_path):
+    """Opening a path's *new* generation sweeps exactly the superseded
+    cache entries for that path — never unrelated repositories — and
+    every eviction is counted by cause."""
+    from repro.engine import StaleRepositoryError
+
+    path_a = write_shards(tmp_path / "gen-a", SetSystem(8, [[0, 1], [2, 3]]))
+    path_b = write_shards(tmp_path / "gen-b", SetSystem(8, [[4, 5], [6, 7]]))
+    server = WorkerServer(tmp_path)
+    try:
+        token_a = manifest_token(path_a)
+        token_b = manifest_token(path_b)
+        key_a, _ = server._open_repository(str(path_a), token_a)
+        key_b, _ = server._open_repository(str(path_b), token_b)
+        server._release_repository(key_a)
+        server._release_repository(key_b)
+
+        # A token matching neither the cache nor the disk is the typed
+        # stale error — and evicts nothing (the cached generation may
+        # still be serving another driver).
+        with pytest.raises(StaleRepositoryError, match="rewritten"):
+            server._open_repository(
+                str(path_a), [token_a[0] + 1, token_a[1] ^ 1]
+            )
+        assert server._evictions == {"stale": 0, "overflow": 0}
+        assert key_a in server._repos and key_b in server._repos
+
+        _churn_and_fold(path_a)
+        token_a2 = manifest_token(path_a)
+        assert token_a2 != token_a
+        # Warm cache: the superseded generation is still served on a
+        # cache hit (the driver that opened it must finish its scan on
+        # exactly those bits).
+        key_hit, _ = server._open_repository(str(path_a), token_a)
+        assert key_hit == key_a
+        server._release_repository(key_hit)
+        assert server._evictions["stale"] == 0
+
+        # First sight of the NEW generation sweeps the old entry for
+        # this path — and only this path.
+        key_a2, _ = server._open_repository(str(path_a), token_a2)
+        assert key_a2 != key_a
+        assert server._evictions == {"stale": 1, "overflow": 0}
+        assert key_a not in server._repos
+        assert key_b in server._repos  # unrelated repository untouched
+        server._release_repository(key_a2)
+    finally:
+        server.stop()
+
+
+def test_driver_salvages_when_every_worker_reports_stale(tmp_path):
+    """An online compaction lands mid-stream: cold workers report the
+    typed stale error for the driver's generation, and the driver
+    salvages the scan through its own open handle — bit-identically to
+    the generation it opened, with the whole episode in the fault log."""
+    from repro.setsystem.deltas import apply_delta, compact
+
+    system = SetSystem(32, [[i % 32, (i * 7) % 32] for i in range(24)])
+    path = write_shards(tmp_path / "salvage", system, chunk_rows=3)
+    mask_int = (1 << 32) - 1
+    servers = [WorkerServer(tmp_path).start(), WorkerServer(tmp_path).start()]
+    try:
+        stream = ShardedSetStream(
+            path, transport="remote",
+            workers=[server.address for server in servers],
+        )
+        baseline = [int(g) for g in stream.scan_gains(mask_int).gains]
+        serial = ShardedSetStream(path, jobs=1)
+        assert baseline == [
+            int(g) for g in serial.scan_gains(mask_int).gains
+        ]
+        serial.close()
+
+        # The repository moves underneath the open stream...
+        apply_delta(path, [{"op": "insert", "elements": [0, 1, 2]},
+                           {"op": "delete", "id": 3}])
+        compact(path, online=True)
+        # ...and the workers lose their cached copy of the old family,
+        # so the driver's token can no longer be served remotely at all.
+        for server in servers:
+            with server._repo_lock:
+                for key in list(server._repos):
+                    server._evict_locked(key)
+
+        again = [int(g) for g in stream.scan_gains(mask_int).gains]
+        assert again == baseline  # the opened generation, bit-for-bit
+        kinds = {event.kind for event in stream.fault_log.events}
+        assert "stale-repository" in kinds
+        assert "stale-salvage" in kinds
+        stream.close()
+    finally:
+        for server in servers:
+            server.stop()
