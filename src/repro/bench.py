@@ -23,6 +23,10 @@ Report schema (``repro.bench_kernels/v1``)::
       "encodings": {
         "<instance>": {"dense_bytes", "auto_bytes", "reduction"}, ...
       },
+      "cache": {
+        "<instance>": {"hits", "misses", "evictions", "entries", "bytes",
+                       "max_bytes", "hit_rate"}, ...
+      },
       "remote_transport": {"workers": 2, "error": null},
       "parallel_parity": {"instances": ..., "identical": true},
       "summary": {
@@ -41,7 +45,9 @@ Report schema (``repro.bench_kernels/v1``)::
 instance (>1 means the packed backend is faster), except for the
 ``scan_parallel_gains`` benchmark, whose baseline is the ``rows``
 backend — the per-row big-int scan of a dense repository, i.e. the
-pre-executor pass cost (DESIGN.md §6.3).  Packed timings are
+pre-executor pass cost (DESIGN.md §6.3) — and ``scan_cached_pass``,
+whose baseline is its own ``cold`` row so ``warm_speedup`` prices the
+cross-pass chunk cache (DESIGN.md §14).  Packed timings are
 taken with warm memoized views (``SetSystem.packed`` caches per backend,
 by design); the one-off packing cost is reported separately as the
 ``pack_build`` benchmark (``encode_write`` plays the same role for the
@@ -60,6 +66,7 @@ against the process high-water mark.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -122,6 +129,13 @@ _COST_ONLY = {
 #: executor existed — so ``best_speedup`` captures the whole engine
 #: (chunk kernels + compressed encodings + workers).
 _PARALLEL_BENCH = "scan_parallel_gains"
+#: The cross-pass cache benchmark (DESIGN.md §14): the same serial gains
+#: scan under three cache states — ``off`` (disabled), ``cold`` (first
+#: pass through a fresh cache) and ``warm`` (the repeat pass every
+#: additional iterSetCover sweep gets for free).  The summary baseline
+#: is ``cold``, so ``best_speedup`` is the warm-pass amortization and
+#: ``payload["cache"]`` carries the hit/miss counters behind it.
+_CACHED_BENCH = "scan_cached_pass"
 #: The jobs sweep recorded when ``jobs="auto"``.
 _DEFAULT_JOBS_SWEEP = (1, 2, 4)
 
@@ -367,6 +381,7 @@ def _bench_parallel_and_encodings(
     jobs_sweep: tuple,
     parity: dict,
     remote_workers: list,
+    caches: "dict | None" = None,
 ) -> dict:
     """The executor + codec benchmark set for one instance.
 
@@ -389,12 +404,25 @@ def _bench_parallel_and_encodings(
       batch re-dispatch against the clean ``remote workers=2`` row —
       and the parity assertion proves the recovered scan bit-identical.
 
+    Both repositories are opened **once** and every row above scans
+    through the same handle — re-opening per row would re-stat and
+    re-mmap the manifest inside the timed region, and would defeat the
+    cross-pass chunk cache that the closing :data:`_CACHED_BENCH` rows
+    measure on purpose: ``off`` (cache disabled), ``cold`` (first pass
+    through a fresh cache) and ``warm`` (the pass the O(1/δ) sweeps of
+    iterSetCover actually repeat) all run the serial executor over the
+    ``auto`` repository, and the cache's hit/miss counters land in
+    ``caches[name]`` for the report.  The executor-sweep rows themselves
+    run cache-off so they keep pricing the executors and codecs, not
+    cache residency.
+
     Every backend's gains vector is compared against the baseline's;
     a mismatch raises (and is recorded in ``payload["parallel_parity"]``).
     Returns the encoding size summary for ``payload["encodings"]``.
     """
     import shutil
 
+    from repro.engine import CACHE_ENV, configure_cache, get_cache
     from repro.setsystem.shards import ShardedRepository, write_shards
     from repro.streaming.sharded import ShardedSetStream
 
@@ -409,81 +437,121 @@ def _bench_parallel_and_encodings(
 
         runner.record("encode_write", name, encoding, build, repeats=1)
         paths[encoding] = path
-        with ShardedRepository(path) as repo:
-            sizes[encoding] = repo.disk_bytes
 
     mask_int = (1 << system.n) - 1 if system.n else 0
     observed: dict[str, list[int]] = {}
 
-    def rows_scan():
-        with ShardedRepository(paths["dense"]) as repo:
-            stream = ShardedSetStream(repo)
+    configured = os.environ.get(CACHE_ENV)
+    repos = {
+        encoding: ShardedRepository(path) for encoding, path in paths.items()
+    }
+    try:
+        for encoding, repo in repos.items():
+            sizes[encoding] = repo.disk_bytes
+
+        configure_cache("off")
+
+        def rows_scan():
+            stream = ShardedSetStream(repos["dense"])
             gains = []
             for _, mask in stream.iterate_packed("python"):
                 gains.append((mask & mask_int).bit_count())
             observed["rows"] = gains
 
-    runner.record(_PARALLEL_BENCH, name, "rows", rows_scan, repeats=1)
+        runner.record(_PARALLEL_BENCH, name, "rows", rows_scan, repeats=1)
 
-    # Planner on for the whole sweep, plus planner-off control rows at
-    # the sweep's endpoints (the PR 3 schedule: per-shard tasks in index
-    # order, no prefetch) — the parity assertion spans all of them.
-    planner_axis = [(jobs, True) for jobs in jobs_sweep]
-    planner_axis += [(jobs, False) for jobs in sorted({min(jobs_sweep), max(jobs_sweep)})]
-    for jobs, planner in planner_axis:
-        backend = "serial" if jobs == 1 else f"jobs={jobs}"
-        if not planner:
-            backend += " planner=off"
+        # Planner on for the whole sweep, plus planner-off control rows at
+        # the sweep's endpoints (the PR 3 schedule: per-shard tasks in index
+        # order, no prefetch) — the parity assertion spans all of them.
+        planner_axis = [(jobs, True) for jobs in jobs_sweep]
+        planner_axis += [
+            (jobs, False) for jobs in sorted({min(jobs_sweep), max(jobs_sweep)})
+        ]
+        for jobs, planner in planner_axis:
+            backend = "serial" if jobs == 1 else f"jobs={jobs}"
+            if not planner:
+                backend += " planner=off"
 
-        def scan(jobs=jobs, planner=planner, backend=backend):
-            with ShardedRepository(paths["auto"]) as repo:
-                stream = ShardedSetStream(repo, jobs=jobs, planner=planner)
+            def scan(jobs=jobs, planner=planner, backend=backend):
+                stream = ShardedSetStream(
+                    repos["auto"], jobs=jobs, planner=planner
+                )
                 result = stream.scan_gains(mask_int)
                 observed[backend] = [int(g) for g in result.gains]
 
-        runner.record(_PARALLEL_BENCH, name, backend, scan, repeats=1)
+            runner.record(_PARALLEL_BENCH, name, backend, scan, repeats=1)
 
-    # The transport dimension: the run's localhost worker fleet (spawned
-    # once in run_benchmarks, serving every instance's tmpdir) scans the
-    # same repository over the remote backend.  Timings include the wire
-    # protocol but not worker startup.
-    if remote_workers:
-        label = f"remote workers={len(remote_workers)}"
+        # The transport dimension: the run's localhost worker fleet (spawned
+        # once in run_benchmarks, serving every instance's tmpdir) scans the
+        # same repository over the remote backend.  Timings include the wire
+        # protocol but not worker startup.
+        if remote_workers:
+            label = f"remote workers={len(remote_workers)}"
 
-        def remote_scan():
-            with ShardedRepository(paths["auto"]) as repo:
+            def remote_scan():
                 stream = ShardedSetStream(
-                    repo, transport="remote", workers=remote_workers
+                    repos["auto"], transport="remote", workers=remote_workers
                 )
                 result = stream.scan_gains(mask_int)
                 observed[label] = [int(g) for g in result.gains]
 
-        runner.record(_PARALLEL_BENCH, name, label, remote_scan, repeats=1)
+            runner.record(_PARALLEL_BENCH, name, label, remote_scan, repeats=1)
 
-        # The robustness dimension: worker 0's first connection is cut
-        # mid-batch (drop proxy, one sabotaged connection) and the retry
-        # policy re-dispatches the lost shards.  The fleet itself stays
-        # alive for the next instance; the delta against the clean
-        # remote row above is the price of one mid-scan worker loss.
-        def fault_scan():
-            from repro.engine.fault import ChaosProxy
+            # The robustness dimension: worker 0's first connection is cut
+            # mid-batch (drop proxy, one sabotaged connection) and the retry
+            # policy re-dispatches the lost shards.  The fleet itself stays
+            # alive for the next instance; the delta against the clean
+            # remote row above is the price of one mid-scan worker loss.
+            def fault_scan():
+                from repro.engine.fault import ChaosProxy
 
-            with ChaosProxy(
-                remote_workers[0], mode="drop", after_frames=2, times=1,
-                seed=0,
-            ) as proxy:
-                fleet = [proxy.address] + list(remote_workers[1:])
-                with ShardedRepository(paths["auto"]) as repo:
+                with ChaosProxy(
+                    remote_workers[0], mode="drop", after_frames=2, times=1,
+                    seed=0,
+                ) as proxy:
+                    fleet = [proxy.address] + list(remote_workers[1:])
                     stream = ShardedSetStream(
-                        repo, transport="remote", workers=fleet,
+                        repos["auto"], transport="remote", workers=fleet,
                         retry={"attempts": 3, "backoff": 0.05, "seed": 0},
                     )
                     result = stream.scan_gains(mask_int)
                     observed["fault_recovery"] = [int(g) for g in result.gains]
 
+            runner.record(
+                _PARALLEL_BENCH, name, "fault_recovery", fault_scan, repeats=1
+            )
+
+        # The cross-pass cache rows (DESIGN.md §14): same serial scan,
+        # three cache states.  ``off`` runs while the cache is still
+        # disabled from the sweep above; ``cold`` is the first pass
+        # through a freshly configured cache (fills it); ``warm`` is the
+        # repeat pass every additional iterSetCover sweep gets for free.
+        def cached_scan(label):
+            stream = ShardedSetStream(repos["auto"], jobs=1)
+            result = stream.scan_gains(mask_int)
+            observed[label] = [int(g) for g in result.gains]
+
         runner.record(
-            _PARALLEL_BENCH, name, "fault_recovery", fault_scan, repeats=1
+            _CACHED_BENCH, name, "off", lambda: cached_scan("off"), repeats=1
         )
+        configure_cache(configured)
+        runner.record(
+            _CACHED_BENCH, name, "cold", lambda: cached_scan("cold"), repeats=1
+        )
+        runner.record(
+            _CACHED_BENCH, name, "warm", lambda: cached_scan("warm"), repeats=1
+        )
+        if caches is not None:
+            stats = get_cache().stats()
+            lookups = stats["hits"] + stats["misses"]
+            caches[name] = dict(
+                stats,
+                hit_rate=round(stats["hits"] / lookups, 4) if lookups else 0.0,
+            )
+    finally:
+        configure_cache(configured)
+        for repo in repos.values():
+            repo.close()
 
     expected = observed["rows"]
     for backend, gains in observed.items():
@@ -511,6 +579,7 @@ def _bench_sharded_instance(
     encodings: dict,
     remote_workers: list,
     work_root: "Path | None" = None,
+    caches: "dict | None" = None,
 ) -> None:
     """Out-of-core benchmark set: write shards once, then scan/solve them.
 
@@ -528,7 +597,8 @@ def _bench_sharded_instance(
     tmpdir = Path(tempfile.mkdtemp(prefix="repro-shards-", dir=work_root))
     try:
         encodings[name] = _bench_parallel_and_encodings(
-            runner, name, system, tmpdir, jobs_sweep, parity, remote_workers
+            runner, name, system, tmpdir, jobs_sweep, parity, remote_workers,
+            caches,
         )
 
         # Row-granular wire-format scans stay on the dense (v1-layout)
@@ -668,6 +738,26 @@ def _summarize(results: list[dict]) -> dict:
     summary: dict = {}
     for (benchmark, instance), timings in sorted(by_key.items()):
         entry: dict = {}
+        if benchmark == _CACHED_BENCH:
+            # The cache benchmark measures warm-pass amortization against
+            # its own cold pass (first fill of a fresh cache).
+            baseline = timings.get("cold")
+            if baseline is not None:
+                entry["cold_seconds"] = baseline
+            best = 0.0
+            for backend, seconds in sorted(timings.items()):
+                if backend == "cold":
+                    continue
+                entry[f"{backend}_seconds"] = seconds
+                if baseline and seconds > 0:
+                    speedup = baseline / seconds
+                    entry[f"{backend}_speedup"] = round(speedup, 2)
+                    if backend == "warm":
+                        best = max(best, speedup)
+            if best:
+                entry["best_speedup"] = round(best, 2)
+            summary.setdefault(benchmark, {})[instance] = entry
+            continue
         if benchmark == _PARALLEL_BENCH:
             # The executor benchmark measures against the per-row scan
             # ("rows"), not the frozenset kernels.
@@ -740,6 +830,8 @@ def _append_history(payload: dict, report_path: Path) -> Path:
         "peak_rss_bytes": peak_rss,
         "best_speedups": best_speedups,
         "scan_parallel": payload["summary"].get(_PARALLEL_BENCH, {}),
+        "scan_cached_pass": payload["summary"].get(_CACHED_BENCH, {}),
+        "cache": payload.get("cache", {}),
     }
     history = report_path.resolve().parent / HISTORY_NAME
     with history.open("a", encoding="utf-8") as handle:
@@ -792,6 +884,7 @@ def run_benchmarks(
     runner = _Runner(repeats)
     parity = {"instances": 0, "identical": True}
     encodings: dict[str, dict] = {}
+    caches: dict[str, dict] = {}
     instances_meta = []
     # One localhost worker fleet serves the whole run — two subprocess
     # startups per run, not per instance.  Every instance's shard tmpdir
@@ -811,10 +904,18 @@ def run_benchmarks(
         # row is one backend of many, and CI (which can) asserts its
         # presence.  Append as each worker spawns, so a failed second
         # spawn still leaves the first in remote_procs for the reap.
+        # The fleet serves with its chunk cache off: the remote and
+        # fault_recovery rows price the wire protocol and re-dispatch,
+        # and a warm worker cache would silently discount the fault
+        # row's recovery scan against the clean row it is compared to.
+        from repro.engine import CACHE_ENV
+
         remote_error = None
         try:
             for _ in range(2):
-                remote_procs.append(spawn_local_worker(work_root))
+                remote_procs.append(
+                    spawn_local_worker(work_root, extra_env={CACHE_ENV: "off"})
+                )
         except (RuntimeError, OSError) as exc:
             remote_error = f"{type(exc).__name__}: {exc}"
         remote_workers = (
@@ -839,7 +940,7 @@ def run_benchmarks(
                 if params.get("sharded"):
                     _bench_sharded_instance(
                         runner, name, system, jobs_sweep, parity, encodings,
-                        remote_workers, work_root,
+                        remote_workers, work_root, caches,
                     )
                 else:
                     _bench_instance(runner, name, system)
@@ -852,7 +953,7 @@ def run_benchmarks(
                     try:
                         encodings[name] = _bench_parallel_and_encodings(
                             runner, name, system, tmpdir, jobs_sweep, parity,
-                            remote_workers,
+                            remote_workers, caches,
                         )
                     finally:
                         shutil.rmtree(tmpdir, ignore_errors=True)
@@ -884,6 +985,7 @@ def run_benchmarks(
         "instances": instances_meta,
         "results": runner.results,
         "encodings": encodings,
+        "cache": caches,
         "remote_transport": {
             "workers": len(remote_workers),
             "error": remote_error,

@@ -157,6 +157,38 @@ def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _cache_value(value: str) -> str:
+    """``--cache-bytes`` validator: keep the raw text, reject junk now."""
+    from repro.engine import resolve_cache_bytes
+
+    resolve_cache_bytes(value)  # raises ValueError on malformed budgets
+    return value
+
+
+def _add_cache_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-bytes",
+        type=_library_flag(_cache_value),
+        default=None,
+        metavar="BYTES",
+        help="decoded-chunk hot-cache budget: a byte count (k/m/g "
+        "suffixes ok), 'auto' (a fraction of available RAM; the "
+        "default) or 'off'; exported to scan workers via "
+        "REPRO_CACHE_BYTES — results are identical at every setting",
+    )
+
+
+def _apply_cache_option(args) -> None:
+    """Propagate ``--cache-bytes`` to this process and its workers."""
+    value = getattr(args, "cache_bytes", None)
+    if value is None:
+        return
+    from repro.engine import CACHE_ENV, configure_cache
+
+    os.environ[CACHE_ENV] = value  # inherited by process/remote workers
+    configure_cache(value)
+
+
 def _add_planner_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--planner",
@@ -376,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port to listen on (0 = pick an ephemeral port and "
         "announce it on stdout)",
     )
+    _add_cache_option(worker_serve)
     worker_ping = worker_sub.add_parser(
         "ping",
         help="round-trip a protocol ping to one worker: prints latency, "
@@ -422,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_option(solve)
     _add_planner_option(solve)
+    _add_cache_option(solve)
     solve.add_argument(
         "--transport",
         choices=["local", "remote"],
@@ -523,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=0)
     _add_jobs_option(bench)
+    _add_cache_option(bench)
 
     experiments = sub.add_parser(
         "experiments",
@@ -898,6 +933,7 @@ def _cmd_worker_serve(args) -> int:
     from repro.engine import WorkerServer
     from repro.engine.transport.remote import _EXIT_TEST_ENV, _WEDGE_TEST_ENV
 
+    _apply_cache_option(args)
     server = WorkerServer(args.root, host=args.host, port=args.port)
     host, port = server.address
     announce = (
@@ -948,6 +984,7 @@ def _cmd_worker_ping(args) -> int:
 
 
 def _cmd_solve(args, parser: argparse.ArgumentParser) -> int:
+    _apply_cache_option(args)
     planner = args.planner != "off"
     if args.transport == "remote" and args.workers is None:
         parser.error("--transport remote requires --workers host:port[,...]")
@@ -1082,6 +1119,7 @@ def _cmd_info(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import render_summary, run_benchmarks
 
+    _apply_cache_option(args)
     try:
         payload = run_benchmarks(
             scale=args.scale,

@@ -54,8 +54,8 @@ from repro.core.result import GuessStats, StreamingCoverResult
 from repro.offline.base import OfflineSolver
 from repro.offline.greedy import GreedySolver
 from repro.sampling.relative_approximation import draw_sample
-from repro.setsystem.packed import BitmapKernel, bitmap_kernel
-from repro.engine import capture_words
+from repro.setsystem.packed import BitmapKernel, bitmap_kernel, chunk_gains
+from repro.engine import AcceptBatch, capture_words
 from repro.streaming.memory import MemoryMeter
 from repro.streaming.stream import SetStream, stream_resident_words
 from repro.utils.mathutil import powers_of_two_up_to
@@ -165,6 +165,66 @@ class _GuessState:
             self._scratch_words += words
             self.meter.charge(words)
 
+    def observe_sample_chunk(self, ids, matrix) -> AcceptBatch:
+        """Fused Size-Test over one chunk's captured rows (numpy kernel).
+
+        Bit-identical to calling :meth:`observe_sample_pass` once per
+        row in order — asserted by ``tests/test_iter_set_cover.py`` —
+        but the
+        per-row hit counting is one :func:`chunk_gains` call per accept
+        *segment* instead of one kernel intersection per row.  The
+        leftover sample only changes when a heavy set is accepted, so
+        between accepts the whole remaining chunk can be counted
+        against a fixed leftover at once; each accept ends a segment
+        exactly like the sequential replay (and exactly like
+        :func:`repro.engine.merge.simulate_accepts` with threshold
+        ``ceil(sample_size / k)``, whose :class:`AcceptBatch` this
+        returns for introspection).  Light sets still intersect one by
+        one — their projections must be materialized for
+        ``algOfflineSC`` either way — but only the rows the sequential
+        loop would have stored.
+        """
+        kernel = self.kernel
+        batch = AcceptBatch()
+        if kernel.is_empty(self.leftover):
+            return batch
+        rows = len(ids)
+        skip = np.fromiter(
+            (set_id in self.solution_set for set_id in ids),
+            dtype=bool, count=rows,
+        )
+        start_mask = self.leftover
+        position = 0
+        while position < rows:
+            if kernel.is_empty(self.leftover):
+                break
+            gains = chunk_gains(matrix[position:], self.leftover)
+            gains[skip[position:]] = 0
+            accepts = np.flatnonzero(gains * self.k >= self.sample_size)
+            stop = int(accepts[0]) if accepts.size else rows - position
+            for offset in np.flatnonzero(gains[:stop] > 0):
+                row = position + int(offset)
+                hit = kernel.intersect(matrix[row], self.leftover)
+                self.projections.append(hit)
+                self.projection_ids.append(ids[row])
+                words = int(gains[offset]) + 1  # elements + the set id
+                self._scratch_words += words
+                self.meter.charge(words)
+            if not accepts.size:
+                break
+            row = position + stop
+            hit = kernel.intersect(matrix[row], self.leftover)
+            self._pick(ids[row])
+            self.new_picks.add(ids[row])
+            batch.ids.append(ids[row])
+            self.leftover = kernel.subtract(self.leftover, hit)
+            self.stats.heavy_picks += 1
+            position = row + 1
+        batch.removed = kernel.to_mask_int(
+            kernel.subtract(start_mask, self.leftover)
+        )
+        return batch
+
     def solve_offline(self, solver: OfflineSolver, n: int) -> None:
         """Run ``algOfflineSC`` on (leftover sample, stored projections).
 
@@ -265,6 +325,13 @@ class IterSetCover:
 
     name = "iterSetCover"
 
+    #: Gate for the vectorized per-chunk Size-Test replay
+    #: (:meth:`_GuessState.observe_sample_chunk`).  On by default for
+    #: the numpy kernel; the bit-identity pin in
+    #: ``tests/test_iter_set_cover.py`` flips it off to compare against
+    #: the row-by-row replay.
+    fused_size_test = True
+
     def __init__(
         self,
         config: "IterSetCoverConfig | None" = None,
@@ -308,6 +375,30 @@ class IterSetCover:
                     for guess in guesses:
                         observe(guess, set_id, row)
 
+        fused = self.fused_size_test and kernel.backend == "numpy"
+
+        def replay_sample(parts):
+            """Sample-pass replay: fused per-chunk Size-Test vectors on
+            the numpy kernel, the row-by-row loop elsewhere — the same
+            picks, projections and meter charges either way."""
+            nonlocal capture_peak
+            if not fused:
+                replay(
+                    parts,
+                    lambda g, set_id, row: g.observe_sample_pass(set_id, row),
+                )
+                return
+            for _, _, captured in parts:
+                capture_peak = max(capture_peak, capture_words(captured))
+                if not captured:
+                    continue
+                ids = [set_id for set_id, _ in captured]
+                matrix = np.stack(
+                    [kernel.from_mask_int(proj) for _, proj in captured]
+                )
+                for guess in guesses:
+                    guess.observe_sample_chunk(ids, matrix)
+
         for _ in range(self.config.iterations):
             if all(g.done for g in guesses):
                 break
@@ -326,7 +417,7 @@ class IterSetCover:
             parts = stream.scan_gains_chunked(
                 sample_mask, min_capture_gain=1, include_gains=False
             )
-            replay(parts, lambda g, set_id, row: g.observe_sample_pass(set_id, row))
+            replay_sample(parts)
             for guess in guesses:
                 guess.solve_offline(self.solver, n)
             # Update pass: only this iteration's picks can change any

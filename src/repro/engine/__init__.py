@@ -38,6 +38,14 @@ Examples
 [[0, 1], [2, 3, 4]]
 """
 
+from repro.engine.cache import (
+    CACHE_ENV,
+    ChunkCache,
+    cached_scan_shard,
+    configure_cache,
+    get_cache,
+    resolve_cache_bytes,
+)
 from repro.engine.fault import (
     CHAOS_ENV,
     CHAOS_MODES,
@@ -80,12 +88,14 @@ from repro.engine.transport import (
 )
 
 __all__ = [
+    "CACHE_ENV",
     "CHAOS_ENV",
     "CHAOS_MODES",
     "JOBS_AUTO",
     "TRANSPORTS",
     "AcceptBatch",
     "ChaosProxy",
+    "ChunkCache",
     "FaultEvent",
     "FaultLog",
     "ProcessScanExecutor",
@@ -99,13 +109,17 @@ __all__ = [
     "ThreadScanExecutor",
     "WorkerFaultError",
     "WorkerServer",
+    "cached_scan_shard",
     "capture_words",
     "chaos_spec_from_env",
+    "configure_cache",
     "executor_for",
+    "get_cache",
     "merge_scan_parts",
     "parse_chaos_spec",
     "ping_worker",
     "plan_batches",
+    "resolve_cache_bytes",
     "resolve_jobs",
     "resolve_workers",
     "shutdown_pools",

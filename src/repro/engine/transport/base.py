@@ -54,6 +54,21 @@ class ScanExecutor(abc.ABC):
     #: ``"thread"``, ``"process"``, ``"remote"``, ...).
     transport: str = "serial"
 
+    @property
+    def cache_stats(self) -> "dict | None":
+        """Hot-cache counters behind this executor's scans, or ``None``.
+
+        The default covers the driver-side consumers (serial, thread):
+        the process-wide :mod:`repro.engine.cache` counters.  The
+        process and remote backends override this with counters
+        aggregated from their workers.  Observability only — surfaced
+        via ``ScanResult.extra["cache"]``, never consulted by results.
+        """
+        from repro.engine.cache import get_cache
+
+        cache = get_cache()
+        return cache.stats() if cache.enabled else None
+
     @abc.abstractmethod
     def iter_scan_repository(
         self,

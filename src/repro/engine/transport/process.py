@@ -11,17 +11,30 @@ Mechanics (DESIGN.md §6, §8):
 * sharded repositories are **re-opened inside each worker** (keyed by
   path + manifest identity) so chunk reads are worker-local ``mmap``
   page faults — no chunk bytes ever cross the process boundary;
+* repository scans are **windowed**: one task per shard, completions
+  stream back through the shared
+  :class:`~repro.engine.merge.ReorderWindow` as each shard finishes, so
+  the driver's replay overlaps in-flight scans instead of waiting for a
+  whole planned batch (in-memory chunk scans stay batched — there the
+  win is amortizing the shipped chunk bytes, not overlap);
+* workers consult the cross-pass hot cache
+  (:mod:`repro.engine.cache`) before decoding, so pass two of a solve
+  scans warm chunks; per-worker hit/miss counters ride every task
+  result and aggregate into :attr:`ProcessScanExecutor.cache_stats`;
 * in-memory chunks are shipped to workers as packed bytes (small
   families only; the sharded path is the scale path);
 * the residual mask travels inline for small ground sets and through a
   :class:`multiprocessing.shared_memory.SharedMemory` segment once it
   exceeds :data:`_SHM_MIN_MASK_BYTES`, so huge-universe scans do not
-  re-pickle megabytes of mask per chunk.
+  re-pickle megabytes of mask per chunk (workers memoize the decoded
+  :class:`ScanMask` of the most recent payload, so per-shard tasks do
+  not re-parse it either).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import multiprocessing
 import os
 import signal
@@ -29,6 +42,7 @@ import sys
 from multiprocessing.shared_memory import SharedMemory
 from pathlib import Path
 
+from repro.engine.cache import cached_scan_shard, get_cache
 from repro.engine.merge import ReorderWindow, simulate_accepts
 from repro.engine.plan import plan_batches
 from repro.engine.transport.base import ScanExecutor
@@ -113,17 +127,36 @@ def _attach_shm(name: str) -> SharedMemory:
         return shm
 
 
+#: Driver-side nonce distinguishing SHM payloads across scans, so the
+#: worker-side mask memo can never confuse a recycled segment name.
+_SCAN_NONCE = itertools.count()
+
+#: Worker-side memo of the most recently decoded mask payload — with
+#: one task per shard, every task of a scan carries the same payload,
+#: and re-parsing a megabyte mask per shard would tax exactly the
+#: sparse-heavy scans the windowed schedule helps.
+_MASK_MEMO: "tuple | None" = None
+
+
 def _mask_from_payload(payload, n: int) -> ScanMask:
+    global _MASK_MEMO
+    key = (n,) + tuple(payload)
+    memo = _MASK_MEMO
+    if memo is not None and memo[0] == key:
+        return memo[1]
     kind = payload[0]
     if kind == "raw":
-        return ScanMask(n, int.from_bytes(payload[1], "little"))
-    _, name, length = payload
-    shm = _attach_shm(name)
-    try:
-        mask_bytes = bytes(shm.buf[:length])
-    finally:
-        shm.close()
-    return ScanMask(n, int.from_bytes(mask_bytes, "little"))
+        mask = ScanMask(n, int.from_bytes(payload[1], "little"))
+    else:
+        _, name, length, _ = payload
+        shm = _attach_shm(name)
+        try:
+            mask_bytes = bytes(shm.buf[:length])
+        finally:
+            shm.close()
+        mask = ScanMask(n, int.from_bytes(mask_bytes, "little"))
+    _MASK_MEMO = (key, mask)
+    return mask
 
 
 _WORKER_REPOS: dict = {}
@@ -151,6 +184,14 @@ def _worker_repository(path: str, token):
         # driver planned (the token covers every chain manifest).
         repo = open_repository(path)
         _WORKER_REPOS[key] = repo
+        # Precise hot-cache hygiene: a fresh open supersedes whatever
+        # identity this worker cached for the path before — drop those
+        # chunks now instead of letting them age out of the budget.
+        from repro.engine.cache import cache_key_for, get_cache
+
+        key_base = cache_key_for(repo)
+        if key_base is not None:
+            get_cache().invalidate(key_base[0], keep_token=key_base[1])
     return repo
 
 
@@ -159,40 +200,42 @@ def _maybe_crash_for_tests() -> None:
         os.kill(os.getpid(), signal.SIGKILL)
 
 
-def _scan_shard_batch_task(args):
-    """Scan one planned batch of shards inside a worker process.
+def _scan_shard_task(args):
+    """Scan ONE shard inside a worker process (the windowed unit).
 
-    Returns ``[(shard, item), ...]`` where ``item`` is the per-chunk
-    scan triple — or, in accept mode, ``(start, captured, AcceptBatch)``
-    with the accept simulation already run worker-side.
+    Returns ``(pid, cache_stats, [(shard, item)])`` where ``item`` is
+    the per-chunk scan triple — or, in accept mode, ``(start, captured,
+    AcceptBatch)`` with the accept simulation already run worker-side.
+    One shard per task is what makes result streaming *windowed*: each
+    completion reaches the driver's reorder window immediately, instead
+    of buffering behind the rest of a planned batch.
     """
-    (path, token, shards, n, mask_payload, min_gain, capture_ids, best_only,
-     include_gains, accept_threshold) = args
+    (path, token, shard, next_shard, n, mask_payload, min_gain, capture_ids,
+     best_only, include_gains, accept_threshold) = args
     _maybe_crash_for_tests()
     repository = _worker_repository(path, token)
     mask = _mask_from_payload(mask_payload, n)
-    out = []
-    for position, shard in enumerate(shards):
-        if position + 1 < len(shards):
-            repository.prefetch_shard(shards[position + 1])
-        start, gains, captured = repository.scan_shard(
-            shard, mask,
-            min_capture_gain=(
-                accept_threshold if accept_threshold is not None else min_gain
-            ),
-            capture_ids=capture_ids,
-            best_only=best_only,
+    if next_shard is not None:
+        repository.prefetch_shard(next_shard)
+    start, gains, captured = cached_scan_shard(
+        repository, shard, mask,
+        min_capture_gain=(
+            accept_threshold if accept_threshold is not None else min_gain
+        ),
+        capture_ids=capture_ids,
+        best_only=best_only,
+    )
+    if accept_threshold is not None:
+        item = (
+            start,
+            captured,
+            simulate_accepts(mask.mask_int, accept_threshold, captured),
         )
-        if accept_threshold is not None:
-            item = (
-                start,
-                captured,
-                simulate_accepts(mask.mask_int, accept_threshold, captured),
-            )
-        else:
-            item = (start, (gains if include_gains else None), captured)
-        out.append((shard, item))
-    return out
+    else:
+        item = (start, (gains if include_gains else None), captured)
+    cache = get_cache()
+    stats = cache.stats() if cache.enabled else None
+    return os.getpid(), stats, [(shard, item)]
 
 
 def _scan_chunk_batch_task(args):
@@ -224,7 +267,7 @@ def _scan_chunk_batch_task(args):
         else:
             item = (start, (gains if include_gains else None), captured)
         out.append((order, item))
-    return out
+    return os.getpid(), None, out
 
 
 class ProcessScanExecutor(ScanExecutor):
@@ -252,6 +295,24 @@ class ProcessScanExecutor(ScanExecutor):
             raise ValueError(f"ProcessScanExecutor needs jobs >= 2, got {jobs}")
         self.jobs = jobs
         self.planner = planner
+        #: Latest hot-cache counter snapshot per worker pid — refreshed
+        #: by every task result, aggregated by :attr:`cache_stats`.
+        self._worker_stats: dict = {}
+
+    @property
+    def cache_stats(self) -> "dict | None":
+        """Hot-cache counters aggregated across the pool's workers."""
+        snapshots = [stats for stats in self._worker_stats.values() if stats]
+        if not snapshots:
+            return None
+        agg = {key: 0 for key in
+               ("hits", "misses", "evictions", "entries", "bytes")}
+        for stats in snapshots:
+            for key in agg:
+                agg[key] += int(stats.get(key, 0))
+        agg["max_bytes"] = max(int(s.get("max_bytes", 0)) for s in snapshots)
+        agg["workers"] = len(snapshots)
+        return agg
 
     # -- mask transport -------------------------------------------------
     @staticmethod
@@ -261,7 +322,7 @@ class ProcessScanExecutor(ScanExecutor):
         if len(mask_bytes) >= _SHM_MIN_MASK_BYTES:
             shm = SharedMemory(create=True, size=max(1, len(mask_bytes)))
             shm.buf[: len(mask_bytes)] = mask_bytes
-            return ("shm", shm.name, len(mask_bytes)), shm
+            return ("shm", shm.name, len(mask_bytes), next(_SCAN_NONCE)), shm
         return ("raw", mask_bytes), None
 
     def _drain(self, task_fn, make_tasks):
@@ -294,7 +355,10 @@ class ProcessScanExecutor(ScanExecutor):
                     return_when=concurrent.futures.FIRST_COMPLETED,
                 )
                 for future in done:
-                    for position, item in future.result():
+                    pid, stats, pairs = future.result()
+                    if stats is not None:
+                        self._worker_stats[pid] = stats
+                    for position, item in pairs:
                         window.push(position, item)
                 yield from window.pop_ready()
         except concurrent.futures.BrokenExecutor as exc:
@@ -322,24 +386,31 @@ class ProcessScanExecutor(ScanExecutor):
             stat = (Path(path) / "manifest.json").stat()
             token = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
         capture_ids = frozenset(capture_ids) if capture_ids is not None else None
-        if self.planner:
-            batches = plan_batches(repository.shard_cost_estimates(), self.jobs)
-        else:  # the PR 3 schedule: one task per shard, index order
-            batches = [[shard] for shard in range(repository.shard_count)]
+        count = repository.shard_count
         payload, shm = self._mask_payload(mask_int, repository.words)
+        # Windowed streaming: one task per shard (in shard order — which
+        # is also the order every contiguous plan flattens to), each
+        # carrying the next shard as a readahead hint.  With the pool's
+        # FIFO dealing this self-balances at least as well as the old
+        # cost-planned batches, and every completed shard reaches the
+        # reorder window immediately instead of buffering behind its
+        # batch; ``planner`` keeps its contract (results never depend
+        # on it) with the prefetch hint as its only remaining lever.
         tasks = [
-            (path, token, batch, repository.n, payload, min_capture_gain,
+            (path, token, shard,
+             (shard + 1 if self.planner and shard + 1 < count else None),
+             repository.n, payload, min_capture_gain,
              capture_ids, best_only, include_gains, accept_threshold)
-            for batch in batches
+            for shard in range(count)
         ]
-        return tasks, repository.shard_count, shm
+        return tasks, count, shm
 
     def iter_scan_repository(
         self, repository, mask_int, min_capture_gain=None, capture_ids=None,
         best_only=False, include_gains=True,
     ):
         return self._drain(
-            _scan_shard_batch_task,
+            _scan_shard_task,
             lambda: self._repository_tasks(
                 repository, mask_int, min_capture_gain, capture_ids,
                 best_only, include_gains, None,
@@ -348,7 +419,7 @@ class ProcessScanExecutor(ScanExecutor):
 
     def iter_accept_repository(self, repository, mask_int, threshold):
         return self._drain(
-            _scan_shard_batch_task,
+            _scan_shard_task,
             lambda: self._repository_tasks(
                 repository, mask_int, None, None, False, False, threshold,
             ),

@@ -59,6 +59,7 @@ root is rejected).
 
 from __future__ import annotations
 
+import collections
 import json
 import os
 import queue
@@ -74,6 +75,12 @@ import warnings
 import zlib
 from pathlib import Path
 
+from repro.engine.cache import (
+    cache_key_for,
+    cached_scan_shard,
+    get_cache,
+    hot_scan_shard,
+)
 from repro.engine.fault import ChaosProxy, FaultLog, RetryPolicy, chaos_spec_from_env
 from repro.engine.merge import AcceptBatch, ReorderWindow, simulate_accepts
 from repro.engine.plan import plan_batches, resolve_workers
@@ -85,6 +92,7 @@ except ImportError:  # pragma: no cover - exercised only on stripped installs
     np = None
 
 __all__ = [
+    "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RemoteScanExecutor",
@@ -97,10 +105,20 @@ __all__ = [
 ]
 
 #: Bumped whenever a frame or message field changes shape.  Driver and
-#: worker exchange versions in the hello handshake and refuse mismatches
-#: loudly instead of desynchronizing mid-scan.  Version 2 added the
-#: per-frame crc32.
-PROTOCOL_VERSION = 2
+#: worker exchange versions in the hello handshake; since version 3 the
+#: worker echoes ``min(driver, worker)`` and both sides speak that
+#: negotiated version, so mixed fleets keep working across one protocol
+#: bump instead of refusing loudly.  Version 2 added the per-frame
+#: crc32; version 3 added the hot-cache observability fields (``hot``
+#: on result replies, ``cache`` on ``done``/``pong``) — pure additions,
+#: so a v3 pair is wire-compatible with v2 minus the counters.
+PROTOCOL_VERSION = 3
+
+#: Oldest protocol this build still speaks.  A v2 worker refuses a v3
+#: hello outright (strict equality back then), so the driver redials
+#: such a worker offering v2; a v3 worker accepts anything in
+#: ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`` and echoes the min.
+MIN_PROTOCOL_VERSION = 2
 
 _FRAME_JSON = b"J"
 _FRAME_BYTES = b"B"
@@ -493,6 +511,13 @@ class WorkerServer:
             ]:
                 self._evict_locked(stale)
                 self._evictions["stale"] += 1
+            # The hot chunk cache rides the same supersession signal:
+            # decoded chunks of the swept generations are unreachable by
+            # key (the token changed) but still charge the byte budget,
+            # so reclaim them now instead of waiting for LRU pressure.
+            key_base = cache_key_for(fresh)
+            if key_base is not None:
+                get_cache().invalidate(key_base[0], keep_token=key_base[1])
             # Evict exactly the overflow count of *live* entries: a
             # doomed-but-busy entry stays in the dict until released
             # (it is already as evicted as it can get), so re-checking
@@ -545,19 +570,24 @@ class WorkerServer:
                 hello = recv_json(conn)
                 if hello.get("op") != "hello":
                     raise ProtocolError(f"expected hello, got {hello.get('op')!r}")
-                if hello.get("protocol") != PROTOCOL_VERSION:
+                peer = hello.get("protocol")
+                if not isinstance(peer, int) or peer < MIN_PROTOCOL_VERSION:
                     send_json(conn, {
                         "op": "error",
                         "message": (
-                            f"protocol mismatch: driver speaks "
-                            f"{hello.get('protocol')!r}, worker speaks "
+                            f"protocol mismatch: driver speaks {peer!r}, "
+                            f"worker speaks {MIN_PROTOCOL_VERSION}.."
                             f"{PROTOCOL_VERSION}"
                         ),
                     })
                     return
+                # Negotiate down to the newest version both sides speak:
+                # a v2 driver gets v2 replies (no hot/cache fields), a
+                # v3+ driver gets everything this build knows.
+                negotiated = min(peer, PROTOCOL_VERSION)
                 send_json(conn, {
                     "op": "hello",
-                    "protocol": PROTOCOL_VERSION,
+                    "protocol": negotiated,
                     "pid": os.getpid(),
                     "root": str(self.root),
                 })
@@ -570,12 +600,16 @@ class WorkerServer:
                     if op == "ping":
                         with self._repo_lock:
                             evictions = dict(self._evictions)
-                        send_json(
-                            conn, {"op": "pong", "evictions": evictions}
-                        )
+                        reply = {"op": "pong", "evictions": evictions}
+                        if negotiated >= 3:
+                            cache = get_cache()
+                            reply["cache"] = (
+                                cache.stats() if cache.enabled else None
+                            )
+                        send_json(conn, reply)
                     elif op == "scan":
                         try:
-                            self._handle_scan(conn, request)
+                            self._handle_scan(conn, request, negotiated)
                         except StaleRepositoryError as exc:
                             # Retriable, and raised before any result
                             # frame (the request is fully consumed), so
@@ -597,7 +631,9 @@ class WorkerServer:
                 except OSError:
                     pass
 
-    def _handle_scan(self, conn: socket.socket, request: dict) -> None:
+    def _handle_scan(
+        self, conn: socket.socket, request: dict, negotiated: int,
+    ) -> None:
         mask_bytes = recv_bytes(conn)
         try:
             key, repo = self._open_repository(request["path"], request["token"])
@@ -633,8 +669,8 @@ class WorkerServer:
             for position, shard in enumerate(shards):
                 if position + 1 < len(shards):
                     repo.prefetch_shard(shards[position + 1])
-                start, gains, captured = repo.scan_shard(
-                    shard, mask,
+                (start, gains, captured), hot = hot_scan_shard(
+                    repo, shard, mask,
                     min_capture_gain=(
                         accept_threshold
                         if accept_threshold is not None
@@ -649,6 +685,8 @@ class WorkerServer:
                     "start": start,
                     "captured": _encode_captured(captured),
                 }
+                if negotiated >= 3:
+                    reply["hot"] = bool(hot)
                 send_gains = accept_threshold is None and include_gains
                 reply["gains"] = send_gains
                 if accept_threshold is not None:
@@ -667,9 +705,13 @@ class WorkerServer:
                     os.kill(os.getpid(), signal.SIGKILL)
             with self._repo_lock:
                 evictions = dict(self._evictions)
-            send_json(conn, {
+            done = {
                 "op": "done", "shards": len(shards), "evictions": evictions,
-            })
+            }
+            if negotiated >= 3:
+                cache = get_cache()
+                done["cache"] = cache.stats() if cache.enabled else None
+            send_json(conn, done)
         finally:
             self._release_repository(key)
 
@@ -677,22 +719,15 @@ class WorkerServer:
 # ----------------------------------------------------------------------
 # Driver connections
 # ----------------------------------------------------------------------
-def _connect(worker, policy=None, display=None):
-    """Dial a worker and run the hello handshake.
+def _dial_once(worker, policy, shown: str, offer: int):
+    """One connect + hello exchange offering protocol ``offer``.
 
-    Returns ``(socket, hello_reply)``.  ``display`` names the worker in
-    error messages when the dialed address is an interposed proxy (the
-    chaos harness) rather than the worker itself.  The connect timeout
-    stays in force through the handshake: a host that accepts the
-    connection but never replies (wedged worker, wrong service) must
-    error, not hang the driver.  Post-handshake reads carry the policy
-    idle timeout — the old ``settimeout(None)`` meant a peer that wedged
-    *after* the handshake could hang a scan forever.
+    Returns ``(socket, hello_reply)`` on success; raises
+    :class:`ProtocolError` when the worker refuses or replies with an
+    unusable version (the socket is closed first), ``RuntimeError`` when
+    the host is unreachable.
     """
-    policy = RetryPolicy.resolve(policy)
     host, port = worker
-    shown = display if display is not None else (host, port)
-    shown = f"{shown[0]}:{shown[1]}"
     try:
         sock = socket.create_connection(
             (host, port), timeout=policy.connect_timeout
@@ -703,14 +738,54 @@ def _connect(worker, policy=None, display=None):
             "(is `python -m repro worker serve` running there?)"
         ) from exc
     try:
-        send_json(sock, {"op": "hello", "protocol": PROTOCOL_VERSION})
+        send_json(sock, {"op": "hello", "protocol": offer})
         reply = recv_json(sock)
         if reply.get("op") == "error":
             raise ProtocolError(reply.get("message", "worker refused the hello"))
-        if reply.get("op") != "hello" or reply.get("protocol") != PROTOCOL_VERSION:
+        negotiated = reply.get("protocol")
+        if (
+            reply.get("op") != "hello"
+            or not isinstance(negotiated, int)
+            or not MIN_PROTOCOL_VERSION <= negotiated <= offer
+        ):
             raise ProtocolError(f"unexpected hello reply {reply!r}")
-    except (ProtocolError, ConnectionError, OSError) as exc:
+    except (ProtocolError, ConnectionError, OSError):
         sock.close()
+        raise
+    return sock, reply
+
+
+def _connect(worker, policy=None, display=None):
+    """Dial a worker and run the negotiated hello handshake.
+
+    Returns ``(socket, hello_reply)``; the reply's ``protocol`` field is
+    the version both sides will speak.  The driver offers its newest
+    version first; a pre-negotiation (v2) worker answers that with a
+    strict-equality refusal, so a hello *refusal* mentioning a protocol
+    mismatch triggers one redial offering :data:`MIN_PROTOCOL_VERSION` —
+    mixed fleets keep working across one protocol bump.  ``display``
+    names the worker in error messages when the dialed address is an
+    interposed proxy (the chaos harness) rather than the worker itself.
+    The connect timeout stays in force through the handshake: a host
+    that accepts the connection but never replies (wedged worker, wrong
+    service) must error, not hang the driver.  Post-handshake reads
+    carry the policy idle timeout — the old ``settimeout(None)`` meant a
+    peer that wedged *after* the handshake could hang a scan forever.
+    """
+    policy = RetryPolicy.resolve(policy)
+    host, port = worker
+    shown = display if display is not None else (host, port)
+    shown = f"{shown[0]}:{shown[1]}"
+    try:
+        try:
+            sock, reply = _dial_once(worker, policy, shown, PROTOCOL_VERSION)
+        except ProtocolError as exc:
+            if "protocol mismatch" not in str(exc):
+                raise
+            sock, reply = _dial_once(
+                worker, policy, shown, MIN_PROTOCOL_VERSION
+            )
+    except (ProtocolError, ConnectionError, OSError) as exc:
         raise RuntimeError(
             f"handshake with remote worker {shown} failed: {exc}"
         ) from exc
@@ -785,11 +860,14 @@ class _Batch:
     through its own open handle.
     """
 
-    __slots__ = ("index", "shards", "attempts", "stale_workers")
+    __slots__ = ("index", "shards", "cost", "attempts", "stale_workers")
 
-    def __init__(self, index: int, shards):
+    def __init__(self, index: int, shards, cost: int = 0):
         self.index = index
         self.shards = list(shards)
+        #: Planner cost estimate (§8.2 scan words) of the whole batch —
+        #: the work unit the throughput EWMA is denominated in.
+        self.cost = int(cost) if cost else len(self.shards)
         self.attempts = 0
         self.stale_workers: set = set()
 
@@ -797,23 +875,40 @@ class _Batch:
 class _WorkerHealth:
     """Executor-scoped per-worker state (guarded by the executor lock)."""
 
-    __slots__ = ("consecutive", "ejected_until")
+    __slots__ = ("consecutive", "ejected_until", "rate")
 
     def __init__(self):
         self.consecutive = 0
         self.ejected_until = 0.0
+        #: EWMA throughput in planner cost units (§8.2 scan words) per
+        #: second, observed from delivered batches.  ``0.0`` = unseeded;
+        #: placement then treats the worker as fleet-average.
+        self.rate = 0.0
 
 
 class _ScanState:
-    """Shared state of one in-flight scan: work queue, delivery ledger.
+    """Shared state of one in-flight scan: work queues, delivery ledger.
 
     ``deliver`` marks a shard delivered *and* queues it for the reorder
     window in one step, so a batch that faults mid-stream re-dispatches
     only its undelivered remainder — the window never sees a shard
     twice, which is what keeps retried scans bit-identical.
+
+    Work is dealt in two tiers.  ``assignment`` (from the executor's
+    throughput-weighted placement) seeds a per-worker deque each lane
+    drains first — that is what steers shards toward the workers whose
+    hot caches hold them.  The shared overflow queue takes everything
+    else: unassigned batches, every requeue from the fault paths (a
+    re-dispatched batch must be grabbable by *any* surviving lane), and
+    the drained deque of an exiting lane.  An idle lane steals from the
+    *tail* of the longest peer deque before blocking, so a skewed
+    assignment degrades to work-sharing instead of idling the fleet.
+    Placement decides only *where* a shard is scanned; the reorder
+    window alone decides observation order, so results are bit-identical
+    under every assignment.
     """
 
-    def __init__(self, shard_count: int, batches):
+    def __init__(self, shard_count: int, batches, assignment=None):
         self.shard_count = shard_count
         self.stop = threading.Event()
         self.results: "queue.Queue[tuple]" = queue.Queue()
@@ -822,13 +917,25 @@ class _ScanState:
         #: "every worker reports this batch's generation stale" check.
         self.roster: set = set()
         self._lock = threading.Lock()
+        self._local: dict = {}  # worker -> deque of assigned batches
         self._delivered: set = set()
+        #: worker -> {"delivered": n, "hot": n}; "driver" for salvage.
+        self.delivered_by: dict = {}
+        #: shard -> worker that delivered it (feeds the executor's
+        #: cache-affinity map for the next pass).
+        self.homes: dict = {}
         self._batches = len(batches)
         self._done_batches = 0
         self._exited: set = set()
         self._stale_queued: set = set()
         for batch in batches:
-            self.work.put(batch)
+            worker = assignment.get(batch.index) if assignment else None
+            if worker is None:
+                self.work.put(batch)
+            else:
+                self._local.setdefault(
+                    worker, collections.deque()
+                ).append(batch)
 
     def mark_stale(self, batch: _Batch, worker) -> bool:
         """Record one stale-repository report against ``batch``.
@@ -851,11 +958,33 @@ class _ScanState:
             return False
 
     def note_exit(self, worker) -> None:
-        """A lane is gone: stop counting it toward the stale quorum."""
+        """A lane is gone: stop counting it toward the stale quorum, and
+        spill its still-assigned batches to the shared queue so no
+        placement decision can strand work on a dead lane."""
         with self._lock:
             self._exited.add(worker)
+            spill = self._local.pop(worker, None)
+        if spill:
+            for batch in spill:
+                self.work.put(batch)
 
-    def take(self, timeout: float):
+    def take(self, worker, timeout: float):
+        """Next batch for ``worker``: own deque, overflow queue, steal."""
+        with self._lock:
+            own = self._local.get(worker)
+            if own:
+                return own.popleft()
+        try:
+            return self.work.get_nowait()
+        except queue.Empty:
+            pass
+        with self._lock:
+            victim = max(
+                (dq for w, dq in self._local.items() if dq and w != worker),
+                key=len, default=None,
+            )
+            if victim:
+                return victim.pop()
         try:
             return self.work.get(timeout=timeout)
         except queue.Empty:
@@ -868,9 +997,17 @@ class _ScanState:
         with self._lock:
             return [s for s in batch.shards if s not in self._delivered]
 
-    def deliver(self, shard: int, item) -> None:
+    def deliver(self, shard: int, item, worker=None, hot: bool = False) -> None:
         with self._lock:
             self._delivered.add(shard)
+            if worker is not None:
+                ledger = self.delivered_by.setdefault(
+                    worker, {"delivered": 0, "hot": 0}
+                )
+                ledger["delivered"] += 1
+                if hot:
+                    ledger["hot"] += 1
+                self.homes[shard] = worker
         self.results.put(("item", (shard, item)))
 
     def batch_done(self, batch: _Batch) -> None:
@@ -922,7 +1059,7 @@ class _WorkerLane(threading.Thread):
                         return
             last_beat = time.monotonic()
             while not state.stop.is_set():
-                batch = state.take(timeout=0.25)
+                batch = state.take(self.worker, timeout=0.25)
                 if batch is None:
                     if state.finished():
                         return
@@ -948,6 +1085,7 @@ class _WorkerLane(threading.Thread):
                         state.requeue(batch)
                         state.stop.wait(0.05)
                     continue
+                begin = time.monotonic()
                 try:
                     self._run_batch(todo)
                 except _LaneFault as fault:
@@ -999,11 +1137,22 @@ class _WorkerLane(threading.Thread):
                 else:
                     state.batch_done(batch)
                     executor._note_success(self.worker)
+                    executor._note_throughput(
+                        self.worker, self._units(todo),
+                        time.monotonic() - begin,
+                    )
                     last_beat = time.monotonic()
         finally:
             self._close()
             state.note_exit(self.worker)
             state.results.put(("lane_exit", self.worker))
+
+    def _units(self, shards) -> int:
+        """Planner cost units in ``shards`` (the EWMA work numerator)."""
+        costs = getattr(self.state, "shard_costs", None)
+        if costs is None:
+            return len(shards)
+        return sum(int(costs[shard]) for shard in shards)
 
     # -- one batch ------------------------------------------------------
     def _run_batch(self, todo) -> None:
@@ -1067,13 +1216,19 @@ class _WorkerLane(threading.Thread):
                         start, (gains if self.include_gains else None), captured
                     )
                 expected.discard(shard)
-                self.state.deliver(shard, item)
+                self.state.deliver(
+                    shard, item, worker=self.worker,
+                    hot=bool(message.get("hot")),
+                )
             self._arm_timeout(sock, deadline)
             message = recv_json(sock)
             if message.get("op") != "done":
                 raise ProtocolError(
                     f"expected done after last shard, got {message.get('op')!r}"
                 )
+            cache = message.get("cache")
+            if cache is not None:
+                executor._note_worker_cache(self.worker, cache)
         except _LaneFault:
             raise
         except (ProtocolError, ConnectionError, OSError, ValueError, KeyError) as exc:
@@ -1114,6 +1269,9 @@ class _WorkerLane(threading.Thread):
             reply = recv_json(sock)
             if reply.get("op") != "pong":
                 raise ProtocolError(f"expected pong, got {reply.get('op')!r}")
+            cache = reply.get("cache")
+            if cache is not None:
+                self.executor._note_worker_cache(self.worker, cache)
             return True
         except (ProtocolError, ConnectionError, OSError, ValueError) as exc:
             self.executor.fault_log.record(
@@ -1176,6 +1334,19 @@ class RemoteScanExecutor(ScanExecutor):
 
     transport = "remote"
 
+    #: EWMA smoothing for observed per-worker throughput: ~70% weight on
+    #: history, so one slow batch (GC pause, cold cache) does not flip
+    #: the placement, but a persistently slow worker converges in a few
+    #: batches.
+    _EWMA_ALPHA = 0.3
+
+    #: Placement discount for a shard whose last delivery came from this
+    #: worker: its decoded chunks are likely still in the worker's hot
+    #: cache, making the §8.2 cost estimate roughly the decode share too
+    #: pessimistic.  0.5 is deliberately conservative — affinity is a
+    #: tie-breaker, not a pin.
+    _AFFINITY_DISCOUNT = 0.5
+
     def __init__(self, workers, planner: bool = True, retry=None):
         self.workers = resolve_workers(workers)
         self.jobs = len(self.workers)
@@ -1185,6 +1356,9 @@ class RemoteScanExecutor(ScanExecutor):
         self._rng = self.retry.jitter_rng()
         self._health = {worker: _WorkerHealth() for worker in self.workers}
         self._health_lock = threading.Lock()
+        self._worker_cache: dict = {}
+        self._affinity: "tuple | None" = None  # (token key, {shard: worker})
+        self._last_ledger: dict = {}
         self._dial: dict = {}
         self._chaos: list = []
         spec = chaos_spec_from_env(os.environ)
@@ -1230,10 +1404,60 @@ class RemoteScanExecutor(ScanExecutor):
             repository, mask_int, None, None, False, False, threshold,
         )
 
+    # -- observability -----------------------------------------------------
+    @property
+    def cache_stats(self) -> "dict | None":
+        """Fleet-aggregated hot-cache counters from worker replies.
+
+        Workers report their process-wide :class:`ChunkCache` counters
+        on every ``done`` and ``pong`` (protocol ≥ 3); this sums the
+        latest snapshot per worker.  ``None`` until at least one worker
+        has reported (old-protocol fleets never do).
+        """
+        with self._health_lock:
+            snapshots = [dict(s) for s in self._worker_cache.values() if s]
+        if not snapshots:
+            return None
+        agg = {
+            key: sum(int(snap.get(key, 0)) for snap in snapshots)
+            for key in ("hits", "misses", "evictions", "entries", "bytes")
+        }
+        agg["max_bytes"] = max(
+            int(snap.get("max_bytes", 0)) for snap in snapshots
+        )
+        agg["workers"] = len(snapshots)
+        return agg
+
+    def placement_ledger(self) -> dict:
+        """Per-worker delivery counts of the most recent scan.
+
+        ``{"host:port": {"delivered": n, "hot": n}, ...}`` (plus a
+        ``"driver"`` row when local salvage/fallback scanned shards).
+        Observability only — the chaos-smoke job asserts load *shifted*
+        away from a delayed worker without timing anything.
+        """
+        return {worker: dict(row) for worker, row in self._last_ledger.items()}
+
+    def _note_worker_cache(self, worker, stats) -> None:
+        with self._health_lock:
+            self._worker_cache[worker] = stats
+
     # -- health ledger ----------------------------------------------------
     def _note_success(self, worker) -> None:
         with self._health_lock:
             self._health[worker].consecutive = 0
+
+    def _note_throughput(self, worker, units: int, elapsed: float) -> None:
+        """Fold one delivered batch into the worker's throughput EWMA."""
+        if units <= 0:
+            return
+        observed = units / max(elapsed, 1e-6)
+        with self._health_lock:
+            health = self._health[worker]
+            if health.rate <= 0.0:
+                health.rate = observed
+            else:
+                health.rate += self._EWMA_ALPHA * (observed - health.rate)
 
     def _note_failure(self, worker) -> bool:
         """Count one fault; True when the worker just got ejected."""
@@ -1286,6 +1510,56 @@ class RemoteScanExecutor(ScanExecutor):
         )
         return sock
 
+    # -- placement ---------------------------------------------------------
+    def _place_batches(self, batches, roster, affinity_key):
+        """Deal batches to workers by throughput, not round-robin.
+
+        Greedy longest-processing-time assignment: batches in
+        descending §8.2 cost order, each to the worker whose projected
+        finish time ``(load + effective cost) / rate`` is smallest.
+        ``rate`` is the worker's throughput EWMA (unseeded workers get
+        the fleet average, so a cold fleet degenerates to plain
+        cost-balancing — the §8.2 estimates seed the placement until
+        observations arrive).  ``effective cost`` discounts shards whose
+        previous delivery came from this same worker
+        (:data:`_AFFINITY_DISCOUNT`): their decoded chunks are likely
+        still hot in that worker's cache.  Returns ``{batch index:
+        worker}``; purely a scheduling hint — lanes steal across the
+        assignment when it turns out wrong, and the reorder window makes
+        results independent of it either way.
+        """
+        if not roster or not batches:
+            return None
+        with self._health_lock:
+            rates = {worker: self._health[worker].rate for worker in roster}
+            homes: dict = {}
+            if self._affinity is not None and self._affinity[0] == affinity_key:
+                homes = self._affinity[1]
+        seeded = [rate for rate in rates.values() if rate > 0.0]
+        default = (sum(seeded) / len(seeded)) if seeded else 1.0
+        rates = {
+            worker: (rate if rate > 0.0 else default)
+            for worker, rate in rates.items()
+        }
+        load = {worker: 0.0 for worker in roster}
+        assignment: dict = {}
+        for batch in sorted(batches, key=lambda b: b.cost, reverse=True):
+            best = best_eta = best_cost = None
+            for worker in roster:
+                hot = (
+                    sum(1 for s in batch.shards if homes.get(s) == worker)
+                    / len(batch.shards)
+                ) if homes else 0.0
+                effective = batch.cost * (
+                    1.0 - self._AFFINITY_DISCOUNT * hot
+                )
+                eta = (load[worker] + effective) / rates[worker]
+                if best_eta is None or eta < best_eta:
+                    best, best_eta, best_cost = worker, eta, effective
+            assignment[batch.index] = best
+            load[best] += best_cost
+        return assignment
+
     # -- the scan ---------------------------------------------------------
     def _raise_fatal(self, payload) -> None:
         worker, batch, message = payload
@@ -1313,8 +1587,8 @@ class RemoteScanExecutor(ScanExecutor):
         mask = ScanMask(repository.n, mask_int)
         ids = frozenset(capture_ids) if capture_ids is not None else None
         for shard in shards:
-            start, gains, captured = repository.scan_shard(
-                shard, mask,
+            start, gains, captured = cached_scan_shard(
+                repository, shard, mask,
                 min_capture_gain=(
                     accept_threshold
                     if accept_threshold is not None
@@ -1368,16 +1642,24 @@ class RemoteScanExecutor(ScanExecutor):
         }
         mask_bytes = mask_int.to_bytes(max(1, repository.words * 8), "little")
         if self.planner:
-            plan = plan_batches(repository.shard_cost_estimates(), self.jobs)
+            estimates = list(repository.shard_cost_estimates())
+            plan = plan_batches(estimates, self.jobs)
         else:  # the pre-planner schedule: one batch per shard, index order
+            estimates = None
             plan = [[shard] for shard in range(count)]
         batches = [
-            _Batch(index, shards)
+            _Batch(
+                index, shards,
+                cost=sum(estimates[s] for s in shards) if estimates else 0,
+            )
             for index, shards in enumerate(plan)
             if shards
         ]
-        state = _ScanState(count, batches)
         roster = self._roster()
+        affinity_key = (request["path"], tuple(request["token"]))
+        assignment = self._place_batches(batches, roster, affinity_key)
+        state = _ScanState(count, batches, assignment)
+        state.shard_costs = estimates
         state.roster = set(roster)
         preconnected: dict = {}
         if not policy.enabled:
@@ -1432,7 +1714,7 @@ class RemoteScanExecutor(ScanExecutor):
                         capture_ids, best_only, include_gains,
                         accept_threshold,
                     ):
-                        state.deliver(shard, item)
+                        state.deliver(shard, item, worker="driver")
                     state.batch_done(batch)
                 else:  # lane_exit
                     alive -= 1
@@ -1480,6 +1762,14 @@ class RemoteScanExecutor(ScanExecutor):
                         capture_ids, best_only, include_gains,
                         accept_threshold,
                     ):
+                        # Every lane already exited: the results queue
+                        # has no consumer but this loop, so bypass
+                        # deliver() and feed the window directly (still
+                        # recording the ledger row).
+                        row = state.delivered_by.setdefault(
+                            "driver", {"delivered": 0, "hot": 0}
+                        )
+                        row["delivered"] += 1
                         window.push(shard, item)
                         yield from window.pop_ready()
         finally:
@@ -1489,6 +1779,27 @@ class RemoteScanExecutor(ScanExecutor):
             for lane in lanes:
                 host, port = lane.worker
                 _join_reaped(lane, f"remote lane for worker {host}:{port}")
+            # Persist this scan's observability artefacts on the
+            # executor: the delivered-shard ledger (chaos-smoke asserts
+            # load skew on it) and the shard->worker affinity map the
+            # next pass's placement consults.  "driver" rows never enter
+            # the affinity map — the driver is not a placement target.
+            self._last_ledger = {
+                (
+                    worker if isinstance(worker, str)
+                    else f"{worker[0]}:{worker[1]}"
+                ): dict(row)
+                for worker, row in state.delivered_by.items()
+            }
+            homes = {
+                shard: worker for shard, worker in state.homes.items()
+                if not isinstance(worker, str)
+            }
+            if self._affinity is not None and self._affinity[0] == affinity_key:
+                merged = dict(self._affinity[1])
+                merged.update(homes)
+                homes = merged
+            self._affinity = (affinity_key, homes)
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 
+from repro.engine.cache import cached_scan_shard
 from repro.engine.transport.base import ScanExecutor
 from repro.setsystem.packed import ScanMask, scan_chunk
 
@@ -67,8 +68,8 @@ class SerialScanExecutor(ScanExecutor):
         mask = ScanMask(repository.n, mask_int)
 
         def scan(shard: int):
-            return repository.scan_shard(
-                shard, mask,
+            return cached_scan_shard(
+                repository, shard, mask,
                 min_capture_gain=min_capture_gain,
                 capture_ids=capture_ids,
                 best_only=best_only,

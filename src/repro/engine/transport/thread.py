@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import concurrent.futures
 
+from repro.engine.cache import cached_scan_shard
 from repro.engine.transport.base import ScanExecutor
 from repro.setsystem.packed import ScanMask, scan_chunk
 
@@ -78,7 +79,7 @@ class ThreadScanExecutor(ScanExecutor):
         pool = _get_thread_pool(self.jobs)
         futures = [
             pool.submit(
-                repository.scan_shard, shard, mask,
+                cached_scan_shard, repository, shard, mask,
                 min_capture_gain=min_capture_gain,
                 capture_ids=capture_ids,
                 best_only=best_only,

@@ -113,6 +113,8 @@ from repro.setsystem.shards import (
     StaleStagingError,
     _choose_row_tag,
     _shard_stats,
+    _LAYOUT_RAW,
+    _TAG_DENSE,
     _WORD_BYTES,
     pending_delta_generations,
     write_shards,
@@ -551,6 +553,8 @@ class MergedShardView:
         self.total_rows = offset
         self._row_bytes = self.words * _WORD_BYTES
         self._stats_cache: "dict[int, dict]" = {}
+        self._cost_cache: "dict[tuple[int, int], object]" = {}
+        self._cost_estimates: "list[int] | None" = None
         self._closed = False
         #: Content token of the base manifest bytes this view was built
         #: from — the swing detector :func:`open_repository` rechecks.
@@ -688,22 +692,86 @@ class MergedShardView:
         """Per-merged-chunk stats blocks (computed lazily, cached)."""
         return [self.compute_shard_stats(s) for s in range(self.shard_count)]
 
+    def _row_cost_table(self, repo: ShardedRepository, shard: int):
+        """Exact §8.2 per-row scan costs of one *source* shard, no decode.
+
+        A dense-stored row costs ``2 + words``; a sparse or run-length
+        row costs ``2 + varint_count(payload)`` (a sparse row's varints
+        *are* its elements; a run-length row charges two units per run
+        and stores two varints per run).  Tags come from the record
+        table (:meth:`ShardedRepository._encoded_header`) and varint
+        counts from one vectorized continuation-bit scan of the payload
+        — never the fused row decode the old estimator paid per chunk.
+        """
+        key = (id(repo), shard)
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            return cached
+        words = max(1, repo.words)
+        rows = int(repo._shard_meta[shard]["rows"])
+        if repo._layouts[shard] == _LAYOUT_RAW:
+            if np is not None:
+                table = np.full(rows, 2 + words, dtype=np.int64)
+            else:
+                table = [2 + words] * rows
+        else:
+            tags, lengths, offsets = repo._encoded_header(shard)
+            mm = repo._maps[shard]
+            if np is not None:
+                payload = np.frombuffer(mm, dtype=np.uint8)
+                starts = np.asarray(offsets, dtype=np.int64)
+                lens = np.asarray(lengths, dtype=np.int64)
+                prefix = np.concatenate(
+                    ([0], np.cumsum(payload < 0x80, dtype=np.int64))
+                )
+                varints = prefix[starts + lens] - prefix[starts]
+                table = np.where(
+                    np.asarray(tags) == _TAG_DENSE, 2 + words, 2 + varints
+                )
+            else:
+                table = []
+                for local in range(rows):
+                    if tags[local] == _TAG_DENSE:
+                        table.append(2 + words)
+                    else:
+                        chunk = mm[
+                            offsets[local] : offsets[local] + lengths[local]
+                        ]
+                        table.append(
+                            2 + sum(1 for byte in chunk if byte < 0x80)
+                        )
+        self._cost_cache[key] = table
+        return table
+
     def shard_cost_estimates(self) -> "list[int]":
-        """Planner scan costs per merged chunk — the v3 cost model."""
-        words = max(1, self.words)
+        """Planner scan costs per merged chunk — the v3 cost model.
+
+        Delta-aware: each merged chunk sums the **exact** per-row costs
+        of its *live* rows, read off the source shards' record tables
+        (:meth:`_row_cost_table`), so tombstoned rows price at zero and
+        :func:`~repro.engine.plan.plan_batches` stops over-weighting
+        churned repositories.  Because codec choice is a pure function
+        of row content, a live row costs the same in its source shard
+        as in a compacted rewrite — under a consistent encoding policy
+        these estimates equal the rebuild's exactly (the churn-parity
+        suite asserts it) — and unlike the old estimator nothing here
+        decodes a row: planning a merged scan is header tables plus one
+        byte scan per touched source shard.
+        """
+        if self._cost_estimates is not None:
+            return list(self._cost_estimates)
         costs: "list[int]" = []
         for shard in range(self.shard_count):
-            stats = self.compute_shard_stats(shard)
             start, end = self._bounds(shard)
-            mix = stats["codec_mix"]
-            cost = (
-                2 * (end - start)
-                + int(mix.get("dense", 0)) * words
-                + int(stats.get("sparse_elems", 0))
-                + 2 * int(stats.get("rle_runs", 0))
-            )
-            costs.append(max(1, cost))
-        return costs
+            total = 0
+            for repo, local in self._sources[start:end]:
+                chunk_rows = max(1, repo.chunk_rows)
+                src_shard = local // chunk_rows
+                table = self._row_cost_table(repo, src_shard)
+                total += int(table[local - src_shard * chunk_rows])
+            costs.append(max(1, total))
+        self._cost_estimates = costs
+        return list(costs)
 
     def backfill_stats(self) -> bool:
         """Refuse: merged views have no manifest of their own to upgrade."""
@@ -757,6 +825,53 @@ class MergedShardView:
         )
         gains, captured = scan_chunk(
             start, chunk, mask,
+            min_capture_gain=min_capture_gain,
+            capture_ids=capture_ids,
+            best_only=best_only,
+        )
+        return start, gains, captured
+
+    # -- hot-cache hooks (repro.engine.cache) --------------------------
+    def decode_chunk(self, shard: int):
+        """``(payload, resident_bytes)`` for the cross-pass hot cache.
+
+        The merged chunk is materialized once (matrix on the numpy
+        path, bitmask list otherwise) so repeat passes skip the
+        row-by-row source gather entirely.  Keyed by
+        :attr:`cache_token`, which covers every chain manifest — any
+        ``apply-delta`` or compaction changes the token, so a cached
+        merge can never be served stale.
+        """
+        if self._closed:
+            raise ShardFormatError(f"merged view over {self.path} is closed")
+        if np is None:
+            masks = self.chunk_masks(shard)
+            return ("masks", masks), len(masks) * (self._row_bytes + 64)
+        matrix = self.chunk_matrix(shard)
+        return ("matrix", matrix), matrix.nbytes
+
+    def scan_decoded(
+        self,
+        shard: int,
+        payload,
+        mask: ScanMask,
+        min_capture_gain: "int | None" = None,
+        capture_ids=None,
+        best_only: bool = False,
+    ):
+        """:meth:`scan_shard` over a :meth:`decode_chunk` payload."""
+        if self._closed:
+            raise ShardFormatError(f"merged view over {self.path} is closed")
+        start, end = self._bounds(shard)
+        rows = end - start
+        if mask.is_empty:
+            gains = (
+                np.zeros(rows, dtype=np.int64) if np is not None else [0] * rows
+            )
+            return start, gains, []
+        _, data = payload
+        gains, captured = scan_chunk(
+            start, data, mask,
             min_capture_gain=min_capture_gain,
             capture_ids=capture_ids,
             best_only=best_only,

@@ -1386,13 +1386,28 @@ class ShardedRepository:
 
     def _encoded_gains(self, shard: int, rows: int, mask: ScanMask) -> "np.ndarray":
         """Whole-shard fused gains for an encoded shard (numpy path)."""
+        return _gains_from_decoded(self._decode_encoded_chunk(shard, rows), mask)
+
+    def _decode_encoded_chunk(self, shard: int, rows: int) -> dict:
+        """The mask-independent half of the fused encoded scan.
+
+        Parses every row of an encoded shard into kernel-ready arrays —
+        sparse element ids, run-length boundaries, a packed dense
+        submatrix — carrying all the corruption validation of the old
+        one-shot scan.  The result references no ``mmap`` memory, so the
+        hot cache (:mod:`repro.engine.cache`) can hold it across passes
+        (and across repository handles); :func:`_gains_from_decoded`
+        applies any residual mask to it, bit-identical to the fused
+        scan.
+        """
         tags, lengths, offsets = self._encoded_header(shard)
         payload = np.frombuffer(self._maps[shard], dtype=np.uint8)
-        gains = np.zeros(rows, dtype=np.int64)
         max_bytes = max(1, (int(self.n).bit_length() + 6) // 7) if self.n else 1
         row_bytes = self._row_bytes
         meta_file = self._shard_meta[shard]["file"]
+        nbytes = 0
 
+        sparse = None
         sel = np.flatnonzero(tags == _TAG_SPARSE)
         if sel.size:
             seg = _ragged_gather(payload, offsets[sel], lengths[sel])
@@ -1415,9 +1430,10 @@ class ShardedRepository:
                         "element outside the ground set"
                     )
                 row_ids = np.repeat(sel, counts)
-                hits = membership_hits(elements, mask.arr)
-                gains += np.bincount(row_ids[hits], minlength=rows)
+                sparse = (elements, row_ids)
+                nbytes += elements.nbytes + row_ids.nbytes
 
+        rle = None
         sel = np.flatnonzero(tags == _TAG_RLE)
         if sel.size:
             seg = _ragged_gather(payload, offsets[sel], lengths[sel])
@@ -1439,8 +1455,10 @@ class ShardedRepository:
                         "run outside the ground set"
                     )
                 row_ids = np.repeat(sel, pair_counts)
-                gains += range_gains(run_starts, run_ends, row_ids, rows, mask.prefix)
+                rle = (run_starts, run_ends, row_ids)
+                nbytes += run_starts.nbytes + run_ends.nbytes + row_ids.nbytes
 
+        dense = None
         sel = np.flatnonzero(tags == _TAG_DENSE)
         if sel.size:
             if (lengths[sel] != row_bytes).any():
@@ -1452,8 +1470,79 @@ class ShardedRepository:
                 matrix = (
                     np.ascontiguousarray(payload[positions]).view("<u8")
                 )
-                gains[sel] = chunk_gains(matrix, mask.arr)
-        return gains
+                dense = (sel, matrix)
+                nbytes += sel.nbytes + matrix.nbytes
+
+        return {
+            "rows": rows,
+            "sparse": sparse,
+            "rle": rle,
+            "dense": dense,
+            "nbytes": nbytes,
+        }
+
+    # ------------------------------------------------------------------
+    # Hot-cache hooks (repro.engine.cache)
+    # ------------------------------------------------------------------
+    def decode_chunk(self, shard: int):
+        """``(payload, resident_bytes)`` for the cross-pass hot cache.
+
+        The payload is self-contained (owns its memory, references no
+        ``mmap``) and mask-independent, so it can outlive this handle
+        and serve any residual; :meth:`scan_decoded` turns it into the
+        exact ``scan_shard`` result.  Raw shards cache their packed
+        matrix, encoded shards the parsed kernel arrays, and the pure-
+        Python path its integer-bitmask list.
+        """
+        if self._closed:
+            raise ShardFormatError(f"repository {self.path} is closed")
+        rows = int(self._shard_meta[shard]["rows"])
+        if np is None:
+            masks = self.chunk_masks(shard)
+            return ("masks", masks), rows * (max(1, self._row_bytes) + 64)
+        if self._layouts[shard] == _LAYOUT_RAW:
+            matrix = np.array(self.chunk_matrix(shard))
+            return ("matrix", matrix), matrix.nbytes
+        decoded = self._decode_encoded_chunk(shard, rows)
+        return ("decoded", decoded), decoded["nbytes"]
+
+    def scan_decoded(
+        self,
+        shard: int,
+        payload,
+        mask: ScanMask,
+        min_capture_gain: "int | None" = None,
+        capture_ids=None,
+        best_only: bool = False,
+    ):
+        """:meth:`scan_shard` over a :meth:`decode_chunk` payload.
+
+        Runs the same gain kernels in the same order over the cached
+        arrays, so the ``(start, gains, captured)`` tuple is bit-
+        identical to a cold scan of the shard — the property the cache
+        parity suite pins at every knob setting.
+        """
+        if self._closed:
+            raise ShardFormatError(f"repository {self.path} is closed")
+        start = self._starts[shard]
+        rows = int(self._shard_meta[shard]["rows"])
+        if mask.is_empty:
+            gains = np.zeros(rows, dtype=np.int64) if np is not None else [0] * rows
+            return start, gains, []
+        kind, data = payload
+        if kind != "decoded":
+            gains, captured = scan_chunk(
+                start, data, mask,
+                min_capture_gain=min_capture_gain,
+                capture_ids=capture_ids,
+                best_only=best_only,
+            )
+            return start, gains, captured
+        gains = _gains_from_decoded(data, mask)
+        captured = self._encoded_captures(
+            shard, start, gains, mask, min_capture_gain, capture_ids, best_only
+        )
+        return start, gains, captured
 
     def _encoded_captures(
         self, shard, start, gains, mask, min_capture_gain, capture_ids, best_only
@@ -1503,3 +1592,30 @@ class ShardedRepository:
             f"shards={self.shard_count}, chunk_rows={self.chunk_rows}, "
             f"schema={self.schema!r})"
         )
+
+
+def _gains_from_decoded(decoded: dict, mask: ScanMask) -> "np.ndarray":
+    """Apply a residual mask to a ``_decode_encoded_chunk`` payload.
+
+    The mask-dependent half of the fused encoded scan: the same three
+    kernels (``membership_hits`` + bincount, ``range_gains``,
+    ``chunk_gains``) in the same accumulation order as the one-shot
+    path, so gains are bit-identical whether the arrays were decoded
+    this call or served from the hot cache.
+    """
+    rows = decoded["rows"]
+    gains = np.zeros(rows, dtype=np.int64)
+    sparse = decoded["sparse"]
+    if sparse is not None:
+        elements, row_ids = sparse
+        hits = membership_hits(elements, mask.arr)
+        gains += np.bincount(row_ids[hits], minlength=rows)
+    rle = decoded["rle"]
+    if rle is not None:
+        run_starts, run_ends, row_ids = rle
+        gains += range_gains(run_starts, run_ends, row_ids, rows, mask.prefix)
+    dense = decoded["dense"]
+    if dense is not None:
+        sel, matrix = dense
+        gains[sel] = chunk_gains(matrix, mask.arr)
+    return gains

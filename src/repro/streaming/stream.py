@@ -287,7 +287,24 @@ class SetStreamBase:
         if fault_log:
             result.extra["fault_summary"] = fault_log.summary()
             result.extra["fault_events"] = fault_log.as_rows()
+        cache_stats = self.cache_stats
+        if cache_stats is not None:
+            result.extra["cache"] = cache_stats
         return result
+
+    @property
+    def cache_stats(self):
+        """Hot-cache counters behind this stream's scans, or ``None``.
+
+        Serial/thread streams report the driver process cache; process
+        and remote streams report counters aggregated from their
+        workers.  Observability only — surfaced in
+        ``ScanResult.extra["cache"]``, never consulted by results.
+        """
+        executor = getattr(self, "_executor", None)
+        if executor is None:
+            return None
+        return executor.cache_stats
 
     @property
     def fault_log(self):

@@ -72,8 +72,15 @@ _SEEDS_PER_CELL = 17
          for b, e, j, p in _MATRIX],
 )
 def test_churn_parity_matrix(tmp_path, backend, encoding, jobs, planner):
+    from repro.engine.cache import configure_cache, get_cache
+
     cell = _MATRIX.index((backend, encoding, jobs, planner))
     incremental = []
+    # The sweep doubles as the hot-cache leak check: a deliberately
+    # tight byte budget forces constant eviction across ~100 scenarios
+    # of churn, and the budget must hold at every step — a stale entry
+    # pinned past its generation would show up here as byte growth.
+    configure_cache("2m")
     for index in range(_SEEDS_PER_CELL):
         seed = 1000 * cell + index
         scenario = random_scenario(seed)
@@ -93,6 +100,10 @@ def test_churn_parity_matrix(tmp_path, backend, encoding, jobs, planner):
         stats = outcome["stats"]
         if stats["updates"]:
             incremental.append(stats["incremental_fraction"])
+        cache = get_cache().stats()
+        assert cache["bytes"] <= cache["max_bytes"], cache
+        assert cache["entries"] >= 0 and cache["bytes"] >= 0, cache
+    configure_cache(None)  # back to the environment default
     # The acceptance bar: the maintainer absorbs >= 90% of updates
     # without a full re-solve, on aggregate across the cell's scenarios.
     assert sum(incremental) / len(incremental) >= 0.9, incremental
@@ -440,3 +451,39 @@ def test_checkpoint_remap_refuses_a_mutated_chain(tmp_path):
     compact(root)
     with pytest.raises(StaleCheckpointError, match="mutation"):
         DynamicCover.restore(path, root=root, allow_remap=True)
+
+
+def test_merged_view_warm_cache_tracks_delta_churn(tmp_path):
+    """Every delta generation changes the merged view's cache token, so
+    scans after each mutation match a cache-off reference exactly."""
+    from repro.engine import SerialScanExecutor
+    from repro.engine.cache import configure_cache, get_cache
+
+    system = SetSystem(10, [[0, 1], [2, 3], [4, 5], [6, 7], [8, 9], [1, 8]])
+    root = write_shards(tmp_path / "repo", system, chunk_rows=2)
+    mask = (1 << 10) - 1
+    executor = SerialScanExecutor()
+    batches = [
+        [{"op": "insert", "elements": [0, 9]}, {"op": "delete", "id": 2}],
+        [{"op": "insert", "elements": [3, 4, 5]}, {"op": "delete", "id": 6}],
+        [{"op": "delete", "id": 0}, {"op": "insert", "elements": [7]}],
+    ]
+    configure_cache("8m")
+    try:
+        with open_repository(root) as view:
+            executor.scan_repository(view, mask)  # warm generation 0
+        for batch in batches:
+            apply_delta(root, batch)
+            with open_repository(root) as view:
+                churned = executor.scan_repository(view, mask)
+                rescan = executor.scan_repository(view, mask)
+            assert list(churned.gains) == list(rescan.gains)
+            configure_cache("off")
+            with open_repository(root) as view:
+                reference = executor.scan_repository(view, mask)
+            configure_cache("8m")
+            assert list(churned.gains) == list(reference.gains)
+            assert churned.captured == reference.captured
+        assert get_cache().stats()["bytes"] <= get_cache().stats()["max_bytes"]
+    finally:
+        configure_cache(None)

@@ -151,3 +151,78 @@ class TestSizeTestSemantics:
         m = planted_small.system.m
         assert all(0 <= i < m for i in result.selection)
         assert len(set(result.selection)) == len(result.selection)
+
+
+class TestFusedSizeTest:
+    """The vectorized per-chunk Size-Test replay is pinned bit-identical
+    to the row-by-row ``observe_sample_pass`` loop it replaces."""
+
+    def _solve(self, system, fused: bool, seed: int = 7):
+        class Pinned(IterSetCover):
+            fused_size_test = fused
+
+        return Pinned(
+            config=IterSetCoverConfig(delta=0.5, backend="numpy"), seed=seed
+        ).solve(SetStream(system))
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_whole_solve_matches_row_replay(self, seed):
+        system = uniform_random_instance(n=120, m=90, density=0.08, seed=seed)
+        fused = self._solve(system, fused=True, seed=seed)
+        plain = self._solve(system, fused=False, seed=seed)
+        assert fused.selection == plain.selection
+        assert fused.passes == plain.passes
+        assert fused.peak_memory_words == plain.peak_memory_words
+        assert fused.best_k == plain.best_k
+        for k, stats in plain.guess_stats.items():
+            other = fused.guess_stats[k]
+            assert other.heavy_picks == stats.heavy_picks
+            assert other.offline_picks == stats.offline_picks
+            assert other.cleanup_picks == stats.cleanup_picks
+            assert other.sample_sizes == stats.sample_sizes
+            assert other.peak_memory_words == stats.peak_memory_words
+
+    def test_chunk_observation_matches_row_observation(self):
+        import copy
+
+        import numpy as np
+
+        from repro.core.iter_set_cover import _GuessState
+        from repro.setsystem.packed import bitmap_kernel
+        from repro.streaming.memory import MemoryMeter
+
+        n = 96
+        kernel = bitmap_kernel(n, "numpy")
+        rng = np.random.default_rng(5)
+        for trial in range(5):
+            guess = _GuessState(4, n, MemoryMeter(label="pin"), kernel)
+            sample = sorted(rng.choice(n, size=24, replace=False).tolist())
+            guess.sample = kernel.from_indices(sample)
+            guess.sample_size = len(sample)
+            guess.leftover = guess.sample
+            guess.solution_set = {3}
+            guess.solution = [3]
+            rows = []
+            for set_id in range(10):
+                members = rng.choice(n, size=rng.integers(1, 40), replace=False)
+                rows.append((set_id, kernel.from_indices(sorted(members.tolist()))))
+            twin = copy.deepcopy(guess)
+            for set_id, row in rows:
+                twin.observe_sample_pass(
+                    set_id, kernel.intersect(row, twin.sample)
+                )
+            ids = [set_id for set_id, _ in rows]
+            matrix = np.stack(
+                [kernel.intersect(row, guess.sample) for _, row in rows]
+            )
+            batch = guess.observe_sample_chunk(ids, matrix)
+            assert guess.solution == twin.solution
+            assert sorted(batch.ids) == sorted(twin.new_picks)
+            assert guess.projection_ids == twin.projection_ids
+            assert kernel.to_mask_int(guess.leftover) == kernel.to_mask_int(
+                twin.leftover
+            )
+            for mine, theirs in zip(guess.projections, twin.projections):
+                assert kernel.to_mask_int(mine) == kernel.to_mask_int(theirs)
+            assert guess.stats.heavy_picks == twin.stats.heavy_picks
+            assert guess._scratch_words == twin._scratch_words

@@ -332,3 +332,58 @@ def test_fsck_surfaces_the_maintenance_tail(tmp_path):
     assert report.maintenance[0]["action"] in {"skip", "compact"}
     assert all(r["schema"] == MAINTENANCE_SCHEMA
                for r in report.maintenance)
+
+
+# ----------------------------------------------------------------------
+# Churn while cached: the hot chunk cache never serves a stale chunk
+# ----------------------------------------------------------------------
+def test_warm_cache_survives_compaction_without_staleness(tmp_path):
+    from repro.engine import SerialScanExecutor
+    from repro.engine.cache import configure_cache, get_cache
+
+    root = _build_chain(tmp_path)
+    mask = (1 << 8) - 1
+    executor = SerialScanExecutor()
+    configure_cache("8m")
+    try:
+        with open_repository(root) as view:
+            cold = executor.scan_repository(view, mask)
+            warm = executor.scan_repository(view, mask)
+        assert list(cold.gains) == list(warm.gains)
+        stats = get_cache().stats()
+        assert stats["hits"] > 0, stats
+        # Compaction rewrites the repository in place: the cache token
+        # changes, so every warm entry becomes unreachable by key.
+        compact(root)
+        with open_repository(root) as view:
+            cached_after = executor.scan_repository(view, mask)
+        configure_cache("off")
+        with open_repository(root) as view:
+            reference = executor.scan_repository(view, mask)
+        assert list(cached_after.gains) == list(reference.gains)
+        assert cached_after.captured == reference.captured
+    finally:
+        configure_cache(None)
+
+
+def test_warm_cache_with_online_compaction_stays_bit_identical(tmp_path):
+    from repro.engine import SerialScanExecutor
+    from repro.engine.cache import configure_cache
+
+    root = _build_chain(tmp_path)
+    mask = (1 << 8) - 1
+    executor = SerialScanExecutor()
+    configure_cache("8m")
+    try:
+        with open_repository(root) as view:
+            executor.scan_repository(view, mask)  # warm the cache
+        compact(root, online=True)
+        apply_delta(root, BATCH_3)
+        with open_repository(root) as view:
+            churned = executor.scan_repository(view, mask)
+        configure_cache("off")
+        with open_repository(root) as view:
+            reference = executor.scan_repository(view, mask)
+        assert list(churned.gains) == list(reference.gains)
+    finally:
+        configure_cache(None)

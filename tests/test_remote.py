@@ -33,6 +33,7 @@ from repro.engine import (
 )
 from repro.engine.transport import remote as remote_mod
 from repro.engine.transport.remote import (
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     manifest_token,
     recv_json,
@@ -275,11 +276,34 @@ def test_paths_outside_worker_root_are_rejected(tmp_path):
 
 def test_protocol_version_mismatch_is_loud(worker_fleet):
     host, port = worker_fleet[0]
+    # A driver older than the worker's floor is refused loudly.
     with socket.create_connection((host, port), timeout=10.0) as sock:
-        send_json(sock, {"op": "hello", "protocol": PROTOCOL_VERSION + 1})
+        send_json(sock, {"op": "hello", "protocol": MIN_PROTOCOL_VERSION - 1})
         reply = recv_json(sock)
         assert reply["op"] == "error"
         assert "protocol mismatch" in reply["message"]
+
+
+def test_protocol_version_negotiates_down(worker_fleet):
+    host, port = worker_fleet[0]
+    # A *newer* driver is not refused: the worker echoes the newest
+    # version it speaks and both sides proceed at that version.
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        send_json(sock, {"op": "hello", "protocol": PROTOCOL_VERSION + 1})
+        reply = recv_json(sock)
+        assert reply["op"] == "hello"
+        assert reply["protocol"] == PROTOCOL_VERSION
+    # An old-protocol driver gets old-protocol replies: no hot/cache
+    # fields ride the wire at the negotiated floor version.
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        send_json(sock, {"op": "hello", "protocol": MIN_PROTOCOL_VERSION})
+        reply = recv_json(sock)
+        assert reply["op"] == "hello"
+        assert reply["protocol"] == MIN_PROTOCOL_VERSION
+        send_json(sock, {"op": "ping"})
+        pong = recv_json(sock)
+        assert pong["op"] == "pong"
+        assert "cache" not in pong
 
 
 def test_ping_pong(worker_fleet):
@@ -569,3 +593,85 @@ def test_driver_salvages_when_every_worker_reports_stale(tmp_path):
     finally:
         for server in servers:
             server.stop()
+
+
+class TestThroughputPlacement:
+    """The EWMA placement model (DESIGN.md §14.2), without sockets.
+
+    ``_place_batches`` is pure given the health table, so the model is
+    pinned directly: cold fleets place deterministically and balanced,
+    observed throughput shifts load to fast lanes, and cache affinity
+    discounts a batch's cost at its home worker.  The end-to-end skew
+    (a delay-proxied worker delivering fewer shards) is asserted by the
+    chaos-smoke CI job on the placement ledger.
+    """
+
+    def _executor(self):
+        return RemoteScanExecutor(["a:1", "b:2"])
+
+    def _batches(self, costs):
+        from repro.engine.transport.remote import _Batch
+
+        shards = 0
+        batches = []
+        for index, cost in enumerate(costs):
+            batches.append(_Batch(index, [shards], cost=cost))
+            shards += 1
+        return batches
+
+    def _load(self, assignment, batches):
+        load: dict = {}
+        for batch in batches:
+            worker = assignment[batch.index]
+            load[worker] = load.get(worker, 0) + batch.cost
+        return load
+
+    def test_cold_fleet_is_deterministic_and_balanced(self):
+        executor = self._executor()
+        batches = self._batches([8, 7, 5, 4, 2, 1])
+        first = executor._place_batches(batches, executor.workers, None)
+        assert first == executor._place_batches(
+            batches, executor.workers, None
+        )
+        load = self._load(first, batches)
+        # LPT over equal (fleet-average) rates: 8+4+1 vs 7+5+2.
+        assert sorted(load.values()) == [13, 14]
+
+    def test_observed_throughput_shifts_load(self):
+        executor = self._executor()
+        fast, slow = executor.workers
+        # Same elapsed wall-clock, 4x the delivered units.
+        executor._note_throughput(fast, 400, 1.0)
+        executor._note_throughput(slow, 100, 1.0)
+        batches = self._batches([8, 7, 5, 4, 2, 1])
+        assignment = executor._place_batches(
+            batches, executor.workers, None
+        )
+        load = self._load(assignment, batches)
+        assert load[fast] > load[slow]
+        # The 4x lane should carry roughly 4/5 of the total cost.
+        assert load[fast] >= 20
+
+    def test_cache_affinity_discounts_the_home_worker(self):
+        executor = self._executor()
+        home, other = executor.workers
+        key = ("/repo", (1, 2))
+        # Every shard's last delivery came hot from ``home``.
+        executor._affinity = (key, {shard: home for shard in range(4)})
+        batches = self._batches([4, 4, 4, 4])
+        with_affinity = self._load(
+            executor._place_batches(batches, executor.workers, key), batches
+        )
+        stale_key = ("/repo", (9, 9))
+        without = self._load(
+            executor._place_batches(
+                batches, executor.workers, stale_key
+            ),
+            batches,
+        )
+        # A different scan's affinity map must not leak in: the stale
+        # key splits the equal-cost batches evenly...
+        assert sorted(without.values()) == [8, 8]
+        # ...while the matching key leans on the warm lane (discounted
+        # cost makes home's projected finish earlier at equal load).
+        assert with_affinity.get(home, 0) > with_affinity.get(other, 0)
